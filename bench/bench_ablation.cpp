@@ -1,0 +1,90 @@
+// E-ABLATION: the design choices DESIGN.md Section 5 calls out, isolated:
+//   1. block-weight rule (uniform / alignment / optimized alignment)
+//   2. correlation ordering of S-K before the chain walk (on / off)
+//   3. rough-set selection of the distinguished block K (on / off)
+// Everything else held fixed (chain strategy, same folds, same data).
+
+#include <cstdio>
+
+#include "core/faceted_learner.hpp"
+#include "data/split.hpp"
+#include "data/synthetic.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace iotml;
+
+struct Variant {
+  std::string name;
+  core::FacetedLearnerConfig config;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("E-ABLATION: partition-MKL design choices (chain search held fixed)\n\n");
+
+  Rng rng(101);
+  // Two signal facets, one heavy noise facet — the regime where choices matter.
+  data::FacetedData fd = data::make_faceted_gaussian(
+      320, {{2, 3.0, 1.0, true}, {3, 1.8, 1.0, true}, {4, 0.0, 4.0, false}}, rng);
+  Rng split_rng(7);
+  auto split = data::train_test_split(fd.samples.size(), 0.35, split_rng);
+  data::Samples train = data::select_rows(fd.samples, split.train);
+  data::Samples test = data::select_rows(fd.samples, split.test);
+
+  std::vector<Variant> variants;
+  {
+    core::FacetedLearnerConfig base;
+    base.strategy = core::SearchStrategy::kChain;
+
+    Variant uniform{"weights=uniform", base};
+    uniform.config.search.weights = core::WeightRule::kUniform;
+    Variant aligned{"weights=alignment (default)", base};
+    aligned.config.search.weights = core::WeightRule::kAlignment;
+    Variant optimized{"weights=optimized", base};
+    optimized.config.search.weights = core::WeightRule::kOptimized;
+    variants.push_back(uniform);
+    variants.push_back(aligned);
+    variants.push_back(optimized);
+
+    Variant unordered{"ordering=feature-index (ablated)", base};
+    unordered.config.correlation_ordering = false;
+    variants.push_back(unordered);
+
+    Variant rough{"K=rough-set selected", base};
+    rough.config.rough_select_k = true;
+    variants.push_back(rough);
+
+    Variant smush{"strategy=smushing (bottom-up)", base};
+    smush.config.strategy = core::SearchStrategy::kSmushing;
+    variants.push_back(smush);
+
+    Variant greedy{"strategy=greedy (reference)", base};
+    greedy.config.strategy = core::SearchStrategy::kGreedyRefinement;
+    variants.push_back(greedy);
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  for (const Variant& v : variants) {
+    core::FacetedLearner learner(v.config);
+    learner.fit(train);
+    rows.push_back({v.name, format_double(learner.search_result().best_score, 3),
+                    format_double(learner.accuracy(test), 3),
+                    std::to_string(learner.search_result().partitions_evaluated),
+                    std::to_string(learner.search_result().block_grams_computed),
+                    learner.partition().to_string()});
+  }
+  std::printf("%s\n",
+              render_table({"variant", "cv score", "test acc", "SVM evals",
+                            "block grams", "partition"},
+                           rows)
+                  .c_str());
+
+  std::printf("shape check: alignment weighting beats uniform when a noise facet\n"
+              "is in play; optimized weights match or edge out the heuristic at\n"
+              "extra cost; correlation ordering controls which chain the linear\n"
+              "walk sees, changing the discovered partition.\n");
+  return 0;
+}

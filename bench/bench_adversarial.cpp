@@ -1,0 +1,84 @@
+// E-ADV: Section II.B's two adversarial-learning archetypes, reproduced:
+//   1. Huang et al.: a learner facing an adversarial opponent — standard vs
+//      adversarially trained SVM under an L-infinity attack-budget sweep.
+//   2. Goodfellow et al.: the zero-sum generative game — the toy GAN's
+//      generator converging to the data distribution.
+
+#include <cstdio>
+
+#include "adversarial/gan.hpp"
+#include "adversarial/training.hpp"
+#include "data/split.hpp"
+#include "data/synthetic.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace iotml;
+  using namespace iotml::adversarial;
+
+  std::printf("E-ADV part 1: robustness under attack-budget sweep\n\n");
+  {
+    // Concentric-circles concept with an RBF SVM: the clean decision surface
+    // hugs the inner class, so small L-inf shifts cross it. Adversarial
+    // training pushes the surface outward at a tiny clean-accuracy cost.
+    Rng rng(13);
+    data::Samples all = data::make_circles(420, 1.0, 2.2, 0.18, rng);
+    Rng split_rng(3);
+    auto split = data::train_test_split(all.size(), 0.3, split_rng);
+    data::Samples train = data::select_rows(all, split.train);
+    data::Samples test = data::select_rows(all, split.test);
+
+    const kernels::SvmParams svm{.c = 10.0};
+    AdversarialTrainer standard(std::make_unique<kernels::RbfKernel>(1.0),
+                                {.epsilon = 0.3, .rounds = 1, .svm = svm});
+    standard.fit(train);
+    AdversarialTrainer hardened(std::make_unique<kernels::RbfKernel>(1.0),
+                                {.epsilon = 0.3, .rounds = 6, .svm = svm});
+    hardened.fit(train);
+
+    std::vector<std::vector<std::string>> rows;
+    for (double eps : {0.0, 0.15, 0.3, 0.45, 0.6}) {
+      rows.push_back({format_double(eps, 2),
+                      format_double(standard.attacked_accuracy(test, eps), 3),
+                      format_double(hardened.attacked_accuracy(test, eps), 3)});
+    }
+    std::printf("%s\n", render_table({"attack budget eps", "standard SVM",
+                                      "adversarially trained"},
+                                     rows)
+                            .c_str());
+    std::printf("shape check: both degrade as eps grows; the adversarially\n"
+                "trained model trades a sliver of clean accuracy for a large\n"
+                "advantage at and beyond the training budget (0.3).\n\n");
+  }
+
+  std::printf("E-ADV part 2: toy GAN converging to N(3.0, 1.5^2)\n\n");
+  {
+    Rng rng(29);
+    GanParams params;
+    params.iterations = 1500;
+    params.init_mu = -4.0;
+    params.init_sigma = 0.5;
+    ToyGan gan(params);
+    gan.fit(3.0, 1.5, rng);
+
+    std::vector<std::vector<std::string>> rows;
+    const auto& history = gan.history();
+    for (std::size_t it : {std::size_t{0}, std::size_t{150}, std::size_t{375},
+                           std::size_t{750}, history.size() - 1}) {
+      const GanTrace& t = history[it];
+      rows.push_back({std::to_string(it), format_double(t.mu, 3),
+                      format_double(t.sigma, 3),
+                      format_double(t.discriminator_real_mean, 3),
+                      format_double(t.discriminator_fake_mean, 3)});
+    }
+    std::printf("%s\n", render_table({"iteration", "G mu", "G sigma", "D(real)",
+                                      "D(fake)"},
+                                     rows)
+                            .c_str());
+    std::printf("final generator: mu=%.3f (target 3.0), sigma=%.3f (target 1.5)\n",
+                gan.mu(), gan.sigma());
+    std::printf("shape check: the zero-sum game drives G's parameters to the\n"
+                "target and D's real/fake scores toward the uninformative 0.5.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Reproduces Fig. 1 of the paper: "Analytics computation in the IoT setting"
+// as a runnable simulation: devices at the periphery acquire desynchronized,
+// noisy, dropout-prone streams; the edge integrates and prepares them; the
+// core reduces and learns. Per-stage accounting shows what each tier does to
+// the data.
+
+#include <cstdio>
+
+#include "data/metrics.hpp"
+#include "learners/decision_tree.hpp"
+#include "pipeline/integration.hpp"
+#include "pipeline/preparation.hpp"
+#include "pipeline/reduction.hpp"
+#include "pipeline/sensors.hpp"
+#include "pipeline/stage.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace iotml;
+  using namespace iotml::pipeline;
+
+  std::printf("FIG. 1: ANALYTICS COMPUTATION IN THE IOT SETTING (simulated)\n\n");
+  Rng rng(2024);
+
+  // ---- Device tier: a 12-sensor field over 3 physical quantities ---------
+  std::vector<FieldQuantity> field;
+  field.push_back({"temperature", sine_signal(22.0, 6.0, 300.0),
+                   {{.name = "temp0", .period_s = 1.0, .clock_jitter_s = 0.05,
+                     .noise_std = 0.4, .dropout_prob = 0.10},
+                    {.name = "temp1", .period_s = 1.3, .clock_jitter_s = 0.05,
+                     .noise_std = 0.4, .dropout_prob = 0.05, .outlier_prob = 0.02},
+                    {.name = "temp2", .period_s = 0.9, .noise_std = 0.6,
+                     .dropout_prob = 0.20, .bias = 1.5},  // untrusted sensor
+                    {.name = "temp3", .period_s = 1.1, .noise_std = 0.3}}});
+  field.push_back({"humidity", composite_signal({sine_signal(55.0, 10.0, 500.0),
+                                                 trend_signal(0.0, -0.01)}),
+                   {{.name = "hum0", .period_s = 2.0, .noise_std = 1.5,
+                     .dropout_prob = 0.15},
+                    {.name = "hum1", .period_s = 1.7, .clock_jitter_s = 0.1,
+                     .noise_std = 1.0},
+                    {.name = "hum2", .period_s = 2.3, .noise_std = 2.0,
+                     .outlier_prob = 0.03},
+                    {.name = "hum3", .period_s = 2.1, .noise_std = 1.2,
+                     .dropout_prob = 0.25}}});
+  field.push_back({"wind", sine_signal(4.0, 3.0, 120.0),
+                   {{.name = "wind0", .period_s = 0.8, .noise_std = 0.8,
+                     .dropout_prob = 0.10},
+                    {.name = "wind1", .period_s = 1.2, .noise_std = 0.6},
+                    {.name = "wind2", .period_s = 1.0, .noise_std = 1.0,
+                     .dropout_prob = 0.30},
+                    {.name = "wind3", .period_s = 1.4, .clock_jitter_s = 0.2,
+                     .noise_std = 0.7}}});
+
+  const double duration = 240.0;
+  FieldAcquisition acquisition = acquire_field(field, duration, rng);
+  std::size_t readings = 0, dropped = 0;
+  for (const auto& s : acquisition.streams) {
+    readings += s.readings.size();
+    dropped += s.dropped;
+  }
+  std::printf("[device tier] %zu sensors, %.0fs window: %zu readings acquired, %zu lost\n",
+              acquisition.streams.size(), duration, readings, dropped);
+
+  // ---- Edge tier: integrate + prepare -------------------------------------
+  IntegrationResult integ = integrate_streams(acquisition.streams,
+                                              {.merge_tolerance_s = 0.25});
+  std::printf("[edge tier]   integration: %zu records, %zu stamps merged, "
+              "missing rate %.1f%%\n",
+              integ.records.rows(), integ.merged_timestamps,
+              100.0 * integ.missing_rate);
+
+  // Label each record: "comfortable" iff temperature truth in [20, 28] at
+  // that instant — the downstream analytics concept.
+  {
+    std::vector<int> labels;
+    const Signal truth = field[0].truth;
+    for (std::size_t r = 0; r < integ.records.rows(); ++r) {
+      const double t = integ.records.column(0).numeric(r);
+      const double temp = truth(t);
+      labels.push_back(temp >= 20.0 && temp <= 28.0 ? 1 : 0);
+    }
+    integ.records.set_labels(std::move(labels));
+  }
+
+  Pipeline edge;
+  edge.add("outlier-suppression", [](data::Dataset& ds, Rng&) {
+    std::size_t suppressed = 0;
+    for (std::size_t f = 1; f < ds.num_columns(); ++f) {
+      suppressed += suppress_outliers(
+          ds, f, detect_outliers_hampel(ds.column(f), 4.0));
+    }
+    return 0.5 + 0.01 * static_cast<double>(suppressed);
+  }, "edge-operator", Tier::kEdge);
+  edge.add("imputation(linear)", [](data::Dataset& ds, Rng& r) {
+    impute(ds, ImputeStrategy::kLinear, r);
+    return 1.5;
+  }, "edge-operator", Tier::kEdge);
+  edge.add("normalization(zscore)", [](data::Dataset& ds, Rng&) {
+    // Keep the timestamp column raw; normalize sensor columns only.
+    data::Dataset sensors_only = ds.select_columns([&] {
+      std::vector<std::size_t> cols;
+      for (std::size_t c = 1; c < ds.num_columns(); ++c) cols.push_back(c);
+      return cols;
+    }());
+    normalize(sensors_only, NormalizeKind::kZScore);
+    for (std::size_t c = 1; c < ds.num_columns(); ++c) {
+      for (std::size_t r = 0; r < ds.rows(); ++r) {
+        if (!sensors_only.column(c - 1).is_missing(r)) {
+          ds.column(c).set_numeric(r, sensors_only.column(c - 1).numeric(r));
+        }
+      }
+    }
+    return 0.5;
+  }, "edge-operator", Tier::kEdge);
+
+  data::Dataset prepared = edge.run(integ.records, rng);
+
+  // ---- Core tier: reduce + learn ------------------------------------------
+  Pipeline core;
+  core.add("feature-selection(MI,top6)", [](data::Dataset& ds, Rng&) {
+    auto keep = select_by_mutual_information(ds, 6);
+    // Never drop the timestamp (column 0) silently; the learner may use it.
+    data::Dataset reduced = ds.select_columns(keep);
+    ds = std::move(reduced);
+    return 1.0;
+  }, "core-operator", Tier::kCore);
+
+  data::Dataset reduced = core.run(prepared, rng);
+
+  const std::size_t n = reduced.rows();
+  std::vector<std::size_t> train_idx, test_idx;
+  for (std::size_t i = 0; i < n; ++i) {
+    (i % 4 == 3 ? test_idx : train_idx).push_back(i);
+  }
+  data::Dataset train = reduced.select_rows(train_idx);
+  data::Dataset test = reduced.select_rows(test_idx);
+  learners::DecisionTree tree;
+  tree.fit(train);
+  const double accuracy = tree.accuracy(test);
+
+  // ---- Stage report table --------------------------------------------------
+  std::vector<std::vector<std::string>> rows;
+  auto add_reports = [&](const Pipeline& p) {
+    for (const auto& rep : p.reports()) {
+      rows.push_back({rep.stage_name, rep.player, tier_name(rep.tier),
+                      std::to_string(rep.rows_out),
+                      format_double(100.0 * rep.missing_rate_in, 1) + "%",
+                      format_double(100.0 * rep.missing_rate_out, 1) + "%",
+                      format_double(rep.cost, 2)});
+    }
+  };
+  add_reports(edge);
+  add_reports(core);
+  std::printf("\n%s\n",
+              render_table({"stage", "player", "tier", "rows", "miss-in",
+                            "miss-out", "cost"},
+                           rows)
+                  .c_str());
+
+  std::printf("[core tier]   decision tree on %zu train rows -> accuracy %.3f "
+              "on %zu held-out records\n",
+              train.rows(), accuracy, test.rows());
+  std::printf("\nshape check: device noise + desync creates ~%.0f%% missing cells;\n"
+              "the edge pipeline repairs them to %.1f%% and the core still learns\n"
+              "the comfort concept well above chance.\n",
+              100.0 * integ.missing_rate, 100.0 * reduced.missing_rate());
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Fig. 2 of the paper: "Lattice of Partitions of a 4-Element Set".
+//
+// Prints the 15 partitions of {1,2,3,4} by rank (level sizes must be the
+// Stirling numbers 1, 6, 7, 1), the Hasse covering relations, and verifies
+// the lattice properties the paper leans on: complete lattice under
+// refinement, NOT distributive.
+
+#include <cstdio>
+#include <string>
+
+#include "combinatorics/counting.hpp"
+#include "combinatorics/partition_lattice.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace iotml;
+  using namespace iotml::comb;
+
+  std::printf("FIG. 2: LATTICE OF PARTITIONS OF A 4-ELEMENT SET\n");
+  std::printf("(ordered by refinement; rank r has S(4, 4-r) partitions)\n\n");
+
+  PartitionLattice lattice(4);
+
+  for (std::size_t rank = lattice.rank() + 1; rank-- > 0;) {
+    std::string line;
+    for (std::size_t id : lattice.level(rank)) {
+      if (!line.empty()) line += "   ";
+      line += lattice.element(id).to_string();
+    }
+    std::printf("rank %zu (%zu = S(4,%zu)): %s\n", rank, lattice.level(rank).size(),
+                4 - rank, line.c_str());
+  }
+
+  std::printf("\nHasse diagram: %zu covering pairs\n", lattice.edge_count());
+  for (std::size_t rank = 0; rank < lattice.rank(); ++rank) {
+    for (std::size_t id : lattice.level(rank)) {
+      std::string line = "  " + lattice.element(id).to_string() + " < ";
+      std::vector<std::string> above;
+      for (std::size_t up : lattice.covers_above(id)) {
+        above.push_back(lattice.element(up).to_string());
+      }
+      std::printf("%s%s\n", line.c_str(), join(above, ", ").c_str());
+    }
+  }
+
+  // Lattice sanity: meet/join closure and the paper's non-distributivity note.
+  std::size_t meet_checks = 0;
+  bool distributive = true;
+  const auto& elements = lattice.elements();
+  for (const auto& a : elements) {
+    for (const auto& b : elements) {
+      const auto m = a.meet(b);
+      const auto j = a.join(b);
+      (void)lattice.id_of(m);
+      (void)lattice.id_of(j);
+      ++meet_checks;
+      for (const auto& c : elements) {
+        if (a.meet(b.join(c)) != a.meet(b).join(a.meet(c))) distributive = false;
+      }
+    }
+  }
+  std::printf("\nclosure: %zu meet/join pairs verified inside the lattice\n", meet_checks);
+  std::printf("distributive: %s (paper: \"unlike the Boolean lattice ... Pi(S) is not\n"
+              "distributive\")\n",
+              distributive ? "YES (unexpected!)" : "no, as expected");
+  return 0;
+}

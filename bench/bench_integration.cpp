@@ -1,0 +1,90 @@
+// E-INTEG: Section IV's prototypical data-integration example — d
+// 1-dimensional desynchronized sensor streams merged into one d-dimensional
+// view "typically plagued by missing feature-values". Sweeps desync and
+// dropout, compares imputation strategies on reconstruction RMSE against the
+// known ground-truth signals.
+
+#include <cstdio>
+
+#include "data/metrics.hpp"
+#include "pipeline/integration.hpp"
+#include "pipeline/preparation.hpp"
+#include "pipeline/sensors.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace iotml;
+using namespace iotml::pipeline;
+
+struct Scenario {
+  std::string name;
+  double period_spread;  ///< sensor periods 1.0 .. 1.0+spread
+  double dropout;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("E-INTEG: timestamp-merge integration and imputation quality\n\n");
+
+  const std::vector<Scenario> scenarios{
+      {"synchronized", 0.0, 0.0},
+      {"mild desync", 0.15, 0.05},
+      {"strong desync", 0.45, 0.15},
+      {"hostile field", 0.45, 0.35},
+  };
+  const std::vector<ImputeStrategy> strategies{
+      ImputeStrategy::kMean, ImputeStrategy::kMedian, ImputeStrategy::kLocf,
+      ImputeStrategy::kLinear, ImputeStrategy::kHotDeck, ImputeStrategy::kKnn};
+
+  std::vector<std::vector<std::string>> rows;
+  for (const Scenario& scenario : scenarios) {
+    Rng rng(23);
+    // Four sensors on one smooth signal, desynchronized periods.
+    const Signal truth = sine_signal(10.0, 4.0, 50.0);
+    std::vector<SensorStream> streams;
+    for (int s = 0; s < 4; ++s) {
+      SensorSpec spec;
+      spec.name = "s" + std::to_string(s);
+      spec.period_s = 1.0 + scenario.period_spread * s / 3.0;
+      spec.noise_std = 0.2;
+      spec.dropout_prob = scenario.dropout;
+      streams.push_back(simulate_sensor(spec, truth, 120.0, rng));
+    }
+    IntegrationResult integ = integrate_streams(streams, {.merge_tolerance_s = 0.1});
+
+    for (ImputeStrategy strategy : strategies) {
+      data::Dataset repaired = integ.records;
+      Rng prep(5);
+      impute(repaired, strategy, prep);
+
+      // RMSE of *imputed* cells against the ground-truth signal.
+      std::vector<double> truth_vals, imputed_vals;
+      for (std::size_t c = 1; c < repaired.num_columns(); ++c) {
+        for (std::size_t r = 0; r < repaired.rows(); ++r) {
+          if (!integ.records.column(c).is_missing(r)) continue;  // only holes
+          if (repaired.column(c).is_missing(r)) continue;        // unresolved
+          truth_vals.push_back(truth(repaired.column(0).numeric(r)));
+          imputed_vals.push_back(repaired.column(c).numeric(r));
+        }
+      }
+      const double hole_rmse =
+          truth_vals.empty() ? 0.0 : data::rmse(truth_vals, imputed_vals);
+      rows.push_back({scenario.name, impute_strategy_name(strategy),
+                      std::to_string(integ.records.rows()),
+                      format_double(100.0 * integ.missing_rate, 1) + "%",
+                      truth_vals.empty() ? "n/a" : format_double(hole_rmse, 3)});
+    }
+  }
+
+  std::printf("%s\n",
+              render_table({"scenario", "imputation", "records",
+                            "missing after merge", "hole RMSE vs truth"},
+                           rows)
+                  .c_str());
+  std::printf("shape check: desync multiplies records and missing cells; on a\n"
+              "smooth signal, order-aware strategies (linear/locf) beat\n"
+              "order-free ones (mean/hot-deck); knn sits between.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Timing-level microbenchmarks (google-benchmark) for the primitives the
+// lattice search spends its time in: partition enumeration, cover
+// generation, Gram computation, SVM training, and game solving.
+
+#include <benchmark/benchmark.h>
+
+#include "combinatorics/boolean_lattice.hpp"
+#include "combinatorics/partition.hpp"
+#include "core/partition_kernels.hpp"
+#include "data/synthetic.hpp"
+#include "game/matrix_game.hpp"
+#include "kernels/svm.hpp"
+#include "roughsets/roughsets.hpp"
+
+namespace {
+
+using namespace iotml;
+
+void BM_PartitionEnumeration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    comb::PartitionEnumerator e(n);
+    std::size_t count = 0;
+    while (e.has_next()) {
+      benchmark::DoNotOptimize(e.next());
+      ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_PartitionEnumeration)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_UpwardCovers(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto p = comb::SetPartition::discrete(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.upward_covers());
+  }
+}
+BENCHMARK(BM_UpwardCovers)->Arg(8)->Arg(16);
+
+void BM_BooleanChainDecomposition(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    comb::BooleanChainDecomposition d(n);
+    benchmark::DoNotOptimize(d.chains().size());
+  }
+}
+BENCHMARK(BM_BooleanChainDecomposition)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_BlockGram(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  data::Samples s = data::make_blobs(n, 6, 2.0, 1.0, rng);
+  for (auto _ : state) {
+    core::BlockGramCache cache(s.x);
+    benchmark::DoNotOptimize(cache.gram_for({0, 1, 2}));
+  }
+}
+BENCHMARK(BM_BlockGram)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_SvmTrain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  data::Samples s = data::make_blobs(n, 4, 3.0, 1.0, rng);
+  core::BlockGramCache cache(s.x);
+  const la::Matrix gram = cache.gram_for({0, 1, 2, 3});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::train_svm(gram, s.y));
+  }
+}
+BENCHMARK(BM_SvmTrain)->Arg(80)->Arg(160)->Arg(320);
+
+void BM_IndiscernibilityRelation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  data::Dataset fleet = data::make_phone_fleet(n, 0.1, rng);
+  for (auto _ : state) {
+    rough::IndiscernibilityRelation rel(fleet, {0, 1, 2});
+    benchmark::DoNotOptimize(rel.num_classes());
+  }
+}
+BENCHMARK(BM_IndiscernibilityRelation)->Arg(500)->Arg(2000);
+
+void BM_ZeroSumSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  la::Matrix payoff(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) payoff(i, j) = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(game::solve_zero_sum(payoff, 1e-2));
+  }
+}
+BENCHMARK(BM_ZeroSumSolve)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// E-MKL: Section I/III's structural-awareness claim — multiple kernels that
+// respect the facet structure beat a single monolithic kernel, especially
+// when facets have heterogeneous quality. Sweeps the number of noise views
+// and the noise scale; compares kernel combiners.
+
+#include <cstdio>
+#include <numeric>
+
+#include "core/partition_kernels.hpp"
+#include "data/split.hpp"
+#include "data/synthetic.hpp"
+#include "kernels/mkl.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace iotml;
+
+double evaluate_gram(const la::Matrix& full_gram, const std::vector<int>& y) {
+  Rng cv(3);
+  return kernels::cv_accuracy_precomputed(full_gram, y, 5, cv);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E-MKL: faceted multiple kernels vs a monolithic kernel\n");
+  std::printf("(one informative view + k noise views of stddev sigma)\n\n");
+
+  Rng rng(11);
+  std::vector<std::vector<std::string>> rows;
+
+  for (std::size_t noise_views : {1u, 3u, 5u}) {
+    for (double sigma : {1.0, 2.5, 4.0}) {
+      std::vector<data::ViewSpec> specs{{3, 3.0, 1.0, true}};
+      for (std::size_t v = 0; v < noise_views; ++v) {
+        specs.push_back({3, 0.0, sigma, false});
+      }
+      data::FacetedData fd = data::make_faceted_gaussian(200, specs, rng);
+      const auto& y = fd.samples.y;
+
+      // Monolithic RBF over the concatenation.
+      std::vector<std::size_t> all(fd.samples.dim());
+      std::iota(all.begin(), all.end(), std::size_t{0});
+      core::BlockGramCache cache(fd.samples.x);
+      const double acc_mono = evaluate_gram(cache.gram_for(all), y);
+
+      // Per-view kernels with three combiners.
+      std::vector<la::Matrix> grams;
+      for (const auto& view : fd.views) grams.push_back(cache.gram_for(view));
+
+      const double acc_uniform = evaluate_gram(
+          kernels::combine_grams(grams, kernels::uniform_weights(grams.size())), y);
+      const double acc_align = evaluate_gram(
+          kernels::combine_grams(grams, kernels::alignment_weights(grams, y)), y);
+      const double acc_opt = evaluate_gram(
+          kernels::combine_grams(grams, kernels::optimize_alignment_weights(grams, y)),
+          y);
+
+      rows.push_back({std::to_string(noise_views), format_double(sigma, 1),
+                      format_double(acc_mono, 3), format_double(acc_uniform, 3),
+                      format_double(acc_align, 3), format_double(acc_opt, 3)});
+    }
+  }
+
+  std::printf("%s\n",
+              render_table({"noise views", "sigma", "monolithic", "MKL uniform",
+                            "MKL aligned", "MKL optimized"},
+                           rows)
+                  .c_str());
+  std::printf("shape check: the monolithic kernel degrades as noise views and\n"
+              "sigma grow (they dominate the global distance); alignment-weighted\n"
+              "MKL holds its accuracy by downweighting the noise facets.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E-MV: Section I's multi-view learning techniques — co-training (agreement
+// between views) and CCA subspace learning — against single-view and
+// concatenation baselines, swept over the number of labeled examples.
+
+#include <cstdio>
+
+#include "data/metrics.hpp"
+#include "data/synthetic.hpp"
+#include "learners/naive_bayes.hpp"
+#include "multiview/cca.hpp"
+#include "multiview/cotraining.hpp"
+#include "multiview/views.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace iotml;
+  using namespace iotml::multiview;
+
+  std::printf("E-MV: co-training & CCA vs single-view / concatenation\n");
+  std::printf("(2 informative views; accuracy vs number of labeled examples)\n\n");
+
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t labeled_count : {6u, 12u, 24u, 60u, 150u}) {
+    // Average over a few draws; each draw is one concept split into
+    // labeled / unlabeled / test.
+    double co_acc = 0.0, v0_acc = 0.0, concat_acc = 0.0, cca_corr = 0.0;
+    const int trials = 3;
+    for (int trial = 0; trial < trials; ++trial) {
+      Rng rng(100 + trial);
+      data::FacetedData fd = data::make_faceted_gaussian(
+          700, {{3, 2.5, 1.0, true}, {3, 2.5, 1.0, true}}, rng);
+
+      std::vector<std::size_t> labeled_idx, test_idx;
+      for (std::size_t i = 0; i < labeled_count; ++i) labeled_idx.push_back(i);
+      for (std::size_t i = 500; i < 700; ++i) test_idx.push_back(i);
+      data::Samples labeled = data::select_rows(fd.samples, labeled_idx);
+      data::Samples test = data::select_rows(fd.samples, test_idx);
+
+      la::Matrix unlabeled(500 - labeled_count, fd.samples.dim());
+      for (std::size_t r = labeled_count; r < 500; ++r) {
+        for (std::size_t c = 0; c < fd.samples.dim(); ++c) {
+          unlabeled(r - labeled_count, c) = fd.samples.x(r, c);
+        }
+      }
+
+      CoTrainer co(fd.views[0], fd.views[1]);
+      co.fit(labeled, unlabeled);
+      co_acc += co.accuracy(test);
+
+      learners::NaiveBayes single;
+      single.fit(data::samples_to_dataset(project(labeled, fd.views[0])));
+      v0_acc += single.accuracy(
+          data::samples_to_dataset(project(test, fd.views[0])));
+
+      learners::NaiveBayes concat;
+      concat.fit(data::samples_to_dataset(labeled));
+      concat_acc += concat.accuracy(data::samples_to_dataset(test));
+
+      // CCA between the two views on the unlabeled pool: the shared latent
+      // is the class signal, so the top canonical correlation is high.
+      data::Samples pool;
+      pool.x = unlabeled;
+      const la::Matrix xa = project(pool, fd.views[0]).x;
+      const la::Matrix xb = project(pool, fd.views[1]).x;
+      CcaResult cca = fit_cca(xa, xb, 1);
+      cca_corr += cca.correlations[0];
+    }
+    rows.push_back({std::to_string(labeled_count),
+                    format_double(v0_acc / trials, 3),
+                    format_double(concat_acc / trials, 3),
+                    format_double(co_acc / trials, 3),
+                    format_double(cca_corr / trials, 3)});
+  }
+
+  std::printf("%s\n",
+              render_table({"labeled", "single view", "concatenation",
+                            "co-training", "CCA top corr"},
+                           rows)
+                  .c_str());
+  std::printf("shape check: with few labels co-training exploits the unlabeled\n"
+              "pool and beats both baselines; the gap closes as labels grow.\n"
+              "The views' shared latent shows up as a high top canonical\n"
+              "correlation regardless of label count.\n");
+  return 0;
+}

@@ -1,0 +1,167 @@
+// E-GAME: Section IV — the pipeline as a game between a preprocessing player
+// and an analytics player with compatible but non-aligned interests.
+//
+// Payoffs are *measured*: every strategy profile is run through the real
+// pipeline on a corrupted phone fleet. Reports the payoff matrices, the
+// single-player (social) optimum, the simultaneous-play Nash outcome, and
+// the sequential Stackelberg outcome (preprocessor commits first, the
+// paper's sequential-game frame).
+
+#include <cstdio>
+
+#include "core/pipeline_game.hpp"
+#include "data/synthetic.hpp"
+#include "game/bimatrix.hpp"
+#include "game/repeated.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace iotml;
+  using namespace iotml::core;
+
+  std::printf("E-GAME: preprocessing vs analytics as a measured bimatrix game\n\n");
+
+  // Numeric sensor-style data where preparation quality genuinely matters:
+  // missing cells AND gross outliers. Mean imputation without outlier
+  // suppression propagates the outliers into every repaired cell; the
+  // expensive strategies (median/knn with Hampel suppression) do not.
+  // An oblique class boundary (random direction across 6 features) is hard
+  // for axis-aligned trees and easy for NB/logistic — but the latter are the
+  // outlier-sensitive models, so the analyst's best model depends on how well
+  // the preprocessor cleaned the data. That dependency is the game.
+  Rng rng(31);
+  data::Samples raw = data::make_faceted_gaussian(1050, {{6, 3.5, 1.0, true}}, rng).samples;
+  auto corrupt = [&](data::Dataset& ds) {
+    for (std::size_t f = 0; f < ds.num_columns(); ++f) {
+      for (std::size_t r = 0; r < ds.rows(); ++r) {
+        if (rng.bernoulli(0.30)) {
+          ds.column(f).set_missing(r);
+        } else if (rng.bernoulli(0.06)) {
+          ds.column(f).set_numeric(r, ds.column(f).numeric(r) +
+                                           (rng.bernoulli(0.5) ? 40.0 : -40.0));
+        }
+      }
+    }
+  };
+  data::Dataset all = data::samples_to_dataset(raw);
+  std::vector<std::size_t> train_idx, test_idx;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    (i % 3 == 2 ? test_idx : train_idx).push_back(i);
+  }
+  data::Dataset train = all.select_rows(train_idx);
+  data::Dataset test = all.select_rows(test_idx);
+  corrupt(train);
+  corrupt(test);
+  std::printf("corrupted sensor table: %zu train / %zu test rows, %.0f%% cells\n"
+              "missing plus ~4%% gross outliers\n\n",
+              train.rows(), test.rows(), 100.0 * train.missing_rate());
+
+  PipelineGameConfig config;
+  PipelineGameResult result = build_pipeline_game(train, test, config, rng);
+
+  // Accuracy matrix.
+  std::vector<std::vector<std::string>> acc_rows;
+  for (std::size_t i = 0; i < config.preprocessor.size(); ++i) {
+    std::vector<std::string> row{config.preprocessor[i].name};
+    for (std::size_t j = 0; j < config.analyst.size(); ++j) {
+      row.push_back(format_double(result.accuracy(i, j), 3));
+    }
+    acc_rows.push_back(row);
+  }
+  std::vector<std::string> header{"accuracy"};
+  for (const auto& a : config.analyst) header.push_back(a.name);
+  std::printf("%s\n", render_table(header, acc_rows).c_str());
+
+  // Payoff matrices.
+  std::vector<std::vector<std::string>> payoff_rows;
+  for (std::size_t i = 0; i < config.preprocessor.size(); ++i) {
+    std::vector<std::string> row{config.preprocessor[i].name};
+    for (std::size_t j = 0; j < config.analyst.size(); ++j) {
+      row.push_back(format_double(result.game.a(i, j), 2) + " / " +
+                    format_double(result.game.b(i, j), 2));
+    }
+    payoff_rows.push_back(row);
+  }
+  header[0] = "payoffs (prep/analyst)";
+  std::printf("%s\n", render_table(header, payoff_rows).c_str());
+
+  auto describe = [&](const char* label, game::PureProfile p) {
+    std::printf("  %-22s (%s, %s): accuracy %.3f, welfare %.2f\n", label,
+                config.preprocessor[p.row].name.c_str(),
+                config.analyst[p.col].name.c_str(), result.accuracy_at(p),
+                game::social_welfare(result.game, p));
+  };
+  std::printf("solution concepts:\n");
+  describe("single player (opt)", result.social);
+  describe(result.has_pure_nash ? "Nash (pure)" : "Nash (BR resting pt)", result.nash);
+  describe("Stackelberg (prep 1st)",
+           {result.stackelberg.leader_action, result.stackelberg.follower_action});
+
+  const double opt_acc = result.accuracy_at(result.social);
+  const double nash_acc = result.accuracy_at(result.nash);
+  std::printf("\nmisaligned interests cost %.1f accuracy points vs the single-player\n"
+              "optimum at the default coupling.\n",
+              100.0 * (opt_acc - nash_acc));
+
+  // The paper's alignment lever: how much of the analyst's reward the
+  // preprocessor shares. As the stake grows, strategic play converges to the
+  // integrated (single-player) outcome.
+  std::printf("\nalignment sweep (shared stake of the preprocessor in accuracy):\n");
+  std::vector<std::vector<std::string>> stake_rows;
+  for (double stake : {0.0, 0.15, 0.4, 0.8}) {
+    PipelineGameConfig swept = config;
+    swept.shared_stake = stake;
+    PipelineGameResult r = build_pipeline_game(train, test, swept, rng);
+    stake_rows.push_back(
+        {format_double(stake, 2), format_double(r.accuracy_at(r.nash), 3),
+         format_double(r.accuracy_at({r.stackelberg.leader_action,
+                                      r.stackelberg.follower_action}),
+                       3),
+         format_double(r.accuracy_at(r.social), 3)});
+  }
+  std::printf("%s\n", render_table({"shared stake", "Nash acc", "Stackelberg acc",
+                                    "optimum acc"},
+                                   stake_rows)
+                          .c_str());
+  std::printf("shape check: welfare(optimum) >= welfare(Stackelberg) >= welfare(Nash);\n"
+              "raising the shared stake closes the accuracy gap — the quantified\n"
+              "version of the paper's call for an integrated design process.\n\n");
+
+  // The pipeline runs on every batch: the stage game repeats. Can grim-
+  // trigger punishment (revert to the Nash outcome forever) sustain the
+  // integrated optimum without any contract?
+  if (result.has_pure_nash) {
+    const double delta_prep =
+        game::grim_trigger_min_discount(result.game, result.social, result.nash);
+    game::Bimatrix swapped{result.game.b.transpose(), result.game.a.transpose()};
+    const double delta_analyst = game::grim_trigger_min_discount(
+        swapped, {result.social.col, result.social.row},
+        {result.nash.col, result.nash.row});
+    std::printf("repeated play (folk theorem): minimal discount factor to make\n"
+                "the social optimum self-enforcing under grim trigger:\n"
+                "  preprocessor: %.3f%s\n  analyst     : %.3f%s\n",
+                delta_prep,
+                delta_prep >= 1.0
+                    ? " (impossible: Nash punishment is what the prep wants)"
+                    : "",
+                delta_analyst, delta_analyst <= 0.0 ? " (no temptation)" : "");
+    if (delta_prep >= 1.0) {
+      std::printf("=> repetition alone cannot align this pipeline: the deviator's\n"
+                  "punishment (the Nash outcome) is its favourite outcome. Only a\n"
+                  "shared stake or transfers work — exactly the alignment lever\n"
+                  "measured above.\n");
+    } else {
+      game::GrimTrigger prep(result.social.row, result.nash.row, result.social.col);
+      game::GrimTrigger analyst(result.social.col, result.nash.col,
+                                result.social.row);
+      const auto cooperative =
+          game::play_repeated(result.game, prep, analyst, 50, 0.9);
+      std::printf("grim-vs-grim at delta=0.9 sustains the optimum (accuracy %.3f\n"
+                  "vs %.3f at the one-shot Nash).\n",
+                  result.accuracy(cooperative.row_actions.front(),
+                                  cooperative.col_actions.front()),
+                  result.accuracy_at(result.nash));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// E-STREAM: derived experiment for the paper's run-time variability claim
+// (Section I: "input data latency, availability, and veracity ... may widely
+// vary, depending on the conditions in the field"). Compares three policies
+// on a stream whose concept changes twice:
+//   frozen    : train on the first 1000 records, never update
+//   always-on : incremental learner, no drift handling
+//   adaptive  : incremental learner + DDM drift detector with reset
+// Reported: accuracy per epoch between concept changes.
+
+#include <cstdio>
+#include <vector>
+
+#include "learners/online.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace iotml;
+using namespace iotml::learners;
+
+struct StreamPoint {
+  std::vector<double> x;
+  int label;
+};
+
+/// Concept c in {0,1,2}: decision axis rotates between features.
+StreamPoint draw(Rng& rng, int concept_id) {
+  const bool positive = rng.bernoulli(0.5);
+  std::vector<double> x{rng.normal(0.0, 1.0), rng.normal(0.0, 1.0),
+                        rng.normal(0.0, 1.0)};
+  const std::size_t axis = static_cast<std::size_t>(concept_id);
+  x[axis] += positive ? 2.5 : -2.5;
+  return {x, positive ? 1 : 0};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E-STREAM: concept drift on the device tier (axis rotates at\n");
+  std::printf("t=3000 and t=6000; 9000 records total)\n\n");
+
+  Rng rng(88);
+  const std::size_t epoch = 3000;
+
+  IncrementalNaiveBayes frozen(3);
+  IncrementalNaiveBayes always_on(3);
+  AdaptiveStreamClassifier adaptive(3);
+
+  std::vector<std::size_t> frozen_hits(3, 0), always_hits(3, 0), adaptive_hits(3, 0);
+
+  for (std::size_t t = 0; t < 3 * epoch; ++t) {
+    const int concept_id = static_cast<int>(t / epoch);
+    const StreamPoint point = draw(rng, concept_id);
+    const std::size_t e = t / epoch;
+
+    // frozen: learns only during the first 1000 records.
+    if (frozen.num_classes() >= 2) {
+      frozen_hits[e] += frozen.predict(point.x) == point.label ? 1 : 0;
+    }
+    if (t < 1000) frozen.observe(point.x, point.label);
+
+    // always-on: test-then-train, never resets.
+    if (always_on.num_classes() >= 2) {
+      always_hits[e] += always_on.predict(point.x) == point.label ? 1 : 0;
+    }
+    always_on.observe(point.x, point.label);
+
+    // adaptive.
+    adaptive_hits[e] += adaptive.process(point.x, point.label) == point.label ? 1 : 0;
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  const char* names[] = {"concept A (0-3000)", "concept B (3000-6000)",
+                         "concept C (6000-9000)"};
+  for (std::size_t e = 0; e < 3; ++e) {
+    rows.push_back({names[e],
+                    format_double(static_cast<double>(frozen_hits[e]) / epoch, 3),
+                    format_double(static_cast<double>(always_hits[e]) / epoch, 3),
+                    format_double(static_cast<double>(adaptive_hits[e]) / epoch, 3)});
+  }
+  std::printf("%s\n", render_table({"epoch", "frozen", "always-on (no reset)",
+                                    "adaptive (DDM reset)"},
+                                   rows)
+                          .c_str());
+  std::printf("drifts detected by the adaptive policy: %zu (expected 2)\n\n",
+              adaptive.drifts_detected());
+  std::printf("shape check: frozen collapses to chance after the first change;\n"
+              "the never-resetting learner is dragged down by stale statistics;\n"
+              "the adaptive policy re-converges within each epoch.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// The paper's Section III example, end to end: the 4-phone table, Pawlak
+// approximations of the "available phones" concept, dynamic selection of K,
+// and rough-set-anchored partition learning on a larger synthetic fleet.
+
+#include <cstdio>
+
+#include "data/synthetic.hpp"
+#include "learners/decision_tree.hpp"
+#include "roughsets/roughsets.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace iotml;
+  using namespace iotml::rough;
+
+  // ---- The exact table from the paper -----------------------------------------
+  data::Dataset phones = data::make_phone_fleet_paper();
+  std::printf("Device ID | Battery | OS      | Available\n");
+  for (std::size_t r = 0; r < phones.rows(); ++r) {
+    std::printf("%9zu | %-7s | %-7s | %s\n", r + 1,
+                phones.column(0).category_label(r).c_str(),
+                phones.column(1).category_label(r).c_str(),
+                phones.label(r) == 1 ? "Y" : "N");
+  }
+
+  IndiscernibilityRelation rel(phones, {phones.column_index("os")});
+  Approximation approx = approximate_label(rel, phones.labels(), 1);
+  std::printf("\nK = {OS}: ~K = %s\n", rel.to_partition().to_string().c_str());
+  std::printf("lower approximation of T = {available}: rows ");
+  for (std::size_t r : approx.lower_rows) std::printf("%zu ", r + 1);
+  std::printf("\nupper approximation: rows ");
+  for (std::size_t r : approx.upper_rows) std::printf("%zu ", r + 1);
+  std::printf("\naccuracy: %.2f (granule ratio, the paper's 0.5) | %.3f (element ratio)\n",
+              approx.accuracy_granules(), approx.accuracy_elements());
+
+  // ---- Dynamic K selection on a real-sized fleet -------------------------------
+  Rng rng(9);
+  data::Dataset fleet = data::make_phone_fleet(800, 0.05, rng);
+  data::Dataset holdout = data::make_phone_fleet(400, 0.05, rng);
+
+  std::printf("\nsynthetic fleet (%zu phones, 5%% label noise):\n", fleet.rows());
+  // Under label noise, exact lower approximations collapse (every granule is
+  // impure), so the accuracy criterion degenerates; the entropy criterion is
+  // the noise-tolerant choice the paper mentions alongside it.
+  const KSelection selection = select_k(fleet, 2, KScore::kNegConditionalEntropy);
+  std::printf("dynamic K by conditional entropy: { ");
+  for (std::size_t f : selection.features) {
+    std::printf("%s ", fleet.column(f).name().c_str());
+  }
+  std::printf("} score=%.3f (%zu subsets evaluated)\n", selection.score,
+              selection.evaluated_subsets);
+
+  learners::DecisionTree on_k, on_all;
+  on_k.fit(fleet.select_columns(selection.features));
+  on_all.fit(fleet);
+  std::printf("decision tree on K only : %.3f accuracy\n",
+              on_k.accuracy(holdout.select_columns(selection.features)));
+  std::printf("decision tree on all    : %.3f accuracy\n", on_all.accuracy(holdout));
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Pipeline game: Section IV's many-players setting made runnable. Also
+// demonstrates the extensive-form machinery on a tiny sequential game of
+// imperfect information between the preprocessor and the analyst.
+
+#include <cstdio>
+
+#include "core/pipeline_game.hpp"
+#include "data/synthetic.hpp"
+#include "game/sequential.hpp"
+
+int main() {
+  using namespace iotml;
+  using namespace iotml::core;
+
+  // ---- Empirical bimatrix game over the real pipeline --------------------------
+  // Oblique-boundary numeric data with missing cells and gross outliers, so
+  // the analyst's best model depends on the preprocessor's diligence.
+  Rng rng(55);
+  data::Samples raw =
+      data::make_faceted_gaussian(900, {{6, 3.5, 1.0, true}}, rng).samples;
+  data::Dataset all = data::samples_to_dataset(raw);
+  std::vector<std::size_t> train_idx, test_idx;
+  for (std::size_t i = 0; i < all.rows(); ++i) {
+    (i % 3 == 2 ? test_idx : train_idx).push_back(i);
+  }
+  data::Dataset train = all.select_rows(train_idx);
+  data::Dataset test = all.select_rows(test_idx);
+  for (auto* ds : {&train, &test}) {
+    for (std::size_t f = 0; f < ds->num_columns(); ++f) {
+      for (std::size_t r = 0; r < ds->rows(); ++r) {
+        if (rng.bernoulli(0.3)) {
+          ds->column(f).set_missing(r);
+        } else if (rng.bernoulli(0.06)) {
+          ds->column(f).set_numeric(
+              r, ds->column(f).numeric(r) + (rng.bernoulli(0.5) ? 40.0 : -40.0));
+        }
+      }
+    }
+  }
+
+  PipelineGameConfig config;
+  PipelineGameResult result = build_pipeline_game(train, test, config, rng);
+
+  auto show = [&](const char* label, game::PureProfile p) {
+    std::printf("%-24s prep=%-16s analyst=%-13s accuracy=%.3f\n", label,
+                config.preprocessor[p.row].name.c_str(),
+                config.analyst[p.col].name.c_str(), result.accuracy_at(p));
+  };
+  std::printf("empirical pipeline game (%.0f%% missing cells):\n",
+              100.0 * train.missing_rate());
+  show("single-player optimum:", result.social);
+  show("Nash outcome:", result.nash);
+  show("Stackelberg (prep 1st):",
+       {result.stackelberg.leader_action, result.stackelberg.follower_action});
+
+  // ---- A sequential game of imperfect information ------------------------------
+  // The preprocessor privately chooses cheap (c) or thorough (t) preparation;
+  // the analyst, NOT observing that choice, picks a fragile high-accuracy
+  // model (f) or a robust one (r). Payoffs (prep, analyst):
+  //   (c,f): (2, 0)   cheap data breaks the fragile model
+  //   (c,r): (2, 2)   robust model tolerates cheap data
+  //   (t,f): (0, 4)   thorough prep unlocks the fragile model's accuracy
+  //   (t,r): (0, 2)   robustness wasted on clean data
+  using game::GameNode;
+  auto analyst_node = [&](double pf_prep_f, double pf_an_f, double pf_prep_r,
+                          double pf_an_r) {
+    std::vector<std::unique_ptr<GameNode>> kids;
+    kids.push_back(GameNode::terminal(pf_prep_f, pf_an_f));
+    kids.push_back(GameNode::terminal(pf_prep_r, pf_an_r));
+    return GameNode::decision(1, "analyst-blind", std::move(kids));
+  };
+  std::vector<std::unique_ptr<GameNode>> root_kids;
+  root_kids.push_back(analyst_node(2, 0, 2, 2));  // prep chose cheap
+  root_kids.push_back(analyst_node(0, 4, 0, 2));  // prep chose thorough
+  game::ExtensiveGame sequential(
+      GameNode::decision(0, "prep-choice", std::move(root_kids)));
+
+  game::Bimatrix normal = sequential.to_normal_form();
+  std::printf("\nsequential game of imperfect information (normal form %zux%zu):\n",
+              normal.rows(), normal.cols());
+  const auto equilibria = game::pure_nash(normal);
+  for (const auto& eq : equilibria) {
+    std::printf("  pure Nash: prep=%s analyst=%s -> payoffs (%.0f, %.0f)\n",
+                eq.row == 0 ? "cheap" : "thorough",
+                eq.col == 0 ? "fragile" : "robust", normal.a(eq.row, eq.col),
+                normal.b(eq.row, eq.col));
+  }
+  std::printf("(the analyst hedges with the robust model because it cannot\n"
+              "observe the preparation effort — the trust gap of Section IV)\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Quickstart: train the paper's IoT-friendly learning model on faceted data.
+//
+//   $ ./quickstart
+//
+// Builds a synthetic multi-sensor dataset (three facets of different
+// quality), runs the partition-lattice multiple-kernel learner with the
+// linear chain search, and prints the facet structure it discovered.
+
+#include <cstdio>
+
+#include "core/faceted_learner.hpp"
+#include "data/split.hpp"
+#include "data/synthetic.hpp"
+
+int main() {
+  using namespace iotml;
+
+  // 1. Data: 3 views — a strong sensor, a weak sensor, and a noisy one.
+  Rng rng(1);
+  data::FacetedData fd = data::make_faceted_gaussian(
+      400,
+      {{2, 3.0, 1.0, true},    // strong facet
+       {2, 1.5, 1.0, true},    // weak facet
+       {5, 0.0, 5.0, false}},  // high-variance noise facet
+      rng);
+
+  Rng split_rng(2);
+  auto split = data::train_test_split(fd.samples.size(), 0.3, split_rng);
+  data::Samples train = data::select_rows(fd.samples, split.train);
+  data::Samples test = data::select_rows(fd.samples, split.test);
+
+  // 2. Learner: defaults = chain search over the partition lattice with
+  //    alignment-weighted block kernels.
+  core::FacetedLearner learner;
+  learner.fit(train);
+
+  // 3. Results.
+  std::printf("chosen feature partition : %s\n", learner.partition().to_string().c_str());
+  std::printf("search strategy          : chain (linear in |S - K|)\n");
+  std::printf("partitions evaluated     : %zu\n",
+              learner.search_result().partitions_evaluated);
+  std::printf("block grams computed     : %zu\n",
+              learner.search_result().block_grams_computed);
+  std::printf("cross-validated score    : %.3f\n", learner.search_result().best_score);
+  std::printf("held-out accuracy        : %.3f\n", learner.accuracy(test));
+
+  std::printf("\nground-truth facets      : {1,2} {3,4} {5,6,7,8,9}\n");
+  std::printf("(the chain walk isolates the signal features and groups the noise\n");
+  std::printf("facet, improving on the single monolithic kernel it starts from)\n");
+  return 0;
+}

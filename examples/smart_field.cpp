@@ -1,0 +1,81 @@
+// Smart field: the full Fig. 1 story on a simulated agricultural sensor
+// field — desynchronized noisy devices, timestamp-merge integration, edge
+// preparation, and a learned "irrigation needed" concept at the core.
+
+#include <cstdio>
+
+#include "learners/decision_tree.hpp"
+#include "pipeline/integration.hpp"
+#include "pipeline/preparation.hpp"
+#include "pipeline/sensors.hpp"
+#include "pipeline/stage.hpp"
+
+int main() {
+  using namespace iotml;
+  using namespace iotml::pipeline;
+
+  Rng rng(77);
+
+  // ---- Periphery: 6 devices measuring soil moisture and temperature -----------
+  std::vector<FieldQuantity> field{
+      {"moisture", composite_signal({sine_signal(40.0, 12.0, 600.0),
+                                     trend_signal(0.0, -0.02)}),
+       {{.name = "moist0", .period_s = 2.0, .noise_std = 1.5, .dropout_prob = 0.15},
+        {.name = "moist1", .period_s = 2.6, .clock_jitter_s = 0.2, .noise_std = 2.0},
+        {.name = "moist2", .period_s = 1.8, .noise_std = 1.0, .outlier_prob = 0.03}}},
+      {"soil_temp", sine_signal(18.0, 7.0, 600.0),
+       {{.name = "temp0", .period_s = 3.0, .noise_std = 0.5, .dropout_prob = 0.10},
+        {.name = "temp1", .period_s = 2.2, .noise_std = 0.8, .bias = 0.7},
+        {.name = "temp2", .period_s = 2.8, .noise_std = 0.4}}}};
+
+  FieldAcquisition acq = acquire_field(field, 600.0, rng);
+  std::size_t total = 0;
+  for (const auto& s : acq.streams) total += s.readings.size();
+  std::printf("acquired %zu readings from %zu devices over 10 minutes\n", total,
+              acq.streams.size());
+
+  // ---- Edge: integrate, label, repair ------------------------------------------
+  IntegrationResult integ = integrate_streams(acq.streams, {.merge_tolerance_s = 0.5});
+  std::printf("integration: %zu records, %.1f%% cells missing\n", integ.records.rows(),
+              100.0 * integ.missing_rate);
+
+  // Concept: irrigation needed when true moisture < 35.
+  {
+    std::vector<int> labels;
+    for (std::size_t r = 0; r < integ.records.rows(); ++r) {
+      const double t = integ.records.column(0).numeric(r);
+      labels.push_back(field[0].truth(t) < 35.0 ? 1 : 0);
+    }
+    integ.records.set_labels(std::move(labels));
+  }
+
+  Pipeline edge;
+  edge.add("hampel-outliers", [](data::Dataset& ds, Rng&) {
+    std::size_t removed = 0;
+    for (std::size_t f = 1; f < ds.num_columns(); ++f) {
+      removed += suppress_outliers(ds, f, detect_outliers_hampel(ds.column(f), 4.0));
+    }
+    return static_cast<double>(removed);
+  }, "edge", Tier::kEdge);
+  edge.add("linear-imputation", [](data::Dataset& ds, Rng& r) {
+    impute(ds, ImputeStrategy::kLinear, r);
+    return 1.0;
+  }, "edge", Tier::kEdge);
+
+  data::Dataset prepared = edge.run(integ.records, rng);
+  std::printf("edge preparation: missing %.1f%% -> %.1f%%\n",
+              100.0 * edge.reports().front().missing_rate_in,
+              100.0 * edge.reports().back().missing_rate_out);
+
+  // ---- Core: learn and report ----------------------------------------------------
+  std::vector<std::size_t> train_idx, test_idx;
+  for (std::size_t i = 0; i < prepared.rows(); ++i) {
+    (i % 3 == 2 ? test_idx : train_idx).push_back(i);
+  }
+  learners::DecisionTree tree;
+  tree.fit(prepared.select_rows(train_idx));
+  const double acc = tree.accuracy(prepared.select_rows(test_idx));
+  std::printf("core analytics: 'irrigation needed' decision tree accuracy %.3f\n", acc);
+  std::printf("(tree: %zu nodes, depth %zu)\n", tree.node_count(), tree.depth());
+  return 0;
+}

@@ -1,0 +1,113 @@
+#include "adversarial/gan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace iotml::adversarial {
+
+namespace {
+
+double sigmoid(double z) {
+  if (z >= 0.0) return 1.0 / (1.0 + std::exp(-z));
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+ToyGan::ToyGan(GanParams params) : params_(params) {
+  IOTML_CHECK(params.iterations >= 1, "ToyGan: iterations must be >= 1");
+  IOTML_CHECK(params.batch_size >= 8, "ToyGan: batch_size must be >= 8");
+  IOTML_CHECK(params.init_sigma > 0.0, "ToyGan: init_sigma must be positive");
+}
+
+double ToyGan::discriminate(double x) const {
+  return sigmoid(w0_ + w1_ * x + w2_ * x * x);
+}
+
+void ToyGan::train_discriminator(const std::vector<double>& real,
+                                 const std::vector<double>& fake) {
+  // Logistic regression on (1, x, x^2); real = 1, fake = 0. Features are
+  // standardized by the pooled scale for stable steps.
+  double scale = 1e-6;
+  for (double v : real) scale = std::max(scale, std::fabs(v));
+  for (double v : fake) scale = std::max(scale, std::fabs(v));
+
+  for (std::size_t epoch = 0; epoch < params_.discriminator_epochs; ++epoch) {
+    double g0 = 0.0, g1 = 0.0, g2 = 0.0;
+    auto accumulate = [&](double x, double label) {
+      const double xs = x / scale;
+      const double err = sigmoid(w0_ + w1_ * xs + w2_ * xs * xs) - label;
+      g0 += err;
+      g1 += err * xs;
+      g2 += err * xs * xs;
+    };
+    for (double v : real) accumulate(v, 1.0);
+    for (double v : fake) accumulate(v, 0.0);
+    const double n = static_cast<double>(real.size() + fake.size());
+    w0_ -= params_.discriminator_lr * g0 / n;
+    w1_ -= params_.discriminator_lr * g1 / n;
+    w2_ -= params_.discriminator_lr * g2 / n;
+  }
+  // Note: w1_/w2_ are in standardized coordinates; discriminate() is used on
+  // standardized values internally, so fold the scale back in.
+  w1_ /= scale;
+  w2_ /= scale * scale;
+}
+
+void ToyGan::fit(double target_mu, double target_sigma, Rng& rng) {
+  IOTML_CHECK(target_sigma > 0.0, "ToyGan::fit: target_sigma must be positive");
+  mu_ = params_.init_mu;
+  sigma_ = params_.init_sigma;
+  history_.clear();
+
+  for (std::size_t it = 0; it < params_.iterations; ++it) {
+    // Fresh batches.
+    std::vector<double> real(params_.batch_size), noise(params_.batch_size);
+    for (std::size_t i = 0; i < params_.batch_size; ++i) {
+      real[i] = rng.normal(target_mu, target_sigma);
+      noise[i] = rng.normal();
+    }
+    std::vector<double> fake(params_.batch_size);
+    for (std::size_t i = 0; i < params_.batch_size; ++i) {
+      fake[i] = mu_ + sigma_ * noise[i];
+    }
+
+    // Discriminator step (reset weights each round: the model is tiny).
+    w0_ = w1_ = w2_ = 0.0;
+    train_discriminator(real, fake);
+
+    // Generator step: ascend E_z[log D(G(z))] by the pathwise gradient.
+    // d/dmu log D = D'(..)/D(..) * dD_input/dx; with logistic D over
+    // (1, x, x^2): dlogD/dx = (1 - D) * (w1 + 2 w2 x).
+    double grad_mu = 0.0, grad_sigma = 0.0;
+    for (std::size_t i = 0; i < params_.batch_size; ++i) {
+      const double x = mu_ + sigma_ * noise[i];
+      const double d = discriminate(x);
+      const double dlogd_dx = (1.0 - d) * (w1_ + 2.0 * w2_ * x);
+      grad_mu += dlogd_dx;
+      grad_sigma += dlogd_dx * noise[i];
+    }
+    const double n = static_cast<double>(params_.batch_size);
+    mu_ += params_.generator_lr * grad_mu / n;
+    sigma_ += params_.generator_lr * grad_sigma / n;
+    sigma_ = std::max(sigma_, 1e-3);
+
+    GanTrace trace;
+    trace.mu = mu_;
+    trace.sigma = sigma_;
+    for (std::size_t i = 0; i < params_.batch_size; ++i) {
+      trace.discriminator_real_mean += discriminate(real[i]);
+      trace.discriminator_fake_mean += discriminate(mu_ + sigma_ * noise[i]);
+    }
+    trace.discriminator_real_mean /= n;
+    trace.discriminator_fake_mean /= n;
+    history_.push_back(trace);
+  }
+}
+
+double ToyGan::sample(Rng& rng) const { return mu_ + sigma_ * rng.normal(); }
+
+}  // namespace iotml::adversarial

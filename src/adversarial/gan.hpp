@@ -1,0 +1,61 @@
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace iotml::adversarial {
+
+/// A deliberately small generative adversarial pair (Goodfellow et al.,
+/// Section II.B): a two-parameter Gaussian generator G(z) = mu + sigma * z
+/// against a logistic discriminator on the features (x, x^2). The generator
+/// converges to the data distribution when training balances — the zero-sum
+/// game the paper cites as the archetype of adversarial learning.
+struct GanParams {
+  std::size_t iterations = 600;
+  std::size_t batch_size = 128;
+  std::size_t discriminator_epochs = 150;
+  double discriminator_lr = 1.0;
+  double generator_lr = 0.15;
+  double init_mu = 0.0;
+  double init_sigma = 1.0;
+};
+
+struct GanTrace {
+  double mu = 0.0;
+  double sigma = 0.0;
+  double discriminator_real_mean = 0.0;  ///< mean D(x) on real data
+  double discriminator_fake_mean = 0.0;  ///< mean D(x) on generated data
+};
+
+class ToyGan {
+ public:
+  explicit ToyGan(GanParams params = {});
+
+  /// Learn to imitate N(target_mu, target_sigma^2).
+  void fit(double target_mu, double target_sigma, Rng& rng);
+
+  double mu() const noexcept { return mu_; }
+  double sigma() const noexcept { return sigma_; }
+
+  /// Sample from the trained generator.
+  double sample(Rng& rng) const;
+
+  /// Discriminator probability that x is real.
+  double discriminate(double x) const;
+
+  const std::vector<GanTrace>& history() const noexcept { return history_; }
+
+ private:
+  GanParams params_;
+  double mu_ = 0.0;
+  double sigma_ = 1.0;
+  // Discriminator weights over (1, x, x^2).
+  double w0_ = 0.0, w1_ = 0.0, w2_ = 0.0;
+  std::vector<GanTrace> history_;
+
+  void train_discriminator(const std::vector<double>& real,
+                           const std::vector<double>& fake);
+};
+
+}  // namespace iotml::adversarial

@@ -1,0 +1,97 @@
+#include "adversarial/perturbation.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace iotml::adversarial {
+
+std::size_t flip_labels(data::Samples& s, double rate, Rng& rng) {
+  IOTML_CHECK(rate >= 0.0 && rate <= 1.0, "flip_labels: rate must be in [0, 1]");
+  std::size_t flips = 0;
+  for (int& y : s.y) {
+    IOTML_CHECK(y == 0 || y == 1, "flip_labels: labels must be 0/1");
+    if (rng.bernoulli(rate)) {
+      y = 1 - y;
+      ++flips;
+    }
+  }
+  return flips;
+}
+
+void add_feature_noise(data::Samples& s, double stddev, Rng& rng) {
+  IOTML_CHECK(stddev >= 0.0, "add_feature_noise: stddev must be >= 0");
+  for (std::size_t r = 0; r < s.size(); ++r) {
+    for (std::size_t c = 0; c < s.dim(); ++c) {
+      s.x(r, c) += rng.normal(0.0, stddev);
+    }
+  }
+}
+
+std::size_t knock_out_features(data::Samples& s, double rate, Rng& rng) {
+  IOTML_CHECK(rate >= 0.0 && rate <= 1.0, "knock_out_features: rate must be in [0, 1]");
+  std::size_t knocked = 0;
+  for (std::size_t r = 0; r < s.size(); ++r) {
+    for (std::size_t c = 0; c < s.dim(); ++c) {
+      if (rng.bernoulli(rate)) {
+        s.x(r, c) = 0.0;
+        ++knocked;
+      }
+    }
+  }
+  return knocked;
+}
+
+std::vector<double> linf_attack(const DecisionFn& decision,
+                                std::span<const double> x, int true_label,
+                                double epsilon) {
+  IOTML_CHECK(epsilon >= 0.0, "linf_attack: epsilon must be >= 0");
+  IOTML_CHECK(true_label == 0 || true_label == 1, "linf_attack: labels must be 0/1");
+  std::vector<double> attacked(x.begin(), x.end());
+  if (epsilon == 0.0) return attacked;
+
+  // Central-difference gradient of the decision value.
+  const double h = std::max(1e-6, epsilon * 1e-3);
+  std::vector<double> probe(attacked);
+  const double sign = true_label == 1 ? -1.0 : 1.0;  // reduce margin of truth
+  for (std::size_t c = 0; c < attacked.size(); ++c) {
+    probe[c] = attacked[c] + h;
+    const double up = decision(probe);
+    probe[c] = attacked[c] - h;
+    const double down = decision(probe);
+    probe[c] = attacked[c];
+    const double grad = (up - down) / (2.0 * h);
+    // Step epsilon in the harmful direction (FGSM with an exact linear case).
+    if (grad > 0.0) {
+      attacked[c] += sign * epsilon;
+    } else if (grad < 0.0) {
+      attacked[c] -= sign * epsilon;
+    }
+  }
+  return attacked;
+}
+
+data::Samples linf_attack_all(const DecisionFn& decision, const data::Samples& s,
+                              double epsilon) {
+  IOTML_CHECK(!s.y.empty(), "linf_attack_all: samples must be labeled");
+  data::Samples out = s;
+  for (std::size_t r = 0; r < s.size(); ++r) {
+    const auto attacked = linf_attack(decision, s.x.row_span(r), s.y[r], epsilon);
+    for (std::size_t c = 0; c < s.dim(); ++c) out.x(r, c) = attacked[c];
+  }
+  return out;
+}
+
+double robust_accuracy(const DecisionFn& decision, const data::Samples& test,
+                       double epsilon) {
+  IOTML_CHECK(!test.y.empty(), "robust_accuracy: unlabeled test set");
+  std::size_t hits = 0;
+  for (std::size_t r = 0; r < test.size(); ++r) {
+    const auto attacked = linf_attack(decision, test.x.row_span(r), test.y[r], epsilon);
+    const int predicted = decision(attacked) >= 0.0 ? 1 : 0;
+    if (predicted == test.y[r]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(test.size());
+}
+
+}  // namespace iotml::adversarial

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <functional>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace iotml::adversarial {
+
+/// Perturbation models for the adversarial pipeline view (Section II.B /
+/// IV): untrusted or hostile stages are modeled as sources of structured
+/// corruption of the data they hand downstream.
+
+/// Flip each label with probability `rate` (binary labels assumed 0/1).
+/// Returns the number of flips.
+std::size_t flip_labels(data::Samples& s, double rate, Rng& rng);
+
+/// Add iid Gaussian noise to every feature. Models a degraded/noisy stage.
+void add_feature_noise(data::Samples& s, double stddev, Rng& rng);
+
+/// Zero out each feature cell with probability `rate` (sensor knockout).
+std::size_t knock_out_features(data::Samples& s, double rate, Rng& rng);
+
+/// A trained model's real-valued decision function (positive = class 1).
+using DecisionFn = std::function<double(std::span<const double>)>;
+
+/// Adversarial example within an L-infinity ball: move each coordinate by
+/// +/- epsilon in the direction that most reduces the true class's margin
+/// (coordinate-wise sign of a central-difference gradient — exact for linear
+/// models, a strong heuristic otherwise).
+std::vector<double> linf_attack(const DecisionFn& decision,
+                                std::span<const double> x, int true_label,
+                                double epsilon);
+
+/// Attack every row of a sample set; returns the attacked copy.
+data::Samples linf_attack_all(const DecisionFn& decision, const data::Samples& s,
+                              double epsilon);
+
+/// Accuracy of `predict` on adversarially perturbed inputs (the standard
+/// robustness metric).
+double robust_accuracy(const DecisionFn& decision, const data::Samples& test,
+                       double epsilon);
+
+}  // namespace iotml::adversarial

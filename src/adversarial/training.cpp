@@ -1,0 +1,92 @@
+#include "adversarial/training.hpp"
+
+#include "data/metrics.hpp"
+#include "util/error.hpp"
+
+namespace iotml::adversarial {
+
+AdversarialTrainer::AdversarialTrainer(std::unique_ptr<kernels::Kernel> kernel,
+                                       AdversarialTrainingParams params)
+    : kernel_(std::move(kernel)), params_(params) {
+  IOTML_CHECK(kernel_ != nullptr, "AdversarialTrainer: null kernel");
+  IOTML_CHECK(params.epsilon >= 0.0, "AdversarialTrainer: epsilon must be >= 0");
+  IOTML_CHECK(params.rounds >= 1, "AdversarialTrainer: rounds must be >= 1");
+}
+
+void AdversarialTrainer::retrain() {
+  model_ = std::make_unique<kernels::KernelSvmClassifier>(kernel_->clone(), params_.svm);
+  data::Samples current;
+  current.x = train_x_;
+  current.y = train_y_;
+  model_->fit(current);
+}
+
+void AdversarialTrainer::fit(const data::Samples& train) {
+  IOTML_CHECK(!train.y.empty(), "AdversarialTrainer::fit: unlabeled training set");
+  train_x_ = train.x;
+  train_y_ = train.y;
+  history_.clear();
+  retrain();
+
+  for (std::size_t round = 0; round < params_.rounds; ++round) {
+    RoundLog log;
+    log.training_size = train_y_.size();
+
+    data::Samples original = train;
+    log.clean_train_accuracy =
+        data::accuracy(original.y, model_->predict(original.x));
+
+    // Attacker best-responds to the current model on the *original* points.
+    const data::Samples attacked = linf_attack_all(decision(), original, params_.epsilon);
+    log.adversarial_train_accuracy =
+        data::accuracy(attacked.y, model_->predict(attacked.x));
+    history_.push_back(log);
+
+    if (round + 1 == params_.rounds) break;
+
+    // Defender augments with the adversarial examples and retrains.
+    la::Matrix grown(train_x_.rows() + attacked.size(), train_x_.cols());
+    for (std::size_t r = 0; r < train_x_.rows(); ++r) {
+      for (std::size_t c = 0; c < train_x_.cols(); ++c) grown(r, c) = train_x_(r, c);
+    }
+    for (std::size_t r = 0; r < attacked.size(); ++r) {
+      for (std::size_t c = 0; c < train_x_.cols(); ++c) {
+        grown(train_x_.rows() + r, c) = attacked.x(r, c);
+      }
+    }
+    train_x_ = std::move(grown);
+    train_y_.insert(train_y_.end(), attacked.y.begin(), attacked.y.end());
+    retrain();
+  }
+}
+
+DecisionFn AdversarialTrainer::decision() const {
+  IOTML_CHECK(model_ != nullptr, "AdversarialTrainer::decision: call fit() first");
+  // Capture by pointer: the returned closure is only valid while *this lives.
+  const kernels::KernelSvmClassifier* model = model_.get();
+  const la::Matrix* train_x = &train_x_;
+  const kernels::Kernel* kernel = kernel_.get();
+  return [model, train_x, kernel](std::span<const double> x) {
+    std::vector<double> k_row(train_x->rows());
+    for (std::size_t i = 0; i < train_x->rows(); ++i) {
+      k_row[i] = (*kernel)(train_x->row_span(i), x);
+    }
+    return model->model().decision(k_row);
+  };
+}
+
+std::vector<int> AdversarialTrainer::predict(const la::Matrix& x) const {
+  IOTML_CHECK(model_ != nullptr, "AdversarialTrainer::predict: call fit() first");
+  return model_->predict(x);
+}
+
+double AdversarialTrainer::clean_accuracy(const data::Samples& test) const {
+  return data::accuracy(test.y, predict(test.x));
+}
+
+double AdversarialTrainer::attacked_accuracy(const data::Samples& test,
+                                             double epsilon) const {
+  return robust_accuracy(decision(), test, epsilon);
+}
+
+}  // namespace iotml::adversarial

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "adversarial/perturbation.hpp"
+#include "kernels/mkl.hpp"
+
+namespace iotml::adversarial {
+
+/// Adversarial training of a kernel SVM: alternate between training the
+/// defender and letting the attacker (Huang et al.'s adversarial-opponent
+/// model, Section II.B) craft worst-case L-infinity perturbations of the
+/// training data, which are appended for the next round.
+struct AdversarialTrainingParams {
+  double epsilon = 0.2;       ///< attacker budget (L-infinity)
+  std::size_t rounds = 4;     ///< attack-retrain iterations
+  kernels::SvmParams svm{};
+};
+
+struct RoundLog {
+  double clean_train_accuracy = 0.0;
+  double adversarial_train_accuracy = 0.0;  ///< under attack, before retraining
+  std::size_t training_size = 0;
+};
+
+class AdversarialTrainer {
+ public:
+  AdversarialTrainer(std::unique_ptr<kernels::Kernel> kernel,
+                     AdversarialTrainingParams params = {});
+
+  void fit(const data::Samples& train);
+
+  /// The robustified model's decision function.
+  DecisionFn decision() const;
+
+  std::vector<int> predict(const la::Matrix& x) const;
+  double clean_accuracy(const data::Samples& test) const;
+  double attacked_accuracy(const data::Samples& test, double epsilon) const;
+
+  const std::vector<RoundLog>& history() const noexcept { return history_; }
+
+ private:
+  std::unique_ptr<kernels::Kernel> kernel_;
+  AdversarialTrainingParams params_;
+  std::unique_ptr<kernels::KernelSvmClassifier> model_;
+  la::Matrix train_x_;               // final (augmented) training features
+  std::vector<int> train_y_;
+  std::vector<RoundLog> history_;
+
+  void retrain();
+};
+
+}  // namespace iotml::adversarial

@@ -1,0 +1,120 @@
+#include "combinatorics/boolean_lattice.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace iotml::comb {
+
+std::string subset_to_string(Subset s, unsigned n) {
+  std::string out = "{";
+  bool first = true;
+  for (unsigned e = 1; e <= n; ++e) {
+    if (s & (Subset{1} << (e - 1))) {
+      if (!first) out += ',';
+      out += std::to_string(e);
+      first = false;
+    }
+  }
+  out += '}';
+  return out;
+}
+
+std::vector<unsigned> subset_elements(Subset s, unsigned n) {
+  std::vector<unsigned> out;
+  for (unsigned e = 1; e <= n; ++e) {
+    if (s & (Subset{1} << (e - 1))) out.push_back(e);
+  }
+  return out;
+}
+
+BooleanChain BooleanChainDecomposition::chain_through(Subset s, unsigned n) {
+  IOTML_CHECK(n >= 1 && n <= 24, "chain_through: n must be in [1, 24]");
+  // Bracket matching: position i in {1..n}; membership = ')' and absence =
+  // '('. Scan left to right with a stack of open positions; a ')' matches the
+  // most recent unmatched '('.
+  std::vector<bool> matched(n + 1, false);
+  std::vector<unsigned> open_stack;
+  for (unsigned i = 1; i <= n; ++i) {
+    const bool in_set = (s >> (i - 1)) & 1u;
+    if (!in_set) {
+      open_stack.push_back(i);
+    } else if (!open_stack.empty()) {
+      matched[open_stack.back()] = true;
+      matched[i] = true;
+      open_stack.pop_back();
+    }
+  }
+
+  // Unmatched positions, ascending. Unmatched members all precede unmatched
+  // non-members (standard bracket-matching fact); the chain assigns the
+  // unmatched positions the patterns 1^j 0^(u-j).
+  std::vector<unsigned> unmatched;
+  for (unsigned i = 1; i <= n; ++i) {
+    if (!matched[i]) unmatched.push_back(i);
+  }
+
+  Subset frozen = 0;
+  for (unsigned i = 1; i <= n; ++i) {
+    if (matched[i] && ((s >> (i - 1)) & 1u)) frozen |= Subset{1} << (i - 1);
+  }
+
+  BooleanChain chain;
+  chain.sets.reserve(unmatched.size() + 1);
+  for (std::size_t j = 0; j <= unmatched.size(); ++j) {
+    Subset member = frozen;
+    for (std::size_t t = 0; t < j; ++t) {
+      member |= Subset{1} << (unmatched[t] - 1);
+    }
+    chain.sets.push_back(member);
+  }
+  return chain;
+}
+
+BooleanChainDecomposition::BooleanChainDecomposition(unsigned n) : n_(n) {
+  IOTML_CHECK(n >= 1 && n <= 24, "BooleanChainDecomposition: n must be in [1, 24]");
+  const std::size_t universe = std::size_t{1} << n;
+  chain_index_.assign(universe, SIZE_MAX);
+
+  std::vector<BooleanChain> found;
+  for (Subset s = 0; s < universe; ++s) {
+    if (chain_index_[s] != SIZE_MAX) continue;
+    BooleanChain chain = chain_through(s, n);
+    const std::size_t idx = found.size();
+    for (Subset member : chain.sets) {
+      IOTML_CHECK(chain_index_[member] == SIZE_MAX || chain_index_[member] == idx,
+                  "BooleanChainDecomposition: chains are not disjoint");
+      chain_index_[member] = idx;
+    }
+    found.push_back(std::move(chain));
+  }
+
+  // Order: longest chain first (the one through the empty set), then by the
+  // smallest mask of the chain's minimal element. For n=3 this yields the
+  // paper's C1 = (∅,{1},{1,2},{1,2,3}), C2 = ({2},{2,3}), C3 = ({3},{1,3}).
+  std::vector<std::size_t> order(found.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (found[a].sets.size() != found[b].sets.size()) {
+      return found[a].sets.size() > found[b].sets.size();
+    }
+    return found[a].sets.front() < found[b].sets.front();
+  });
+
+  chains_.reserve(found.size());
+  std::vector<std::size_t> new_index(found.size());
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    new_index[order[rank]] = rank;
+    chains_.push_back(std::move(found[order[rank]]));
+  }
+  for (std::size_t s = 0; s < universe; ++s) {
+    chain_index_[s] = new_index[chain_index_[s]];
+  }
+}
+
+std::size_t BooleanChainDecomposition::chain_of(Subset s) const {
+  IOTML_CHECK(s < (Subset{1} << n_), "chain_of: subset out of range");
+  return chain_index_[s];
+}
+
+}  // namespace iotml::comb

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iotml::comb {
+
+/// A subset of {1, ..., n} stored as a bitmask (bit i-1 <=> element i).
+/// One-based elements match the paper's Table I notation.
+using Subset = std::uint32_t;
+
+/// Pretty-print a subset of {1..n} as "{1,3}" ("{}" for the empty set).
+std::string subset_to_string(Subset s, unsigned n);
+
+/// Elements (1-based) of a subset, ascending.
+std::vector<unsigned> subset_elements(Subset s, unsigned n);
+
+/// A saturated chain in the Boolean lattice B_n: subsets ordered by
+/// single-element insertions, sets.front() ⊂ ... ⊂ sets.back().
+struct BooleanChain {
+  std::vector<Subset> sets;
+
+  std::size_t length() const noexcept { return sets.size(); }
+};
+
+/// Symmetric chain decomposition of B_n by the bracket-matching rule
+/// (Greene-Kleitman), which reproduces the decomposition of de Bruijn, van
+/// Ebbenhorst Tengbergen and Kruyswijk used by the paper [12].
+///
+/// For a subset S of {1..n}, read positions 1..n left to right, treating
+/// membership as a closing bracket and absence as an opening bracket, and
+/// match brackets. The matched positions are frozen; the chain through S is
+/// obtained by setting the unmatched positions to 1^j 0^(u-j) for
+/// j = 0..u. Each chain is saturated and symmetric about rank n/2, and the
+/// chains partition B_n into C(n, floor(n/2)) chains.
+class BooleanChainDecomposition {
+ public:
+  explicit BooleanChainDecomposition(unsigned n);
+
+  unsigned n() const noexcept { return n_; }
+
+  /// All chains, ordered with longest first then by minimal element, so that
+  /// for n = 3 the chains appear exactly as the paper's C1, C2, C3.
+  const std::vector<BooleanChain>& chains() const noexcept { return chains_; }
+
+  /// Index of the chain containing subset s.
+  std::size_t chain_of(Subset s) const;
+
+  /// The canonical chain through s, computed directly from the bracket
+  /// matching (no table lookup).
+  static BooleanChain chain_through(Subset s, unsigned n);
+
+ private:
+  unsigned n_;
+  std::vector<BooleanChain> chains_;
+  std::vector<std::size_t> chain_index_;  // by subset mask
+};
+
+}  // namespace iotml::comb

@@ -1,0 +1,70 @@
+#include "combinatorics/counting.hpp"
+
+#include "util/error.hpp"
+
+namespace iotml::comb {
+
+namespace {
+constexpr unsigned kMaxExactN = 25;
+}
+
+std::uint64_t stirling2(unsigned n, unsigned k) {
+  IOTML_CHECK(n <= kMaxExactN, "stirling2: n too large for exact uint64");
+  if (k > n) return 0;
+  if (n == 0) return k == 0 ? 1 : 0;
+  if (k == 0) return 0;
+  // Triangle recurrence S(n,k) = k*S(n-1,k) + S(n-1,k-1).
+  std::vector<std::uint64_t> row(n + 1, 0);
+  row[0] = 1;  // S(0,0)
+  for (unsigned i = 1; i <= n; ++i) {
+    for (unsigned j = i; j >= 1; --j) {
+      row[j] = (j < i ? j * row[j] : 0) + row[j - 1];
+    }
+    row[0] = 0;
+  }
+  return row[k];
+}
+
+std::vector<std::uint64_t> stirling2_row(unsigned n) {
+  IOTML_CHECK(n <= kMaxExactN, "stirling2_row: n too large for exact uint64");
+  std::vector<std::uint64_t> row(n + 1, 0);
+  row[0] = 1;
+  for (unsigned i = 1; i <= n; ++i) {
+    for (unsigned j = i; j >= 1; --j) {
+      row[j] = (j < i ? j * row[j] : 0) + row[j - 1];
+    }
+    row[0] = 0;
+  }
+  return row;
+}
+
+std::uint64_t bell_number(unsigned n) {
+  IOTML_CHECK(n <= kMaxExactN, "bell_number: n too large for exact uint64");
+  // Bell triangle.
+  std::vector<std::uint64_t> prev{1};
+  if (n == 0) return 1;
+  for (unsigned i = 1; i <= n; ++i) {
+    std::vector<std::uint64_t> cur(i + 1);
+    cur[0] = prev.back();
+    for (unsigned j = 1; j <= i; ++j) cur[j] = cur[j - 1] + prev[j - 1];
+    prev = std::move(cur);
+  }
+  return prev[0];
+}
+
+std::uint64_t binomial(unsigned n, unsigned k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  std::uint64_t result = 1;
+  for (unsigned i = 1; i <= k; ++i) {
+    // Multiply-then-divide stays exact because result is always an integer
+    // binomial prefix; guard against overflow for the supported range.
+    IOTML_CHECK(result <= UINT64_MAX / (n - k + i), "binomial: overflow");
+    result = result * (n - k + i) / i;
+  }
+  return result;
+}
+
+std::uint64_t lattice_cone_size(unsigned m) { return bell_number(m); }
+
+}  // namespace iotml::comb

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace iotml::comb {
+
+/// Stirling number of the second kind S(n, k): partitions of an n-set into
+/// exactly k blocks. Exact in uint64 for n <= 25 (S(25,12) < 2^63); throws
+/// InvalidArgument beyond that.
+std::uint64_t stirling2(unsigned n, unsigned k);
+
+/// Bell number B(n) = sum_k S(n, k): total partitions of an n-set. Exact in
+/// uint64 for n <= 25.
+std::uint64_t bell_number(unsigned n);
+
+/// Binomial coefficient C(n, k); exact in uint64 for the ranges used here.
+std::uint64_t binomial(unsigned n, unsigned k);
+
+/// Row n of the Stirling-2 triangle: {S(n,0), ..., S(n,n)}.
+std::vector<std::uint64_t> stirling2_row(unsigned n);
+
+/// Size of the "lower cone" explored by the paper's search (§III): partitions
+/// of an n-set that keep a distinguished block K intact and refine the rest,
+/// i.e. Bell(m) where m = |S - K|.
+std::uint64_t lattice_cone_size(unsigned m);
+
+}  // namespace iotml::comb

@@ -1,0 +1,221 @@
+#include "combinatorics/ldd.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace iotml::comb {
+
+std::vector<unsigned> ldd_encoding(Subset s, unsigned n) {
+  IOTML_CHECK(n >= 1 && n <= 30, "ldd_encoding: n out of range");
+  IOTML_CHECK(s < (Subset{1} << n), "ldd_encoding: subset out of range");
+  // Slots 1..n+1 stored at indices 0..n.
+  std::vector<unsigned> c(n + 1, 1);
+  for (unsigned k = 1; k <= n; ++k) {
+    if ((s >> (k - 1)) & 1u) {
+      c[k] += c[k - 1];
+      c[k - 1] = 0;
+    }
+  }
+  return c;
+}
+
+std::vector<std::size_t> ldd_type(Subset s, unsigned n) {
+  const std::vector<unsigned> c = ldd_encoding(s, n);
+  std::vector<std::size_t> type;
+  for (auto it = c.rbegin(); it != c.rend(); ++it) {
+    if (*it != 0) type.push_back(*it);
+  }
+  return type;
+}
+
+namespace {
+
+template <typename T>
+std::string digits_impl(const std::vector<T>& digits) {
+  bool wide = false;
+  for (T d : digits) {
+    if (d > 9) wide = true;
+  }
+  std::string out;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (wide && i > 0) out += '.';
+    out += std::to_string(digits[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string digits_to_string(const std::vector<unsigned>& digits) {
+  return digits_impl(digits);
+}
+
+std::string digits_to_string(const std::vector<std::size_t>& digits) {
+  return digits_impl(digits);
+}
+
+bool PartitionChain::is_symmetric(unsigned lattice_rank) const {
+  if (partitions.empty()) return false;
+  return partitions.front().rank() + partitions.back().rank() == lattice_rank;
+}
+
+LddDecomposition::LddDecomposition(unsigned n) : n_(n) {
+  IOTML_CHECK(n >= 1 && n <= 9, "LddDecomposition: n must be in [1, 9]");
+  const BooleanChainDecomposition boolean(n);
+
+  // Each B_n chain becomes one group of rows; the type classes of all rows
+  // tile Pi_{n+1} (S -> type(S) is a bijection onto compositions of n+1).
+  for (const BooleanChain& bchain : boolean.chains()) {
+    LddChainGroup group;
+    group.rows.reserve(bchain.sets.size());
+    for (Subset s : bchain.sets) {
+      LddRow row;
+      row.set = s;
+      row.encoding = ldd_encoding(s, n);
+      row.type = ldd_type(s, n);
+      row.partitions = partitions_of_type(row.type);
+      covered_ += row.partitions.size();
+      group.rows.push_back(std::move(row));
+    }
+    groups_.push_back(std::move(group));
+  }
+
+  for (const LddChainGroup& group : groups_) build_chains_for_group(group);
+}
+
+namespace {
+
+/// Kuhn augmenting-path bipartite matching. Left vertices are processed in
+/// the given priority order; because matchable left-vertex sets form a
+/// transversal matroid, this greedy order yields a maximum matching that
+/// prefers saturating high-priority vertices.
+class BipartiteMatcher {
+ public:
+  BipartiteMatcher(std::size_t left, std::size_t right)
+      : adj_(left), match_right_(right, SIZE_MAX), match_left_(left, SIZE_MAX) {}
+
+  void add_edge(std::size_t l, std::size_t r) { adj_[l].push_back(r); }
+
+  void run(const std::vector<std::size_t>& left_priority_order) {
+    for (std::size_t l : left_priority_order) {
+      std::vector<bool> visited(match_right_.size(), false);
+      try_augment(l, visited);
+    }
+  }
+
+  std::size_t match_of_left(std::size_t l) const { return match_left_[l]; }
+
+ private:
+  bool try_augment(std::size_t l, std::vector<bool>& visited) {
+    for (std::size_t r : adj_[l]) {
+      if (visited[r]) continue;
+      visited[r] = true;
+      if (match_right_[r] == SIZE_MAX || try_augment(match_right_[r], visited)) {
+        match_right_[r] = l;
+        match_left_[l] = r;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<std::vector<std::size_t>> adj_;
+  std::vector<std::size_t> match_right_;
+  std::vector<std::size_t> match_left_;
+};
+
+}  // namespace
+
+void LddDecomposition::build_chains_for_group(const LddChainGroup& group) {
+  if (group.rows.empty()) return;
+
+  // chain_id[r][i]: index into `building` of the chain currently ending at
+  // partition i of row r.
+  std::vector<PartitionChain> building;
+  std::vector<std::size_t> current_chain;  // for the active row
+  current_chain.reserve(group.rows.front().partitions.size());
+  for (const SetPartition& p : group.rows.front().partitions) {
+    building.push_back(PartitionChain{{p}});
+    current_chain.push_back(building.size() - 1);
+  }
+
+  for (std::size_t r = 0; r + 1 < group.rows.size(); ++r) {
+    const auto& lower = group.rows[r].partitions;
+    const auto& upper = group.rows[r + 1].partitions;
+    const std::size_t lower_rank = lower.front().rank();
+
+    // A symmetric chain starting at rank s must end exactly at rank n - s
+    // (the lattice rank of Pi_{n+1} is n). Chains that reached their
+    // symmetric target are retired here rather than extended greedily —
+    // letting them run on would consume partitions that chains started at
+    // higher rank need, breaking the LDD coverage guarantee.
+    auto target_of = [&](std::size_t chain_id) {
+      return static_cast<std::size_t>(n_) - building[chain_id].partitions.front().rank();
+    };
+
+    BipartiteMatcher matcher(lower.size(), upper.size());
+    for (std::size_t i = 0; i < lower.size(); ++i) {
+      if (target_of(current_chain[i]) <= lower_rank) continue;  // retired
+      for (std::size_t j = 0; j < upper.size(); ++j) {
+        if (lower[i].covered_by(upper[j])) matcher.add_edge(i, j);
+      }
+    }
+    // Priority: extend chains whose start rank is lowest first, so the long
+    // (symmetric) chains keep growing; ties by index for determinism.
+    std::vector<std::size_t> order(lower.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const std::size_t ra = building[current_chain[a]].partitions.front().rank();
+      const std::size_t rb = building[current_chain[b]].partitions.front().rank();
+      if (ra != rb) return ra < rb;
+      return a < b;
+    });
+    matcher.run(order);
+
+    std::vector<std::size_t> next_chain(upper.size(), SIZE_MAX);
+    for (std::size_t i = 0; i < lower.size(); ++i) {
+      const std::size_t j = matcher.match_of_left(i);
+      if (j != SIZE_MAX) {
+        building[current_chain[i]].partitions.push_back(upper[j]);
+        next_chain[j] = current_chain[i];
+      }
+      // Unmatched lower partitions terminate their chain (already stored).
+    }
+    for (std::size_t j = 0; j < upper.size(); ++j) {
+      if (next_chain[j] == SIZE_MAX) {
+        building.push_back(PartitionChain{{upper[j]}});
+        next_chain[j] = building.size() - 1;
+      }
+    }
+    current_chain = std::move(next_chain);
+  }
+
+  for (PartitionChain& chain : building) chains_.push_back(std::move(chain));
+}
+
+std::size_t LddDecomposition::symmetric_chain_count() const {
+  std::size_t count = 0;
+  for (const PartitionChain& c : chains_) {
+    if (c.is_symmetric(lattice_rank())) ++count;
+  }
+  return count;
+}
+
+bool LddDecomposition::symmetric_below_rank(unsigned max_rank) const {
+  std::unordered_set<SetPartition, SetPartitionHash> on_symmetric;
+  for (const PartitionChain& c : chains_) {
+    if (!c.is_symmetric(lattice_rank())) continue;
+    for (const SetPartition& p : c.partitions) on_symmetric.insert(p);
+  }
+  for (const PartitionChain& c : chains_) {
+    for (const SetPartition& p : c.partitions) {
+      if (p.rank() <= max_rank && !on_symmetric.contains(p)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace iotml::comb

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "combinatorics/boolean_lattice.hpp"
+#include "combinatorics/partition.hpp"
+
+namespace iotml::comb {
+
+/// The Loeb-Damiani-D'Antona encoding c(S) of a subset S of {1..n} as a
+/// weight vector over n+1 slots [11].
+///
+/// Start with c = (1, 1, ..., 1) (n+1 ones). For each element k of S in
+/// ascending order, merge the weight of slot k into slot k+1:
+/// c[k+1] += c[k]; c[k] = 0. For n = 3 this reproduces the paper's Table I
+/// column c(S): c(∅)=1111, c({1})=0211, c({2,3})=1003, ...
+std::vector<unsigned> ldd_encoding(Subset s, unsigned n);
+
+/// The partition *type* associated with S: the composition of n+1 obtained
+/// by reading c(S) right-to-left and dropping zeros (Table I's arrow column:
+/// 0031 -> 13, 1003 -> 31, 1021 -> 121, ...).
+///
+/// A partition of {1..n+1} "has type" a composition (t_1,...,t_m) when its
+/// blocks, ordered by minimum element, have sizes t_1, ..., t_m. The map
+/// S -> type(S) is a bijection between B_n and the compositions of n+1, so
+/// the type classes partition Pi_{n+1}.
+std::vector<std::size_t> ldd_type(Subset s, unsigned n);
+
+/// Render a c(S) vector or a composition as a digit string ("1021", "121").
+/// Multi-digit entries are separated by '.' (only needed for n+1 > 9).
+std::string digits_to_string(const std::vector<unsigned>& digits);
+std::string digits_to_string(const std::vector<std::size_t>& digits);
+
+/// One row of a chain group: a subset S on a B_n chain together with its
+/// encoding, its type, and every partition of Pi_{n+1} with that type.
+struct LddRow {
+  Subset set = 0;
+  std::vector<unsigned> encoding;
+  std::vector<std::size_t> type;
+  std::vector<SetPartition> partitions;
+};
+
+/// All rows arising from one symmetric chain of B_n (the paper's Table I has
+/// one group per chain C1, C2, C3).
+struct LddChainGroup {
+  std::vector<LddRow> rows;  ///< ascending along the B_n chain (coarsening)
+};
+
+/// A saturated chain of partitions in Pi_{n+1} assembled from consecutive
+/// rows of one group.
+struct PartitionChain {
+  std::vector<SetPartition> partitions;  ///< finest first
+
+  std::size_t length() const noexcept { return partitions.size(); }
+  /// Symmetric about the middle rank of Pi_{n+1} (whose rank is n):
+  /// rank(first) + rank(last) == n.
+  bool is_symmetric(unsigned lattice_rank) const;
+};
+
+/// The Loeb-Damiani-D'Antona decomposition of Pi_{n+1} driven by the de
+/// Bruijn decomposition of B_n [11], [12].
+///
+/// Construction: take the symmetric chain decomposition of B_n; each chain
+/// yields a group of rows (one per subset) whose type classes tile
+/// Pi_{n+1} exactly. Within each group, partitions at consecutive rows are
+/// matched along covering relations (maximum bipartite matching with
+/// priority to chains that started at lower rank), producing a collection of
+/// disjoint saturated chains. LDD prove a maximal collection of *symmetric*
+/// chains exists containing every partition of rank <= floor((n-1)/2); the
+/// matching here realizes that collection and reports coverage statistics.
+class LddDecomposition {
+ public:
+  /// Decompose Pi_{n+1} from the chain decomposition of B_n. Practical for
+  /// n <= 9 (|Pi_10| = 115975).
+  explicit LddDecomposition(unsigned n);
+
+  unsigned n() const noexcept { return n_; }
+
+  /// Rank of the lattice Pi_{n+1} (= n).
+  unsigned lattice_rank() const noexcept { return n_; }
+
+  const std::vector<LddChainGroup>& groups() const noexcept { return groups_; }
+  const std::vector<PartitionChain>& partition_chains() const noexcept { return chains_; }
+
+  /// Total partitions across all groups (equals Bell(n+1): the type classes
+  /// tile the lattice).
+  std::size_t covered_partitions() const noexcept { return covered_; }
+
+  /// Number of chains that are symmetric.
+  std::size_t symmetric_chain_count() const;
+
+  /// True iff every partition of rank <= max_rank lies on a symmetric chain
+  /// (the LDD guarantee holds for max_rank = floor((n-1)/2)).
+  bool symmetric_below_rank(unsigned max_rank) const;
+
+ private:
+  unsigned n_;
+  std::vector<LddChainGroup> groups_;
+  std::vector<PartitionChain> chains_;
+  std::size_t covered_ = 0;
+
+  void build_chains_for_group(const LddChainGroup& group);
+};
+
+}  // namespace iotml::comb

@@ -1,0 +1,385 @@
+#include "combinatorics/partition.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "combinatorics/counting.hpp"
+#include "util/error.hpp"
+
+namespace iotml::comb {
+
+namespace {
+
+/// Canonicalize an arbitrary block-label vector into a restricted growth
+/// string (labels renumbered by order of first appearance).
+std::vector<int> canonicalize(const std::vector<int>& assignment) {
+  std::vector<int> rgs(assignment.size());
+  std::map<int, int> relabel;
+  int next = 0;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    auto [it, inserted] = relabel.try_emplace(assignment[i], next);
+    if (inserted) ++next;
+    rgs[i] = it->second;
+  }
+  return rgs;
+}
+
+}  // namespace
+
+SetPartition::SetPartition(std::vector<int> rgs) : rgs_(std::move(rgs)) {
+  int max_label = -1;
+  for (int label : rgs_) {
+    IOTML_CHECK(label >= 0 && label <= max_label + 1,
+                "SetPartition: not a restricted growth string");
+    max_label = std::max(max_label, label);
+  }
+  num_blocks_ = static_cast<std::size_t>(max_label + 1);
+}
+
+SetPartition SetPartition::discrete(std::size_t n) {
+  std::vector<int> rgs(n);
+  std::iota(rgs.begin(), rgs.end(), 0);
+  return SetPartition(std::move(rgs));
+}
+
+SetPartition SetPartition::indiscrete(std::size_t n) {
+  IOTML_CHECK(n > 0, "SetPartition::indiscrete: empty ground set");
+  return SetPartition(std::vector<int>(n, 0));
+}
+
+SetPartition SetPartition::from_blocks(
+    const std::vector<std::vector<std::size_t>>& blocks, std::size_t n) {
+  std::vector<int> assignment(n, -1);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    IOTML_CHECK(!blocks[b].empty(), "SetPartition::from_blocks: empty block");
+    for (std::size_t e : blocks[b]) {
+      IOTML_CHECK(e < n, "SetPartition::from_blocks: element out of range");
+      IOTML_CHECK(assignment[e] == -1, "SetPartition::from_blocks: overlapping blocks");
+      assignment[e] = static_cast<int>(b);
+    }
+  }
+  for (std::size_t e = 0; e < n; ++e) {
+    IOTML_CHECK(assignment[e] != -1, "SetPartition::from_blocks: blocks do not cover set");
+  }
+  return SetPartition(canonicalize(assignment));
+}
+
+SetPartition SetPartition::from_assignment(const std::vector<int>& assignment) {
+  IOTML_CHECK(!assignment.empty(), "SetPartition::from_assignment: empty assignment");
+  return SetPartition(canonicalize(assignment));
+}
+
+int SetPartition::block_of(std::size_t i) const {
+  IOTML_CHECK(i < rgs_.size(), "SetPartition::block_of: element out of range");
+  return rgs_[i];
+}
+
+std::vector<std::vector<std::size_t>> SetPartition::blocks() const {
+  std::vector<std::vector<std::size_t>> out(num_blocks_);
+  for (std::size_t i = 0; i < rgs_.size(); ++i) {
+    out[static_cast<std::size_t>(rgs_[i])].push_back(i);
+  }
+  return out;
+}
+
+bool SetPartition::together(std::size_t i, std::size_t j) const {
+  IOTML_CHECK(i < rgs_.size() && j < rgs_.size(),
+              "SetPartition::together: element out of range");
+  return rgs_[i] == rgs_[j];
+}
+
+bool SetPartition::refines(const SetPartition& coarser) const {
+  IOTML_CHECK(ground_size() == coarser.ground_size(),
+              "SetPartition::refines: ground set mismatch");
+  // this refines coarser iff rgs_ determines coarser.rgs_: elements in the
+  // same block of this must be in the same block of coarser.
+  std::vector<int> image(num_blocks_, -1);
+  for (std::size_t i = 0; i < rgs_.size(); ++i) {
+    int mine = rgs_[i];
+    int theirs = coarser.rgs_[i];
+    if (image[static_cast<std::size_t>(mine)] == -1) {
+      image[static_cast<std::size_t>(mine)] = theirs;
+    } else if (image[static_cast<std::size_t>(mine)] != theirs) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SetPartition SetPartition::meet(const SetPartition& other) const {
+  IOTML_CHECK(ground_size() == other.ground_size(),
+              "SetPartition::meet: ground set mismatch");
+  // Blocks of the meet are nonempty intersections: label each element by the
+  // pair (block in this, block in other).
+  std::vector<int> assignment(rgs_.size());
+  const int stride = static_cast<int>(other.num_blocks_);
+  for (std::size_t i = 0; i < rgs_.size(); ++i) {
+    assignment[i] = rgs_[i] * stride + other.rgs_[i];
+  }
+  return from_assignment(assignment);
+}
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+SetPartition SetPartition::join(const SetPartition& other) const {
+  IOTML_CHECK(ground_size() == other.ground_size(),
+              "SetPartition::join: ground set mismatch");
+  const std::size_t n = rgs_.size();
+  UnionFind uf(n);
+  // Union consecutive elements of each block in both partitions; the
+  // connected components are the join's blocks.
+  std::vector<std::size_t> first_seen_this(num_blocks_, n);
+  std::vector<std::size_t> first_seen_other(other.num_blocks_, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& ft = first_seen_this[static_cast<std::size_t>(rgs_[i])];
+    if (ft == n) ft = i; else uf.unite(ft, i);
+    auto& fo = first_seen_other[static_cast<std::size_t>(other.rgs_[i])];
+    if (fo == n) fo = i; else uf.unite(fo, i);
+  }
+  std::vector<int> assignment(n);
+  for (std::size_t i = 0; i < n; ++i) assignment[i] = static_cast<int>(uf.find(i));
+  return from_assignment(assignment);
+}
+
+bool SetPartition::covered_by(const SetPartition& coarser) const {
+  if (ground_size() != coarser.ground_size()) return false;
+  if (coarser.num_blocks_ + 1 != num_blocks_) return false;
+  return refines(coarser);
+}
+
+SetPartition SetPartition::merge_blocks(std::size_t a, std::size_t b) const {
+  IOTML_CHECK(a < num_blocks_ && b < num_blocks_ && a != b,
+              "SetPartition::merge_blocks: bad block indices");
+  std::vector<int> assignment = rgs_;
+  for (int& label : assignment) {
+    if (label == static_cast<int>(b)) label = static_cast<int>(a);
+  }
+  return from_assignment(assignment);
+}
+
+std::vector<SetPartition> SetPartition::upward_covers() const {
+  std::vector<SetPartition> out;
+  out.reserve(num_blocks_ * (num_blocks_ - 1) / 2);
+  for (std::size_t a = 0; a < num_blocks_; ++a) {
+    for (std::size_t b = a + 1; b < num_blocks_; ++b) {
+      out.push_back(merge_blocks(a, b));
+    }
+  }
+  return out;
+}
+
+std::vector<SetPartition> SetPartition::downward_covers() const {
+  std::vector<SetPartition> out;
+  const auto blks = blocks();
+  for (std::size_t b = 0; b < blks.size(); ++b) {
+    const auto& block = blks[b];
+    if (block.size() < 2) continue;
+    // Enumerate proper nonempty bipartitions of the block. Fix the first
+    // element in side 0 to avoid double counting: 2^(m-1) - 1 splits.
+    const std::size_t m = block.size();
+    IOTML_CHECK(m <= 63, "SetPartition::downward_covers: block too large");
+    const std::uint64_t limit = std::uint64_t{1} << (m - 1);
+    for (std::uint64_t mask = 1; mask < limit; ++mask) {
+      std::vector<int> assignment = rgs_;
+      const int new_label = static_cast<int>(num_blocks_);
+      for (std::size_t j = 1; j < m; ++j) {
+        if (mask & (std::uint64_t{1} << (j - 1))) {
+          assignment[block[j]] = new_label;
+        }
+      }
+      out.push_back(from_assignment(assignment));
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> SetPartition::type() const {
+  std::vector<std::size_t> sizes(num_blocks_, 0);
+  for (int label : rgs_) ++sizes[static_cast<std::size_t>(label)];
+  return sizes;
+}
+
+std::string SetPartition::to_string() const {
+  const auto blks = blocks();
+  std::string out;
+  for (std::size_t b = 0; b < blks.size(); ++b) {
+    if (b > 0) out += '/';
+    for (std::size_t e : blks[b]) {
+      if (e + 1 < 10) {
+        out += static_cast<char>('1' + e);
+      } else {
+        if (!out.empty() && out.back() != '/') out += ',';
+        out += std::to_string(e + 1);
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t SetPartitionHash::operator()(const SetPartition& p) const noexcept {
+  // FNV-1a over the RGS labels.
+  std::size_t h = 1469598103934665603ull;
+  for (int label : p.rgs_) {
+    h ^= static_cast<std::size_t>(label) + 0x9e3779b97f4a7c15ull;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// ---- Enumeration -----------------------------------------------------------
+
+PartitionEnumerator::PartitionEnumerator(std::size_t n) : n_(n) {
+  IOTML_CHECK(n > 0, "PartitionEnumerator: empty ground set");
+  reset();
+}
+
+void PartitionEnumerator::reset() {
+  rgs_.assign(n_, 0);
+  max_prefix_.assign(n_, 0);
+  has_next_ = true;
+}
+
+SetPartition PartitionEnumerator::next() {
+  IOTML_CHECK(has_next_, "PartitionEnumerator::next: exhausted");
+  SetPartition current = SetPartition::from_assignment(rgs_);
+  advance();
+  return current;
+}
+
+void PartitionEnumerator::advance() {
+  // Standard RGS successor: find the rightmost position that can be
+  // incremented (rgs[i] <= max_prefix[i-1]), increment it, zero the suffix.
+  for (std::size_t i = n_; i-- > 1;) {
+    if (rgs_[i] <= max_prefix_[i - 1]) {
+      ++rgs_[i];
+      max_prefix_[i] = std::max(max_prefix_[i - 1], rgs_[i]);
+      for (std::size_t j = i + 1; j < n_; ++j) {
+        rgs_[j] = 0;
+        max_prefix_[j] = max_prefix_[i];
+      }
+      return;
+    }
+  }
+  has_next_ = false;
+}
+
+std::vector<SetPartition> all_partitions(std::size_t n) {
+  IOTML_CHECK(n > 0 && n <= 14, "all_partitions: n must be in [1, 14]");
+  std::vector<SetPartition> out;
+  out.reserve(static_cast<std::size_t>(bell_number(static_cast<unsigned>(n))));
+  PartitionEnumerator e(n);
+  while (e.has_next()) out.push_back(e.next());
+  return out;
+}
+
+std::vector<SetPartition> partitions_with_blocks(std::size_t n, std::size_t k) {
+  IOTML_CHECK(k >= 1 && k <= n, "partitions_with_blocks: k out of range");
+  std::vector<SetPartition> out;
+  PartitionEnumerator e(n);
+  while (e.has_next()) {
+    SetPartition p = e.next();
+    if (p.num_blocks() == k) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+namespace {
+
+/// Recursive enumeration of partitions of a fixed composition type: blocks in
+/// min-element order; block i always claims the smallest unplaced element.
+void enumerate_type(const std::vector<std::size_t>& composition, std::size_t depth,
+                    std::vector<std::size_t>& remaining,
+                    std::vector<std::vector<std::size_t>>& blocks_acc, std::size_t n,
+                    std::vector<SetPartition>& out) {
+  if (depth == composition.size()) {
+    out.push_back(SetPartition::from_blocks(blocks_acc, n));
+    return;
+  }
+  const std::size_t size = composition[depth];
+  // The block must contain the minimum remaining element (min-ordering).
+  const std::size_t anchor = remaining.front();
+  std::vector<std::size_t> rest(remaining.begin() + 1, remaining.end());
+
+  // Choose size-1 extra members from rest.
+  std::vector<std::size_t> choice(size - 1);
+  std::function<void(std::size_t, std::size_t)> choose = [&](std::size_t start,
+                                                             std::size_t picked) {
+    if (picked == size - 1) {
+      std::vector<std::size_t> block{anchor};
+      block.insert(block.end(), choice.begin(), choice.end());
+      std::vector<std::size_t> next_remaining;
+      std::size_t ci = 0;
+      for (std::size_t e : rest) {
+        if (ci < choice.size() && choice[ci] == e) {
+          ++ci;
+        } else {
+          next_remaining.push_back(e);
+        }
+      }
+      blocks_acc.push_back(std::move(block));
+      std::swap(remaining, next_remaining);
+      enumerate_type(composition, depth + 1, remaining, blocks_acc, n, out);
+      std::swap(remaining, next_remaining);
+      blocks_acc.pop_back();
+      return;
+    }
+    for (std::size_t i = start; i < rest.size(); ++i) {
+      choice[picked] = rest[i];
+      choose(i + 1, picked + 1);
+    }
+  };
+  choose(0, 0);
+}
+
+}  // namespace
+
+std::vector<SetPartition> partitions_of_type(const std::vector<std::size_t>& composition) {
+  std::size_t n = 0;
+  for (std::size_t part : composition) {
+    IOTML_CHECK(part >= 1, "partitions_of_type: composition parts must be >= 1");
+    n += part;
+  }
+  IOTML_CHECK(n > 0, "partitions_of_type: empty composition");
+  std::vector<std::size_t> remaining(n);
+  std::iota(remaining.begin(), remaining.end(), std::size_t{0});
+  std::vector<std::vector<std::size_t>> blocks_acc;
+  std::vector<SetPartition> out;
+  enumerate_type(composition, 0, remaining, blocks_acc, n, out);
+  return out;
+}
+
+std::uint64_t count_partitions_of_type(const std::vector<std::size_t>& composition) {
+  std::size_t n = 0;
+  for (std::size_t part : composition) n += part;
+  std::uint64_t count = 1;
+  std::size_t remaining = n;
+  for (std::size_t part : composition) {
+    IOTML_CHECK(part >= 1 && part <= remaining, "count_partitions_of_type: bad composition");
+    count *= binomial(static_cast<unsigned>(remaining - 1), static_cast<unsigned>(part - 1));
+    remaining -= part;
+  }
+  return count;
+}
+
+}  // namespace iotml::comb

@@ -1,0 +1,158 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace iotml::comb {
+
+/// A partition of the ground set {0, 1, ..., n-1} into nonempty blocks.
+///
+/// Internally stored as a *restricted growth string* (RGS): `rgs[i]` is the
+/// index of the block containing element i, with the canonicity constraint
+/// rgs[0] == 0 and rgs[i] <= max(rgs[0..i-1]) + 1. This gives every partition
+/// a unique representation, cheap equality/hashing, and a natural enumeration
+/// order.
+///
+/// Terminology follows the paper (§III): a partition pi is *finer* than pi'
+/// (pi <= pi') iff every block of pi' is a union of blocks of pi. The set
+/// Pi(S) of all partitions ordered by refinement is a complete lattice.
+/// The *rank* of a partition of an n-set with b blocks is n - b (so the
+/// discrete partition has rank 0 and the one-block partition rank n-1).
+class SetPartition {
+ public:
+  /// The discrete partition {0}/{1}/.../{n-1} (finest, rank 0).
+  static SetPartition discrete(std::size_t n);
+
+  /// The one-block partition {0,...,n-1} (coarsest, rank n-1).
+  static SetPartition indiscrete(std::size_t n);
+
+  /// Build from an explicit block list over ground set {0..n-1}. Blocks must
+  /// be disjoint, nonempty, and cover the ground set; element order within
+  /// blocks is irrelevant.
+  static SetPartition from_blocks(const std::vector<std::vector<std::size_t>>& blocks,
+                                  std::size_t n);
+
+  /// Build from a (not necessarily canonical) block-assignment vector:
+  /// assignment[i] = arbitrary label of the block containing i. Labels are
+  /// renumbered into canonical RGS form.
+  static SetPartition from_assignment(const std::vector<int>& assignment);
+
+  SetPartition() = default;
+
+  std::size_t ground_size() const noexcept { return rgs_.size(); }
+  std::size_t num_blocks() const noexcept { return num_blocks_; }
+
+  /// Lattice rank: ground_size() - num_blocks().
+  std::size_t rank() const noexcept { return rgs_.size() - num_blocks_; }
+
+  /// Block index (0-based, canonical order = order of first appearance) of
+  /// element i.
+  int block_of(std::size_t i) const;
+
+  /// Blocks as sorted element lists, in canonical block order. Canonical
+  /// order by construction equals ordering blocks by their minimum element.
+  std::vector<std::vector<std::size_t>> blocks() const;
+
+  /// The canonical restricted growth string.
+  const std::vector<int>& rgs() const noexcept { return rgs_; }
+
+  /// True iff elements i and j are in the same block.
+  bool together(std::size_t i, std::size_t j) const;
+
+  /// True iff *this is finer than or equal to `coarser` (every block of this
+  /// is contained in a block of `coarser`).
+  bool refines(const SetPartition& coarser) const;
+
+  /// Lattice meet: the coarsest partition finer than both (common refinement;
+  /// blocks are pairwise intersections).
+  SetPartition meet(const SetPartition& other) const;
+
+  /// Lattice join: the finest partition coarser than both (transitive closure
+  /// of the union of the two equivalence relations).
+  SetPartition join(const SetPartition& other) const;
+
+  /// True iff `coarser` covers *this in the refinement order, i.e. `coarser`
+  /// results from merging exactly two blocks of *this.
+  bool covered_by(const SetPartition& coarser) const;
+
+  /// All partitions covering *this (merge each pair of blocks): the upward
+  /// covers in the Hasse diagram. There are b(b-1)/2 of them for b blocks.
+  std::vector<SetPartition> upward_covers() const;
+
+  /// All partitions covered by *this (split one block into two nonempty
+  /// parts): the downward covers in the Hasse diagram.
+  std::vector<SetPartition> downward_covers() const;
+
+  /// Merge blocks a and b (block indices), yielding a coarser partition.
+  SetPartition merge_blocks(std::size_t a, std::size_t b) const;
+
+  /// Block sizes in canonical block order (the partition's *type* as a
+  /// composition, used by the Loeb-Damiani-D'Antona construction).
+  std::vector<std::size_t> type() const;
+
+  /// Human-readable form using 1-based element labels, e.g. "12/3/4" for
+  /// {{0,1},{2},{3}} — matching the paper's Table I notation.
+  std::string to_string() const;
+
+  bool operator==(const SetPartition& other) const noexcept { return rgs_ == other.rgs_; }
+  bool operator!=(const SetPartition& other) const noexcept { return !(*this == other); }
+
+  /// Total order for use in std::map / sorting (lexicographic on RGS).
+  bool operator<(const SetPartition& other) const noexcept { return rgs_ < other.rgs_; }
+
+ private:
+  explicit SetPartition(std::vector<int> rgs);
+
+  std::vector<int> rgs_;
+  std::size_t num_blocks_ = 0;
+
+  friend struct SetPartitionHash;
+  friend class PartitionEnumerator;
+};
+
+/// Hash functor so SetPartition can key unordered containers.
+struct SetPartitionHash {
+  std::size_t operator()(const SetPartition& p) const noexcept;
+};
+
+/// Streaming enumerator over all partitions of an n-set in RGS lexicographic
+/// order (Bell(n) of them). Usage:
+///   PartitionEnumerator e(4);
+///   while (e.has_next()) { SetPartition p = e.next(); ... }
+class PartitionEnumerator {
+ public:
+  explicit PartitionEnumerator(std::size_t n);
+
+  bool has_next() const noexcept { return has_next_; }
+  SetPartition next();
+
+  /// Restart from the discrete partition.
+  void reset();
+
+ private:
+  std::size_t n_;
+  std::vector<int> rgs_;
+  std::vector<int> max_prefix_;  // max_prefix_[i] = max(rgs_[0..i])
+  bool has_next_ = true;
+
+  void advance();
+};
+
+/// Convenience: materialize all partitions of an n-set. Guarded against
+/// blow-up: throws InvalidArgument for n > 14 (Bell(14) = 190'899'322).
+std::vector<SetPartition> all_partitions(std::size_t n);
+
+/// All partitions of an n-set with exactly k blocks (Stirling-many).
+std::vector<SetPartition> partitions_with_blocks(std::size_t n, std::size_t k);
+
+/// All partitions whose type (block sizes in canonical min-ordered block
+/// order) equals the given composition of n. Used by the LDD decomposition.
+std::vector<SetPartition> partitions_of_type(const std::vector<std::size_t>& composition);
+
+/// Number of partitions of type `composition` without enumerating them:
+/// prod_i C(r_i - 1, t_i - 1) with r_i the number of elements still unplaced.
+std::uint64_t count_partitions_of_type(const std::vector<std::size_t>& composition);
+
+}  // namespace iotml::comb

@@ -1,0 +1,53 @@
+#include "combinatorics/partition_lattice.hpp"
+
+#include "util/error.hpp"
+
+namespace iotml::comb {
+
+PartitionLattice::PartitionLattice(std::size_t n) : n_(n) {
+  IOTML_CHECK(n >= 1 && n <= 10, "PartitionLattice: n must be in [1, 10]");
+  elements_ = all_partitions(n);
+  index_.reserve(elements_.size());
+  for (std::size_t id = 0; id < elements_.size(); ++id) {
+    index_.emplace(elements_[id], id);
+  }
+
+  levels_.assign(n, {});
+  for (std::size_t id = 0; id < elements_.size(); ++id) {
+    levels_[elements_[id].rank()].push_back(id);
+  }
+
+  up_.assign(elements_.size(), {});
+  down_.assign(elements_.size(), {});
+  for (std::size_t id = 0; id < elements_.size(); ++id) {
+    for (const SetPartition& coarser : elements_[id].upward_covers()) {
+      const std::size_t cid = index_.at(coarser);
+      up_[id].push_back(cid);
+      down_[cid].push_back(id);
+      ++edges_;
+    }
+  }
+}
+
+std::size_t PartitionLattice::id_of(const SetPartition& p) const {
+  auto it = index_.find(p);
+  IOTML_CHECK(it != index_.end(), "PartitionLattice::id_of: partition not in lattice");
+  return it->second;
+}
+
+const std::vector<std::size_t>& PartitionLattice::level(std::size_t rank) const {
+  IOTML_CHECK(rank < levels_.size(), "PartitionLattice::level: rank out of range");
+  return levels_[rank];
+}
+
+const std::vector<std::size_t>& PartitionLattice::covers_above(std::size_t id) const {
+  IOTML_CHECK(id < up_.size(), "PartitionLattice::covers_above: id out of range");
+  return up_[id];
+}
+
+const std::vector<std::size_t>& PartitionLattice::covers_below(std::size_t id) const {
+  IOTML_CHECK(id < down_.size(), "PartitionLattice::covers_below: id out of range");
+  return down_[id];
+}
+
+}  // namespace iotml::comb

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "combinatorics/partition.hpp"
+
+namespace iotml::comb {
+
+/// Materialized partition lattice Pi_n with its Hasse diagram (Fig. 2 of the
+/// paper is PartitionLattice(4)). Intended for small n (n <= 10); the search
+/// strategies in src/core never materialize the lattice, they walk it.
+class PartitionLattice {
+ public:
+  explicit PartitionLattice(std::size_t n);
+
+  std::size_t ground_size() const noexcept { return n_; }
+  std::size_t size() const noexcept { return elements_.size(); }
+
+  /// Lattice rank = n - 1.
+  std::size_t rank() const noexcept { return n_ - 1; }
+
+  const std::vector<SetPartition>& elements() const noexcept { return elements_; }
+  const SetPartition& element(std::size_t id) const { return elements_[id]; }
+
+  /// Id of a partition (throws InvalidArgument if not from this ground set).
+  std::size_t id_of(const SetPartition& p) const;
+
+  /// Ids of partitions at the given rank (level of the Hasse diagram);
+  /// level r has Stirling2(n, n - r) elements.
+  const std::vector<std::size_t>& level(std::size_t rank) const;
+
+  /// Upward covers in the Hasse diagram (ids of coarser partitions obtained
+  /// by merging two blocks).
+  const std::vector<std::size_t>& covers_above(std::size_t id) const;
+
+  /// Downward covers (ids of finer partitions obtained by splitting a block
+  /// in two).
+  const std::vector<std::size_t>& covers_below(std::size_t id) const;
+
+  /// Total number of covering pairs (edges of the Hasse diagram).
+  std::size_t edge_count() const noexcept { return edges_; }
+
+ private:
+  std::size_t n_;
+  std::vector<SetPartition> elements_;
+  std::unordered_map<SetPartition, std::size_t, SetPartitionHash> index_;
+  std::vector<std::vector<std::size_t>> levels_;
+  std::vector<std::vector<std::size_t>> up_;
+  std::vector<std::vector<std::size_t>> down_;
+  std::size_t edges_ = 0;
+};
+
+}  // namespace iotml::comb

@@ -1,0 +1,102 @@
+#include "core/faceted_learner.hpp"
+
+#include <algorithm>
+
+#include "data/metrics.hpp"
+#include "multiview/views.hpp"
+#include "pipeline/reduction.hpp"
+#include "roughsets/roughsets.hpp"
+#include "util/error.hpp"
+
+namespace iotml::core {
+
+std::string strategy_name(SearchStrategy s) {
+  switch (s) {
+    case SearchStrategy::kExhaustive: return "exhaustive";
+    case SearchStrategy::kGreedyRefinement: return "greedy-refinement";
+    case SearchStrategy::kChain: return "chain";
+    case SearchStrategy::kSmushing: return "smushing";
+  }
+  return "?";
+}
+
+FacetedLearner::FacetedLearner(FacetedLearnerConfig config)
+    : config_(std::move(config)) {
+  IOTML_CHECK(config_.rough_bins >= 2, "FacetedLearner: rough_bins must be >= 2");
+  IOTML_CHECK(config_.rough_max_k >= 1, "FacetedLearner: rough_max_k must be >= 1");
+}
+
+void FacetedLearner::fit(const data::Samples& train) {
+  IOTML_CHECK(!train.y.empty(), "FacetedLearner::fit: unlabeled training set");
+  IOTML_CHECK(train.dim() >= 2, "FacetedLearner::fit: need at least 2 features");
+
+  // 1. Distinguished block K via rough sets on a discretized copy.
+  k_block_.clear();
+  if (config_.rough_select_k && train.dim() >= 3) {
+    data::Dataset discretized = data::samples_to_dataset(train);
+    pipeline::discretize_all(discretized, pipeline::DiscretizeKind::kEqualFrequency,
+                             config_.rough_bins);
+    const rough::KSelection selection = rough::select_k(
+        discretized, config_.rough_max_k, rough::KScore::kMeanAccuracy);
+    // K must leave at least one feature to partition.
+    if (selection.features.size() < train.dim()) k_block_ = selection.features;
+  }
+
+  // 2. Exploration order of S - K.
+  SearchCone cone = make_cone(train.dim(), k_block_);
+  if (config_.correlation_ordering && cone.rest.size() >= 3) {
+    // Order the *rest* features by correlation chaining (indices are into
+    // the projected submatrix; map back to feature ids).
+    data::Samples rest_view = multiview::project(train, cone.rest);
+    const std::vector<std::size_t> order = multiview::correlation_order(rest_view);
+    std::vector<std::size_t> reordered(cone.rest.size());
+    for (std::size_t i = 0; i < order.size(); ++i) reordered[i] = cone.rest[order[i]];
+    cone.rest = std::move(reordered);
+  }
+
+  // 3. Lattice search.
+  PartitionEvaluator evaluator(train, config_.search);
+  switch (config_.strategy) {
+    case SearchStrategy::kExhaustive:
+      search_ = exhaustive_cone_search(evaluator, cone);
+      break;
+    case SearchStrategy::kGreedyRefinement:
+      search_ = greedy_refinement_search(evaluator, cone);
+      break;
+    case SearchStrategy::kChain:
+      search_ = chain_search(evaluator, cone);
+      break;
+    case SearchStrategy::kSmushing:
+      search_ = smushing_search(evaluator, cone);
+      break;
+  }
+
+  // 4. Final model on the chosen partition.
+  auto kernel =
+      partition_kernel(evaluator.cache(), search_->best, search_->best_weights);
+  model_ = std::make_unique<kernels::KernelSvmClassifier>(std::move(kernel),
+                                                          config_.search.svm);
+  model_->fit(train);
+}
+
+std::vector<int> FacetedLearner::predict(const la::Matrix& x) const {
+  IOTML_CHECK(model_ != nullptr, "FacetedLearner::predict: call fit() first");
+  return model_->predict(x);
+}
+
+double FacetedLearner::accuracy(const data::Samples& test) const {
+  IOTML_CHECK(!test.y.empty(), "FacetedLearner::accuracy: unlabeled test set");
+  return data::accuracy(test.y, predict(test.x));
+}
+
+const comb::SetPartition& FacetedLearner::partition() const {
+  IOTML_CHECK(search_.has_value(), "FacetedLearner::partition: call fit() first");
+  return search_->best;
+}
+
+const SearchResult& FacetedLearner::search_result() const {
+  IOTML_CHECK(search_.has_value(), "FacetedLearner::search_result: call fit() first");
+  return *search_;
+}
+
+}  // namespace iotml::core

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/lattice_search.hpp"
+#include "kernels/mkl.hpp"
+
+namespace iotml::core {
+
+/// Which lattice exploration strategy the learner runs.
+enum class SearchStrategy { kExhaustive, kGreedyRefinement, kChain, kSmushing };
+
+std::string strategy_name(SearchStrategy s);
+
+struct FacetedLearnerConfig {
+  SearchStrategy strategy = SearchStrategy::kChain;
+  SearchOptions search{};
+
+  /// Choose the distinguished block K with rough sets (Section III: "select
+  /// K dynamically, based on the approximation accuracy on benchmark
+  /// concepts"). Features are discretized into `rough_bins` equal-frequency
+  /// bins, then every subset up to `rough_max_k` features is scored against
+  /// the labels. When false, K is empty and the whole lattice cone is Pi(S).
+  bool rough_select_k = false;
+  std::size_t rough_bins = 3;
+  std::size_t rough_max_k = 2;
+
+  /// Reorder S - K so correlated features are adjacent before chain/greedy
+  /// exploration (recommended: the chain strategy merges suffixes).
+  bool correlation_ordering = true;
+};
+
+/// The paper's IoT-friendly learning model, end to end: pick K (rough sets),
+/// explore the partition lattice of the feature set for the best multiple
+/// kernel configuration, and train the final partition-MKL SVM.
+///
+///   FacetedLearner learner;                 // defaults: chain search
+///   learner.fit(train_samples);
+///   auto predictions = learner.predict(test_x);
+///   learner.partition().to_string();        // the chosen facet structure
+class FacetedLearner {
+ public:
+  explicit FacetedLearner(FacetedLearnerConfig config = {});
+
+  void fit(const data::Samples& train);
+
+  std::vector<int> predict(const la::Matrix& x) const;
+  double accuracy(const data::Samples& test) const;
+
+  /// The partition of the feature set the search settled on.
+  const comb::SetPartition& partition() const;
+  /// Search accounting (evaluations, gram computations, trajectory).
+  const SearchResult& search_result() const;
+  /// The distinguished block K that anchored the search (possibly empty).
+  const std::vector<std::size_t>& k_block() const noexcept { return k_block_; }
+
+ private:
+  FacetedLearnerConfig config_;
+  std::vector<std::size_t> k_block_;
+  std::optional<SearchResult> search_;
+  std::unique_ptr<kernels::KernelSvmClassifier> model_;
+};
+
+}  // namespace iotml::core

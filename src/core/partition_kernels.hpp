@@ -1,0 +1,73 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "combinatorics/partition.hpp"
+#include "data/dataset.hpp"
+#include "kernels/kernel.hpp"
+#include "kernels/mkl.hpp"
+
+namespace iotml::core {
+
+/// How block kernels are weighted when combined across partition blocks.
+enum class WeightRule {
+  kUniform,    ///< 1/B each
+  kAlignment,  ///< independent centered target alignment (clipped, normalized)
+  kOptimized   ///< coordinate-ascent alignment maximization
+};
+
+/// Cache of block Gram matrices over a fixed sample matrix.
+///
+/// Every partition evaluated during the lattice search reuses the Grams of
+/// the blocks it shares with previously seen partitions — neighbouring
+/// partitions in the lattice differ in few blocks, which is what makes the
+/// search affordable. A block's kernel is an RBF over the block's features
+/// with a median-heuristic bandwidth (equivalently: the *product* of
+/// per-feature RBFs, the paper's aggregation-by-multiplication).
+class BlockGramCache {
+ public:
+  explicit BlockGramCache(const la::Matrix& x);
+
+  /// Gram of one block (features need not be sorted; the key is canonical).
+  const la::Matrix& gram_for(const std::vector<std::size_t>& block);
+
+  /// The median-heuristic bandwidth chosen for a block.
+  double gamma_for(const std::vector<std::size_t>& block);
+
+  /// Number of distinct block Grams actually computed (cache misses). Each
+  /// miss costs O(n^2 |block|) kernel work — the search-cost currency.
+  std::size_t block_grams_computed() const noexcept { return misses_; }
+
+  /// Total cache lookups.
+  std::size_t lookups() const noexcept { return lookups_; }
+
+  const la::Matrix& samples() const noexcept { return x_; }
+
+ private:
+  struct Entry {
+    la::Matrix gram;
+    double gamma = 1.0;
+  };
+  const la::Matrix x_;  // owned copy: cache outlives callers' temporaries
+  std::map<std::vector<std::size_t>, Entry> cache_;
+  std::size_t misses_ = 0;
+  std::size_t lookups_ = 0;
+
+  const Entry& entry_for(const std::vector<std::size_t>& block);
+};
+
+/// The combined Gram of a feature partition: weighted sum of its block Grams.
+/// Returns the weights used through `weights_out` when non-null.
+la::Matrix partition_gram(BlockGramCache& cache, const comb::SetPartition& partition,
+                          const std::vector<int>& y, WeightRule rule,
+                          std::vector<double>* weights_out = nullptr);
+
+/// Build the equivalent explicit kernel object (SumKernel of block-restricted
+/// RBFs) for out-of-sample prediction with the chosen partition.
+std::unique_ptr<kernels::Kernel> partition_kernel(BlockGramCache& cache,
+                                                  const comb::SetPartition& partition,
+                                                  const std::vector<double>& weights);
+
+}  // namespace iotml::core

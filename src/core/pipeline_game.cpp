@@ -1,0 +1,127 @@
+#include "core/pipeline_game.hpp"
+
+#include <memory>
+
+#include "learners/decision_tree.hpp"
+#include "learners/knn.hpp"
+#include "learners/logistic.hpp"
+#include "learners/naive_bayes.hpp"
+#include "util/error.hpp"
+
+namespace iotml::core {
+
+std::vector<PreprocessorStrategy> default_preprocessor_strategies() {
+  using pipeline::ImputeStrategy;
+  return {
+      {"mean", ImputeStrategy::kMean, false, 1.0},
+      {"median+outliers", ImputeStrategy::kMedian, true, 1.8},
+      {"locf", ImputeStrategy::kLocf, false, 1.2},
+      {"linear", ImputeStrategy::kLinear, false, 1.5},
+      {"knn+outliers", ImputeStrategy::kKnn, true, 4.0},
+  };
+}
+
+std::vector<AnalystStrategy> default_analyst_strategies() {
+  return {
+      {"naive-bayes", AnalystModel::kNaiveBayes, 1.0},
+      {"decision-tree", AnalystModel::kDecisionTree, 2.0},
+      {"knn", AnalystModel::kKnn, 3.0},
+      {"logistic", AnalystModel::kLogistic, 1.5},
+  };
+}
+
+namespace {
+
+std::unique_ptr<learners::Classifier> make_model(AnalystModel model) {
+  switch (model) {
+    case AnalystModel::kDecisionTree:
+      return std::make_unique<learners::DecisionTree>();
+    case AnalystModel::kNaiveBayes:
+      return std::make_unique<learners::NaiveBayes>();
+    case AnalystModel::kKnn:
+      return std::make_unique<learners::KnnClassifier>(5);
+    case AnalystModel::kLogistic:
+      return std::make_unique<learners::LogisticRegression>();
+  }
+  throw InternalError("make_model: unknown analyst model");
+}
+
+/// Apply one preprocessor strategy to a dataset copy; returns residual
+/// missing rate.
+double preprocess(data::Dataset& ds, const PreprocessorStrategy& strategy, Rng& rng) {
+  if (strategy.suppress_outliers) {
+    for (std::size_t f = 0; f < ds.num_columns(); ++f) {
+      if (ds.column(f).type() != data::ColumnType::kNumeric) continue;
+      pipeline::suppress_outliers(
+          ds, f, pipeline::detect_outliers_hampel(ds.column(f), 4.0));
+    }
+  }
+  pipeline::impute(ds, strategy.impute, rng);
+  return ds.missing_rate();
+}
+
+}  // namespace
+
+PipelineGameResult build_pipeline_game(const data::Dataset& corrupted_train,
+                                       const data::Dataset& corrupted_test,
+                                       const PipelineGameConfig& config, Rng& rng) {
+  IOTML_CHECK(!config.preprocessor.empty() && !config.analyst.empty(),
+              "build_pipeline_game: empty strategy set");
+  IOTML_CHECK(corrupted_train.has_labels() && corrupted_test.has_labels(),
+              "build_pipeline_game: datasets must be labeled");
+
+  const std::size_t m = config.preprocessor.size();
+  const std::size_t n = config.analyst.size();
+  PipelineGameResult result;
+  result.game.a = la::Matrix(m, n);
+  result.game.b = la::Matrix(m, n);
+  result.accuracy = la::Matrix(m, n);
+  result.residual_missing = la::Matrix(m, n);
+
+  for (std::size_t i = 0; i < m; ++i) {
+    // Preprocess once per preprocessor strategy (deterministic per profile:
+    // a fixed-seed child generator so hot-deck draws don't leak across
+    // profiles).
+    Rng prep_rng(1000 + i);
+    data::Dataset train = corrupted_train;
+    data::Dataset test = corrupted_test;
+    const double residual_train = preprocess(train, config.preprocessor[i], prep_rng);
+    const double residual_test = preprocess(test, config.preprocessor[i], prep_rng);
+    const double residual = 0.5 * (residual_train + residual_test);
+
+    const double prep_payoff =
+        config.completeness_weight * (1.0 - residual) -
+        config.preprocessor[i].effort_cost;
+
+    for (std::size_t j = 0; j < n; ++j) {
+      auto model = make_model(config.analyst[j].model);
+      model->fit(train);
+      const double acc = model->accuracy(test);
+
+      result.accuracy(i, j) = acc;
+      result.residual_missing(i, j) = residual;
+      // The completeness term ignores accuracy — that is the misalignment —
+      // while shared_stake couples the players per Section IV.B.
+      result.game.a(i, j) =
+          prep_payoff + config.shared_stake * config.accuracy_weight * acc;
+      result.game.b(i, j) =
+          config.accuracy_weight * acc - config.analyst[j].effort_cost;
+    }
+  }
+  (void)rng;
+
+  // Solution concepts.
+  const auto nash_set = game::pure_nash(result.game);
+  if (!nash_set.empty()) {
+    result.nash = nash_set.front();
+    result.has_pure_nash = true;
+  } else {
+    // Fall back to best-response dynamics' resting point.
+    result.nash = game::best_response_dynamics(result.game, {0, 0}).profile;
+  }
+  result.stackelberg = game::solve_stackelberg(result.game);
+  result.social = game::social_optimum(result.game);
+  return result;
+}
+
+}  // namespace iotml::core

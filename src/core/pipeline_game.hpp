@@ -1,0 +1,81 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "game/bimatrix.hpp"
+#include "game/stackelberg.hpp"
+#include "pipeline/preparation.hpp"
+#include "util/rng.hpp"
+
+namespace iotml::core {
+
+/// The Section IV adversarial-pipeline model made concrete: the
+/// *preprocessor* player chooses how to repair the data, the *analyst*
+/// player chooses what to learn from it. Interests are compatible but not
+/// aligned — the preprocessor pays for repair effort and is judged on data
+/// completeness (it serves many downstream consumers, Section IV.B), while
+/// the analyst is judged on predictive accuracy.
+
+struct PreprocessorStrategy {
+  std::string name;
+  pipeline::ImputeStrategy impute = pipeline::ImputeStrategy::kMean;
+  bool suppress_outliers = false;
+  double effort_cost = 1.0;  ///< what this strategy costs the preprocessor
+};
+
+enum class AnalystModel { kDecisionTree, kNaiveBayes, kKnn, kLogistic };
+
+struct AnalystStrategy {
+  std::string name;
+  AnalystModel model = AnalystModel::kNaiveBayes;
+  double effort_cost = 1.0;
+};
+
+/// Reasonable default strategy menus (used by bench_pipeline_game).
+std::vector<PreprocessorStrategy> default_preprocessor_strategies();
+std::vector<AnalystStrategy> default_analyst_strategies();
+
+struct PipelineGameConfig {
+  std::vector<PreprocessorStrategy> preprocessor = default_preprocessor_strategies();
+  std::vector<AnalystStrategy> analyst = default_analyst_strategies();
+
+  /// Preprocessor payoff = completeness_weight * (1 - residual missing rate)
+  ///                       + shared_stake * accuracy_weight * accuracy
+  ///                       - effort_cost.
+  double completeness_weight = 5.0;
+  /// Analyst payoff = accuracy_weight * test accuracy - effort_cost.
+  double accuracy_weight = 20.0;
+  /// The players "share some parts of one another's goals" (Section IV.B):
+  /// the fraction of the analyst's accuracy reward the preprocessor also
+  /// receives. 0 = fully decoupled, 1 = fully aligned.
+  double shared_stake = 0.15;
+};
+
+/// The measured game: payoffs come from actually running every strategy
+/// profile through the pipeline (empirical game construction — the
+/// "integrated design process" of Section I.B).
+struct PipelineGameResult {
+  game::Bimatrix game;   ///< a = preprocessor payoffs, b = analyst payoffs
+  la::Matrix accuracy;   ///< raw test accuracy per profile
+  la::Matrix residual_missing;  ///< missing rate left after preprocessing
+
+  /// Solution concepts over the measured game.
+  game::PureProfile nash;       ///< first pure Nash (best-response stable)
+  bool has_pure_nash = false;
+  game::StackelbergSolution stackelberg;  ///< preprocessor commits first
+  game::PureProfile social;     ///< single-player (welfare) optimum
+
+  double accuracy_at(game::PureProfile p) const { return accuracy(p.row, p.col); }
+};
+
+/// Build and solve the empirical pipeline game. `corrupted_train` and
+/// `corrupted_test` carry missing values/outliers from upstream acquisition;
+/// every profile (i, j) preprocesses copies of both with strategy i and
+/// scores model j on the repaired test set.
+PipelineGameResult build_pipeline_game(const data::Dataset& corrupted_train,
+                                       const data::Dataset& corrupted_test,
+                                       const PipelineGameConfig& config, Rng& rng);
+
+}  // namespace iotml::core

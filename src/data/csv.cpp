@@ -1,0 +1,115 @@
+#include "data/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace iotml::data {
+
+namespace {
+
+bool parse_double(const std::string& text, double& value) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  return ec == std::errc{} && ptr == end;
+}
+
+std::string cell_text(const Column& c, std::size_t row) {
+  if (c.is_missing(row)) return "?";
+  if (c.type() == ColumnType::kNumeric) return format_double(c.numeric(row), 10);
+  return c.category_label(row);
+}
+
+}  // namespace
+
+void write_csv(const Dataset& ds, std::ostream& out, const std::string& label_column) {
+  ds.validate();
+  std::vector<std::string> header;
+  for (std::size_t c = 0; c < ds.num_columns(); ++c) header.push_back(ds.column(c).name());
+  if (ds.has_labels()) header.push_back(label_column);
+  out << join(header, ",") << '\n';
+
+  for (std::size_t r = 0; r < ds.rows(); ++r) {
+    std::vector<std::string> cells;
+    for (std::size_t c = 0; c < ds.num_columns(); ++c) {
+      cells.push_back(cell_text(ds.column(c), r));
+    }
+    if (ds.has_labels()) cells.push_back(std::to_string(ds.label(r)));
+    out << join(cells, ",") << '\n';
+  }
+}
+
+void write_csv_file(const Dataset& ds, const std::string& path,
+                    const std::string& label_column) {
+  std::ofstream out(path);
+  IOTML_CHECK(out.good(), "write_csv_file: cannot open '" + path + "'");
+  write_csv(ds, out, label_column);
+}
+
+Dataset read_csv(std::istream& in, const std::string& label_column) {
+  std::string line;
+  IOTML_CHECK(static_cast<bool>(std::getline(in, line)), "read_csv: empty input");
+  const std::vector<std::string> header = split(trim(line), ',');
+  IOTML_CHECK(!header.empty(), "read_csv: empty header");
+
+  std::vector<std::vector<std::string>> cells(header.size());
+  while (std::getline(in, line)) {
+    const std::string trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    const std::vector<std::string> row = split(trimmed, ',');
+    IOTML_CHECK(row.size() == header.size(), "read_csv: ragged row");
+    for (std::size_t c = 0; c < row.size(); ++c) cells[c].push_back(trim(row[c]));
+  }
+
+  auto is_missing_text = [](const std::string& t) { return t.empty() || t == "?"; };
+
+  Dataset ds;
+  std::vector<int> labels;
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    if (header[c] == label_column) {
+      for (const std::string& t : cells[c]) {
+        double v = 0.0;
+        IOTML_CHECK(parse_double(t, v), "read_csv: non-integer label '" + t + "'");
+        labels.push_back(static_cast<int>(v));
+      }
+      continue;
+    }
+    bool numeric = true;
+    for (const std::string& t : cells[c]) {
+      double v = 0.0;
+      if (!is_missing_text(t) && !parse_double(t, v)) {
+        numeric = false;
+        break;
+      }
+    }
+    Column& col = numeric ? ds.add_numeric_column(header[c])
+                          : ds.add_categorical_column(header[c]);
+    for (const std::string& t : cells[c]) {
+      if (is_missing_text(t)) {
+        col.push_missing();
+      } else if (numeric) {
+        double v = 0.0;
+        parse_double(t, v);
+        col.push_numeric(v);
+      } else {
+        col.push_category(t);
+      }
+    }
+  }
+  if (!labels.empty()) ds.set_labels(std::move(labels));
+  ds.validate();
+  return ds;
+}
+
+Dataset read_csv_file(const std::string& path, const std::string& label_column) {
+  std::ifstream in(path);
+  IOTML_CHECK(in.good(), "read_csv_file: cannot open '" + path + "'");
+  return read_csv(in, label_column);
+}
+
+}  // namespace iotml::data

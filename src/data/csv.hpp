@@ -1,0 +1,25 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace iotml::data {
+
+/// CSV serialization for Dataset. Missing cells are written as "?"; a label
+/// column named `label_column` is appended when the dataset is labeled.
+/// Columns are written with a header row.
+void write_csv(const Dataset& ds, std::ostream& out,
+               const std::string& label_column = "label");
+void write_csv_file(const Dataset& ds, const std::string& path,
+                    const std::string& label_column = "label");
+
+/// Parse a CSV with a header row. A column is inferred numeric when every
+/// present cell parses as a double; otherwise categorical. "?" and empty
+/// cells are missing. If `label_column` names a column, it is consumed as
+/// integer class labels instead of a feature.
+Dataset read_csv(std::istream& in, const std::string& label_column = "label");
+Dataset read_csv_file(const std::string& path, const std::string& label_column = "label");
+
+}  // namespace iotml::data

@@ -1,0 +1,70 @@
+#include "data/encoding.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace iotml::data {
+
+Dataset one_hot_encode(const Dataset& ds) {
+  ds.validate();
+  Dataset out;
+  for (std::size_t f = 0; f < ds.num_columns(); ++f) {
+    const Column& col = ds.column(f);
+    if (col.type() == ColumnType::kNumeric) {
+      Column& copy = out.add_numeric_column(col.name());
+      for (std::size_t r = 0; r < col.size(); ++r) {
+        if (col.is_missing(r)) {
+          copy.push_missing();
+        } else {
+          copy.push_numeric(col.numeric(r));
+        }
+      }
+      continue;
+    }
+    for (std::size_t c = 0; c < col.categories().size(); ++c) {
+      Column& indicator = out.add_numeric_column(col.name() + "=" + col.categories()[c]);
+      for (std::size_t r = 0; r < col.size(); ++r) {
+        if (col.is_missing(r)) {
+          indicator.push_missing();
+        } else {
+          indicator.push_numeric(col.category(r) == c ? 1.0 : 0.0);
+        }
+      }
+    }
+  }
+  if (ds.has_labels()) out.set_labels(ds.labels());
+  out.validate();
+  return out;
+}
+
+void standardize_like(Dataset& ds, const Dataset& reference) {
+  IOTML_CHECK(ds.num_columns() == reference.num_columns(),
+              "standardize_like: column count mismatch");
+  for (std::size_t f = 0; f < ds.num_columns(); ++f) {
+    const Column& ref = reference.column(f);
+    Column& col = ds.column(f);
+    IOTML_CHECK(col.type() == ref.type(), "standardize_like: column type mismatch");
+    if (ref.type() != ColumnType::kNumeric) continue;
+
+    double sum = 0.0, sum2 = 0.0;
+    std::size_t present = 0;
+    for (std::size_t r = 0; r < ref.size(); ++r) {
+      if (ref.is_missing(r)) continue;
+      sum += ref.numeric(r);
+      sum2 += ref.numeric(r) * ref.numeric(r);
+      ++present;
+    }
+    if (present == 0) continue;
+    const double mean = sum / static_cast<double>(present);
+    const double var = sum2 / static_cast<double>(present) - mean * mean;
+    const double std_dev = var > 1e-24 ? std::sqrt(var) : 1.0;
+    for (std::size_t r = 0; r < col.size(); ++r) {
+      if (!col.is_missing(r)) {
+        col.set_numeric(r, (col.numeric(r) - mean) / std_dev);
+      }
+    }
+  }
+}
+
+}  // namespace iotml::data

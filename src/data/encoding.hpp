@@ -1,0 +1,20 @@
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace iotml::data {
+
+/// One-hot encode every categorical column into 0/1 numeric indicator
+/// columns named "<col>=<category>"; numeric columns pass through unchanged.
+/// A missing categorical cell yields missing indicators. Labels carry over.
+///
+/// This is the bridge from categorical IoT attributes to the kernel methods
+/// (category *indices* are not metric; indicators are).
+Dataset one_hot_encode(const Dataset& ds);
+
+/// Standardize numeric columns in place to zero mean / unit variance using
+/// statistics from `reference` (fit on train, apply to test). Column count
+/// and types must match.
+void standardize_like(Dataset& ds, const Dataset& reference);
+
+}  // namespace iotml::data

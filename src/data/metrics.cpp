@@ -1,0 +1,101 @@
+#include "data/metrics.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace iotml::data {
+
+double accuracy(const std::vector<int>& actual, const std::vector<int>& predicted) {
+  IOTML_CHECK(actual.size() == predicted.size(), "accuracy: size mismatch");
+  IOTML_CHECK(!actual.empty(), "accuracy: empty input");
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (actual[i] == predicted[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(actual.size());
+}
+
+la::Matrix confusion_matrix(const std::vector<int>& actual,
+                            const std::vector<int>& predicted,
+                            std::size_t num_classes) {
+  IOTML_CHECK(actual.size() == predicted.size(), "confusion_matrix: size mismatch");
+  la::Matrix m(num_classes, num_classes);
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    IOTML_CHECK(actual[i] >= 0 && static_cast<std::size_t>(actual[i]) < num_classes,
+                "confusion_matrix: actual label out of range");
+    IOTML_CHECK(predicted[i] >= 0 && static_cast<std::size_t>(predicted[i]) < num_classes,
+                "confusion_matrix: predicted label out of range");
+    m(static_cast<std::size_t>(actual[i]), static_cast<std::size_t>(predicted[i])) += 1.0;
+  }
+  return m;
+}
+
+BinaryMetrics binary_metrics(const std::vector<int>& actual,
+                             const std::vector<int>& predicted, int positive_class) {
+  IOTML_CHECK(actual.size() == predicted.size(), "binary_metrics: size mismatch");
+  BinaryMetrics m;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const bool a = actual[i] == positive_class;
+    const bool p = predicted[i] == positive_class;
+    if (a && p) ++m.true_positives;
+    if (!a && p) ++m.false_positives;
+    if (a && !p) ++m.false_negatives;
+  }
+  const double tp = static_cast<double>(m.true_positives);
+  m.precision = (m.true_positives + m.false_positives) == 0
+                    ? 0.0
+                    : tp / static_cast<double>(m.true_positives + m.false_positives);
+  m.recall = (m.true_positives + m.false_negatives) == 0
+                 ? 0.0
+                 : tp / static_cast<double>(m.true_positives + m.false_negatives);
+  m.f1 = (m.precision + m.recall) == 0.0
+             ? 0.0
+             : 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  return m;
+}
+
+double macro_f1(const std::vector<int>& actual, const std::vector<int>& predicted) {
+  std::set<int> classes(actual.begin(), actual.end());
+  IOTML_CHECK(!classes.empty(), "macro_f1: empty input");
+  double total = 0.0;
+  for (int c : classes) total += binary_metrics(actual, predicted, c).f1;
+  return total / static_cast<double>(classes.size());
+}
+
+double rmse(const std::vector<double>& actual, const std::vector<double>& predicted) {
+  IOTML_CHECK(actual.size() == predicted.size(), "rmse: size mismatch");
+  IOTML_CHECK(!actual.empty(), "rmse: empty input");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double d = actual[i] - predicted[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(actual.size()));
+}
+
+double mae(const std::vector<double>& actual, const std::vector<double>& predicted) {
+  IOTML_CHECK(actual.size() == predicted.size(), "mae: size mismatch");
+  IOTML_CHECK(!actual.empty(), "mae: empty input");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    acc += std::fabs(actual[i] - predicted[i]);
+  }
+  return acc / static_cast<double>(actual.size());
+}
+
+MeanStd mean_std(const std::vector<double>& values) {
+  IOTML_CHECK(!values.empty(), "mean_std: empty input");
+  MeanStd out;
+  for (double v : values) out.mean += v;
+  out.mean /= static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double acc = 0.0;
+    for (double v : values) acc += (v - out.mean) * (v - out.mean);
+    out.stddev = std::sqrt(acc / static_cast<double>(values.size() - 1));
+  }
+  return out;
+}
+
+}  // namespace iotml::data

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace iotml::data {
+
+/// Fraction of positions where predicted == actual.
+double accuracy(const std::vector<int>& actual, const std::vector<int>& predicted);
+
+/// Confusion matrix with `num_classes` classes: entry (a, p) counts rows with
+/// actual class a predicted as p.
+la::Matrix confusion_matrix(const std::vector<int>& actual,
+                            const std::vector<int>& predicted,
+                            std::size_t num_classes);
+
+/// Per-class metrics for one class treated as "positive".
+struct BinaryMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+};
+
+BinaryMetrics binary_metrics(const std::vector<int>& actual,
+                             const std::vector<int>& predicted, int positive_class);
+
+/// Macro-averaged F1 over all classes present in `actual`.
+double macro_f1(const std::vector<int>& actual, const std::vector<int>& predicted);
+
+/// Root-mean-square error between two real-valued vectors.
+double rmse(const std::vector<double>& actual, const std::vector<double>& predicted);
+
+/// Mean absolute error.
+double mae(const std::vector<double>& actual, const std::vector<double>& predicted);
+
+/// Mean and sample standard deviation of a value list (for sweep reporting).
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+MeanStd mean_std(const std::vector<double>& values);
+
+}  // namespace iotml::data

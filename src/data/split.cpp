@@ -1,0 +1,72 @@
+#include "data/split.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace iotml::data {
+
+TrainTestIndices train_test_split(std::size_t n, double test_fraction, Rng& rng) {
+  IOTML_CHECK(n >= 2, "train_test_split: need at least 2 rows");
+  IOTML_CHECK(test_fraction > 0.0 && test_fraction < 1.0,
+              "train_test_split: test_fraction must be in (0, 1)");
+  auto order = rng.permutation(n);
+  std::size_t n_test = static_cast<std::size_t>(static_cast<double>(n) * test_fraction);
+  n_test = std::clamp<std::size_t>(n_test, 1, n - 1);
+  TrainTestIndices out;
+  out.test.assign(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(n_test));
+  out.train.assign(order.begin() + static_cast<std::ptrdiff_t>(n_test), order.end());
+  return out;
+}
+
+TrainTestIndices stratified_split(const std::vector<int>& labels, double test_fraction,
+                                  Rng& rng) {
+  IOTML_CHECK(labels.size() >= 2, "stratified_split: need at least 2 rows");
+  IOTML_CHECK(test_fraction > 0.0 && test_fraction < 1.0,
+              "stratified_split: test_fraction must be in (0, 1)");
+  std::map<int, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < labels.size(); ++i) by_class[labels[i]].push_back(i);
+
+  TrainTestIndices out;
+  for (auto& [label, members] : by_class) {
+    rng.shuffle(members);
+    std::size_t n_test =
+        static_cast<std::size_t>(static_cast<double>(members.size()) * test_fraction);
+    if (members.size() >= 2) n_test = std::clamp<std::size_t>(n_test, 1, members.size() - 1);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      (i < n_test ? out.test : out.train).push_back(members[i]);
+    }
+  }
+  rng.shuffle(out.train);
+  rng.shuffle(out.test);
+  return out;
+}
+
+KFold::KFold(std::size_t n, std::size_t k, Rng& rng) : k_(k) {
+  IOTML_CHECK(k >= 2, "KFold: k must be >= 2");
+  IOTML_CHECK(n >= k, "KFold: need at least k rows");
+  order_ = rng.permutation(n);
+  fold_of_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) fold_of_[i] = i % k;
+}
+
+std::vector<std::size_t> KFold::test_indices(std::size_t fold) const {
+  IOTML_CHECK(fold < k_, "KFold::test_indices: fold out of range");
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    if (fold_of_[i] == fold) out.push_back(order_[i]);
+  }
+  return out;
+}
+
+std::vector<std::size_t> KFold::train_indices(std::size_t fold) const {
+  IOTML_CHECK(fold < k_, "KFold::train_indices: fold out of range");
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    if (fold_of_[i] != fold) out.push_back(order_[i]);
+  }
+  return out;
+}
+
+}  // namespace iotml::data

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace iotml::data {
+
+/// Index split into train and test.
+struct TrainTestIndices {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Random shuffle split: `test_fraction` of rows go to test.
+TrainTestIndices train_test_split(std::size_t n, double test_fraction, Rng& rng);
+
+/// Stratified split: preserves class proportions per label.
+TrainTestIndices stratified_split(const std::vector<int>& labels, double test_fraction,
+                                  Rng& rng);
+
+/// k-fold cross validation index generator.
+class KFold {
+ public:
+  KFold(std::size_t n, std::size_t k, Rng& rng);
+
+  std::size_t num_folds() const noexcept { return k_; }
+
+  /// Held-out indices of fold `fold`.
+  std::vector<std::size_t> test_indices(std::size_t fold) const;
+
+  /// All indices not in fold `fold`.
+  std::vector<std::size_t> train_indices(std::size_t fold) const;
+
+ private:
+  std::size_t k_;
+  std::vector<std::size_t> order_;
+  std::vector<std::size_t> fold_of_;  // position -> fold
+};
+
+}  // namespace iotml::data

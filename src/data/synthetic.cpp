@@ -1,0 +1,178 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "la/matrix.hpp"
+#include "util/error.hpp"
+
+namespace iotml::data {
+
+FacetedData make_faceted_gaussian(std::size_t n_samples,
+                                  const std::vector<ViewSpec>& views, Rng& rng) {
+  IOTML_CHECK(n_samples >= 2, "make_faceted_gaussian: need at least 2 samples");
+  IOTML_CHECK(!views.empty(), "make_faceted_gaussian: need at least one view");
+
+  std::size_t total_dims = 0;
+  for (const ViewSpec& v : views) {
+    IOTML_CHECK(v.dims >= 1, "make_faceted_gaussian: view must have >= 1 dim");
+    IOTML_CHECK(v.noise > 0.0, "make_faceted_gaussian: noise must be positive");
+    total_dims += v.dims;
+  }
+
+  // Random unit direction per informative view; the class means sit at
+  // +/- separation/2 along it.
+  std::vector<std::vector<double>> directions;
+  for (const ViewSpec& v : views) {
+    std::vector<double> dir(v.dims, 0.0);
+    if (v.informative) {
+      double norm = 0.0;
+      do {
+        norm = 0.0;
+        for (double& d : dir) {
+          d = rng.normal();
+          norm += d * d;
+        }
+        norm = std::sqrt(norm);
+      } while (norm < 1e-9);
+      for (double& d : dir) d /= norm;
+    }
+    directions.push_back(std::move(dir));
+  }
+
+  FacetedData out;
+  out.samples.x = la::Matrix(n_samples, total_dims);
+  out.samples.y.resize(n_samples);
+
+  std::size_t offset = 0;
+  for (std::size_t v = 0; v < views.size(); ++v) {
+    out.views.emplace_back();
+    for (std::size_t d = 0; d < views[v].dims; ++d) {
+      out.views.back().push_back(offset + d);
+    }
+    offset += views[v].dims;
+  }
+
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    const int label = static_cast<int>(i % 2);  // balanced classes
+    out.samples.y[i] = label;
+    const double sign = label == 1 ? 1.0 : -1.0;
+    for (std::size_t v = 0; v < views.size(); ++v) {
+      const ViewSpec& spec = views[v];
+      for (std::size_t d = 0; d < spec.dims; ++d) {
+        const double mean =
+            spec.informative ? sign * 0.5 * spec.separation * directions[v][d] : 0.0;
+        out.samples.x(i, out.views[v][d]) = rng.normal(mean, spec.noise);
+      }
+    }
+  }
+  return out;
+}
+
+Dataset make_phone_fleet_paper() {
+  Dataset ds;
+  Column& battery = ds.add_categorical_column("battery");
+  Column& os = ds.add_categorical_column("os");
+  battery.push_category("AVERAGE");
+  battery.push_category("HIGH");
+  battery.push_category("AVERAGE");
+  battery.push_category("LOW");
+  os.push_category("Android");
+  os.push_category("Android");
+  os.push_category("iOS");
+  os.push_category("Symbian");
+  ds.set_labels({0, 1, 1, 0});  // Available: N Y Y N
+  return ds;
+}
+
+Dataset make_phone_fleet(std::size_t n, double label_noise, Rng& rng) {
+  IOTML_CHECK(n >= 1, "make_phone_fleet: need at least 1 row");
+  IOTML_CHECK(label_noise >= 0.0 && label_noise <= 1.0,
+              "make_phone_fleet: label_noise must be in [0, 1]");
+  const std::vector<std::string> batteries{"LOW", "AVERAGE", "HIGH"};
+  const std::vector<std::string> systems{"Android", "iOS", "Symbian"};
+  const std::vector<std::string> signals{"WEAK", "GOOD", "STRONG"};
+
+  Dataset ds;
+  Column& battery = ds.add_categorical_column("battery");
+  Column& os = ds.add_categorical_column("os");
+  Column& signal = ds.add_categorical_column("signal");
+  std::vector<int> labels;
+  labels.reserve(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t b = rng.index(batteries.size());
+    const std::size_t o = rng.index(systems.size());
+    const std::size_t s = rng.index(signals.size());
+    battery.push_category(batteries[b]);
+    os.push_category(systems[o]);
+    signal.push_category(signals[s]);
+    int available = (batteries[b] != "LOW" && systems[o] != "Symbian" &&
+                     signals[s] != "WEAK")
+                        ? 1
+                        : 0;
+    if (rng.bernoulli(label_noise)) available = 1 - available;
+    labels.push_back(available);
+  }
+  ds.set_labels(std::move(labels));
+  return ds;
+}
+
+Samples make_blobs(std::size_t n_samples, std::size_t dims, double separation,
+                   double noise, Rng& rng) {
+  IOTML_CHECK(n_samples >= 2 && dims >= 1, "make_blobs: bad shape");
+  Samples s;
+  s.x = la::Matrix(n_samples, dims);
+  s.y.resize(n_samples);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    const int label = static_cast<int>(i % 2);
+    s.y[i] = label;
+    const double center = label == 1 ? separation / 2.0 : -separation / 2.0;
+    for (std::size_t d = 0; d < dims; ++d) {
+      // Only the first coordinate separates the blobs; others are noise.
+      s.x(i, d) = rng.normal(d == 0 ? center : 0.0, noise);
+    }
+  }
+  return s;
+}
+
+Samples make_xor(std::size_t n_samples, double label_noise, Rng& rng) {
+  IOTML_CHECK(n_samples >= 2, "make_xor: need at least 2 samples");
+  Samples s;
+  s.x = la::Matrix(n_samples, 2);
+  s.y.resize(n_samples);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    double a = 0.0, b = 0.0;
+    // Keep points away from the axes so the concept is well defined.
+    do {
+      a = rng.uniform(-1.0, 1.0);
+      b = rng.uniform(-1.0, 1.0);
+    } while (std::fabs(a) < 0.05 || std::fabs(b) < 0.05);
+    s.x(i, 0) = a;
+    s.x(i, 1) = b;
+    int label = (a * b > 0.0) ? 1 : 0;
+    if (rng.bernoulli(label_noise)) label = 1 - label;
+    s.y[i] = label;
+  }
+  return s;
+}
+
+Samples make_circles(std::size_t n_samples, double r0, double r1, double noise,
+                     Rng& rng) {
+  IOTML_CHECK(n_samples >= 2, "make_circles: need at least 2 samples");
+  IOTML_CHECK(r0 > 0.0 && r1 > 0.0, "make_circles: radii must be positive");
+  Samples s;
+  s.x = la::Matrix(n_samples, 2);
+  s.y.resize(n_samples);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    const int label = static_cast<int>(i % 2);
+    s.y[i] = label;
+    const double r = (label == 0 ? r0 : r1) + rng.normal(0.0, noise);
+    const double theta = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    s.x(i, 0) = r * std::cos(theta);
+    s.x(i, 1) = r * std::sin(theta);
+  }
+  return s;
+}
+
+}  // namespace iotml::data

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace iotml::data {
+
+/// Specification of one *view* (facet) of a multi-view dataset — the natural
+/// feature grouping the paper argues IoT data is endowed with (Section I):
+/// features that come from one sensor/device and share statistical character.
+struct ViewSpec {
+  std::size_t dims = 2;       ///< number of features in the view
+  double separation = 2.0;    ///< distance between class means along the view
+  double noise = 1.0;         ///< within-class standard deviation
+  bool informative = true;    ///< false: pure noise, carries no class signal
+};
+
+/// A dataset whose features carry a known facet structure.
+struct FacetedData {
+  Samples samples;
+  /// views[v] lists the feature (column) indices of view v. The ground-truth
+  /// partition of the feature set for partition-driven learning experiments.
+  std::vector<std::vector<std::size_t>> views;
+};
+
+/// Binary-classification data with a faceted feature set (the paper's
+/// person-identified-by-face+fingerprint+EEG+iris scenario, synthesized).
+/// Each informative view places the two class means `separation` apart along
+/// a random unit direction inside the view; features then receive isotropic
+/// Gaussian noise. Non-informative views are noise-only. Labels are 0/1,
+/// balanced.
+///
+/// NOTE: the signal directions are drawn fresh on every call, so two calls
+/// produce two *different* concepts. To obtain matched train/test sets,
+/// generate once and split rows (data::train_test_split + select_rows).
+FacetedData make_faceted_gaussian(std::size_t n_samples,
+                                  const std::vector<ViewSpec>& views, Rng& rng);
+
+/// The exact 4-phone table from the paper's Section III:
+///   ID | Battery Level | OS      | Available
+///   1  | AVERAGE       | Android | N
+///   2  | HIGH          | Android | Y
+///   3  | AVERAGE       | iOS     | Y
+///   4  | LOW           | Symbian | N
+/// Columns: "battery", "os"; labels: Available (Y = 1, N = 0).
+Dataset make_phone_fleet_paper();
+
+/// A larger synthetic fleet in the same schema plus a "signal" column.
+/// Ground truth: a phone is available when battery != LOW and os != Symbian
+/// and signal != WEAK; each label is flipped with probability `label_noise`.
+Dataset make_phone_fleet(std::size_t n, double label_noise, Rng& rng);
+
+/// Two isotropic Gaussian blobs (one per class), `separation` apart.
+Samples make_blobs(std::size_t n_samples, std::size_t dims, double separation,
+                   double noise, Rng& rng);
+
+/// 2-D XOR data: x uniform in [-1,1]^2, label = [x0 * x1 > 0], flipped with
+/// probability `label_noise`. Not linearly separable — exercises kernels.
+Samples make_xor(std::size_t n_samples, double label_noise, Rng& rng);
+
+/// Concentric circles: class 0 at radius ~r0, class 1 at radius ~r1.
+Samples make_circles(std::size_t n_samples, double r0, double r1, double noise, Rng& rng);
+
+}  // namespace iotml::data

@@ -1,0 +1,239 @@
+#include "game/bimatrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace iotml::game {
+
+void Bimatrix::validate() const {
+  IOTML_CHECK(!a.empty(), "Bimatrix: empty game");
+  IOTML_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+              "Bimatrix: payoff shape mismatch");
+}
+
+namespace {
+
+std::size_t row_best_response(const Bimatrix& game, std::size_t col) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < game.rows(); ++i) {
+    if (game.a(i, col) > game.a(best, col)) best = i;
+  }
+  return best;
+}
+
+std::size_t col_best_response(const Bimatrix& game, std::size_t row) {
+  std::size_t best = 0;
+  for (std::size_t j = 1; j < game.cols(); ++j) {
+    if (game.b(row, j) > game.b(row, best)) best = j;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<PureProfile> pure_nash(const Bimatrix& game) {
+  game.validate();
+  std::vector<PureProfile> out;
+  for (std::size_t i = 0; i < game.rows(); ++i) {
+    for (std::size_t j = 0; j < game.cols(); ++j) {
+      bool row_br = true, col_br = true;
+      for (std::size_t ii = 0; ii < game.rows(); ++ii) {
+        if (game.a(ii, j) > game.a(i, j)) row_br = false;
+      }
+      for (std::size_t jj = 0; jj < game.cols(); ++jj) {
+        if (game.b(i, jj) > game.b(i, j)) col_br = false;
+      }
+      if (row_br && col_br) out.push_back({i, j});
+    }
+  }
+  return out;
+}
+
+BestResponseResult best_response_dynamics(const Bimatrix& game, PureProfile start,
+                                          std::size_t max_steps) {
+  game.validate();
+  IOTML_CHECK(start.row < game.rows() && start.col < game.cols(),
+              "best_response_dynamics: start profile out of range");
+  BestResponseResult result;
+  result.profile = start;
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    const std::size_t new_row = row_best_response(game, result.profile.col);
+    const std::size_t new_col = col_best_response(game, new_row);
+    ++result.steps;
+    if (new_row == result.profile.row && new_col == result.profile.col) {
+      result.converged = true;
+      return result;
+    }
+    result.profile = {new_row, new_col};
+  }
+  // One last stability check at the horizon.
+  result.converged =
+      row_best_response(game, result.profile.col) == result.profile.row &&
+      col_best_response(game, result.profile.row) == result.profile.col;
+  return result;
+}
+
+namespace {
+
+/// Enumerate all k-subsets of [0, n).
+void for_each_subset(std::size_t n, std::size_t k,
+                     const std::function<void(const std::vector<std::size_t>&)>& visit) {
+  std::vector<std::size_t> subset(k);
+  std::function<void(std::size_t, std::size_t)> rec = [&](std::size_t start,
+                                                          std::size_t depth) {
+    if (depth == k) {
+      visit(subset);
+      return;
+    }
+    for (std::size_t i = start; i + (k - depth) <= n; ++i) {
+      subset[depth] = i;
+      rec(i + 1, depth + 1);
+    }
+  };
+  rec(0, 0);
+}
+
+/// Solve for a mixture over `support` of the opponent making the player
+/// indifferent across the player's support, i.e. for the column mixture q:
+/// sum_j a(i, j) q_j = v for all i in row support, sum q = 1.
+/// Returns empty when the system is singular or the mixture is invalid.
+std::vector<double> indifference_mixture(const la::Matrix& payoff,
+                                         const std::vector<std::size_t>& own_support,
+                                         const std::vector<std::size_t>& opp_support,
+                                         bool payoff_rows_are_own, double& value_out) {
+  const std::size_t k = own_support.size();
+  IOTML_CHECK(opp_support.size() == k, "indifference_mixture: support size mismatch");
+  // Unknowns: q over opp_support (k of them) + value v.
+  la::Matrix system(k + 1, k + 1);
+  la::Vector rhs(k + 1, 0.0);
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t c = 0; c < k; ++c) {
+      system(r, c) = payoff_rows_are_own ? payoff(own_support[r], opp_support[c])
+                                         : payoff(opp_support[c], own_support[r]);
+    }
+    system(r, k) = -1.0;  // - v
+  }
+  for (std::size_t c = 0; c < k; ++c) system(k, c) = 1.0;  // sum q = 1
+  rhs[k] = 1.0;
+
+  la::Vector solution;
+  try {
+    solution = la::solve_lu(system, rhs);
+  } catch (const NumericError&) {
+    return {};
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (solution[c] < -1e-9) return {};
+  }
+  value_out = solution[k];
+  std::vector<double> q(solution.begin(), solution.begin() + static_cast<std::ptrdiff_t>(k));
+  for (double& v : q) v = std::max(v, 0.0);
+  return q;
+}
+
+bool verify_equilibrium(const Bimatrix& game, const MixedProfile& profile, double tol) {
+  // No pure deviation may improve either player.
+  double row_value = 0.0, col_value = 0.0;
+  for (std::size_t i = 0; i < game.rows(); ++i) {
+    for (std::size_t j = 0; j < game.cols(); ++j) {
+      row_value += profile.row[i] * profile.col[j] * game.a(i, j);
+      col_value += profile.row[i] * profile.col[j] * game.b(i, j);
+    }
+  }
+  for (std::size_t i = 0; i < game.rows(); ++i) {
+    double dev = 0.0;
+    for (std::size_t j = 0; j < game.cols(); ++j) dev += profile.col[j] * game.a(i, j);
+    if (dev > row_value + tol) return false;
+  }
+  for (std::size_t j = 0; j < game.cols(); ++j) {
+    double dev = 0.0;
+    for (std::size_t i = 0; i < game.rows(); ++i) dev += profile.row[i] * game.b(i, j);
+    if (dev > col_value + tol) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<MixedProfile> mixed_nash(const Bimatrix& game, std::size_t max_support,
+                                     double tol) {
+  game.validate();
+  IOTML_CHECK(max_support >= 1, "mixed_nash: max_support must be >= 1");
+  std::vector<MixedProfile> found;
+
+  const std::size_t limit =
+      std::min({max_support, game.rows(), game.cols()});
+  for (std::size_t k = 1; k <= limit; ++k) {
+    for_each_subset(game.rows(), k, [&](const std::vector<std::size_t>& rs) {
+      for_each_subset(game.cols(), k, [&](const std::vector<std::size_t>& cs) {
+        // Column mixture makes the row player indifferent over rs;
+        // row mixture makes the column player indifferent over cs.
+        double va = 0.0, vb = 0.0;
+        std::vector<double> q = indifference_mixture(game.a, rs, cs, true, va);
+        if (q.empty()) return;
+        std::vector<double> p = indifference_mixture(game.b, cs, rs, false, vb);
+        if (p.empty()) return;
+
+        MixedProfile profile;
+        profile.row.assign(game.rows(), 0.0);
+        profile.col.assign(game.cols(), 0.0);
+        for (std::size_t idx = 0; idx < k; ++idx) {
+          profile.row[rs[idx]] = p[idx];
+          profile.col[cs[idx]] = q[idx];
+        }
+        if (!verify_equilibrium(game, profile, std::max(tol, 1e-7))) return;
+
+        profile.row_payoff = 0.0;
+        profile.col_payoff = 0.0;
+        for (std::size_t i = 0; i < game.rows(); ++i) {
+          for (std::size_t j = 0; j < game.cols(); ++j) {
+            profile.row_payoff += profile.row[i] * profile.col[j] * game.a(i, j);
+            profile.col_payoff += profile.row[i] * profile.col[j] * game.b(i, j);
+          }
+        }
+        // Deduplicate near-identical equilibria.
+        for (const MixedProfile& other : found) {
+          double diff = 0.0;
+          for (std::size_t i = 0; i < profile.row.size(); ++i) {
+            diff += std::fabs(profile.row[i] - other.row[i]);
+          }
+          for (std::size_t j = 0; j < profile.col.size(); ++j) {
+            diff += std::fabs(profile.col[j] - other.col[j]);
+          }
+          if (diff < 1e-6) return;
+        }
+        found.push_back(std::move(profile));
+      });
+    });
+  }
+  return found;
+}
+
+double social_welfare(const Bimatrix& game, PureProfile profile) {
+  game.validate();
+  IOTML_CHECK(profile.row < game.rows() && profile.col < game.cols(),
+              "social_welfare: profile out of range");
+  return game.a(profile.row, profile.col) + game.b(profile.row, profile.col);
+}
+
+PureProfile social_optimum(const Bimatrix& game) {
+  game.validate();
+  PureProfile best{0, 0};
+  double best_welfare = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < game.rows(); ++i) {
+    for (std::size_t j = 0; j < game.cols(); ++j) {
+      const double w = game.a(i, j) + game.b(i, j);
+      if (w > best_welfare) {
+        best_welfare = w;
+        best = {i, j};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace iotml::game

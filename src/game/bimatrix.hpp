@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace iotml::game {
+
+/// A general-sum two-player game in normal form: `a(i, j)` is the row
+/// player's payoff, `b(i, j)` the column player's, both maximizing. This is
+/// the paper's many-players setting (Section IV.B): compatible but
+/// non-aligned objectives.
+struct Bimatrix {
+  la::Matrix a;  ///< row player payoffs
+  la::Matrix b;  ///< column player payoffs
+
+  void validate() const;
+  std::size_t rows() const noexcept { return a.rows(); }
+  std::size_t cols() const noexcept { return a.cols(); }
+};
+
+struct PureProfile {
+  std::size_t row = 0;
+  std::size_t col = 0;
+
+  bool operator==(const PureProfile&) const = default;
+};
+
+/// All pure-strategy Nash equilibria (mutual best responses).
+std::vector<PureProfile> pure_nash(const Bimatrix& game);
+
+/// Best-response dynamics from a starting profile; returns the profile
+/// reached (a pure Nash when converged = true).
+struct BestResponseResult {
+  PureProfile profile;
+  bool converged = false;
+  std::size_t steps = 0;
+};
+BestResponseResult best_response_dynamics(const Bimatrix& game, PureProfile start,
+                                          std::size_t max_steps = 1000);
+
+/// A mixed-strategy equilibrium candidate.
+struct MixedProfile {
+  std::vector<double> row;
+  std::vector<double> col;
+  double row_payoff = 0.0;
+  double col_payoff = 0.0;
+};
+
+/// Support enumeration for mixed Nash equilibria with supports up to
+/// `max_support` (feasible for small strategy sets). Includes pure equilibria
+/// (support size 1). Returns equilibria verified to tolerance `tol`.
+std::vector<MixedProfile> mixed_nash(const Bimatrix& game, std::size_t max_support = 3,
+                                     double tol = 1e-9);
+
+/// Joint (utilitarian) welfare a(i,j) + b(i,j) of a pure profile.
+double social_welfare(const Bimatrix& game, PureProfile profile);
+
+/// The profile a single controller of both stages would pick: maximizes
+/// social welfare (the paper's single-player optimization baseline).
+PureProfile social_optimum(const Bimatrix& game);
+
+}  // namespace iotml::game

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace iotml::game {
+
+/// Solution of a two-player zero-sum matrix game. `payoff(i, j)` is what the
+/// column player pays the row player when row plays i and column plays j
+/// (row maximizes, column minimizes).
+struct ZeroSumSolution {
+  std::vector<double> row_strategy;  ///< mixed strategy over rows
+  std::vector<double> col_strategy;  ///< mixed strategy over columns
+  double value = 0.0;                ///< game value (row's guarantee)
+  double gap = 0.0;                  ///< duality gap of the returned pair
+  std::size_t iterations = 0;
+};
+
+/// A pure saddle point (i, j): entry that is simultaneously a row maximum of
+/// its column and a column minimum of its row.
+std::optional<std::pair<std::size_t, std::size_t>> pure_saddle_point(
+    const la::Matrix& payoff);
+
+/// Expected payoff of a mixed-strategy pair.
+double expected_payoff(const la::Matrix& payoff, const std::vector<double>& row,
+                       const std::vector<double>& col);
+
+/// Best-response value of the row player against a column mixture, and vice
+/// versa (used for duality-gap certificates).
+double row_best_response_value(const la::Matrix& payoff, const std::vector<double>& col);
+double col_best_response_value(const la::Matrix& payoff, const std::vector<double>& row);
+
+/// Solve by fictitious play (guaranteed to converge for zero-sum games),
+/// stopping when the duality gap of the empirical mixtures drops below `tol`.
+/// The returned `value` is the midpoint of the certified interval.
+ZeroSumSolution solve_zero_sum(const la::Matrix& payoff, double tol = 1e-3,
+                               std::size_t max_iterations = 200000);
+
+}  // namespace iotml::game

@@ -1,0 +1,80 @@
+#include "game/pareto.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace iotml::game {
+
+bool dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  IOTML_CHECK(a.size() == b.size() && !a.empty(), "dominates: dimension mismatch");
+  bool strictly = false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (a[k] < b[k]) return false;
+    if (a[k] > b[k]) strictly = true;
+  }
+  return strictly;
+}
+
+std::vector<std::size_t> pareto_front(const std::vector<std::vector<double>>& points) {
+  IOTML_CHECK(!points.empty(), "pareto_front: no points");
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (i != j && dominates(points[j], points[i])) dominated = true;
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+std::size_t weighted_sum_best(const std::vector<std::vector<double>>& points,
+                              const std::vector<double>& weights) {
+  IOTML_CHECK(!points.empty(), "weighted_sum_best: no points");
+  IOTML_CHECK(points.front().size() == weights.size(),
+              "weighted_sum_best: weight dimension mismatch");
+  std::size_t best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    double score = 0.0;
+    for (std::size_t k = 0; k < weights.size(); ++k) score += weights[k] * points[i][k];
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t chebyshev_best(const std::vector<std::vector<double>>& points,
+                           const std::vector<double>& weights) {
+  IOTML_CHECK(!points.empty(), "chebyshev_best: no points");
+  const std::size_t dims = weights.size();
+  IOTML_CHECK(points.front().size() == dims, "chebyshev_best: weight dimension mismatch");
+
+  // Ideal point: per-objective maximum.
+  std::vector<double> ideal(dims, -std::numeric_limits<double>::infinity());
+  for (const auto& p : points) {
+    IOTML_CHECK(p.size() == dims, "chebyshev_best: ragged points");
+    for (std::size_t k = 0; k < dims; ++k) ideal[k] = std::max(ideal[k], p[k]);
+  }
+
+  std::size_t best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    double regret = 0.0;
+    for (std::size_t k = 0; k < dims; ++k) {
+      regret = std::max(regret, weights[k] * (ideal[k] - points[i][k]));
+    }
+    if (regret < best_score) {
+      best_score = regret;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace iotml::game

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace iotml::game {
+
+/// Multi-objective utilities for the paper's single-player setting (Section
+/// IV.A): one controller trades off objectives like prediction accuracy vs
+/// the cost of learning many models. All objectives are MAXIMIZED; negate
+/// costs before calling.
+
+/// True iff `a` Pareto-dominates `b`: >= on every objective, > on at least one.
+bool dominates(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Indices of the non-dominated points (the Pareto front), in input order.
+std::vector<std::size_t> pareto_front(const std::vector<std::vector<double>>& points);
+
+/// Index of the point maximizing the weighted sum of objectives (weighted-sum
+/// scalarization — always picks a Pareto-optimal point for positive weights).
+std::size_t weighted_sum_best(const std::vector<std::vector<double>>& points,
+                              const std::vector<double>& weights);
+
+/// Index of the best point by the Chebyshev (min-max regret to the ideal)
+/// scalarization, which can reach non-convex parts of the front.
+std::size_t chebyshev_best(const std::vector<std::vector<double>>& points,
+                           const std::vector<double>& weights);
+
+}  // namespace iotml::game

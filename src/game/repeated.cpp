@@ -1,0 +1,97 @@
+#include "game/repeated.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace iotml::game {
+
+FixedAction::FixedAction(std::size_t action, std::string label)
+    : action_(action), label_(std::move(label)) {}
+
+std::size_t FixedAction::act(const std::vector<std::size_t>&,
+                             const std::vector<std::size_t>&) {
+  return action_;
+}
+
+GrimTrigger::GrimTrigger(std::size_t cooperative, std::size_t punishment,
+                         std::size_t opponent_cooperative)
+    : cooperative_(cooperative),
+      punishment_(punishment),
+      opponent_cooperative_(opponent_cooperative) {}
+
+std::size_t GrimTrigger::act(const std::vector<std::size_t>&,
+                             const std::vector<std::size_t>& opponent) {
+  if (!triggered_ && !opponent.empty() &&
+      opponent.back() != opponent_cooperative_) {
+    triggered_ = true;
+  }
+  return triggered_ ? punishment_ : cooperative_;
+}
+
+TitForTat::TitForTat(std::size_t cooperative,
+                     std::function<std::size_t(std::size_t)> mirror)
+    : cooperative_(cooperative), mirror_(std::move(mirror)) {
+  IOTML_CHECK(mirror_ != nullptr, "TitForTat: null mirror");
+}
+
+std::size_t TitForTat::act(const std::vector<std::size_t>&,
+                           const std::vector<std::size_t>& opponent) {
+  if (opponent.empty()) return cooperative_;
+  return mirror_(opponent.back());
+}
+
+RepeatedOutcome play_repeated(const Bimatrix& stage, RepeatedStrategy& row,
+                              RepeatedStrategy& col, std::size_t rounds,
+                              double delta) {
+  stage.validate();
+  IOTML_CHECK(rounds >= 1, "play_repeated: rounds must be >= 1");
+  IOTML_CHECK(delta >= 0.0 && delta < 1.0, "play_repeated: delta must be in [0, 1)");
+
+  row.reset();
+  col.reset();
+  RepeatedOutcome out;
+  double discount = 1.0;
+  for (std::size_t t = 0; t < rounds; ++t) {
+    // Note the argument order: each strategy sees (own history, opponent
+    // history).
+    const std::size_t i = row.act(out.row_actions, out.col_actions);
+    const std::size_t j = col.act(out.col_actions, out.row_actions);
+    IOTML_CHECK(i < stage.rows() && j < stage.cols(),
+                "play_repeated: strategy returned out-of-range action");
+    out.row_actions.push_back(i);
+    out.col_actions.push_back(j);
+    out.row_discounted += discount * stage.a(i, j);
+    out.col_discounted += discount * stage.b(i, j);
+    out.row_average += stage.a(i, j);
+    out.col_average += stage.b(i, j);
+    discount *= delta;
+  }
+  out.row_average /= static_cast<double>(rounds);
+  out.col_average /= static_cast<double>(rounds);
+  return out;
+}
+
+double grim_trigger_min_discount(const Bimatrix& stage, PureProfile target,
+                                 PureProfile punishment) {
+  stage.validate();
+  IOTML_CHECK(target.row < stage.rows() && target.col < stage.cols(),
+              "grim_trigger_min_discount: target out of range");
+  IOTML_CHECK(punishment.row < stage.rows() && punishment.col < stage.cols(),
+              "grim_trigger_min_discount: punishment out of range");
+
+  const double cooperate = stage.a(target.row, target.col);
+  const double punish = stage.a(punishment.row, punishment.col);
+
+  // Best one-shot deviation while the column player still cooperates.
+  double deviation = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < stage.rows(); ++i) {
+    if (i != target.row) deviation = std::max(deviation, stage.a(i, target.col));
+  }
+  if (deviation <= cooperate) return 0.0;          // no temptation at all
+  if (punish >= cooperate) return 1.0;             // punishment doesn't bite
+  // Standard condition: (1-delta) * deviation + delta * punish <= cooperate.
+  return (deviation - cooperate) / (deviation - punish);
+}
+
+}  // namespace iotml::game

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "game/bimatrix.hpp"
+
+namespace iotml::game {
+
+/// Repeated play of a stage bimatrix game — the natural frame for the
+/// paper's pipeline players, who interact on every batch, not once. With
+/// repetition, cooperation at a non-equilibrium profile (e.g. the pipeline's
+/// social optimum) can be self-enforcing via trigger strategies when players
+/// are patient enough (the folk-theorem mechanism).
+
+/// A (behavioral) strategy for repeated play: chooses this round's action
+/// from the full history of both players' past actions.
+class RepeatedStrategy {
+ public:
+  virtual ~RepeatedStrategy() = default;
+
+  /// `own`/`opponent` are the past action sequences (same length).
+  virtual std::size_t act(const std::vector<std::size_t>& own,
+                          const std::vector<std::size_t>& opponent) = 0;
+  virtual std::string name() const = 0;
+  virtual void reset() {}
+};
+
+/// Always play one fixed action.
+class FixedAction final : public RepeatedStrategy {
+ public:
+  explicit FixedAction(std::size_t action, std::string label = "fixed");
+  std::size_t act(const std::vector<std::size_t>&,
+                  const std::vector<std::size_t>&) override;
+  std::string name() const override { return label_; }
+
+ private:
+  std::size_t action_;
+  std::string label_;
+};
+
+/// Cooperate (play `cooperative`) until the opponent deviates from its own
+/// cooperative action once, then play `punishment` forever (grim trigger).
+class GrimTrigger final : public RepeatedStrategy {
+ public:
+  GrimTrigger(std::size_t cooperative, std::size_t punishment,
+              std::size_t opponent_cooperative);
+  std::size_t act(const std::vector<std::size_t>& own,
+                  const std::vector<std::size_t>& opponent) override;
+  std::string name() const override { return "grim-trigger"; }
+  void reset() override { triggered_ = false; }
+
+ private:
+  std::size_t cooperative_, punishment_, opponent_cooperative_;
+  bool triggered_ = false;
+};
+
+/// Play `cooperative` first, then mirror the opponent's previous action
+/// through a caller-provided mapping (tit-for-tat generalized to asymmetric
+/// action sets).
+class TitForTat final : public RepeatedStrategy {
+ public:
+  TitForTat(std::size_t cooperative,
+            std::function<std::size_t(std::size_t)> mirror);
+  std::size_t act(const std::vector<std::size_t>& own,
+                  const std::vector<std::size_t>& opponent) override;
+  std::string name() const override { return "tit-for-tat"; }
+
+ private:
+  std::size_t cooperative_;
+  std::function<std::size_t(std::size_t)> mirror_;
+};
+
+/// Outcome of a repeated-play simulation.
+struct RepeatedOutcome {
+  std::vector<std::size_t> row_actions;
+  std::vector<std::size_t> col_actions;
+  double row_discounted = 0.0;  ///< sum_t delta^t * a(i_t, j_t)
+  double col_discounted = 0.0;
+  double row_average = 0.0;     ///< per-round mean payoff
+  double col_average = 0.0;
+};
+
+/// Play `rounds` rounds of `stage` with discount factor `delta` in [0, 1).
+RepeatedOutcome play_repeated(const Bimatrix& stage, RepeatedStrategy& row,
+                              RepeatedStrategy& col, std::size_t rounds,
+                              double delta);
+
+/// The folk-theorem patience threshold for sustaining profile `target`
+/// against grim-trigger punishment at `punishment` (a stage Nash): the row
+/// player prefers cooperation iff
+///   delta >= (best_deviation - target) / (best_deviation - punishment).
+/// Returns the minimal delta for the row player (symmetric call with the
+/// transposed game gives the column player's).
+double grim_trigger_min_discount(const Bimatrix& stage, PureProfile target,
+                                 PureProfile punishment);
+
+}  // namespace iotml::game

@@ -1,0 +1,160 @@
+#include "game/sequential.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace iotml::game {
+
+std::unique_ptr<GameNode> GameNode::terminal(double p0, double p1) {
+  auto node = std::make_unique<GameNode>();
+  node->type = Type::kTerminal;
+  node->payoffs = {p0, p1};
+  return node;
+}
+
+std::unique_ptr<GameNode> GameNode::decision(
+    int player, std::string information_set,
+    std::vector<std::unique_ptr<GameNode>> kids) {
+  IOTML_CHECK(player == 0 || player == 1, "GameNode::decision: player must be 0/1");
+  IOTML_CHECK(!kids.empty(), "GameNode::decision: needs at least one action");
+  IOTML_CHECK(!information_set.empty(), "GameNode::decision: empty information set id");
+  auto node = std::make_unique<GameNode>();
+  node->type = Type::kDecision;
+  node->player = player;
+  node->information_set = std::move(information_set);
+  node->children = std::move(kids);
+  return node;
+}
+
+std::unique_ptr<GameNode> GameNode::chance(std::vector<double> probs,
+                                           std::vector<std::unique_ptr<GameNode>> kids) {
+  IOTML_CHECK(probs.size() == kids.size(), "GameNode::chance: probability count mismatch");
+  IOTML_CHECK(!kids.empty(), "GameNode::chance: needs at least one outcome");
+  double total = 0.0;
+  for (double p : probs) {
+    IOTML_CHECK(p >= 0.0, "GameNode::chance: negative probability");
+    total += p;
+  }
+  IOTML_CHECK(std::fabs(total - 1.0) < 1e-9, "GameNode::chance: probabilities must sum to 1");
+  auto node = std::make_unique<GameNode>();
+  node->type = Type::kChance;
+  node->chance_probs = std::move(probs);
+  node->children = std::move(kids);
+  return node;
+}
+
+ExtensiveGame::ExtensiveGame(std::unique_ptr<GameNode> root) : root_(std::move(root)) {
+  IOTML_CHECK(root_ != nullptr, "ExtensiveGame: null root");
+  info_sets_.resize(2);
+  info_index_.resize(2);
+  discover(*root_);
+}
+
+void ExtensiveGame::discover(const GameNode& node) {
+  if (node.type == GameNode::Type::kDecision) {
+    auto& index = info_index_[node.player];
+    auto it = index.find(node.information_set);
+    if (it == index.end()) {
+      index.emplace(node.information_set, info_sets_[node.player].size());
+      info_sets_[node.player].emplace_back(node.information_set, node.children.size());
+    } else {
+      IOTML_CHECK(info_sets_[node.player][it->second].second == node.children.size(),
+                  "ExtensiveGame: information set '" + node.information_set +
+                      "' has inconsistent action counts");
+    }
+  }
+  for (const auto& child : node.children) discover(*child);
+}
+
+const std::vector<std::pair<std::string, std::size_t>>& ExtensiveGame::information_sets(
+    int player) const {
+  IOTML_CHECK(player == 0 || player == 1, "information_sets: player must be 0/1");
+  return info_sets_[player];
+}
+
+std::size_t ExtensiveGame::num_pure_strategies(int player) const {
+  IOTML_CHECK(player == 0 || player == 1, "num_pure_strategies: player must be 0/1");
+  std::size_t count = 1;
+  for (const auto& [id, actions] : info_sets_[player]) count *= actions;
+  return count;
+}
+
+std::vector<std::size_t> ExtensiveGame::decode_strategy(int player,
+                                                        std::size_t index) const {
+  IOTML_CHECK(index < num_pure_strategies(player), "decode_strategy: index out of range");
+  std::vector<std::size_t> actions;
+  actions.reserve(info_sets_[player].size());
+  for (const auto& [id, count] : info_sets_[player]) {
+    actions.push_back(index % count);
+    index /= count;
+  }
+  return actions;
+}
+
+double ExtensiveGame::evaluate(const GameNode& node, const std::vector<std::size_t>& s0,
+                               const std::vector<std::size_t>& s1,
+                               int payoff_player) const {
+  switch (node.type) {
+    case GameNode::Type::kTerminal:
+      return node.payoffs[static_cast<std::size_t>(payoff_player)];
+    case GameNode::Type::kChance: {
+      double total = 0.0;
+      for (std::size_t c = 0; c < node.children.size(); ++c) {
+        if (node.chance_probs[c] == 0.0) continue;
+        total += node.chance_probs[c] *
+                 evaluate(*node.children[c], s0, s1, payoff_player);
+      }
+      return total;
+    }
+    case GameNode::Type::kDecision: {
+      const auto& strategy = node.player == 0 ? s0 : s1;
+      const std::size_t set_index =
+          info_index_[node.player].at(node.information_set);
+      const std::size_t action = strategy[set_index];
+      return evaluate(*node.children[action], s0, s1, payoff_player);
+    }
+  }
+  throw InternalError("ExtensiveGame::evaluate: unknown node type");
+}
+
+std::array<double, 2> ExtensiveGame::expected_payoffs(
+    const std::vector<std::size_t>& strategy0,
+    const std::vector<std::size_t>& strategy1) const {
+  IOTML_CHECK(strategy0.size() == info_sets_[0].size(),
+              "expected_payoffs: player 0 strategy size mismatch");
+  IOTML_CHECK(strategy1.size() == info_sets_[1].size(),
+              "expected_payoffs: player 1 strategy size mismatch");
+  return {evaluate(*root_, strategy0, strategy1, 0),
+          evaluate(*root_, strategy0, strategy1, 1)};
+}
+
+Bimatrix ExtensiveGame::to_normal_form() const {
+  const std::size_t m = num_pure_strategies(0);
+  const std::size_t n = num_pure_strategies(1);
+  IOTML_CHECK(m * n <= 1u << 20, "to_normal_form: strategy space too large");
+  Bimatrix game{la::Matrix(m, n), la::Matrix(m, n)};
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto s0 = decode_strategy(0, i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto s1 = decode_strategy(1, j);
+      const auto payoffs = expected_payoffs(s0, s1);
+      game.a(i, j) = payoffs[0];
+      game.b(i, j) = payoffs[1];
+    }
+  }
+  return game;
+}
+
+ZeroSumSolution ExtensiveGame::solve_zero_sum_game(double tol) const {
+  Bimatrix normal = to_normal_form();
+  for (std::size_t i = 0; i < normal.rows(); ++i) {
+    for (std::size_t j = 0; j < normal.cols(); ++j) {
+      IOTML_CHECK(std::fabs(normal.a(i, j) + normal.b(i, j)) < 1e-9,
+                  "solve_zero_sum_game: game is not zero-sum");
+    }
+  }
+  return solve_zero_sum(normal.a, tol);
+}
+
+}  // namespace iotml::game

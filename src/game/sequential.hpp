@@ -1,0 +1,85 @@
+#pragma once
+
+#include <array>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "game/bimatrix.hpp"
+#include "game/matrix_game.hpp"
+
+namespace iotml::game {
+
+/// A node of a two-player extensive-form game tree with information sets —
+/// the "sequential games of imperfect information" frame of Section IV.B.
+struct GameNode {
+  enum class Type { kChance, kDecision, kTerminal };
+
+  Type type = Type::kTerminal;
+
+  // kTerminal: payoffs[0] = player 0, payoffs[1] = player 1.
+  std::array<double, 2> payoffs{0.0, 0.0};
+
+  // kDecision: which player moves and which information set the node belongs
+  // to. Nodes sharing an information_set are indistinguishable to the mover,
+  // so a pure strategy must pick the same action at all of them (and they
+  // must offer the same number of actions).
+  int player = 0;
+  std::string information_set;
+
+  // kChance: probability per child (must sum to 1).
+  std::vector<double> chance_probs;
+
+  std::vector<std::unique_ptr<GameNode>> children;
+
+  static std::unique_ptr<GameNode> terminal(double p0, double p1);
+  static std::unique_ptr<GameNode> decision(int player, std::string information_set,
+                                            std::vector<std::unique_ptr<GameNode>> kids);
+  static std::unique_ptr<GameNode> chance(std::vector<double> probs,
+                                          std::vector<std::unique_ptr<GameNode>> kids);
+};
+
+/// A two-player extensive-form game. Solved by conversion to normal form:
+/// pure strategies are assignments information_set -> action, enumerated per
+/// player (exponential in information sets — intended for the small strategic
+/// models of pipeline interactions, not poker).
+class ExtensiveGame {
+ public:
+  explicit ExtensiveGame(std::unique_ptr<GameNode> root);
+
+  /// Information sets per player, in discovery order, with action counts.
+  const std::vector<std::pair<std::string, std::size_t>>& information_sets(
+      int player) const;
+
+  /// Number of pure strategies of a player (product of action counts).
+  std::size_t num_pure_strategies(int player) const;
+
+  /// Expected payoffs when players follow the given pure strategies
+  /// (strategy = action index per information set, in information_sets()
+  /// order).
+  std::array<double, 2> expected_payoffs(const std::vector<std::size_t>& strategy0,
+                                         const std::vector<std::size_t>& strategy1) const;
+
+  /// The induced normal form (rows = player 0 pure strategies in
+  /// lexicographic order, columns = player 1's).
+  Bimatrix to_normal_form() const;
+
+  /// Decode a pure-strategy index into per-information-set actions.
+  std::vector<std::size_t> decode_strategy(int player, std::size_t index) const;
+
+  /// Solve the zero-sum case (requires payoffs to satisfy p0 + p1 == 0
+  /// everywhere, checked): value is for player 0.
+  ZeroSumSolution solve_zero_sum_game(double tol = 1e-3) const;
+
+ private:
+  std::unique_ptr<GameNode> root_;
+  std::vector<std::vector<std::pair<std::string, std::size_t>>> info_sets_;  // [player]
+  std::vector<std::map<std::string, std::size_t>> info_index_;               // [player]
+
+  void discover(const GameNode& node);
+  double evaluate(const GameNode& node, const std::vector<std::size_t>& s0,
+                  const std::vector<std::size_t>& s1, int payoff_player) const;
+};
+
+}  // namespace iotml::game

@@ -1,0 +1,52 @@
+#include "game/stackelberg.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace iotml::game {
+
+StackelbergSolution solve_stackelberg(const Bimatrix& game, bool optimistic) {
+  game.validate();
+  StackelbergSolution best;
+  double best_leader = -std::numeric_limits<double>::infinity();
+
+  for (std::size_t i = 0; i < game.rows(); ++i) {
+    // Follower best-response set to leader action i.
+    double follower_best = -std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < game.cols(); ++j) {
+      follower_best = std::max(follower_best, game.b(i, j));
+    }
+    // Tie-break over the best-response set.
+    std::size_t chosen = 0;
+    double chosen_leader = optimistic ? -std::numeric_limits<double>::infinity()
+                                      : std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < game.cols(); ++j) {
+      if (game.b(i, j) < follower_best - 1e-12) continue;
+      const bool better = optimistic ? game.a(i, j) > chosen_leader
+                                     : game.a(i, j) < chosen_leader;
+      if (better) {
+        chosen_leader = game.a(i, j);
+        chosen = j;
+      }
+    }
+    if (chosen_leader > best_leader) {
+      best_leader = chosen_leader;
+      best = {i, chosen, game.a(i, chosen), game.b(i, chosen)};
+    }
+  }
+  return best;
+}
+
+StackelbergSolution solve_stackelberg_column_leader(const Bimatrix& game,
+                                                    bool optimistic) {
+  game.validate();
+  // Swap roles by transposing both payoff matrices.
+  Bimatrix swapped{game.b.transpose(), game.a.transpose()};
+  // In the swapped game the leader is the original column player, so the
+  // returned leader_action indexes the original game's columns and
+  // follower_action its rows; payoffs already refer to leader/follower roles.
+  return solve_stackelberg(swapped, optimistic);
+}
+
+}  // namespace iotml::game

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "game/bimatrix.hpp"
+
+namespace iotml::game {
+
+/// Stackelberg (leader-follower) solution of a bimatrix game: the row player
+/// commits first, the column player observes and best-responds. This models
+/// the paper's sequential pipeline: the preprocessing operator publishes its
+/// strategy, the analytics operator adapts (Section IV.B).
+struct StackelbergSolution {
+  std::size_t leader_action = 0;
+  std::size_t follower_action = 0;
+  double leader_payoff = 0.0;
+  double follower_payoff = 0.0;
+};
+
+/// Solve with the leader as the row player. `optimistic` selects how the
+/// follower breaks ties among its best responses: in the leader's favor
+/// (strong Stackelberg, true) or against it (weak/pessimistic, false).
+StackelbergSolution solve_stackelberg(const Bimatrix& game, bool optimistic = true);
+
+/// Same with roles swapped (column player commits first). In the returned
+/// solution, leader_action indexes the original game's *columns* and
+/// follower_action its *rows*; payoffs refer to leader/follower roles.
+StackelbergSolution solve_stackelberg_column_leader(const Bimatrix& game,
+                                                    bool optimistic = true);
+
+}  // namespace iotml::game

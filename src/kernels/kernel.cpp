@@ -1,0 +1,279 @@
+#include "kernels/kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace iotml::kernels {
+
+namespace {
+
+double dot_span(std::span<const double> x, std::span<const double> y) {
+  IOTML_CHECK(x.size() == y.size(), "Kernel: vector length mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+}  // namespace
+
+// ---- LinearKernel ----------------------------------------------------------
+
+double LinearKernel::operator()(std::span<const double> x,
+                                std::span<const double> y) const {
+  return dot_span(x, y);
+}
+
+std::unique_ptr<Kernel> LinearKernel::clone() const {
+  return std::make_unique<LinearKernel>();
+}
+
+// ---- PolynomialKernel ------------------------------------------------------
+
+PolynomialKernel::PolynomialKernel(unsigned degree, double scale, double offset)
+    : degree_(degree), scale_(scale), offset_(offset) {
+  IOTML_CHECK(degree >= 1, "PolynomialKernel: degree must be >= 1");
+  IOTML_CHECK(scale > 0.0, "PolynomialKernel: scale must be positive");
+  IOTML_CHECK(offset >= 0.0, "PolynomialKernel: offset must be non-negative");
+}
+
+double PolynomialKernel::operator()(std::span<const double> x,
+                                    std::span<const double> y) const {
+  return std::pow(scale_ * dot_span(x, y) + offset_, static_cast<double>(degree_));
+}
+
+std::unique_ptr<Kernel> PolynomialKernel::clone() const {
+  return std::make_unique<PolynomialKernel>(degree_, scale_, offset_);
+}
+
+std::string PolynomialKernel::name() const {
+  return "poly(d=" + std::to_string(degree_) + ")";
+}
+
+// ---- RbfKernel ---------------------------------------------------------------
+
+RbfKernel::RbfKernel(double gamma) : gamma_(gamma) {
+  IOTML_CHECK(gamma > 0.0, "RbfKernel: gamma must be positive");
+}
+
+double RbfKernel::operator()(std::span<const double> x,
+                             std::span<const double> y) const {
+  IOTML_CHECK(x.size() == y.size(), "RbfKernel: vector length mismatch");
+  double dist2 = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    dist2 += d * d;
+  }
+  return std::exp(-gamma_ * dist2);
+}
+
+std::unique_ptr<Kernel> RbfKernel::clone() const {
+  return std::make_unique<RbfKernel>(gamma_);
+}
+
+std::string RbfKernel::name() const { return "rbf"; }
+
+// ---- SubsetKernel ------------------------------------------------------------
+
+SubsetKernel::SubsetKernel(std::unique_ptr<Kernel> base,
+                           std::vector<std::size_t> features)
+    : base_(std::move(base)), features_(std::move(features)) {
+  IOTML_CHECK(base_ != nullptr, "SubsetKernel: null base kernel");
+  IOTML_CHECK(!features_.empty(), "SubsetKernel: empty feature subset");
+}
+
+double SubsetKernel::operator()(std::span<const double> x,
+                                std::span<const double> y) const {
+  std::vector<double> px(features_.size()), py(features_.size());
+  for (std::size_t i = 0; i < features_.size(); ++i) {
+    IOTML_CHECK(features_[i] < x.size() && features_[i] < y.size(),
+                "SubsetKernel: feature index out of range");
+    px[i] = x[features_[i]];
+    py[i] = y[features_[i]];
+  }
+  return (*base_)(px, py);
+}
+
+std::unique_ptr<Kernel> SubsetKernel::clone() const {
+  return std::make_unique<SubsetKernel>(base_->clone(), features_);
+}
+
+std::string SubsetKernel::name() const {
+  return base_->name() + "[|B|=" + std::to_string(features_.size()) + "]";
+}
+
+// ---- ProductKernel -----------------------------------------------------------
+
+ProductKernel::ProductKernel(std::vector<std::unique_ptr<Kernel>> factors)
+    : factors_(std::move(factors)) {
+  IOTML_CHECK(!factors_.empty(), "ProductKernel: no factors");
+  for (const auto& f : factors_) IOTML_CHECK(f != nullptr, "ProductKernel: null factor");
+}
+
+double ProductKernel::operator()(std::span<const double> x,
+                                 std::span<const double> y) const {
+  double acc = 1.0;
+  for (const auto& f : factors_) acc *= (*f)(x, y);
+  return acc;
+}
+
+std::unique_ptr<Kernel> ProductKernel::clone() const {
+  std::vector<std::unique_ptr<Kernel>> copies;
+  copies.reserve(factors_.size());
+  for (const auto& f : factors_) copies.push_back(f->clone());
+  return std::make_unique<ProductKernel>(std::move(copies));
+}
+
+std::string ProductKernel::name() const {
+  return "product(" + std::to_string(factors_.size()) + ")";
+}
+
+// ---- SumKernel ---------------------------------------------------------------
+
+SumKernel::SumKernel(std::vector<std::unique_ptr<Kernel>> terms,
+                     std::vector<double> weights)
+    : terms_(std::move(terms)), weights_(std::move(weights)) {
+  IOTML_CHECK(!terms_.empty(), "SumKernel: no terms");
+  IOTML_CHECK(terms_.size() == weights_.size(), "SumKernel: weight count mismatch");
+  for (const auto& t : terms_) IOTML_CHECK(t != nullptr, "SumKernel: null term");
+  for (double w : weights_) IOTML_CHECK(w >= 0.0, "SumKernel: negative weight");
+}
+
+double SumKernel::operator()(std::span<const double> x,
+                             std::span<const double> y) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    acc += weights_[i] * (*terms_[i])(x, y);
+  }
+  return acc;
+}
+
+std::unique_ptr<Kernel> SumKernel::clone() const {
+  std::vector<std::unique_ptr<Kernel>> copies;
+  copies.reserve(terms_.size());
+  for (const auto& t : terms_) copies.push_back(t->clone());
+  return std::make_unique<SumKernel>(std::move(copies), weights_);
+}
+
+std::string SumKernel::name() const {
+  return "sum(" + std::to_string(terms_.size()) + ")";
+}
+
+// ---- Gram utilities ------------------------------------------------------------
+
+la::Matrix gram(const Kernel& kernel, const la::Matrix& x) {
+  const std::size_t n = x.rows();
+  la::Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = kernel(x.row_span(i), x.row_span(j));
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+la::Matrix cross_gram(const Kernel& kernel, const la::Matrix& a, const la::Matrix& b) {
+  la::Matrix k(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      k(i, j) = kernel(a.row_span(i), b.row_span(j));
+    }
+  }
+  return k;
+}
+
+la::Matrix center_gram(const la::Matrix& k) {
+  IOTML_CHECK(k.is_square(), "center_gram: matrix not square");
+  const std::size_t n = k.rows();
+  const double nf = static_cast<double>(n);
+  std::vector<double> row_mean(n, 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) row_mean[i] += k(i, j);
+    row_mean[i] /= nf;
+    total += row_mean[i];
+  }
+  total /= nf;
+  la::Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      out(i, j) = k(i, j) - row_mean[i] - row_mean[j] + total;
+    }
+  }
+  return out;
+}
+
+la::Matrix normalize_gram(const la::Matrix& k) {
+  IOTML_CHECK(k.is_square(), "normalize_gram: matrix not square");
+  const std::size_t n = k.rows();
+  la::Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double denom = std::sqrt(k(i, i) * k(j, j));
+      out(i, j) = denom > 1e-300 ? k(i, j) / denom : 0.0;
+    }
+  }
+  return out;
+}
+
+double frobenius_inner(const la::Matrix& a, const la::Matrix& b) {
+  IOTML_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+              "frobenius_inner: shape mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += a(i, j) * b(i, j);
+  }
+  return acc;
+}
+
+double alignment(const la::Matrix& k1, const la::Matrix& k2) {
+  const double denom = k1.frobenius_norm() * k2.frobenius_norm();
+  if (denom < 1e-300) return 0.0;
+  return frobenius_inner(k1, k2) / denom;
+}
+
+double target_alignment(const la::Matrix& k, const std::vector<int>& y01) {
+  IOTML_CHECK(k.rows() == y01.size(), "target_alignment: label size mismatch");
+  const std::size_t n = y01.size();
+  la::Matrix target(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double yi = y01[i] == 1 ? 1.0 : -1.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      target(i, j) = yi * (y01[j] == 1 ? 1.0 : -1.0);
+    }
+  }
+  return alignment(center_gram(k), target);
+}
+
+double median_heuristic_gamma(const la::Matrix& x,
+                              const std::vector<std::size_t>& features) {
+  IOTML_CHECK(x.rows() >= 2, "median_heuristic_gamma: need >= 2 samples");
+  IOTML_CHECK(!features.empty(), "median_heuristic_gamma: empty feature subset");
+  // Subsample pairs for large n to keep this O(n) in practice.
+  const std::size_t n = x.rows();
+  std::vector<double> dist2;
+  const std::size_t max_pairs = 2000;
+  const std::size_t total_pairs = n * (n - 1) / 2;
+  const std::size_t stride = std::max<std::size_t>(1, total_pairs / max_pairs);
+  std::size_t counter = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (counter++ % stride != 0) continue;
+      double d2 = 0.0;
+      for (std::size_t f : features) {
+        const double d = x(i, f) - x(j, f);
+        d2 += d * d;
+      }
+      dist2.push_back(d2);
+    }
+  }
+  auto mid = dist2.begin() + static_cast<std::ptrdiff_t>(dist2.size() / 2);
+  std::nth_element(dist2.begin(), mid, dist2.end());
+  const double median = *mid;
+  return median > 1e-12 ? 1.0 / (2.0 * median) : 1.0;
+}
+
+}  // namespace iotml::kernels

@@ -1,0 +1,50 @@
+#include "kernels/krr.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace iotml::kernels {
+
+KernelRidge::KernelRidge(std::unique_ptr<Kernel> kernel, double lambda)
+    : kernel_(std::move(kernel)), lambda_(lambda) {
+  IOTML_CHECK(kernel_ != nullptr, "KernelRidge: null kernel");
+  IOTML_CHECK(lambda > 0.0, "KernelRidge: lambda must be positive");
+}
+
+void KernelRidge::fit(const la::Matrix& x, const std::vector<double>& y) {
+  IOTML_CHECK(x.rows() == y.size(), "KernelRidge::fit: label size mismatch");
+  IOTML_CHECK(x.rows() >= 1, "KernelRidge::fit: empty training set");
+  train_x_ = x;
+  la::Matrix k = gram(*kernel_, x);
+  for (std::size_t i = 0; i < k.rows(); ++i) k(i, i) += lambda_;
+  // K + lambda I is SPD; Cholesky with a jitter fallback for near-singular K.
+  la::Matrix l = la::cholesky(k, 1e-8);
+  alpha_ = la::cholesky_solve(l, y);
+  fitted_ = true;
+
+  double se = 0.0;
+  const std::vector<double> fit_values = predict(x);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    se += (fit_values[i] - y[i]) * (fit_values[i] - y[i]);
+  }
+  training_rmse_ = std::sqrt(se / static_cast<double>(y.size()));
+}
+
+double KernelRidge::predict_one(std::span<const double> x) const {
+  IOTML_CHECK(fitted_, "KernelRidge::predict_one: call fit() first");
+  double f = 0.0;
+  for (std::size_t i = 0; i < train_x_.rows(); ++i) {
+    f += alpha_[i] * (*kernel_)(train_x_.row_span(i), x);
+  }
+  return f;
+}
+
+std::vector<double> KernelRidge::predict(const la::Matrix& x) const {
+  IOTML_CHECK(fitted_, "KernelRidge::predict: call fit() first");
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_one(x.row_span(r));
+  return out;
+}
+
+}  // namespace iotml::kernels

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "kernels/kernel.hpp"
+#include "la/matrix.hpp"
+
+namespace iotml::kernels {
+
+/// Kernel ridge regression: alpha = (K + lambda I)^{-1} y; f(x) = k(x, X) alpha.
+///
+/// Used as the regression-side counterpart of the SVM (e.g. sensor-value
+/// reconstruction in the pipeline experiments) and as a cheap differentiable
+/// evaluator for kernel quality.
+class KernelRidge {
+ public:
+  KernelRidge(std::unique_ptr<Kernel> kernel, double lambda);
+
+  void fit(const la::Matrix& x, const std::vector<double>& y);
+  double predict_one(std::span<const double> x) const;
+  std::vector<double> predict(const la::Matrix& x) const;
+
+  /// In-sample training RMSE (fit quality diagnostic).
+  double training_rmse() const noexcept { return training_rmse_; }
+
+ private:
+  std::unique_ptr<Kernel> kernel_;
+  double lambda_;
+  la::Matrix train_x_;
+  std::vector<double> alpha_;
+  double training_rmse_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace iotml::kernels

@@ -1,0 +1,191 @@
+#include "kernels/mkl.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/metrics.hpp"
+#include "data/split.hpp"
+#include "util/error.hpp"
+
+namespace iotml::kernels {
+
+la::Matrix combine_grams(const std::vector<la::Matrix>& grams,
+                         const std::vector<double>& weights) {
+  IOTML_CHECK(!grams.empty(), "combine_grams: no grams");
+  IOTML_CHECK(grams.size() == weights.size(), "combine_grams: weight count mismatch");
+  la::Matrix out(grams.front().rows(), grams.front().cols());
+  for (std::size_t m = 0; m < grams.size(); ++m) {
+    IOTML_CHECK(grams[m].rows() == out.rows() && grams[m].cols() == out.cols(),
+                "combine_grams: gram shape mismatch");
+    IOTML_CHECK(weights[m] >= 0.0, "combine_grams: negative weight");
+    if (weights[m] == 0.0) continue;
+    for (std::size_t i = 0; i < out.rows(); ++i) {
+      for (std::size_t j = 0; j < out.cols(); ++j) {
+        out(i, j) += weights[m] * grams[m](i, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> uniform_weights(std::size_t count) {
+  IOTML_CHECK(count >= 1, "uniform_weights: count must be >= 1");
+  return std::vector<double>(count, 1.0 / static_cast<double>(count));
+}
+
+namespace {
+
+std::vector<double> normalized_or_uniform(std::vector<double> w) {
+  double total = 0.0;
+  for (double v : w) total += v;
+  if (total <= 1e-12) return uniform_weights(w.size());
+  for (double& v : w) v /= total;
+  return w;
+}
+
+}  // namespace
+
+std::vector<double> alignment_weights(const std::vector<la::Matrix>& grams,
+                                      const std::vector<int>& y01) {
+  IOTML_CHECK(!grams.empty(), "alignment_weights: no grams");
+  std::vector<double> w(grams.size());
+  for (std::size_t m = 0; m < grams.size(); ++m) {
+    w[m] = std::max(0.0, target_alignment(grams[m], y01));
+  }
+  return normalized_or_uniform(std::move(w));
+}
+
+std::vector<double> optimize_alignment_weights(const std::vector<la::Matrix>& grams,
+                                               const std::vector<int>& y01,
+                                               std::size_t rounds,
+                                               std::size_t grid_points) {
+  IOTML_CHECK(!grams.empty(), "optimize_alignment_weights: no grams");
+  IOTML_CHECK(grid_points >= 2, "optimize_alignment_weights: need >= 2 grid points");
+
+  // Precompute centered grams and the target for fast alignment of linear
+  // combinations: alignment(sum w_m Kc_m, Y).
+  std::vector<la::Matrix> centered;
+  centered.reserve(grams.size());
+  for (const auto& g : grams) centered.push_back(center_gram(g));
+
+  const std::size_t n = y01.size();
+  la::Matrix target(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double yi = y01[i] == 1 ? 1.0 : -1.0;
+    for (std::size_t j = 0; j < n; ++j) target(i, j) = yi * (y01[j] == 1 ? 1.0 : -1.0);
+  }
+
+  // <Kc_a, Kc_b>_F and <Kc_a, Y>_F tables make each candidate O(M^2).
+  const std::size_t m_count = grams.size();
+  la::Matrix kk(m_count, m_count);
+  std::vector<double> ky(m_count);
+  for (std::size_t a = 0; a < m_count; ++a) {
+    ky[a] = frobenius_inner(centered[a], target);
+    for (std::size_t b = a; b < m_count; ++b) {
+      kk(a, b) = frobenius_inner(centered[a], centered[b]);
+      kk(b, a) = kk(a, b);
+    }
+  }
+  const double y_norm = target.frobenius_norm();
+
+  auto alignment_of = [&](const std::vector<double>& w) {
+    double num = 0.0, denom2 = 0.0;
+    for (std::size_t a = 0; a < m_count; ++a) {
+      num += w[a] * ky[a];
+      for (std::size_t b = 0; b < m_count; ++b) denom2 += w[a] * w[b] * kk(a, b);
+    }
+    if (denom2 <= 1e-300 || y_norm <= 1e-300) return 0.0;
+    return num / (std::sqrt(denom2) * y_norm);
+  };
+
+  std::vector<double> w = alignment_weights(grams, y01);
+  double best = alignment_of(w);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t m = 0; m < m_count; ++m) {
+      const double original = w[m];
+      double best_value = original;
+      for (std::size_t g = 0; g < grid_points; ++g) {
+        // Geometric grid over [0, ~2]: 0 plus 2^-(grid-2) .. 2.
+        const double candidate =
+            g == 0 ? 0.0 : std::ldexp(2.0, -static_cast<int>(grid_points - 1 - g));
+        w[m] = candidate;
+        const double a = alignment_of(w);
+        if (a > best + 1e-12) {
+          best = a;
+          best_value = candidate;
+        }
+      }
+      w[m] = best_value;
+    }
+  }
+  return normalized_or_uniform(std::move(w));
+}
+
+// ---- KernelSvmClassifier -----------------------------------------------------
+
+KernelSvmClassifier::KernelSvmClassifier(std::unique_ptr<Kernel> kernel,
+                                         SvmParams params)
+    : kernel_(std::move(kernel)), params_(params) {
+  IOTML_CHECK(kernel_ != nullptr, "KernelSvmClassifier: null kernel");
+}
+
+void KernelSvmClassifier::fit(const data::Samples& train) {
+  IOTML_CHECK(!train.y.empty(), "KernelSvmClassifier::fit: unlabeled samples");
+  train_x_ = train.x;
+  model_ = train_svm(gram(*kernel_, train_x_), train.y, params_);
+  fitted_ = true;
+}
+
+std::vector<int> KernelSvmClassifier::predict(const la::Matrix& x) const {
+  IOTML_CHECK(fitted_, "KernelSvmClassifier::predict: call fit() first");
+  return model_.predict(cross_gram(*kernel_, x, train_x_));
+}
+
+double KernelSvmClassifier::accuracy(const data::Samples& test) const {
+  return data::accuracy(test.y, predict(test.x));
+}
+
+const SvmModel& KernelSvmClassifier::model() const {
+  IOTML_CHECK(fitted_, "KernelSvmClassifier::model: call fit() first");
+  return model_;
+}
+
+// ---- Cross validation -----------------------------------------------------------
+
+double cv_accuracy_precomputed(const la::Matrix& gram, const std::vector<int>& y01,
+                               std::size_t folds, Rng& rng, const SvmParams& params) {
+  IOTML_CHECK(gram.is_square(), "cv_accuracy_precomputed: gram must be square");
+  IOTML_CHECK(gram.rows() == y01.size(), "cv_accuracy_precomputed: label size mismatch");
+  data::KFold kfold(y01.size(), folds, rng);
+
+  std::size_t hits = 0, total = 0;
+  for (std::size_t f = 0; f < folds; ++f) {
+    const auto train_idx = kfold.train_indices(f);
+    const auto test_idx = kfold.test_indices(f);
+
+    la::Matrix train_gram(train_idx.size(), train_idx.size());
+    std::vector<int> train_y(train_idx.size());
+    for (std::size_t i = 0; i < train_idx.size(); ++i) {
+      train_y[i] = y01[train_idx[i]];
+      for (std::size_t j = 0; j < train_idx.size(); ++j) {
+        train_gram(i, j) = gram(train_idx[i], train_idx[j]);
+      }
+    }
+    // A fold can end up one-class on tiny datasets; skip it rather than fail.
+    const bool has_both = std::count(train_y.begin(), train_y.end(), 1) > 0 &&
+                          std::count(train_y.begin(), train_y.end(), 0) > 0;
+    if (!has_both) continue;
+
+    SvmModel model = train_svm(train_gram, train_y, params);
+    for (std::size_t t : test_idx) {
+      std::vector<double> k_row(train_idx.size());
+      for (std::size_t j = 0; j < train_idx.size(); ++j) k_row[j] = gram(t, train_idx[j]);
+      hits += model.predict(k_row) == y01[t] ? 1 : 0;
+      ++total;
+    }
+  }
+  IOTML_CHECK(total > 0, "cv_accuracy_precomputed: no usable folds");
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+}  // namespace iotml::kernels

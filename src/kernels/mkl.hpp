@@ -1,0 +1,64 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "kernels/kernel.hpp"
+#include "kernels/svm.hpp"
+#include "la/matrix.hpp"
+
+namespace iotml::kernels {
+
+/// Weighted sum of precomputed Gram matrices: K = sum_m w_m K_m.
+la::Matrix combine_grams(const std::vector<la::Matrix>& grams,
+                         const std::vector<double>& weights);
+
+/// Equal weights summing to 1.
+std::vector<double> uniform_weights(std::size_t count);
+
+/// Independent centered kernel-target alignment per kernel, negative values
+/// clipped to 0, normalized to sum 1 (Cortes-style heuristic weighting). If
+/// every kernel aligns non-positively, falls back to uniform.
+std::vector<double> alignment_weights(const std::vector<la::Matrix>& grams,
+                                      const std::vector<int>& y01);
+
+/// Coordinate-ascent maximization of the *combination's* centered target
+/// alignment over the simplex: round-robin line search on each weight with a
+/// geometric grid. Deterministic. Returns weights summing to 1.
+std::vector<double> optimize_alignment_weights(const std::vector<la::Matrix>& grams,
+                                               const std::vector<int>& y01,
+                                               std::size_t rounds = 4,
+                                               std::size_t grid_points = 9);
+
+/// An SVM classifier bound to an explicit kernel object: computes Grams on
+/// fit/predict. The convenient front door for library users; the search code
+/// uses precomputed Grams directly.
+class KernelSvmClassifier {
+ public:
+  explicit KernelSvmClassifier(std::unique_ptr<Kernel> kernel, SvmParams params = {});
+
+  void fit(const data::Samples& train);
+  std::vector<int> predict(const la::Matrix& x) const;
+  double accuracy(const data::Samples& test) const;
+
+  const Kernel& kernel() const noexcept { return *kernel_; }
+  const SvmModel& model() const;
+
+ private:
+  std::unique_ptr<Kernel> kernel_;
+  SvmParams params_;
+  la::Matrix train_x_;
+  SvmModel model_;
+  bool fitted_ = false;
+};
+
+/// k-fold cross-validated SVM accuracy over a precomputed Gram matrix. The
+/// Gram covers all samples; folds index into it, so the kernel is evaluated
+/// exactly once regardless of fold count — the workhorse of the lattice
+/// search.
+double cv_accuracy_precomputed(const la::Matrix& gram, const std::vector<int>& y01,
+                               std::size_t folds, Rng& rng,
+                               const SvmParams& params = {});
+
+}  // namespace iotml::kernels

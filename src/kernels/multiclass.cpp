@@ -1,0 +1,91 @@
+#include "kernels/multiclass.hpp"
+
+#include <algorithm>
+
+#include "data/metrics.hpp"
+#include "util/error.hpp"
+
+namespace iotml::kernels {
+
+OneVsOneSvm::OneVsOneSvm(std::unique_ptr<Kernel> kernel, SvmParams params)
+    : kernel_(std::move(kernel)), params_(params) {
+  IOTML_CHECK(kernel_ != nullptr, "OneVsOneSvm: null kernel");
+}
+
+void OneVsOneSvm::fit(const data::Samples& train) {
+  IOTML_CHECK(!train.y.empty(), "OneVsOneSvm::fit: unlabeled training set");
+  train_x_ = train.x;
+  num_classes_ = 0;
+  for (int y : train.y) {
+    IOTML_CHECK(y >= 0, "OneVsOneSvm::fit: labels must be non-negative");
+    num_classes_ = std::max(num_classes_, static_cast<std::size_t>(y) + 1);
+  }
+  IOTML_CHECK(num_classes_ >= 2, "OneVsOneSvm::fit: need at least 2 classes");
+
+  // One full Gram over all training points; every pair model indexes into it.
+  const la::Matrix full_gram = gram(*kernel_, train_x_);
+
+  pairs_.clear();
+  for (int a = 0; a < static_cast<int>(num_classes_); ++a) {
+    for (int b = a + 1; b < static_cast<int>(num_classes_); ++b) {
+      PairModel pm;
+      pm.negative = a;
+      pm.positive = b;
+      std::vector<int> pair_labels;
+      for (std::size_t r = 0; r < train.y.size(); ++r) {
+        if (train.y[r] == a || train.y[r] == b) {
+          pm.rows.push_back(r);
+          pair_labels.push_back(train.y[r] == b ? 1 : 0);
+        }
+      }
+      if (pm.rows.size() < 2 ||
+          std::count(pair_labels.begin(), pair_labels.end(), 1) == 0 ||
+          std::count(pair_labels.begin(), pair_labels.end(), 0) == 0) {
+        continue;  // a class absent from the sample: skip the pair
+      }
+      la::Matrix pair_gram(pm.rows.size(), pm.rows.size());
+      for (std::size_t i = 0; i < pm.rows.size(); ++i) {
+        for (std::size_t j = 0; j < pm.rows.size(); ++j) {
+          pair_gram(i, j) = full_gram(pm.rows[i], pm.rows[j]);
+        }
+      }
+      pm.model = train_svm(pair_gram, pair_labels, params_);
+      pairs_.push_back(std::move(pm));
+    }
+  }
+  IOTML_CHECK(!pairs_.empty(), "OneVsOneSvm::fit: no trainable class pair");
+  fitted_ = true;
+}
+
+std::vector<int> OneVsOneSvm::predict(const la::Matrix& x) const {
+  IOTML_CHECK(fitted_, "OneVsOneSvm::predict: call fit() first");
+  const la::Matrix cross = cross_gram(*kernel_, x, train_x_);
+
+  std::vector<int> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    std::vector<double> votes(num_classes_, 0.0);
+    for (const PairModel& pm : pairs_) {
+      std::vector<double> k_row(pm.rows.size());
+      for (std::size_t i = 0; i < pm.rows.size(); ++i) {
+        k_row[i] = cross(r, pm.rows[i]);
+      }
+      const double decision = pm.model.decision(k_row);
+      // Vote with a soft margin weight so ties break sensibly.
+      if (decision >= 0.0) {
+        votes[pm.positive] += 1.0 + std::min(decision, 1.0) * 1e-3;
+      } else {
+        votes[pm.negative] += 1.0 + std::min(-decision, 1.0) * 1e-3;
+      }
+    }
+    out[r] = static_cast<int>(
+        std::max_element(votes.begin(), votes.end()) - votes.begin());
+  }
+  return out;
+}
+
+double OneVsOneSvm::accuracy(const data::Samples& test) const {
+  IOTML_CHECK(!test.y.empty(), "OneVsOneSvm::accuracy: unlabeled test set");
+  return data::accuracy(test.y, predict(test.x));
+}
+
+}  // namespace iotml::kernels

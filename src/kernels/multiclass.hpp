@@ -1,0 +1,41 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "kernels/mkl.hpp"
+
+namespace iotml::kernels {
+
+/// One-vs-one multi-class SVM: one binary classifier per class pair, vote at
+/// prediction. Extends the binary machinery to the multi-class problems IoT
+/// analytics actually poses (device-type identification, activity classes).
+class OneVsOneSvm {
+ public:
+  explicit OneVsOneSvm(std::unique_ptr<Kernel> kernel, SvmParams params = {});
+
+  void fit(const data::Samples& train);
+
+  std::vector<int> predict(const la::Matrix& x) const;
+  double accuracy(const data::Samples& test) const;
+
+  std::size_t num_classes() const noexcept { return num_classes_; }
+  std::size_t num_pairs() const noexcept { return pairs_.size(); }
+
+ private:
+  struct PairModel {
+    int negative = 0;  ///< class mapped to 0
+    int positive = 1;  ///< class mapped to 1
+    SvmModel model;
+    std::vector<std::size_t> rows;  ///< training rows used (into train_x_)
+  };
+
+  std::unique_ptr<Kernel> kernel_;
+  SvmParams params_;
+  la::Matrix train_x_;
+  std::size_t num_classes_ = 0;
+  std::vector<PairModel> pairs_;
+  bool fitted_ = false;
+};
+
+}  // namespace iotml::kernels

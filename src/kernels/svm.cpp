@@ -1,0 +1,133 @@
+#include "kernels/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace iotml::kernels {
+
+double SvmModel::decision(const std::vector<double>& k_train) const {
+  IOTML_CHECK(k_train.size() == alpha_.size(), "SvmModel::decision: kernel row size mismatch");
+  double f = b_;
+  for (std::size_t i = 0; i < alpha_.size(); ++i) {
+    if (alpha_[i] > 0.0) f += alpha_[i] * y_[i] * k_train[i];
+  }
+  return f;
+}
+
+int SvmModel::predict(const std::vector<double>& k_train) const {
+  return decision(k_train) >= 0.0 ? 1 : 0;
+}
+
+std::vector<int> SvmModel::predict(const la::Matrix& cross_gram_test_train) const {
+  IOTML_CHECK(cross_gram_test_train.cols() == alpha_.size(),
+              "SvmModel::predict: cross-gram column mismatch");
+  std::vector<int> out(cross_gram_test_train.rows());
+  for (std::size_t r = 0; r < cross_gram_test_train.rows(); ++r) {
+    out[r] = predict(cross_gram_test_train.row(r));
+  }
+  return out;
+}
+
+std::size_t SvmModel::num_support_vectors() const {
+  return static_cast<std::size_t>(
+      std::count_if(alpha_.begin(), alpha_.end(), [](double a) { return a > 1e-12; }));
+}
+
+SvmModel train_svm(const la::Matrix& gram, const std::vector<int>& y01,
+                   const SvmParams& params) {
+  IOTML_CHECK(gram.is_square(), "train_svm: gram must be square");
+  const std::size_t n = gram.rows();
+  IOTML_CHECK(n >= 2, "train_svm: need at least 2 samples");
+  IOTML_CHECK(y01.size() == n, "train_svm: label size mismatch");
+  IOTML_CHECK(params.c > 0.0, "train_svm: C must be positive");
+
+  SvmModel model;
+  model.alpha_.assign(n, 0.0);
+  model.y_.resize(n);
+  bool has_pos = false, has_neg = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    IOTML_CHECK(y01[i] == 0 || y01[i] == 1, "train_svm: labels must be 0/1");
+    model.y_[i] = y01[i] == 1 ? 1.0 : -1.0;
+    (y01[i] == 1 ? has_pos : has_neg) = true;
+  }
+  IOTML_CHECK(has_pos && has_neg, "train_svm: both classes must be present");
+
+  const double c = params.c;
+  auto& alpha = model.alpha_;
+  const auto& y = model.y_;
+  double& b = model.b_;
+
+  // Cached decision errors E_i = f(x_i) - y_i, recomputed lazily.
+  auto f_of = [&](std::size_t i) {
+    double f = b;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (alpha[j] > 0.0) f += alpha[j] * y[j] * gram(j, i);
+    }
+    return f;
+  };
+
+  Rng rng(params.seed);
+  std::size_t passes = 0;
+  std::size_t iterations = 0;
+
+  while (passes < params.max_passes && iterations < params.max_iterations) {
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < n && iterations < params.max_iterations; ++i) {
+      ++iterations;
+      const double e_i = f_of(i) - y[i];
+      // KKT violation check for example i.
+      if (!((y[i] * e_i < -params.tol && alpha[i] < c) ||
+            (y[i] * e_i > params.tol && alpha[i] > 0.0))) {
+        continue;
+      }
+      // Pick a random partner j != i.
+      std::size_t j = rng.index(n - 1);
+      if (j >= i) ++j;
+      const double e_j = f_of(j) - y[j];
+
+      const double alpha_i_old = alpha[i];
+      const double alpha_j_old = alpha[j];
+
+      double lo, hi;
+      if (y[i] != y[j]) {
+        lo = std::max(0.0, alpha[j] - alpha[i]);
+        hi = std::min(c, c + alpha[j] - alpha[i]);
+      } else {
+        lo = std::max(0.0, alpha[i] + alpha[j] - c);
+        hi = std::min(c, alpha[i] + alpha[j]);
+      }
+      if (hi - lo < 1e-12) continue;
+
+      const double eta = 2.0 * gram(i, j) - gram(i, i) - gram(j, j);
+      if (eta >= -1e-12) continue;  // non-positive curvature: skip
+
+      double alpha_j_new = alpha_j_old - y[j] * (e_i - e_j) / eta;
+      alpha_j_new = std::clamp(alpha_j_new, lo, hi);
+      if (std::fabs(alpha_j_new - alpha_j_old) < 1e-7) continue;
+
+      alpha[j] = alpha_j_new;
+      alpha[i] = alpha_i_old + y[i] * y[j] * (alpha_j_old - alpha_j_new);
+
+      // Bias update (Platt's rules).
+      const double b1 = b - e_i - y[i] * (alpha[i] - alpha_i_old) * gram(i, i) -
+                        y[j] * (alpha[j] - alpha_j_old) * gram(i, j);
+      const double b2 = b - e_j - y[i] * (alpha[i] - alpha_i_old) * gram(i, j) -
+                        y[j] * (alpha[j] - alpha_j_old) * gram(j, j);
+      if (alpha[i] > 0.0 && alpha[i] < c) {
+        b = b1;
+      } else if (alpha[j] > 0.0 && alpha[j] < c) {
+        b = b2;
+      } else {
+        b = 0.5 * (b1 + b2);
+      }
+      ++changed;
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+  }
+  model.iterations_ = iterations;
+  return model;
+}
+
+}  // namespace iotml::kernels

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace iotml::kernels {
+
+/// C-SVM hyperparameters.
+struct SvmParams {
+  double c = 1.0;            ///< box constraint
+  double tol = 1e-3;         ///< KKT violation tolerance
+  std::size_t max_passes = 10;   ///< consecutive full passes without change before stopping
+  std::size_t max_iterations = 20000;  ///< hard cap on SMO iterations
+  std::uint64_t seed = 7;    ///< seed for the SMO partner-choice randomization
+};
+
+/// A trained binary soft-margin SVM over a *precomputed* Gram matrix.
+///
+/// Working on precomputed kernels is deliberate: the partition-lattice search
+/// evaluates many kernel combinations over the same samples, and block Gram
+/// matrices can be computed once and combined by weights without touching the
+/// raw features again.
+class SvmModel {
+ public:
+  /// Decision value f(x) = sum_i alpha_i y_i k(x_i, x) + b, where k_train[i]
+  /// holds k(x_i, x) for every training point i.
+  double decision(const std::vector<double>& k_train) const;
+
+  /// Class in {0, 1} from the decision sign.
+  int predict(const std::vector<double>& k_train) const;
+
+  /// Batch prediction given a cross-Gram matrix (rows = test, cols = train).
+  std::vector<int> predict(const la::Matrix& cross_gram_test_train) const;
+
+  const std::vector<double>& alphas() const noexcept { return alpha_; }
+  double bias() const noexcept { return b_; }
+  std::size_t num_support_vectors() const;
+  std::size_t iterations_used() const noexcept { return iterations_; }
+
+ private:
+  friend SvmModel train_svm(const la::Matrix&, const std::vector<int>&, const SvmParams&);
+
+  std::vector<double> alpha_;  ///< per-training-point multipliers
+  std::vector<double> y_;      ///< labels mapped to +/-1
+  double b_ = 0.0;
+  std::size_t iterations_ = 0;
+};
+
+/// Train a binary C-SVM with simplified SMO (Platt) on a precomputed Gram.
+/// Labels are 0/1 (mapped internally to -1/+1). Both classes must be present.
+SvmModel train_svm(const la::Matrix& gram, const std::vector<int>& y01,
+                   const SvmParams& params = {});
+
+}  // namespace iotml::kernels

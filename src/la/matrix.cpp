@@ -1,0 +1,452 @@
+#include "la/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace iotml::la {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> values) {
+  rows_ = values.size();
+  cols_ = rows_ == 0 ? 0 : values.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : values) {
+    IOTML_CHECK(row.size() == cols_, "Matrix: ragged initializer list");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  IOTML_CHECK(r < rows_ && c < cols_, "Matrix::at: index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  IOTML_CHECK(r < rows_ && c < cols_, "Matrix::at: index out of range");
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  IOTML_CHECK(cols_ == rhs.rows_, "Matrix::operator*: shape mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out(i, j) += aik * rhs(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Vector Matrix::operator*(const Vector& rhs) const {
+  IOTML_CHECK(cols_ == rhs.size(), "Matrix::operator*(Vector): shape mismatch");
+  Vector out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) acc += (*this)(i, j) * rhs[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  IOTML_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_, "Matrix::operator+: shape mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  IOTML_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_, "Matrix::operator-: shape mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  IOTML_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_, "Matrix::operator+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+Matrix Matrix::scaled(double scalar) const {
+  Matrix out = *this;
+  out *= scalar;
+  return out;
+}
+
+Vector Matrix::row(std::size_t r) const {
+  IOTML_CHECK(r < rows_, "Matrix::row: index out of range");
+  return Vector(data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+                data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_));
+}
+
+Vector Matrix::col(std::size_t c) const {
+  IOTML_CHECK(c < cols_, "Matrix::col: index out of range");
+  Vector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::trace() const {
+  IOTML_CHECK(is_square(), "Matrix::trace: matrix not square");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) acc += (*this)(i, i);
+  return acc;
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  IOTML_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+              "Matrix::max_abs_diff: shape mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::fabs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+bool Matrix::is_symmetric(double tol) const {
+  if (!is_square()) return false;
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = i + 1; j < cols_; ++j)
+      if (std::fabs((*this)(i, j) - (*this)(j, i)) > tol) return false;
+  return true;
+}
+
+// ---- Vector helpers ------------------------------------------------------
+
+double dot(const Vector& a, const Vector& b) {
+  IOTML_CHECK(a.size() == b.size(), "dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
+
+Vector axpy(double alpha, const Vector& x, const Vector& y) {
+  IOTML_CHECK(x.size() == y.size(), "axpy: size mismatch");
+  Vector out(y);
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] += alpha * x[i];
+  return out;
+}
+
+Vector scale(double alpha, const Vector& x) {
+  Vector out(x);
+  for (double& v : out) v *= alpha;
+  return out;
+}
+
+Vector sub(const Vector& a, const Vector& b) {
+  IOTML_CHECK(a.size() == b.size(), "sub: size mismatch");
+  Vector out(a);
+  for (std::size_t i = 0; i < b.size(); ++i) out[i] -= b[i];
+  return out;
+}
+
+Vector add(const Vector& a, const Vector& b) {
+  IOTML_CHECK(a.size() == b.size(), "add: size mismatch");
+  Vector out(a);
+  for (std::size_t i = 0; i < b.size(); ++i) out[i] += b[i];
+  return out;
+}
+
+// ---- LU ------------------------------------------------------------------
+
+namespace {
+
+/// In-place LU with partial pivoting. Returns the permutation's row order and
+/// the parity of the permutation; throws on singularity.
+struct LuResult {
+  std::vector<std::size_t> perm;
+  int sign = 1;
+};
+
+LuResult lu_decompose_inplace(Matrix& a) {
+  IOTML_CHECK(a.is_square(), "LU: matrix not square");
+  const std::size_t n = a.rows();
+  LuResult result;
+  result.perm.resize(n);
+  std::iota(result.perm.begin(), result.perm.end(), std::size_t{0});
+
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t pivot = k;
+    double best = std::fabs(a(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      double v = std::fabs(a(i, k));
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    if (best < 1e-13) throw NumericError("LU: matrix is numerically singular");
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(k, j), a(pivot, j));
+      std::swap(result.perm[k], result.perm[pivot]);
+      result.sign = -result.sign;
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      a(i, k) /= a(k, k);
+      const double lik = a(i, k);
+      if (lik == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) a(i, j) -= lik * a(k, j);
+    }
+  }
+  return result;
+}
+
+Vector lu_solve_factored(const Matrix& lu, const std::vector<std::size_t>& perm,
+                         const Vector& b) {
+  const std::size_t n = lu.rows();
+  Vector x(n);
+  // Forward substitution with permuted b (L has unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[perm[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu(ii, j) * x[j];
+    x[ii] = acc / lu(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace
+
+Vector solve_lu(Matrix a, Vector b) {
+  IOTML_CHECK(a.rows() == b.size(), "solve_lu: shape mismatch");
+  LuResult f = lu_decompose_inplace(a);
+  return lu_solve_factored(a, f.perm, b);
+}
+
+Matrix solve_lu(Matrix a, const Matrix& b) {
+  IOTML_CHECK(a.rows() == b.rows(), "solve_lu: shape mismatch");
+  LuResult f = lu_decompose_inplace(a);
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    Vector xc = lu_solve_factored(a, f.perm, b.col(c));
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = xc[r];
+  }
+  return x;
+}
+
+double determinant(Matrix a) {
+  LuResult f;
+  try {
+    f = lu_decompose_inplace(a);
+  } catch (const NumericError&) {
+    return 0.0;
+  }
+  double det = f.sign;
+  for (std::size_t i = 0; i < a.rows(); ++i) det *= a(i, i);
+  return det;
+}
+
+Matrix inverse(const Matrix& a) {
+  IOTML_CHECK(a.is_square(), "inverse: matrix not square");
+  return solve_lu(a, Matrix::identity(a.rows()));
+}
+
+// ---- Cholesky --------------------------------------------------------------
+
+namespace {
+
+bool try_cholesky(const Matrix& a, Matrix& l) {
+  const std::size_t n = a.rows();
+  l = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (acc <= 0.0) return false;
+        l(i, j) = std::sqrt(acc);
+      } else {
+        l(i, j) = acc / l(j, j);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Matrix cholesky(const Matrix& a, double jitter) {
+  IOTML_CHECK(a.is_square(), "cholesky: matrix not square");
+  Matrix l;
+  if (try_cholesky(a, l)) return l;
+  if (jitter > 0.0) {
+    Matrix regularized = a;
+    for (std::size_t i = 0; i < a.rows(); ++i) regularized(i, i) += jitter;
+    if (try_cholesky(regularized, l)) return l;
+  }
+  throw NumericError("cholesky: matrix is not positive definite");
+}
+
+Vector cholesky_solve(const Matrix& l, const Vector& b) {
+  const std::size_t n = l.rows();
+  IOTML_CHECK(b.size() == n, "cholesky_solve: shape mismatch");
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= l(i, j) * y[j];
+    y[i] = acc / l(i, i);
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= l(j, ii) * x[j];
+    x[ii] = acc / l(ii, ii);
+  }
+  return x;
+}
+
+// ---- Jacobi eigensolver ----------------------------------------------------
+
+EigenResult eigen_symmetric(const Matrix& a, int max_sweeps, double tol) {
+  IOTML_CHECK(a.is_square(), "eigen_symmetric: matrix not square");
+  IOTML_CHECK(a.is_symmetric(1e-8), "eigen_symmetric: matrix not symmetric");
+  const std::size_t n = a.rows();
+  Matrix d = a;
+  Matrix v = Matrix::identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) off += d(i, j) * d(i, j);
+    if (off < tol * tol) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::fabs(d(p, q)) < 1e-300) continue;
+        const double theta = (d(q, q) - d(p, p)) / (2.0 * d(p, q));
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs descending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return d(i, i) > d(j, j); });
+
+  EigenResult result;
+  result.values.resize(n);
+  result.vectors = Matrix(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    result.values[c] = d(order[c], order[c]);
+    for (std::size_t r = 0; r < n; ++r) result.vectors(r, c) = v(r, order[c]);
+  }
+  return result;
+}
+
+// ---- Statistics helpers ----------------------------------------------------
+
+Vector column_means(const Matrix& x) {
+  IOTML_CHECK(x.rows() > 0, "column_means: empty matrix");
+  Vector mean(x.cols(), 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r)
+    for (std::size_t c = 0; c < x.cols(); ++c) mean[c] += x(r, c);
+  for (double& m : mean) m /= static_cast<double>(x.rows());
+  return mean;
+}
+
+Matrix covariance(const Matrix& x) {
+  IOTML_CHECK(x.rows() > 1, "covariance: need at least 2 samples");
+  const Vector mean = column_means(x);
+  Matrix cov(x.cols(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t i = 0; i < x.cols(); ++i) {
+      const double di = x(r, i) - mean[i];
+      for (std::size_t j = i; j < x.cols(); ++j) {
+        cov(i, j) += di * (x(r, j) - mean[j]);
+      }
+    }
+  }
+  const double denom = static_cast<double>(x.rows() - 1);
+  for (std::size_t i = 0; i < x.cols(); ++i)
+    for (std::size_t j = i; j < x.cols(); ++j) {
+      cov(i, j) /= denom;
+      cov(j, i) = cov(i, j);
+    }
+  return cov;
+}
+
+Matrix cross_covariance(const Matrix& x, const Matrix& y) {
+  IOTML_CHECK(x.rows() == y.rows(), "cross_covariance: row mismatch");
+  IOTML_CHECK(x.rows() > 1, "cross_covariance: need at least 2 samples");
+  const Vector mx = column_means(x);
+  const Vector my = column_means(y);
+  Matrix cov(x.cols(), y.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t i = 0; i < x.cols(); ++i) {
+      const double di = x(r, i) - mx[i];
+      for (std::size_t j = 0; j < y.cols(); ++j) {
+        cov(i, j) += di * (y(r, j) - my[j]);
+      }
+    }
+  }
+  const double denom = static_cast<double>(x.rows() - 1);
+  cov *= 1.0 / denom;
+  return cov;
+}
+
+}  // namespace iotml::la

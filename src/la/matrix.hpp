@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace iotml::la {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles.
+///
+/// This is deliberately a small, dependency-free implementation sized for the
+/// library's needs (kernel Gram matrices, covariance matrices, CCA): O(n^3)
+/// factorizations on matrices up to a few thousand rows.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  Matrix(std::initializer_list<std::initializer_list<double>> values);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Checked element access.
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  const std::vector<double>& data() const noexcept { return data_; }
+
+  Matrix transpose() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Vector operator*(const Vector& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator*=(double scalar);
+  Matrix scaled(double scalar) const;
+
+  Vector row(std::size_t r) const;
+  Vector col(std::size_t c) const;
+
+  /// Zero-copy view of row r (rows are stored contiguously).
+  std::span<const double> row_span(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// Trace (square matrices only).
+  double trace() const;
+
+  /// Max |a_ij - b_ij|; matrices must have identical shape.
+  double max_abs_diff(const Matrix& other) const;
+
+  bool is_square() const noexcept { return rows_ == cols_; }
+  bool is_symmetric(double tol = 1e-10) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// ---- Vector helpers ------------------------------------------------------
+
+double dot(const Vector& a, const Vector& b);
+double norm2(const Vector& a);
+Vector axpy(double alpha, const Vector& x, const Vector& y);  // alpha*x + y
+Vector scale(double alpha, const Vector& x);
+Vector sub(const Vector& a, const Vector& b);
+Vector add(const Vector& a, const Vector& b);
+
+// ---- Factorizations ------------------------------------------------------
+
+/// Solve A x = b via LU with partial pivoting. Throws NumericError if A is
+/// (numerically) singular.
+Vector solve_lu(Matrix a, Vector b);
+
+/// Solve A X = B column-by-column.
+Matrix solve_lu(Matrix a, const Matrix& b);
+
+/// Cholesky factor L with A = L L^T for symmetric positive-definite A.
+/// Throws NumericError if A is not positive definite (beyond `jitter` rescue:
+/// if the first attempt fails and jitter > 0, retries once with
+/// A + jitter * I, which is the standard regularization for kernel matrices).
+Matrix cholesky(const Matrix& a, double jitter = 0.0);
+
+/// Solve A x = b given the Cholesky factor L of A.
+Vector cholesky_solve(const Matrix& l, const Vector& b);
+
+/// Determinant via LU (sign-aware).
+double determinant(Matrix a);
+
+/// Inverse via LU; throws NumericError when singular.
+Matrix inverse(const Matrix& a);
+
+/// Result of a symmetric eigendecomposition.
+struct EigenResult {
+  Vector values;   ///< eigenvalues, descending
+  Matrix vectors;  ///< column i is the eigenvector for values[i]
+};
+
+/// Jacobi rotation eigensolver for symmetric matrices. Robust and simple;
+/// O(n^3) per sweep, fine for the few-hundred-dimensional problems here.
+EigenResult eigen_symmetric(const Matrix& a, int max_sweeps = 64, double tol = 1e-12);
+
+/// Column-wise mean of a data matrix (rows = samples).
+Vector column_means(const Matrix& x);
+
+/// Sample covariance of a data matrix (rows = samples), denominator n-1.
+Matrix covariance(const Matrix& x);
+
+/// Cross-covariance between two sample matrices with equal row counts.
+Matrix cross_covariance(const Matrix& x, const Matrix& y);
+
+}  // namespace iotml::la

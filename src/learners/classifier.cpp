@@ -1,0 +1,20 @@
+#include "learners/classifier.hpp"
+
+#include "data/metrics.hpp"
+#include "util/error.hpp"
+
+namespace iotml::learners {
+
+std::vector<int> Classifier::predict(const data::Dataset& ds) const {
+  std::vector<int> out;
+  out.reserve(ds.rows());
+  for (std::size_t r = 0; r < ds.rows(); ++r) out.push_back(predict_row(ds, r));
+  return out;
+}
+
+double Classifier::accuracy(const data::Dataset& test) const {
+  IOTML_CHECK(test.has_labels(), "Classifier::accuracy: test set is unlabeled");
+  return data::accuracy(test.labels(), predict(test));
+}
+
+}  // namespace iotml::learners

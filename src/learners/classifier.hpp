@@ -1,0 +1,37 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace iotml::learners {
+
+/// Common interface for classifiers that operate directly on the rich
+/// Dataset representation (mixed column types, missing cells). Kernel-based
+/// models live in kernels:: and consume dense Samples instead.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Train on a labeled dataset. Throws InvalidArgument when unlabeled.
+  virtual void fit(const data::Dataset& train) = 0;
+
+  /// Predict the class of one row of `ds` (which may contain missing cells).
+  virtual int predict_row(const data::Dataset& ds, std::size_t row) const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Batch prediction.
+  std::vector<int> predict(const data::Dataset& ds) const;
+
+  /// Accuracy against the dataset's own labels.
+  double accuracy(const data::Dataset& test) const;
+};
+
+/// Factory used by ensembles that need many fresh base models.
+using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
+
+}  // namespace iotml::learners

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "learners/classifier.hpp"
+
+namespace iotml::learners {
+
+/// How the tree handles missing cells (the decision the paper's Section IV.A
+/// frames as the single-player's strategic choice).
+enum class MissingSplitPolicy {
+  kMajorityBranch,  ///< missing rows follow the most populated child
+  kOwnBranch        ///< missing values get a dedicated child branch
+};
+
+struct DecisionTreeParams {
+  std::size_t max_depth = 12;
+  std::size_t min_samples_leaf = 2;
+  double min_gain = 1e-9;
+  MissingSplitPolicy missing = MissingSplitPolicy::kMajorityBranch;
+};
+
+/// Entropy-split decision tree over mixed numeric/categorical features.
+/// Numeric features split on thresholds, categorical features split multiway
+/// per category.
+class DecisionTree final : public Classifier {
+ public:
+  explicit DecisionTree(DecisionTreeParams params = {});
+  ~DecisionTree() override;
+  DecisionTree(DecisionTree&&) noexcept;
+  DecisionTree& operator=(DecisionTree&&) noexcept;
+
+  void fit(const data::Dataset& train) override;
+  int predict_row(const data::Dataset& ds, std::size_t row) const override;
+  std::string name() const override { return "decision-tree"; }
+
+  /// Number of nodes in the trained tree (cost proxy in the experiments).
+  std::size_t node_count() const;
+  std::size_t depth() const;
+
+ private:
+  struct Node;
+  DecisionTreeParams params_;
+  std::unique_ptr<Node> root_;
+  int default_class_ = 0;
+  /// Category labels per feature as seen at training time. Prediction maps a
+  /// test cell's label through this table, because category *indices* are
+  /// interned per dataset and are not stable across datasets.
+  std::vector<std::vector<std::string>> train_categories_;
+
+  std::unique_ptr<Node> build(const data::Dataset& ds,
+                              const std::vector<std::size_t>& rows, std::size_t depth);
+};
+
+}  // namespace iotml::learners

@@ -1,0 +1,86 @@
+#include "learners/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace iotml::learners {
+
+KnnClassifier::KnnClassifier(std::size_t k) : k_(k) {
+  IOTML_CHECK(k >= 1, "KnnClassifier: k must be >= 1");
+}
+
+void KnnClassifier::fit(const data::Dataset& train) {
+  train.validate();
+  IOTML_CHECK(train.has_labels(), "KnnClassifier::fit: unlabeled dataset");
+  IOTML_CHECK(train.rows() >= 1, "KnnClassifier::fit: empty dataset");
+  train_ = train;
+
+  feature_range_.assign(train.num_columns(), 1.0);
+  for (std::size_t f = 0; f < train.num_columns(); ++f) {
+    const data::Column& col = train.column(f);
+    if (col.type() != data::ColumnType::kNumeric) continue;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < train.rows(); ++r) {
+      if (col.is_missing(r)) continue;
+      lo = std::min(lo, col.numeric(r));
+      hi = std::max(hi, col.numeric(r));
+    }
+    feature_range_[f] = (hi > lo) ? (hi - lo) : 1.0;
+  }
+  fitted_ = true;
+}
+
+double KnnClassifier::distance(const data::Dataset& ds, std::size_t row,
+                               std::size_t train_row) const {
+  double total = 0.0;
+  std::size_t comparable = 0;
+  for (std::size_t f = 0; f < train_.num_columns(); ++f) {
+    const data::Column& a = ds.column(f);
+    const data::Column& b = train_.column(f);
+    if (a.is_missing(row) || b.is_missing(train_row)) continue;
+    ++comparable;
+    if (b.type() == data::ColumnType::kNumeric) {
+      const double d = (a.numeric(row) - b.numeric(train_row)) / feature_range_[f];
+      total += d * d;
+    } else {
+      // Compare by label so categories interned in different order still match.
+      total += a.category_label(row) == b.category_label(train_row) ? 0.0 : 1.0;
+    }
+  }
+  if (comparable == 0) return std::numeric_limits<double>::infinity();
+  return total * static_cast<double>(train_.num_columns()) /
+         static_cast<double>(comparable);
+}
+
+int KnnClassifier::predict_row(const data::Dataset& ds, std::size_t row) const {
+  IOTML_CHECK(fitted_, "KnnClassifier::predict_row: call fit() first");
+  IOTML_CHECK(ds.num_columns() == train_.num_columns(),
+              "KnnClassifier::predict_row: column count mismatch");
+
+  const std::size_t n = train_.rows();
+  std::vector<std::pair<double, std::size_t>> scored;
+  scored.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) scored.emplace_back(distance(ds, row, t), t);
+  const std::size_t k = std::min(k_, n);
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(k),
+                    scored.end());
+
+  std::map<int, std::size_t> votes;
+  for (std::size_t i = 0; i < k; ++i) ++votes[train_.label(scored[i].second)];
+  int best = 0;
+  std::size_t best_votes = 0;
+  for (const auto& [label, count] : votes) {
+    if (count > best_votes) {
+      best = label;
+      best_votes = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace iotml::learners

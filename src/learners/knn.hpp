@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "learners/classifier.hpp"
+
+namespace iotml::learners {
+
+/// k-nearest-neighbour classifier with a missing-aware heterogeneous metric:
+/// numeric features contribute scaled squared differences, categorical
+/// features contribute 0/1 mismatch, and dimensions missing on either side
+/// are skipped with the total rescaled to the number of comparable
+/// dimensions (Gower-style distance).
+class KnnClassifier final : public Classifier {
+ public:
+  explicit KnnClassifier(std::size_t k = 5);
+
+  void fit(const data::Dataset& train) override;
+  int predict_row(const data::Dataset& ds, std::size_t row) const override;
+  std::string name() const override { return "knn"; }
+
+ private:
+  std::size_t k_;
+  data::Dataset train_;
+  std::vector<double> feature_range_;  // for numeric scaling
+  bool fitted_ = false;
+
+  double distance(const data::Dataset& ds, std::size_t row, std::size_t train_row) const;
+};
+
+}  // namespace iotml::learners

@@ -1,0 +1,110 @@
+#include "learners/logistic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace iotml::learners {
+
+namespace {
+
+double sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+LogisticRegression::LogisticRegression(LogisticParams params) : params_(params) {
+  IOTML_CHECK(params.learning_rate > 0.0, "LogisticRegression: learning_rate must be > 0");
+  IOTML_CHECK(params.l2 >= 0.0, "LogisticRegression: l2 must be >= 0");
+  IOTML_CHECK(params.epochs >= 1, "LogisticRegression: epochs must be >= 1");
+}
+
+void LogisticRegression::fit(const data::Dataset& train) {
+  train.validate();
+  IOTML_CHECK(train.has_labels(), "LogisticRegression::fit: unlabeled dataset");
+  IOTML_CHECK(train.num_classes() <= 2, "LogisticRegression::fit: binary only");
+  const std::size_t n = train.rows();
+  const std::size_t d = train.num_columns();
+  IOTML_CHECK(n >= 2, "LogisticRegression::fit: need at least 2 rows");
+
+  // Column means/scales over present cells (used for imputation + scaling).
+  feature_mean_.assign(d, 0.0);
+  feature_scale_.assign(d, 1.0);
+  for (std::size_t f = 0; f < d; ++f) {
+    const data::Column& col = train.column(f);
+    double sum = 0.0, sum2 = 0.0;
+    std::size_t present = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (col.is_missing(r)) continue;
+      sum += col.raw()[r];
+      sum2 += col.raw()[r] * col.raw()[r];
+      ++present;
+    }
+    if (present > 0) {
+      feature_mean_[f] = sum / static_cast<double>(present);
+      const double var =
+          sum2 / static_cast<double>(present) - feature_mean_[f] * feature_mean_[f];
+      feature_scale_[f] = var > 1e-12 ? std::sqrt(var) : 1.0;
+    }
+  }
+
+  // Standardized design matrix with mean imputation.
+  std::vector<std::vector<double>> x(n, std::vector<double>(d));
+  for (std::size_t f = 0; f < d; ++f) {
+    const data::Column& col = train.column(f);
+    for (std::size_t r = 0; r < n; ++r) {
+      const double raw = col.is_missing(r) ? feature_mean_[f] : col.raw()[r];
+      x[r][f] = (raw - feature_mean_[f]) / feature_scale_[f];
+    }
+  }
+
+  w_.assign(d, 0.0);
+  b_ = 0.0;
+  const double lr = params_.learning_rate;
+  for (std::size_t epoch = 0; epoch < params_.epochs; ++epoch) {
+    std::vector<double> grad_w(d, 0.0);
+    double grad_b = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      double z = b_;
+      for (std::size_t f = 0; f < d; ++f) z += w_[f] * x[r][f];
+      const double err = sigmoid(z) - static_cast<double>(train.label(r));
+      for (std::size_t f = 0; f < d; ++f) grad_w[f] += err * x[r][f];
+      grad_b += err;
+    }
+    const double scale = 1.0 / static_cast<double>(n);
+    for (std::size_t f = 0; f < d; ++f) {
+      w_[f] -= lr * (grad_w[f] * scale + params_.l2 * w_[f]);
+    }
+    b_ -= lr * grad_b * scale;
+  }
+  fitted_ = true;
+}
+
+double LogisticRegression::raw_score(const data::Dataset& ds, std::size_t row) const {
+  IOTML_CHECK(fitted_, "LogisticRegression: call fit() first");
+  IOTML_CHECK(ds.num_columns() == w_.size(), "LogisticRegression: column count mismatch");
+  double z = b_;
+  for (std::size_t f = 0; f < w_.size(); ++f) {
+    const data::Column& col = ds.column(f);
+    const double raw = col.is_missing(row) ? feature_mean_[f] : col.raw()[row];
+    z += w_[f] * (raw - feature_mean_[f]) / feature_scale_[f];
+  }
+  return z;
+}
+
+double LogisticRegression::probability(const data::Dataset& ds, std::size_t row) const {
+  return sigmoid(raw_score(ds, row));
+}
+
+int LogisticRegression::predict_row(const data::Dataset& ds, std::size_t row) const {
+  return raw_score(ds, row) >= 0.0 ? 1 : 0;
+}
+
+}  // namespace iotml::learners

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "learners/classifier.hpp"
+
+namespace iotml::learners {
+
+struct LogisticParams {
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  std::size_t epochs = 300;
+};
+
+/// Binary L2-regularized logistic regression by full-batch gradient descent.
+/// Features are standardized internally; categorical columns enter as their
+/// category index (one-hot encode upstream when appropriate); missing cells
+/// are imputed with the training column mean.
+class LogisticRegression final : public Classifier {
+ public:
+  explicit LogisticRegression(LogisticParams params = {});
+
+  void fit(const data::Dataset& train) override;
+  int predict_row(const data::Dataset& ds, std::size_t row) const override;
+  std::string name() const override { return "logistic"; }
+
+  /// P(class = 1 | row).
+  double probability(const data::Dataset& ds, std::size_t row) const;
+
+  const std::vector<double>& weights() const noexcept { return w_; }
+  double bias() const noexcept { return b_; }
+
+ private:
+  LogisticParams params_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+  std::vector<double> feature_mean_, feature_scale_;
+  bool fitted_ = false;
+
+  double raw_score(const data::Dataset& ds, std::size_t row) const;
+};
+
+}  // namespace iotml::learners

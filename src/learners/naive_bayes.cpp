@@ -1,0 +1,124 @@
+#include "learners/naive_bayes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace iotml::learners {
+
+NaiveBayes::NaiveBayes(double laplace_alpha) : alpha_(laplace_alpha) {
+  IOTML_CHECK(laplace_alpha > 0.0, "NaiveBayes: laplace_alpha must be positive");
+}
+
+void NaiveBayes::fit(const data::Dataset& train) {
+  train.validate();
+  IOTML_CHECK(train.has_labels(), "NaiveBayes::fit: unlabeled dataset");
+  IOTML_CHECK(train.rows() >= 1, "NaiveBayes::fit: empty dataset");
+
+  num_classes_ = train.num_classes();
+  const std::size_t n = train.rows();
+
+  // Priors (Laplace smoothed so absent classes keep nonzero mass).
+  std::vector<double> class_count(num_classes_, 0.0);
+  for (std::size_t r = 0; r < n; ++r) class_count[train.label(r)] += 1.0;
+  log_prior_.resize(num_classes_);
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    log_prior_[c] = std::log((class_count[c] + alpha_) /
+                             (static_cast<double>(n) + alpha_ * num_classes_));
+  }
+
+  categorical_.assign(train.num_columns(), {});
+  train_categories_.assign(train.num_columns(), {});
+  gaussian_.assign(train.num_columns(), {});
+  column_types_.resize(train.num_columns());
+
+  for (std::size_t f = 0; f < train.num_columns(); ++f) {
+    const data::Column& col = train.column(f);
+    column_types_[f] = col.type();
+    if (col.type() == data::ColumnType::kCategorical) {
+      train_categories_[f] = col.categories();
+      const std::size_t cats = col.categories().size();
+      std::vector<std::vector<double>> counts(num_classes_,
+                                              std::vector<double>(cats, 0.0));
+      std::vector<double> totals(num_classes_, 0.0);
+      for (std::size_t r = 0; r < n; ++r) {
+        if (col.is_missing(r)) continue;
+        counts[train.label(r)][col.category(r)] += 1.0;
+        totals[train.label(r)] += 1.0;
+      }
+      categorical_[f].assign(num_classes_, std::vector<double>(cats, 0.0));
+      for (std::size_t c = 0; c < num_classes_; ++c) {
+        for (std::size_t v = 0; v < cats; ++v) {
+          categorical_[f][c][v] = std::log(
+              (counts[c][v] + alpha_) / (totals[c] + alpha_ * static_cast<double>(cats)));
+        }
+      }
+    } else {
+      gaussian_[f].assign(num_classes_, Gaussian{});
+      std::vector<double> sum(num_classes_, 0.0), sum2(num_classes_, 0.0);
+      std::vector<std::size_t> count(num_classes_, 0);
+      for (std::size_t r = 0; r < n; ++r) {
+        if (col.is_missing(r)) continue;
+        const double v = col.numeric(r);
+        const int c = train.label(r);
+        sum[c] += v;
+        sum2[c] += v * v;
+        ++count[c];
+      }
+      for (std::size_t c = 0; c < num_classes_; ++c) {
+        Gaussian& g = gaussian_[f][c];
+        g.count = count[c];
+        if (count[c] >= 1) {
+          g.mean = sum[c] / static_cast<double>(count[c]);
+          const double raw_var =
+              sum2[c] / static_cast<double>(count[c]) - g.mean * g.mean;
+          g.variance = std::max(raw_var, 1e-9);  // floor for degenerate features
+        }
+      }
+    }
+  }
+  fitted_ = true;
+}
+
+std::vector<double> NaiveBayes::log_posterior(const data::Dataset& ds,
+                                              std::size_t row) const {
+  IOTML_CHECK(fitted_, "NaiveBayes::log_posterior: call fit() first");
+  IOTML_CHECK(ds.num_columns() == column_types_.size(),
+              "NaiveBayes::log_posterior: column count mismatch");
+  std::vector<double> scores = log_prior_;
+  for (std::size_t f = 0; f < ds.num_columns(); ++f) {
+    const data::Column& col = ds.column(f);
+    if (col.is_missing(row)) continue;  // marginalize the feature out
+    if (column_types_[f] == data::ColumnType::kCategorical) {
+      // Map the test label to the training-time category index; categories
+      // never seen in training contribute nothing (uniform across classes).
+      const std::string& label = col.category_label(row);
+      const auto& cats = train_categories_[f];
+      const auto it = std::find(cats.begin(), cats.end(), label);
+      if (it == cats.end()) continue;
+      const std::size_t v = static_cast<std::size_t>(it - cats.begin());
+      for (std::size_t c = 0; c < num_classes_; ++c) {
+        scores[c] += categorical_[f][c][v];
+      }
+    } else {
+      const double v = col.numeric(row);
+      for (std::size_t c = 0; c < num_classes_; ++c) {
+        const Gaussian& g = gaussian_[f][c];
+        if (g.count == 0) continue;
+        scores[c] += -0.5 * std::log(2.0 * std::numbers::pi * g.variance) -
+                     (v - g.mean) * (v - g.mean) / (2.0 * g.variance);
+      }
+    }
+  }
+  return scores;
+}
+
+int NaiveBayes::predict_row(const data::Dataset& ds, std::size_t row) const {
+  const std::vector<double> scores = log_posterior(ds, row);
+  return static_cast<int>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+}  // namespace iotml::learners

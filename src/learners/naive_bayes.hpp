@@ -1,0 +1,46 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "learners/classifier.hpp"
+
+namespace iotml::learners {
+
+/// Hybrid naive Bayes: categorical features use Laplace-smoothed frequency
+/// tables, numeric features use per-class Gaussians. Missing cells are simply
+/// skipped in both training counts and prediction products — naive Bayes'
+/// native, cheap missing-data story (relevant to the Section IV.A tradeoff).
+class NaiveBayes final : public Classifier {
+ public:
+  explicit NaiveBayes(double laplace_alpha = 1.0);
+
+  void fit(const data::Dataset& train) override;
+  int predict_row(const data::Dataset& ds, std::size_t row) const override;
+  std::string name() const override { return "naive-bayes"; }
+
+  /// Per-class log posterior (unnormalized) for diagnostics / co-training
+  /// confidence.
+  std::vector<double> log_posterior(const data::Dataset& ds, std::size_t row) const;
+
+ private:
+  struct Gaussian {
+    double mean = 0.0;
+    double variance = 1.0;
+    std::size_t count = 0;
+  };
+
+  double alpha_;
+  std::size_t num_classes_ = 0;
+  std::vector<double> log_prior_;
+  // categorical_[feature][class][category] = smoothed log likelihood, indexed
+  // by *training-time* category order; train_categories_ maps test labels in.
+  std::vector<std::vector<std::vector<double>>> categorical_;
+  std::vector<std::vector<std::string>> train_categories_;
+  // gaussian_[feature][class]
+  std::vector<std::vector<Gaussian>> gaussian_;
+  std::vector<data::ColumnType> column_types_;
+  bool fitted_ = false;
+};
+
+}  // namespace iotml::learners

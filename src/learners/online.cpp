@@ -1,0 +1,165 @@
+#include "learners/online.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace iotml::learners {
+
+// ---- IncrementalNaiveBayes -----------------------------------------------------
+
+void IncrementalNaiveBayes::Welford::add(double value) {
+  ++count;
+  const double delta = value - mean;
+  mean += delta / static_cast<double>(count);
+  m2 += delta * (value - mean);
+}
+
+double IncrementalNaiveBayes::Welford::variance() const {
+  if (count < 2) return 1.0;  // weak prior until evidence arrives
+  return std::max(m2 / static_cast<double>(count - 1), 1e-9);
+}
+
+IncrementalNaiveBayes::IncrementalNaiveBayes(std::size_t dims) : dims_(dims) {
+  IOTML_CHECK(dims >= 1, "IncrementalNaiveBayes: dims must be >= 1");
+}
+
+void IncrementalNaiveBayes::observe(const std::vector<double>& x, int label) {
+  IOTML_CHECK(x.size() == dims_, "IncrementalNaiveBayes::observe: dimension mismatch");
+  IOTML_CHECK(label >= 0, "IncrementalNaiveBayes::observe: negative label");
+  ClassStats& stats = stats_[label];
+  if (stats.features.empty()) stats.features.resize(dims_);
+  ++stats.count;
+  ++total_;
+  for (std::size_t f = 0; f < dims_; ++f) stats.features[f].add(x[f]);
+}
+
+std::vector<double> IncrementalNaiveBayes::log_posterior(
+    const std::vector<double>& x) const {
+  IOTML_CHECK(x.size() == dims_, "IncrementalNaiveBayes: dimension mismatch");
+  IOTML_CHECK(!stats_.empty(), "IncrementalNaiveBayes: no observations yet");
+  std::vector<double> out;
+  out.reserve(stats_.size());
+  for (const auto& [label, stats] : stats_) {
+    double lp = std::log(static_cast<double>(stats.count) /
+                         static_cast<double>(total_));
+    for (std::size_t f = 0; f < dims_; ++f) {
+      const Welford& w = stats.features[f];
+      const double var = w.variance();
+      lp += -0.5 * std::log(2.0 * std::numbers::pi * var) -
+            (x[f] - w.mean) * (x[f] - w.mean) / (2.0 * var);
+    }
+    out.push_back(lp);
+  }
+  return out;
+}
+
+int IncrementalNaiveBayes::predict(const std::vector<double>& x) const {
+  const std::vector<double> lp = log_posterior(x);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < lp.size(); ++i) {
+    if (lp[i] > lp[best]) best = i;
+  }
+  auto it = stats_.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(best));
+  return it->first;
+}
+
+void IncrementalNaiveBayes::reset() {
+  stats_.clear();
+  total_ = 0;
+}
+
+// ---- DriftDetector ----------------------------------------------------------------
+
+DriftDetector::DriftDetector(double warn_sigmas, double drift_sigmas,
+                             std::size_t min_observations)
+    : warn_sigmas_(warn_sigmas),
+      drift_sigmas_(drift_sigmas),
+      min_observations_(min_observations) {
+  IOTML_CHECK(warn_sigmas > 0.0 && drift_sigmas > warn_sigmas,
+              "DriftDetector: need 0 < warn_sigmas < drift_sigmas");
+  IOTML_CHECK(min_observations >= 5, "DriftDetector: min_observations must be >= 5");
+}
+
+DriftDetector::State DriftDetector::observe(bool error) {
+  ++count_;
+  if (error) ++errors_;
+  if (count_ < min_observations_) return state_ = State::kStable;
+
+  // Laplace-smoothed error rate and a floored deviation: the textbook DDM
+  // degenerates when a lucky error-free warmup records p_min = s_min = 0
+  // (any later error then reads as drift). Smoothing keeps p away from 0 and
+  // the floor keeps the band from collapsing on long stable streams.
+  const double n = static_cast<double>(count_);
+  const double p = (static_cast<double>(errors_) + 1.0) / (n + 2.0);
+  const double s = std::max(std::sqrt(p * (1.0 - p) / n), 1.0 / n);
+  if (p + s < best_p_plus_s_) {
+    best_p_plus_s_ = p + s;
+    best_p_ = p;
+    best_s_ = s;
+  }
+  // Compare the smoothed cumulative rate against the recorded minimum using
+  // the *combined* deviation of the two estimates: the textbook p_min + k*s_min
+  // band fires spuriously whenever the minimum was recorded during an
+  // unluckily-quiet stretch and the rate later regresses to its true mean.
+  const double band = std::sqrt(best_s_ * best_s_ + s * s);
+  if (p > best_p_ + drift_sigmas_ * band) {
+    state_ = State::kDrift;
+  } else if (p > best_p_ + warn_sigmas_ * band) {
+    state_ = State::kWarning;
+  } else {
+    state_ = State::kStable;
+  }
+  return state_;
+}
+
+double DriftDetector::error_rate() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(errors_) / static_cast<double>(count_);
+}
+
+void DriftDetector::reset() {
+  count_ = 0;
+  errors_ = 0;
+  best_p_plus_s_ = 1e18;
+  best_p_ = 0.0;
+  best_s_ = 0.0;
+  state_ = State::kStable;
+}
+
+// ---- AdaptiveStreamClassifier --------------------------------------------------------
+
+AdaptiveStreamClassifier::AdaptiveStreamClassifier(std::size_t dims,
+                                                   DriftDetector detector)
+    : model_(dims), detector_(detector) {}
+
+int AdaptiveStreamClassifier::process(const std::vector<double>& x, int label) {
+  // Test-then-train: score the prediction made *before* seeing the label.
+  int prediction = label;  // before any class is known, count as correct
+  if (model_.num_classes() >= 2) {
+    prediction = model_.predict(x);
+  }
+  ++seen_;
+  const bool correct = prediction == label;
+  if (correct) ++correct_;
+
+  if (model_.num_classes() >= 2 &&
+      detector_.observe(!correct) == DriftDetector::State::kDrift) {
+    ++drifts_;
+    model_.reset();
+    detector_.reset();
+  }
+  model_.observe(x, label);
+  return prediction;
+}
+
+double AdaptiveStreamClassifier::running_accuracy() const {
+  return seen_ == 0 ? 0.0
+                    : static_cast<double>(correct_) / static_cast<double>(seen_);
+}
+
+}  // namespace iotml::learners

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace iotml::learners {
+
+/// Incremental Gaussian naive Bayes over dense numeric feature vectors:
+/// one observe() per arriving record, O(d) per update, O(1) memory in the
+/// stream length. The learner the paper's periphery can actually afford —
+/// training happens where the data is born, no batch pass required.
+class IncrementalNaiveBayes {
+ public:
+  explicit IncrementalNaiveBayes(std::size_t dims);
+
+  /// Consume one labeled observation.
+  void observe(const std::vector<double>& x, int label);
+
+  /// Predict the class of one observation (majority class before any
+  /// observation of >= 2 classes).
+  int predict(const std::vector<double>& x) const;
+
+  /// Per-class unnormalized log posterior.
+  std::vector<double> log_posterior(const std::vector<double>& x) const;
+
+  std::size_t observations() const noexcept { return total_; }
+  std::size_t num_classes() const noexcept { return stats_.size(); }
+
+  /// Forget everything (used after drift).
+  void reset();
+
+ private:
+  struct Welford {
+    double mean = 0.0;
+    double m2 = 0.0;  // sum of squared deviations
+    std::size_t count = 0;
+
+    void add(double value);
+    double variance() const;
+  };
+  struct ClassStats {
+    std::size_t count = 0;
+    std::vector<Welford> features;
+  };
+
+  std::size_t dims_;
+  std::size_t total_ = 0;
+  std::map<int, ClassStats> stats_;
+};
+
+/// Drift Detection Method (Gama et al.'s DDM, simplified): track the online
+/// error rate p_t of a classifier and its standard deviation s_t; warn when
+/// p + s exceeds the best-seen p_min + 2 s_min, signal drift at
+/// p_min + 3 s_min. The standard cheap monitor for the paper's
+/// "conditions in the field [that] widely vary".
+class DriftDetector {
+ public:
+  enum class State { kStable, kWarning, kDrift };
+
+  DriftDetector(double warn_sigmas = 2.0, double drift_sigmas = 3.0,
+                std::size_t min_observations = 30);
+
+  /// Feed one prediction outcome (true = the classifier erred).
+  State observe(bool error);
+
+  State state() const noexcept { return state_; }
+  double error_rate() const;
+  std::size_t observations() const noexcept { return count_; }
+
+  /// Restart monitoring (after the model is retrained).
+  void reset();
+
+ private:
+  double warn_sigmas_, drift_sigmas_;
+  std::size_t min_observations_;
+  std::size_t count_ = 0;
+  std::size_t errors_ = 0;
+  double best_p_plus_s_ = 1e18;
+  double best_p_ = 0.0, best_s_ = 0.0;
+  State state_ = State::kStable;
+};
+
+/// A self-healing streaming classifier: incremental NB monitored by DDM;
+/// on drift it resets the model and relearns from the post-drift stream.
+class AdaptiveStreamClassifier {
+ public:
+  explicit AdaptiveStreamClassifier(std::size_t dims,
+                                    DriftDetector detector = DriftDetector());
+
+  /// Process one record: predict first (test-then-train), report whether the
+  /// prediction was correct, then learn. Returns the prediction.
+  int process(const std::vector<double>& x, int label);
+
+  std::size_t drifts_detected() const noexcept { return drifts_; }
+  double running_accuracy() const;
+  const IncrementalNaiveBayes& model() const noexcept { return model_; }
+
+ private:
+  IncrementalNaiveBayes model_;
+  DriftDetector detector_;
+  std::size_t seen_ = 0;
+  std::size_t correct_ = 0;
+  std::size_t drifts_ = 0;
+};
+
+}  // namespace iotml::learners

@@ -1,0 +1,113 @@
+#include "learners/pattern_ensemble.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace iotml::learners {
+
+PatternEnsemble::PatternEnsemble(ClassifierFactory factory,
+                                 std::size_t min_rows_per_pattern)
+    : factory_(std::move(factory)), min_rows_(min_rows_per_pattern) {
+  IOTML_CHECK(factory_ != nullptr, "PatternEnsemble: null factory");
+  IOTML_CHECK(min_rows_ >= 1, "PatternEnsemble: min_rows_per_pattern must be >= 1");
+}
+
+PatternEnsemble::PatternMask PatternEnsemble::pattern_of(const data::Dataset& ds,
+                                                         std::size_t row) {
+  IOTML_CHECK(ds.num_columns() <= 64, "PatternEnsemble: at most 64 feature columns");
+  PatternMask mask = 0;
+  for (std::size_t f = 0; f < ds.num_columns(); ++f) {
+    if (!ds.column(f).is_missing(row)) mask |= PatternMask{1} << f;
+  }
+  return mask;
+}
+
+void PatternEnsemble::fit(const data::Dataset& train) {
+  train.validate();
+  IOTML_CHECK(train.has_labels(), "PatternEnsemble::fit: unlabeled dataset");
+  IOTML_CHECK(train.rows() >= 1, "PatternEnsemble::fit: empty dataset");
+
+  models_.clear();
+  total_training_rows_ = 0;
+  predictions_ = 0;
+  fallbacks_ = 0;
+
+  // Majority class fallback.
+  std::vector<std::size_t> class_count(train.num_classes(), 0);
+  for (std::size_t r = 0; r < train.rows(); ++r) ++class_count[train.label(r)];
+  default_class_ = static_cast<int>(
+      std::max_element(class_count.begin(), class_count.end()) - class_count.begin());
+
+  // Distinct availability patterns present in the training data.
+  std::map<PatternMask, std::size_t> pattern_counts;
+  std::vector<PatternMask> row_pattern(train.rows());
+  for (std::size_t r = 0; r < train.rows(); ++r) {
+    row_pattern[r] = pattern_of(train, r);
+    ++pattern_counts[row_pattern[r]];
+  }
+
+  for (const auto& [mask, count] : pattern_counts) {
+    if (mask == 0) continue;  // rows with no data can't support a model
+
+    // Training rows for pattern P: every row whose availability includes P.
+    std::vector<std::size_t> rows;
+    for (std::size_t r = 0; r < train.rows(); ++r) {
+      if ((row_pattern[r] & mask) == mask) rows.push_back(r);
+    }
+    if (rows.size() < min_rows_) continue;
+
+    std::vector<std::size_t> columns;
+    for (std::size_t f = 0; f < train.num_columns(); ++f) {
+      if (mask & (PatternMask{1} << f)) columns.push_back(f);
+    }
+
+    data::Dataset subset = train.select_rows(rows).select_columns(columns);
+    // A one-class subset cannot train most models; keep the fallback instead.
+    if (subset.num_classes() < 2) continue;
+
+    PatternModel pm;
+    pm.model = factory_();
+    pm.model->fit(subset);
+    pm.columns = std::move(columns);
+    total_training_rows_ += rows.size();
+    models_.emplace(mask, std::move(pm));
+  }
+}
+
+int PatternEnsemble::predict_row(const data::Dataset& ds, std::size_t row) const {
+  IOTML_CHECK(!models_.empty() || default_class_ >= 0,
+              "PatternEnsemble::predict_row: call fit() first");
+  ++predictions_;
+  const PatternMask available = pattern_of(ds, row);
+
+  // Exact pattern first, else the largest trained sub-pattern.
+  const PatternModel* chosen = nullptr;
+  if (auto it = models_.find(available); it != models_.end()) {
+    chosen = &it->second;
+  } else {
+    ++fallbacks_;
+    int best_bits = -1;
+    for (const auto& [mask, pm] : models_) {
+      if ((mask & available) != mask) continue;  // needs a missing feature
+      const int bits = std::popcount(mask);
+      if (bits > best_bits) {
+        best_bits = bits;
+        chosen = &pm;
+      }
+    }
+  }
+  if (chosen == nullptr) return default_class_;
+
+  data::Dataset projected = ds.select_columns(chosen->columns);
+  return chosen->model->predict_row(projected, row);
+}
+
+double PatternEnsemble::fallback_rate() const {
+  return predictions_ == 0
+             ? 0.0
+             : static_cast<double>(fallbacks_) / static_cast<double>(predictions_);
+}
+
+}  // namespace iotml::learners

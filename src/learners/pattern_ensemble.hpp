@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "learners/classifier.hpp"
+
+namespace iotml::learners {
+
+/// The Section IV.A alternative to imputation: "avoid missing data imputation
+/// altogether and learn as many different models as the combination of
+/// available features".
+///
+/// One base model is trained per *availability pattern* (the set of features
+/// a row actually has). The model for pattern P is trained on the columns of
+/// P, using every training row whose available features include P. At
+/// prediction time a row is routed to the model of its own pattern; if that
+/// pattern was never trained (or had too few rows), the largest trained
+/// sub-pattern of the row's available features is used, falling back to the
+/// majority class when nothing matches.
+///
+/// The exponential model count this can require is exactly the cost the
+/// single player of Section IV.A must weigh against imputation inaccuracy —
+/// `bench_missing_models` measures both sides.
+class PatternEnsemble final : public Classifier {
+ public:
+  PatternEnsemble(ClassifierFactory factory, std::size_t min_rows_per_pattern = 5);
+
+  void fit(const data::Dataset& train) override;
+  int predict_row(const data::Dataset& ds, std::size_t row) const override;
+  std::string name() const override { return "pattern-ensemble"; }
+
+  /// Number of trained base models (the cost the paper trades off).
+  std::size_t num_models() const noexcept { return models_.size(); }
+
+  /// Total training rows consumed across all base models.
+  std::size_t total_training_rows() const noexcept { return total_training_rows_; }
+
+  /// Fraction of predict_row calls (since fit) that fell back past an exact
+  /// pattern match. Diagnostic; not thread-safe.
+  double fallback_rate() const;
+
+ private:
+  using PatternMask = std::uint64_t;
+
+  struct PatternModel {
+    std::unique_ptr<Classifier> model;
+    std::vector<std::size_t> columns;  // dataset column indices of the pattern
+  };
+
+  ClassifierFactory factory_;
+  std::size_t min_rows_;
+  std::map<PatternMask, PatternModel> models_;
+  int default_class_ = 0;
+  std::size_t total_training_rows_ = 0;
+  mutable std::size_t predictions_ = 0;
+  mutable std::size_t fallbacks_ = 0;
+
+  static PatternMask pattern_of(const data::Dataset& ds, std::size_t row);
+};
+
+}  // namespace iotml::learners

@@ -1,0 +1,131 @@
+#include "multiview/cca.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace iotml::multiview {
+
+namespace {
+
+/// Symmetric inverse square root via eigendecomposition (with eigenvalue
+/// floor for stability).
+la::Matrix inverse_sqrt(const la::Matrix& a) {
+  const la::EigenResult e = la::eigen_symmetric(a);
+  la::Matrix d(a.rows(), a.cols());
+  for (std::size_t i = 0; i < e.values.size(); ++i) {
+    d(i, i) = 1.0 / std::sqrt(std::max(e.values[i], 1e-12));
+  }
+  return e.vectors * d * e.vectors.transpose();
+}
+
+la::Matrix centered(const la::Matrix& x, const la::Vector& mean) {
+  la::Matrix out = x;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) out(r, c) -= mean[c];
+  }
+  return out;
+}
+
+}  // namespace
+
+CcaResult fit_cca(const la::Matrix& x, const la::Matrix& y, std::size_t components,
+                  double reg) {
+  IOTML_CHECK(x.rows() == y.rows(), "fit_cca: row count mismatch");
+  IOTML_CHECK(x.rows() >= 3, "fit_cca: need at least 3 paired samples");
+  IOTML_CHECK(components >= 1, "fit_cca: components must be >= 1");
+  IOTML_CHECK(reg >= 0.0, "fit_cca: reg must be >= 0");
+  const std::size_t k = std::min({components, x.cols(), y.cols()});
+
+  CcaResult out;
+  out.mean_x = la::column_means(x);
+  out.mean_y = la::column_means(y);
+
+  la::Matrix sxx = la::covariance(x);
+  la::Matrix syy = la::covariance(y);
+  const la::Matrix sxy = la::cross_covariance(x, y);
+  for (std::size_t i = 0; i < sxx.rows(); ++i) sxx(i, i) += reg;
+  for (std::size_t i = 0; i < syy.rows(); ++i) syy(i, i) += reg;
+
+  // M = Sxx^{-1/2} Sxy Syy^{-1} Syx Sxx^{-1/2} is symmetric PSD with
+  // eigenvalues rho_i^2 and eigenvectors u_i; wx_i = Sxx^{-1/2} u_i.
+  const la::Matrix sxx_isqrt = inverse_sqrt(sxx);
+  const la::Matrix syy_inv = la::inverse(syy);
+  const la::Matrix m =
+      sxx_isqrt * sxy * syy_inv * sxy.transpose() * sxx_isqrt;
+  // Symmetrize against numeric drift before the eigensolver.
+  la::Matrix m_sym = m;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      m_sym(i, j) = 0.5 * (m(i, j) + m(j, i));
+    }
+  }
+  const la::EigenResult e = la::eigen_symmetric(m_sym);
+
+  out.wx = la::Matrix(x.cols(), k);
+  out.wy = la::Matrix(y.cols(), k);
+  out.correlations.resize(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    const double rho2 = std::max(e.values[c], 0.0);
+    out.correlations[c] = std::sqrt(rho2);
+
+    la::Vector u(x.cols());
+    for (std::size_t r = 0; r < x.cols(); ++r) u[r] = e.vectors(r, c);
+    const la::Vector wx = sxx_isqrt * u;
+    for (std::size_t r = 0; r < x.cols(); ++r) out.wx(r, c) = wx[r];
+
+    // wy proportional to Syy^{-1} Syx wx; normalize to unit Syy-variance.
+    la::Vector wy = syy_inv * (sxy.transpose() * wx);
+    double variance = 0.0;
+    for (std::size_t i = 0; i < wy.size(); ++i) {
+      for (std::size_t j = 0; j < wy.size(); ++j) variance += wy[i] * syy(i, j) * wy[j];
+    }
+    if (variance > 1e-15) {
+      const double scale = 1.0 / std::sqrt(variance);
+      for (double& v : wy) v *= scale;
+    }
+    for (std::size_t r = 0; r < y.cols(); ++r) out.wy(r, c) = wy[r];
+  }
+  return out;
+}
+
+la::Matrix cca_project_x(const CcaResult& cca, const la::Matrix& x) {
+  IOTML_CHECK(x.cols() == cca.wx.rows(), "cca_project_x: dimension mismatch");
+  return centered(x, cca.mean_x) * cca.wx;
+}
+
+la::Matrix cca_project_y(const CcaResult& cca, const la::Matrix& y) {
+  IOTML_CHECK(y.cols() == cca.wy.rows(), "cca_project_y: dimension mismatch");
+  return centered(y, cca.mean_y) * cca.wy;
+}
+
+double canonical_correlation(const CcaResult& cca, const la::Matrix& x,
+                             const la::Matrix& y, std::size_t component) {
+  IOTML_CHECK(component < cca.correlations.size(),
+              "canonical_correlation: component out of range");
+  const la::Matrix px = cca_project_x(cca, x);
+  const la::Matrix py = cca_project_y(cca, y);
+  const std::size_t n = px.rows();
+  IOTML_CHECK(n >= 2, "canonical_correlation: need >= 2 samples");
+
+  double mean_a = 0.0, mean_b = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    mean_a += px(r, component);
+    mean_b += py(r, component);
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const double da = px(r, component) - mean_a;
+    const double db = py(r, component) - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  const double denom = std::sqrt(var_a * var_b);
+  return denom > 1e-15 ? cov / denom : 0.0;
+}
+
+}  // namespace iotml::multiview

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "multiview/views.hpp"
+
+namespace iotml::multiview {
+
+/// Canonical correlation analysis between two views — the "subspace learning"
+/// of Section I: "identify a latent subspace shared by multiple views by
+/// assuming that the input views are generated from it".
+struct CcaResult {
+  la::Matrix wx;  ///< x-side projection (dx x k), column per component
+  la::Matrix wy;  ///< y-side projection (dy x k)
+  std::vector<double> correlations;  ///< canonical correlations, descending
+  la::Vector mean_x, mean_y;         ///< training means (projection centers)
+};
+
+/// Fit CCA with ridge regularization `reg` added to both covariance blocks.
+/// `components` is capped at min(dx, dy). Rows of x and y are paired samples.
+CcaResult fit_cca(const la::Matrix& x, const la::Matrix& y, std::size_t components,
+                  double reg = 1e-6);
+
+/// Project (centered) data through one side of the CCA.
+la::Matrix cca_project_x(const CcaResult& cca, const la::Matrix& x);
+la::Matrix cca_project_y(const CcaResult& cca, const la::Matrix& y);
+
+/// Empirical correlation between the i-th canonical projections of paired
+/// data (diagnostic; approximately equals correlations[i] on training data).
+double canonical_correlation(const CcaResult& cca, const la::Matrix& x,
+                             const la::Matrix& y, std::size_t component);
+
+}  // namespace iotml::multiview

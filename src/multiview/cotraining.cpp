@@ -1,0 +1,146 @@
+#include "multiview/cotraining.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace iotml::multiview {
+
+namespace {
+
+/// Softmax confidence of the argmax class from log posteriors.
+std::pair<int, double> confident_class(const std::vector<double>& log_posterior) {
+  const double max_lp = *std::max_element(log_posterior.begin(), log_posterior.end());
+  double total = 0.0;
+  for (double lp : log_posterior) total += std::exp(lp - max_lp);
+  const auto arg = static_cast<int>(
+      std::max_element(log_posterior.begin(), log_posterior.end()) -
+      log_posterior.begin());
+  return {arg, 1.0 / total};  // exp(0) / sum
+}
+
+}  // namespace
+
+CoTrainer::CoTrainer(View view_a, View view_b, CoTrainingParams params)
+    : view_a_(std::move(view_a)), view_b_(std::move(view_b)), params_(params) {
+  IOTML_CHECK(!view_a_.empty() && !view_b_.empty(), "CoTrainer: empty view");
+  IOTML_CHECK(params.rounds >= 1, "CoTrainer: rounds must be >= 1");
+  IOTML_CHECK(params.min_confidence > 0.0 && params.min_confidence < 1.0,
+              "CoTrainer: min_confidence must be in (0, 1)");
+}
+
+void CoTrainer::fit(const data::Samples& labeled, const la::Matrix& unlabeled) {
+  IOTML_CHECK(!labeled.y.empty(), "CoTrainer::fit: labeled set has no labels");
+  IOTML_CHECK(unlabeled.cols() == labeled.dim() || unlabeled.rows() == 0,
+              "CoTrainer::fit: unlabeled feature dimension mismatch");
+
+  // Working pools: samples + labels per learner (start identical).
+  data::Samples pool_a = labeled;
+  data::Samples pool_b = labeled;
+  num_classes_ = 0;
+  for (int y : labeled.y) {
+    num_classes_ = std::max(num_classes_, static_cast<std::size_t>(y) + 1);
+  }
+  pseudo_labeled_ = 0;
+
+  std::vector<bool> consumed(unlabeled.rows(), false);
+
+  auto train_pair = [&]() {
+    model_a_ = learners::NaiveBayes();
+    model_b_ = learners::NaiveBayes();
+    model_a_.fit(data::samples_to_dataset(project(pool_a, view_a_)));
+    model_b_.fit(data::samples_to_dataset(project(pool_b, view_b_)));
+  };
+  train_pair();
+
+  auto append_row = [&](data::Samples& pool, const la::Matrix& x, std::size_t row,
+                        int label) {
+    la::Matrix grown(pool.size() + 1, pool.dim());
+    for (std::size_t r = 0; r < pool.size(); ++r) {
+      for (std::size_t c = 0; c < pool.dim(); ++c) grown(r, c) = pool.x(r, c);
+    }
+    for (std::size_t c = 0; c < pool.dim(); ++c) grown(pool.size(), c) = x(row, c);
+    pool.x = std::move(grown);
+    pool.y.push_back(label);
+  };
+
+  for (std::size_t round = 0; round < params_.rounds && unlabeled.rows() > 0; ++round) {
+    bool any_added = false;
+
+    // Each learner nominates its most confident unlabeled rows per class;
+    // adopted rows feed the *other* learner.
+    for (int which = 0; which < 2; ++which) {
+      const learners::NaiveBayes& teacher = which == 0 ? model_a_ : model_b_;
+      const View& teacher_view = which == 0 ? view_a_ : view_b_;
+      data::Samples& student_pool = which == 0 ? pool_b : pool_a;
+
+      data::Samples unl;
+      unl.x = unlabeled;
+      data::Dataset unl_view = data::samples_to_dataset(project(unl, teacher_view));
+
+      // (confidence, row, label), best first, per class.
+      std::vector<std::vector<std::pair<double, std::size_t>>> nominees(num_classes_);
+      for (std::size_t r = 0; r < unlabeled.rows(); ++r) {
+        if (consumed[r]) continue;
+        const auto [label, confidence] = confident_class(teacher.log_posterior(unl_view, r));
+        if (confidence >= params_.min_confidence) {
+          nominees[static_cast<std::size_t>(label)].emplace_back(confidence, r);
+        }
+      }
+      for (std::size_t c = 0; c < num_classes_; ++c) {
+        auto& list = nominees[c];
+        std::sort(list.begin(), list.end(), std::greater<>());
+        for (std::size_t k = 0; k < std::min(params_.additions_per_class, list.size());
+             ++k) {
+          const std::size_t row = list[k].second;
+          if (consumed[row]) continue;
+          append_row(student_pool, unlabeled, row, static_cast<int>(c));
+          consumed[row] = true;
+          ++pseudo_labeled_;
+          any_added = true;
+        }
+      }
+    }
+    if (!any_added) break;
+    train_pair();
+  }
+  fitted_ = true;
+}
+
+std::vector<int> CoTrainer::predict(const la::Matrix& x) const {
+  IOTML_CHECK(fitted_, "CoTrainer::predict: call fit() first");
+  data::Samples probe;
+  probe.x = x;
+  const data::Dataset da = data::samples_to_dataset(project(probe, view_a_));
+  const data::Dataset db = data::samples_to_dataset(project(probe, view_b_));
+
+  std::vector<int> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto lp_a = model_a_.log_posterior(da, r);
+    const auto lp_b = model_b_.log_posterior(db, r);
+    int best = 0;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < lp_a.size(); ++c) {
+      const double score = lp_a[c] + lp_b[c];
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(c);
+      }
+    }
+    out[r] = best;
+  }
+  return out;
+}
+
+double CoTrainer::accuracy(const data::Samples& test) const {
+  IOTML_CHECK(!test.y.empty(), "CoTrainer::accuracy: unlabeled test set");
+  const auto predictions = predict(test.x);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == test.y[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(predictions.size());
+}
+
+}  // namespace iotml::multiview

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <memory>
+
+#include "learners/naive_bayes.hpp"
+#include "multiview/views.hpp"
+#include "util/rng.hpp"
+
+namespace iotml::multiview {
+
+/// Co-training (the multi-view technique named in Section I: "co-training
+/// algorithms pursue agreement between models trained on distinct views").
+///
+/// Two naive-Bayes learners are trained on two views of a small labeled set;
+/// each round, each learner pseudo-labels the unlabeled examples it is most
+/// confident about and those are added to the *other* learner's training
+/// pool, growing agreement between the views.
+struct CoTrainingParams {
+  std::size_t rounds = 15;
+  std::size_t additions_per_class = 2;   ///< per learner per round
+  double min_confidence = 0.7;           ///< posterior threshold for adoption
+};
+
+class CoTrainer {
+ public:
+  explicit CoTrainer(View view_a, View view_b, CoTrainingParams params = {});
+
+  /// Train from `labeled` plus the unlabeled feature matrix.
+  void fit(const data::Samples& labeled, const la::Matrix& unlabeled);
+
+  /// Predict by summing the two views' log posteriors (agreement voting).
+  std::vector<int> predict(const la::Matrix& x) const;
+  double accuracy(const data::Samples& test) const;
+
+  /// How many unlabeled examples ended up pseudo-labeled.
+  std::size_t pseudo_labeled_count() const noexcept { return pseudo_labeled_; }
+
+ private:
+  View view_a_, view_b_;
+  CoTrainingParams params_;
+  learners::NaiveBayes model_a_, model_b_;
+  std::size_t pseudo_labeled_ = 0;
+  std::size_t num_classes_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace iotml::multiview

@@ -1,0 +1,79 @@
+#include "multiview/subspace.hpp"
+
+#include "util/error.hpp"
+
+namespace iotml::multiview {
+
+SubspaceClassifier::SubspaceClassifier(View view_a, View view_b,
+                                       std::size_t components, double cca_reg)
+    : view_a_(std::move(view_a)),
+      view_b_(std::move(view_b)),
+      components_(components),
+      cca_reg_(cca_reg) {
+  IOTML_CHECK(!view_a_.empty() && !view_b_.empty(), "SubspaceClassifier: empty view");
+  IOTML_CHECK(components >= 1, "SubspaceClassifier: components must be >= 1");
+}
+
+data::Dataset SubspaceClassifier::project_to_subspace(
+    const la::Matrix& x, const std::vector<int>& labels) const {
+  data::Samples probe;
+  probe.x = x;
+  const la::Matrix pa = cca_project_x(cca_, project(probe, view_a_).x);
+  const la::Matrix pb = cca_project_y(cca_, project(probe, view_b_).x);
+
+  data::Dataset out;
+  for (std::size_t c = 0; c < pa.cols(); ++c) {
+    data::Column& col = out.add_numeric_column("za" + std::to_string(c));
+    for (std::size_t r = 0; r < pa.rows(); ++r) col.push_numeric(pa(r, c));
+  }
+  for (std::size_t c = 0; c < pb.cols(); ++c) {
+    data::Column& col = out.add_numeric_column("zb" + std::to_string(c));
+    for (std::size_t r = 0; r < pb.rows(); ++r) col.push_numeric(pb(r, c));
+  }
+  if (!labels.empty()) out.set_labels(labels);
+  return out;
+}
+
+void SubspaceClassifier::fit(const data::Samples& labeled,
+                             const la::Matrix& subspace_pool) {
+  IOTML_CHECK(!labeled.y.empty(), "SubspaceClassifier::fit: unlabeled training set");
+  IOTML_CHECK(subspace_pool.rows() >= 3,
+              "SubspaceClassifier::fit: subspace pool needs >= 3 rows");
+
+  data::Samples pool;
+  pool.x = subspace_pool;
+  cca_ = fit_cca(project(pool, view_a_).x, project(pool, view_b_).x, components_,
+                 cca_reg_);
+
+  classifier_ = learners::LogisticRegression();
+  classifier_.fit(project_to_subspace(labeled.x, labeled.y));
+  fitted_ = true;
+}
+
+std::vector<int> SubspaceClassifier::predict(const la::Matrix& x) const {
+  IOTML_CHECK(fitted_, "SubspaceClassifier::predict: call fit() first");
+  const data::Dataset projected = project_to_subspace(x, {});
+  std::vector<int> out;
+  out.reserve(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    out.push_back(classifier_.predict_row(projected, r));
+  }
+  return out;
+}
+
+double SubspaceClassifier::accuracy(const data::Samples& test) const {
+  IOTML_CHECK(!test.y.empty(), "SubspaceClassifier::accuracy: unlabeled test set");
+  const auto predictions = predict(test.x);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == test.y[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(predictions.size());
+}
+
+const CcaResult& SubspaceClassifier::subspace() const {
+  IOTML_CHECK(fitted_, "SubspaceClassifier::subspace: call fit() first");
+  return cca_;
+}
+
+}  // namespace iotml::multiview

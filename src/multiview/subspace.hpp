@@ -1,0 +1,43 @@
+#pragma once
+
+#include "learners/logistic.hpp"
+#include "multiview/cca.hpp"
+#include "multiview/views.hpp"
+
+namespace iotml::multiview {
+
+/// Subspace-learning classifier (Section I: "subspace learning algorithms
+/// try to identify a latent subspace shared by multiple views"): fit CCA
+/// between two views on (possibly unlabeled) data, project each view into
+/// the shared subspace, and train a logistic classifier on the concatenated
+/// projections of the labeled data.
+///
+/// The subspace can be learned from far more data than is labeled — the
+/// semi-supervised advantage this classifier demonstrates.
+class SubspaceClassifier {
+ public:
+  SubspaceClassifier(View view_a, View view_b, std::size_t components,
+                     double cca_reg = 1e-4);
+
+  /// Learn the shared subspace from `subspace_pool` (labels ignored; may be
+  /// the labeled data itself) and the classifier from `labeled`.
+  void fit(const data::Samples& labeled, const la::Matrix& subspace_pool);
+
+  std::vector<int> predict(const la::Matrix& x) const;
+  double accuracy(const data::Samples& test) const;
+
+  const CcaResult& subspace() const;
+
+ private:
+  View view_a_, view_b_;
+  std::size_t components_;
+  double cca_reg_;
+  CcaResult cca_;
+  learners::LogisticRegression classifier_;
+  bool fitted_ = false;
+
+  data::Dataset project_to_subspace(const la::Matrix& x,
+                                    const std::vector<int>& labels) const;
+};
+
+}  // namespace iotml::multiview

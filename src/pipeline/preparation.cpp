@@ -1,0 +1,400 @@
+#include "pipeline/preparation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace iotml::pipeline {
+
+namespace {
+
+using data::Column;
+using data::ColumnType;
+using data::Dataset;
+
+std::vector<double> present_values(const Column& col) {
+  std::vector<double> out;
+  for (std::size_t r = 0; r < col.size(); ++r) {
+    if (!col.is_missing(r)) out.push_back(col.raw()[r]);
+  }
+  return out;
+}
+
+double median_of(std::vector<double> values) {
+  IOTML_CHECK(!values.empty(), "median_of: empty");
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  double m = values[mid];
+  if (values.size() % 2 == 0) {
+    const double lower =
+        *std::max_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid));
+    m = 0.5 * (m + lower);
+  }
+  return m;
+}
+
+/// Mode category label of a categorical column (ties -> first interned).
+std::string mode_label(const Column& col) {
+  std::map<std::size_t, std::size_t> counts;
+  for (std::size_t r = 0; r < col.size(); ++r) {
+    if (!col.is_missing(r)) ++counts[col.category(r)];
+  }
+  IOTML_CHECK(!counts.empty(), "mode_label: all cells missing");
+  std::size_t best = counts.begin()->first;
+  std::size_t best_count = 0;
+  for (const auto& [cat, count] : counts) {
+    if (count > best_count) {
+      best = cat;
+      best_count = count;
+    }
+  }
+  return col.categories()[best];
+}
+
+std::size_t impute_constant_numeric(Column& col, double value) {
+  std::size_t filled = 0;
+  for (std::size_t r = 0; r < col.size(); ++r) {
+    if (col.is_missing(r)) {
+      col.set_numeric(r, value);
+      ++filled;
+    }
+  }
+  return filled;
+}
+
+std::size_t impute_mode_categorical(Column& col) {
+  const std::string label = mode_label(col);
+  std::size_t filled = 0;
+  for (std::size_t r = 0; r < col.size(); ++r) {
+    if (col.is_missing(r)) {
+      col.set_category(r, label);
+      ++filled;
+    }
+  }
+  return filled;
+}
+
+std::size_t impute_locf(Column& col) {
+  std::size_t filled = 0;
+  bool have_last = false;
+  double last = 0.0;
+  for (std::size_t r = 0; r < col.size(); ++r) {
+    if (col.is_missing(r)) {
+      if (have_last) {
+        col.set_numeric(r, last);
+        ++filled;
+      }
+    } else {
+      last = col.numeric(r);
+      have_last = true;
+    }
+  }
+  // Leading gap: backfill with the first observation if any.
+  if (have_last) {
+    double first = 0.0;
+    bool found = false;
+    for (std::size_t r = 0; r < col.size() && !found; ++r) {
+      if (!col.is_missing(r)) {
+        first = col.numeric(r);
+        found = true;
+      }
+    }
+    for (std::size_t r = 0; r < col.size(); ++r) {
+      if (col.is_missing(r)) {
+        col.set_numeric(r, first);
+        ++filled;
+      } else {
+        break;
+      }
+    }
+  }
+  return filled;
+}
+
+std::size_t impute_linear(Column& col) {
+  std::size_t filled = 0;
+  const std::size_t n = col.size();
+  std::size_t r = 0;
+  std::ptrdiff_t prev = -1;  // last present row
+  while (r < n) {
+    if (!col.is_missing(r)) {
+      prev = static_cast<std::ptrdiff_t>(r);
+      ++r;
+      continue;
+    }
+    // Find the next present row.
+    std::size_t next = r;
+    while (next < n && col.is_missing(next)) ++next;
+    if (prev >= 0 && next < n) {
+      const double v0 = col.numeric(static_cast<std::size_t>(prev));
+      const double v1 = col.numeric(next);
+      const double span = static_cast<double>(next - static_cast<std::size_t>(prev));
+      for (std::size_t g = r; g < next; ++g) {
+        const double alpha = static_cast<double>(g - static_cast<std::size_t>(prev)) / span;
+        col.set_numeric(g, v0 + alpha * (v1 - v0));
+        ++filled;
+      }
+    } else if (prev >= 0) {  // trailing gap: extend last value
+      for (std::size_t g = r; g < n; ++g) {
+        col.set_numeric(g, col.numeric(static_cast<std::size_t>(prev)));
+        ++filled;
+      }
+    } else if (next < n) {  // leading gap: backfill
+      for (std::size_t g = r; g < next; ++g) {
+        col.set_numeric(g, col.numeric(next));
+        ++filled;
+      }
+    }
+    r = next;
+  }
+  return filled;
+}
+
+std::size_t impute_hot_deck(Column& col, Rng& rng) {
+  const std::vector<double> donors = present_values(col);
+  if (donors.empty()) return 0;
+  std::size_t filled = 0;
+  for (std::size_t r = 0; r < col.size(); ++r) {
+    if (col.is_missing(r)) {
+      col.set_numeric(r, donors[rng.index(donors.size())]);
+      ++filled;
+    }
+  }
+  return filled;
+}
+
+/// kNN imputation: distance over the other numeric columns (range-scaled,
+/// missing-skipped); fill with the mean of the k nearest donors that have the
+/// target present.
+std::size_t impute_knn_column(Dataset& ds, std::size_t target, std::size_t k) {
+  Column& col = ds.column(target);
+  const std::size_t n = ds.rows();
+
+  std::vector<double> range(ds.num_columns(), 1.0);
+  for (std::size_t f = 0; f < ds.num_columns(); ++f) {
+    const Column& c = ds.column(f);
+    if (c.type() != ColumnType::kNumeric) continue;
+    double lo = std::numeric_limits<double>::infinity(), hi = -lo;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (c.is_missing(r)) continue;
+      lo = std::min(lo, c.numeric(r));
+      hi = std::max(hi, c.numeric(r));
+    }
+    if (hi > lo) range[f] = hi - lo;
+  }
+
+  auto distance = [&](std::size_t a, std::size_t b) {
+    double total = 0.0;
+    std::size_t comparable = 0;
+    for (std::size_t f = 0; f < ds.num_columns(); ++f) {
+      if (f == target) continue;
+      const Column& c = ds.column(f);
+      if (c.is_missing(a) || c.is_missing(b)) continue;
+      ++comparable;
+      if (c.type() == ColumnType::kNumeric) {
+        const double d = (c.numeric(a) - c.numeric(b)) / range[f];
+        total += d * d;
+      } else {
+        total += c.category(a) == c.category(b) ? 0.0 : 1.0;
+      }
+    }
+    if (comparable == 0) return std::numeric_limits<double>::infinity();
+    return total / static_cast<double>(comparable);
+  };
+
+  // Snapshot missing rows first: donors must come from originally-present cells.
+  std::vector<std::size_t> holes, donors;
+  for (std::size_t r = 0; r < n; ++r) {
+    (col.is_missing(r) ? holes : donors).push_back(r);
+  }
+  if (donors.empty()) return 0;
+
+  std::size_t filled = 0;
+  for (std::size_t hole : holes) {
+    std::vector<std::pair<double, std::size_t>> scored;
+    scored.reserve(donors.size());
+    for (std::size_t d : donors) scored.emplace_back(distance(hole, d), d);
+    const std::size_t kk = std::min(k, scored.size());
+    std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(kk),
+                      scored.end());
+    double sum = 0.0;
+    std::size_t used = 0;
+    for (std::size_t i = 0; i < kk; ++i) {
+      if (std::isinf(scored[i].first)) break;
+      sum += col.numeric(scored[i].second);
+      ++used;
+    }
+    if (used == 0) {  // no comparable donor: fall back to column mean
+      double mean = 0.0;
+      for (std::size_t d : donors) mean += col.numeric(d);
+      sum = mean;
+      used = donors.size();
+    }
+    col.set_numeric(hole, sum / static_cast<double>(used));
+    ++filled;
+  }
+  return filled;
+}
+
+}  // namespace
+
+ImputeReport impute(Dataset& ds, ImputeStrategy strategy, Rng& rng, std::size_t knn_k) {
+  ds.validate();
+  IOTML_CHECK(knn_k >= 1, "impute: knn_k must be >= 1");
+  ImputeReport report;
+
+  for (std::size_t f = 0; f < ds.num_columns(); ++f) {
+    Column& col = ds.column(f);
+    const std::size_t missing_before = col.missing_count();
+    if (missing_before == 0) continue;
+
+    if (col.type() == ColumnType::kCategorical) {
+      // Order-based strategies don't apply; use the mode when any value exists.
+      if ((strategy == ImputeStrategy::kMean || strategy == ImputeStrategy::kMedian ||
+           strategy == ImputeStrategy::kHotDeck || strategy == ImputeStrategy::kKnn) &&
+          missing_before < col.size()) {
+        report.cells_imputed += impute_mode_categorical(col);
+      }
+      report.cells_unresolved += col.missing_count();
+      continue;
+    }
+
+    if (missing_before == col.size()) {  // nothing to learn from
+      report.cells_unresolved += missing_before;
+      continue;
+    }
+
+    std::size_t filled = 0;
+    switch (strategy) {
+      case ImputeStrategy::kMean: {
+        const auto vals = present_values(col);
+        double mean = 0.0;
+        for (double v : vals) mean += v;
+        filled = impute_constant_numeric(col, mean / static_cast<double>(vals.size()));
+        break;
+      }
+      case ImputeStrategy::kMedian:
+        filled = impute_constant_numeric(col, median_of(present_values(col)));
+        break;
+      case ImputeStrategy::kLocf:
+        filled = impute_locf(col);
+        break;
+      case ImputeStrategy::kLinear:
+        filled = impute_linear(col);
+        break;
+      case ImputeStrategy::kHotDeck:
+        filled = impute_hot_deck(col, rng);
+        break;
+      case ImputeStrategy::kKnn:
+        filled = impute_knn_column(ds, f, knn_k);
+        break;
+    }
+    report.cells_imputed += filled;
+    report.cells_unresolved += col.missing_count();
+  }
+  return report;
+}
+
+std::string impute_strategy_name(ImputeStrategy s) {
+  switch (s) {
+    case ImputeStrategy::kMean: return "mean";
+    case ImputeStrategy::kMedian: return "median";
+    case ImputeStrategy::kLocf: return "locf";
+    case ImputeStrategy::kLinear: return "linear";
+    case ImputeStrategy::kHotDeck: return "hot-deck";
+    case ImputeStrategy::kKnn: return "knn";
+  }
+  return "?";
+}
+
+std::vector<bool> detect_outliers_zscore(const Column& col, double threshold) {
+  IOTML_CHECK(col.type() == ColumnType::kNumeric, "detect_outliers_zscore: numeric only");
+  IOTML_CHECK(threshold > 0.0, "detect_outliers_zscore: threshold must be positive");
+  const auto vals = present_values(col);
+  std::vector<bool> flags(col.size(), false);
+  if (vals.size() < 3) return flags;
+  double mean = 0.0;
+  for (double v : vals) mean += v;
+  mean /= static_cast<double>(vals.size());
+  double var = 0.0;
+  for (double v : vals) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(vals.size() - 1);
+  const double std_dev = std::sqrt(var);
+  if (std_dev < 1e-12) return flags;
+  for (std::size_t r = 0; r < col.size(); ++r) {
+    if (!col.is_missing(r) && std::fabs(col.numeric(r) - mean) > threshold * std_dev) {
+      flags[r] = true;
+    }
+  }
+  return flags;
+}
+
+std::vector<bool> detect_outliers_hampel(const Column& col, double threshold) {
+  IOTML_CHECK(col.type() == ColumnType::kNumeric, "detect_outliers_hampel: numeric only");
+  IOTML_CHECK(threshold > 0.0, "detect_outliers_hampel: threshold must be positive");
+  const auto vals = present_values(col);
+  std::vector<bool> flags(col.size(), false);
+  if (vals.size() < 3) return flags;
+  const double med = median_of(vals);
+  std::vector<double> deviations;
+  deviations.reserve(vals.size());
+  for (double v : vals) deviations.push_back(std::fabs(v - med));
+  const double mad = median_of(deviations);
+  const double scale = 1.4826 * mad;
+  if (scale < 1e-12) return flags;
+  for (std::size_t r = 0; r < col.size(); ++r) {
+    if (!col.is_missing(r) && std::fabs(col.numeric(r) - med) > threshold * scale) {
+      flags[r] = true;
+    }
+  }
+  return flags;
+}
+
+std::size_t suppress_outliers(Dataset& ds, std::size_t column,
+                              const std::vector<bool>& flags) {
+  Column& col = ds.column(column);
+  IOTML_CHECK(flags.size() == col.size(), "suppress_outliers: flag size mismatch");
+  std::size_t suppressed = 0;
+  for (std::size_t r = 0; r < col.size(); ++r) {
+    if (flags[r] && !col.is_missing(r)) {
+      col.set_missing(r);
+      ++suppressed;
+    }
+  }
+  return suppressed;
+}
+
+void normalize(Dataset& ds, NormalizeKind kind) {
+  for (std::size_t f = 0; f < ds.num_columns(); ++f) {
+    Column& col = ds.column(f);
+    if (col.type() != ColumnType::kNumeric) continue;
+    const auto vals = present_values(col);
+    if (vals.empty()) continue;
+
+    if (kind == NormalizeKind::kMinMax) {
+      const auto [lo_it, hi_it] = std::minmax_element(vals.begin(), vals.end());
+      const double lo = *lo_it, hi = *hi_it;
+      const double span = hi > lo ? hi - lo : 1.0;
+      for (std::size_t r = 0; r < col.size(); ++r) {
+        if (!col.is_missing(r)) col.set_numeric(r, (col.numeric(r) - lo) / span);
+      }
+    } else {
+      double mean = 0.0;
+      for (double v : vals) mean += v;
+      mean /= static_cast<double>(vals.size());
+      double var = 0.0;
+      for (double v : vals) var += (v - mean) * (v - mean);
+      var = vals.size() > 1 ? var / static_cast<double>(vals.size() - 1) : 0.0;
+      const double std_dev = var > 1e-24 ? std::sqrt(var) : 1.0;
+      for (std::size_t r = 0; r < col.size(); ++r) {
+        if (!col.is_missing(r)) col.set_numeric(r, (col.numeric(r) - mean) / std_dev);
+      }
+    }
+  }
+}
+
+}  // namespace iotml::pipeline

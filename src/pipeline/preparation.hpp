@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace iotml::pipeline {
+
+/// Missing-value imputation strategies (Section IV lists imputation among
+/// the most analytics-critical preparation steps). All operate in place on
+/// numeric columns; categorical columns are imputed with the mode where the
+/// strategy is order-free and left untouched by order-based strategies.
+enum class ImputeStrategy {
+  kMean,        ///< column mean (mode for categorical)
+  kMedian,      ///< column median (mode for categorical)
+  kLocf,        ///< last observation carried forward (row order = time order)
+  kLinear,      ///< linear interpolation between neighbours in row order
+  kHotDeck,     ///< random present donor from the same column
+  kKnn          ///< mean of k nearest rows by the other columns
+};
+
+struct ImputeReport {
+  std::size_t cells_imputed = 0;
+  std::size_t cells_unresolved = 0;  ///< stayed missing (e.g. empty column)
+};
+
+/// Impute a dataset in place. `knn_k` only matters for kKnn; `rng` only for
+/// kHotDeck (pass any seeded Rng otherwise).
+ImputeReport impute(data::Dataset& ds, ImputeStrategy strategy, Rng& rng,
+                    std::size_t knn_k = 5);
+
+/// Human-readable strategy name (bench output).
+std::string impute_strategy_name(ImputeStrategy s);
+
+/// Outlier detection over a numeric column. Returns row flags.
+std::vector<bool> detect_outliers_zscore(const data::Column& col, double threshold = 3.0);
+
+/// Hampel identifier: |x - median| > threshold * 1.4826 * MAD.
+std::vector<bool> detect_outliers_hampel(const data::Column& col, double threshold = 3.0);
+
+/// Replace flagged cells with missing (so imputation can repair them).
+std::size_t suppress_outliers(data::Dataset& ds, std::size_t column,
+                              const std::vector<bool>& flags);
+
+/// Normalization of numeric columns, in place.
+enum class NormalizeKind { kMinMax, kZScore };
+void normalize(data::Dataset& ds, NormalizeKind kind);
+
+}  // namespace iotml::pipeline

@@ -1,0 +1,80 @@
+#include "pipeline/privacy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace iotml::pipeline {
+
+double laplace_noise(double scale, Rng& rng) {
+  IOTML_CHECK(scale >= 0.0, "laplace_noise: scale must be >= 0");
+  if (scale == 0.0) return 0.0;
+  // Inverse CDF: u uniform in (-1/2, 1/2), x = -scale * sgn(u) * ln(1-2|u|).
+  const double u = rng.uniform() - 0.5;
+  return -scale * (u >= 0.0 ? 1.0 : -1.0) * std::log(1.0 - 2.0 * std::fabs(u));
+}
+
+double randomized_response_keep_probability(double epsilon, std::size_t categories) {
+  IOTML_CHECK(epsilon > 0.0, "randomized_response: epsilon must be positive");
+  IOTML_CHECK(categories >= 2, "randomized_response: need >= 2 categories");
+  const double e = std::exp(epsilon);
+  return e / (e + static_cast<double>(categories) - 1.0);
+}
+
+PrivacyReport privatize(data::Dataset& ds, const PrivacyParams& params, Rng& rng) {
+  IOTML_CHECK(params.epsilon > 0.0, "privatize: epsilon must be positive");
+  IOTML_CHECK(params.sensitivity.empty() || params.sensitivity.size() == ds.num_columns(),
+              "privatize: sensitivity size mismatch");
+
+  PrivacyReport report;
+  double scale_total = 0.0;
+  std::size_t scale_count = 0;
+
+  for (std::size_t f = 0; f < ds.num_columns(); ++f) {
+    data::Column& col = ds.column(f);
+
+    if (col.type() == data::ColumnType::kNumeric) {
+      double sensitivity;
+      if (!params.sensitivity.empty()) {
+        sensitivity = params.sensitivity[f];
+      } else {
+        double lo = std::numeric_limits<double>::infinity(), hi = -lo;
+        for (std::size_t r = 0; r < col.size(); ++r) {
+          if (col.is_missing(r)) continue;
+          lo = std::min(lo, col.numeric(r));
+          hi = std::max(hi, col.numeric(r));
+        }
+        sensitivity = hi > lo ? hi - lo : 0.0;
+      }
+      const double scale = sensitivity / params.epsilon;
+      for (std::size_t r = 0; r < col.size(); ++r) {
+        if (col.is_missing(r)) continue;
+        col.set_numeric(r, col.numeric(r) + laplace_noise(scale, rng));
+        ++report.numeric_cells_noised;
+      }
+      scale_total += scale;
+      ++scale_count;
+    } else if (params.randomize_categories && col.categories().size() >= 2) {
+      const double keep =
+          randomized_response_keep_probability(params.epsilon, col.categories().size());
+      for (std::size_t r = 0; r < col.size(); ++r) {
+        if (col.is_missing(r)) continue;
+        if (!rng.bernoulli(keep)) {
+          const std::size_t replacement = rng.index(col.categories().size());
+          if (replacement != col.category(r)) ++report.categorical_cells_flipped;
+          // Copy: set_category takes a reference and may touch the intern
+          // table the label lives in.
+          const std::string label = col.categories()[replacement];
+          col.set_category(r, label);
+        }
+      }
+    }
+  }
+  report.laplace_scale_mean =
+      scale_count > 0 ? scale_total / static_cast<double>(scale_count) : 0.0;
+  return report;
+}
+
+}  // namespace iotml::pipeline

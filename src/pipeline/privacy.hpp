@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace iotml::pipeline {
+
+/// Ethics/legal constraints as modular perturbation sources (Section I.B:
+/// "one can also consider and investigate ethics and legal concerns as
+/// modular sources of perturbation"). The concrete instance: local
+/// differential-privacy-style noise added before data leaves the device
+/// tier, with the privacy budget epsilon trading off against downstream
+/// analytics quality.
+
+struct PrivacyParams {
+  /// Privacy budget: smaller = more noise = stronger privacy. Laplace noise
+  /// with scale sensitivity/epsilon per numeric cell.
+  double epsilon = 1.0;
+  /// Per-column sensitivity; when empty, each column's observed range is
+  /// used (the standard bounded-domain assumption).
+  std::vector<double> sensitivity;
+  /// Categorical columns: probability of randomized response (cell replaced
+  /// by a uniformly random category) derived from epsilon when true.
+  bool randomize_categories = true;
+};
+
+struct PrivacyReport {
+  std::size_t numeric_cells_noised = 0;
+  std::size_t categorical_cells_flipped = 0;
+  double laplace_scale_mean = 0.0;  ///< mean noise scale actually applied
+};
+
+/// Draw from Laplace(0, scale).
+double laplace_noise(double scale, Rng& rng);
+
+/// Perturb a dataset in place under the given budget. Missing cells stay
+/// missing; labels are never touched (they are the analyst's ground truth in
+/// our experiments, not part of the published record).
+PrivacyReport privatize(data::Dataset& ds, const PrivacyParams& params, Rng& rng);
+
+/// The randomized-response keep-probability for k categories at budget
+/// epsilon: p(keep) = e^eps / (e^eps + k - 1).
+double randomized_response_keep_probability(double epsilon, std::size_t categories);
+
+}  // namespace iotml::pipeline

@@ -1,0 +1,300 @@
+#include "pipeline/reduction.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace iotml::pipeline {
+
+namespace {
+
+using data::Column;
+using data::ColumnType;
+using data::Dataset;
+
+std::vector<double> present_values(const Column& col) {
+  std::vector<double> out;
+  for (std::size_t r = 0; r < col.size(); ++r) {
+    if (!col.is_missing(r)) out.push_back(col.raw()[r]);
+  }
+  return out;
+}
+
+/// Discrete symbol of a cell for MI estimation: category index, or numeric
+/// bin, with a dedicated symbol for missing.
+std::vector<int> symbolize(const Column& col, std::size_t bins) {
+  std::vector<int> out(col.size(), -1);  // -1 = missing
+  if (col.type() == ColumnType::kCategorical) {
+    for (std::size_t r = 0; r < col.size(); ++r) {
+      if (!col.is_missing(r)) out[r] = static_cast<int>(col.category(r));
+    }
+    return out;
+  }
+  const auto vals = present_values(col);
+  if (vals.empty()) return out;
+  const auto [lo_it, hi_it] = std::minmax_element(vals.begin(), vals.end());
+  const double lo = *lo_it;
+  const double span = *hi_it > lo ? *hi_it - lo : 1.0;
+  for (std::size_t r = 0; r < col.size(); ++r) {
+    if (col.is_missing(r)) continue;
+    auto bin = static_cast<std::size_t>((col.numeric(r) - lo) / span *
+                                        static_cast<double>(bins));
+    out[r] = static_cast<int>(std::min(bin, bins - 1));
+  }
+  return out;
+}
+
+double entropy_from_counts(const std::map<int, std::size_t>& counts, std::size_t n) {
+  double h = 0.0;
+  for (const auto& [symbol, count] : counts) {
+    const double p = static_cast<double>(count) / static_cast<double>(n);
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::size_t> select_by_variance(const Dataset& ds, double min_variance) {
+  IOTML_CHECK(min_variance >= 0.0, "select_by_variance: min_variance must be >= 0");
+  std::vector<std::size_t> keep;
+  for (std::size_t f = 0; f < ds.num_columns(); ++f) {
+    const Column& col = ds.column(f);
+    if (col.type() == ColumnType::kCategorical) {
+      keep.push_back(f);
+      continue;
+    }
+    const auto vals = present_values(col);
+    if (vals.size() < 2) continue;
+    double mean = 0.0;
+    for (double v : vals) mean += v;
+    mean /= static_cast<double>(vals.size());
+    double var = 0.0;
+    for (double v : vals) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(vals.size() - 1);
+    if (var >= min_variance) keep.push_back(f);
+  }
+  return keep;
+}
+
+double mutual_information(const Dataset& ds, std::size_t column, std::size_t bins) {
+  IOTML_CHECK(ds.has_labels(), "mutual_information: dataset must be labeled");
+  IOTML_CHECK(bins >= 2, "mutual_information: bins must be >= 2");
+  const std::vector<int> symbols = symbolize(ds.column(column), bins);
+
+  std::map<int, std::size_t> sym_counts, label_counts;
+  std::map<std::pair<int, int>, std::size_t> joint;
+  std::size_t n = 0;
+  for (std::size_t r = 0; r < ds.rows(); ++r) {
+    if (symbols[r] < 0) continue;  // skip missing
+    ++sym_counts[symbols[r]];
+    ++label_counts[ds.label(r)];
+    ++joint[{symbols[r], ds.label(r)}];
+    ++n;
+  }
+  if (n == 0) return 0.0;
+
+  const double hx = entropy_from_counts(sym_counts, n);
+  const double hy = entropy_from_counts(label_counts, n);
+  double hxy = 0.0;
+  for (const auto& [key, count] : joint) {
+    const double p = static_cast<double>(count) / static_cast<double>(n);
+    hxy -= p * std::log(p);
+  }
+  return std::max(0.0, hx + hy - hxy);
+}
+
+std::vector<std::size_t> select_by_mutual_information(const Dataset& ds, std::size_t k,
+                                                      std::size_t bins) {
+  IOTML_CHECK(k >= 1, "select_by_mutual_information: k must be >= 1");
+  std::vector<std::pair<double, std::size_t>> scored;
+  for (std::size_t f = 0; f < ds.num_columns(); ++f) {
+    scored.emplace_back(mutual_information(ds, f, bins), f);
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<std::size_t> keep;
+  for (std::size_t i = 0; i < std::min(k, scored.size()); ++i) {
+    keep.push_back(scored[i].second);
+  }
+  std::sort(keep.begin(), keep.end());
+  return keep;
+}
+
+std::vector<std::size_t> sample_rows(std::size_t total, std::size_t count, Rng& rng) {
+  IOTML_CHECK(count <= total, "sample_rows: count > total");
+  auto rows = rng.sample_without_replacement(total, count);
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::vector<std::size_t> stratified_sample_rows(const std::vector<int>& labels,
+                                                std::size_t count, Rng& rng) {
+  IOTML_CHECK(count <= labels.size(), "stratified_sample_rows: count > total");
+  IOTML_CHECK(count >= 1, "stratified_sample_rows: count must be >= 1");
+  std::map<int, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < labels.size(); ++i) by_class[labels[i]].push_back(i);
+
+  std::vector<std::size_t> out;
+  const double fraction = static_cast<double>(count) / static_cast<double>(labels.size());
+  for (auto& [label, members] : by_class) {
+    rng.shuffle(members);
+    auto take = static_cast<std::size_t>(
+        std::round(fraction * static_cast<double>(members.size())));
+    take = std::min(take, members.size());
+    out.insert(out.end(), members.begin(),
+               members.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---- Discretization ----------------------------------------------------------------
+
+namespace {
+
+/// Cut points for entropy-MDL discretization (Fayyad & Irani, simplified):
+/// recursively split on the boundary minimizing class entropy, accepting a
+/// split only when the information gain passes the MDL criterion.
+void mdl_splits(const std::vector<std::pair<double, int>>& sorted, std::size_t begin,
+                std::size_t end, std::vector<double>& cuts) {
+  const std::size_t n = end - begin;
+  if (n < 4) return;
+
+  auto class_entropy = [&](std::size_t b, std::size_t e, std::size_t& distinct) {
+    std::map<int, std::size_t> counts;
+    for (std::size_t i = b; i < e; ++i) ++counts[sorted[i].second];
+    distinct = counts.size();
+    return entropy_from_counts(counts, e - b);
+  };
+
+  std::size_t k_all = 0;
+  const double h_all = class_entropy(begin, end, k_all);
+  if (k_all < 2) return;
+
+  double best_gain = -1.0, best_cut = 0.0, best_h1 = 0.0, best_h2 = 0.0;
+  std::size_t best_i = 0, best_k1 = 0, best_k2 = 0;
+  for (std::size_t i = begin + 1; i < end; ++i) {
+    if (sorted[i].first <= sorted[i - 1].first) continue;  // not a boundary
+    std::size_t k1 = 0, k2 = 0;
+    const double h1 = class_entropy(begin, i, k1);
+    const double h2 = class_entropy(i, end, k2);
+    const double nf = static_cast<double>(n);
+    const double h_split = (static_cast<double>(i - begin) / nf) * h1 +
+                           (static_cast<double>(end - i) / nf) * h2;
+    const double gain = h_all - h_split;
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_cut = 0.5 * (sorted[i - 1].first + sorted[i].first);
+      best_i = i;
+      best_h1 = h1;
+      best_h2 = h2;
+      best_k1 = k1;
+      best_k2 = k2;
+    }
+  }
+  if (best_gain <= 0.0) return;
+
+  // MDL acceptance (Fayyad-Irani): gain > (log2(n-1) + log2(3^k - 2)
+  // - k*H + k1*H1 + k2*H2) / n, with entropies in bits.
+  const double ln2 = std::log(2.0);
+  const double nf = static_cast<double>(n);
+  const double delta = std::log2(std::pow(3.0, static_cast<double>(k_all)) - 2.0) -
+                       (static_cast<double>(k_all) * h_all -
+                        static_cast<double>(best_k1) * best_h1 -
+                        static_cast<double>(best_k2) * best_h2) /
+                           ln2;
+  const double threshold = (std::log2(nf - 1.0) + delta) / nf;
+  if (best_gain / ln2 <= threshold) return;
+
+  cuts.push_back(best_cut);
+  mdl_splits(sorted, begin, best_i, cuts);
+  mdl_splits(sorted, best_i, end, cuts);
+}
+
+std::vector<double> cut_points(const Dataset& ds, std::size_t column,
+                               DiscretizeKind kind, std::size_t bins) {
+  const Column& col = ds.column(column);
+  const auto vals = present_values(col);
+  IOTML_CHECK(!vals.empty(), "discretize: column is entirely missing");
+
+  std::vector<double> cuts;
+  switch (kind) {
+    case DiscretizeKind::kEqualWidth: {
+      const auto [lo_it, hi_it] = std::minmax_element(vals.begin(), vals.end());
+      const double lo = *lo_it, hi = *hi_it;
+      if (hi <= lo) break;
+      for (std::size_t b = 1; b < bins; ++b) {
+        cuts.push_back(lo + (hi - lo) * static_cast<double>(b) /
+                                static_cast<double>(bins));
+      }
+      break;
+    }
+    case DiscretizeKind::kEqualFrequency: {
+      std::vector<double> sorted = vals;
+      std::sort(sorted.begin(), sorted.end());
+      for (std::size_t b = 1; b < bins; ++b) {
+        const std::size_t idx = b * sorted.size() / bins;
+        const double cut = sorted[std::min(idx, sorted.size() - 1)];
+        if (cuts.empty() || cut > cuts.back()) cuts.push_back(cut);
+      }
+      break;
+    }
+    case DiscretizeKind::kEntropyMdl: {
+      IOTML_CHECK(ds.has_labels(), "discretize: kEntropyMdl requires labels");
+      std::vector<std::pair<double, int>> sorted;
+      for (std::size_t r = 0; r < col.size(); ++r) {
+        if (!col.is_missing(r)) sorted.emplace_back(col.numeric(r), ds.label(r));
+      }
+      std::sort(sorted.begin(), sorted.end());
+      mdl_splits(sorted, 0, sorted.size(), cuts);
+      std::sort(cuts.begin(), cuts.end());
+      break;
+    }
+  }
+  return cuts;
+}
+
+}  // namespace
+
+std::size_t discretize_column(Dataset& ds, std::size_t column, DiscretizeKind kind,
+                              std::size_t bins) {
+  IOTML_CHECK(bins >= 2, "discretize_column: bins must be >= 2");
+  Column& col = ds.column(column);
+  IOTML_CHECK(col.type() == ColumnType::kNumeric, "discretize_column: numeric only");
+
+  const std::vector<double> cuts = cut_points(ds, column, kind, bins);
+
+  // Rebuild the column as categorical with interval labels.
+  Column replacement(col.name(), ColumnType::kCategorical);
+  for (std::size_t r = 0; r < col.size(); ++r) {
+    if (col.is_missing(r)) {
+      replacement.push_missing();
+      continue;
+    }
+    const double v = col.numeric(r);
+    const std::size_t bin = static_cast<std::size_t>(
+        std::upper_bound(cuts.begin(), cuts.end(), v) - cuts.begin());
+    replacement.push_category("bin" + std::to_string(bin));
+  }
+  col = std::move(replacement);
+  return cuts.size() + 1;
+}
+
+std::size_t discretize_all(Dataset& ds, DiscretizeKind kind, std::size_t bins) {
+  std::size_t total = 0;
+  for (std::size_t f = 0; f < ds.num_columns(); ++f) {
+    if (ds.column(f).type() == ColumnType::kNumeric) {
+      total += discretize_column(ds, f, kind, bins);
+    }
+  }
+  return total;
+}
+
+}  // namespace iotml::pipeline

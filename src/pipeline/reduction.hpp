@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace iotml::pipeline {
+
+// ---- Feature selection (data-reduction sub-phase, Section IV) ---------------
+
+/// Indices of numeric columns whose variance (over present cells) is at
+/// least `min_variance`, plus all categorical columns.
+std::vector<std::size_t> select_by_variance(const data::Dataset& ds, double min_variance);
+
+/// Top-k features by mutual information with the labels (nats). Numeric
+/// columns are pre-binned into `bins` equal-width intervals for estimation.
+std::vector<std::size_t> select_by_mutual_information(const data::Dataset& ds,
+                                                      std::size_t k,
+                                                      std::size_t bins = 8);
+
+/// Mutual information I(feature; labels) of one column, in nats.
+double mutual_information(const data::Dataset& ds, std::size_t column,
+                          std::size_t bins = 8);
+
+// ---- Instance selection ---------------------------------------------------------
+
+/// Uniform random subsample of `count` rows.
+std::vector<std::size_t> sample_rows(std::size_t total, std::size_t count, Rng& rng);
+
+/// Class-stratified subsample of ~`count` rows preserving label proportions.
+std::vector<std::size_t> stratified_sample_rows(const std::vector<int>& labels,
+                                                std::size_t count, Rng& rng);
+
+// ---- Discretization --------------------------------------------------------------
+
+enum class DiscretizeKind {
+  kEqualWidth,      ///< bins of equal value span
+  kEqualFrequency,  ///< bins of (approximately) equal population
+  kEntropyMdl       ///< recursive entropy splits with an MDL stopping rule
+};
+
+/// Replace a numeric column with a categorical column of bin labels
+/// ("bin0".."binN"), in place (the column object changes type).
+/// kEntropyMdl requires labels. Returns the number of bins produced.
+std::size_t discretize_column(data::Dataset& ds, std::size_t column,
+                              DiscretizeKind kind, std::size_t bins = 4);
+
+/// Discretize every numeric column; returns total bins across columns.
+std::size_t discretize_all(data::Dataset& ds, DiscretizeKind kind, std::size_t bins = 4);
+
+}  // namespace iotml::pipeline

@@ -1,0 +1,70 @@
+#include "pipeline/stage.hpp"
+
+#include "util/error.hpp"
+
+namespace iotml::pipeline {
+
+std::string tier_name(Tier t) {
+  switch (t) {
+    case Tier::kDevice: return "device";
+    case Tier::kEdge: return "edge";
+    case Tier::kCore: return "core";
+  }
+  return "?";
+}
+
+LambdaStage::LambdaStage(std::string name, Fn fn, std::string player, Tier tier)
+    : name_(std::move(name)), fn_(std::move(fn)), player_(std::move(player)), tier_(tier) {
+  IOTML_CHECK(fn_ != nullptr, "LambdaStage: null function");
+  IOTML_CHECK(!name_.empty(), "LambdaStage: empty name");
+}
+
+StageReport LambdaStage::apply(data::Dataset& ds, Rng& rng) {
+  StageReport report;
+  report.stage_name = name_;
+  report.player = player_;
+  report.tier = tier_;
+  report.rows_in = ds.rows();
+  report.missing_rate_in = ds.missing_rate();
+  report.cost = fn_(ds, rng);
+  report.rows_out = ds.rows();
+  report.columns_out = ds.num_columns();
+  report.missing_rate_out = ds.missing_rate();
+  return report;
+}
+
+Pipeline& Pipeline::add(std::unique_ptr<Stage> stage) {
+  IOTML_CHECK(stage != nullptr, "Pipeline::add: null stage");
+  stages_.push_back(std::move(stage));
+  return *this;
+}
+
+Pipeline& Pipeline::add(std::string name, LambdaStage::Fn fn, std::string player,
+                        Tier tier) {
+  return add(std::make_unique<LambdaStage>(std::move(name), std::move(fn),
+                                           std::move(player), tier));
+}
+
+data::Dataset Pipeline::run(data::Dataset input, Rng& rng) {
+  reports_.clear();
+  for (const auto& stage : stages_) {
+    reports_.push_back(stage->apply(input, rng));
+  }
+  return input;
+}
+
+double Pipeline::total_cost() const {
+  double total = 0.0;
+  for (const StageReport& r : reports_) total += r.cost;
+  return total;
+}
+
+double Pipeline::player_cost(const std::string& player) const {
+  double total = 0.0;
+  for (const StageReport& r : reports_) {
+    if (r.player == player) total += r.cost;
+  }
+  return total;
+}
+
+}  // namespace iotml::pipeline

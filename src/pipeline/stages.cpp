@@ -1,0 +1,103 @@
+#include "pipeline/stages.hpp"
+
+#include "util/error.hpp"
+
+namespace iotml::pipeline {
+
+namespace {
+
+/// Fill the bookkeeping fields shared by all concrete stages.
+template <typename Body>
+StageReport run_stage(const Stage& stage, data::Dataset& ds, Body&& body) {
+  StageReport report;
+  report.stage_name = stage.name();
+  report.player = stage.player();
+  report.tier = stage.tier();
+  report.rows_in = ds.rows();
+  report.missing_rate_in = ds.missing_rate();
+  report.cost = body();
+  report.rows_out = ds.rows();
+  report.columns_out = ds.num_columns();
+  report.missing_rate_out = ds.missing_rate();
+  return report;
+}
+
+}  // namespace
+
+OutlierStage::OutlierStage(double threshold, std::string player)
+    : threshold_(threshold), player_(std::move(player)) {
+  IOTML_CHECK(threshold > 0.0, "OutlierStage: threshold must be positive");
+}
+
+StageReport OutlierStage::apply(data::Dataset& ds, Rng&) {
+  return run_stage(*this, ds, [&] {
+    std::size_t suppressed = 0;
+    for (std::size_t f = 0; f < ds.num_columns(); ++f) {
+      if (ds.column(f).type() != data::ColumnType::kNumeric) continue;
+      suppressed +=
+          suppress_outliers(ds, f, detect_outliers_hampel(ds.column(f), threshold_));
+    }
+    return 0.5 + 0.01 * static_cast<double>(suppressed);
+  });
+}
+
+ImputeStage::ImputeStage(ImputeStrategy strategy, std::string player)
+    : strategy_(strategy), player_(std::move(player)) {}
+
+std::string ImputeStage::name() const {
+  return "impute(" + impute_strategy_name(strategy_) + ")";
+}
+
+StageReport ImputeStage::apply(data::Dataset& ds, Rng& rng) {
+  return run_stage(*this, ds, [&] {
+    const ImputeReport r = impute(ds, strategy_, rng);
+    // kNN imputation is an order of magnitude costlier than the others.
+    const double unit = strategy_ == ImputeStrategy::kKnn ? 0.02 : 0.002;
+    return 1.0 + unit * static_cast<double>(r.cells_imputed);
+  });
+}
+
+NormalizeStage::NormalizeStage(NormalizeKind kind, std::string player)
+    : kind_(kind), player_(std::move(player)) {}
+
+std::string NormalizeStage::name() const {
+  return kind_ == NormalizeKind::kMinMax ? "normalize(minmax)" : "normalize(zscore)";
+}
+
+StageReport NormalizeStage::apply(data::Dataset& ds, Rng&) {
+  return run_stage(*this, ds, [&] {
+    normalize(ds, kind_);
+    return 0.5;
+  });
+}
+
+PrivacyStage::PrivacyStage(PrivacyParams params, std::string player)
+    : params_(params), player_(std::move(player)) {
+  IOTML_CHECK(params.epsilon > 0.0, "PrivacyStage: epsilon must be positive");
+}
+
+StageReport PrivacyStage::apply(data::Dataset& ds, Rng& rng) {
+  return run_stage(*this, ds, [&] {
+    const PrivacyReport r = privatize(ds, params_, rng);
+    return 0.5 + 1e-4 * static_cast<double>(r.numeric_cells_noised +
+                                            r.categorical_cells_flipped);
+  });
+}
+
+FeatureSelectStage::FeatureSelectStage(std::size_t keep, std::string player)
+    : keep_(keep), player_(std::move(player)) {
+  IOTML_CHECK(keep >= 1, "FeatureSelectStage: keep must be >= 1");
+}
+
+std::string FeatureSelectStage::name() const {
+  return "feature-select(MI,top" + std::to_string(keep_) + ")";
+}
+
+StageReport FeatureSelectStage::apply(data::Dataset& ds, Rng&) {
+  return run_stage(*this, ds, [&] {
+    ds = ds.select_columns(select_by_mutual_information(ds, keep_));
+    return 1.0;
+  });
+}
+
+}  // namespace iotml::pipeline

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <memory>
+
+#include "pipeline/preparation.hpp"
+#include "pipeline/privacy.hpp"
+#include "pipeline/reduction.hpp"
+#include "pipeline/stage.hpp"
+
+namespace iotml::pipeline {
+
+/// Concrete, reusable Stage implementations for the standard preprocessing
+/// operations, so pipelines can be composed declaratively:
+///
+///   Pipeline p;
+///   p.add(std::make_unique<OutlierStage>(4.0));
+///   p.add(std::make_unique<ImputeStage>(ImputeStrategy::kLinear));
+///   p.add(std::make_unique<NormalizeStage>(NormalizeKind::kZScore));
+
+/// Hampel outlier suppression over every numeric column. Cost scales with
+/// the number of suppressed cells.
+class OutlierStage final : public Stage {
+ public:
+  explicit OutlierStage(double threshold = 4.0, std::string player = "preprocessor");
+  StageReport apply(data::Dataset& ds, Rng& rng) override;
+  std::string name() const override { return "outlier-suppression"; }
+  std::string player() const override { return player_; }
+
+ private:
+  double threshold_;
+  std::string player_;
+};
+
+/// Missing-value imputation with a chosen strategy.
+class ImputeStage final : public Stage {
+ public:
+  explicit ImputeStage(ImputeStrategy strategy, std::string player = "preprocessor");
+  StageReport apply(data::Dataset& ds, Rng& rng) override;
+  std::string name() const override;
+  std::string player() const override { return player_; }
+
+ private:
+  ImputeStrategy strategy_;
+  std::string player_;
+};
+
+/// Numeric normalization.
+class NormalizeStage final : public Stage {
+ public:
+  explicit NormalizeStage(NormalizeKind kind, std::string player = "preprocessor");
+  StageReport apply(data::Dataset& ds, Rng& rng) override;
+  std::string name() const override;
+  std::string player() const override { return player_; }
+
+ private:
+  NormalizeKind kind_;
+  std::string player_;
+};
+
+/// Local-differential-privacy perturbation at the device tier.
+class PrivacyStage final : public Stage {
+ public:
+  explicit PrivacyStage(PrivacyParams params, std::string player = "device-owner");
+  StageReport apply(data::Dataset& ds, Rng& rng) override;
+  std::string name() const override { return "privatize"; }
+  std::string player() const override { return player_; }
+  Tier tier() const override { return Tier::kDevice; }
+
+ private:
+  PrivacyParams params_;
+  std::string player_;
+};
+
+/// Top-k mutual-information feature selection (labels required).
+class FeatureSelectStage final : public Stage {
+ public:
+  explicit FeatureSelectStage(std::size_t keep, std::string player = "core-operator");
+  StageReport apply(data::Dataset& ds, Rng& rng) override;
+  std::string name() const override;
+  std::string player() const override { return player_; }
+  Tier tier() const override { return Tier::kCore; }
+
+ private:
+  std::size_t keep_;
+  std::string player_;
+};
+
+}  // namespace iotml::pipeline

@@ -1,0 +1,105 @@
+#include "pipeline/trust.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace iotml::pipeline {
+
+namespace {
+
+double median_inplace(std::vector<double>& values) {
+  IOTML_CHECK(!values.empty(), "median_inplace: empty");
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  double m = values[mid];
+  if (values.size() % 2 == 0) {
+    const double lower =
+        *std::max_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid));
+    m = 0.5 * (m + lower);
+  }
+  return m;
+}
+
+}  // namespace
+
+std::vector<SensorTrustScore> score_sensor_group(
+    const data::Dataset& records, const std::vector<std::size_t>& columns) {
+  IOTML_CHECK(columns.size() >= 2, "score_sensor_group: need >= 2 sensors");
+  for (std::size_t c : columns) {
+    IOTML_CHECK(c < records.num_columns(), "score_sensor_group: column out of range");
+    IOTML_CHECK(records.column(c).type() == data::ColumnType::kNumeric,
+                "score_sensor_group: numeric columns only");
+  }
+
+  // Per-record consensus = median of present readings (robust to one liar).
+  const std::size_t n = records.rows();
+  std::vector<double> consensus(n, std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t r = 0; r < n; ++r) {
+    std::vector<double> present;
+    for (std::size_t c : columns) {
+      if (!records.column(c).is_missing(r)) present.push_back(records.column(c).numeric(r));
+    }
+    if (present.size() >= 2) consensus[r] = median_inplace(present);
+  }
+
+  std::vector<SensorTrustScore> scores;
+  std::vector<double> group_noise;
+  for (std::size_t c : columns) {
+    SensorTrustScore score;
+    score.sensor = records.column(c).name();
+    std::vector<double> deviations;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (std::isnan(consensus[r]) || records.column(c).is_missing(r)) continue;
+      deviations.push_back(records.column(c).numeric(r) - consensus[r]);
+    }
+    score.readings_used = deviations.size();
+    if (!deviations.empty()) {
+      std::vector<double> copy = deviations;
+      score.bias_estimate = median_inplace(copy);
+      std::vector<double> abs_dev;
+      abs_dev.reserve(deviations.size());
+      for (double d : deviations) abs_dev.push_back(std::fabs(d - score.bias_estimate));
+      score.noise_estimate = 1.4826 * median_inplace(abs_dev);
+    }
+    group_noise.push_back(score.noise_estimate);
+    scores.push_back(std::move(score));
+  }
+
+  // Trust: penalize bias in units of the group's typical noise, and excess
+  // noise relative to the group median noise.
+  std::vector<double> noise_copy = group_noise;
+  const double typical_noise = std::max(median_inplace(noise_copy), 1e-9);
+  for (SensorTrustScore& score : scores) {
+    const double bias_z = std::fabs(score.bias_estimate) / typical_noise;
+    const double noise_ratio = score.noise_estimate / typical_noise;
+    const double excess_noise = std::max(0.0, noise_ratio - 1.0);
+    score.trust = 1.0 / (1.0 + bias_z + excess_noise);
+  }
+  return scores;
+}
+
+std::vector<double> trusted_consensus(const data::Dataset& records,
+                                      const std::vector<std::size_t>& columns,
+                                      const std::vector<SensorTrustScore>& scores) {
+  IOTML_CHECK(columns.size() == scores.size(),
+              "trusted_consensus: score count mismatch");
+  std::vector<double> out(records.rows(), std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t r = 0; r < records.rows(); ++r) {
+    double weighted = 0.0, weight_total = 0.0;
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      const data::Column& col = records.column(columns[i]);
+      if (col.is_missing(r)) continue;
+      // Debias each reading by its sensor's estimated bias before fusing.
+      weighted += scores[i].trust * (col.numeric(r) - scores[i].bias_estimate);
+      weight_total += scores[i].trust;
+    }
+    if (weight_total > 0.0) out[r] = weighted / weight_total;
+  }
+  return out;
+}
+
+}  // namespace iotml::pipeline

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace iotml::pipeline {
+
+/// Trust scoring of redundant sensors (Section I: "hostile, untrusted or
+/// semi-trusted components along the model training chain"; the pipeline
+/// "cannot rely on full mutual trust").
+///
+/// When several sensors measure the same physical quantity, each sensor's
+/// agreement with the group consensus exposes biased or broken devices
+/// without any ground truth: for every record, the consensus is the median
+/// of the group's present readings; a sensor's bias estimate is the median
+/// of its deviations from that consensus, and its noise estimate the MAD.
+
+struct SensorTrustScore {
+  std::string sensor;
+  double bias_estimate = 0.0;   ///< median deviation from group consensus
+  double noise_estimate = 0.0;  ///< MAD of the deviations
+  std::size_t readings_used = 0;
+  /// Trust in [0, 1]: 1 for a sensor indistinguishable from consensus,
+  /// shrinking with |bias| and excess noise relative to the group.
+  double trust = 1.0;
+};
+
+/// Score a group of columns of an integrated record (all measuring the same
+/// quantity). `columns` indexes numeric columns of `records`. Missing cells
+/// are skipped; records with fewer than 2 present sensors contribute nothing.
+std::vector<SensorTrustScore> score_sensor_group(const data::Dataset& records,
+                                                 const std::vector<std::size_t>& columns);
+
+/// Consensus column: per-record trust-weighted mean of the group's present
+/// readings (weights from `scores`, matched by position to `columns`).
+/// Returns per-record values with NaN where no sensor was present.
+std::vector<double> trusted_consensus(const data::Dataset& records,
+                                      const std::vector<std::size_t>& columns,
+                                      const std::vector<SensorTrustScore>& scores);
+
+}  // namespace iotml::pipeline

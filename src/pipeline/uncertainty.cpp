@@ -1,0 +1,95 @@
+#include "pipeline/uncertainty.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace iotml::pipeline {
+
+UncertainValue::UncertainValue(double m, double v) : mean(m), variance(v) {
+  IOTML_CHECK(v >= 0.0, "UncertainValue: variance must be >= 0");
+}
+
+double UncertainValue::stddev() const { return std::sqrt(variance); }
+
+UncertainValue UncertainValue::operator+(const UncertainValue& other) const {
+  return {mean + other.mean, variance + other.variance};
+}
+
+UncertainValue UncertainValue::operator-(const UncertainValue& other) const {
+  return {mean - other.mean, variance + other.variance};
+}
+
+UncertainValue UncertainValue::scaled(double factor) const {
+  return {mean * factor, variance * factor * factor};
+}
+
+UncertainValue UncertainValue::operator*(const UncertainValue& other) const {
+  const double v = variance * other.variance + variance * other.mean * other.mean +
+                   other.variance * mean * mean;
+  return {mean * other.mean, v};
+}
+
+UncertainValue uncertain_mean(const std::vector<UncertainValue>& values) {
+  IOTML_CHECK(!values.empty(), "uncertain_mean: empty input");
+  double m = 0.0, v = 0.0;
+  for (const UncertainValue& u : values) {
+    m += u.mean;
+    v += u.variance;
+  }
+  const double n = static_cast<double>(values.size());
+  return {m / n, v / (n * n)};
+}
+
+UncertainValue fuse(const std::vector<UncertainValue>& estimates) {
+  IOTML_CHECK(!estimates.empty(), "fuse: empty input");
+  double weight_total = 0.0, weighted_mean = 0.0;
+  for (const UncertainValue& e : estimates) {
+    IOTML_CHECK(e.variance > 0.0, "fuse: every estimate needs positive variance");
+    const double w = 1.0 / e.variance;
+    weight_total += w;
+    weighted_mean += w * e.mean;
+  }
+  return {weighted_mean / weight_total, 1.0 / weight_total};
+}
+
+UncertaintyMap::UncertaintyMap(std::size_t rows, std::size_t cols,
+                               double initial_variance)
+    : rows_(rows), cols_(cols), variances_(rows * cols, initial_variance) {
+  IOTML_CHECK(initial_variance >= 0.0, "UncertaintyMap: variance must be >= 0");
+}
+
+double UncertaintyMap::variance(std::size_t row, std::size_t col) const {
+  IOTML_CHECK(row < rows_ && col < cols_, "UncertaintyMap::variance: out of range");
+  return variances_[row * cols_ + col];
+}
+
+void UncertaintyMap::set_variance(std::size_t row, std::size_t col, double variance) {
+  IOTML_CHECK(row < rows_ && col < cols_, "UncertaintyMap::set_variance: out of range");
+  IOTML_CHECK(variance >= 0.0, "UncertaintyMap::set_variance: variance must be >= 0");
+  variances_[row * cols_ + col] = variance;
+}
+
+void UncertaintyMap::scale_column(std::size_t col, double factor) {
+  IOTML_CHECK(col < cols_, "UncertaintyMap::scale_column: out of range");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    variances_[r * cols_ + col] *= factor * factor;
+  }
+}
+
+double UncertaintyMap::mean_variance() const {
+  if (variances_.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : variances_) total += v;
+  return total / static_cast<double>(variances_.size());
+}
+
+double UncertaintyMap::column_mean_variance(std::size_t col) const {
+  IOTML_CHECK(col < cols_, "UncertaintyMap::column_mean_variance: out of range");
+  IOTML_CHECK(rows_ > 0, "UncertaintyMap::column_mean_variance: empty map");
+  double total = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) total += variances_[r * cols_ + col];
+  return total / static_cast<double>(rows_);
+}
+
+}  // namespace iotml::pipeline

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace iotml::pipeline {
+
+/// First-order (Gaussian) uncertainty: a value with a variance. The paper's
+/// Section IV argues the preprocessing player discards exactly this
+/// information; this type is what "keeping track of the uncertainty
+/// associated to the reconstructed data" costs.
+struct UncertainValue {
+  double mean = 0.0;
+  double variance = 0.0;
+
+  UncertainValue() = default;
+  UncertainValue(double m, double v);
+
+  double stddev() const;
+
+  /// Independent-variable arithmetic (first-order propagation).
+  UncertainValue operator+(const UncertainValue& other) const;
+  UncertainValue operator-(const UncertainValue& other) const;
+  UncertainValue scaled(double factor) const;
+
+  /// Product of independent variables: var = va*vb + va*mb^2 + vb*ma^2
+  /// (exact for independent inputs).
+  UncertainValue operator*(const UncertainValue& other) const;
+};
+
+/// Mean of independent uncertain values: variance shrinks as sum(var)/n^2.
+UncertainValue uncertain_mean(const std::vector<UncertainValue>& values);
+
+/// Inverse-variance weighted fusion of independent estimates of the same
+/// quantity (the optimal way to merge redundant sensors): variance
+/// 1/sum(1/var_i).
+UncertainValue fuse(const std::vector<UncertainValue>& estimates);
+
+/// Per-cell variance map running parallel to a Dataset (columns x rows).
+/// Stages annotate the variance they introduce (sensor noise at acquisition,
+/// inflated variance for imputed cells, scaling through normalization).
+class UncertaintyMap {
+ public:
+  UncertaintyMap() = default;
+  UncertaintyMap(std::size_t rows, std::size_t cols, double initial_variance = 0.0);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double variance(std::size_t row, std::size_t col) const;
+  void set_variance(std::size_t row, std::size_t col, double variance);
+  void scale_column(std::size_t col, double factor);  // variance *= factor^2
+
+  /// Mean variance across all cells (pipeline-quality summary statistic).
+  double mean_variance() const;
+
+  /// Mean variance of one column.
+  double column_mean_variance(std::size_t col) const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> variances_;
+};
+
+}  // namespace iotml::pipeline

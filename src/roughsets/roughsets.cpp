@@ -1,0 +1,323 @@
+#include "roughsets/roughsets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace iotml::rough {
+
+namespace {
+
+/// Key of a row restricted to a feature subset; missing encoded distinctly.
+std::vector<double> row_key(const data::Dataset& ds,
+                            const std::vector<std::size_t>& features, std::size_t row) {
+  std::vector<double> key;
+  key.reserve(features.size() * 2);
+  for (std::size_t f : features) {
+    const data::Column& c = ds.column(f);
+    if (c.is_missing(row)) {
+      key.push_back(1.0);  // missing marker
+      key.push_back(0.0);
+    } else {
+      key.push_back(0.0);
+      key.push_back(c.raw()[row]);
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+IndiscernibilityRelation::IndiscernibilityRelation(const data::Dataset& ds,
+                                                   std::vector<std::size_t> features)
+    : features_(std::move(features)) {
+  ds.validate();
+  IOTML_CHECK(ds.rows() > 0, "IndiscernibilityRelation: empty dataset");
+  for (std::size_t f : features_) {
+    IOTML_CHECK(f < ds.num_columns(), "IndiscernibilityRelation: feature out of range");
+  }
+
+  const std::size_t n = ds.rows();
+  class_of_.resize(n);
+  std::map<std::vector<double>, std::size_t> key_to_class;
+  for (std::size_t r = 0; r < n; ++r) {
+    auto key = row_key(ds, features_, r);
+    auto [it, inserted] = key_to_class.try_emplace(std::move(key), classes_.size());
+    if (inserted) classes_.emplace_back();
+    class_of_[r] = it->second;
+    classes_[it->second].push_back(r);
+  }
+}
+
+std::size_t IndiscernibilityRelation::class_of(std::size_t row) const {
+  IOTML_CHECK(row < class_of_.size(), "IndiscernibilityRelation::class_of: row out of range");
+  return class_of_[row];
+}
+
+comb::SetPartition IndiscernibilityRelation::to_partition() const {
+  std::vector<int> assignment(class_of_.size());
+  for (std::size_t r = 0; r < class_of_.size(); ++r) {
+    assignment[r] = static_cast<int>(class_of_[r]);
+  }
+  return comb::SetPartition::from_assignment(assignment);
+}
+
+// ---- Approximations ----------------------------------------------------------
+
+double Approximation::accuracy_elements() const {
+  if (upper_rows.empty()) return 1.0;
+  return static_cast<double>(lower_rows.size()) / static_cast<double>(upper_rows.size());
+}
+
+double Approximation::accuracy_granules() const {
+  if (upper_granules == 0) return 1.0;
+  return static_cast<double>(lower_granules) / static_cast<double>(upper_granules);
+}
+
+double Approximation::quality() const {
+  if (universe_size == 0) return 0.0;
+  return static_cast<double>(lower_rows.size()) / static_cast<double>(universe_size);
+}
+
+Approximation approximate(const IndiscernibilityRelation& rel,
+                          const std::vector<bool>& concept_mask) {
+  IOTML_CHECK(concept_mask.size() == rel.num_rows(),
+              "approximate: concept mask size mismatch");
+  Approximation out;
+  out.universe_size = rel.num_rows();
+  for (const auto& granule : rel.classes()) {
+    std::size_t inside = 0;
+    for (std::size_t r : granule) {
+      if (concept_mask[r]) ++inside;
+    }
+    if (inside == granule.size()) {
+      ++out.lower_granules;
+      out.lower_rows.insert(out.lower_rows.end(), granule.begin(), granule.end());
+    }
+    if (inside > 0) {
+      ++out.upper_granules;
+      out.upper_rows.insert(out.upper_rows.end(), granule.begin(), granule.end());
+    }
+  }
+  std::sort(out.lower_rows.begin(), out.lower_rows.end());
+  std::sort(out.upper_rows.begin(), out.upper_rows.end());
+  return out;
+}
+
+Approximation approximate_label(const IndiscernibilityRelation& rel,
+                                const std::vector<int>& labels, int label_value) {
+  IOTML_CHECK(labels.size() == rel.num_rows(), "approximate_label: label size mismatch");
+  std::vector<bool> mask(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) mask[i] = labels[i] == label_value;
+  return approximate(rel, mask);
+}
+
+double dependency_degree(const IndiscernibilityRelation& rel,
+                         const std::vector<int>& labels) {
+  IOTML_CHECK(labels.size() == rel.num_rows(), "dependency_degree: label size mismatch");
+  std::size_t positive = 0;
+  for (const auto& granule : rel.classes()) {
+    const int first = labels[granule.front()];
+    const bool pure = std::all_of(granule.begin(), granule.end(),
+                                  [&](std::size_t r) { return labels[r] == first; });
+    if (pure) positive += granule.size();
+  }
+  return static_cast<double>(positive) / static_cast<double>(rel.num_rows());
+}
+
+double partition_entropy(const IndiscernibilityRelation& rel) {
+  const double n = static_cast<double>(rel.num_rows());
+  double h = 0.0;
+  for (const auto& granule : rel.classes()) {
+    const double p = static_cast<double>(granule.size()) / n;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+double conditional_entropy(const IndiscernibilityRelation& rel,
+                           const std::vector<int>& labels) {
+  IOTML_CHECK(labels.size() == rel.num_rows(), "conditional_entropy: label size mismatch");
+  const double n = static_cast<double>(rel.num_rows());
+  double h = 0.0;
+  for (const auto& granule : rel.classes()) {
+    std::map<int, std::size_t> counts;
+    for (std::size_t r : granule) ++counts[labels[r]];
+    double h_granule = 0.0;
+    for (const auto& [label, count] : counts) {
+      const double p = static_cast<double>(count) / static_cast<double>(granule.size());
+      h_granule -= p * std::log(p);
+    }
+    h += (static_cast<double>(granule.size()) / n) * h_granule;
+  }
+  return h;
+}
+
+// ---- Variable-precision rough sets ----------------------------------------------
+
+Approximation approximate_beta(const IndiscernibilityRelation& rel,
+                               const std::vector<bool>& concept_mask, double beta) {
+  IOTML_CHECK(concept_mask.size() == rel.num_rows(),
+              "approximate_beta: concept mask size mismatch");
+  IOTML_CHECK(beta > 0.5 && beta <= 1.0, "approximate_beta: beta must be in (0.5, 1]");
+  Approximation out;
+  out.universe_size = rel.num_rows();
+  for (const auto& granule : rel.classes()) {
+    std::size_t inside = 0;
+    for (std::size_t r : granule) {
+      if (concept_mask[r]) ++inside;
+    }
+    const double share =
+        static_cast<double>(inside) / static_cast<double>(granule.size());
+    if (share >= beta - 1e-12) {
+      ++out.lower_granules;
+      out.lower_rows.insert(out.lower_rows.end(), granule.begin(), granule.end());
+    }
+    if (share > 1.0 - beta + 1e-12) {
+      ++out.upper_granules;
+      out.upper_rows.insert(out.upper_rows.end(), granule.begin(), granule.end());
+    }
+  }
+  std::sort(out.lower_rows.begin(), out.lower_rows.end());
+  std::sort(out.upper_rows.begin(), out.upper_rows.end());
+  return out;
+}
+
+Approximation approximate_label_beta(const IndiscernibilityRelation& rel,
+                                     const std::vector<int>& labels, int label_value,
+                                     double beta) {
+  IOTML_CHECK(labels.size() == rel.num_rows(),
+              "approximate_label_beta: label size mismatch");
+  std::vector<bool> mask(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) mask[i] = labels[i] == label_value;
+  return approximate_beta(rel, mask, beta);
+}
+
+double dependency_degree_beta(const IndiscernibilityRelation& rel,
+                              const std::vector<int>& labels, double beta) {
+  IOTML_CHECK(labels.size() == rel.num_rows(),
+              "dependency_degree_beta: label size mismatch");
+  IOTML_CHECK(beta > 0.5 && beta <= 1.0,
+              "dependency_degree_beta: beta must be in (0.5, 1]");
+  std::size_t positive = 0;
+  for (const auto& granule : rel.classes()) {
+    std::map<int, std::size_t> counts;
+    for (std::size_t r : granule) ++counts[labels[r]];
+    std::size_t majority = 0;
+    for (const auto& [label, count] : counts) majority = std::max(majority, count);
+    const double share =
+        static_cast<double>(majority) / static_cast<double>(granule.size());
+    if (share >= beta - 1e-12) positive += granule.size();
+  }
+  return static_cast<double>(positive) / static_cast<double>(rel.num_rows());
+}
+
+// ---- Dynamic K selection -------------------------------------------------------
+
+namespace {
+
+double score_subset(const data::Dataset& ds, const std::vector<std::size_t>& subset,
+                    KScore score) {
+  IndiscernibilityRelation rel(ds, subset);
+  switch (score) {
+    case KScore::kMeanAccuracy: {
+      double total = 0.0;
+      const std::size_t k = ds.num_classes();
+      for (std::size_t c = 0; c < k; ++c) {
+        total += approximate_label(rel, ds.labels(), static_cast<int>(c))
+                     .accuracy_elements();
+      }
+      return k == 0 ? 0.0 : total / static_cast<double>(k);
+    }
+    case KScore::kDependency:
+      return dependency_degree(rel, ds.labels());
+    case KScore::kNegConditionalEntropy:
+      return -conditional_entropy(rel, ds.labels());
+  }
+  throw InternalError("score_subset: unknown KScore");
+}
+
+void enumerate_subsets(std::size_t num_features, std::size_t max_size,
+                       const std::function<void(const std::vector<std::size_t>&)>& visit) {
+  std::vector<std::size_t> subset;
+  std::function<void(std::size_t)> recurse = [&](std::size_t next) {
+    if (!subset.empty()) visit(subset);
+    if (subset.size() == max_size) return;
+    for (std::size_t f = next; f < num_features; ++f) {
+      subset.push_back(f);
+      recurse(f + 1);
+      subset.pop_back();
+    }
+  };
+  recurse(0);
+}
+
+}  // namespace
+
+KSelection select_k(const data::Dataset& ds, std::size_t max_size, KScore score) {
+  ds.validate();
+  IOTML_CHECK(ds.has_labels(), "select_k: dataset must be labeled (benchmark concepts)");
+  IOTML_CHECK(max_size >= 1, "select_k: max_size must be >= 1");
+  IOTML_CHECK(ds.num_columns() >= 1, "select_k: dataset has no features");
+  IOTML_CHECK(ds.num_columns() <= 24, "select_k: too many features for exhaustive search");
+
+  KSelection best;
+  best.score = -std::numeric_limits<double>::infinity();
+  enumerate_subsets(ds.num_columns(), std::min(max_size, ds.num_columns()),
+                    [&](const std::vector<std::size_t>& subset) {
+                      ++best.evaluated_subsets;
+                      const double s = score_subset(ds, subset, score);
+                      const bool better =
+                          s > best.score + 1e-12 ||
+                          (std::fabs(s - best.score) <= 1e-12 &&
+                           (subset.size() < best.features.size() ||
+                            (subset.size() == best.features.size() &&
+                             subset < best.features)));
+                      if (better) {
+                        best.score = s;
+                        best.features = subset;
+                      }
+                    });
+  return best;
+}
+
+std::vector<std::vector<std::size_t>> find_reducts(const data::Dataset& ds) {
+  ds.validate();
+  IOTML_CHECK(ds.has_labels(), "find_reducts: dataset must be labeled");
+  IOTML_CHECK(ds.num_columns() >= 1 && ds.num_columns() <= 20,
+              "find_reducts: feature count must be in [1, 20]");
+
+  std::vector<std::size_t> all(ds.num_columns());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const double full_gamma =
+      dependency_degree(IndiscernibilityRelation(ds, all), ds.labels());
+
+  // Collect subsets preserving gamma, then keep the minimal ones.
+  std::vector<std::vector<std::size_t>> preserving;
+  enumerate_subsets(ds.num_columns(), ds.num_columns(),
+                    [&](const std::vector<std::size_t>& subset) {
+                      const double gamma = dependency_degree(
+                          IndiscernibilityRelation(ds, subset), ds.labels());
+                      if (gamma >= full_gamma - 1e-12) preserving.push_back(subset);
+                    });
+
+  std::vector<std::vector<std::size_t>> reducts;
+  for (const auto& candidate : preserving) {
+    bool minimal = true;
+    for (const auto& other : preserving) {
+      if (other.size() < candidate.size() &&
+          std::includes(candidate.begin(), candidate.end(), other.begin(), other.end())) {
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) reducts.push_back(candidate);
+  }
+  return reducts;
+}
+
+}  // namespace iotml::rough

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "combinatorics/partition.hpp"
+#include "data/dataset.hpp"
+
+namespace iotml::rough {
+
+/// Pawlak indiscernibility relation ~K on the rows of a dataset: two rows are
+/// equivalent iff they coincide on every feature in K (paper, Section III).
+///
+/// Categorical columns compare by category; numeric columns by exact value
+/// (discretize numeric data upstream — see pipeline::Discretizer). A missing
+/// cell is treated as its own distinct value, so rows missing the same cell
+/// remain indiscernible from each other but not from rows with data.
+class IndiscernibilityRelation {
+ public:
+  IndiscernibilityRelation(const data::Dataset& ds,
+                           std::vector<std::size_t> features);
+
+  const std::vector<std::size_t>& features() const noexcept { return features_; }
+  std::size_t num_rows() const noexcept { return class_of_.size(); }
+
+  /// Equivalence classes (information granules), each a sorted row list.
+  const std::vector<std::vector<std::size_t>>& classes() const noexcept {
+    return classes_;
+  }
+  std::size_t num_classes() const noexcept { return classes_.size(); }
+  std::size_t class_of(std::size_t row) const;
+
+  /// The relation as a partition of the row set — the bridge to the
+  /// partition-lattice machinery (classes of ~K are blocks).
+  comb::SetPartition to_partition() const;
+
+ private:
+  std::vector<std::size_t> features_;
+  std::vector<std::size_t> class_of_;
+  std::vector<std::vector<std::size_t>> classes_;
+};
+
+/// Pawlak rough approximation of a concept T (a row subset) by a relation:
+/// lower = union of granules contained in T, upper = union of granules
+/// meeting T.
+struct Approximation {
+  std::vector<std::size_t> lower_rows;
+  std::vector<std::size_t> upper_rows;
+  std::size_t lower_granules = 0;
+  std::size_t upper_granules = 0;
+  std::size_t universe_size = 0;
+
+  /// Standard Pawlak accuracy: |lower| / |upper| over *elements*
+  /// (1.0 for an empty concept, whose approximations are both empty).
+  double accuracy_elements() const;
+
+  /// The paper's Section III example computes the ratio over *granules*:
+  /// lower {3} vs upper {{1,2},{3}} gives 1/2 = 0.5. Provided so the phone
+  /// example reproduces exactly; see EXPERIMENTS.md for the discussion.
+  double accuracy_granules() const;
+
+  /// Quality of approximation: |lower| / |universe|.
+  double quality() const;
+};
+
+/// Approximate concept T (given as a membership mask over rows).
+Approximation approximate(const IndiscernibilityRelation& rel,
+                          const std::vector<bool>& concept_mask);
+
+/// Approximate the concept "label == c".
+Approximation approximate_label(const IndiscernibilityRelation& rel,
+                                const std::vector<int>& labels, int label_value);
+
+/// Degree of dependency gamma_K(labels): |POS_K| / n where POS_K is the union
+/// of the lower approximations of all label classes. gamma = 1 means the
+/// features determine the labels exactly.
+double dependency_degree(const IndiscernibilityRelation& rel,
+                         const std::vector<int>& labels);
+
+/// Shannon entropy (nats) of the granule-size distribution of the relation.
+double partition_entropy(const IndiscernibilityRelation& rel);
+
+/// Conditional entropy H(labels | relation) in nats: expected label entropy
+/// within granules. Zero iff the features determine the labels.
+double conditional_entropy(const IndiscernibilityRelation& rel,
+                           const std::vector<int>& labels);
+
+/// How a candidate feature subset K is scored during dynamic selection.
+enum class KScore {
+  kMeanAccuracy,       ///< mean element-accuracy over the label concepts
+  kDependency,         ///< dependency degree gamma
+  kNegConditionalEntropy  ///< -H(labels | K): the paper's Entropy criterion
+};
+
+/// Result of selecting the distinguished block K of the starting partition
+/// (K, S-K) — the paper's "select K dynamically, based on the approximation
+/// accuracy on benchmark concepts".
+struct KSelection {
+  std::vector<std::size_t> features;  ///< chosen K
+  double score = 0.0;
+  std::size_t evaluated_subsets = 0;
+};
+
+/// Exhaustively score every nonempty feature subset of size <= max_size
+/// against the dataset's labels (benchmark concepts) and return the best.
+/// Ties break toward smaller subsets, then lexicographically.
+KSelection select_k(const data::Dataset& ds, std::size_t max_size, KScore score);
+
+/// All minimal feature subsets ("reducts") whose dependency degree equals
+/// that of the full feature set. Exhaustive; intended for small feature
+/// counts (<= 20).
+std::vector<std::vector<std::size_t>> find_reducts(const data::Dataset& ds);
+
+// ---- Variable-precision rough sets (Ziarko) -----------------------------------
+//
+// Exact Pawlak approximations collapse under label noise: one wrong label
+// inside a granule empties the lower approximation. The variable-precision
+// model admits a granule into the beta-lower approximation when at least a
+// fraction beta of its rows belong to the concept — the noise-tolerant
+// refinement the paper's uncertainty-aware pipeline needs.
+
+/// Beta-approximation of a concept; beta in (0.5, 1]. beta = 1 recovers the
+/// classic Pawlak approximation.
+Approximation approximate_beta(const IndiscernibilityRelation& rel,
+                               const std::vector<bool>& concept_mask, double beta);
+
+/// Beta-approximation of the concept "label == c".
+Approximation approximate_label_beta(const IndiscernibilityRelation& rel,
+                                     const std::vector<int>& labels, int label_value,
+                                     double beta);
+
+/// Beta-dependency: fraction of rows in granules whose majority label holds
+/// at least a beta share. Degrades gracefully with noise (unlike gamma).
+double dependency_degree_beta(const IndiscernibilityRelation& rel,
+                              const std::vector<int>& labels, double beta);
+
+}  // namespace iotml::rough

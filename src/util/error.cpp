@@ -1,0 +1,14 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace iotml::detail {
+
+void throw_check_failed(const char* expr, const char* file, int line,
+                        const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " (check `" << expr << "` failed at " << file << ":" << line << ")";
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace iotml::detail

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace iotml {
+
+/// Base class for all iotml exceptions, so callers can catch library errors
+/// distinctly from std errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition (bad shape, empty input, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A numeric routine failed to converge or met a singular system.
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& what) : Error(what) {}
+};
+
+/// Internal invariant violated — indicates a library bug, not caller misuse.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failed(const char* expr, const char* file, int line,
+                                     const std::string& msg);
+}  // namespace detail
+
+/// Precondition check that throws InvalidArgument with location context.
+#define IOTML_CHECK(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr)) ::iotml::detail::throw_check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+}  // namespace iotml

@@ -1,0 +1,45 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace iotml {
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  if (weights.empty()) throw std::invalid_argument("Rng::categorical: empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("Rng::categorical: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("Rng::categorical: all-zero weights");
+  double r = uniform(0.0, total);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;  // numeric edge: r landed on the upper boundary
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  std::shuffle(p.begin(), p.end(), engine_);
+  return p;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("Rng::sample_without_replacement: k > n");
+  // Partial Fisher-Yates: O(n) memory, O(k) swaps.
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + index(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace iotml

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace iotml {
+
+/// Split `text` on `sep`, keeping empty fields (CSV semantics).
+std::vector<std::string> split(const std::string& text, char sep);
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& pieces, const std::string& sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string trim(const std::string& text);
+
+/// Format a double with fixed precision, trimming to a compact form.
+std::string format_double(double value, int precision = 4);
+
+/// Render a simple fixed-width text table (used by bench harnesses to print
+/// paper-style tables). Column widths are derived from content.
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace iotml

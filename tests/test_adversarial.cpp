@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adversarial/gan.hpp"
+#include "adversarial/perturbation.hpp"
+#include "adversarial/training.hpp"
+#include "data/synthetic.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace iotml::adversarial {
+namespace {
+
+TEST(Perturbation, LabelFlipRate) {
+  Rng rng(1);
+  data::Samples s = data::make_blobs(2000, 2, 2.0, 1.0, rng);
+  const std::vector<int> before = s.y;
+  const std::size_t flips = flip_labels(s, 0.25, rng);
+  EXPECT_NEAR(static_cast<double>(flips) / 2000.0, 0.25, 0.03);
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < s.y.size(); ++i) {
+    if (s.y[i] != before[i]) ++changed;
+  }
+  EXPECT_EQ(changed, flips);
+}
+
+TEST(Perturbation, FeatureNoiseChangesValues) {
+  Rng rng(2);
+  data::Samples s = data::make_blobs(100, 2, 2.0, 1.0, rng);
+  data::Samples noisy = s;
+  add_feature_noise(noisy, 1.0, rng);
+  double total_shift = 0.0;
+  for (std::size_t r = 0; r < s.size(); ++r) {
+    for (std::size_t c = 0; c < s.dim(); ++c) {
+      total_shift += std::fabs(noisy.x(r, c) - s.x(r, c));
+    }
+  }
+  EXPECT_GT(total_shift / (100.0 * 2.0), 0.5);  // E|N(0,1)| ~ 0.8
+}
+
+TEST(Perturbation, KnockoutZeroesCells) {
+  Rng rng(3);
+  data::Samples s = data::make_blobs(500, 4, 2.0, 1.0, rng);
+  const std::size_t knocked = knock_out_features(s, 0.3, rng);
+  EXPECT_NEAR(static_cast<double>(knocked) / 2000.0, 0.3, 0.04);
+}
+
+TEST(Perturbation, LinfAttackExactOnLinearModel) {
+  // Decision f(x) = x0 - x1. True label 1 -> attack reduces f by eps per
+  // coordinate: x0 - eps, x1 + eps.
+  DecisionFn f = [](std::span<const double> x) { return x[0] - x[1]; };
+  std::vector<double> x{1.0, 0.0};
+  auto attacked = linf_attack(f, x, 1, 0.25);
+  EXPECT_DOUBLE_EQ(attacked[0], 0.75);
+  EXPECT_DOUBLE_EQ(attacked[1], 0.25);
+  // Label 0: attack *increases* f.
+  auto attacked0 = linf_attack(f, x, 0, 0.25);
+  EXPECT_DOUBLE_EQ(attacked0[0], 1.25);
+  EXPECT_DOUBLE_EQ(attacked0[1], -0.25);
+}
+
+TEST(Perturbation, ZeroEpsilonIsIdentity) {
+  DecisionFn f = [](std::span<const double> x) { return x[0]; };
+  std::vector<double> x{3.0, 4.0};
+  EXPECT_EQ(linf_attack(f, x, 1, 0.0), x);
+}
+
+TEST(Perturbation, RobustAccuracyDecreasesWithBudget) {
+  Rng rng(4);
+  data::Samples train = data::make_blobs(150, 2, 3.0, 1.0, rng);
+  data::Samples test = data::make_blobs(100, 2, 3.0, 1.0, rng);
+  kernels::KernelSvmClassifier clf(std::make_unique<kernels::LinearKernel>());
+  clf.fit(train);
+
+  // Decision closure over the trained SVM.
+  DecisionFn f = [&](std::span<const double> x) {
+    std::vector<double> k_row(train.size());
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      k_row[i] = kernels::LinearKernel()(train.x.row_span(i), x);
+    }
+    return clf.model().decision(k_row);
+  };
+  const double clean = robust_accuracy(f, test, 0.0);
+  const double small = robust_accuracy(f, test, 0.3);
+  const double large = robust_accuracy(f, test, 1.5);
+  EXPECT_GE(clean, small - 1e-9);
+  EXPECT_GE(small, large - 1e-9);
+  EXPECT_LT(large, clean);
+}
+
+TEST(AdversarialTraining, ImprovesRobustness) {
+  // RBF on concentric circles: the clean boundary hugs the inner class, so
+  // adversarial training has real geometry to fix.
+  Rng rng(5);
+  data::Samples all = data::make_circles(360, 1.0, 2.2, 0.18, rng);
+  data::Samples train = data::select_rows(all, [] {
+    std::vector<std::size_t> v;
+    for (std::size_t i = 0; i < 240; ++i) v.push_back(i);
+    return v;
+  }());
+  data::Samples test = data::select_rows(all, [] {
+    std::vector<std::size_t> v;
+    for (std::size_t i = 240; i < 360; ++i) v.push_back(i);
+    return v;
+  }());
+  const double eps = 0.3;
+  const kernels::SvmParams svm{.c = 10.0};
+
+  AdversarialTrainer plain(
+      std::make_unique<kernels::RbfKernel>(1.0),
+      AdversarialTrainingParams{.epsilon = eps, .rounds = 1, .svm = svm});
+  plain.fit(train);
+  AdversarialTrainer robust(
+      std::make_unique<kernels::RbfKernel>(1.0),
+      AdversarialTrainingParams{.epsilon = eps, .rounds = 6, .svm = svm});
+  robust.fit(train);
+
+  // Evaluate beyond the training budget, where the geometry gap is widest.
+  const double plain_robust = plain.attacked_accuracy(test, 0.5);
+  const double hardened_robust = robust.attacked_accuracy(test, 0.5);
+  EXPECT_GT(hardened_robust, plain_robust + 0.05);  // genuine improvement
+  // Clean accuracy stays high.
+  EXPECT_GE(robust.clean_accuracy(test), 0.9);
+  // History recorded one entry per round, training set grew.
+  EXPECT_EQ(robust.history().size(), 6u);
+  EXPECT_GT(robust.history().back().training_size,
+            robust.history().front().training_size);
+}
+
+TEST(AdversarialTraining, Validation) {
+  EXPECT_THROW(AdversarialTrainer(nullptr), InvalidArgument);
+  AdversarialTrainer t(std::make_unique<kernels::LinearKernel>());
+  EXPECT_THROW(t.decision(), InvalidArgument);  // not fitted
+}
+
+TEST(Gan, ConvergesToTargetGaussian) {
+  Rng rng(6);
+  ToyGan gan(GanParams{.iterations = 1500, .init_mu = -4.0, .init_sigma = 0.5});
+  gan.fit(3.0, 1.5, rng);
+  EXPECT_NEAR(gan.mu(), 3.0, 0.5);
+  EXPECT_NEAR(gan.sigma(), 1.5, 0.5);
+}
+
+TEST(Gan, DiscriminatorConfusedAtConvergence) {
+  Rng rng(7);
+  ToyGan gan(GanParams{.iterations = 600, .init_mu = -2.0, .init_sigma = 0.7});
+  gan.fit(1.0, 1.0, rng);
+  const GanTrace& last = gan.history().back();
+  // At equilibrium D cannot separate real from fake: both means near 0.5.
+  EXPECT_NEAR(last.discriminator_real_mean, 0.5, 0.15);
+  EXPECT_NEAR(last.discriminator_fake_mean, 0.5, 0.15);
+}
+
+TEST(Gan, SamplesFollowLearnedDistribution) {
+  Rng rng(8);
+  ToyGan gan(GanParams{.iterations = 400});
+  gan.fit(0.0, 2.0, rng);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = gan.sample(rng);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, gan.mu(), 0.05);
+  EXPECT_NEAR(std::sqrt(var), gan.sigma(), 0.05);
+}
+
+TEST(Gan, HistoryShowsProgressTowardTarget) {
+  Rng rng(9);
+  ToyGan gan(GanParams{.iterations = 500, .init_mu = -5.0});
+  gan.fit(2.0, 1.0, rng);
+  const auto& h = gan.history();
+  ASSERT_GE(h.size(), 100u);
+  const double early_error = std::fabs(h[10].mu - 2.0);
+  const double late_error = std::fabs(h.back().mu - 2.0);
+  EXPECT_LT(late_error, early_error);
+}
+
+TEST(Gan, Validation) {
+  Rng rng(10);
+  EXPECT_THROW(ToyGan(GanParams{.iterations = 0}), InvalidArgument);
+  ToyGan gan;
+  EXPECT_THROW(gan.fit(0.0, 0.0, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace iotml::adversarial

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+#include "combinatorics/boolean_lattice.hpp"
+#include "combinatorics/counting.hpp"
+#include "util/error.hpp"
+
+namespace iotml::comb {
+namespace {
+
+unsigned popcount(Subset s) { return static_cast<unsigned>(std::popcount(s)); }
+
+TEST(SubsetString, Formatting) {
+  EXPECT_EQ(subset_to_string(0, 3), "{}");
+  EXPECT_EQ(subset_to_string(0b101, 3), "{1,3}");
+  EXPECT_EQ(subset_to_string(0b111, 3), "{1,2,3}");
+}
+
+TEST(SubsetElements, OneBased) {
+  EXPECT_EQ(subset_elements(0b110, 3), (std::vector<unsigned>{2, 3}));
+  EXPECT_TRUE(subset_elements(0, 3).empty());
+}
+
+TEST(ChainThrough, PaperB3Chains) {
+  // The paper's de Bruijn decomposition of B_3:
+  // C1 = (emptyset, {1}, {1,2}, {1,2,3}), C2 = ({2},{2,3}), C3 = ({3},{1,3}).
+  auto c1 = BooleanChainDecomposition::chain_through(0, 3);
+  EXPECT_EQ(c1.sets, (std::vector<Subset>{0b000, 0b001, 0b011, 0b111}));
+
+  auto c2 = BooleanChainDecomposition::chain_through(0b010, 3);
+  EXPECT_EQ(c2.sets, (std::vector<Subset>{0b010, 0b110}));
+
+  auto c3 = BooleanChainDecomposition::chain_through(0b100, 3);
+  EXPECT_EQ(c3.sets, (std::vector<Subset>{0b100, 0b101}));
+}
+
+TEST(ChainThrough, SameChainForEveryMember) {
+  // Property: the chain is well defined — computing it from any member
+  // returns the identical chain.
+  for (unsigned n = 1; n <= 8; ++n) {
+    for (Subset s = 0; s < (Subset{1} << n); ++s) {
+      auto chain = BooleanChainDecomposition::chain_through(s, n);
+      for (Subset member : chain.sets) {
+        auto again = BooleanChainDecomposition::chain_through(member, n);
+        EXPECT_EQ(again.sets, chain.sets) << "n=" << n << " s=" << s;
+      }
+    }
+  }
+}
+
+TEST(ChainThrough, ChainsAreSaturated) {
+  // Consecutive sets differ by inserting exactly one element.
+  for (unsigned n = 1; n <= 8; ++n) {
+    for (Subset s = 0; s < (Subset{1} << n); ++s) {
+      auto chain = BooleanChainDecomposition::chain_through(s, n);
+      for (std::size_t i = 1; i < chain.sets.size(); ++i) {
+        Subset prev = chain.sets[i - 1];
+        Subset cur = chain.sets[i];
+        EXPECT_EQ(prev & ~cur, 0u);
+        EXPECT_EQ(popcount(cur), popcount(prev) + 1);
+      }
+    }
+  }
+}
+
+TEST(ChainThrough, ChainsAreSymmetric) {
+  // rank(first) + rank(last) == n for every chain.
+  for (unsigned n = 1; n <= 10; ++n) {
+    for (Subset s = 0; s < (Subset{1} << n); ++s) {
+      auto chain = BooleanChainDecomposition::chain_through(s, n);
+      EXPECT_EQ(popcount(chain.sets.front()) + popcount(chain.sets.back()), n);
+    }
+  }
+}
+
+class DecompositionTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DecompositionTest, ChainsPartitionTheLattice) {
+  const unsigned n = GetParam();
+  BooleanChainDecomposition d(n);
+  std::set<Subset> seen;
+  for (const auto& chain : d.chains()) {
+    for (Subset s : chain.sets) {
+      EXPECT_TRUE(seen.insert(s).second) << "duplicate subset in chains";
+    }
+  }
+  EXPECT_EQ(seen.size(), std::size_t{1} << n);
+}
+
+TEST_P(DecompositionTest, ChainCountIsCentralBinomial) {
+  // A symmetric chain decomposition of B_n has C(n, floor(n/2)) chains.
+  const unsigned n = GetParam();
+  BooleanChainDecomposition d(n);
+  EXPECT_EQ(d.chains().size(), binomial(n, n / 2));
+}
+
+TEST_P(DecompositionTest, ChainOfIsConsistent) {
+  const unsigned n = GetParam();
+  BooleanChainDecomposition d(n);
+  for (std::size_t i = 0; i < d.chains().size(); ++i) {
+    for (Subset s : d.chains()[i].sets) {
+      EXPECT_EQ(d.chain_of(s), i);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallN, DecompositionTest, ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 10u));
+
+TEST(Decomposition, B3OrderMatchesPaper) {
+  BooleanChainDecomposition d(3);
+  ASSERT_EQ(d.chains().size(), 3u);
+  EXPECT_EQ(d.chains()[0].sets, (std::vector<Subset>{0b000, 0b001, 0b011, 0b111}));
+  EXPECT_EQ(d.chains()[1].sets, (std::vector<Subset>{0b010, 0b110}));
+  EXPECT_EQ(d.chains()[2].sets, (std::vector<Subset>{0b100, 0b101}));
+}
+
+TEST(Decomposition, ChainOfOutOfRangeThrows) {
+  BooleanChainDecomposition d(3);
+  EXPECT_THROW(d.chain_of(0b1000), InvalidArgument);
+}
+
+TEST(Decomposition, NValidation) {
+  EXPECT_THROW(BooleanChainDecomposition(0), InvalidArgument);
+  EXPECT_THROW(BooleanChainDecomposition(25), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace iotml::comb

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "combinatorics/counting.hpp"
+#include "util/error.hpp"
+
+namespace iotml::comb {
+namespace {
+
+TEST(Stirling2, KnownValues) {
+  EXPECT_EQ(stirling2(0, 0), 1u);
+  EXPECT_EQ(stirling2(1, 1), 1u);
+  EXPECT_EQ(stirling2(4, 1), 1u);
+  EXPECT_EQ(stirling2(4, 2), 7u);
+  EXPECT_EQ(stirling2(4, 3), 6u);
+  EXPECT_EQ(stirling2(4, 4), 1u);
+  EXPECT_EQ(stirling2(5, 2), 15u);
+  EXPECT_EQ(stirling2(5, 3), 25u);
+  EXPECT_EQ(stirling2(10, 5), 42525u);
+}
+
+TEST(Stirling2, EdgeCases) {
+  EXPECT_EQ(stirling2(3, 0), 0u);
+  EXPECT_EQ(stirling2(3, 5), 0u);
+  EXPECT_EQ(stirling2(0, 1), 0u);
+}
+
+TEST(Stirling2, PaperTwoBlockAndCoatomCounts) {
+  // Paper (Section III): "there are 2^{n-1}-1 partitions of an n-set into two
+  // blocks, but only n(n-1)/2 partitions of an n-set into n-1 blocks".
+  for (unsigned n = 3; n <= 20; ++n) {
+    EXPECT_EQ(stirling2(n, 2), (1ull << (n - 1)) - 1) << "n=" << n;
+    EXPECT_EQ(stirling2(n, n - 1), static_cast<std::uint64_t>(n) * (n - 1) / 2)
+        << "n=" << n;
+  }
+}
+
+TEST(Stirling2, RecurrenceHolds) {
+  for (unsigned n = 2; n <= 15; ++n) {
+    for (unsigned k = 1; k <= n; ++k) {
+      EXPECT_EQ(stirling2(n, k), k * stirling2(n - 1, k) + stirling2(n - 1, k - 1));
+    }
+  }
+}
+
+TEST(Stirling2, RowMatchesScalar) {
+  for (unsigned n = 0; n <= 12; ++n) {
+    auto row = stirling2_row(n);
+    ASSERT_EQ(row.size(), n + 1);
+    for (unsigned k = 0; k <= n; ++k) EXPECT_EQ(row[k], stirling2(n, k));
+  }
+}
+
+TEST(Bell, KnownValues) {
+  const std::uint64_t expected[] = {1, 1, 2, 5, 15, 52, 203, 877, 4140, 21147, 115975};
+  for (unsigned n = 0; n <= 10; ++n) EXPECT_EQ(bell_number(n), expected[n]) << "n=" << n;
+}
+
+TEST(Bell, IsRowSumOfStirling) {
+  for (unsigned n = 0; n <= 20; ++n) {
+    std::uint64_t sum = 0;
+    for (unsigned k = 0; k <= n; ++k) sum += stirling2(n, k);
+    EXPECT_EQ(bell_number(n), sum) << "n=" << n;
+  }
+}
+
+TEST(Bell, LargeExactValue) {
+  EXPECT_EQ(bell_number(25), 4638590332229999353ull);
+}
+
+TEST(Bell, TooLargeThrows) { EXPECT_THROW(bell_number(26), InvalidArgument); }
+
+TEST(Binomial, KnownValues) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(10, 5), 252u);
+  EXPECT_EQ(binomial(52, 5), 2598960u);
+  EXPECT_EQ(binomial(3, 7), 0u);
+}
+
+TEST(Binomial, PascalRule) {
+  for (unsigned n = 1; n <= 30; ++n) {
+    for (unsigned k = 1; k <= n; ++k) {
+      EXPECT_EQ(binomial(n, k), binomial(n - 1, k) + binomial(n - 1, k - 1));
+    }
+  }
+}
+
+TEST(Binomial, Symmetry) {
+  for (unsigned n = 0; n <= 30; ++n)
+    for (unsigned k = 0; k <= n; ++k) EXPECT_EQ(binomial(n, k), binomial(n, n - k));
+}
+
+TEST(LatticeCone, SizeIsBellOfRemainder) {
+  // The paper's search cone rooted at (K, S-K) has Bell(|S-K|) partitions.
+  EXPECT_EQ(lattice_cone_size(0), 1u);
+  EXPECT_EQ(lattice_cone_size(3), 5u);
+  EXPECT_EQ(lattice_cone_size(8), 4140u);
+}
+
+}  // namespace
+}  // namespace iotml::comb

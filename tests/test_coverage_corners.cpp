@@ -1,0 +1,178 @@
+// Coverage for corners not exercised elsewhere: file-based CSV I/O, game
+// strategy decoding, dataset selection edge cases, kernel evaluator details,
+// and report bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "data/csv.hpp"
+#include "data/synthetic.hpp"
+#include "game/sequential.hpp"
+#include "kernels/krr.hpp"
+#include "kernels/mkl.hpp"
+#include "pipeline/stage.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace iotml {
+namespace {
+
+TEST(CsvFile, RoundTripThroughDisk) {
+  Rng rng(1);
+  data::Dataset ds = data::make_phone_fleet(50, 0.1, rng);
+  ds.column(1).set_missing(3);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "iotml_csv_test.csv").string();
+  data::write_csv_file(ds, path);
+  data::Dataset back = data::read_csv_file(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(back.rows(), ds.rows());
+  ASSERT_EQ(back.num_columns(), ds.num_columns());
+  EXPECT_TRUE(back.column(1).is_missing(3));
+  EXPECT_EQ(back.labels(), ds.labels());
+  for (std::size_t r = 0; r < ds.rows(); ++r) {
+    if (!ds.column(0).is_missing(r)) {
+      EXPECT_EQ(back.column(0).category_label(r), ds.column(0).category_label(r));
+    }
+  }
+}
+
+TEST(CsvFile, MissingFileThrows) {
+  EXPECT_THROW(data::read_csv_file("/nonexistent/dir/x.csv"), InvalidArgument);
+  data::Dataset ds;
+  ds.add_numeric_column("x").push_numeric(1.0);
+  EXPECT_THROW(data::write_csv_file(ds, "/nonexistent/dir/x.csv"), InvalidArgument);
+}
+
+TEST(Sequential, DecodeStrategyEnumeratesAllCombinations) {
+  // Two info sets with 2 and 3 actions -> 6 pure strategies, all distinct.
+  auto leaf = [] { return game::GameNode::terminal(0, 0); };
+  std::vector<std::unique_ptr<game::GameNode>> inner3;
+  for (int i = 0; i < 3; ++i) inner3.push_back(leaf());
+  std::vector<std::unique_ptr<game::GameNode>> kids;
+  kids.push_back(game::GameNode::decision(0, "second", std::move(inner3)));
+  kids.push_back(leaf());
+  game::ExtensiveGame g(game::GameNode::decision(0, "first", std::move(kids)));
+
+  EXPECT_EQ(g.num_pure_strategies(0), 6u);
+  std::set<std::vector<std::size_t>> seen;
+  for (std::size_t s = 0; s < 6; ++s) {
+    auto decoded = g.decode_strategy(0, s);
+    ASSERT_EQ(decoded.size(), 2u);
+    EXPECT_LT(decoded[0], 2u);
+    EXPECT_LT(decoded[1], 3u);
+    EXPECT_TRUE(seen.insert(decoded).second);
+  }
+  EXPECT_THROW(g.decode_strategy(0, 6), InvalidArgument);
+  // Player 1 never moves: exactly one (empty) strategy.
+  EXPECT_EQ(g.num_pure_strategies(1), 1u);
+}
+
+TEST(Sequential, NonZeroSumRejectedBySolver) {
+  std::vector<std::unique_ptr<game::GameNode>> kids;
+  kids.push_back(game::GameNode::terminal(1, 1));  // not zero-sum
+  kids.push_back(game::GameNode::terminal(0, 0));
+  game::ExtensiveGame g(game::GameNode::decision(0, "p0", std::move(kids)));
+  EXPECT_THROW(g.solve_zero_sum_game(), InvalidArgument);
+}
+
+TEST(DatasetCorners, SelectRowsEmptyAndSelectColumnsReorder) {
+  Rng rng(2);
+  data::Dataset ds = data::make_phone_fleet(20, 0.0, rng);
+  data::Dataset none = ds.select_rows({});
+  EXPECT_EQ(none.rows(), 0u);
+  EXPECT_EQ(none.num_columns(), ds.num_columns());
+
+  data::Dataset reordered = ds.select_columns({2, 0});
+  EXPECT_EQ(reordered.num_columns(), 2u);
+  EXPECT_EQ(reordered.column(0).name(), "signal");
+  EXPECT_EQ(reordered.column(1).name(), "battery");
+  EXPECT_TRUE(reordered.has_labels());
+}
+
+TEST(DatasetCorners, SelectRowsOutOfRangeThrows) {
+  Rng rng(3);
+  data::Dataset ds = data::make_phone_fleet(5, 0.0, rng);
+  EXPECT_THROW(ds.select_rows({7}), InvalidArgument);
+  EXPECT_THROW(ds.select_columns({9}), InvalidArgument);
+}
+
+TEST(KrrCorners, PredictOneMatchesBatch) {
+  Rng rng(4);
+  la::Matrix x(30, 2);
+  std::vector<double> y(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    x(i, 0) = rng.normal();
+    x(i, 1) = rng.normal();
+    y[i] = x(i, 0) - 2.0 * x(i, 1);
+  }
+  kernels::KernelRidge krr(std::make_unique<kernels::LinearKernel>(), 1e-6);
+  krr.fit(x, y);
+  const auto batch = krr.predict(x);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(krr.predict_one(x.row_span(i)), batch[i]);
+  }
+  EXPECT_LT(krr.training_rmse(), 1e-3);  // linear target, linear kernel
+}
+
+TEST(MklCorners, SingleKernelCombinationIsIdentity) {
+  Rng rng(5);
+  data::Samples s = data::make_blobs(20, 2, 2.0, 1.0, rng);
+  la::Matrix g = kernels::gram(kernels::RbfKernel(0.5), s.x);
+  la::Matrix combined = kernels::combine_grams({g}, {1.0});
+  EXPECT_LT(combined.max_abs_diff(g), 1e-15);
+  auto w = kernels::alignment_weights({g}, s.y);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+}
+
+TEST(MklCorners, AllNoiseKernelsFallBackToUniform) {
+  // Every kernel anti-aligned / unaligned: clipped weights are all ~0 and
+  // the fallback must be uniform, not NaN.
+  Rng rng(6);
+  data::Samples s = data::make_blobs(40, 2, 0.0, 1.0, rng);  // no signal
+  // Random labels guarantee near-zero alignment.
+  for (std::size_t i = 0; i < s.size(); ++i) s.y[i] = static_cast<int>(rng.index(2));
+  la::Matrix g1 = kernels::gram(kernels::RbfKernel(0.5), s.x);
+  la::Matrix g2 = kernels::gram(kernels::LinearKernel(), s.x);
+  auto w = kernels::alignment_weights({g1, g2}, s.y);
+  EXPECT_NEAR(w[0] + w[1], 1.0, 1e-12);
+  EXPECT_GE(w[0], 0.0);
+  EXPECT_GE(w[1], 0.0);
+}
+
+TEST(StringsCorners, RenderTableHandlesRaggedRows) {
+  // Rows shorter than the header render with empty cells, no crash.
+  std::string table = render_table({"A", "B", "C"}, {{"1"}, {"2", "3", "4"}});
+  EXPECT_NE(table.find("| 1 |"), std::string::npos);
+  EXPECT_NE(table.find("4"), std::string::npos);
+}
+
+TEST(PipelineCorners, ReportsClearedBetweenRuns) {
+  Rng rng(7);
+  pipeline::Pipeline p;
+  p.add("noop", [](data::Dataset&, Rng&) { return 1.0; });
+  data::Dataset ds;
+  ds.add_numeric_column("x").push_numeric(1.0);
+  p.run(ds, rng);
+  p.run(ds, rng);
+  EXPECT_EQ(p.reports().size(), 1u);  // not accumulated across runs
+  EXPECT_DOUBLE_EQ(p.total_cost(), 1.0);
+  EXPECT_DOUBLE_EQ(p.player_cost("nobody"), 0.0);
+}
+
+TEST(SamplesCorners, ToSamplesSubsetSelectsColumns) {
+  Rng rng(8);
+  data::Dataset ds = data::make_phone_fleet(10, 0.0, rng);
+  data::Samples s = data::to_samples(ds, {2});
+  EXPECT_EQ(s.dim(), 1u);
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_EQ(s.y.size(), 10u);
+}
+
+}  // namespace
+}  // namespace iotml

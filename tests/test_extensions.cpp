@@ -1,0 +1,269 @@
+// Tests for the extension features: variable-precision rough sets, the
+// privacy perturbation stage, and categorical encoding utilities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/encoding.hpp"
+#include "data/metrics.hpp"
+#include "data/synthetic.hpp"
+#include "learners/decision_tree.hpp"
+#include "pipeline/privacy.hpp"
+#include "roughsets/roughsets.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace iotml {
+namespace {
+
+// ---- Variable-precision rough sets ---------------------------------------------
+
+TEST(Vprs, BetaOneRecoversPawlak) {
+  Rng rng(1);
+  data::Dataset ds = data::make_phone_fleet(300, 0.1, rng);
+  rough::IndiscernibilityRelation rel(ds, {0, 1});
+  for (int c = 0; c < 2; ++c) {
+    auto exact = rough::approximate_label(rel, ds.labels(), c);
+    auto beta1 = rough::approximate_label_beta(rel, ds.labels(), c, 1.0);
+    EXPECT_EQ(exact.lower_rows, beta1.lower_rows);
+    EXPECT_EQ(exact.upper_rows, beta1.upper_rows);
+  }
+}
+
+TEST(Vprs, ToleratesLabelNoise) {
+  // One granule of 20 rows, 19 in the concept: Pawlak lower = empty,
+  // beta = 0.9 lower = the whole granule.
+  data::Dataset ds;
+  auto& c = ds.add_categorical_column("c");
+  std::vector<int> labels;
+  for (int i = 0; i < 20; ++i) {
+    c.push_category("only");
+    labels.push_back(i == 0 ? 0 : 1);
+  }
+  ds.set_labels(labels);
+  rough::IndiscernibilityRelation rel(ds, {0});
+  EXPECT_TRUE(rough::approximate_label(rel, ds.labels(), 1).lower_rows.empty());
+  auto beta = rough::approximate_label_beta(rel, ds.labels(), 1, 0.9);
+  EXPECT_EQ(beta.lower_rows.size(), 20u);
+}
+
+TEST(Vprs, LowerStillSubsetOfUpper) {
+  Rng rng(2);
+  data::Dataset ds = data::make_phone_fleet(400, 0.2, rng);
+  for (double beta : {0.6, 0.75, 0.9, 1.0}) {
+    rough::IndiscernibilityRelation rel(ds, {0, 1, 2});
+    auto a = rough::approximate_label_beta(rel, ds.labels(), 1, beta);
+    EXPECT_TRUE(std::includes(a.upper_rows.begin(), a.upper_rows.end(),
+                              a.lower_rows.begin(), a.lower_rows.end()))
+        << "beta=" << beta;
+  }
+}
+
+TEST(Vprs, BetaDependencySurvivesNoiseWhereGammaDies) {
+  Rng rng(3);
+  data::Dataset ds = data::make_phone_fleet(800, 0.05, rng);
+  rough::IndiscernibilityRelation rel(ds, {0, 1, 2});
+  const double gamma = rough::dependency_degree(rel, ds.labels());
+  const double gamma_beta = rough::dependency_degree_beta(rel, ds.labels(), 0.8);
+  EXPECT_LT(gamma, 0.3);       // exact dependency collapses
+  EXPECT_GT(gamma_beta, 0.8);  // beta-dependency sees the structure
+}
+
+TEST(Vprs, BetaMonotoneInBeta) {
+  Rng rng(4);
+  data::Dataset ds = data::make_phone_fleet(500, 0.1, rng);
+  rough::IndiscernibilityRelation rel(ds, {0, 1});
+  double previous = 2.0;
+  for (double beta : {0.6, 0.7, 0.8, 0.9, 1.0}) {
+    const double value = rough::dependency_degree_beta(rel, ds.labels(), beta);
+    EXPECT_LE(value, previous + 1e-12);
+    previous = value;
+  }
+}
+
+TEST(Vprs, Validation) {
+  Rng rng(5);
+  data::Dataset ds = data::make_phone_fleet(50, 0.0, rng);
+  rough::IndiscernibilityRelation rel(ds, {0});
+  EXPECT_THROW(rough::approximate_label_beta(rel, ds.labels(), 1, 0.5), InvalidArgument);
+  EXPECT_THROW(rough::approximate_label_beta(rel, ds.labels(), 1, 1.1), InvalidArgument);
+  EXPECT_THROW(rough::dependency_degree_beta(rel, ds.labels(), 0.4), InvalidArgument);
+}
+
+// ---- Privacy --------------------------------------------------------------------
+
+TEST(Privacy, LaplaceNoiseMoments) {
+  Rng rng(6);
+  const double scale = 2.0;
+  double sum = 0.0, sum_abs = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = pipeline::laplace_noise(scale, rng);
+    sum += v;
+    sum_abs += std::fabs(v);
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_abs / n, scale, 0.05);  // E|Laplace(b)| = b
+  EXPECT_DOUBLE_EQ(pipeline::laplace_noise(0.0, rng), 0.0);
+}
+
+TEST(Privacy, KeepProbabilityFormula) {
+  // eps -> inf: always keep; eps -> 0: uniform over k.
+  EXPECT_NEAR(pipeline::randomized_response_keep_probability(10.0, 3), 1.0, 1e-3);
+  EXPECT_NEAR(pipeline::randomized_response_keep_probability(1e-6, 4), 0.25, 1e-3);
+  EXPECT_THROW(pipeline::randomized_response_keep_probability(0.0, 3), InvalidArgument);
+  EXPECT_THROW(pipeline::randomized_response_keep_probability(1.0, 1), InvalidArgument);
+}
+
+TEST(Privacy, NumericNoiseScalesWithBudget) {
+  Rng rng(7);
+  data::Samples s = data::make_blobs(600, 2, 4.0, 1.0, rng);
+  data::Dataset loose = data::samples_to_dataset(s);
+  data::Dataset tight = data::samples_to_dataset(s);
+  Rng r1(1), r2(1);
+  pipeline::privatize(loose, {.epsilon = 10.0}, r1);
+  pipeline::privatize(tight, {.epsilon = 0.5}, r2);
+
+  // Distortion vs the original, per budget.
+  auto distortion = [&](const data::Dataset& noisy) {
+    double total = 0.0;
+    for (std::size_t f = 0; f < 2; ++f) {
+      for (std::size_t r = 0; r < noisy.rows(); ++r) {
+        total += std::fabs(noisy.column(f).numeric(r) - s.x(r, f));
+      }
+    }
+    return total;
+  };
+  EXPECT_GT(distortion(tight), 5.0 * distortion(loose));
+}
+
+TEST(Privacy, MissingCellsStayMissing) {
+  Rng rng(8);
+  data::Dataset ds;
+  auto& c = ds.add_numeric_column("x");
+  c.push_numeric(1.0);
+  c.push_missing();
+  pipeline::privatize(ds, {.epsilon = 1.0}, rng);
+  EXPECT_TRUE(ds.column(0).is_missing(1));
+  EXPECT_FALSE(ds.column(0).is_missing(0));
+}
+
+TEST(Privacy, RandomizedResponseFlipRate) {
+  Rng rng(9);
+  data::Dataset ds = data::make_phone_fleet(4000, 0.0, rng);
+  data::Dataset original = ds;
+  pipeline::PrivacyReport report = pipeline::privatize(ds, {.epsilon = 1.0}, rng);
+  EXPECT_GT(report.categorical_cells_flipped, 0u);
+  // Expected flip fraction: (1 - keep) * (k-1)/k per cell with k = 3.
+  const double keep = pipeline::randomized_response_keep_probability(1.0, 3);
+  const double expected = (1.0 - keep) * (2.0 / 3.0);
+  const double observed = static_cast<double>(report.categorical_cells_flipped) /
+                          static_cast<double>(3 * ds.rows());
+  EXPECT_NEAR(observed, expected, 0.02);
+}
+
+TEST(Privacy, AccuracyDegradesGracefullyWithBudget) {
+  // The Section I.B claim: enforce privacy "without compromising analytics
+  // quality" — true for generous budgets, false for tiny ones.
+  Rng rng(10);
+  data::Dataset train = data::make_phone_fleet(900, 0.0, rng);
+  data::Dataset test = data::make_phone_fleet(400, 0.0, rng);
+  double previous = 1.1;
+  double at_large_eps = 0.0, at_small_eps = 0.0;
+  for (double eps : {8.0, 1.0, 0.2}) {
+    data::Dataset noisy_train = train;
+    Rng privacy_rng(3);
+    pipeline::privatize(noisy_train, {.epsilon = eps}, privacy_rng);
+    learners::DecisionTree tree;
+    tree.fit(noisy_train);
+    const double acc = tree.accuracy(test);
+    if (eps == 8.0) at_large_eps = acc;
+    if (eps == 0.2) at_small_eps = acc;
+    EXPECT_LE(acc, previous + 0.05);  // roughly monotone in budget
+    previous = acc;
+  }
+  EXPECT_GT(at_large_eps, 0.9);
+  EXPECT_LT(at_small_eps, at_large_eps);
+}
+
+// ---- Encoding --------------------------------------------------------------------
+
+TEST(Encoding, OneHotShapesAndValues) {
+  data::Dataset ds = data::make_phone_fleet_paper();
+  data::Dataset encoded = data::one_hot_encode(ds);
+  // battery: 3 categories, os: 3 categories -> 6 indicator columns.
+  EXPECT_EQ(encoded.num_columns(), 6u);
+  EXPECT_EQ(encoded.column(0).name(), "battery=AVERAGE");
+  EXPECT_DOUBLE_EQ(encoded.column(0).numeric(0), 1.0);
+  EXPECT_DOUBLE_EQ(encoded.column(0).numeric(1), 0.0);
+  // Each row has exactly one 1 per original column.
+  for (std::size_t r = 0; r < 4; ++r) {
+    double battery_sum = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) battery_sum += encoded.column(c).numeric(r);
+    EXPECT_DOUBLE_EQ(battery_sum, 1.0);
+  }
+  EXPECT_EQ(encoded.labels(), ds.labels());
+}
+
+TEST(Encoding, OneHotPreservesMissing) {
+  data::Dataset ds;
+  auto& c = ds.add_categorical_column("c");
+  c.push_category("a");
+  c.push_missing();
+  c.push_category("b");
+  data::Dataset encoded = data::one_hot_encode(ds);
+  EXPECT_EQ(encoded.num_columns(), 2u);
+  EXPECT_TRUE(encoded.column(0).is_missing(1));
+  EXPECT_TRUE(encoded.column(1).is_missing(1));
+}
+
+TEST(Encoding, OneHotPassesNumericThrough) {
+  data::Dataset ds;
+  ds.add_numeric_column("x").push_numeric(3.5);
+  ds.add_categorical_column("c").push_category("z");
+  data::Dataset encoded = data::one_hot_encode(ds);
+  EXPECT_EQ(encoded.num_columns(), 2u);
+  EXPECT_DOUBLE_EQ(encoded.column(0).numeric(0), 3.5);
+}
+
+TEST(Encoding, StandardizeLikeUsesReferenceStats) {
+  Rng rng(11);
+  data::Dataset train;
+  auto& x = train.add_numeric_column("x");
+  for (int i = 0; i < 500; ++i) x.push_numeric(rng.normal(10.0, 2.0));
+
+  data::Dataset test;
+  auto& tx = test.add_numeric_column("x");
+  tx.push_numeric(10.0);  // the train mean -> ~0 after standardization
+  tx.push_numeric(12.0);  // one train stddev above -> ~1
+
+  data::standardize_like(test, train);
+  EXPECT_NEAR(test.column(0).numeric(0), 0.0, 0.15);
+  EXPECT_NEAR(test.column(0).numeric(1), 1.0, 0.15);
+}
+
+TEST(Encoding, StandardizeLikeValidation) {
+  data::Dataset a, b;
+  a.add_numeric_column("x").push_numeric(1.0);
+  EXPECT_THROW(data::standardize_like(a, b), InvalidArgument);
+}
+
+TEST(Encoding, OneHotEnablesKernelLearnersOnCategoricalData) {
+  // Integration: categorical fleet -> one-hot -> dense samples -> decision
+  // tree sanity (the kernel path is exercised in test_core).
+  Rng rng(12);
+  data::Dataset train = data::make_phone_fleet(400, 0.0, rng);
+  data::Dataset encoded = data::one_hot_encode(train);
+  data::Samples s = data::to_samples(encoded);
+  EXPECT_EQ(s.dim(), 9u);  // 3 columns x 3 categories
+  EXPECT_EQ(s.size(), 400u);
+  for (std::size_t r = 0; r < 10; ++r) {
+    double row_sum = 0.0;
+    for (std::size_t c = 0; c < s.dim(); ++c) row_sum += s.x(r, c);
+    EXPECT_DOUBLE_EQ(row_sum, 3.0);  // one indicator per original column
+  }
+}
+
+}  // namespace
+}  // namespace iotml

@@ -1,0 +1,354 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "game/bimatrix.hpp"
+#include "game/matrix_game.hpp"
+#include "game/pareto.hpp"
+#include "game/sequential.hpp"
+#include "game/stackelberg.hpp"
+#include "util/error.hpp"
+
+namespace iotml::game {
+namespace {
+
+// ---- Zero-sum matrix games ----------------------------------------------------
+
+TEST(ZeroSum, PureSaddlePointDetected) {
+  // Entry (1,1)=2 is min of its row {5,2} -> no wait; check a classic:
+  la::Matrix payoff{{4, 2, 5}, {3, 1, 6}, {9, 2, 7}};
+  // No saddle here? row mins: 2,1,2; maxmin = 2 (rows 0 and 2). col maxes:
+  // 9,2,7; minmax = 2 at col 1. Entries (0,1) and (2,1) both equal 2 ->
+  // saddle points exist.
+  auto saddle = pure_saddle_point(payoff);
+  ASSERT_TRUE(saddle.has_value());
+  EXPECT_EQ(saddle->second, 1u);
+  EXPECT_DOUBLE_EQ(payoff(saddle->first, saddle->second), 2.0);
+}
+
+TEST(ZeroSum, NoSaddleInMatchingPennies) {
+  la::Matrix pennies{{1, -1}, {-1, 1}};
+  EXPECT_FALSE(pure_saddle_point(pennies).has_value());
+}
+
+TEST(ZeroSum, MatchingPenniesValueZeroHalfHalf) {
+  la::Matrix pennies{{1, -1}, {-1, 1}};
+  ZeroSumSolution sol = solve_zero_sum(pennies, 1e-3);
+  EXPECT_NEAR(sol.value, 0.0, 1e-2);
+  EXPECT_NEAR(sol.row_strategy[0], 0.5, 0.05);
+  EXPECT_NEAR(sol.col_strategy[0], 0.5, 0.05);
+  EXPECT_LE(sol.gap, 1e-3);
+}
+
+TEST(ZeroSum, RockPaperScissorsUniform) {
+  la::Matrix rps{{0, -1, 1}, {1, 0, -1}, {-1, 1, 0}};
+  ZeroSumSolution sol = solve_zero_sum(rps, 1e-3);
+  EXPECT_NEAR(sol.value, 0.0, 1e-2);
+  for (double p : sol.row_strategy) EXPECT_NEAR(p, 1.0 / 3.0, 0.05);
+}
+
+TEST(ZeroSum, KnownNonTrivialValue) {
+  // Game with value 1/3: [[2,-1],[-1,1]] -> p = (2/5, 3/5)? Solve: row mix p:
+  // payoff vs col0: 2p - (1-p) = 3p-1; vs col1: -p + (1-p) = 1-2p.
+  // Equal: 3p-1 = 1-2p -> p = 2/5; value = 3(0.4)-1 = 0.2.
+  la::Matrix g{{2, -1}, {-1, 1}};
+  ZeroSumSolution sol = solve_zero_sum(g, 5e-4);
+  EXPECT_NEAR(sol.value, 0.2, 5e-3);
+  EXPECT_NEAR(sol.row_strategy[0], 0.4, 0.05);
+}
+
+TEST(ZeroSum, SaddleSolvedExactly) {
+  la::Matrix g{{3, 1}, {0, 1}};  // (0,1) is a saddle: value 1
+  ZeroSumSolution sol = solve_zero_sum(g);
+  EXPECT_DOUBLE_EQ(sol.value, 1.0);
+  EXPECT_DOUBLE_EQ(sol.gap, 0.0);
+}
+
+TEST(ZeroSum, BestResponseValuesBoundValue) {
+  la::Matrix g{{0, 2, -1}, {-2, 0, 3}, {1, -3, 0}};
+  ZeroSumSolution sol = solve_zero_sum(g, 1e-3);
+  const double lower = col_best_response_value(g, sol.row_strategy);
+  const double upper = row_best_response_value(g, sol.col_strategy);
+  EXPECT_LE(lower, sol.value + 1e-9);
+  EXPECT_GE(upper, sol.value - 1e-9);
+  EXPECT_LE(upper - lower, 1e-3 + 1e-9);
+}
+
+TEST(ZeroSum, ExpectedPayoffMatchesManual) {
+  la::Matrix g{{1, 0}, {0, 1}};
+  EXPECT_DOUBLE_EQ(expected_payoff(g, {0.5, 0.5}, {0.5, 0.5}), 0.5);
+  EXPECT_THROW(expected_payoff(g, {1.0}, {0.5, 0.5}), InvalidArgument);
+}
+
+// ---- Bimatrix ------------------------------------------------------------------
+
+Bimatrix prisoners_dilemma() {
+  // (cooperate, defect) payoffs; defect strictly dominates.
+  return {la::Matrix{{-1, -3}, {0, -2}}, la::Matrix{{-1, 0}, {-3, -2}}};
+}
+
+Bimatrix battle_of_sexes() {
+  return {la::Matrix{{2, 0}, {0, 1}}, la::Matrix{{1, 0}, {0, 2}}};
+}
+
+TEST(BimatrixTest, PrisonersDilemmaUniqueNash) {
+  auto eq = pure_nash(prisoners_dilemma());
+  ASSERT_EQ(eq.size(), 1u);
+  EXPECT_EQ(eq[0], (PureProfile{1, 1}));  // defect/defect
+}
+
+TEST(BimatrixTest, BattleOfSexesTwoPureNash) {
+  auto eq = pure_nash(battle_of_sexes());
+  ASSERT_EQ(eq.size(), 2u);
+  EXPECT_EQ(eq[0], (PureProfile{0, 0}));
+  EXPECT_EQ(eq[1], (PureProfile{1, 1}));
+}
+
+TEST(BimatrixTest, MatchingPenniesHasNoPureNash) {
+  Bimatrix pennies{la::Matrix{{1, -1}, {-1, 1}}, la::Matrix{{-1, 1}, {1, -1}}};
+  EXPECT_TRUE(pure_nash(pennies).empty());
+}
+
+TEST(BimatrixTest, BestResponseDynamicsConvergesInDominanceSolvable) {
+  auto result = best_response_dynamics(prisoners_dilemma(), {0, 0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.profile, (PureProfile{1, 1}));
+}
+
+TEST(BimatrixTest, MixedNashBattleOfSexes) {
+  // Known mixed equilibrium: row plays A with 2/3, col plays A with 1/3.
+  auto eq = mixed_nash(battle_of_sexes(), 2);
+  bool found_mixed = false;
+  for (const auto& e : eq) {
+    if (e.row[0] > 0.01 && e.row[0] < 0.99) {
+      found_mixed = true;
+      EXPECT_NEAR(e.row[0], 2.0 / 3.0, 1e-6);
+      EXPECT_NEAR(e.col[0], 1.0 / 3.0, 1e-6);
+      EXPECT_NEAR(e.row_payoff, 2.0 / 3.0, 1e-6);
+    }
+  }
+  EXPECT_TRUE(found_mixed);
+  // Pure equilibria also found via support size 1.
+  EXPECT_GE(eq.size(), 3u);
+}
+
+TEST(BimatrixTest, MixedNashMatchingPennies) {
+  Bimatrix pennies{la::Matrix{{1, -1}, {-1, 1}}, la::Matrix{{-1, 1}, {1, -1}}};
+  auto eq = mixed_nash(pennies, 2);
+  ASSERT_EQ(eq.size(), 1u);
+  EXPECT_NEAR(eq[0].row[0], 0.5, 1e-9);
+  EXPECT_NEAR(eq[0].col[0], 0.5, 1e-9);
+}
+
+TEST(BimatrixTest, SocialOptimumVsNash) {
+  // The PD's dilemma: Nash (defect,defect) has welfare -4, social optimum
+  // (cooperate,cooperate) has -2.
+  Bimatrix pd = prisoners_dilemma();
+  PureProfile opt = social_optimum(pd);
+  EXPECT_EQ(opt, (PureProfile{0, 0}));
+  EXPECT_GT(social_welfare(pd, opt), social_welfare(pd, {1, 1}));
+}
+
+TEST(BimatrixTest, Validation) {
+  Bimatrix bad{la::Matrix(2, 2), la::Matrix(2, 3)};
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  EXPECT_THROW(pure_nash(Bimatrix{}), InvalidArgument);
+}
+
+// ---- Stackelberg ---------------------------------------------------------------
+
+TEST(Stackelberg, CommitmentCanBeatNash) {
+  // Classic commitment-advantage game: row gains by committing to the
+  // strategy that would be dominated in simultaneous play.
+  Bimatrix g{la::Matrix{{1, 3}, {0, 2}}, la::Matrix{{1, 0}, {0, 1}}};
+  // Simultaneous: row's strategy 0 dominates (1>0, 3>2). Col best-responds 0.
+  // Nash = (0,0) with payoffs (1,1).
+  auto nash = pure_nash(g);
+  ASSERT_EQ(nash.size(), 1u);
+  EXPECT_EQ(nash[0], (PureProfile{0, 0}));
+
+  // Commitment to row 1 makes the follower pick col 1 -> leader gets 2 > 1.
+  StackelbergSolution s = solve_stackelberg(g);
+  EXPECT_EQ(s.leader_action, 1u);
+  EXPECT_EQ(s.follower_action, 1u);
+  EXPECT_DOUBLE_EQ(s.leader_payoff, 2.0);
+}
+
+TEST(Stackelberg, OptimisticVsPessimisticTieBreak) {
+  // Follower indifferent between cols; optimistic gives leader 5, pessimistic 1.
+  Bimatrix g{la::Matrix{{5, 1}}, la::Matrix{{7, 7}}};
+  EXPECT_DOUBLE_EQ(solve_stackelberg(g, true).leader_payoff, 5.0);
+  EXPECT_DOUBLE_EQ(solve_stackelberg(g, false).leader_payoff, 1.0);
+}
+
+TEST(Stackelberg, ColumnLeaderRolesSwap) {
+  Bimatrix g{la::Matrix{{2, 0}, {0, 1}}, la::Matrix{{1, 0}, {0, 2}}};
+  StackelbergSolution s = solve_stackelberg_column_leader(g);
+  // Column player commits to col 1 (its favourite equilibrium), row follows.
+  EXPECT_EQ(s.leader_action, 1u);   // column index
+  EXPECT_EQ(s.follower_action, 1u); // row index
+  EXPECT_DOUBLE_EQ(s.leader_payoff, 2.0);
+  EXPECT_DOUBLE_EQ(s.follower_payoff, 1.0);
+}
+
+// ---- Extensive form ------------------------------------------------------------
+
+TEST(Extensive, PerfectInfoSequentialGame) {
+  // P0 chooses L/R; after L, P1 chooses l/r.
+  std::vector<std::unique_ptr<GameNode>> p1_kids;
+  p1_kids.push_back(GameNode::terminal(3, 1));
+  p1_kids.push_back(GameNode::terminal(0, 2));
+  std::vector<std::unique_ptr<GameNode>> root_kids;
+  root_kids.push_back(GameNode::decision(1, "p1-after-L", std::move(p1_kids)));
+  root_kids.push_back(GameNode::terminal(2, 2));
+  ExtensiveGame game(GameNode::decision(0, "p0-root", std::move(root_kids)));
+
+  EXPECT_EQ(game.num_pure_strategies(0), 2u);
+  EXPECT_EQ(game.num_pure_strategies(1), 2u);
+
+  // P1 prefers r after L (2 > 1), so P0 should choose R (2 > 0).
+  Bimatrix normal = game.to_normal_form();
+  auto eq = pure_nash(normal);
+  bool found = false;
+  for (const auto& e : eq) {
+    const auto payoff = std::make_pair(normal.a(e.row, e.col), normal.b(e.row, e.col));
+    if (payoff.first == 2.0 && payoff.second == 2.0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Extensive, InformationSetsMergeNodes) {
+  // P0 moves, then P1 moves WITHOUT observing P0 (both P1 nodes share an
+  // information set) — simultaneous matching pennies in extensive form.
+  auto make_p1 = [](double a, double b, double c, double d) {
+    std::vector<std::unique_ptr<GameNode>> kids;
+    kids.push_back(GameNode::terminal(a, -a));
+    kids.push_back(GameNode::terminal(b, -b));
+    (void)c;
+    (void)d;
+    return kids;
+  };
+  std::vector<std::unique_ptr<GameNode>> root_kids;
+  root_kids.push_back(GameNode::decision(1, "p1-blind", make_p1(1, -1, 0, 0)));
+  root_kids.push_back(GameNode::decision(1, "p1-blind", make_p1(-1, 1, 0, 0)));
+  ExtensiveGame game(GameNode::decision(0, "p0", std::move(root_kids)));
+
+  // One information set for P1 despite two nodes.
+  EXPECT_EQ(game.information_sets(1).size(), 1u);
+  EXPECT_EQ(game.num_pure_strategies(1), 2u);
+
+  ZeroSumSolution sol = game.solve_zero_sum_game(1e-3);
+  EXPECT_NEAR(sol.value, 0.0, 1e-2);
+  EXPECT_NEAR(sol.row_strategy[0], 0.5, 0.05);
+}
+
+TEST(Extensive, PerfectVsImperfectInformationValueDiffers) {
+  // Same payoffs; when P1 observes P0's move it can always counter, driving
+  // P0's value to the min; blind, the game is worth 0.
+  auto terminal_pair = [](double a, double b) {
+    std::vector<std::unique_ptr<GameNode>> kids;
+    kids.push_back(GameNode::terminal(a, -a));
+    kids.push_back(GameNode::terminal(b, -b));
+    return kids;
+  };
+
+  std::vector<std::unique_ptr<GameNode>> blind_kids;
+  blind_kids.push_back(GameNode::decision(1, "same", terminal_pair(1, -1)));
+  blind_kids.push_back(GameNode::decision(1, "same", terminal_pair(-1, 1)));
+  ExtensiveGame blind(GameNode::decision(0, "p0", std::move(blind_kids)));
+
+  std::vector<std::unique_ptr<GameNode>> seeing_kids;
+  seeing_kids.push_back(GameNode::decision(1, "after-L", terminal_pair(1, -1)));
+  seeing_kids.push_back(GameNode::decision(1, "after-R", terminal_pair(-1, 1)));
+  ExtensiveGame seeing(GameNode::decision(0, "p0", std::move(seeing_kids)));
+
+  EXPECT_NEAR(blind.solve_zero_sum_game(1e-3).value, 0.0, 1e-2);
+  EXPECT_NEAR(seeing.solve_zero_sum_game(1e-3).value, -1.0, 1e-2);
+}
+
+TEST(Extensive, ChanceNodesAverage) {
+  // Coin flip then P0 picks; expected payoff mixes branches.
+  auto pick = [](double a, double b) {
+    std::vector<std::unique_ptr<GameNode>> kids;
+    kids.push_back(GameNode::terminal(a, 0));
+    kids.push_back(GameNode::terminal(b, 0));
+    return GameNode::decision(0, "pick", std::move(kids));
+  };
+  std::vector<std::unique_ptr<GameNode>> outcomes;
+  outcomes.push_back(pick(10, 0));
+  outcomes.push_back(pick(0, 4));
+  ExtensiveGame game(GameNode::chance({0.5, 0.5}, std::move(outcomes)));
+
+  // One info set, same action at both chance outcomes: action 0 -> E=5,
+  // action 1 -> E=2.
+  auto payoff_0 = game.expected_payoffs({0}, {});
+  auto payoff_1 = game.expected_payoffs({1}, {});
+  EXPECT_DOUBLE_EQ(payoff_0[0], 5.0);
+  EXPECT_DOUBLE_EQ(payoff_1[0], 2.0);
+}
+
+TEST(Extensive, Validation) {
+  EXPECT_THROW(GameNode::chance({0.5, 0.6}, {}), InvalidArgument);
+  EXPECT_THROW(GameNode::decision(2, "x", {}), InvalidArgument);
+  std::vector<std::unique_ptr<GameNode>> one;
+  one.push_back(GameNode::terminal(0, 0));
+  EXPECT_THROW(GameNode::decision(0, "", std::move(one)), InvalidArgument);
+
+  // Inconsistent action counts in one information set must be rejected.
+  auto two_kids = [] {
+    std::vector<std::unique_ptr<GameNode>> kids;
+    kids.push_back(GameNode::terminal(0, 0));
+    kids.push_back(GameNode::terminal(0, 0));
+    return kids;
+  };
+  auto three_kids = [] {
+    std::vector<std::unique_ptr<GameNode>> kids;
+    kids.push_back(GameNode::terminal(0, 0));
+    kids.push_back(GameNode::terminal(0, 0));
+    kids.push_back(GameNode::terminal(0, 0));
+    return kids;
+  };
+  std::vector<std::unique_ptr<GameNode>> root_kids;
+  root_kids.push_back(GameNode::decision(1, "shared", two_kids()));
+  root_kids.push_back(GameNode::decision(1, "shared", three_kids()));
+  EXPECT_THROW(ExtensiveGame(GameNode::decision(0, "p0", std::move(root_kids))),
+               InvalidArgument);
+}
+
+// ---- Pareto ----------------------------------------------------------------------
+
+TEST(Pareto, DominanceBasics) {
+  EXPECT_TRUE(dominates({2, 2}, {1, 2}));
+  EXPECT_FALSE(dominates({2, 2}, {2, 2}));  // not strict
+  EXPECT_FALSE(dominates({3, 0}, {0, 3}));  // incomparable
+  EXPECT_THROW(dominates({1}, {1, 2}), InvalidArgument);
+}
+
+TEST(Pareto, FrontExtraction) {
+  std::vector<std::vector<double>> points{
+      {1, 5}, {3, 3}, {5, 1}, {2, 2}, {0, 0}, {3, 3}};
+  auto front = pareto_front(points);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1, 2, 5}));
+}
+
+TEST(Pareto, WeightedSumPicksExtreme) {
+  std::vector<std::vector<double>> points{{1, 5}, {3, 3}, {5, 1}};
+  EXPECT_EQ(weighted_sum_best(points, {1.0, 0.0}), 2u);
+  EXPECT_EQ(weighted_sum_best(points, {0.0, 1.0}), 0u);
+  EXPECT_EQ(weighted_sum_best(points, {1.0, 1.0}), 0u);  // ties -> first max
+}
+
+TEST(Pareto, ChebyshevReachesNonConvexFront) {
+  // Middle point is on the front but never optimal for any weighted sum
+  // (below the line between the extremes); Chebyshev can select it.
+  std::vector<std::vector<double>> points{{0, 10}, {4, 4}, {10, 0}};
+  bool weighted_can_find_middle = false;
+  for (double w = 0.0; w <= 1.0; w += 0.01) {
+    if (weighted_sum_best(points, {w, 1.0 - w}) == 1u) weighted_can_find_middle = true;
+  }
+  EXPECT_FALSE(weighted_can_find_middle);
+  EXPECT_EQ(chebyshev_best(points, {1.0, 1.0}), 1u);
+}
+
+}  // namespace
+}  // namespace iotml::game

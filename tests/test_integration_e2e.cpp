@@ -1,0 +1,196 @@
+// Cross-module integration tests: complete flows through several subsystems
+// at once, the way a downstream user would compose them.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/faceted_learner.hpp"
+#include "core/pipeline_game.hpp"
+#include "data/csv.hpp"
+#include "data/encoding.hpp"
+#include "data/split.hpp"
+#include "data/synthetic.hpp"
+#include "kernels/multiclass.hpp"
+#include "learners/decision_tree.hpp"
+#include "learners/pattern_ensemble.hpp"
+#include "pipeline/integration.hpp"
+#include "pipeline/preparation.hpp"
+#include "pipeline/privacy.hpp"
+#include "pipeline/reduction.hpp"
+#include "pipeline/sensors.hpp"
+#include "roughsets/roughsets.hpp"
+#include "util/rng.hpp"
+
+namespace iotml {
+namespace {
+
+TEST(EndToEnd, SensorsToFacetedLearner) {
+  // Acquire two quantities from desynchronized sensors, integrate, impute,
+  // label by ground truth, and run the partition-MKL learner on the numeric
+  // record — every tier of Fig. 1 in one test.
+  Rng rng(1);
+  std::vector<pipeline::FieldQuantity> field{
+      {"a", pipeline::sine_signal(0.0, 3.0, 40.0),
+       {{.name = "a0", .period_s = 1.0, .noise_std = 0.3, .dropout_prob = 0.1},
+        {.name = "a1", .period_s = 1.3, .noise_std = 0.3}}},
+      {"b", pipeline::sine_signal(0.0, 3.0, 25.0),
+       {{.name = "b0", .period_s = 0.9, .noise_std = 0.3},
+        {.name = "b1", .period_s = 1.1, .noise_std = 0.3, .dropout_prob = 0.2}}}};
+  auto acq = pipeline::acquire_field(field, 180.0, rng);
+  auto integ = pipeline::integrate_streams(acq.streams, {.merge_tolerance_s = 0.2});
+  pipeline::impute(integ.records, pipeline::ImputeStrategy::kLinear, rng);
+  ASSERT_DOUBLE_EQ(integ.records.missing_rate(), 0.0);
+
+  // Concept: quantity a's truth is positive.
+  std::vector<int> labels;
+  for (std::size_t r = 0; r < integ.records.rows(); ++r) {
+    labels.push_back(field[0].truth(integ.records.column(0).numeric(r)) > 0 ? 1 : 0);
+  }
+  integ.records.set_labels(labels);
+
+  // Drop the timestamp column (it trivially determines the concept).
+  std::vector<std::size_t> sensor_cols;
+  for (std::size_t c = 1; c < integ.records.num_columns(); ++c) {
+    sensor_cols.push_back(c);
+  }
+  data::Samples samples = data::to_samples(integ.records.select_columns(sensor_cols));
+
+  Rng split_rng(2);
+  auto split = data::train_test_split(samples.size(), 0.3, split_rng);
+  core::FacetedLearner learner;
+  learner.fit(data::select_rows(samples, split.train));
+  EXPECT_GE(learner.accuracy(data::select_rows(samples, split.test)), 0.9);
+}
+
+TEST(EndToEnd, PrivatizedFleetThroughPatternEnsemble) {
+  // Privacy noise at the device, missing cells from flaky links, pattern
+  // ensemble at the core: the composition still learns.
+  Rng rng(3);
+  data::Dataset train = data::make_phone_fleet(900, 0.0, rng);
+  data::Dataset test = data::make_phone_fleet(400, 0.0, rng);
+  Rng privacy_rng(5);
+  pipeline::privatize(train, {.epsilon = 3.0}, privacy_rng);
+  pipeline::privatize(test, {.epsilon = 3.0}, privacy_rng);
+  for (auto* ds : {&train, &test}) {
+    for (std::size_t f = 0; f < ds->num_columns(); ++f) {
+      for (std::size_t r = 0; r < ds->rows(); ++r) {
+        if (rng.bernoulli(0.15)) ds->column(f).set_missing(r);
+      }
+    }
+  }
+  learners::PatternEnsemble ensemble(
+      [] { return std::make_unique<learners::DecisionTree>(); }, 10);
+  ensemble.fit(train);
+  EXPECT_GE(ensemble.accuracy(test), 0.75);
+  EXPECT_GT(ensemble.num_models(), 1u);
+}
+
+TEST(EndToEnd, RoughSetsAnchorLatticeSearch) {
+  // Rough-set K on discretized numeric data feeds the cone construction;
+  // the resulting partition must keep K as one block.
+  Rng rng(7);
+  data::FacetedData fd = data::make_faceted_gaussian(
+      240, {{2, 3.0, 1.0, true}, {2, 0.0, 2.0, false}, {2, 1.5, 1.0, true}}, rng);
+  core::FacetedLearnerConfig config;
+  config.rough_select_k = true;
+  config.rough_max_k = 2;
+  core::FacetedLearner learner(config);
+  learner.fit(fd.samples);
+
+  const auto& k = learner.k_block();
+  if (k.size() >= 2) {
+    // All K features in one block of the final partition.
+    for (std::size_t i = 1; i < k.size(); ++i) {
+      EXPECT_TRUE(learner.partition().together(k[0], k[i]));
+    }
+  }
+  EXPECT_GE(learner.accuracy(fd.samples), 0.75);
+}
+
+TEST(EndToEnd, CsvRoundTripPreservesLearnedAccuracy) {
+  // Persist a corrupted dataset to CSV, reload, and get the same model
+  // behaviour — the serialization layer is faithful.
+  Rng rng(9);
+  data::Dataset train = data::make_phone_fleet(500, 0.05, rng);
+  for (std::size_t f = 0; f < train.num_columns(); ++f) {
+    for (std::size_t r = 0; r < train.rows(); ++r) {
+      if (rng.bernoulli(0.1)) train.column(f).set_missing(r);
+    }
+  }
+  data::Dataset test = data::make_phone_fleet(200, 0.05, rng);
+
+  std::stringstream buffer;
+  data::write_csv(train, buffer);
+  data::Dataset reloaded = data::read_csv(buffer);
+
+  learners::DecisionTree original, roundtripped;
+  original.fit(train);
+  roundtripped.fit(reloaded);
+  EXPECT_EQ(original.predict(test), roundtripped.predict(test));
+}
+
+TEST(EndToEnd, OneHotPlusMulticlassSvmOnFleetSegments) {
+  // 3-way device segmentation: classify the battery level from the other
+  // attributes' one-hot encoding with the one-vs-one SVM (weak concept;
+  // asserts mechanics, not accuracy).
+  Rng rng(11);
+  data::Dataset fleet = data::make_phone_fleet(400, 0.0, rng);
+  std::vector<int> battery_labels;
+  for (std::size_t r = 0; r < fleet.rows(); ++r) {
+    battery_labels.push_back(static_cast<int>(fleet.column(0).category(r)));
+  }
+  data::Dataset features = fleet.select_columns({1, 2});
+  features.set_labels(battery_labels);
+  data::Samples samples = data::to_samples(data::one_hot_encode(features));
+
+  kernels::OneVsOneSvm svm(std::make_unique<kernels::RbfKernel>(1.0));
+  svm.fit(samples);
+  EXPECT_EQ(svm.num_classes(), 3u);
+  auto predictions = svm.predict(samples.x);
+  EXPECT_EQ(predictions.size(), samples.size());
+  for (int p : predictions) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 3);
+  }
+}
+
+TEST(EndToEnd, DiscretizedPipelineFeedsRoughSets) {
+  // Numeric sensor record -> entropy-MDL discretization -> indiscernibility
+  // analysis: the rough-set layer consumes real pipeline output.
+  Rng rng(13);
+  data::Samples s = data::make_blobs(300, 3, 5.0, 1.0, rng);
+  data::Dataset ds = data::samples_to_dataset(s);
+  pipeline::discretize_all(ds, pipeline::DiscretizeKind::kEntropyMdl);
+
+  rough::IndiscernibilityRelation rel(ds, {0, 1, 2});
+  const double gamma = rough::dependency_degree(rel, ds.labels());
+  EXPECT_GT(gamma, 0.9);  // MDL bins make the concept nearly crisp
+
+  const rough::KSelection sel = rough::select_k(ds, 1, rough::KScore::kDependency);
+  EXPECT_EQ(sel.features.size(), 1u);
+  EXPECT_EQ(sel.features[0], 0u);  // feature 0 carries the separation
+}
+
+TEST(EndToEnd, EmpiricalGameIsDeterministic) {
+  // The measured pipeline game must be reproducible: identical inputs and
+  // seeds give identical payoff matrices.
+  Rng rng(15);
+  data::Dataset train = data::make_phone_fleet(300, 0.05, rng);
+  data::Dataset test = data::make_phone_fleet(150, 0.05, rng);
+  for (std::size_t f = 0; f < train.num_columns(); ++f) {
+    for (std::size_t r = 0; r < train.rows(); ++r) {
+      if (rng.bernoulli(0.2)) train.column(f).set_missing(r);
+    }
+  }
+  Rng g1(1), g2(1);
+  auto result1 = core::build_pipeline_game(train, test, {}, g1);
+  auto result2 = core::build_pipeline_game(train, test, {}, g2);
+  EXPECT_LT(result1.game.a.max_abs_diff(result2.game.a), 1e-15);
+  EXPECT_LT(result1.game.b.max_abs_diff(result2.game.b), 1e-15);
+  EXPECT_EQ(result1.nash.row, result2.nash.row);
+  EXPECT_EQ(result1.nash.col, result2.nash.col);
+}
+
+}  // namespace
+}  // namespace iotml

@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/metrics.hpp"
+#include "data/synthetic.hpp"
+#include "kernels/kernel.hpp"
+#include "kernels/krr.hpp"
+#include "kernels/mkl.hpp"
+#include "kernels/svm.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace iotml::kernels {
+namespace {
+
+using data::make_blobs;
+using data::make_circles;
+using data::make_xor;
+
+TEST(KernelFns, LinearIsDotProduct) {
+  LinearKernel k;
+  std::vector<double> x{1, 2, 3}, y{4, 5, 6};
+  EXPECT_DOUBLE_EQ(k(x, y), 32.0);
+}
+
+TEST(KernelFns, LengthMismatchThrows) {
+  LinearKernel k;
+  std::vector<double> x{1, 2}, y{1};
+  EXPECT_THROW(k(x, y), InvalidArgument);
+}
+
+TEST(KernelFns, PolynomialKnownValue) {
+  PolynomialKernel k(2, 1.0, 1.0);
+  std::vector<double> x{1, 1}, y{2, 0};
+  EXPECT_DOUBLE_EQ(k(x, y), 9.0);  // (2 + 1)^2
+  EXPECT_THROW(PolynomialKernel(0), InvalidArgument);
+}
+
+TEST(KernelFns, RbfBasics) {
+  RbfKernel k(0.5);
+  std::vector<double> x{1, 2}, y{1, 2}, z{3, 2};
+  EXPECT_DOUBLE_EQ(k(x, y), 1.0);            // identical points
+  EXPECT_DOUBLE_EQ(k(x, z), std::exp(-2.0));  // dist^2 = 4, gamma = .5
+  EXPECT_THROW(RbfKernel(0.0), InvalidArgument);
+}
+
+TEST(KernelFns, RbfBlockEqualsProductOfPerFeatureRbfs) {
+  // The paper's Section III block-by-multiplication semantics: an RBF over a
+  // block equals the product of per-feature RBFs.
+  RbfKernel block(0.7);
+  std::vector<std::unique_ptr<Kernel>> factors;
+  for (std::size_t f = 0; f < 3; ++f) {
+    factors.push_back(
+        std::make_unique<SubsetKernel>(std::make_unique<RbfKernel>(0.7),
+                                       std::vector<std::size_t>{f}));
+  }
+  ProductKernel product(std::move(factors));
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> x{rng.normal(), rng.normal(), rng.normal()};
+    std::vector<double> y{rng.normal(), rng.normal(), rng.normal()};
+    EXPECT_NEAR(block(x, y), product(x, y), 1e-12);
+  }
+}
+
+TEST(KernelFns, SubsetProjects) {
+  SubsetKernel k(std::make_unique<LinearKernel>(), {0, 2});
+  std::vector<double> x{1, 100, 3}, y{2, -100, 4};
+  EXPECT_DOUBLE_EQ(k(x, y), 14.0);  // 1*2 + 3*4, ignoring feature 1
+}
+
+TEST(KernelFns, SubsetValidation) {
+  EXPECT_THROW(SubsetKernel(nullptr, {0}), InvalidArgument);
+  EXPECT_THROW(SubsetKernel(std::make_unique<LinearKernel>(), {}), InvalidArgument);
+  SubsetKernel k(std::make_unique<LinearKernel>(), {5});
+  std::vector<double> x{1, 2};
+  EXPECT_THROW(k(x, x), InvalidArgument);
+}
+
+TEST(KernelFns, SumKernelWeighted) {
+  std::vector<std::unique_ptr<Kernel>> terms;
+  terms.push_back(std::make_unique<LinearKernel>());
+  terms.push_back(std::make_unique<LinearKernel>());
+  SumKernel k(std::move(terms), {0.25, 0.75});
+  std::vector<double> x{2}, y{3};
+  EXPECT_DOUBLE_EQ(k(x, y), 6.0);
+}
+
+TEST(KernelFns, CloneIsDeepAndEquivalent) {
+  SubsetKernel original(std::make_unique<RbfKernel>(0.3), {1});
+  auto copy = original.clone();
+  std::vector<double> x{0, 1}, y{0, 2};
+  EXPECT_DOUBLE_EQ(original(x, y), (*copy)(x, y));
+}
+
+TEST(Gram, SymmetricAndPsd) {
+  Rng rng(2);
+  data::Samples s = make_blobs(40, 3, 2.0, 1.0, rng);
+  la::Matrix k = gram(RbfKernel(0.5), s.x);
+  EXPECT_TRUE(k.is_symmetric(1e-12));
+  la::EigenResult e = la::eigen_symmetric(k);
+  for (double v : e.values) EXPECT_GE(v, -1e-8);
+}
+
+TEST(Gram, CrossGramMatchesPointwise) {
+  Rng rng(3);
+  data::Samples a = make_blobs(10, 2, 2.0, 1.0, rng);
+  data::Samples b = make_blobs(6, 2, 2.0, 1.0, rng);
+  RbfKernel k(1.0);
+  la::Matrix cg = cross_gram(k, a.x, b.x);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_DOUBLE_EQ(cg(i, j), k(a.x.row_span(i), b.x.row_span(j)));
+    }
+  }
+}
+
+TEST(Gram, CenteringZerosRowSums) {
+  Rng rng(4);
+  data::Samples s = make_blobs(20, 2, 1.0, 1.0, rng);
+  la::Matrix kc = center_gram(gram(LinearKernel(), s.x));
+  for (std::size_t i = 0; i < kc.rows(); ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < kc.cols(); ++j) row_sum += kc(i, j);
+    EXPECT_NEAR(row_sum, 0.0, 1e-8);
+  }
+}
+
+TEST(Gram, NormalizeUnitDiagonal) {
+  Rng rng(5);
+  data::Samples s = make_blobs(15, 2, 1.0, 1.0, rng);
+  la::Matrix kn = normalize_gram(gram(PolynomialKernel(2), s.x));
+  for (std::size_t i = 0; i < kn.rows(); ++i) EXPECT_NEAR(kn(i, i), 1.0, 1e-12);
+}
+
+TEST(Alignment, SelfAlignmentIsOne) {
+  Rng rng(6);
+  data::Samples s = make_blobs(20, 2, 2.0, 1.0, rng);
+  la::Matrix k = gram(RbfKernel(0.5), s.x);
+  EXPECT_NEAR(alignment(k, k), 1.0, 1e-12);
+}
+
+TEST(Alignment, InformativeKernelAlignsBetterThanNoise) {
+  Rng rng(7);
+  // Features 0-1 carry the signal; features 2-3 are pure noise.
+  data::FacetedData fd = data::make_faceted_gaussian(
+      120, {{2, 4.0, 1.0, true}, {2, 0.0, 1.0, false}}, rng);
+  la::Matrix k_signal =
+      gram(SubsetKernel(std::make_unique<RbfKernel>(0.5), {0, 1}), fd.samples.x);
+  la::Matrix k_noise =
+      gram(SubsetKernel(std::make_unique<RbfKernel>(0.5), {2, 3}), fd.samples.x);
+  EXPECT_GT(target_alignment(k_signal, fd.samples.y),
+            target_alignment(k_noise, fd.samples.y) + 0.05);
+}
+
+TEST(Alignment, MedianHeuristicPositive) {
+  Rng rng(8);
+  data::Samples s = make_blobs(50, 4, 2.0, 1.0, rng);
+  double g = median_heuristic_gamma(s.x, {0, 1, 2, 3});
+  EXPECT_GT(g, 0.0);
+  // Degenerate data: all points identical -> fallback.
+  la::Matrix same(5, 2, 3.0);
+  EXPECT_DOUBLE_EQ(median_heuristic_gamma(same, {0, 1}), 1.0);
+}
+
+TEST(Svm, SeparatesLinearlySeparableBlobs) {
+  Rng rng(9);
+  data::Samples train = make_blobs(80, 2, 6.0, 0.5, rng);
+  data::Samples test = make_blobs(40, 2, 6.0, 0.5, rng);
+  KernelSvmClassifier clf(std::make_unique<LinearKernel>());
+  clf.fit(train);
+  EXPECT_GE(clf.accuracy(test), 0.95);
+}
+
+TEST(Svm, RbfSolvesXor) {
+  Rng rng(10);
+  data::Samples train = make_xor(150, 0.0, rng);
+  data::Samples test = make_xor(80, 0.0, rng);
+  KernelSvmClassifier clf(std::make_unique<RbfKernel>(2.0), SvmParams{.c = 10.0});
+  clf.fit(train);
+  EXPECT_GE(clf.accuracy(test), 0.9);
+}
+
+TEST(Svm, LinearFailsXorButRbfDoesNot) {
+  Rng rng(11);
+  data::Samples train = make_xor(150, 0.0, rng);
+  data::Samples test = make_xor(100, 0.0, rng);
+  KernelSvmClassifier linear(std::make_unique<LinearKernel>());
+  linear.fit(train);
+  KernelSvmClassifier rbf(std::make_unique<RbfKernel>(2.0), SvmParams{.c = 10.0});
+  rbf.fit(train);
+  EXPECT_LT(linear.accuracy(test), 0.7);  // near chance
+  EXPECT_GT(rbf.accuracy(test), linear.accuracy(test) + 0.15);
+}
+
+TEST(Svm, RbfSolvesCircles) {
+  Rng rng(12);
+  data::Samples train = make_circles(160, 1.0, 3.0, 0.1, rng);
+  data::Samples test = make_circles(80, 1.0, 3.0, 0.1, rng);
+  KernelSvmClassifier clf(std::make_unique<RbfKernel>(0.5), SvmParams{.c = 10.0});
+  clf.fit(train);
+  EXPECT_GE(clf.accuracy(test), 0.95);
+}
+
+TEST(Svm, Validation) {
+  la::Matrix g{{1, 0}, {0, 1}};
+  EXPECT_THROW(train_svm(g, {1, 1}), InvalidArgument);           // one class
+  EXPECT_THROW(train_svm(g, {0, 2}), InvalidArgument);           // bad label
+  EXPECT_THROW(train_svm(g, {0}), InvalidArgument);              // size mismatch
+  EXPECT_THROW(train_svm(g, {0, 1}, SvmParams{.c = 0.0}), InvalidArgument);
+  EXPECT_THROW(train_svm(la::Matrix(2, 3), {0, 1}), InvalidArgument);
+}
+
+TEST(Svm, SupportVectorsAreSubset) {
+  Rng rng(13);
+  data::Samples train = make_blobs(60, 2, 6.0, 0.5, rng);
+  la::Matrix g = gram(LinearKernel(), train.x);
+  SvmModel m = train_svm(g, train.y);
+  EXPECT_GT(m.num_support_vectors(), 0u);
+  // Well-separated blobs need few support vectors.
+  EXPECT_LT(m.num_support_vectors(), 30u);
+}
+
+TEST(Svm, DeterministicForFixedSeed) {
+  Rng rng(14);
+  data::Samples train = make_blobs(40, 2, 4.0, 1.0, rng);
+  la::Matrix g = gram(RbfKernel(0.5), train.x);
+  SvmModel a = train_svm(g, train.y, SvmParams{.seed = 3});
+  SvmModel b = train_svm(g, train.y, SvmParams{.seed = 3});
+  EXPECT_EQ(a.alphas(), b.alphas());
+  EXPECT_DOUBLE_EQ(a.bias(), b.bias());
+}
+
+TEST(Mkl, CombineGramsWeightedSum) {
+  la::Matrix a{{1, 0}, {0, 1}};
+  la::Matrix b{{0, 2}, {2, 0}};
+  la::Matrix c = combine_grams({a, b}, {0.5, 0.25});
+  EXPECT_DOUBLE_EQ(c(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(c(0, 1), 0.5);
+  EXPECT_THROW(combine_grams({a, b}, {0.5}), InvalidArgument);
+  EXPECT_THROW(combine_grams({a, b}, {0.5, -0.1}), InvalidArgument);
+}
+
+TEST(Mkl, UniformWeightsSumToOne) {
+  auto w = uniform_weights(4);
+  EXPECT_EQ(w.size(), 4u);
+  EXPECT_DOUBLE_EQ(w[0], 0.25);
+}
+
+TEST(Mkl, AlignmentWeightsFavorInformativeView) {
+  Rng rng(15);
+  data::FacetedData fd = data::make_faceted_gaussian(
+      120, {{2, 4.0, 1.0, true}, {2, 0.0, 1.0, false}}, rng);
+  std::vector<la::Matrix> grams{
+      gram(SubsetKernel(std::make_unique<RbfKernel>(0.5), fd.views[0]), fd.samples.x),
+      gram(SubsetKernel(std::make_unique<RbfKernel>(0.5), fd.views[1]), fd.samples.x)};
+  auto w = alignment_weights(grams, fd.samples.y);
+  EXPECT_NEAR(w[0] + w[1], 1.0, 1e-12);
+  EXPECT_GT(w[0], w[1]);
+}
+
+TEST(Mkl, OptimizedWeightsAtLeastAsAlignedAsHeuristic) {
+  Rng rng(16);
+  data::FacetedData fd = data::make_faceted_gaussian(
+      100, {{2, 3.0, 1.0, true}, {2, 1.5, 1.0, true}, {2, 0.0, 1.0, false}}, rng);
+  std::vector<la::Matrix> grams;
+  for (const auto& view : fd.views) {
+    grams.push_back(
+        gram(SubsetKernel(std::make_unique<RbfKernel>(0.5), view), fd.samples.x));
+  }
+  auto w_heur = alignment_weights(grams, fd.samples.y);
+  auto w_opt = optimize_alignment_weights(grams, fd.samples.y);
+  const double a_heur = target_alignment(combine_grams(grams, w_heur), fd.samples.y);
+  const double a_opt = target_alignment(combine_grams(grams, w_opt), fd.samples.y);
+  EXPECT_GE(a_opt, a_heur - 1e-9);
+}
+
+TEST(Mkl, CvAccuracyPrecomputedReasonable) {
+  Rng rng(17);
+  data::Samples s = make_blobs(80, 2, 6.0, 0.5, rng);
+  la::Matrix g = gram(RbfKernel(0.5), s.x);
+  Rng cv_rng(1);
+  double acc = cv_accuracy_precomputed(g, s.y, 5, cv_rng);
+  EXPECT_GE(acc, 0.9);
+}
+
+TEST(Mkl, MultiKernelBeatsNoisyMonolithicKernel) {
+  // Core claim of Sections I/III: exploiting the facet structure (one kernel
+  // per view, alignment-weighted) beats a single kernel over the
+  // concatenation when some views are noise.
+  Rng rng(18);
+  // High-variance noise facets dominate the global distance metric; the
+  // per-view kernels let alignment weighting suppress them.
+  data::FacetedData fd = data::make_faceted_gaussian(
+      160,
+      {{2, 3.0, 1.0, true}, {8, 0.0, 4.0, false}, {8, 0.0, 4.0, false}},
+      rng);
+  // Single kernel over everything.
+  std::vector<std::size_t> all_features(fd.samples.dim());
+  std::iota(all_features.begin(), all_features.end(), std::size_t{0});
+  la::Matrix k_mono =
+      gram(RbfKernel(median_heuristic_gamma(fd.samples.x, all_features)), fd.samples.x);
+
+  // One kernel per view, weighted by alignment.
+  std::vector<la::Matrix> grams;
+  for (const auto& view : fd.views) {
+    grams.push_back(gram(SubsetKernel(std::make_unique<RbfKernel>(
+                                          median_heuristic_gamma(fd.samples.x, view)),
+                                      view),
+                         fd.samples.x));
+  }
+  la::Matrix k_mkl = combine_grams(grams, alignment_weights(grams, fd.samples.y));
+
+  Rng cv1(5), cv2(5);
+  const double acc_mono = cv_accuracy_precomputed(k_mono, fd.samples.y, 5, cv1);
+  const double acc_mkl = cv_accuracy_precomputed(k_mkl, fd.samples.y, 5, cv2);
+  EXPECT_GT(acc_mkl, acc_mono + 0.02);  // structure awareness wins...
+  EXPECT_GE(acc_mkl, 0.8);              // ...and is genuinely good
+}
+
+TEST(Krr, RecoversSmoothFunction) {
+  Rng rng(19);
+  la::Matrix x(60, 1);
+  std::vector<double> y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    x(i, 0) = rng.uniform(-3.0, 3.0);
+    y[i] = std::sin(x(i, 0));
+  }
+  KernelRidge krr(std::make_unique<RbfKernel>(1.0), 1e-3);
+  krr.fit(x, y);
+  EXPECT_LT(krr.training_rmse(), 0.05);
+
+  la::Matrix probe(1, 1);
+  probe(0, 0) = 1.0;
+  EXPECT_NEAR(krr.predict(probe)[0], std::sin(1.0), 0.1);
+}
+
+TEST(Krr, Validation) {
+  EXPECT_THROW(KernelRidge(nullptr, 1.0), InvalidArgument);
+  EXPECT_THROW(KernelRidge(std::make_unique<LinearKernel>(), 0.0), InvalidArgument);
+  KernelRidge krr(std::make_unique<LinearKernel>(), 1.0);
+  la::Matrix probe(1, 1);
+  EXPECT_THROW(krr.predict(probe), InvalidArgument);  // not fitted
+}
+
+}  // namespace
+}  // namespace iotml::kernels

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/matrix.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace iotml::la {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.normal();
+  return m;
+}
+
+Matrix random_spd(std::size_t n, Rng& rng) {
+  Matrix a = random_matrix(n, n, rng);
+  Matrix spd = a.transpose() * a;
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+TEST(Matrix, ConstructAndIndex) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), -2.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), InvalidArgument);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), InvalidArgument);
+  EXPECT_THROW(m.at(0, 2), InvalidArgument);
+}
+
+TEST(Matrix, IdentityAndMultiply) {
+  Rng rng(1);
+  Matrix a = random_matrix(4, 4, rng);
+  Matrix prod = a * Matrix::identity(4);
+  EXPECT_LT(prod.max_abs_diff(a), 1e-12);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a * b, InvalidArgument);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Rng rng(2);
+  Matrix a = random_matrix(3, 5, rng);
+  EXPECT_LT(a.transpose().transpose().max_abs_diff(a), 1e-15);
+}
+
+TEST(Matrix, MatrixVectorMatchesManual) {
+  Matrix a{{1, 2}, {3, 4}};
+  Vector v{5, 6};
+  Vector out = a * v;
+  EXPECT_DOUBLE_EQ(out[0], 17);
+  EXPECT_DOUBLE_EQ(out[1], 39);
+}
+
+TEST(Matrix, AddSubScale) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{4, 3}, {2, 1}};
+  Matrix s = a + b;
+  EXPECT_DOUBLE_EQ(s(0, 0), 5);
+  Matrix d = a - b;
+  EXPECT_DOUBLE_EQ(d(1, 1), 3);
+  EXPECT_DOUBLE_EQ(a.scaled(2.0)(1, 0), 6);
+}
+
+TEST(Matrix, TraceAndFrobenius) {
+  Matrix a{{3, 0}, {0, 4}};
+  EXPECT_DOUBLE_EQ(a.trace(), 7);
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5);
+}
+
+TEST(Matrix, SymmetryDetection) {
+  Matrix s{{1, 2}, {2, 1}};
+  Matrix a{{1, 2}, {3, 1}};
+  EXPECT_TRUE(s.is_symmetric());
+  EXPECT_FALSE(a.is_symmetric());
+  EXPECT_FALSE(Matrix(2, 3).is_symmetric());
+}
+
+TEST(VectorOps, DotNormAxpy) {
+  Vector a{1, 2, 2};
+  Vector b{2, 0, 1};
+  EXPECT_DOUBLE_EQ(dot(a, b), 4);
+  EXPECT_DOUBLE_EQ(norm2(a), 3);
+  Vector c = axpy(2.0, a, b);
+  EXPECT_DOUBLE_EQ(c[0], 4);
+  EXPECT_DOUBLE_EQ(c[2], 5);
+}
+
+TEST(VectorOps, SizeMismatchThrows) {
+  EXPECT_THROW(dot({1}, {1, 2}), InvalidArgument);
+  EXPECT_THROW(sub({1}, {1, 2}), InvalidArgument);
+}
+
+TEST(Lu, SolvesRandomSystems) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix a = random_matrix(6, 6, rng);
+    Vector x_true(6);
+    for (auto& v : x_true) v = rng.normal();
+    Vector b = a * x_true;
+    Vector x = solve_lu(a, b);
+    for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+  }
+}
+
+TEST(Lu, SingularThrows) {
+  Matrix a{{1, 2}, {2, 4}};
+  EXPECT_THROW(solve_lu(a, Vector{1, 1}), NumericError);
+}
+
+TEST(Lu, MatrixRhs) {
+  Rng rng(4);
+  Matrix a = random_spd(4, rng);
+  Matrix x = solve_lu(a, Matrix::identity(4));
+  EXPECT_LT((a * x).max_abs_diff(Matrix::identity(4)), 1e-8);
+}
+
+TEST(Lu, DeterminantMatchesKnown) {
+  Matrix a{{2, 0}, {0, 3}};
+  EXPECT_NEAR(determinant(a), 6.0, 1e-12);
+  Matrix swap{{0, 1}, {1, 0}};
+  EXPECT_NEAR(determinant(swap), -1.0, 1e-12);
+  Matrix singular{{1, 2}, {2, 4}};
+  EXPECT_NEAR(determinant(singular), 0.0, 1e-12);
+}
+
+TEST(Lu, InverseTimesSelfIsIdentity) {
+  Rng rng(5);
+  Matrix a = random_spd(5, rng);
+  EXPECT_LT((a * inverse(a)).max_abs_diff(Matrix::identity(5)), 1e-8);
+}
+
+TEST(Cholesky, FactorReconstructs) {
+  Rng rng(6);
+  Matrix a = random_spd(6, rng);
+  Matrix l = cholesky(a);
+  EXPECT_LT((l * l.transpose()).max_abs_diff(a), 1e-8);
+}
+
+TEST(Cholesky, SolveMatchesLu) {
+  Rng rng(7);
+  Matrix a = random_spd(5, rng);
+  Vector b(5);
+  for (auto& v : b) v = rng.normal();
+  Vector x1 = cholesky_solve(cholesky(a), b);
+  Vector x2 = solve_lu(a, b);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-8);
+}
+
+TEST(Cholesky, IndefiniteThrowsWithoutJitter) {
+  Matrix a{{1, 0}, {0, -1}};
+  EXPECT_THROW(cholesky(a), NumericError);
+}
+
+TEST(Cholesky, JitterRescuesNearSingular) {
+  Matrix a{{1, 1}, {1, 1}};  // PSD but singular
+  Matrix l = cholesky(a, 1e-6);
+  EXPECT_EQ(l.rows(), 2u);
+}
+
+TEST(Eigen, DiagonalMatrix) {
+  Matrix a{{5, 0}, {0, 2}};
+  EigenResult e = eigen_symmetric(a);
+  EXPECT_NEAR(e.values[0], 5.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 2.0, 1e-10);
+}
+
+TEST(Eigen, ReconstructsMatrix) {
+  Rng rng(8);
+  Matrix a = random_spd(6, rng);
+  EigenResult e = eigen_symmetric(a);
+  // A = V diag(lambda) V^T
+  Matrix lambda(6, 6);
+  for (std::size_t i = 0; i < 6; ++i) lambda(i, i) = e.values[i];
+  Matrix rebuilt = e.vectors * lambda * e.vectors.transpose();
+  EXPECT_LT(rebuilt.max_abs_diff(a), 1e-8);
+}
+
+TEST(Eigen, VectorsOrthonormal) {
+  Rng rng(9);
+  Matrix a = random_spd(5, rng);
+  EigenResult e = eigen_symmetric(a);
+  Matrix vtv = e.vectors.transpose() * e.vectors;
+  EXPECT_LT(vtv.max_abs_diff(Matrix::identity(5)), 1e-8);
+}
+
+TEST(Eigen, ValuesDescending) {
+  Rng rng(10);
+  Matrix a = random_spd(7, rng);
+  EigenResult e = eigen_symmetric(a);
+  for (std::size_t i = 1; i < e.values.size(); ++i) {
+    EXPECT_GE(e.values[i - 1], e.values[i] - 1e-12);
+  }
+}
+
+TEST(Eigen, KnownTwoByTwo) {
+  Matrix a{{2, 1}, {1, 2}};
+  EigenResult e = eigen_symmetric(a);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-10);
+}
+
+TEST(Stats, ColumnMeans) {
+  Matrix x{{1, 10}, {3, 20}};
+  Vector m = column_means(x);
+  EXPECT_DOUBLE_EQ(m[0], 2);
+  EXPECT_DOUBLE_EQ(m[1], 15);
+}
+
+TEST(Stats, CovarianceDiagonalOfIndependentColumns) {
+  Rng rng(12);
+  Matrix x(5000, 2);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    x(i, 0) = rng.normal(0.0, 1.0);
+    x(i, 1) = rng.normal(0.0, 2.0);
+  }
+  Matrix c = covariance(x);
+  EXPECT_NEAR(c(0, 0), 1.0, 0.1);
+  EXPECT_NEAR(c(1, 1), 4.0, 0.3);
+  EXPECT_NEAR(c(0, 1), 0.0, 0.1);
+}
+
+TEST(Stats, CrossCovarianceOfLinearlyRelated) {
+  Rng rng(13);
+  Matrix x(3000, 1), y(3000, 1);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    double v = rng.normal();
+    x(i, 0) = v;
+    y(i, 0) = 2.0 * v;
+  }
+  Matrix c = cross_covariance(x, y);
+  EXPECT_NEAR(c(0, 0), 2.0, 0.15);
+}
+
+TEST(Stats, CovarianceIsSymmetricPsd) {
+  Rng rng(14);
+  Matrix x = random_matrix(100, 4, rng);
+  Matrix c = covariance(x);
+  EXPECT_TRUE(c.is_symmetric(1e-10));
+  EigenResult e = eigen_symmetric(c);
+  for (double v : e.values) EXPECT_GE(v, -1e-10);
+}
+
+}  // namespace
+}  // namespace iotml::la

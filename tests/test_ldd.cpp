@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "combinatorics/counting.hpp"
+#include "combinatorics/ldd.hpp"
+
+namespace iotml::comb {
+namespace {
+
+TEST(LddEncoding, MatchesPaperTableI) {
+  // Table I column c(S) for n = 3.
+  EXPECT_EQ(ldd_encoding(0b000, 3), (std::vector<unsigned>{1, 1, 1, 1}));  // emptyset
+  EXPECT_EQ(ldd_encoding(0b001, 3), (std::vector<unsigned>{0, 2, 1, 1}));  // {1}
+  EXPECT_EQ(ldd_encoding(0b011, 3), (std::vector<unsigned>{0, 0, 3, 1}));  // {1,2}
+  EXPECT_EQ(ldd_encoding(0b111, 3), (std::vector<unsigned>{0, 0, 0, 4}));  // {1,2,3}
+  EXPECT_EQ(ldd_encoding(0b010, 3), (std::vector<unsigned>{1, 0, 2, 1}));  // {2}
+  EXPECT_EQ(ldd_encoding(0b110, 3), (std::vector<unsigned>{1, 0, 0, 3}));  // {2,3}
+  EXPECT_EQ(ldd_encoding(0b100, 3), (std::vector<unsigned>{1, 1, 0, 2}));  // {3}
+  EXPECT_EQ(ldd_encoding(0b101, 3), (std::vector<unsigned>{0, 2, 0, 2}));  // {1,3}
+}
+
+TEST(LddEncoding, WeightsAlwaysSumToNPlusOne) {
+  for (unsigned n = 1; n <= 10; ++n) {
+    for (Subset s = 0; s < (Subset{1} << n); ++s) {
+      unsigned total = 0;
+      for (unsigned w : ldd_encoding(s, n)) total += w;
+      EXPECT_EQ(total, n + 1);
+    }
+  }
+}
+
+TEST(LddType, MatchesPaperTableI) {
+  // Table I arrow column: type = reversed nonzero digits of c(S).
+  EXPECT_EQ(ldd_type(0b000, 3), (std::vector<std::size_t>{1, 1, 1, 1}));
+  EXPECT_EQ(ldd_type(0b001, 3), (std::vector<std::size_t>{1, 1, 2}));
+  EXPECT_EQ(ldd_type(0b011, 3), (std::vector<std::size_t>{1, 3}));
+  EXPECT_EQ(ldd_type(0b111, 3), (std::vector<std::size_t>{4}));
+  EXPECT_EQ(ldd_type(0b010, 3), (std::vector<std::size_t>{1, 2, 1}));
+  EXPECT_EQ(ldd_type(0b110, 3), (std::vector<std::size_t>{3, 1}));
+  EXPECT_EQ(ldd_type(0b100, 3), (std::vector<std::size_t>{2, 1, 1}));
+  EXPECT_EQ(ldd_type(0b101, 3), (std::vector<std::size_t>{2, 2}));
+}
+
+TEST(LddType, IsBijectionOntoCompositions) {
+  // S -> type(S) must be injective over B_n and always a composition of n+1.
+  for (unsigned n = 1; n <= 10; ++n) {
+    std::set<std::vector<std::size_t>> seen;
+    for (Subset s = 0; s < (Subset{1} << n); ++s) {
+      auto type = ldd_type(s, n);
+      std::size_t sum = 0;
+      for (std::size_t part : type) {
+        EXPECT_GE(part, 1u);
+        sum += part;
+      }
+      EXPECT_EQ(sum, n + 1);
+      EXPECT_TRUE(seen.insert(type).second) << "type collision at n=" << n;
+    }
+    EXPECT_EQ(seen.size(), std::size_t{1} << n);  // all 2^n compositions of n+1
+  }
+}
+
+TEST(LddType, NumberOfBlocksTracksSetSize) {
+  // Adding an element merges two weight slots: |type(S)| = n + 1 - |S|.
+  for (unsigned n = 1; n <= 8; ++n) {
+    for (Subset s = 0; s < (Subset{1} << n); ++s) {
+      unsigned bits = 0;
+      for (unsigned e = 0; e < n; ++e) bits += (s >> e) & 1u;
+      EXPECT_EQ(ldd_type(s, n).size(), n + 1 - bits);
+    }
+  }
+}
+
+TEST(DigitsToString, CompactAndWide) {
+  EXPECT_EQ(digits_to_string(std::vector<unsigned>{1, 0, 2, 1}), "1021");
+  EXPECT_EQ(digits_to_string(std::vector<std::size_t>{1, 2, 1}), "121");
+  EXPECT_EQ(digits_to_string(std::vector<std::size_t>{11, 2}), "11.2");
+}
+
+TEST(LddDecomposition, TableIGroupsExactly) {
+  // Reproduce the full Table I structure for n = 3 (Pi_4).
+  LddDecomposition d(3);
+  ASSERT_EQ(d.groups().size(), 3u);
+
+  const auto& g1 = d.groups()[0];
+  ASSERT_EQ(g1.rows.size(), 4u);
+  EXPECT_EQ(digits_to_string(g1.rows[0].encoding), "1111");
+  EXPECT_EQ(digits_to_string(g1.rows[1].encoding), "0211");
+  EXPECT_EQ(digits_to_string(g1.rows[2].encoding), "0031");
+  EXPECT_EQ(digits_to_string(g1.rows[3].encoding), "0004");
+  EXPECT_EQ(g1.rows[0].partitions.size(), 1u);
+  EXPECT_EQ(g1.rows[0].partitions[0].to_string(), "1/2/3/4");
+  EXPECT_EQ(g1.rows[1].partitions[0].to_string(), "1/2/34");
+  EXPECT_EQ(g1.rows[2].partitions[0].to_string(), "1/234");
+  EXPECT_EQ(g1.rows[3].partitions[0].to_string(), "1234");
+
+  const auto& g2 = d.groups()[1];
+  ASSERT_EQ(g2.rows.size(), 2u);
+  EXPECT_EQ(digits_to_string(g2.rows[0].encoding), "1021");
+  std::set<std::string> row0;
+  for (const auto& p : g2.rows[0].partitions) row0.insert(p.to_string());
+  EXPECT_EQ(row0, (std::set<std::string>{"1/23/4", "1/24/3"}));
+  std::set<std::string> row1;
+  for (const auto& p : g2.rows[1].partitions) row1.insert(p.to_string());
+  EXPECT_EQ(row1, (std::set<std::string>{"123/4", "124/3", "134/2"}));
+
+  const auto& g3 = d.groups()[2];
+  ASSERT_EQ(g3.rows.size(), 2u);
+  std::set<std::string> row20;
+  for (const auto& p : g3.rows[0].partitions) row20.insert(p.to_string());
+  EXPECT_EQ(row20, (std::set<std::string>{"12/3/4", "13/2/4", "14/2/3"}));
+  std::set<std::string> row21;
+  for (const auto& p : g3.rows[1].partitions) row21.insert(p.to_string());
+  EXPECT_EQ(row21, (std::set<std::string>{"12/34", "13/24", "14/23"}));
+}
+
+class LddParam : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LddParam, RowsTileTheWholeLattice) {
+  const unsigned n = GetParam();
+  LddDecomposition d(n);
+  std::unordered_set<SetPartition, SetPartitionHash> seen;
+  for (const auto& g : d.groups()) {
+    for (const auto& row : g.rows) {
+      for (const auto& p : row.partitions) {
+        EXPECT_EQ(p.ground_size(), n + 1);
+        EXPECT_TRUE(seen.insert(p).second) << "duplicate partition";
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), bell_number(n + 1));
+  EXPECT_EQ(d.covered_partitions(), bell_number(n + 1));
+}
+
+TEST_P(LddParam, PartitionChainsAreSaturatedAndDisjoint) {
+  const unsigned n = GetParam();
+  LddDecomposition d(n);
+  std::unordered_set<SetPartition, SetPartitionHash> seen;
+  std::size_t total = 0;
+  for (const auto& chain : d.partition_chains()) {
+    ASSERT_FALSE(chain.partitions.empty());
+    for (std::size_t i = 1; i < chain.partitions.size(); ++i) {
+      EXPECT_TRUE(chain.partitions[i - 1].covered_by(chain.partitions[i]))
+          << chain.partitions[i - 1].to_string() << " !< " << chain.partitions[i].to_string();
+    }
+    for (const auto& p : chain.partitions) {
+      EXPECT_TRUE(seen.insert(p).second);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, bell_number(n + 1));
+}
+
+TEST_P(LddParam, LddSymmetricCoverageGuarantee) {
+  // [11]: the collection includes all partitions of rank <= floor((n-1)/2)
+  // on symmetric chains.
+  const unsigned n = GetParam();
+  LddDecomposition d(n);
+  EXPECT_TRUE(d.symmetric_below_rank((n - 1) / 2)) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallN, LddParam, ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u));
+
+TEST(LddDecomposition, Pi4ChainStatistics) {
+  LddDecomposition d(3);
+  // From the analysis of Table I: one rank-0..3 chain, plus length-2 chains,
+  // with a single unmatched rank-2 leftover; 15 partitions total.
+  EXPECT_EQ(d.covered_partitions(), 15u);
+  EXPECT_EQ(d.lattice_rank(), 3u);
+  EXPECT_GE(d.symmetric_chain_count(), 6u);
+}
+
+}  // namespace
+}  // namespace iotml::comb

@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "learners/decision_tree.hpp"
+#include "learners/knn.hpp"
+#include "learners/logistic.hpp"
+#include "learners/naive_bayes.hpp"
+#include "learners/pattern_ensemble.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace iotml::learners {
+namespace {
+
+using data::Dataset;
+using data::make_phone_fleet;
+using data::make_phone_fleet_paper;
+
+/// Numeric 2-blob dataset in Dataset form.
+Dataset numeric_blobs(std::size_t n, double separation, Rng& rng) {
+  data::Samples s = data::make_blobs(n, 2, separation, 1.0, rng);
+  Dataset ds;
+  auto& x0 = ds.add_numeric_column("x0");
+  auto& x1 = ds.add_numeric_column("x1");
+  for (std::size_t i = 0; i < n; ++i) {
+    x0.push_numeric(s.x(i, 0));
+    x1.push_numeric(s.x(i, 1));
+  }
+  ds.set_labels(s.y);
+  return ds;
+}
+
+/// Randomly knock out cells.
+void inject_missing(Dataset& ds, double rate, Rng& rng) {
+  for (std::size_t f = 0; f < ds.num_columns(); ++f) {
+    for (std::size_t r = 0; r < ds.rows(); ++r) {
+      if (rng.bernoulli(rate)) ds.column(f).set_missing(r);
+    }
+  }
+}
+
+// ---- DecisionTree ------------------------------------------------------------
+
+TEST(DecisionTreeTest, LearnsPhoneFleetConcept) {
+  Rng rng(1);
+  Dataset train = make_phone_fleet(400, 0.0, rng);
+  Dataset test = make_phone_fleet(200, 0.0, rng);
+  DecisionTree tree;
+  tree.fit(train);
+  EXPECT_GE(tree.accuracy(test), 0.98);
+}
+
+TEST(DecisionTreeTest, LearnsNumericThresholds) {
+  Rng rng(2);
+  Dataset train = numeric_blobs(300, 6.0, rng);
+  Dataset test = numeric_blobs(150, 6.0, rng);
+  DecisionTree tree;
+  tree.fit(train);
+  EXPECT_GE(tree.accuracy(test), 0.95);
+}
+
+TEST(DecisionTreeTest, PerfectFitOnPaperTable) {
+  Dataset ds = make_phone_fleet_paper();
+  DecisionTree tree(DecisionTreeParams{.min_samples_leaf = 1});
+  tree.fit(ds);
+  EXPECT_DOUBLE_EQ(tree.accuracy(ds), 1.0);
+}
+
+TEST(DecisionTreeTest, DepthLimitRespected) {
+  Rng rng(3);
+  Dataset train = numeric_blobs(200, 2.0, rng);
+  DecisionTree stump(DecisionTreeParams{.max_depth = 1});
+  stump.fit(train);
+  EXPECT_LE(stump.depth(), 2u);  // root + leaves
+  EXPECT_LE(stump.node_count(), 4u);
+}
+
+TEST(DecisionTreeTest, HandlesMissingAtTrainAndTest) {
+  Rng rng(4);
+  Dataset train = make_phone_fleet(500, 0.0, rng);
+  Dataset test = make_phone_fleet(200, 0.0, rng);
+  inject_missing(train, 0.15, rng);
+  inject_missing(test, 0.15, rng);
+  for (auto policy : {MissingSplitPolicy::kMajorityBranch, MissingSplitPolicy::kOwnBranch}) {
+    DecisionTree tree(DecisionTreeParams{.missing = policy});
+    tree.fit(train);
+    EXPECT_GE(tree.accuracy(test), 0.75);
+  }
+}
+
+TEST(DecisionTreeTest, UnseenCategoryFallsBackToMajority) {
+  Dataset train;
+  auto& c = train.add_categorical_column("c");
+  c.push_category("a");
+  c.push_category("a");
+  c.push_category("b");
+  c.push_category("b");
+  train.set_labels({1, 1, 0, 0});
+  DecisionTree tree(DecisionTreeParams{.min_samples_leaf = 1});
+  tree.fit(train);
+
+  Dataset test;
+  auto& tc = test.add_categorical_column("c");
+  tc.push_category("zzz");  // never seen
+  test.set_labels({0});
+  EXPECT_NO_THROW(tree.predict_row(test, 0));
+}
+
+TEST(DecisionTreeTest, Validation) {
+  DecisionTree tree;
+  Dataset unlabeled;
+  unlabeled.add_numeric_column("x").push_numeric(1.0);
+  EXPECT_THROW(tree.fit(unlabeled), InvalidArgument);
+  EXPECT_THROW(DecisionTree(DecisionTreeParams{.max_depth = 0}), InvalidArgument);
+  Dataset probe = make_phone_fleet_paper();
+  EXPECT_THROW(tree.predict_row(probe, 0), InvalidArgument);  // not fitted
+}
+
+// ---- NaiveBayes ------------------------------------------------------------
+
+TEST(NaiveBayesTest, LearnsPhoneFleet) {
+  Rng rng(5);
+  Dataset train = make_phone_fleet(600, 0.0, rng);
+  Dataset test = make_phone_fleet(300, 0.0, rng);
+  NaiveBayes nb;
+  nb.fit(train);
+  EXPECT_GE(nb.accuracy(test), 0.8);  // NB can't express the conjunction exactly
+}
+
+TEST(NaiveBayesTest, LearnsGaussianBlobs) {
+  Rng rng(6);
+  Dataset train = numeric_blobs(300, 6.0, rng);
+  Dataset test = numeric_blobs(150, 6.0, rng);
+  NaiveBayes nb;
+  nb.fit(train);
+  EXPECT_GE(nb.accuracy(test), 0.95);
+}
+
+TEST(NaiveBayesTest, MissingCellsAreMarginalized) {
+  Rng rng(7);
+  Dataset train = numeric_blobs(300, 6.0, rng);
+  Dataset test = numeric_blobs(150, 6.0, rng);
+  inject_missing(test, 0.3, rng);
+  NaiveBayes nb;
+  nb.fit(train);
+  EXPECT_GE(nb.accuracy(test), 0.85);
+}
+
+TEST(NaiveBayesTest, LogPosteriorOrdersClasses) {
+  Rng rng(8);
+  Dataset train = numeric_blobs(200, 8.0, rng);
+  NaiveBayes nb;
+  nb.fit(train);
+  for (std::size_t r = 0; r < 20; ++r) {
+    auto lp = nb.log_posterior(train, r);
+    ASSERT_EQ(lp.size(), 2u);
+    EXPECT_EQ(lp[1] > lp[0] ? 1 : 0, nb.predict_row(train, r));
+  }
+}
+
+TEST(NaiveBayesTest, Validation) {
+  EXPECT_THROW(NaiveBayes(0.0), InvalidArgument);
+  NaiveBayes nb;
+  Dataset probe = make_phone_fleet_paper();
+  EXPECT_THROW(nb.log_posterior(probe, 0), InvalidArgument);  // not fitted
+}
+
+// ---- LogisticRegression ------------------------------------------------------
+
+TEST(LogisticTest, SeparatesBlobs) {
+  Rng rng(9);
+  Dataset train = numeric_blobs(300, 5.0, rng);
+  Dataset test = numeric_blobs(150, 5.0, rng);
+  LogisticRegression lr;
+  lr.fit(train);
+  EXPECT_GE(lr.accuracy(test), 0.95);
+}
+
+TEST(LogisticTest, ProbabilityIsCalibratedDirectionally) {
+  Rng rng(10);
+  Dataset train = numeric_blobs(400, 6.0, rng);
+  LogisticRegression lr;
+  lr.fit(train);
+  double p_sum_1 = 0.0, p_sum_0 = 0.0;
+  std::size_t n1 = 0, n0 = 0;
+  for (std::size_t r = 0; r < train.rows(); ++r) {
+    const double p = lr.probability(train, r);
+    if (train.label(r) == 1) {
+      p_sum_1 += p;
+      ++n1;
+    } else {
+      p_sum_0 += p;
+      ++n0;
+    }
+  }
+  EXPECT_GT(p_sum_1 / n1, 0.85);
+  EXPECT_LT(p_sum_0 / n0, 0.15);
+}
+
+TEST(LogisticTest, MissingImputedWithTrainMean) {
+  Rng rng(11);
+  Dataset train = numeric_blobs(300, 6.0, rng);
+  Dataset test = numeric_blobs(150, 6.0, rng);
+  inject_missing(test, 0.25, rng);
+  LogisticRegression lr;
+  lr.fit(train);
+  EXPECT_GE(lr.accuracy(test), 0.8);
+}
+
+TEST(LogisticTest, RejectsMulticlass) {
+  Dataset ds;
+  auto& x = ds.add_numeric_column("x");
+  for (int i = 0; i < 6; ++i) x.push_numeric(i);
+  ds.set_labels({0, 1, 2, 0, 1, 2});
+  LogisticRegression lr;
+  EXPECT_THROW(lr.fit(ds), InvalidArgument);
+}
+
+// ---- Knn ----------------------------------------------------------------------
+
+TEST(KnnTest, ClassifiesBlobs) {
+  Rng rng(12);
+  Dataset train = numeric_blobs(300, 5.0, rng);
+  Dataset test = numeric_blobs(150, 5.0, rng);
+  KnnClassifier knn(5);
+  knn.fit(train);
+  EXPECT_GE(knn.accuracy(test), 0.95);
+}
+
+TEST(KnnTest, MixedTypesAndMissing) {
+  Rng rng(13);
+  Dataset train = make_phone_fleet(400, 0.0, rng);
+  Dataset test = make_phone_fleet(150, 0.0, rng);
+  inject_missing(test, 0.2, rng);
+  KnnClassifier knn(7);
+  knn.fit(train);
+  EXPECT_GE(knn.accuracy(test), 0.8);
+}
+
+TEST(KnnTest, KOneMemorizesTrainingSet) {
+  Rng rng(14);
+  Dataset train = numeric_blobs(100, 1.0, rng);
+  KnnClassifier knn(1);
+  knn.fit(train);
+  EXPECT_DOUBLE_EQ(knn.accuracy(train), 1.0);
+}
+
+TEST(KnnTest, Validation) {
+  EXPECT_THROW(KnnClassifier(0), InvalidArgument);
+}
+
+// ---- PatternEnsemble -------------------------------------------------------------
+
+ClassifierFactory tree_factory() {
+  return [] { return std::make_unique<DecisionTree>(); };
+}
+
+TEST(PatternEnsembleTest, CompleteDataBehavesLikeSingleModel) {
+  Rng rng(15);
+  Dataset train = make_phone_fleet(400, 0.0, rng);
+  Dataset test = make_phone_fleet(150, 0.0, rng);
+  PatternEnsemble ens(tree_factory());
+  ens.fit(train);
+  EXPECT_EQ(ens.num_models(), 1u);  // one availability pattern: everything
+  EXPECT_GE(ens.accuracy(test), 0.95);
+}
+
+TEST(PatternEnsembleTest, TrainsOneModelPerPattern) {
+  Rng rng(16);
+  Dataset train = make_phone_fleet(800, 0.0, rng);
+  inject_missing(train, 0.2, rng);
+  PatternEnsemble ens(tree_factory(), 10);
+  ens.fit(train);
+  // 3 columns -> up to 7 nonempty patterns (at least several hit min rows).
+  EXPECT_GE(ens.num_models(), 3u);
+  EXPECT_LE(ens.num_models(), 7u);
+  EXPECT_GT(ens.total_training_rows(), train.rows());  // rows shared across models
+}
+
+TEST(PatternEnsembleTest, BeatsNothingOnMissingTest) {
+  Rng rng(17);
+  Dataset train = make_phone_fleet(900, 0.0, rng);
+  Dataset test = make_phone_fleet(300, 0.0, rng);
+  inject_missing(train, 0.25, rng);
+  inject_missing(test, 0.25, rng);
+  PatternEnsemble ens(tree_factory(), 8);
+  ens.fit(train);
+  EXPECT_GE(ens.accuracy(test), 0.8);
+}
+
+TEST(PatternEnsembleTest, FallbackToSubPattern) {
+  Rng rng(18);
+  Dataset train = make_phone_fleet(500, 0.0, rng);
+  PatternEnsemble ens(tree_factory());
+  ens.fit(train);  // only the full pattern exists
+
+  Dataset test = make_phone_fleet(100, 0.0, rng);
+  inject_missing(test, 0.5, rng);
+  // Full-pattern model cannot serve most rows; fallback must not throw.
+  EXPECT_NO_THROW(ens.predict(test));
+  EXPECT_GT(ens.fallback_rate(), 0.0);
+}
+
+TEST(PatternEnsembleTest, Validation) {
+  EXPECT_THROW(PatternEnsemble(nullptr), InvalidArgument);
+  EXPECT_THROW(PatternEnsemble(tree_factory(), 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace iotml::learners

@@ -1,0 +1,116 @@
+// Tests for the multi-class SVM and the CCA subspace classifier extensions.
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "kernels/multiclass.hpp"
+#include "multiview/subspace.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace iotml {
+namespace {
+
+/// k Gaussian blobs arranged on a circle, one class per blob.
+data::Samples multiclass_blobs(std::size_t n, std::size_t classes, double radius,
+                               double noise, Rng& rng) {
+  data::Samples s;
+  s.x = la::Matrix(n, 2);
+  s.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = i % classes;
+    const double angle = 2.0 * 3.14159265358979 * static_cast<double>(c) /
+                         static_cast<double>(classes);
+    s.x(i, 0) = radius * std::cos(angle) + rng.normal(0.0, noise);
+    s.x(i, 1) = radius * std::sin(angle) + rng.normal(0.0, noise);
+    s.y[i] = static_cast<int>(c);
+  }
+  return s;
+}
+
+TEST(OneVsOne, ThreeClassBlobs) {
+  Rng rng(1);
+  data::Samples train = multiclass_blobs(240, 3, 4.0, 0.8, rng);
+  data::Samples test = multiclass_blobs(120, 3, 4.0, 0.8, rng);
+  kernels::OneVsOneSvm svm(std::make_unique<kernels::RbfKernel>(0.5));
+  svm.fit(train);
+  EXPECT_EQ(svm.num_classes(), 3u);
+  EXPECT_EQ(svm.num_pairs(), 3u);  // C(3,2)
+  EXPECT_GE(svm.accuracy(test), 0.95);
+}
+
+TEST(OneVsOne, FiveClassBlobs) {
+  Rng rng(2);
+  data::Samples train = multiclass_blobs(400, 5, 5.0, 0.6, rng);
+  data::Samples test = multiclass_blobs(200, 5, 5.0, 0.6, rng);
+  kernels::OneVsOneSvm svm(std::make_unique<kernels::RbfKernel>(0.5));
+  svm.fit(train);
+  EXPECT_EQ(svm.num_pairs(), 10u);  // C(5,2)
+  EXPECT_GE(svm.accuracy(test), 0.9);
+}
+
+TEST(OneVsOne, BinaryReducesToOnePair) {
+  Rng rng(3);
+  data::Samples train = data::make_blobs(120, 2, 5.0, 1.0, rng);
+  data::Samples test = data::make_blobs(60, 2, 5.0, 1.0, rng);
+  kernels::OneVsOneSvm svm(std::make_unique<kernels::LinearKernel>());
+  svm.fit(train);
+  EXPECT_EQ(svm.num_pairs(), 1u);
+  EXPECT_GE(svm.accuracy(test), 0.95);
+}
+
+TEST(OneVsOne, Validation) {
+  EXPECT_THROW(kernels::OneVsOneSvm(nullptr), InvalidArgument);
+  kernels::OneVsOneSvm svm(std::make_unique<kernels::LinearKernel>());
+  data::Samples one_class;
+  one_class.x = la::Matrix(4, 2);
+  one_class.y = {0, 0, 0, 0};
+  EXPECT_THROW(svm.fit(one_class), InvalidArgument);
+  la::Matrix probe(1, 2);
+  EXPECT_THROW(svm.predict(probe), InvalidArgument);  // not fitted
+}
+
+TEST(Subspace, LearnsFromSharedLatent) {
+  Rng rng(4);
+  data::FacetedData fd = data::make_faceted_gaussian(
+      600, {{3, 3.0, 1.0, true}, {3, 3.0, 1.0, true}}, rng);
+
+  // 20 labeled rows, big unlabeled pool for the subspace, held-out test.
+  std::vector<std::size_t> labeled_idx, test_idx;
+  for (std::size_t i = 0; i < 20; ++i) labeled_idx.push_back(i);
+  for (std::size_t i = 400; i < 600; ++i) test_idx.push_back(i);
+  data::Samples labeled = data::select_rows(fd.samples, labeled_idx);
+  data::Samples test = data::select_rows(fd.samples, test_idx);
+  la::Matrix pool(380, fd.samples.dim());
+  for (std::size_t r = 20; r < 400; ++r) {
+    for (std::size_t c = 0; c < fd.samples.dim(); ++c) {
+      pool(r - 20, c) = fd.samples.x(r, c);
+    }
+  }
+
+  multiview::SubspaceClassifier subspace(fd.views[0], fd.views[1], 2);
+  subspace.fit(labeled, pool);
+  EXPECT_GT(subspace.subspace().correlations[0], 0.5);  // shared latent found
+  EXPECT_GE(subspace.accuracy(test), 0.85);
+}
+
+TEST(Subspace, ProjectionDimsMatchComponents) {
+  Rng rng(5);
+  data::FacetedData fd = data::make_faceted_gaussian(
+      100, {{3, 2.0, 1.0, true}, {4, 2.0, 1.0, true}}, rng);
+  multiview::SubspaceClassifier subspace(fd.views[0], fd.views[1], 2);
+  subspace.fit(fd.samples, fd.samples.x);
+  EXPECT_EQ(subspace.subspace().wx.cols(), 2u);
+  EXPECT_EQ(subspace.subspace().wy.cols(), 2u);
+}
+
+TEST(Subspace, Validation) {
+  EXPECT_THROW(multiview::SubspaceClassifier({}, {1}, 1), InvalidArgument);
+  EXPECT_THROW(multiview::SubspaceClassifier({0}, {1}, 0), InvalidArgument);
+  multiview::SubspaceClassifier s({0}, {1}, 1);
+  la::Matrix probe(1, 2);
+  EXPECT_THROW(s.predict(probe), InvalidArgument);  // not fitted
+}
+
+}  // namespace
+}  // namespace iotml

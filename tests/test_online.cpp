@@ -1,0 +1,186 @@
+// Tests for the streaming extensions: incremental naive Bayes, DDM drift
+// detection, and the self-healing adaptive classifier.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "learners/naive_bayes.hpp"
+#include "learners/online.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace iotml::learners {
+namespace {
+
+std::vector<double> row_of(const data::Samples& s, std::size_t r) {
+  std::vector<double> out(s.dim());
+  for (std::size_t c = 0; c < s.dim(); ++c) out[c] = s.x(r, c);
+  return out;
+}
+
+TEST(IncrementalNb, MatchesBatchNaiveBayesAccuracy) {
+  Rng rng(1);
+  data::Samples train = data::make_blobs(400, 3, 5.0, 1.0, rng);
+  data::Samples test = data::make_blobs(200, 3, 5.0, 1.0, rng);
+
+  IncrementalNaiveBayes online(3);
+  for (std::size_t r = 0; r < train.size(); ++r) {
+    online.observe(row_of(train, r), train.y[r]);
+  }
+  std::size_t online_hits = 0;
+  for (std::size_t r = 0; r < test.size(); ++r) {
+    if (online.predict(row_of(test, r)) == test.y[r]) ++online_hits;
+  }
+  const double online_acc = static_cast<double>(online_hits) / test.size();
+
+  NaiveBayes batch;
+  batch.fit(data::samples_to_dataset(train));
+  const double batch_acc = batch.accuracy(data::samples_to_dataset(test));
+
+  EXPECT_NEAR(online_acc, batch_acc, 0.03);
+  EXPECT_GE(online_acc, 0.95);
+}
+
+TEST(IncrementalNb, WelfordStatsAreExact) {
+  // Mean/variance from streaming updates must match closed form.
+  Rng rng(2);
+  IncrementalNaiveBayes nb(1);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.normal(4.0, 2.0);
+    values.push_back(v);
+    nb.observe({v}, 0);
+  }
+  // Recover the learned Gaussian through the posterior: peak at the mean.
+  double best_x = 0.0, best_lp = -1e18;
+  for (double x = 0.0; x < 8.0; x += 0.01) {
+    const double lp = nb.log_posterior({x})[0];
+    if (lp > best_lp) {
+      best_lp = lp;
+      best_x = x;
+    }
+  }
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= values.size();
+  EXPECT_NEAR(best_x, mean, 0.02);
+}
+
+TEST(IncrementalNb, ResetForgets) {
+  IncrementalNaiveBayes nb(1);
+  nb.observe({0.0}, 0);
+  nb.observe({1.0}, 1);
+  EXPECT_EQ(nb.num_classes(), 2u);
+  nb.reset();
+  EXPECT_EQ(nb.num_classes(), 0u);
+  EXPECT_EQ(nb.observations(), 0u);
+  EXPECT_THROW(nb.predict({0.0}), InvalidArgument);
+}
+
+TEST(IncrementalNb, Validation) {
+  EXPECT_THROW(IncrementalNaiveBayes(0), InvalidArgument);
+  IncrementalNaiveBayes nb(2);
+  EXPECT_THROW(nb.observe({1.0}, 0), InvalidArgument);
+  EXPECT_THROW(nb.observe({1.0, 2.0}, -1), InvalidArgument);
+}
+
+TEST(Ddm, StableOnConstantErrorRate) {
+  Rng rng(3);
+  DriftDetector ddm;
+  DriftDetector::State worst = DriftDetector::State::kStable;
+  for (int i = 0; i < 2000; ++i) {
+    const auto state = ddm.observe(rng.bernoulli(0.1));
+    if (state == DriftDetector::State::kDrift) worst = state;
+  }
+  EXPECT_NE(worst, DriftDetector::State::kDrift);
+  EXPECT_NEAR(ddm.error_rate(), 0.1, 0.03);
+}
+
+TEST(Ddm, DetectsErrorRateJump) {
+  Rng rng(4);
+  DriftDetector ddm;
+  bool drifted = false;
+  std::size_t drift_at = 0;
+  for (std::size_t i = 0; i < 3000 && !drifted; ++i) {
+    const double p = i < 1000 ? 0.05 : 0.5;  // concept breaks at 1000
+    if (ddm.observe(rng.bernoulli(p)) == DriftDetector::State::kDrift) {
+      drifted = true;
+      drift_at = i;
+    }
+  }
+  EXPECT_TRUE(drifted);
+  EXPECT_GT(drift_at, 1000u);      // not before the change
+  EXPECT_LT(drift_at, 1200u);      // reasonably fast after it
+}
+
+TEST(Ddm, WarningPrecedesDrift) {
+  Rng rng(5);
+  DriftDetector ddm;
+  bool warned_before_drift = false, drifted = false;
+  bool warned = false;
+  for (std::size_t i = 0; i < 3000 && !drifted; ++i) {
+    const double p = i < 500 ? 0.05 : 0.35;
+    const auto state = ddm.observe(rng.bernoulli(p));
+    if (state == DriftDetector::State::kWarning) warned = true;
+    if (state == DriftDetector::State::kDrift) {
+      drifted = true;
+      warned_before_drift = warned;
+    }
+  }
+  EXPECT_TRUE(drifted);
+  EXPECT_TRUE(warned_before_drift);
+}
+
+TEST(Ddm, Validation) {
+  EXPECT_THROW(DriftDetector(3.0, 2.0), InvalidArgument);
+  EXPECT_THROW(DriftDetector(2.0, 3.0, 2), InvalidArgument);
+}
+
+TEST(Adaptive, RecoversFromConceptFlip) {
+  // Concept: sign of feature 0; flips at t = 1500. The adaptive classifier
+  // must detect the drift and recover; a frozen model would sit at ~0 %%
+  // accuracy after the flip.
+  Rng rng(6);
+  AdaptiveStreamClassifier adaptive(2);
+  IncrementalNaiveBayes frozen(2);
+
+  std::size_t adaptive_hits_after = 0, frozen_hits_after = 0, after = 0;
+  for (std::size_t t = 0; t < 3000; ++t) {
+    std::vector<double> x{rng.normal(rng.bernoulli(0.5) ? 2.0 : -2.0, 1.0),
+                          rng.normal()};
+    const bool flipped = t >= 1500;
+    const int label = (x[0] > 0.0) != flipped ? 1 : 0;
+
+    const int p = adaptive.process(x, label);
+    if (t < 1500) {
+      frozen.observe(x, label);  // frozen trains only on the old concept
+    } else {
+      ++after;
+      if (p == label) ++adaptive_hits_after;
+      if (frozen.predict(x) == label) ++frozen_hits_after;
+    }
+  }
+  EXPECT_GE(adaptive.drifts_detected(), 1u);
+  const double adaptive_after = static_cast<double>(adaptive_hits_after) / after;
+  const double frozen_after = static_cast<double>(frozen_hits_after) / after;
+  EXPECT_LT(frozen_after, 0.2);    // frozen model is now anti-correlated
+  EXPECT_GT(adaptive_after, 0.8);  // adaptive relearns
+}
+
+TEST(Adaptive, NoSpuriousDriftOnStationaryStream) {
+  Rng rng(7);
+  AdaptiveStreamClassifier adaptive(2);
+  for (std::size_t t = 0; t < 4000; ++t) {
+    std::vector<double> x{rng.normal(rng.bernoulli(0.5) ? 3.0 : -3.0, 1.0),
+                          rng.normal()};
+    const int label = x[0] > 0.0 ? 1 : 0;
+    adaptive.process(x, label);
+  }
+  EXPECT_EQ(adaptive.drifts_detected(), 0u);
+  EXPECT_GE(adaptive.running_accuracy(), 0.95);
+}
+
+}  // namespace
+}  // namespace iotml::learners

@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "combinatorics/counting.hpp"
+#include "combinatorics/partition.hpp"
+#include "util/error.hpp"
+
+namespace iotml::comb {
+namespace {
+
+TEST(SetPartition, DiscreteAndIndiscrete) {
+  auto d = SetPartition::discrete(4);
+  EXPECT_EQ(d.num_blocks(), 4u);
+  EXPECT_EQ(d.rank(), 0u);
+  auto one = SetPartition::indiscrete(4);
+  EXPECT_EQ(one.num_blocks(), 1u);
+  EXPECT_EQ(one.rank(), 3u);
+  EXPECT_TRUE(d.refines(one));
+  EXPECT_FALSE(one.refines(d));
+}
+
+TEST(SetPartition, FromBlocksCanonicalizes) {
+  auto p = SetPartition::from_blocks({{2}, {0, 1}, {3}}, 4);
+  // Canonical order by first appearance: {0,1} first, then {2}, then {3}.
+  EXPECT_EQ(p.to_string(), "12/3/4");
+  EXPECT_EQ(p.rgs(), (std::vector<int>{0, 0, 1, 2}));
+}
+
+TEST(SetPartition, FromBlocksValidation) {
+  EXPECT_THROW(SetPartition::from_blocks({{0}, {0, 1}}, 2), InvalidArgument);  // overlap
+  EXPECT_THROW(SetPartition::from_blocks({{0}}, 2), InvalidArgument);          // no cover
+  EXPECT_THROW(SetPartition::from_blocks({{0}, {}}, 1), InvalidArgument);      // empty block
+  EXPECT_THROW(SetPartition::from_blocks({{0, 5}}, 2), InvalidArgument);       // out of range
+}
+
+TEST(SetPartition, FromAssignmentRelabels) {
+  auto p = SetPartition::from_assignment({7, 7, 3, 7});
+  EXPECT_EQ(p.rgs(), (std::vector<int>{0, 0, 1, 0}));
+  EXPECT_EQ(p.num_blocks(), 2u);
+}
+
+TEST(SetPartition, TogetherAndBlockOf) {
+  auto p = SetPartition::from_blocks({{0, 2}, {1}}, 3);
+  EXPECT_TRUE(p.together(0, 2));
+  EXPECT_FALSE(p.together(0, 1));
+  EXPECT_EQ(p.block_of(1), 1);
+}
+
+TEST(SetPartition, RefinesTransitiveExample) {
+  auto fine = SetPartition::from_blocks({{0}, {1}, {2, 3}}, 4);
+  auto mid = SetPartition::from_blocks({{0, 1}, {2, 3}}, 4);
+  auto coarse = SetPartition::indiscrete(4);
+  EXPECT_TRUE(fine.refines(mid));
+  EXPECT_TRUE(mid.refines(coarse));
+  EXPECT_TRUE(fine.refines(coarse));
+  EXPECT_FALSE(mid.refines(fine));
+}
+
+TEST(SetPartition, RefinesIsReflexive) {
+  for (const auto& p : all_partitions(5)) EXPECT_TRUE(p.refines(p));
+}
+
+TEST(SetPartition, MeetIsGreatestLowerBound) {
+  auto a = SetPartition::from_blocks({{0, 1}, {2, 3}}, 4);
+  auto b = SetPartition::from_blocks({{0, 2}, {1, 3}}, 4);
+  auto m = a.meet(b);
+  EXPECT_EQ(m, SetPartition::discrete(4));
+}
+
+TEST(SetPartition, JoinIsLeastUpperBound) {
+  auto a = SetPartition::from_blocks({{0, 1}, {2}, {3}}, 4);
+  auto b = SetPartition::from_blocks({{1, 2}, {0}, {3}}, 4);
+  auto j = a.join(b);
+  EXPECT_EQ(j, SetPartition::from_blocks({{0, 1, 2}, {3}}, 4));
+}
+
+// Lattice laws, checked exhaustively on Pi_4 (15 x 15 pairs).
+TEST(SetPartition, LatticeLawsOnPi4) {
+  const auto all = all_partitions(4);
+  for (const auto& a : all) {
+    for (const auto& b : all) {
+      auto m = a.meet(b);
+      auto j = a.join(b);
+      EXPECT_TRUE(m.refines(a));
+      EXPECT_TRUE(m.refines(b));
+      EXPECT_TRUE(a.refines(j));
+      EXPECT_TRUE(b.refines(j));
+      // Greatest lower bound / least upper bound against all candidates.
+      for (const auto& c : all) {
+        if (c.refines(a) && c.refines(b)) {
+          EXPECT_TRUE(c.refines(m));
+        }
+        if (a.refines(c) && b.refines(c)) {
+          EXPECT_TRUE(j.refines(c));
+        }
+      }
+      // Commutativity.
+      EXPECT_EQ(m, b.meet(a));
+      EXPECT_EQ(j, b.join(a));
+    }
+  }
+}
+
+TEST(SetPartition, AbsorptionLaws) {
+  const auto all = all_partitions(4);
+  for (const auto& a : all) {
+    for (const auto& b : all) {
+      EXPECT_EQ(a.meet(a.join(b)), a);
+      EXPECT_EQ(a.join(a.meet(b)), a);
+    }
+  }
+}
+
+// The partition lattice is famously NOT distributive (paper, Section III).
+TEST(SetPartition, NotDistributive) {
+  const auto all = all_partitions(3);
+  bool found_violation = false;
+  for (const auto& a : all)
+    for (const auto& b : all)
+      for (const auto& c : all) {
+        auto lhs = a.meet(b.join(c));
+        auto rhs = a.meet(b).join(a.meet(c));
+        if (lhs != rhs) found_violation = true;
+      }
+  EXPECT_TRUE(found_violation);
+}
+
+TEST(SetPartition, MergeBlocks) {
+  auto p = SetPartition::discrete(4);
+  auto merged = p.merge_blocks(1, 3);
+  EXPECT_EQ(merged, SetPartition::from_blocks({{0}, {1, 3}, {2}}, 4));
+  EXPECT_THROW(p.merge_blocks(0, 0), InvalidArgument);
+  EXPECT_THROW(p.merge_blocks(0, 9), InvalidArgument);
+}
+
+TEST(SetPartition, CoveredByDetectsCovers) {
+  auto fine = SetPartition::discrete(3);
+  auto cover = SetPartition::from_blocks({{0, 1}, {2}}, 3);
+  auto top = SetPartition::indiscrete(3);
+  EXPECT_TRUE(fine.covered_by(cover));
+  EXPECT_FALSE(fine.covered_by(top));   // two ranks up
+  EXPECT_FALSE(cover.covered_by(fine));  // wrong direction
+}
+
+TEST(SetPartition, UpwardCoversCountAndValidity) {
+  for (const auto& p : all_partitions(5)) {
+    auto ups = p.upward_covers();
+    const std::size_t b = p.num_blocks();
+    EXPECT_EQ(ups.size(), b * (b - 1) / 2);
+    for (const auto& u : ups) {
+      EXPECT_TRUE(p.covered_by(u));
+      EXPECT_EQ(u.rank(), p.rank() + 1);
+    }
+  }
+}
+
+TEST(SetPartition, DownwardCoversValidity) {
+  for (const auto& p : all_partitions(5)) {
+    for (const auto& d : p.downward_covers()) {
+      EXPECT_TRUE(d.covered_by(p));
+      EXPECT_EQ(d.rank() + 1, p.rank());
+    }
+  }
+}
+
+TEST(SetPartition, UpDownCoversAreConsistent) {
+  // q in upward_covers(p) <=> p in downward_covers(q), over all of Pi_4.
+  const auto all = all_partitions(4);
+  for (const auto& p : all) {
+    for (const auto& q : p.upward_covers()) {
+      auto downs = q.downward_covers();
+      EXPECT_NE(std::find(downs.begin(), downs.end(), p), downs.end());
+    }
+  }
+}
+
+TEST(SetPartition, TypeIsCompositionOfN) {
+  auto p = SetPartition::from_blocks({{0}, {1, 2}, {3}}, 4);
+  EXPECT_EQ(p.type(), (std::vector<std::size_t>{1, 2, 1}));
+}
+
+TEST(SetPartition, ToStringMatchesPaperNotation) {
+  EXPECT_EQ(SetPartition::discrete(4).to_string(), "1/2/3/4");
+  EXPECT_EQ(SetPartition::indiscrete(4).to_string(), "1234");
+  EXPECT_EQ(SetPartition::from_blocks({{0, 3}, {1}, {2}}, 4).to_string(), "14/2/3");
+}
+
+TEST(SetPartition, ToStringWideElements) {
+  auto p = SetPartition::from_blocks({{0, 10}, {1, 2, 3, 4, 5, 6, 7, 8, 9}}, 11);
+  // Elements >= 10 are comma separated.
+  EXPECT_NE(p.to_string().find("11"), std::string::npos);
+}
+
+TEST(SetPartition, HashConsistentWithEquality) {
+  SetPartitionHash h;
+  auto a = SetPartition::from_blocks({{0, 1}, {2}}, 3);
+  auto b = SetPartition::from_assignment({5, 5, 9});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(h(a), h(b));
+}
+
+TEST(Enumerator, CountsMatchBellNumbers) {
+  for (std::size_t n = 1; n <= 9; ++n) {
+    PartitionEnumerator e(n);
+    std::size_t count = 0;
+    while (e.has_next()) {
+      e.next();
+      ++count;
+    }
+    EXPECT_EQ(count, bell_number(static_cast<unsigned>(n))) << "n=" << n;
+  }
+}
+
+TEST(Enumerator, ProducesDistinctCanonicalPartitions) {
+  PartitionEnumerator e(6);
+  std::unordered_set<SetPartition, SetPartitionHash> seen;
+  while (e.has_next()) {
+    SetPartition p = e.next();
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate " << p.to_string();
+  }
+  EXPECT_EQ(seen.size(), bell_number(6));
+}
+
+TEST(Enumerator, ResetRestarts) {
+  PartitionEnumerator e(3);
+  auto first = e.next();
+  e.next();
+  e.reset();
+  EXPECT_EQ(e.next(), first);
+}
+
+TEST(Enumerator, ExhaustedThrows) {
+  PartitionEnumerator e(1);
+  e.next();
+  EXPECT_FALSE(e.has_next());
+  EXPECT_THROW(e.next(), InvalidArgument);
+}
+
+TEST(AllPartitions, Pi4HasFifteenElements) {
+  // Fig. 2 of the paper: the lattice of partitions of a 4-element set has
+  // exactly 15 elements.
+  EXPECT_EQ(all_partitions(4).size(), 15u);
+}
+
+TEST(AllPartitions, RejectsHugeN) { EXPECT_THROW(all_partitions(15), InvalidArgument); }
+
+TEST(PartitionsWithBlocks, MatchesStirlingNumbers) {
+  for (std::size_t n = 2; n <= 7; ++n) {
+    for (std::size_t k = 1; k <= n; ++k) {
+      EXPECT_EQ(partitions_with_blocks(n, k).size(),
+                stirling2(static_cast<unsigned>(n), static_cast<unsigned>(k)))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(PartitionsOfType, MatchesPaperTypeClasses) {
+  // Type 121 over a 4-set: 1/23/4 and 1/24/3 (Table I row for {2}).
+  auto p121 = partitions_of_type({1, 2, 1});
+  std::set<std::string> names;
+  for (const auto& p : p121) names.insert(p.to_string());
+  EXPECT_EQ(names, (std::set<std::string>{"1/23/4", "1/24/3"}));
+
+  // Type 31: 123/4, 124/3, 134/2.
+  auto p31 = partitions_of_type({3, 1});
+  names.clear();
+  for (const auto& p : p31) names.insert(p.to_string());
+  EXPECT_EQ(names, (std::set<std::string>{"123/4", "124/3", "134/2"}));
+
+  // Type 22: 12/34, 13/24, 14/23.
+  auto p22 = partitions_of_type({2, 2});
+  names.clear();
+  for (const auto& p : p22) names.insert(p.to_string());
+  EXPECT_EQ(names, (std::set<std::string>{"12/34", "13/24", "14/23"}));
+}
+
+TEST(PartitionsOfType, EveryResultHasRequestedType) {
+  auto ps = partitions_of_type({2, 1, 3});
+  for (const auto& p : ps) {
+    EXPECT_EQ(p.type(), (std::vector<std::size_t>{2, 1, 3}));
+  }
+}
+
+TEST(PartitionsOfType, CountFormulaMatchesEnumeration) {
+  const std::vector<std::vector<std::size_t>> cases = {
+      {1, 1, 1, 1}, {1, 1, 2}, {1, 2, 1}, {2, 1, 1}, {2, 2}, {1, 3}, {3, 1}, {4},
+      {2, 3}, {3, 2}, {1, 2, 2}, {2, 2, 2}};
+  for (const auto& type : cases) {
+    EXPECT_EQ(partitions_of_type(type).size(), count_partitions_of_type(type))
+        << "type failed";
+  }
+}
+
+TEST(PartitionsOfType, TypeClassesTileTheLattice) {
+  // Summing class sizes over all compositions of n gives Bell(n).
+  for (unsigned n = 2; n <= 8; ++n) {
+    std::uint64_t total = 0;
+    // Compositions of n <-> subsets of the n-1 gaps.
+    for (std::uint32_t mask = 0; mask < (1u << (n - 1)); ++mask) {
+      std::vector<std::size_t> comp;
+      std::size_t run = 1;
+      for (unsigned g = 0; g < n - 1; ++g) {
+        if (mask & (1u << g)) {
+          comp.push_back(run);
+          run = 1;
+        } else {
+          ++run;
+        }
+      }
+      comp.push_back(run);
+      total += count_partitions_of_type(comp);
+    }
+    EXPECT_EQ(total, bell_number(n)) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace iotml::comb

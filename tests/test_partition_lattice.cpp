@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "combinatorics/counting.hpp"
+#include "combinatorics/partition_lattice.hpp"
+#include "util/error.hpp"
+
+namespace iotml::comb {
+namespace {
+
+TEST(PartitionLattice, Pi4MatchesFigure2) {
+  // Fig. 2: the lattice of partitions of a 4-element set has 15 elements in
+  // ranks 0..3 with level sizes 1, 6, 7, 1.
+  PartitionLattice lat(4);
+  EXPECT_EQ(lat.size(), 15u);
+  EXPECT_EQ(lat.rank(), 3u);
+  EXPECT_EQ(lat.level(0).size(), 1u);
+  EXPECT_EQ(lat.level(1).size(), 6u);
+  EXPECT_EQ(lat.level(2).size(), 7u);
+  EXPECT_EQ(lat.level(3).size(), 1u);
+}
+
+class LatticeParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LatticeParam, LevelSizesAreStirlingNumbers) {
+  const std::size_t n = GetParam();
+  PartitionLattice lat(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    EXPECT_EQ(lat.level(r).size(),
+              stirling2(static_cast<unsigned>(n), static_cast<unsigned>(n - r)))
+        << "rank " << r;
+  }
+}
+
+TEST_P(LatticeParam, CoverEdgesConsistent) {
+  const std::size_t n = GetParam();
+  PartitionLattice lat(n);
+  std::size_t up_edges = 0, down_edges = 0;
+  for (std::size_t id = 0; id < lat.size(); ++id) {
+    up_edges += lat.covers_above(id).size();
+    down_edges += lat.covers_below(id).size();
+    for (std::size_t above : lat.covers_above(id)) {
+      EXPECT_TRUE(lat.element(id).covered_by(lat.element(above)));
+    }
+  }
+  EXPECT_EQ(up_edges, down_edges);
+  EXPECT_EQ(up_edges, lat.edge_count());
+}
+
+TEST_P(LatticeParam, UpwardCoverCountFormula) {
+  // A partition with b blocks has exactly b(b-1)/2 upward covers.
+  const std::size_t n = GetParam();
+  PartitionLattice lat(n);
+  for (std::size_t id = 0; id < lat.size(); ++id) {
+    const std::size_t b = lat.element(id).num_blocks();
+    EXPECT_EQ(lat.covers_above(id).size(), b * (b - 1) / 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallN, LatticeParam, ::testing::Values(2u, 3u, 4u, 5u, 6u));
+
+TEST(PartitionLattice, IdRoundTrip) {
+  PartitionLattice lat(5);
+  for (std::size_t id = 0; id < lat.size(); ++id) {
+    EXPECT_EQ(lat.id_of(lat.element(id)), id);
+  }
+}
+
+TEST(PartitionLattice, IdOfForeignPartitionThrows) {
+  PartitionLattice lat(4);
+  EXPECT_THROW(lat.id_of(SetPartition::discrete(5)), InvalidArgument);
+}
+
+TEST(PartitionLattice, BoundsChecked) {
+  PartitionLattice lat(4);
+  EXPECT_THROW(lat.level(4), InvalidArgument);
+  EXPECT_THROW(lat.covers_above(lat.size()), InvalidArgument);
+  EXPECT_THROW(PartitionLattice(0), InvalidArgument);
+  EXPECT_THROW(PartitionLattice(11), InvalidArgument);
+}
+
+TEST(PartitionLattice, Pi4HasseEdgeCount) {
+  // Down-degrees of Pi_4: each partition with blocks of sizes t has
+  // sum over blocks of (2^{t-1} - 1) downward covers.
+  PartitionLattice lat(4);
+  std::size_t expected = 0;
+  for (std::size_t id = 0; id < lat.size(); ++id) {
+    for (std::size_t size : lat.element(id).type()) {
+      expected += (std::size_t{1} << (size - 1)) - 1;
+    }
+  }
+  EXPECT_EQ(lat.edge_count(), expected);
+}
+
+}  // namespace
+}  // namespace iotml::comb

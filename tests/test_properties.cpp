@@ -1,0 +1,241 @@
+// Deeper property-based tests on the library's mathematical invariants,
+// parameterized across kernels, lattice sizes, and solver inputs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "combinatorics/counting.hpp"
+#include "combinatorics/partition_lattice.hpp"
+#include "data/synthetic.hpp"
+#include "game/matrix_game.hpp"
+#include "kernels/kernel.hpp"
+#include "kernels/svm.hpp"
+#include "util/rng.hpp"
+
+namespace iotml {
+namespace {
+
+// ---- Kernel PSD property across all kernel types ---------------------------------
+
+using KernelFactory = std::function<std::unique_ptr<kernels::Kernel>()>;
+
+struct NamedKernel {
+  std::string name;
+  KernelFactory make;
+};
+
+class KernelPsd : public ::testing::TestWithParam<int> {};
+
+std::vector<NamedKernel> kernel_zoo() {
+  std::vector<NamedKernel> zoo;
+  zoo.push_back({"linear", [] { return std::make_unique<kernels::LinearKernel>(); }});
+  zoo.push_back({"poly2", [] { return std::make_unique<kernels::PolynomialKernel>(2); }});
+  zoo.push_back({"poly3", [] { return std::make_unique<kernels::PolynomialKernel>(3, 0.5, 2.0); }});
+  zoo.push_back({"rbf", [] { return std::make_unique<kernels::RbfKernel>(0.7); }});
+  zoo.push_back({"subset-rbf", [] {
+                   return std::make_unique<kernels::SubsetKernel>(
+                       std::make_unique<kernels::RbfKernel>(0.5),
+                       std::vector<std::size_t>{0, 2});
+                 }});
+  zoo.push_back({"product", [] {
+                   std::vector<std::unique_ptr<kernels::Kernel>> factors;
+                   factors.push_back(std::make_unique<kernels::RbfKernel>(0.4));
+                   factors.push_back(std::make_unique<kernels::LinearKernel>());
+                   // linear * rbf is PSD only if linear gram is PSD (it is).
+                   return std::make_unique<kernels::ProductKernel>(std::move(factors));
+                 }});
+  zoo.push_back({"sum", [] {
+                   std::vector<std::unique_ptr<kernels::Kernel>> terms;
+                   terms.push_back(std::make_unique<kernels::RbfKernel>(0.4));
+                   terms.push_back(std::make_unique<kernels::PolynomialKernel>(2));
+                   return std::make_unique<kernels::SumKernel>(
+                       std::move(terms), std::vector<double>{0.3, 0.7});
+                 }});
+  return zoo;
+}
+
+TEST_P(KernelPsd, GramIsSymmetricPsdAndCloneConsistent) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  data::Samples s = data::make_blobs(24, 3, 2.0, 1.0, rng);
+  for (const NamedKernel& nk : kernel_zoo()) {
+    auto kernel = nk.make();
+    la::Matrix g = kernels::gram(*kernel, s.x);
+    EXPECT_TRUE(g.is_symmetric(1e-9)) << nk.name;
+    la::EigenResult e = la::eigen_symmetric(g);
+    for (double v : e.values) {
+      EXPECT_GE(v, -1e-6 * std::max(1.0, std::fabs(e.values[0]))) << nk.name;
+    }
+    // Clones evaluate identically.
+    auto clone = kernel->clone();
+    for (int trial = 0; trial < 5; ++trial) {
+      const std::size_t i = rng.index(s.size()), j = rng.index(s.size());
+      EXPECT_DOUBLE_EQ((*kernel)(s.x.row_span(i), s.x.row_span(j)),
+                       (*clone)(s.x.row_span(i), s.x.row_span(j)))
+          << nk.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelPsd, ::testing::Values(1, 2, 3, 4));
+
+// ---- SMO optimality: KKT conditions --------------------------------------------
+
+class SvmKkt : public ::testing::TestWithParam<int> {};
+
+TEST_P(SvmKkt, SolutionsSatisfyKktWithinTolerance) {
+  Rng rng(static_cast<std::uint64_t>(100 + GetParam()));
+  data::Samples s = data::make_blobs(60, 2, 3.0, 1.0, rng);
+  const double c = 1.0;
+  la::Matrix g = kernels::gram(kernels::RbfKernel(0.5), s.x);
+  kernels::SvmParams params;
+  params.c = c;
+  params.tol = 1e-3;
+  params.max_passes = 20;
+  params.max_iterations = 200000;
+  kernels::SvmModel model = kernels::train_svm(g, s.y, params);
+
+  // KKT: alpha=0 -> y f(x) >= 1 - tol; 0<alpha<C -> y f(x) ~ 1; alpha=C ->
+  // y f(x) <= 1 + tol. Allow a modest violation fraction (SMO stops at
+  // approximate stationarity).
+  std::size_t violations = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    std::vector<double> k_row(s.size());
+    for (std::size_t j = 0; j < s.size(); ++j) k_row[j] = g(i, j);
+    const double f = model.decision(k_row);
+    const double y = s.y[i] == 1 ? 1.0 : -1.0;
+    const double margin = y * f;
+    const double alpha = model.alphas()[i];
+    const double tol = 0.05;
+    if (alpha < 1e-9) {
+      if (margin < 1.0 - tol) ++violations;
+    } else if (alpha > c - 1e-9) {
+      if (margin > 1.0 + tol) ++violations;
+    } else {
+      if (std::fabs(margin - 1.0) > tol) ++violations;
+    }
+  }
+  EXPECT_LE(violations, s.size() / 10);
+
+  // Dual feasibility: 0 <= alpha <= C and sum alpha_i y_i = 0.
+  double balance = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_GE(model.alphas()[i], -1e-12);
+    EXPECT_LE(model.alphas()[i], c + 1e-12);
+    balance += model.alphas()[i] * (s.y[i] == 1 ? 1.0 : -1.0);
+  }
+  EXPECT_NEAR(balance, 0.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SvmKkt, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---- Partition lattice structural invariants -------------------------------------
+
+class LatticeInvariants : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LatticeInvariants, RankFunctionGradedByCovers) {
+  comb::PartitionLattice lattice(GetParam());
+  for (std::size_t id = 0; id < lattice.size(); ++id) {
+    for (std::size_t up : lattice.covers_above(id)) {
+      EXPECT_EQ(lattice.element(up).rank(), lattice.element(id).rank() + 1);
+    }
+  }
+}
+
+TEST_P(LatticeInvariants, MeetJoinIdempotentAndMonotone) {
+  comb::PartitionLattice lattice(GetParam());
+  const auto& elements = lattice.elements();
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto& a = elements[rng.index(elements.size())];
+    const auto& b = elements[rng.index(elements.size())];
+    const auto& c = elements[rng.index(elements.size())];
+    EXPECT_EQ(a.meet(a), a);
+    EXPECT_EQ(a.join(a), a);
+    // Monotonicity: b <= c implies a^b <= a^c and avb <= avc.
+    if (b.refines(c)) {
+      EXPECT_TRUE(a.meet(b).refines(a.meet(c)));
+      EXPECT_TRUE(a.join(b).refines(a.join(c)));
+    }
+  }
+}
+
+TEST_P(LatticeInvariants, ComplementsExist) {
+  // Pi_n is a complemented lattice: every partition has a complement x with
+  // meet = bottom and join = top.
+  const std::size_t n = GetParam();
+  comb::PartitionLattice lattice(n);
+  const auto bottom = comb::SetPartition::discrete(n);
+  const auto top = comb::SetPartition::indiscrete(n);
+  for (const auto& p : lattice.elements()) {
+    bool found = false;
+    for (const auto& q : lattice.elements()) {
+      if (p.meet(q) == bottom && p.join(q) == top) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "no complement for " << p.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallN, LatticeInvariants, ::testing::Values(3u, 4u, 5u));
+
+// ---- Zero-sum solver: minimax = maximin on random games --------------------------
+
+class ZeroSumRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZeroSumRandom, DualityGapCertified) {
+  Rng rng(static_cast<std::uint64_t>(200 + GetParam()));
+  const std::size_t m = 2 + rng.index(5);
+  const std::size_t n = 2 + rng.index(5);
+  la::Matrix payoff(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) payoff(i, j) = rng.uniform(-3.0, 3.0);
+  }
+  game::ZeroSumSolution sol = game::solve_zero_sum(payoff, 1e-3);
+  EXPECT_LE(sol.gap, 1e-3 + 1e-9);
+  // Strategies are distributions.
+  double row_sum = 0.0, col_sum = 0.0;
+  for (double p : sol.row_strategy) {
+    EXPECT_GE(p, -1e-12);
+    row_sum += p;
+  }
+  for (double p : sol.col_strategy) {
+    EXPECT_GE(p, -1e-12);
+    col_sum += p;
+  }
+  EXPECT_NEAR(row_sum, 1.0, 1e-9);
+  EXPECT_NEAR(col_sum, 1.0, 1e-9);
+  // Value within the min/max entries.
+  double lo = payoff(0, 0), hi = payoff(0, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      lo = std::min(lo, payoff(i, j));
+      hi = std::max(hi, payoff(i, j));
+    }
+  }
+  EXPECT_GE(sol.value, lo - 1e-9);
+  EXPECT_LE(sol.value, hi + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZeroSumRandom,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// ---- Bell-number identity through the enumerator ---------------------------------
+
+TEST(CountingProperty, EnumeratorRanksMatchStirlingRows) {
+  for (std::size_t n = 2; n <= 8; ++n) {
+    std::vector<std::size_t> by_blocks(n + 1, 0);
+    comb::PartitionEnumerator e(n);
+    while (e.has_next()) ++by_blocks[e.next().num_blocks()];
+    const auto row = comb::stirling2_row(static_cast<unsigned>(n));
+    for (std::size_t k = 1; k <= n; ++k) {
+      EXPECT_EQ(by_blocks[k], row[k]) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iotml

@@ -1,0 +1,122 @@
+// Tests for repeated games: trigger strategies and the folk-theorem
+// patience threshold on the prisoner's-dilemma structure the pipeline game
+// shares (mutual cooperation beats mutual defection, but defection tempts).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "game/repeated.hpp"
+#include "util/error.hpp"
+
+namespace iotml::game {
+namespace {
+
+/// Action 0 = cooperate, 1 = defect. Standard PD payoffs.
+Bimatrix pd() {
+  return {la::Matrix{{3, 0}, {5, 1}}, la::Matrix{{3, 5}, {0, 1}}};
+}
+
+TEST(Repeated, FixedStrategiesReproduceStagePayoffs) {
+  Bimatrix g = pd();
+  FixedAction coop(0), defect(1);
+  RepeatedOutcome out = play_repeated(g, coop, defect, 10, 0.9);
+  // (cooperate, defect) every round: row gets 0, column gets 5.
+  EXPECT_DOUBLE_EQ(out.row_average, 0.0);
+  EXPECT_DOUBLE_EQ(out.col_average, 5.0);
+  // Discounted sum = 5 * (1 - 0.9^10) / (1 - 0.9).
+  EXPECT_NEAR(out.col_discounted, 5.0 * (1.0 - std::pow(0.9, 10)) / 0.1, 1e-9);
+}
+
+TEST(Repeated, GrimVsGrimSustainsCooperation) {
+  Bimatrix g = pd();
+  GrimTrigger row(0, 1, 0), col(0, 1, 0);
+  RepeatedOutcome out = play_repeated(g, row, col, 200, 0.95);
+  for (std::size_t a : out.row_actions) EXPECT_EQ(a, 0u);
+  for (std::size_t a : out.col_actions) EXPECT_EQ(a, 0u);
+  EXPECT_DOUBLE_EQ(out.row_average, 3.0);
+}
+
+TEST(Repeated, GrimPunishesDefectorForever) {
+  Bimatrix g = pd();
+  GrimTrigger row(0, 1, 0);
+  FixedAction defector(1);
+  RepeatedOutcome out = play_repeated(g, row, defector, 50, 0.9);
+  EXPECT_EQ(out.row_actions[0], 0u);  // starts cooperative
+  for (std::size_t t = 1; t < 50; ++t) {
+    EXPECT_EQ(out.row_actions[t], 1u);  // then punishes forever
+  }
+  // Defector's average approaches the mutual-defection payoff, not the
+  // sucker's-exploitation payoff.
+  EXPECT_NEAR(out.col_average, (5.0 + 49.0 * 1.0) / 50.0, 1e-9);
+}
+
+TEST(Repeated, TitForTatMirrorsAfterFirstRound) {
+  Bimatrix g = pd();
+  TitForTat row(0, [](std::size_t a) { return a; });
+  // Alternating opponent.
+  class Alternator final : public RepeatedStrategy {
+   public:
+    std::size_t act(const std::vector<std::size_t>& own,
+                    const std::vector<std::size_t>&) override {
+      return own.size() % 2;
+    }
+    std::string name() const override { return "alternator"; }
+  } col;
+  RepeatedOutcome out = play_repeated(g, row, col, 6, 0.9);
+  // TFT plays: 0, then mirrors 0,1,0,1,0 -> 0,0,1,0,1,0.
+  EXPECT_EQ(out.row_actions, (std::vector<std::size_t>{0, 0, 1, 0, 1, 0}));
+}
+
+TEST(Repeated, FolkTheoremThresholdPd) {
+  // PD: deviation 5, cooperate 3, punish 1 -> delta* = (5-3)/(5-1) = 0.5.
+  Bimatrix g = pd();
+  const double threshold = grim_trigger_min_discount(g, {0, 0}, {1, 1});
+  EXPECT_DOUBLE_EQ(threshold, 0.5);
+}
+
+TEST(Repeated, NoTemptationMeansZeroThreshold) {
+  // A game where the target is already the row player's best response.
+  Bimatrix g{la::Matrix{{5, 0}, {1, 0}}, la::Matrix{{5, 0}, {0, 1}}};
+  EXPECT_DOUBLE_EQ(grim_trigger_min_discount(g, {0, 0}, {1, 1}), 0.0);
+}
+
+TEST(Repeated, UselessPunishmentMeansImpossible) {
+  // Punishment payoff >= cooperation payoff: no patience level deters.
+  Bimatrix g{la::Matrix{{3, 0}, {5, 4}}, la::Matrix{{3, 5}, {0, 4}}};
+  EXPECT_DOUBLE_EQ(grim_trigger_min_discount(g, {0, 0}, {1, 1}), 1.0);
+}
+
+TEST(Repeated, PatientPlayersPreferCooperationImpatientDefect) {
+  // Empirically verify the threshold: compare the discounted value of
+  // grim-vs-grim cooperation against defecting on round 0 vs a grim
+  // opponent, for deltas on both sides of 0.5.
+  Bimatrix g = pd();
+  const std::size_t rounds = 400;  // long horizon ~ infinite for delta<=0.9
+  for (double delta : {0.3, 0.7}) {
+    GrimTrigger coop_row(0, 1, 0), col1(0, 1, 0), col2(0, 1, 0);
+    FixedAction defect_row(1);
+    const double value_coop =
+        play_repeated(g, coop_row, col1, rounds, delta).row_discounted;
+    const double value_defect =
+        play_repeated(g, defect_row, col2, rounds, delta).row_discounted;
+    if (delta < 0.5) {
+      EXPECT_GT(value_defect, value_coop) << "delta=" << delta;
+    } else {
+      EXPECT_GT(value_coop, value_defect) << "delta=" << delta;
+    }
+  }
+}
+
+TEST(Repeated, Validation) {
+  Bimatrix g = pd();
+  FixedAction a(0), b(0);
+  EXPECT_THROW(play_repeated(g, a, b, 0, 0.9), InvalidArgument);
+  EXPECT_THROW(play_repeated(g, a, b, 10, 1.0), InvalidArgument);
+  FixedAction bad(7);
+  EXPECT_THROW(play_repeated(g, bad, b, 10, 0.5), InvalidArgument);
+  EXPECT_THROW(grim_trigger_min_discount(g, {9, 0}, {1, 1}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace iotml::game

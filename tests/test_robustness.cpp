@@ -1,0 +1,261 @@
+// Robustness and failure-injection tests: degenerate inputs, extreme
+// corruption, minimum sizes, and hostile configurations across the library.
+// Nothing here should crash, hang, or silently return garbage — either a
+// sensible result or a typed iotml::Error.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/faceted_learner.hpp"
+#include "data/split.hpp"
+#include "data/synthetic.hpp"
+#include "kernels/mkl.hpp"
+#include "learners/decision_tree.hpp"
+#include "learners/naive_bayes.hpp"
+#include "pipeline/integration.hpp"
+#include "pipeline/preparation.hpp"
+#include "pipeline/sensors.hpp"
+#include "pipeline/stages.hpp"
+#include "roughsets/roughsets.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace iotml {
+namespace {
+
+// ---- Extreme sensor corruption ---------------------------------------------------
+
+TEST(Robustness, NinetyPercentDropoutStillIntegrates) {
+  Rng rng(1);
+  pipeline::SensorSpec spec{.name = "s", .period_s = 0.05, .dropout_prob = 0.9};
+  auto stream = pipeline::simulate_sensor(spec, [](double) { return 1.0; }, 60.0, rng);
+  EXPECT_GT(stream.readings.size(), 20u);  // ~120 of 1200 survive
+  auto integ = pipeline::integrate_streams({stream});
+  EXPECT_EQ(integ.records.rows(), stream.readings.size());
+  EXPECT_DOUBLE_EQ(integ.missing_rate, 0.0);  // single stream: no holes
+}
+
+TEST(Robustness, SingleReadingStream) {
+  pipeline::SensorStream one{.sensor_name = "x", .readings = {{5.0, 3.0}}};
+  auto integ = pipeline::integrate_streams({one});
+  EXPECT_EQ(integ.records.rows(), 1u);
+  EXPECT_DOUBLE_EQ(integ.records.column(1).numeric(0), 3.0);
+}
+
+TEST(Robustness, AllSensorsBiasedConsensusStillDefined) {
+  // Every sensor lies identically: trust scoring can't detect it (no
+  // reference) but must not crash and must keep all trusts equal.
+  Rng rng(2);
+  std::vector<pipeline::SensorStream> streams;
+  for (int i = 0; i < 3; ++i) {
+    pipeline::SensorSpec spec{.name = "s" + std::to_string(i), .period_s = 1.0,
+                              .noise_std = 0.1, .bias = 5.0};
+    streams.push_back(
+        pipeline::simulate_sensor(spec, [](double) { return 0.0; }, 30.0, rng));
+  }
+  auto records = pipeline::integrate_streams(streams, {.merge_tolerance_s = 0.01}).records;
+  // Requires trust.hpp only transitively; direct check via preparation:
+  // imputing a complete dataset is a no-op.
+  Rng prep(1);
+  auto report = pipeline::impute(records, pipeline::ImputeStrategy::kMean, prep);
+  EXPECT_EQ(report.cells_imputed, 0u);
+}
+
+// ---- Degenerate datasets ----------------------------------------------------------
+
+TEST(Robustness, TwoRowDatasetTrainsEverywhere) {
+  data::Dataset tiny;
+  auto& x = tiny.add_numeric_column("x");
+  x.push_numeric(0.0);
+  x.push_numeric(1.0);
+  tiny.set_labels({0, 1});
+
+  learners::DecisionTree tree(learners::DecisionTreeParams{.min_samples_leaf = 1});
+  tree.fit(tiny);
+  EXPECT_EQ(tree.predict_row(tiny, 0), 0);
+  EXPECT_EQ(tree.predict_row(tiny, 1), 1);
+
+  learners::NaiveBayes nb;
+  nb.fit(tiny);
+  EXPECT_NO_THROW(nb.predict_row(tiny, 0));
+}
+
+TEST(Robustness, ConstantFeatureDoesNotBreakAnything) {
+  Rng rng(3);
+  data::Samples s = data::make_blobs(60, 2, 4.0, 1.0, rng);
+  // Append a constant column.
+  la::Matrix with_constant(s.size(), 3);
+  for (std::size_t r = 0; r < s.size(); ++r) {
+    with_constant(r, 0) = s.x(r, 0);
+    with_constant(r, 1) = s.x(r, 1);
+    with_constant(r, 2) = 7.0;
+  }
+  s.x = with_constant;
+
+  core::FacetedLearner learner;
+  EXPECT_NO_THROW(learner.fit(s));
+  EXPECT_GE(learner.accuracy(s), 0.9);
+}
+
+TEST(Robustness, DuplicatePointsMakeGramSingularButSvmCopes) {
+  // Identical rows produce a rank-deficient Gram; SMO must still terminate.
+  data::Samples s;
+  s.x = la::Matrix(8, 1);
+  for (std::size_t i = 0; i < 8; ++i) s.x(i, 0) = i < 4 ? 0.0 : 1.0;
+  s.y = {0, 0, 0, 0, 1, 1, 1, 1};
+  kernels::KernelSvmClassifier clf(std::make_unique<kernels::LinearKernel>());
+  EXPECT_NO_THROW(clf.fit(s));
+  EXPECT_DOUBLE_EQ(clf.accuracy(s), 1.0);
+}
+
+TEST(Robustness, HeavilyImbalancedClasses) {
+  Rng rng(4);
+  data::Samples s;
+  s.x = la::Matrix(100, 2);
+  s.y.assign(100, 0);
+  for (std::size_t i = 0; i < 100; ++i) {
+    const bool minority = i >= 95;
+    s.y[i] = minority ? 1 : 0;
+    s.x(i, 0) = rng.normal(minority ? 5.0 : -5.0, 0.5);
+    s.x(i, 1) = rng.normal();
+  }
+  kernels::KernelSvmClassifier clf(std::make_unique<kernels::RbfKernel>(0.5));
+  clf.fit(s);
+  EXPECT_GE(clf.accuracy(s), 0.97);
+}
+
+TEST(Robustness, AllCellsMissingColumnSurvivesPipeline) {
+  data::Dataset ds;
+  auto& a = ds.add_numeric_column("dead");
+  auto& b = ds.add_numeric_column("alive");
+  for (int i = 0; i < 10; ++i) {
+    a.push_missing();
+    b.push_numeric(i);
+  }
+  Rng rng(5);
+  auto report = pipeline::impute(ds, pipeline::ImputeStrategy::kKnn, rng);
+  EXPECT_EQ(report.cells_unresolved, 10u);  // nothing to learn from
+  EXPECT_DOUBLE_EQ(ds.column(1).numeric(3), 3.0);  // others untouched
+  // Normalization skips the dead column without throwing.
+  EXPECT_NO_THROW(pipeline::normalize(ds, pipeline::NormalizeKind::kZScore));
+}
+
+// ---- Rough sets under pathological granularity -------------------------------------
+
+TEST(Robustness, AllRowsIdenticalSingleGranule) {
+  data::Dataset ds;
+  auto& c = ds.add_categorical_column("c");
+  for (int i = 0; i < 6; ++i) c.push_category("same");
+  ds.set_labels({0, 1, 0, 1, 0, 1});
+  rough::IndiscernibilityRelation rel(ds, {0});
+  EXPECT_EQ(rel.num_classes(), 1u);
+  EXPECT_DOUBLE_EQ(rough::dependency_degree(rel, ds.labels()), 0.0);
+  auto a = rough::approximate_label(rel, ds.labels(), 1);
+  EXPECT_TRUE(a.lower_rows.empty());
+  EXPECT_EQ(a.upper_rows.size(), 6u);
+}
+
+TEST(Robustness, AllRowsDistinctEveryGranuleSingleton) {
+  data::Dataset ds;
+  auto& c = ds.add_numeric_column("x");
+  for (int i = 0; i < 8; ++i) c.push_numeric(i);
+  ds.set_labels({0, 1, 0, 1, 0, 1, 0, 1});
+  rough::IndiscernibilityRelation rel(ds, {0});
+  EXPECT_EQ(rel.num_classes(), 8u);
+  EXPECT_DOUBLE_EQ(rough::dependency_degree(rel, ds.labels()), 1.0);  // overfit
+}
+
+// ---- Stage classes and pipelines ----------------------------------------------------
+
+TEST(Robustness, DeclarativePipelineEndToEnd) {
+  Rng rng(6);
+  data::Samples s = data::make_blobs(200, 4, 4.0, 1.0, rng);
+  data::Dataset ds = data::samples_to_dataset(s);
+  for (std::size_t f = 0; f < 4; ++f) {
+    for (std::size_t r = 0; r < ds.rows(); ++r) {
+      if (rng.bernoulli(0.2)) {
+        ds.column(f).set_missing(r);
+      } else if (rng.bernoulli(0.03)) {
+        ds.column(f).set_numeric(r, 100.0);
+      }
+    }
+  }
+
+  pipeline::Pipeline p;
+  p.add(std::make_unique<pipeline::PrivacyStage>(
+      pipeline::PrivacyParams{.epsilon = 6.0}));
+  p.add(std::make_unique<pipeline::OutlierStage>(4.0));
+  p.add(std::make_unique<pipeline::ImputeStage>(pipeline::ImputeStrategy::kKnn));
+  p.add(std::make_unique<pipeline::NormalizeStage>(pipeline::NormalizeKind::kZScore));
+  p.add(std::make_unique<pipeline::FeatureSelectStage>(2));
+
+  data::Dataset out = p.run(std::move(ds), rng);
+  EXPECT_EQ(out.num_columns(), 2u);
+  EXPECT_DOUBLE_EQ(out.missing_rate(), 0.0);
+  ASSERT_EQ(p.reports().size(), 5u);
+  EXPECT_EQ(p.reports()[0].tier, pipeline::Tier::kDevice);
+  EXPECT_GT(p.player_cost("preprocessor"), 0.0);
+  EXPECT_GT(p.player_cost("device-owner"), 0.0);
+
+  learners::DecisionTree tree;
+  tree.fit(out);
+  // Privacy noise + missing cells + outliers cost accuracy but the repaired
+  // record remains well above chance.
+  EXPECT_GE(tree.accuracy(out), 0.8);
+}
+
+TEST(Robustness, StageValidation) {
+  EXPECT_THROW(pipeline::OutlierStage(0.0), InvalidArgument);
+  EXPECT_THROW(pipeline::FeatureSelectStage(0), InvalidArgument);
+  EXPECT_THROW(pipeline::PrivacyStage({.epsilon = 0.0}), InvalidArgument);
+}
+
+// ---- Search under adversarial configuration -----------------------------------------
+
+TEST(Robustness, SearchWithTwoFeaturesOnly) {
+  Rng rng(7);
+  data::Samples s = data::make_blobs(80, 2, 4.0, 1.0, rng);
+  for (auto strategy :
+       {core::SearchStrategy::kExhaustive, core::SearchStrategy::kGreedyRefinement,
+        core::SearchStrategy::kChain, core::SearchStrategy::kSmushing}) {
+    core::FacetedLearnerConfig config;
+    config.strategy = strategy;
+    core::FacetedLearner learner(config);
+    EXPECT_NO_THROW(learner.fit(s)) << core::strategy_name(strategy);
+    EXPECT_GE(learner.accuracy(s), 0.9) << core::strategy_name(strategy);
+  }
+}
+
+TEST(Robustness, SearchWithNearlyAllLabelsOneClass) {
+  Rng rng(8);
+  data::Samples s = data::make_blobs(90, 3, 5.0, 0.8, rng);
+  // 80/10 imbalance, CV folds may get few minority rows; must not throw.
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s.y[i] == 1 && i % 3 != 0) {
+      s.y[i] = 0;
+      s.x(i, 0) = rng.normal(-2.5, 0.8);
+    }
+  }
+  core::FacetedLearner learner;
+  EXPECT_NO_THROW(learner.fit(s));
+}
+
+TEST(Robustness, ImputationIdempotent) {
+  Rng rng(9);
+  data::Dataset ds = data::make_phone_fleet(100, 0.0, rng);
+  for (std::size_t r = 0; r < ds.rows(); ++r) {
+    if (rng.bernoulli(0.3)) ds.column(0).set_missing(r);
+  }
+  Rng prep(1);
+  pipeline::impute(ds, pipeline::ImputeStrategy::kMean, prep);
+  data::Dataset once = ds;
+  auto report = pipeline::impute(ds, pipeline::ImputeStrategy::kMean, prep);
+  EXPECT_EQ(report.cells_imputed, 0u);  // second pass is a no-op
+  for (std::size_t r = 0; r < ds.rows(); ++r) {
+    EXPECT_EQ(ds.column(0).category(r), once.column(0).category(r));
+  }
+}
+
+}  // namespace
+}  // namespace iotml

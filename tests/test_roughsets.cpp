@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "roughsets/roughsets.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace iotml::rough {
+namespace {
+
+using data::Dataset;
+using data::make_phone_fleet;
+using data::make_phone_fleet_paper;
+
+TEST(Indiscernibility, PaperPhoneExampleClasses) {
+  // Paper Section III: K = {OS} yields ~K = {{1,2},{3},{4}} (1-based).
+  Dataset ds = make_phone_fleet_paper();
+  IndiscernibilityRelation rel(ds, {ds.column_index("os")});
+  ASSERT_EQ(rel.num_classes(), 3u);
+  EXPECT_EQ(rel.class_of(0), rel.class_of(1));
+  EXPECT_NE(rel.class_of(0), rel.class_of(2));
+  EXPECT_NE(rel.class_of(2), rel.class_of(3));
+}
+
+TEST(Indiscernibility, PaperPhoneExampleApproximation) {
+  // T = available phones = {2, 3} (1-based). Lower = {3}; upper = {1,2,3};
+  // the paper's granule-ratio accuracy = 0.5; element accuracy = 1/3.
+  Dataset ds = make_phone_fleet_paper();
+  IndiscernibilityRelation rel(ds, {ds.column_index("os")});
+  Approximation a = approximate_label(rel, ds.labels(), 1);
+  EXPECT_EQ(a.lower_rows, (std::vector<std::size_t>{2}));
+  EXPECT_EQ(a.upper_rows, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(a.lower_granules, 1u);
+  EXPECT_EQ(a.upper_granules, 2u);
+  EXPECT_DOUBLE_EQ(a.accuracy_granules(), 0.5);  // the paper's value
+  EXPECT_NEAR(a.accuracy_elements(), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.quality(), 0.25);
+}
+
+TEST(Indiscernibility, FullFeatureSetSeparatesPaperPhones) {
+  Dataset ds = make_phone_fleet_paper();
+  IndiscernibilityRelation rel(ds, {0, 1});
+  EXPECT_EQ(rel.num_classes(), 4u);  // all rows distinct on (battery, os)
+  Approximation a = approximate_label(rel, ds.labels(), 1);
+  EXPECT_DOUBLE_EQ(a.accuracy_elements(), 1.0);  // concept becomes crisp
+}
+
+TEST(Indiscernibility, EmptyFeatureSetIsIndiscrete) {
+  Dataset ds = make_phone_fleet_paper();
+  IndiscernibilityRelation rel(ds, {});
+  EXPECT_EQ(rel.num_classes(), 1u);
+}
+
+TEST(Indiscernibility, ToPartitionBridgesToLattice) {
+  Dataset ds = make_phone_fleet_paper();
+  IndiscernibilityRelation rel_os(ds, {ds.column_index("os")});
+  auto p_os = rel_os.to_partition();
+  EXPECT_EQ(p_os.to_string(), "12/3/4");
+
+  // Refinement: ~{battery, os} refines ~{os} (more features = finer classes).
+  IndiscernibilityRelation rel_both(ds, {0, 1});
+  EXPECT_TRUE(rel_both.to_partition().refines(p_os));
+}
+
+TEST(Indiscernibility, RefinementMonotoneProperty) {
+  // For random fleets, adding features always refines the relation.
+  Rng rng(17);
+  Dataset ds = make_phone_fleet(120, 0.1, rng);
+  IndiscernibilityRelation r1(ds, {0});
+  IndiscernibilityRelation r12(ds, {0, 1});
+  IndiscernibilityRelation r123(ds, {0, 1, 2});
+  EXPECT_TRUE(r123.to_partition().refines(r12.to_partition()));
+  EXPECT_TRUE(r12.to_partition().refines(r1.to_partition()));
+}
+
+TEST(Indiscernibility, MissingIsItsOwnValue) {
+  Dataset ds;
+  auto& c = ds.add_categorical_column("c");
+  c.push_category("a");
+  c.push_missing();
+  c.push_missing();
+  c.push_category("a");
+  IndiscernibilityRelation rel(ds, {0});
+  EXPECT_EQ(rel.num_classes(), 2u);
+  EXPECT_EQ(rel.class_of(1), rel.class_of(2));
+  EXPECT_EQ(rel.class_of(0), rel.class_of(3));
+}
+
+TEST(Indiscernibility, FeatureOutOfRangeThrows) {
+  Dataset ds = make_phone_fleet_paper();
+  EXPECT_THROW(IndiscernibilityRelation(ds, {7}), InvalidArgument);
+}
+
+TEST(Approximation, LowerSubsetOfUpperProperty) {
+  Rng rng(21);
+  Dataset ds = make_phone_fleet(200, 0.2, rng);
+  for (std::size_t f = 0; f < ds.num_columns(); ++f) {
+    IndiscernibilityRelation rel(ds, {f});
+    for (int c = 0; c < 2; ++c) {
+      Approximation a = approximate_label(rel, ds.labels(), c);
+      // lower subseteq upper, both sorted.
+      EXPECT_TRUE(std::includes(a.upper_rows.begin(), a.upper_rows.end(),
+                                a.lower_rows.begin(), a.lower_rows.end()));
+      EXPECT_LE(a.accuracy_elements(), 1.0);
+      EXPECT_GE(a.accuracy_elements(), 0.0);
+    }
+  }
+}
+
+TEST(Approximation, CrispConceptHasAccuracyOne) {
+  Dataset ds = make_phone_fleet_paper();
+  IndiscernibilityRelation rel(ds, {0, 1});
+  std::vector<bool> concept_mask{true, false, false, true};
+  Approximation a = approximate(rel, concept_mask);
+  EXPECT_DOUBLE_EQ(a.accuracy_elements(), 1.0);
+  EXPECT_DOUBLE_EQ(a.accuracy_granules(), 1.0);
+}
+
+TEST(Approximation, EmptyConceptConvention) {
+  Dataset ds = make_phone_fleet_paper();
+  IndiscernibilityRelation rel(ds, {0});
+  Approximation a = approximate(rel, std::vector<bool>(4, false));
+  EXPECT_TRUE(a.lower_rows.empty());
+  EXPECT_TRUE(a.upper_rows.empty());
+  EXPECT_DOUBLE_EQ(a.accuracy_elements(), 1.0);
+}
+
+TEST(Approximation, MaskSizeMismatchThrows) {
+  Dataset ds = make_phone_fleet_paper();
+  IndiscernibilityRelation rel(ds, {0});
+  EXPECT_THROW(approximate(rel, std::vector<bool>(3)), InvalidArgument);
+}
+
+TEST(Dependency, FullFeaturesDetermineNoiselessLabels) {
+  Rng rng(30);
+  Dataset ds = make_phone_fleet(300, 0.0, rng);
+  IndiscernibilityRelation rel(ds, {0, 1, 2});
+  EXPECT_DOUBLE_EQ(dependency_degree(rel, ds.labels()), 1.0);
+}
+
+TEST(Dependency, NoiseReducesDependency) {
+  Rng rng(31);
+  Dataset clean = make_phone_fleet(400, 0.0, rng);
+  Dataset noisy = make_phone_fleet(400, 0.3, rng);
+  IndiscernibilityRelation rc(clean, {0, 1, 2});
+  IndiscernibilityRelation rn(noisy, {0, 1, 2});
+  EXPECT_GT(dependency_degree(rc, clean.labels()),
+            dependency_degree(rn, noisy.labels()));
+}
+
+TEST(Entropy, DiscretePartitionMaximal) {
+  Dataset ds = make_phone_fleet_paper();
+  IndiscernibilityRelation fine(ds, {0, 1});   // 4 singleton granules
+  IndiscernibilityRelation coarse(ds, {});     // 1 granule
+  EXPECT_NEAR(partition_entropy(fine), std::log(4.0), 1e-12);
+  EXPECT_NEAR(partition_entropy(coarse), 0.0, 1e-12);
+}
+
+TEST(Entropy, ConditionalEntropyZeroWhenDetermined) {
+  Rng rng(32);
+  Dataset ds = make_phone_fleet(200, 0.0, rng);
+  IndiscernibilityRelation rel(ds, {0, 1, 2});
+  EXPECT_NEAR(conditional_entropy(rel, ds.labels()), 0.0, 1e-12);
+}
+
+TEST(Entropy, ConditionalEntropyDecreasesWithMoreFeatures) {
+  Rng rng(33);
+  Dataset ds = make_phone_fleet(400, 0.1, rng);
+  IndiscernibilityRelation r1(ds, {0});
+  IndiscernibilityRelation r123(ds, {0, 1, 2});
+  EXPECT_LE(conditional_entropy(r123, ds.labels()),
+            conditional_entropy(r1, ds.labels()) + 1e-12);
+}
+
+TEST(SelectK, FindsDeterminingSubset) {
+  Rng rng(34);
+  Dataset ds = make_phone_fleet(300, 0.0, rng);
+  KSelection sel = select_k(ds, 3, KScore::kDependency);
+  EXPECT_DOUBLE_EQ(sel.score, 1.0);
+  EXPECT_EQ(sel.features.size(), 3u);  // all three needed for gamma = 1
+}
+
+TEST(SelectK, PrefersSmallerSubsetOnTies) {
+  // Duplicate column: {0} and {0, 1} score identically; {0} must win.
+  Dataset ds;
+  auto& a = ds.add_categorical_column("a");
+  auto& b = ds.add_categorical_column("b");
+  for (int i = 0; i < 8; ++i) {
+    a.push_category(i % 2 == 0 ? "u" : "v");
+    b.push_category(i % 2 == 0 ? "u" : "v");
+  }
+  ds.set_labels({0, 1, 0, 1, 0, 1, 0, 1});
+  KSelection sel = select_k(ds, 2, KScore::kDependency);
+  EXPECT_EQ(sel.features.size(), 1u);
+  EXPECT_DOUBLE_EQ(sel.score, 1.0);
+}
+
+TEST(SelectK, CountsEvaluations) {
+  Dataset ds = make_phone_fleet_paper();
+  KSelection sel = select_k(ds, 2, KScore::kMeanAccuracy);
+  // Subsets of size 1 and 2 out of 2 features: 2 + 1 = 3.
+  EXPECT_EQ(sel.evaluated_subsets, 3u);
+}
+
+TEST(SelectK, EntropyAndDependencyAgreeOnNoiseless) {
+  Rng rng(35);
+  Dataset ds = make_phone_fleet(300, 0.0, rng);
+  KSelection by_gamma = select_k(ds, 3, KScore::kDependency);
+  KSelection by_entropy = select_k(ds, 3, KScore::kNegConditionalEntropy);
+  EXPECT_EQ(by_gamma.features, by_entropy.features);
+}
+
+TEST(SelectK, RequiresLabels) {
+  Dataset ds;
+  ds.add_categorical_column("a").push_category("x");
+  EXPECT_THROW(select_k(ds, 1, KScore::kDependency), InvalidArgument);
+}
+
+TEST(Reducts, DropsRedundantDuplicateColumn) {
+  Dataset ds;
+  auto& a = ds.add_categorical_column("a");
+  auto& b = ds.add_categorical_column("b");
+  auto& c = ds.add_categorical_column("c");
+  const char* av[] = {"x", "x", "y", "y"};
+  const char* cv[] = {"p", "q", "p", "q"};
+  for (int i = 0; i < 4; ++i) {
+    a.push_category(av[i]);
+    b.push_category(av[i]);  // duplicate of a
+    c.push_category(cv[i]);
+  }
+  ds.set_labels({0, 0, 1, 1});  // determined by a (equivalently b)
+  auto reducts = find_reducts(ds);
+  // Minimal determining subsets: {a} and {b}.
+  ASSERT_EQ(reducts.size(), 2u);
+  EXPECT_EQ(reducts[0], (std::vector<std::size_t>{0}));
+  EXPECT_EQ(reducts[1], (std::vector<std::size_t>{1}));
+}
+
+TEST(Reducts, FullSetWhenAllFeaturesNeeded) {
+  Rng rng(36);
+  Dataset ds = make_phone_fleet(400, 0.0, rng);
+  auto reducts = find_reducts(ds);
+  ASSERT_EQ(reducts.size(), 1u);
+  EXPECT_EQ(reducts[0], (std::vector<std::size_t>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace iotml::rough

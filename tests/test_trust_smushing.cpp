@@ -1,0 +1,199 @@
+// Tests for sensor trust scoring and the smushing search strategy.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "combinatorics/counting.hpp"
+#include "core/faceted_learner.hpp"
+#include "data/metrics.hpp"
+#include "data/split.hpp"
+#include "data/synthetic.hpp"
+#include "pipeline/integration.hpp"
+#include "pipeline/sensors.hpp"
+#include "pipeline/trust.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace iotml {
+namespace {
+
+// ---- Sensor trust -----------------------------------------------------------------
+
+/// Integrated record from 4 sensors on one signal; sensor 2 is biased and
+/// sensor 3 is extra noisy.
+data::Dataset corrupted_group(Rng& rng, double bias, double extra_noise) {
+  using namespace pipeline;
+  const Signal truth = sine_signal(10.0, 3.0, 30.0);
+  std::vector<SensorStream> streams;
+  for (int i = 0; i < 4; ++i) {
+    SensorSpec spec;
+    spec.name = "s" + std::to_string(i);
+    spec.period_s = 0.5;
+    spec.noise_std = 0.2 + (i == 3 ? extra_noise : 0.0);
+    spec.bias = i == 2 ? bias : 0.0;
+    streams.push_back(simulate_sensor(spec, truth, 60.0, rng));
+  }
+  return integrate_streams(streams, {.merge_tolerance_s = 0.01}).records;
+}
+
+TEST(SensorTrust, DetectsBiasedSensor) {
+  Rng rng(1);
+  data::Dataset records = corrupted_group(rng, 2.0, 0.0);
+  auto scores = pipeline::score_sensor_group(records, {1, 2, 3, 4});
+  ASSERT_EQ(scores.size(), 4u);
+  EXPECT_NEAR(scores[2].bias_estimate, 2.0, 0.3);     // the liar
+  EXPECT_NEAR(scores[0].bias_estimate, 0.0, 0.3);     // honest sensors
+  EXPECT_LT(scores[2].trust, scores[0].trust - 0.2);  // punished
+}
+
+TEST(SensorTrust, DetectsNoisySensor) {
+  Rng rng(2);
+  data::Dataset records = corrupted_group(rng, 0.0, 1.5);
+  auto scores = pipeline::score_sensor_group(records, {1, 2, 3, 4});
+  EXPECT_GT(scores[3].noise_estimate, 3.0 * scores[0].noise_estimate);
+  EXPECT_LT(scores[3].trust, scores[0].trust);
+}
+
+TEST(SensorTrust, AllHonestSensorsTrustedEqually) {
+  Rng rng(3);
+  data::Dataset records = corrupted_group(rng, 0.0, 0.0);
+  auto scores = pipeline::score_sensor_group(records, {1, 2, 3, 4});
+  for (const auto& s : scores) {
+    EXPECT_GT(s.trust, 0.6);
+    EXPECT_NEAR(s.bias_estimate, 0.0, 0.2);
+  }
+}
+
+TEST(SensorTrust, ConsensusBeatsNaiveMeanUnderBias) {
+  Rng rng(4);
+  data::Dataset records = corrupted_group(rng, 3.0, 0.0);
+  auto scores = pipeline::score_sensor_group(records, {1, 2, 3, 4});
+  auto consensus = pipeline::trusted_consensus(records, {1, 2, 3, 4}, scores);
+
+  const pipeline::Signal truth = pipeline::sine_signal(10.0, 3.0, 30.0);
+  std::vector<double> truth_vals, fused_vals, naive_vals;
+  for (std::size_t r = 0; r < records.rows(); ++r) {
+    if (std::isnan(consensus[r])) continue;
+    const double t = records.column(0).numeric(r);
+    truth_vals.push_back(truth(t));
+    fused_vals.push_back(consensus[r]);
+    double mean = 0.0;
+    int count = 0;
+    for (std::size_t c = 1; c <= 4; ++c) {
+      if (!records.column(c).is_missing(r)) {
+        mean += records.column(c).numeric(r);
+        ++count;
+      }
+    }
+    naive_vals.push_back(mean / count);
+  }
+  EXPECT_LT(data::rmse(truth_vals, fused_vals),
+            0.5 * data::rmse(truth_vals, naive_vals));
+}
+
+TEST(SensorTrust, Validation) {
+  Rng rng(5);
+  data::Dataset records = corrupted_group(rng, 0.0, 0.0);
+  EXPECT_THROW(pipeline::score_sensor_group(records, {1}), InvalidArgument);
+  EXPECT_THROW(pipeline::score_sensor_group(records, {1, 99}), InvalidArgument);
+  auto scores = pipeline::score_sensor_group(records, {1, 2});
+  EXPECT_THROW(pipeline::trusted_consensus(records, {1, 2, 3}, scores),
+               InvalidArgument);
+}
+
+// ---- Smushing search ----------------------------------------------------------------
+
+TEST(SmushingSearch, MergesCorrelatedFeaturesFirst) {
+  // Features 0-1 duplicate each other (view 1) and 2-3 duplicate each other
+  // (view 2): the first smush must join within a view, not across.
+  Rng rng(6);
+  const std::size_t n = 160;
+  data::Samples s;
+  s.x = la::Matrix(n, 4);
+  s.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % 2);
+    s.y[i] = label;
+    const double u = rng.normal(label == 1 ? 1.0 : -1.0, 1.0);
+    const double v = rng.normal(label == 1 ? 1.0 : -1.0, 1.0);
+    s.x(i, 0) = u;
+    s.x(i, 1) = u + rng.normal(0.0, 0.05);
+    s.x(i, 2) = v;
+    s.x(i, 3) = v + rng.normal(0.0, 0.05);
+  }
+  core::SearchOptions options;
+  options.cv_folds = 3;
+  options.patience = 10;  // walk the whole chain
+  core::PartitionEvaluator evaluator(s, options);
+  core::SearchResult result =
+      core::smushing_search(evaluator, core::make_cone(4, {}));
+
+  // Trajectory: discrete -> first merge. The first merge must be {0,1} or
+  // {2,3}.
+  ASSERT_GE(result.trajectory.size(), 2u);
+  const auto& second = result.trajectory[1].partition;
+  EXPECT_EQ(second.num_blocks(), 3u);
+  EXPECT_TRUE(second.together(0, 1) || second.together(2, 3));
+  EXPECT_FALSE(second.together(0, 2));
+  EXPECT_FALSE(second.together(1, 3));
+}
+
+TEST(SmushingSearch, LinearEvaluationCount) {
+  Rng rng(7);
+  data::Samples s = data::make_blobs(80, 7, 3.0, 1.0, rng);
+  core::SearchOptions options;
+  options.cv_folds = 3;
+  options.patience = 100;
+  core::PartitionEvaluator evaluator(s, options);
+  core::SearchResult result =
+      core::smushing_search(evaluator, core::make_cone(7, {}));
+  EXPECT_EQ(result.partitions_evaluated, 7u);  // one per lattice level
+  EXPECT_EQ(result.trajectory.front().partition.num_blocks(), 7u);  // discrete
+  EXPECT_EQ(result.trajectory.back().partition.num_blocks(), 1u);   // smushed to top
+}
+
+TEST(SmushingSearch, RespectsConeKBlock) {
+  Rng rng(8);
+  data::Samples s = data::make_blobs(60, 5, 3.0, 1.0, rng);
+  core::PartitionEvaluator evaluator(s, core::SearchOptions{.cv_folds = 3});
+  core::SearchResult result =
+      core::smushing_search(evaluator, core::make_cone(5, {1, 3}));
+  // K = {1, 3} stays one block in every trajectory element.
+  for (const auto& step : result.trajectory) {
+    EXPECT_TRUE(step.partition.together(1, 3));
+  }
+}
+
+TEST(SmushingSearch, FacetedLearnerIntegration) {
+  Rng rng(9);
+  data::FacetedData fd = data::make_faceted_gaussian(
+      300, {{2, 3.0, 1.0, true}, {2, 0.0, 4.0, false}}, rng);
+  Rng split_rng(1);
+  auto split = data::train_test_split(fd.samples.size(), 0.3, split_rng);
+
+  core::FacetedLearnerConfig config;
+  config.strategy = core::SearchStrategy::kSmushing;
+  core::FacetedLearner learner(config);
+  learner.fit(data::select_rows(fd.samples, split.train));
+  EXPECT_GE(learner.accuracy(data::select_rows(fd.samples, split.test)), 0.85);
+  EXPECT_EQ(core::strategy_name(core::SearchStrategy::kSmushing), "smushing");
+}
+
+TEST(SmushingSearch, ComparableToExhaustiveOnSmallProblems) {
+  Rng rng(10);
+  data::FacetedData fd = data::make_faceted_gaussian(
+      120, {{2, 3.0, 1.0, true}, {3, 0.0, 3.0, false}}, rng);
+
+  core::PartitionEvaluator ev1(fd.samples, core::SearchOptions{.cv_folds = 3});
+  auto exhaustive = core::exhaustive_cone_search(ev1, core::make_cone(5, {}));
+  core::PartitionEvaluator ev2(fd.samples, core::SearchOptions{.cv_folds = 3});
+  auto smushed = core::smushing_search(ev2, core::make_cone(5, {}));
+
+  EXPECT_EQ(exhaustive.partitions_evaluated, comb::bell_number(5));  // 52
+  EXPECT_LE(smushed.partitions_evaluated, 5u);
+  EXPECT_GE(smushed.best_score, exhaustive.best_score - 0.1);
+}
+
+}  // namespace
+}  // namespace iotml
