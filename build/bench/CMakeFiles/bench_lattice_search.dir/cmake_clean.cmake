@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lattice_search.dir/bench_lattice_search.cpp.o"
+  "CMakeFiles/bench_lattice_search.dir/bench_lattice_search.cpp.o.d"
+  "bench_lattice_search"
+  "bench_lattice_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lattice_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

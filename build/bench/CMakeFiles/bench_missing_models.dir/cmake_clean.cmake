@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_missing_models.dir/bench_missing_models.cpp.o"
+  "CMakeFiles/bench_missing_models.dir/bench_missing_models.cpp.o.d"
+  "bench_missing_models"
+  "bench_missing_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_missing_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

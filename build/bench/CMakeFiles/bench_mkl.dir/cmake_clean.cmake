@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mkl.dir/bench_mkl.cpp.o"
+  "CMakeFiles/bench_mkl.dir/bench_mkl.cpp.o.d"
+  "bench_mkl"
+  "bench_mkl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mkl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

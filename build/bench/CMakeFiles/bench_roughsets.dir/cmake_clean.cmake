@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_roughsets.dir/bench_roughsets.cpp.o"
+  "CMakeFiles/bench_roughsets.dir/bench_roughsets.cpp.o.d"
+  "bench_roughsets"
+  "bench_roughsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_roughsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stirling.dir/bench_stirling.cpp.o"
+  "CMakeFiles/bench_stirling.dir/bench_stirling.cpp.o.d"
+  "bench_stirling"
+  "bench_stirling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stirling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

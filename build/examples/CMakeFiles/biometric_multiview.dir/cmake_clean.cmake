@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biometric_multiview.dir/biometric_multiview.cpp.o"
+  "CMakeFiles/biometric_multiview.dir/biometric_multiview.cpp.o.d"
+  "biometric_multiview"
+  "biometric_multiview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biometric_multiview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phone_fleet.dir/phone_fleet.cpp.o"
+  "CMakeFiles/phone_fleet.dir/phone_fleet.cpp.o.d"
+  "phone_fleet"
+  "phone_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phone_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

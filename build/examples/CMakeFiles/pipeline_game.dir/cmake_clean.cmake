@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_game.dir/pipeline_game.cpp.o"
+  "CMakeFiles/pipeline_game.dir/pipeline_game.cpp.o.d"
+  "pipeline_game"
+  "pipeline_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_field.dir/smart_field.cpp.o"
+  "CMakeFiles/smart_field.dir/smart_field.cpp.o.d"
+  "smart_field"
+  "smart_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

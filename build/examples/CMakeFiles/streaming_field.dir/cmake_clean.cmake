@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_field.dir/streaming_field.cpp.o"
+  "CMakeFiles/streaming_field.dir/streaming_field.cpp.o.d"
+  "streaming_field"
+  "streaming_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adversarial/gan.cpp" "src/CMakeFiles/iotml_adversarial.dir/adversarial/gan.cpp.o" "gcc" "src/CMakeFiles/iotml_adversarial.dir/adversarial/gan.cpp.o.d"
+  "/root/repo/src/adversarial/perturbation.cpp" "src/CMakeFiles/iotml_adversarial.dir/adversarial/perturbation.cpp.o" "gcc" "src/CMakeFiles/iotml_adversarial.dir/adversarial/perturbation.cpp.o.d"
+  "/root/repo/src/adversarial/training.cpp" "src/CMakeFiles/iotml_adversarial.dir/adversarial/training.cpp.o" "gcc" "src/CMakeFiles/iotml_adversarial.dir/adversarial/training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iotml_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iotml_learners.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iotml_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iotml_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iotml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

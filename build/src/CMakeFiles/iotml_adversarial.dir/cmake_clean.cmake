@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotml_adversarial.dir/adversarial/gan.cpp.o"
+  "CMakeFiles/iotml_adversarial.dir/adversarial/gan.cpp.o.d"
+  "CMakeFiles/iotml_adversarial.dir/adversarial/perturbation.cpp.o"
+  "CMakeFiles/iotml_adversarial.dir/adversarial/perturbation.cpp.o.d"
+  "CMakeFiles/iotml_adversarial.dir/adversarial/training.cpp.o"
+  "CMakeFiles/iotml_adversarial.dir/adversarial/training.cpp.o.d"
+  "libiotml_adversarial.a"
+  "libiotml_adversarial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotml_adversarial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/combinatorics/boolean_lattice.cpp" "src/CMakeFiles/iotml_combinatorics.dir/combinatorics/boolean_lattice.cpp.o" "gcc" "src/CMakeFiles/iotml_combinatorics.dir/combinatorics/boolean_lattice.cpp.o.d"
+  "/root/repo/src/combinatorics/counting.cpp" "src/CMakeFiles/iotml_combinatorics.dir/combinatorics/counting.cpp.o" "gcc" "src/CMakeFiles/iotml_combinatorics.dir/combinatorics/counting.cpp.o.d"
+  "/root/repo/src/combinatorics/ldd.cpp" "src/CMakeFiles/iotml_combinatorics.dir/combinatorics/ldd.cpp.o" "gcc" "src/CMakeFiles/iotml_combinatorics.dir/combinatorics/ldd.cpp.o.d"
+  "/root/repo/src/combinatorics/partition.cpp" "src/CMakeFiles/iotml_combinatorics.dir/combinatorics/partition.cpp.o" "gcc" "src/CMakeFiles/iotml_combinatorics.dir/combinatorics/partition.cpp.o.d"
+  "/root/repo/src/combinatorics/partition_lattice.cpp" "src/CMakeFiles/iotml_combinatorics.dir/combinatorics/partition_lattice.cpp.o" "gcc" "src/CMakeFiles/iotml_combinatorics.dir/combinatorics/partition_lattice.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iotml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

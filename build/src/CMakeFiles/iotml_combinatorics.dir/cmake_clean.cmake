@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotml_combinatorics.dir/combinatorics/boolean_lattice.cpp.o"
+  "CMakeFiles/iotml_combinatorics.dir/combinatorics/boolean_lattice.cpp.o.d"
+  "CMakeFiles/iotml_combinatorics.dir/combinatorics/counting.cpp.o"
+  "CMakeFiles/iotml_combinatorics.dir/combinatorics/counting.cpp.o.d"
+  "CMakeFiles/iotml_combinatorics.dir/combinatorics/ldd.cpp.o"
+  "CMakeFiles/iotml_combinatorics.dir/combinatorics/ldd.cpp.o.d"
+  "CMakeFiles/iotml_combinatorics.dir/combinatorics/partition.cpp.o"
+  "CMakeFiles/iotml_combinatorics.dir/combinatorics/partition.cpp.o.d"
+  "CMakeFiles/iotml_combinatorics.dir/combinatorics/partition_lattice.cpp.o"
+  "CMakeFiles/iotml_combinatorics.dir/combinatorics/partition_lattice.cpp.o.d"
+  "libiotml_combinatorics.a"
+  "libiotml_combinatorics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotml_combinatorics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

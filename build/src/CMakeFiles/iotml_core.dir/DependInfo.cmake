@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/faceted_learner.cpp" "src/CMakeFiles/iotml_core.dir/core/faceted_learner.cpp.o" "gcc" "src/CMakeFiles/iotml_core.dir/core/faceted_learner.cpp.o.d"
+  "/root/repo/src/core/lattice_search.cpp" "src/CMakeFiles/iotml_core.dir/core/lattice_search.cpp.o" "gcc" "src/CMakeFiles/iotml_core.dir/core/lattice_search.cpp.o.d"
+  "/root/repo/src/core/partition_kernels.cpp" "src/CMakeFiles/iotml_core.dir/core/partition_kernels.cpp.o" "gcc" "src/CMakeFiles/iotml_core.dir/core/partition_kernels.cpp.o.d"
+  "/root/repo/src/core/pipeline_game.cpp" "src/CMakeFiles/iotml_core.dir/core/pipeline_game.cpp.o" "gcc" "src/CMakeFiles/iotml_core.dir/core/pipeline_game.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iotml_combinatorics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iotml_roughsets.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iotml_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iotml_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iotml_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iotml_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iotml_multiview.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iotml_learners.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iotml_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iotml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

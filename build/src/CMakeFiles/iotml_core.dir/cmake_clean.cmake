@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotml_core.dir/core/faceted_learner.cpp.o"
+  "CMakeFiles/iotml_core.dir/core/faceted_learner.cpp.o.d"
+  "CMakeFiles/iotml_core.dir/core/lattice_search.cpp.o"
+  "CMakeFiles/iotml_core.dir/core/lattice_search.cpp.o.d"
+  "CMakeFiles/iotml_core.dir/core/partition_kernels.cpp.o"
+  "CMakeFiles/iotml_core.dir/core/partition_kernels.cpp.o.d"
+  "CMakeFiles/iotml_core.dir/core/pipeline_game.cpp.o"
+  "CMakeFiles/iotml_core.dir/core/pipeline_game.cpp.o.d"
+  "libiotml_core.a"
+  "libiotml_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotml_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

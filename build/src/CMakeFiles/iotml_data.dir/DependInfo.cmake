@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cpp" "src/CMakeFiles/iotml_data.dir/data/csv.cpp.o" "gcc" "src/CMakeFiles/iotml_data.dir/data/csv.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/iotml_data.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/iotml_data.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/encoding.cpp" "src/CMakeFiles/iotml_data.dir/data/encoding.cpp.o" "gcc" "src/CMakeFiles/iotml_data.dir/data/encoding.cpp.o.d"
+  "/root/repo/src/data/metrics.cpp" "src/CMakeFiles/iotml_data.dir/data/metrics.cpp.o" "gcc" "src/CMakeFiles/iotml_data.dir/data/metrics.cpp.o.d"
+  "/root/repo/src/data/split.cpp" "src/CMakeFiles/iotml_data.dir/data/split.cpp.o" "gcc" "src/CMakeFiles/iotml_data.dir/data/split.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/CMakeFiles/iotml_data.dir/data/synthetic.cpp.o" "gcc" "src/CMakeFiles/iotml_data.dir/data/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iotml_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iotml_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

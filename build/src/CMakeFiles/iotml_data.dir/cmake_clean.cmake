@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotml_data.dir/data/csv.cpp.o"
+  "CMakeFiles/iotml_data.dir/data/csv.cpp.o.d"
+  "CMakeFiles/iotml_data.dir/data/dataset.cpp.o"
+  "CMakeFiles/iotml_data.dir/data/dataset.cpp.o.d"
+  "CMakeFiles/iotml_data.dir/data/encoding.cpp.o"
+  "CMakeFiles/iotml_data.dir/data/encoding.cpp.o.d"
+  "CMakeFiles/iotml_data.dir/data/metrics.cpp.o"
+  "CMakeFiles/iotml_data.dir/data/metrics.cpp.o.d"
+  "CMakeFiles/iotml_data.dir/data/split.cpp.o"
+  "CMakeFiles/iotml_data.dir/data/split.cpp.o.d"
+  "CMakeFiles/iotml_data.dir/data/synthetic.cpp.o"
+  "CMakeFiles/iotml_data.dir/data/synthetic.cpp.o.d"
+  "libiotml_data.a"
+  "libiotml_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotml_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiotml_data.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/game/bimatrix.cpp" "src/CMakeFiles/iotml_game.dir/game/bimatrix.cpp.o" "gcc" "src/CMakeFiles/iotml_game.dir/game/bimatrix.cpp.o.d"
+  "/root/repo/src/game/matrix_game.cpp" "src/CMakeFiles/iotml_game.dir/game/matrix_game.cpp.o" "gcc" "src/CMakeFiles/iotml_game.dir/game/matrix_game.cpp.o.d"
+  "/root/repo/src/game/pareto.cpp" "src/CMakeFiles/iotml_game.dir/game/pareto.cpp.o" "gcc" "src/CMakeFiles/iotml_game.dir/game/pareto.cpp.o.d"
+  "/root/repo/src/game/repeated.cpp" "src/CMakeFiles/iotml_game.dir/game/repeated.cpp.o" "gcc" "src/CMakeFiles/iotml_game.dir/game/repeated.cpp.o.d"
+  "/root/repo/src/game/sequential.cpp" "src/CMakeFiles/iotml_game.dir/game/sequential.cpp.o" "gcc" "src/CMakeFiles/iotml_game.dir/game/sequential.cpp.o.d"
+  "/root/repo/src/game/stackelberg.cpp" "src/CMakeFiles/iotml_game.dir/game/stackelberg.cpp.o" "gcc" "src/CMakeFiles/iotml_game.dir/game/stackelberg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iotml_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iotml_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotml_game.dir/game/bimatrix.cpp.o"
+  "CMakeFiles/iotml_game.dir/game/bimatrix.cpp.o.d"
+  "CMakeFiles/iotml_game.dir/game/matrix_game.cpp.o"
+  "CMakeFiles/iotml_game.dir/game/matrix_game.cpp.o.d"
+  "CMakeFiles/iotml_game.dir/game/pareto.cpp.o"
+  "CMakeFiles/iotml_game.dir/game/pareto.cpp.o.d"
+  "CMakeFiles/iotml_game.dir/game/repeated.cpp.o"
+  "CMakeFiles/iotml_game.dir/game/repeated.cpp.o.d"
+  "CMakeFiles/iotml_game.dir/game/sequential.cpp.o"
+  "CMakeFiles/iotml_game.dir/game/sequential.cpp.o.d"
+  "CMakeFiles/iotml_game.dir/game/stackelberg.cpp.o"
+  "CMakeFiles/iotml_game.dir/game/stackelberg.cpp.o.d"
+  "libiotml_game.a"
+  "libiotml_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotml_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/kernel.cpp" "src/CMakeFiles/iotml_kernels.dir/kernels/kernel.cpp.o" "gcc" "src/CMakeFiles/iotml_kernels.dir/kernels/kernel.cpp.o.d"
+  "/root/repo/src/kernels/krr.cpp" "src/CMakeFiles/iotml_kernels.dir/kernels/krr.cpp.o" "gcc" "src/CMakeFiles/iotml_kernels.dir/kernels/krr.cpp.o.d"
+  "/root/repo/src/kernels/mkl.cpp" "src/CMakeFiles/iotml_kernels.dir/kernels/mkl.cpp.o" "gcc" "src/CMakeFiles/iotml_kernels.dir/kernels/mkl.cpp.o.d"
+  "/root/repo/src/kernels/multiclass.cpp" "src/CMakeFiles/iotml_kernels.dir/kernels/multiclass.cpp.o" "gcc" "src/CMakeFiles/iotml_kernels.dir/kernels/multiclass.cpp.o.d"
+  "/root/repo/src/kernels/svm.cpp" "src/CMakeFiles/iotml_kernels.dir/kernels/svm.cpp.o" "gcc" "src/CMakeFiles/iotml_kernels.dir/kernels/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iotml_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iotml_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iotml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotml_kernels.dir/kernels/kernel.cpp.o"
+  "CMakeFiles/iotml_kernels.dir/kernels/kernel.cpp.o.d"
+  "CMakeFiles/iotml_kernels.dir/kernels/krr.cpp.o"
+  "CMakeFiles/iotml_kernels.dir/kernels/krr.cpp.o.d"
+  "CMakeFiles/iotml_kernels.dir/kernels/mkl.cpp.o"
+  "CMakeFiles/iotml_kernels.dir/kernels/mkl.cpp.o.d"
+  "CMakeFiles/iotml_kernels.dir/kernels/multiclass.cpp.o"
+  "CMakeFiles/iotml_kernels.dir/kernels/multiclass.cpp.o.d"
+  "CMakeFiles/iotml_kernels.dir/kernels/svm.cpp.o"
+  "CMakeFiles/iotml_kernels.dir/kernels/svm.cpp.o.d"
+  "libiotml_kernels.a"
+  "libiotml_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotml_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

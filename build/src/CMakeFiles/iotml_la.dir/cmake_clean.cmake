@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotml_la.dir/la/matrix.cpp.o"
+  "CMakeFiles/iotml_la.dir/la/matrix.cpp.o.d"
+  "libiotml_la.a"
+  "libiotml_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotml_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/learners/classifier.cpp" "src/CMakeFiles/iotml_learners.dir/learners/classifier.cpp.o" "gcc" "src/CMakeFiles/iotml_learners.dir/learners/classifier.cpp.o.d"
+  "/root/repo/src/learners/decision_tree.cpp" "src/CMakeFiles/iotml_learners.dir/learners/decision_tree.cpp.o" "gcc" "src/CMakeFiles/iotml_learners.dir/learners/decision_tree.cpp.o.d"
+  "/root/repo/src/learners/knn.cpp" "src/CMakeFiles/iotml_learners.dir/learners/knn.cpp.o" "gcc" "src/CMakeFiles/iotml_learners.dir/learners/knn.cpp.o.d"
+  "/root/repo/src/learners/logistic.cpp" "src/CMakeFiles/iotml_learners.dir/learners/logistic.cpp.o" "gcc" "src/CMakeFiles/iotml_learners.dir/learners/logistic.cpp.o.d"
+  "/root/repo/src/learners/naive_bayes.cpp" "src/CMakeFiles/iotml_learners.dir/learners/naive_bayes.cpp.o" "gcc" "src/CMakeFiles/iotml_learners.dir/learners/naive_bayes.cpp.o.d"
+  "/root/repo/src/learners/online.cpp" "src/CMakeFiles/iotml_learners.dir/learners/online.cpp.o" "gcc" "src/CMakeFiles/iotml_learners.dir/learners/online.cpp.o.d"
+  "/root/repo/src/learners/pattern_ensemble.cpp" "src/CMakeFiles/iotml_learners.dir/learners/pattern_ensemble.cpp.o" "gcc" "src/CMakeFiles/iotml_learners.dir/learners/pattern_ensemble.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iotml_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iotml_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iotml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotml_learners.dir/learners/classifier.cpp.o"
+  "CMakeFiles/iotml_learners.dir/learners/classifier.cpp.o.d"
+  "CMakeFiles/iotml_learners.dir/learners/decision_tree.cpp.o"
+  "CMakeFiles/iotml_learners.dir/learners/decision_tree.cpp.o.d"
+  "CMakeFiles/iotml_learners.dir/learners/knn.cpp.o"
+  "CMakeFiles/iotml_learners.dir/learners/knn.cpp.o.d"
+  "CMakeFiles/iotml_learners.dir/learners/logistic.cpp.o"
+  "CMakeFiles/iotml_learners.dir/learners/logistic.cpp.o.d"
+  "CMakeFiles/iotml_learners.dir/learners/naive_bayes.cpp.o"
+  "CMakeFiles/iotml_learners.dir/learners/naive_bayes.cpp.o.d"
+  "CMakeFiles/iotml_learners.dir/learners/online.cpp.o"
+  "CMakeFiles/iotml_learners.dir/learners/online.cpp.o.d"
+  "CMakeFiles/iotml_learners.dir/learners/pattern_ensemble.cpp.o"
+  "CMakeFiles/iotml_learners.dir/learners/pattern_ensemble.cpp.o.d"
+  "libiotml_learners.a"
+  "libiotml_learners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotml_learners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multiview/cca.cpp" "src/CMakeFiles/iotml_multiview.dir/multiview/cca.cpp.o" "gcc" "src/CMakeFiles/iotml_multiview.dir/multiview/cca.cpp.o.d"
+  "/root/repo/src/multiview/cotraining.cpp" "src/CMakeFiles/iotml_multiview.dir/multiview/cotraining.cpp.o" "gcc" "src/CMakeFiles/iotml_multiview.dir/multiview/cotraining.cpp.o.d"
+  "/root/repo/src/multiview/subspace.cpp" "src/CMakeFiles/iotml_multiview.dir/multiview/subspace.cpp.o" "gcc" "src/CMakeFiles/iotml_multiview.dir/multiview/subspace.cpp.o.d"
+  "/root/repo/src/multiview/views.cpp" "src/CMakeFiles/iotml_multiview.dir/multiview/views.cpp.o" "gcc" "src/CMakeFiles/iotml_multiview.dir/multiview/views.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iotml_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iotml_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iotml_learners.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iotml_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iotml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

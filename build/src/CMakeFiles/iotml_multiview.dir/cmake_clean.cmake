@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotml_multiview.dir/multiview/cca.cpp.o"
+  "CMakeFiles/iotml_multiview.dir/multiview/cca.cpp.o.d"
+  "CMakeFiles/iotml_multiview.dir/multiview/cotraining.cpp.o"
+  "CMakeFiles/iotml_multiview.dir/multiview/cotraining.cpp.o.d"
+  "CMakeFiles/iotml_multiview.dir/multiview/subspace.cpp.o"
+  "CMakeFiles/iotml_multiview.dir/multiview/subspace.cpp.o.d"
+  "CMakeFiles/iotml_multiview.dir/multiview/views.cpp.o"
+  "CMakeFiles/iotml_multiview.dir/multiview/views.cpp.o.d"
+  "libiotml_multiview.a"
+  "libiotml_multiview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotml_multiview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/integration.cpp" "src/CMakeFiles/iotml_pipeline.dir/pipeline/integration.cpp.o" "gcc" "src/CMakeFiles/iotml_pipeline.dir/pipeline/integration.cpp.o.d"
+  "/root/repo/src/pipeline/preparation.cpp" "src/CMakeFiles/iotml_pipeline.dir/pipeline/preparation.cpp.o" "gcc" "src/CMakeFiles/iotml_pipeline.dir/pipeline/preparation.cpp.o.d"
+  "/root/repo/src/pipeline/privacy.cpp" "src/CMakeFiles/iotml_pipeline.dir/pipeline/privacy.cpp.o" "gcc" "src/CMakeFiles/iotml_pipeline.dir/pipeline/privacy.cpp.o.d"
+  "/root/repo/src/pipeline/reduction.cpp" "src/CMakeFiles/iotml_pipeline.dir/pipeline/reduction.cpp.o" "gcc" "src/CMakeFiles/iotml_pipeline.dir/pipeline/reduction.cpp.o.d"
+  "/root/repo/src/pipeline/sensors.cpp" "src/CMakeFiles/iotml_pipeline.dir/pipeline/sensors.cpp.o" "gcc" "src/CMakeFiles/iotml_pipeline.dir/pipeline/sensors.cpp.o.d"
+  "/root/repo/src/pipeline/stage.cpp" "src/CMakeFiles/iotml_pipeline.dir/pipeline/stage.cpp.o" "gcc" "src/CMakeFiles/iotml_pipeline.dir/pipeline/stage.cpp.o.d"
+  "/root/repo/src/pipeline/stages.cpp" "src/CMakeFiles/iotml_pipeline.dir/pipeline/stages.cpp.o" "gcc" "src/CMakeFiles/iotml_pipeline.dir/pipeline/stages.cpp.o.d"
+  "/root/repo/src/pipeline/trust.cpp" "src/CMakeFiles/iotml_pipeline.dir/pipeline/trust.cpp.o" "gcc" "src/CMakeFiles/iotml_pipeline.dir/pipeline/trust.cpp.o.d"
+  "/root/repo/src/pipeline/uncertainty.cpp" "src/CMakeFiles/iotml_pipeline.dir/pipeline/uncertainty.cpp.o" "gcc" "src/CMakeFiles/iotml_pipeline.dir/pipeline/uncertainty.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iotml_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iotml_learners.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iotml_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/iotml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotml_pipeline.dir/pipeline/integration.cpp.o"
+  "CMakeFiles/iotml_pipeline.dir/pipeline/integration.cpp.o.d"
+  "CMakeFiles/iotml_pipeline.dir/pipeline/preparation.cpp.o"
+  "CMakeFiles/iotml_pipeline.dir/pipeline/preparation.cpp.o.d"
+  "CMakeFiles/iotml_pipeline.dir/pipeline/privacy.cpp.o"
+  "CMakeFiles/iotml_pipeline.dir/pipeline/privacy.cpp.o.d"
+  "CMakeFiles/iotml_pipeline.dir/pipeline/reduction.cpp.o"
+  "CMakeFiles/iotml_pipeline.dir/pipeline/reduction.cpp.o.d"
+  "CMakeFiles/iotml_pipeline.dir/pipeline/sensors.cpp.o"
+  "CMakeFiles/iotml_pipeline.dir/pipeline/sensors.cpp.o.d"
+  "CMakeFiles/iotml_pipeline.dir/pipeline/stage.cpp.o"
+  "CMakeFiles/iotml_pipeline.dir/pipeline/stage.cpp.o.d"
+  "CMakeFiles/iotml_pipeline.dir/pipeline/stages.cpp.o"
+  "CMakeFiles/iotml_pipeline.dir/pipeline/stages.cpp.o.d"
+  "CMakeFiles/iotml_pipeline.dir/pipeline/trust.cpp.o"
+  "CMakeFiles/iotml_pipeline.dir/pipeline/trust.cpp.o.d"
+  "CMakeFiles/iotml_pipeline.dir/pipeline/uncertainty.cpp.o"
+  "CMakeFiles/iotml_pipeline.dir/pipeline/uncertainty.cpp.o.d"
+  "libiotml_pipeline.a"
+  "libiotml_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotml_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

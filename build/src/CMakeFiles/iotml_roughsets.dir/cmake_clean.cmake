@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotml_roughsets.dir/roughsets/roughsets.cpp.o"
+  "CMakeFiles/iotml_roughsets.dir/roughsets/roughsets.cpp.o.d"
+  "libiotml_roughsets.a"
+  "libiotml_roughsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotml_roughsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

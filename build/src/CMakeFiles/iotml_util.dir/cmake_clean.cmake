@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotml_util.dir/util/error.cpp.o"
+  "CMakeFiles/iotml_util.dir/util/error.cpp.o.d"
+  "CMakeFiles/iotml_util.dir/util/rng.cpp.o"
+  "CMakeFiles/iotml_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/iotml_util.dir/util/strings.cpp.o"
+  "CMakeFiles/iotml_util.dir/util/strings.cpp.o.d"
+  "libiotml_util.a"
+  "libiotml_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotml_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

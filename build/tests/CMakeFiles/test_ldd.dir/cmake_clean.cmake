@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ldd.dir/test_ldd.cpp.o"
+  "CMakeFiles/test_ldd.dir/test_ldd.cpp.o.d"
+  "test_ldd"
+  "test_ldd.pdb"
+  "test_ldd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ldd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

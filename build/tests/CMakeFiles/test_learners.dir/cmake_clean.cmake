@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_learners.dir/test_learners.cpp.o"
+  "CMakeFiles/test_learners.dir/test_learners.cpp.o.d"
+  "test_learners"
+  "test_learners.pdb"
+  "test_learners[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_learners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiclass_subspace.dir/test_multiclass_subspace.cpp.o"
+  "CMakeFiles/test_multiclass_subspace.dir/test_multiclass_subspace.cpp.o.d"
+  "test_multiclass_subspace"
+  "test_multiclass_subspace.pdb"
+  "test_multiclass_subspace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiclass_subspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

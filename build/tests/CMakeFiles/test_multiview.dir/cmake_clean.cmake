@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiview.dir/test_multiview.cpp.o"
+  "CMakeFiles/test_multiview.dir/test_multiview.cpp.o.d"
+  "test_multiview"
+  "test_multiview.pdb"
+  "test_multiview[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_lattice.dir/test_partition_lattice.cpp.o"
+  "CMakeFiles/test_partition_lattice.dir/test_partition_lattice.cpp.o.d"
+  "test_partition_lattice"
+  "test_partition_lattice.pdb"
+  "test_partition_lattice[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_roughsets.dir/test_roughsets.cpp.o"
+  "CMakeFiles/test_roughsets.dir/test_roughsets.cpp.o.d"
+  "test_roughsets"
+  "test_roughsets.pdb"
+  "test_roughsets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_roughsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trust_smushing.dir/test_trust_smushing.cpp.o"
+  "CMakeFiles/test_trust_smushing.dir/test_trust_smushing.cpp.o.d"
+  "test_trust_smushing"
+  "test_trust_smushing.pdb"
+  "test_trust_smushing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trust_smushing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
