@@ -31,8 +31,12 @@ int main() {
     data::Dataset noisy_test = test;
     Rng privacy_rng(3);
     pipeline::PrivacyReport report =
-        pipeline::privatize(noisy_train, {.epsilon = eps}, privacy_rng);
-    pipeline::privatize(noisy_test, {.epsilon = eps}, privacy_rng);
+        pipeline::privatize(noisy_train,
+                            {.epsilon = eps, .sensitivity = {}, .randomize_categories = true},
+                            privacy_rng);
+    pipeline::privatize(noisy_test,
+                        {.epsilon = eps, .sensitivity = {}, .randomize_categories = true},
+                        privacy_rng);
     const double keep = pipeline::randomized_response_keep_probability(eps, 3);
 
     learners::DecisionTree tree;

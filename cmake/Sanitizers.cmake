@@ -1,0 +1,66 @@
+# Sanitizer wiring for the whole tree (src/, tests/, bench/, examples/).
+#
+# IOTML_SANITIZE is a semicolon- or comma-separated list of sanitizers:
+#
+#   -DIOTML_SANITIZE=address;undefined   memory errors + UB  (~2x slowdown)
+#   -DIOTML_SANITIZE=thread              data races          (~5-15x slowdown)
+#
+# AddressSanitizer and UBSan compose; ThreadSanitizer cannot be combined
+# with address/leak (toolchain restriction). The `asan-ubsan` and `tsan`
+# configure presets in CMakePresets.json are the canonical entry points,
+# and the matching test presets point the runtimes at the suppression
+# files under tools/sanitizers/.
+#
+# Every enabled sanitizer also becomes a CTest label (asan/ubsan/tsan) on
+# the unit tests, so `ctest -L tsan` selects the race-relevant suite.
+
+set(IOTML_SANITIZE "" CACHE STRING
+    "Semicolon-separated sanitizers to enable: address, undefined, leak, thread")
+
+set(IOTML_SANITIZE_LABELS "")
+
+if(IOTML_SANITIZE)
+  string(REPLACE "," ";" _iotml_san_list "${IOTML_SANITIZE}")
+
+  set(_iotml_san_known address undefined leak thread)
+  foreach(_san IN LISTS _iotml_san_list)
+    if(NOT _san IN_LIST _iotml_san_known)
+      message(FATAL_ERROR
+        "IOTML_SANITIZE: unknown sanitizer '${_san}' (known: ${_iotml_san_known})")
+    endif()
+  endforeach()
+
+  if("thread" IN_LIST _iotml_san_list AND
+     ("address" IN_LIST _iotml_san_list OR "leak" IN_LIST _iotml_san_list))
+    message(FATAL_ERROR
+      "IOTML_SANITIZE: 'thread' cannot be combined with 'address' or 'leak'")
+  endif()
+
+  string(REPLACE ";" "," _iotml_san_flag "${_iotml_san_list}")
+  message(STATUS "iotml: sanitizers enabled: ${_iotml_san_flag}")
+
+  # -fno-sanitize-recover=all turns every UBSan diagnostic into a hard
+  # failure so ctest goes red instead of scrolling warnings past.
+  add_compile_options(
+    -fsanitize=${_iotml_san_flag}
+    -fno-omit-frame-pointer
+    -fno-sanitize-recover=all
+    -g)
+  add_link_options(-fsanitize=${_iotml_san_flag})
+
+  foreach(_san IN LISTS _iotml_san_list)
+    if(_san STREQUAL "address")
+      list(APPEND IOTML_SANITIZE_LABELS asan)
+    elseif(_san STREQUAL "undefined")
+      list(APPEND IOTML_SANITIZE_LABELS ubsan)
+    elseif(_san STREQUAL "leak")
+      list(APPEND IOTML_SANITIZE_LABELS lsan)
+    elseif(_san STREQUAL "thread")
+      list(APPEND IOTML_SANITIZE_LABELS tsan)
+    endif()
+  endforeach()
+
+  unset(_iotml_san_list)
+  unset(_iotml_san_flag)
+  unset(_iotml_san_known)
+endif()

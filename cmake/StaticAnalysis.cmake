@@ -1,0 +1,56 @@
+# Static-analysis gates registered as CTest tests, so `ctest` fails on
+# regressions without a separate CI-only entry point:
+#
+#   lint.invariants  tools/lint_invariants.py — repo-specific invariants
+#                    (IOTML_CHECK on documented preconditions, no naked
+#                    `throw std::` outside src/util/error.*, no include
+#                    cycles, no unseeded RNG outside src/util/rng.*).
+#   lint.clang_tidy  run-clang-tidy over src/ with the repo .clang-tidy.
+#
+# Tools that are not installed degrade to a CTest SKIP (exit 77), never a
+# hard configure failure, so minimal containers keep building.
+
+if(NOT (IOTML_BUILD_TESTS AND BUILD_TESTING))
+  return()
+endif()
+
+find_package(Python3 COMPONENTS Interpreter QUIET)
+if(Python3_FOUND)
+  add_test(NAME lint.invariants
+    COMMAND Python3::Interpreter "${CMAKE_SOURCE_DIR}/tools/lint_invariants.py"
+            --root "${CMAKE_SOURCE_DIR}")
+  set_tests_properties(lint.invariants PROPERTIES LABELS "lint")
+else()
+  message(STATUS "iotml: python3 not found; lint.invariants test not registered")
+endif()
+
+find_program(IOTML_CLANG_TIDY NAMES clang-tidy clang-tidy-19 clang-tidy-18
+                                    clang-tidy-17 clang-tidy-16 clang-tidy-15)
+find_program(IOTML_RUN_CLANG_TIDY NAMES run-clang-tidy run-clang-tidy-19
+                                        run-clang-tidy-18 run-clang-tidy-17
+                                        run-clang-tidy-16 run-clang-tidy-15)
+
+if(IOTML_CLANG_TIDY AND IOTML_RUN_CLANG_TIDY AND Python3_FOUND)
+  # run-clang-tidy reads compile_commands.json from the build dir (-p) and
+  # filters files by the trailing regex; header diagnostics are enabled via
+  # HeaderFilterRegex in .clang-tidy itself.
+  add_test(NAME lint.clang_tidy
+    COMMAND Python3::Interpreter "${IOTML_RUN_CLANG_TIDY}"
+            -clang-tidy-binary "${IOTML_CLANG_TIDY}"
+            -quiet -p "${CMAKE_BINARY_DIR}"
+            "${CMAKE_SOURCE_DIR}/src/.*")
+  set_tests_properties(lint.clang_tidy PROPERTIES
+    LABELS "lint"
+    # A full-tree tidy run is the slowest test in the suite by far.
+    TIMEOUT 1800)
+elseif(Python3_FOUND)
+  # Keep the test visible in minimal containers: report SKIP, not silence.
+  add_test(NAME lint.clang_tidy
+    COMMAND Python3::Interpreter -c
+            "import sys; print('clang-tidy / run-clang-tidy not installed; skipping'); sys.exit(77)")
+  set_tests_properties(lint.clang_tidy PROPERTIES
+    LABELS "lint"
+    SKIP_RETURN_CODE 77)
+else()
+  message(STATUS "iotml: clang-tidy/run-clang-tidy not found; lint.clang_tidy test not registered")
+endif()

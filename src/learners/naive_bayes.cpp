@@ -26,7 +26,7 @@ void NaiveBayes::fit(const data::Dataset& train) {
   log_prior_.resize(num_classes_);
   for (std::size_t c = 0; c < num_classes_; ++c) {
     log_prior_[c] = std::log((class_count[c] + alpha_) /
-                             (static_cast<double>(n) + alpha_ * num_classes_));
+                             (static_cast<double>(n) + alpha_ * static_cast<double>(num_classes_)));
   }
 
   categorical_.assign(train.num_columns(), {});

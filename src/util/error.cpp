@@ -4,11 +4,25 @@
 
 namespace iotml::detail {
 
-void throw_check_failed(const char* expr, const char* file, int line,
-                        const std::string& msg) {
+namespace {
+
+std::string format_check_message(const char* expr, const char* file, int line,
+                                 const std::string& msg) {
   std::ostringstream os;
   os << msg << " (check `" << expr << "` failed at " << file << ":" << line << ")";
-  throw InvalidArgument(os.str());
+  return os.str();
+}
+
+}  // namespace
+
+void throw_check_failed(const char* expr, const char* file, int line,
+                        const std::string& msg) {
+  throw InvalidArgument(format_check_message(expr, file, line, msg));
+}
+
+void throw_internal_check_failed(const char* expr, const char* file, int line,
+                                 const std::string& msg) {
+  throw InternalError(format_check_message(expr, file, line, msg));
 }
 
 }  // namespace iotml::detail

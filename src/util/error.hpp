@@ -33,12 +33,23 @@ class InternalError : public Error {
 namespace detail {
 [[noreturn]] void throw_check_failed(const char* expr, const char* file, int line,
                                      const std::string& msg);
+[[noreturn]] void throw_internal_check_failed(const char* expr, const char* file, int line,
+                                              const std::string& msg);
 }  // namespace detail
 
 /// Precondition check that throws InvalidArgument with location context.
 #define IOTML_CHECK(expr, msg)                                              \
   do {                                                                      \
     if (!(expr)) ::iotml::detail::throw_check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Internal invariant check that throws InternalError with location context.
+/// Use for "this cannot happen unless iotml itself has a bug" conditions,
+/// never for validating caller input.
+#define IOTML_INTERNAL_CHECK(expr, msg)                                     \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::iotml::detail::throw_internal_check_failed(#expr, __FILE__, __LINE__, (msg)); \
   } while (false)
 
 }  // namespace iotml

@@ -6,13 +6,13 @@
 namespace iotml {
 
 std::size_t Rng::categorical(const std::vector<double>& weights) {
-  if (weights.empty()) throw std::invalid_argument("Rng::categorical: empty weights");
+  IOTML_CHECK(!weights.empty(), "Rng::categorical: empty weights");
   double total = 0.0;
   for (double w : weights) {
-    if (w < 0.0) throw std::invalid_argument("Rng::categorical: negative weight");
+    IOTML_CHECK(w >= 0.0, "Rng::categorical: negative weight");
     total += w;
   }
-  if (total <= 0.0) throw std::invalid_argument("Rng::categorical: all-zero weights");
+  IOTML_CHECK(total > 0.0, "Rng::categorical: all-zero weights");
   double r = uniform(0.0, total);
   double acc = 0.0;
   for (std::size_t i = 0; i < weights.size(); ++i) {
@@ -30,7 +30,7 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
 }
 
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
-  if (k > n) throw std::invalid_argument("Rng::sample_without_replacement: k > n");
+  IOTML_CHECK(k <= n, "Rng::sample_without_replacement: k > n");
   // Partial Fisher-Yates: O(n) memory, O(k) swaps.
   std::vector<std::size_t> pool(n);
   std::iota(pool.begin(), pool.end(), std::size_t{0});

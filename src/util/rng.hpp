@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <cstdint>
 #include <random>
-#include <stdexcept>
 #include <vector>
+
+#include "util/error.hpp"
 
 namespace iotml {
 
@@ -31,15 +32,15 @@ class Rng {
     return std::uniform_real_distribution<double>(lo, hi)(engine_);
   }
 
-  /// Uniform integer in [lo, hi] (inclusive).
+  /// Uniform integer in [lo, hi] (inclusive). Throws InvalidArgument if lo > hi.
   int uniform_int(int lo, int hi) {
-    if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+    IOTML_CHECK(lo <= hi, "Rng::uniform_int: lo > hi");
     return std::uniform_int_distribution<int>(lo, hi)(engine_);
   }
 
-  /// Uniform size_t index in [0, n).
+  /// Uniform size_t index in [0, n). Throws InvalidArgument if n == 0.
   std::size_t index(std::size_t n) {
-    if (n == 0) throw std::invalid_argument("Rng::index: n == 0");
+    IOTML_CHECK(n > 0, "Rng::index: n == 0");
     return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
   }
 

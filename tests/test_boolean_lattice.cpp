@@ -106,7 +106,8 @@ TEST_P(DecompositionTest, ChainOfIsConsistent) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(SmallN, DecompositionTest, ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 10u));
+INSTANTIATE_TEST_SUITE_P(SmallN, DecompositionTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 10u));
 
 TEST(Decomposition, B3OrderMatchesPaper) {
   BooleanChainDecomposition d(3);

@@ -122,8 +122,10 @@ TEST(Privacy, NumericNoiseScalesWithBudget) {
   data::Dataset loose = data::samples_to_dataset(s);
   data::Dataset tight = data::samples_to_dataset(s);
   Rng r1(1), r2(1);
-  pipeline::privatize(loose, {.epsilon = 10.0}, r1);
-  pipeline::privatize(tight, {.epsilon = 0.5}, r2);
+  pipeline::privatize(loose, {.epsilon = 10.0, .sensitivity = {}, .randomize_categories = true},
+                      r1);
+  pipeline::privatize(tight, {.epsilon = 0.5, .sensitivity = {}, .randomize_categories = true},
+                      r2);
 
   // Distortion vs the original, per budget.
   auto distortion = [&](const data::Dataset& noisy) {
@@ -144,7 +146,7 @@ TEST(Privacy, MissingCellsStayMissing) {
   auto& c = ds.add_numeric_column("x");
   c.push_numeric(1.0);
   c.push_missing();
-  pipeline::privatize(ds, {.epsilon = 1.0}, rng);
+  pipeline::privatize(ds, {.epsilon = 1.0, .sensitivity = {}, .randomize_categories = true}, rng);
   EXPECT_TRUE(ds.column(0).is_missing(1));
   EXPECT_FALSE(ds.column(0).is_missing(0));
 }
@@ -153,7 +155,8 @@ TEST(Privacy, RandomizedResponseFlipRate) {
   Rng rng(9);
   data::Dataset ds = data::make_phone_fleet(4000, 0.0, rng);
   data::Dataset original = ds;
-  pipeline::PrivacyReport report = pipeline::privatize(ds, {.epsilon = 1.0}, rng);
+  pipeline::PrivacyReport report = pipeline::privatize(
+      ds, {.epsilon = 1.0, .sensitivity = {}, .randomize_categories = true}, rng);
   EXPECT_GT(report.categorical_cells_flipped, 0u);
   // Expected flip fraction: (1 - keep) * (k-1)/k per cell with k = 3.
   const double keep = pipeline::randomized_response_keep_probability(1.0, 3);
@@ -174,7 +177,9 @@ TEST(Privacy, AccuracyDegradesGracefullyWithBudget) {
   for (double eps : {8.0, 1.0, 0.2}) {
     data::Dataset noisy_train = train;
     Rng privacy_rng(3);
-    pipeline::privatize(noisy_train, {.epsilon = eps}, privacy_rng);
+    pipeline::privatize(noisy_train,
+                        {.epsilon = eps, .sensitivity = {}, .randomize_categories = true},
+                        privacy_rng);
     learners::DecisionTree tree;
     tree.fit(noisy_train);
     const double acc = tree.accuracy(test);

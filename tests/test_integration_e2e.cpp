@@ -70,8 +70,10 @@ TEST(EndToEnd, PrivatizedFleetThroughPatternEnsemble) {
   data::Dataset train = data::make_phone_fleet(900, 0.0, rng);
   data::Dataset test = data::make_phone_fleet(400, 0.0, rng);
   Rng privacy_rng(5);
-  pipeline::privatize(train, {.epsilon = 3.0}, privacy_rng);
-  pipeline::privatize(test, {.epsilon = 3.0}, privacy_rng);
+  pipeline::privatize(train, {.epsilon = 3.0, .sensitivity = {}, .randomize_categories = true},
+                      privacy_rng);
+  pipeline::privatize(test, {.epsilon = 3.0, .sensitivity = {}, .randomize_categories = true},
+                      privacy_rng);
   for (auto* ds : {&train, &test}) {
     for (std::size_t f = 0; f < ds->num_columns(); ++f) {
       for (std::size_t r = 0; r < ds->rows(); ++r) {

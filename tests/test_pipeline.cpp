@@ -160,7 +160,7 @@ TEST(Integration, DuplicateHandlingAverageVsLast) {
 
 TEST(Integration, Validation) {
   EXPECT_THROW(integrate_streams({}), InvalidArgument);
-  SensorStream empty{.sensor_name = "e"};
+  SensorStream empty{.sensor_name = "e", .readings = {}, .dropped = 0};
   EXPECT_THROW(integrate_streams({empty}), InvalidArgument);
 }
 

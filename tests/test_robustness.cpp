@@ -184,7 +184,7 @@ TEST(Robustness, DeclarativePipelineEndToEnd) {
 
   pipeline::Pipeline p;
   p.add(std::make_unique<pipeline::PrivacyStage>(
-      pipeline::PrivacyParams{.epsilon = 6.0}));
+      pipeline::PrivacyParams{.epsilon = 6.0, .sensitivity = {}, .randomize_categories = true}));
   p.add(std::make_unique<pipeline::OutlierStage>(4.0));
   p.add(std::make_unique<pipeline::ImputeStage>(pipeline::ImputeStrategy::kKnn));
   p.add(std::make_unique<pipeline::NormalizeStage>(pipeline::NormalizeKind::kZScore));
@@ -208,7 +208,9 @@ TEST(Robustness, DeclarativePipelineEndToEnd) {
 TEST(Robustness, StageValidation) {
   EXPECT_THROW(pipeline::OutlierStage(0.0), InvalidArgument);
   EXPECT_THROW(pipeline::FeatureSelectStage(0), InvalidArgument);
-  EXPECT_THROW(pipeline::PrivacyStage({.epsilon = 0.0}), InvalidArgument);
+  EXPECT_THROW(pipeline::PrivacyStage(
+                   {.epsilon = 0.0, .sensitivity = {}, .randomize_categories = true}),
+               InvalidArgument);
 }
 
 // ---- Search under adversarial configuration -----------------------------------------

@@ -44,12 +44,12 @@ TEST(Rng, UniformIntInclusiveBounds) {
 
 TEST(Rng, UniformIntRejectsInvertedRange) {
   Rng rng(7);
-  EXPECT_THROW(rng.uniform_int(3, 1), std::invalid_argument);
+  EXPECT_THROW(rng.uniform_int(3, 1), InvalidArgument);
 }
 
 TEST(Rng, IndexRejectsZero) {
   Rng rng(7);
-  EXPECT_THROW(rng.index(0), std::invalid_argument);
+  EXPECT_THROW(rng.index(0), InvalidArgument);
 }
 
 TEST(Rng, NormalMomentsRoughlyCorrect) {
@@ -88,9 +88,9 @@ TEST(Rng, CategoricalRespectsWeights) {
 
 TEST(Rng, CategoricalRejectsBadWeights) {
   Rng rng(1);
-  EXPECT_THROW(rng.categorical({}), std::invalid_argument);
-  EXPECT_THROW(rng.categorical({0.0, 0.0}), std::invalid_argument);
-  EXPECT_THROW(rng.categorical({1.0, -1.0}), std::invalid_argument);
+  EXPECT_THROW(rng.categorical({}), InvalidArgument);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(rng.categorical({1.0, -1.0}), InvalidArgument);
 }
 
 TEST(Rng, PermutationIsPermutation) {
@@ -169,10 +169,74 @@ TEST(Error, CheckMacroThrowsWithContext) {
   }
 }
 
+TEST(Error, CheckMacroMessageCarriesFileAndLine) {
+  try {
+    IOTML_CHECK(false, "ctx");
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    // Location is rendered as "<file>:<line>" pointing at the macro call site.
+    EXPECT_NE(what.find("test_util.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find(':'), std::string::npos) << what;
+  }
+}
+
+TEST(Error, CheckMacroPassesWithoutThrowing) {
+  EXPECT_NO_THROW(IOTML_CHECK(2 + 2 == 4, "never shown"));
+  EXPECT_NO_THROW(IOTML_INTERNAL_CHECK(true, "never shown"));
+}
+
+TEST(Error, CheckMacroIsNotCaughtAsInternalError) {
+  // IOTML_CHECK signals caller misuse, never a library bug: the exception
+  // must be InvalidArgument, not InternalError.
+  try {
+    IOTML_CHECK(false, "caller misuse");
+    FAIL() << "expected throw";
+  } catch (const InternalError&) {
+    FAIL() << "IOTML_CHECK must not throw InternalError";
+  } catch (const InvalidArgument&) {
+    SUCCEED();
+  }
+}
+
+TEST(Error, InternalCheckMacroThrowsInternalErrorWithContext) {
+  try {
+    IOTML_INTERNAL_CHECK(1 + 1 == 3, "invariant broken");
+    FAIL() << "expected throw";
+  } catch (const InternalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("invariant broken"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_util.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Error, InternalCheckMacroIsNotCaughtAsInvalidArgument) {
+  try {
+    IOTML_INTERNAL_CHECK(false, "library bug");
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument&) {
+    FAIL() << "IOTML_INTERNAL_CHECK must not throw InvalidArgument";
+  } catch (const InternalError&) {
+    SUCCEED();
+  }
+}
+
 TEST(Error, HierarchyCatchable) {
   EXPECT_THROW(throw NumericError("x"), Error);
   EXPECT_THROW(throw InternalError("x"), Error);
   EXPECT_THROW(throw InvalidArgument("x"), Error);
+  EXPECT_THROW(throw Error("x"), std::runtime_error);
+}
+
+TEST(Error, RngPreconditionFailuresCarryLocation) {
+  Rng rng(1);
+  try {
+    rng.index(0);
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("rng"), std::string::npos) << e.what();
+  }
 }
 
 }  // namespace

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Check that all tracked C++ sources match .clang-format (no files modified).
+#
+#   tools/format-check.sh          report drift, exit 1 if any
+#   tools/format-check.sh --fix    rewrite files in place instead
+#
+# Exits 77 (conventional SKIP) when clang-format is not installed, so local
+# minimal containers are not blocked; CI installs clang-format and treats any
+# non-zero exit as a failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT=""
+for candidate in clang-format clang-format-19 clang-format-18 clang-format-17 \
+                 clang-format-16 clang-format-15; do
+  if command -v "$candidate" > /dev/null 2>&1; then
+    CLANG_FORMAT="$candidate"
+    break
+  fi
+done
+
+if [[ -z "$CLANG_FORMAT" ]]; then
+  echo "format-check: clang-format not installed; skipping" >&2
+  exit 77
+fi
+
+mapfile -t files < <(git ls-files '*.cpp' '*.hpp')
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "format-check: no C++ sources tracked" >&2
+  exit 0
+fi
+
+if [[ "${1:-}" == "--fix" ]]; then
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "format-check: reformatted ${#files[@]} files"
+  exit 0
+fi
+
+# --dry-run --Werror makes clang-format exit non-zero per drifting file.
+status=0
+for f in "${files[@]}"; do
+  if ! "$CLANG_FORMAT" --dry-run --Werror "$f" > /dev/null 2>&1; then
+    echo "format-check: needs formatting: $f"
+    status=1
+  fi
+done
+
+if [[ $status -eq 0 ]]; then
+  echo "format-check: ${#files[@]} files clean"
+else
+  echo "format-check: run tools/format-check.sh --fix" >&2
+fi
+exit $status

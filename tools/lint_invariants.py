@@ -1,0 +1,287 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant lint for iotml (registered as CTest test `lint.invariants`).
+
+Generic tools (clang-tidy, compiler warnings) cannot see iotml's own
+conventions, so this script enforces them:
+
+R1  precondition-checks   Any declaration in src/**/*.hpp whose doc comment
+                          documents a precondition ("throws InvalidArgument")
+                          must enforce it in every located definition body via
+                          IOTML_CHECK (or an explicit `throw InvalidArgument`
+                          for lookup-style failures that are not expressible
+                          as a single boolean check).
+R2  no-naked-std-throws   `throw std::...` is forbidden in src/** outside
+                          src/util/error.* — library code signals errors
+                          through the iotml::Error hierarchy so callers can
+                          catch library failures distinctly.
+R3  no-include-cycles     The `#include "..."` graph over src/** must be
+                          acyclic.
+R4  rng-discipline        rand()/srand(), std::random_device,
+                          std::default_random_engine, direct std::mt19937
+                          construction, and time()-based seeding are forbidden
+                          outside src/util/rng.* — every stochastic component
+                          draws from a seedable iotml::Rng so experiments are
+                          reproducible (DESIGN.md).
+R5  pragma-once           Every header in src/** starts with #pragma once.
+
+Exit code 0 when clean; 1 with one line per violation otherwise.
+
+Usage: lint_invariants.py [--root REPO_ROOT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+PRECONDITION_DOC = re.compile(r"[Tt]hrows\s+InvalidArgument")
+THROW_STD = re.compile(r"\bthrow\s+std::")
+PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\s*$", re.MULTILINE)
+LOCAL_INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.MULTILINE)
+BANNED_RNG = [
+    (re.compile(r"(?<![\w.])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    (re.compile(r"\bstd::default_random_engine\b"), "std::default_random_engine"),
+    (re.compile(r"\bstd::mt19937(_64)?\s*\{"), "direct std::mt19937 construction"),
+    (re.compile(r"\bstd::mt19937(_64)?\s+\w+\s*[({=]"), "direct std::mt19937 construction"),
+    (re.compile(r"\btime\s*\(\s*(nullptr|NULL|0)\s*\)"), "time()-based seeding"),
+]
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    j += 1
+                    break
+                j += 1
+            out.append(quote + " " * (j - i - 2) + quote if j - i >= 2 else text[i:j])
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def extract_brace_block(text: str, open_idx: int) -> str:
+    """Return the {...} block starting at text[open_idx] == '{' (best effort)."""
+    depth = 0
+    for j in range(open_idx, len(text)):
+        if text[j] == "{":
+            depth += 1
+        elif text[j] == "}":
+            depth -= 1
+            if depth == 0:
+                return text[open_idx : j + 1]
+    return text[open_idx:]
+
+
+def function_definition_bodies(code: str, name: str) -> list[str]:
+    """Find bodies of definitions of `name` in comment-stripped code."""
+    bodies = []
+    for m in re.finditer(rf"\b{re.escape(name)}\s*\(", code):
+        # Walk past the parameter list.
+        depth = 0
+        j = m.end() - 1
+        while j < len(code):
+            if code[j] == "(":
+                depth += 1
+            elif code[j] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        # Skip qualifiers (const, noexcept, trailing return, initializer lists
+        # are rare here) up to the first ';' or '{'.
+        k = j + 1
+        while k < len(code) and code[k] not in ";{":
+            k += 1
+        if k < len(code) and code[k] == "{":
+            bodies.append(extract_brace_block(code, k))
+    return bodies
+
+
+def check_preconditions(src: Path) -> list[str]:
+    """R1: documented preconditions are enforced in the definition bodies."""
+    problems = []
+    for hpp in sorted(src.rglob("*.hpp")):
+        raw = hpp.read_text()
+        lines = raw.splitlines()
+        module_dir = hpp.parent
+        for idx, line in enumerate(lines):
+            stripped = line.strip()
+            if not stripped.startswith("///") or not PRECONDITION_DOC.search(stripped):
+                continue
+            # The doc block may span several /// lines; find the declaration
+            # that follows it.
+            decl_start = idx + 1
+            while decl_start < len(lines) and lines[decl_start].strip().startswith("///"):
+                decl_start += 1
+            # Doc on a macro definition (e.g. IOTML_CHECK itself), not a function.
+            if decl_start < len(lines) and lines[decl_start].lstrip().startswith("#"):
+                continue
+            decl = ""
+            for j in range(decl_start, min(decl_start + 6, len(lines))):
+                decl += lines[j] + "\n"
+                if ";" in lines[j] or "{" in lines[j]:
+                    break
+            sig = decl.split("(")[0]
+            words = re.findall(r"[A-Za-z_]\w*", sig)
+            if not words:
+                continue
+            name = words[-1]
+            loc = f"{hpp.relative_to(src.parent)}:{idx + 1}"
+            # Pure-virtual declarations push the obligation onto overriders,
+            # which live in the same module directory.
+            candidates = []
+            header_code = strip_comments_and_strings(raw)
+            candidates.extend(function_definition_bodies(header_code, name))
+            for cpp in sorted(module_dir.glob("*.cpp")):
+                cpp_code = strip_comments_and_strings(cpp.read_text())
+                candidates.extend(function_definition_bodies(cpp_code, name))
+            if not candidates:
+                problems.append(
+                    f"{loc}: R1 documented precondition on `{name}` but no definition "
+                    f"found in {module_dir.name}/ to enforce it"
+                )
+                continue
+            unchecked = [
+                b
+                for b in candidates
+                if "IOTML_CHECK" not in b and "throw InvalidArgument" not in b
+            ]
+            if len(unchecked) == len(candidates):
+                problems.append(
+                    f"{loc}: R1 `{name}` documents 'throws InvalidArgument' but no "
+                    f"definition uses IOTML_CHECK (or throws InvalidArgument)"
+                )
+    return problems
+
+
+def check_naked_std_throws(src: Path) -> list[str]:
+    """R2: throw std::... only inside src/util/error.*."""
+    problems = []
+    for f in sorted(list(src.rglob("*.cpp")) + list(src.rglob("*.hpp"))):
+        if f.parent.name == "util" and f.stem == "error":
+            continue
+        code = strip_comments_and_strings(f.read_text())
+        for lineno, line in enumerate(code.splitlines(), start=1):
+            if THROW_STD.search(line):
+                problems.append(
+                    f"{f.relative_to(src.parent)}:{lineno}: R2 naked `throw std::` — "
+                    f"use IOTML_CHECK / the iotml::Error hierarchy (src/util/error.hpp)"
+                )
+    return problems
+
+
+def check_include_cycles(src: Path) -> list[str]:
+    """R3: the quoted-include graph over src/** is acyclic."""
+    files = sorted(list(src.rglob("*.hpp")) + list(src.rglob("*.cpp")))
+    known = {str(f.relative_to(src)) for f in files}
+    graph: dict[str, list[str]] = {}
+    for f in files:
+        rel = str(f.relative_to(src))
+        deps = []
+        for inc in LOCAL_INCLUDE.findall(f.read_text()):
+            if inc in known:
+                deps.append(inc)
+        graph[rel] = deps
+
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    problems = []
+
+    def dfs(node: str, stack: list[str]) -> None:
+        color[node] = GRAY
+        stack.append(node)
+        for dep in graph.get(node, []):
+            if color.get(dep, WHITE) == GRAY:
+                cycle = stack[stack.index(dep) :] + [dep]
+                problems.append(f"src: R3 include cycle: {' -> '.join(cycle)}")
+            elif color.get(dep, WHITE) == WHITE:
+                dfs(dep, stack)
+        stack.pop()
+        color[node] = BLACK
+
+    for node in graph:
+        if color[node] == WHITE:
+            dfs(node, [])
+    return problems
+
+
+def check_rng_discipline(src: Path) -> list[str]:
+    """R4: no unseeded/global RNG outside src/util/rng.*."""
+    problems = []
+    for f in sorted(list(src.rglob("*.cpp")) + list(src.rglob("*.hpp"))):
+        if f.parent.name == "util" and f.stem == "rng":
+            continue
+        code = strip_comments_and_strings(f.read_text())
+        for lineno, line in enumerate(code.splitlines(), start=1):
+            for pattern, what in BANNED_RNG:
+                if pattern.search(line):
+                    problems.append(
+                        f"{f.relative_to(src.parent)}:{lineno}: R4 {what} — draw from a "
+                        f"seedable iotml::Rng (src/util/rng.hpp) instead"
+                    )
+    return problems
+
+
+def check_pragma_once(src: Path) -> list[str]:
+    """R5: every header uses #pragma once."""
+    problems = []
+    for hpp in sorted(src.rglob("*.hpp")):
+        if not PRAGMA_ONCE.search(hpp.read_text()):
+            problems.append(f"{hpp.relative_to(src.parent)}:1: R5 missing #pragma once")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path, default=Path(__file__).resolve().parent.parent,
+                        help="repository root (containing src/)")
+    args = parser.parse_args()
+    src = args.root / "src"
+    if not src.is_dir():
+        print(f"lint_invariants: no src/ under {args.root}", file=sys.stderr)
+        return 2
+
+    problems = []
+    problems += check_preconditions(src)
+    problems += check_naked_std_throws(src)
+    problems += check_include_cycles(src)
+    problems += check_rng_discipline(src)
+    problems += check_pragma_once(src)
+
+    if problems:
+        for p in problems:
+            print(p)
+        print(f"lint_invariants: {len(problems)} violation(s)", file=sys.stderr)
+        return 1
+    print("lint_invariants: clean (R1 preconditions, R2 throws, R3 cycles, R4 rng, R5 pragma)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
