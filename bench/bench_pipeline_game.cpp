@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_report.hpp"
 #include "core/pipeline_game.hpp"
 #include "data/synthetic.hpp"
 #include "game/bimatrix.hpp"
@@ -20,6 +21,7 @@ int main() {
   using namespace iotml::core;
 
   std::printf("E-GAME: preprocessing vs analytics as a measured bimatrix game\n\n");
+  bench::BenchReport bench_report("pipeline_game");
 
   // Numeric sensor-style data where preparation quality genuinely matters:
   // missing cells AND gross outliers. Mean imputation without outlier
@@ -103,6 +105,22 @@ int main() {
               "optimum at the default coupling.\n",
               100.0 * (opt_acc - nash_acc));
 
+  const double stackelberg_acc = result.accuracy_at(
+      {result.stackelberg.leader_action, result.stackelberg.follower_action});
+  bench_report.metric("accuracy_optimum", opt_acc);
+  bench_report.metric("accuracy_nash", nash_acc);
+  bench_report.metric("accuracy_stackelberg", stackelberg_acc);
+  bench_report.metric("accuracy_gap_nash", opt_acc - nash_acc);
+  bench_report.metric("welfare_optimum", game::social_welfare(result.game, result.social));
+  bench_report.metric("welfare_nash", game::social_welfare(result.game, result.nash));
+  bench_report.metric("has_pure_nash", result.has_pure_nash ? 1.0 : 0.0);
+  bench_report.metric("train_rows", static_cast<double>(train.rows()));
+  bench_report.metric("test_rows", static_cast<double>(test.rows()));
+  bench_report.metric("profiles_measured",
+                      static_cast<double>(config.preprocessor.size() * config.analyst.size()));
+  bench_report.note("preprocessor_strategies", std::to_string(config.preprocessor.size()));
+  bench_report.note("analyst_strategies", std::to_string(config.analyst.size()));
+
   // The paper's alignment lever: how much of the analyst's reward the
   // preprocessor shares. As the stake grows, strategic play converges to the
   // integrated (single-player) outcome.
@@ -163,5 +181,6 @@ int main() {
                   result.accuracy_at(result.nash));
     }
   }
+  bench_report.write();
   return 0;
 }

@@ -1,0 +1,88 @@
+#pragma once
+
+// Shared machine-readable bench reporting. Every bench keeps its
+// human-readable paper-style tables on stdout and additionally writes
+// BENCH_<name>.json — wall time, throughput and the key quality metrics —
+// so the perf trajectory can be compared across PRs without scraping text.
+//
+//   IOTML_BENCH_DIR=<dir>   write the JSON there instead of the CWD
+//   IOTML_BENCH_JSON=0      disable the JSON artifact entirely
+//
+// Timing goes through obs::now_us() — the invariant lint (rule R6) keeps
+// raw std::chrono clock reads out of bench code too.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include <fstream>
+
+#include "obs/clock.hpp"
+#include "obs/json.hpp"
+
+namespace iotml::bench {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)), start_us_(obs::now_us()) {}
+
+  /// Record a quality/size metric (accuracy, rows, missing rate, ...).
+  void metric(const std::string& key, double value) { metrics_[key] = value; }
+
+  /// Record a free-form note (strategy names, dataset descriptions, ...).
+  void note(const std::string& key, const std::string& value) { notes_[key] = value; }
+
+  double elapsed_s() const { return static_cast<double>(obs::now_us() - start_us_) * 1e-6; }
+
+  /// items per elapsed second so far — call right before write().
+  double throughput(double items) const {
+    const double s = elapsed_s();
+    return s > 0.0 ? items / s : 0.0;
+  }
+
+  /// Write BENCH_<name>.json (prints a one-line pointer so humans find the
+  /// artifact). Returns the path written, or "" when disabled/unwritable.
+  std::string write() const {
+    const char* toggle = std::getenv("IOTML_BENCH_JSON");  // NOLINT(concurrency-mt-unsafe)
+    if (toggle != nullptr && std::string(toggle) == "0") return "";
+    const char* dir = std::getenv("IOTML_BENCH_DIR");  // NOLINT(concurrency-mt-unsafe)
+    std::string path = dir != nullptr && *dir != '\0' ? std::string(dir) + "/" : std::string();
+    path += "BENCH_" + name_ + ".json";
+
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "[bench-report] cannot write %s\n", path.c_str());
+      return "";
+    }
+    out << "{\n";
+    out << "  \"bench\": \"" << obs::json_escape(name_) << "\",\n";
+    out << "  \"unix_time_ms\": " << obs::unix_time_ms() << ",\n";
+    out << "  \"wall_time_s\": " << obs::json_number(elapsed_s()) << ",\n";
+    out << "  \"metrics\": {";
+    bool first = true;
+    for (const auto& [key, value] : metrics_) {
+      out << (first ? "" : ",") << "\n    \"" << obs::json_escape(key)
+          << "\": " << obs::json_number(value);
+      first = false;
+    }
+    out << "\n  },\n  \"notes\": {";
+    first = true;
+    for (const auto& [key, value] : notes_) {
+      out << (first ? "" : ",") << "\n    \"" << obs::json_escape(key) << "\": \""
+          << obs::json_escape(value) << "\"";
+      first = false;
+    }
+    out << "\n  }\n}\n";
+    std::printf("[bench-report] wrote %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  std::string name_;
+  std::int64_t start_us_;
+  std::map<std::string, double> metrics_;
+  std::map<std::string, std::string> notes_;
+};
+
+}  // namespace iotml::bench

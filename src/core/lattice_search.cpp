@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "combinatorics/counting.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace iotml::core {
@@ -17,6 +18,10 @@ PartitionEvaluator::PartitionEvaluator(const data::Samples& train,
 
 double PartitionEvaluator::score(const comb::SetPartition& partition) {
   ++evaluations_;
+  // Each score is one node of the lattice expanded: a combined Gram plus a
+  // full CV round of SVM trainings.
+  static obs::Counter& nodes_expanded = obs::registry().counter("lattice.nodes_expanded");
+  nodes_expanded.add();
   const la::Matrix combined =
       partition_gram(cache_, partition, train_.y, options_.weights);
   Rng cv_rng(options_.cv_seed);  // identical folds for every candidate
@@ -66,10 +71,18 @@ comb::SetPartition lift_to_features(const SearchCone& cone,
 
 namespace {
 
-SearchResult finalize(PartitionEvaluator& evaluator, SearchResult result) {
+SearchResult finalize(PartitionEvaluator& evaluator, SearchResult result, obs::Span& span,
+                      std::uint64_t cones_pruned) {
   result.partitions_evaluated = evaluator.evaluations();
   result.block_grams_computed = evaluator.cache().block_grams_computed();
   result.best_weights = evaluator.weights_for(result.best);
+  obs::registry().counter("lattice.searches_run").add();
+  obs::registry().counter("lattice.cones_pruned").add(cones_pruned);
+  span.arg("partitions_evaluated", static_cast<std::uint64_t>(result.partitions_evaluated));
+  span.arg("block_grams_computed", static_cast<std::uint64_t>(result.block_grams_computed));
+  span.arg("cones_pruned", cones_pruned);
+  span.arg("best_score", result.best_score);
+  span.arg("best_blocks", static_cast<std::uint64_t>(result.best.num_blocks()));
   return result;
 }
 
@@ -83,6 +96,7 @@ SearchResult exhaustive_cone_search(PartitionEvaluator& evaluator,
   IOTML_CHECK(cone_size <= evaluator.options().max_exhaustive,
               "exhaustive_cone_search: cone larger than options.max_exhaustive");
 
+  obs::Span span("lattice.exhaustive_cone_search", "core");
   SearchResult result;
   result.best_score = -1.0;
   comb::PartitionEnumerator enumerate(m);
@@ -96,7 +110,8 @@ SearchResult exhaustive_cone_search(PartitionEvaluator& evaluator,
       result.best = candidate;
     }
   }
-  return finalize(evaluator, std::move(result));
+  // Exhaustive enumeration prunes nothing by definition.
+  return finalize(evaluator, std::move(result), span, 0);
 }
 
 namespace {
@@ -137,7 +152,9 @@ std::vector<comb::SetPartition> feasible_downward_covers(const comb::SetPartitio
 
 SearchResult greedy_refinement_search(PartitionEvaluator& evaluator,
                                       const SearchCone& cone) {
+  obs::Span span("lattice.greedy_refinement_search", "core");
   SearchResult result;
+  std::uint64_t cones_pruned = 0;  // evaluated covers whose sub-cones we never descend into
 
   // Start at the paper's two-block partition (K, S-K) — rho = one block.
   comb::SetPartition rho = comb::SetPartition::indiscrete(cone.rest.size());
@@ -164,8 +181,10 @@ SearchResult greedy_refinement_search(PartitionEvaluator& evaluator,
     }
     if (best_candidate_score <
         current_score + evaluator.options().min_improvement) {
+      cones_pruned += candidates.size();  // no cover descended into
       break;  // adding another kernel does not improve the system
     }
+    cones_pruned += candidates.size() - 1;  // all covers but the chosen one
     rho = candidates[best_index];
     current = lift_to_features(cone, rho);
     current_score = best_candidate_score;
@@ -174,12 +193,14 @@ SearchResult greedy_refinement_search(PartitionEvaluator& evaluator,
       result.best_score = current_score;
     }
   }
-  return finalize(evaluator, std::move(result));
+  return finalize(evaluator, std::move(result), span, cones_pruned);
 }
 
 SearchResult chain_search(PartitionEvaluator& evaluator, const SearchCone& cone) {
+  obs::Span span("lattice.chain_search", "core");
   const std::size_t m = cone.rest.size();
   SearchResult result;
+  std::uint64_t cones_pruned = 0;
 
   // The C1-type saturated chain: rho_k isolates the first k features of R
   // (in exploration order) as singletons and keeps the suffix together.
@@ -205,16 +226,21 @@ SearchResult chain_search(PartitionEvaluator& evaluator, const SearchCone& cone)
         result.best = candidate;
       }
       ++without_improvement;
-      if (without_improvement > evaluator.options().patience) break;
+      if (without_improvement > evaluator.options().patience) {
+        cones_pruned += static_cast<std::uint64_t>(m - 1 - k);  // chain steps never walked
+        break;
+      }
     }
   }
-  return finalize(evaluator, std::move(result));
+  return finalize(evaluator, std::move(result), span, cones_pruned);
 }
 
 SearchResult smushing_search(PartitionEvaluator& evaluator, const SearchCone& cone) {
+  obs::Span span("lattice.smushing_search", "core");
   const std::size_t m = cone.rest.size();
   SearchResult result;
   result.best_score = -1.0;
+  std::uint64_t cones_pruned = 0;
 
   // Current partition of R as block lists over rest *positions*.
   std::vector<std::vector<std::size_t>> blocks(m);
@@ -248,7 +274,12 @@ SearchResult smushing_search(PartitionEvaluator& evaluator, const SearchCone& co
         result.best_score = s;
         result.best = candidate;
       }
-      if (++without_improvement > evaluator.options().patience) break;
+      if (++without_improvement > evaluator.options().patience) {
+        if (blocks.size() > 1) {
+          cones_pruned += static_cast<std::uint64_t>(blocks.size() - 1);  // merges never tried
+        }
+        break;
+      }
     }
     if (blocks.size() <= 1) break;
 
@@ -272,7 +303,7 @@ SearchResult smushing_search(PartitionEvaluator& evaluator, const SearchCone& co
                            blocks[merge_b].end());
     blocks.erase(blocks.begin() + static_cast<std::ptrdiff_t>(merge_b));
   }
-  return finalize(evaluator, std::move(result));
+  return finalize(evaluator, std::move(result), span, cones_pruned);
 }
 
 }  // namespace iotml::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace iotml::core {
@@ -19,9 +20,13 @@ const BlockGramCache::Entry& BlockGramCache::entry_for(
   IOTML_CHECK(key.back() < x_.cols(), "BlockGramCache: feature out of range");
 
   ++lookups_;
+  static obs::Counter& lookups = obs::registry().counter("lattice.block_gram_lookups");
+  lookups.add();
   auto it = cache_.find(key);
   if (it == cache_.end()) {
     ++misses_;
+    static obs::Counter& builds = obs::registry().counter("lattice.block_gram_builds");
+    builds.add();
     Entry entry;
     entry.gamma = kernels::median_heuristic_gamma(x_, key);
     kernels::SubsetKernel kernel(std::make_unique<kernels::RbfKernel>(entry.gamma), key);

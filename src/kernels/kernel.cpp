@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace iotml::kernels {
@@ -163,6 +164,8 @@ std::string SumKernel::name() const {
 // ---- Gram utilities ------------------------------------------------------------
 
 la::Matrix gram(const Kernel& kernel, const la::Matrix& x) {
+  static obs::Counter& gram_builds = obs::registry().counter("kernels.gram_builds");
+  gram_builds.add();
   const std::size_t n = x.rows();
   la::Matrix k(n, n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -176,6 +179,8 @@ la::Matrix gram(const Kernel& kernel, const la::Matrix& x) {
 }
 
 la::Matrix cross_gram(const Kernel& kernel, const la::Matrix& a, const la::Matrix& b) {
+  static obs::Counter& cross_builds = obs::registry().counter("kernels.cross_gram_builds");
+  cross_builds.add();
   la::Matrix k(a.rows(), b.rows());
   for (std::size_t i = 0; i < a.rows(); ++i) {
     for (std::size_t j = 0; j < b.rows(); ++j) {

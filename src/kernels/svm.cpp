@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace iotml::kernels {
@@ -127,6 +128,10 @@ SvmModel train_svm(const la::Matrix& gram, const std::vector<int>& y01,
     passes = changed == 0 ? passes + 1 : 0;
   }
   model.iterations_ = iterations;
+  static obs::Counter& svm_trains = obs::registry().counter("kernels.svm_trains");
+  static obs::Counter& svm_iterations = obs::registry().counter("kernels.svm_iterations");
+  svm_trains.add();
+  svm_iterations.add(iterations);
   return model;
 }
 

@@ -6,6 +6,7 @@
 #include <map>
 #include <numeric>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace iotml::learners {
@@ -227,6 +228,8 @@ std::unique_ptr<DecisionTree::Node> DecisionTree::build(
     if (!child.empty() && child.size() < params_.min_samples_leaf) return node;
   }
 
+  static obs::Counter& tree_splits = obs::registry().counter("learners.tree_splits");
+  tree_splits.add();
   node->leaf = false;
   node->feature = best.feature;
   node->numeric = best.numeric;
@@ -242,6 +245,8 @@ std::unique_ptr<DecisionTree::Node> DecisionTree::build(
 }
 
 void DecisionTree::fit(const data::Dataset& train) {
+  static obs::Counter& tree_fits = obs::registry().counter("learners.tree_fits");
+  tree_fits.add();
   train.validate();
   IOTML_CHECK(train.has_labels(), "DecisionTree::fit: unlabeled dataset");
   IOTML_CHECK(train.rows() >= 1, "DecisionTree::fit: empty dataset");

@@ -1,0 +1,19 @@
+#include "obs/clock.hpp"
+
+#include <chrono>
+
+namespace iotml::obs {
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t unix_time_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace iotml::obs

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstdint>
+
+namespace iotml::obs {
+
+/// Monotonic timestamp in microseconds (arbitrary fixed epoch; only deltas
+/// are meaningful). This is the one sanctioned clock in the tree: invariant
+/// lint rule R6 (tools/lint_invariants.py) forbids raw std::chrono clock
+/// reads outside src/obs/ so all timing flows through instrumentation that
+/// can be audited (and, later, mocked) in one place.
+std::int64_t now_us();
+
+/// Wall-clock unix time in milliseconds — for stamping reports, never for
+/// measuring durations (use now_us() deltas for those).
+std::int64_t unix_time_ms();
+
+}  // namespace iotml::obs

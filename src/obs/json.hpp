@@ -1,0 +1,15 @@
+#pragma once
+
+#include <string>
+
+namespace iotml::obs {
+
+/// Escape `text` for embedding inside a JSON string literal (quotes are the
+/// caller's job). Control characters become \uXXXX escapes.
+std::string json_escape(const std::string& text);
+
+/// Render a double as a JSON number token. JSON cannot represent NaN or
+/// infinities, so non-finite values become 0.
+std::string json_number(double value);
+
+}  // namespace iotml::obs

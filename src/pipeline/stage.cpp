@@ -1,5 +1,6 @@
 #include "pipeline/stage.hpp"
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace iotml::pipeline {
@@ -47,9 +48,27 @@ Pipeline& Pipeline::add(std::string name, LambdaStage::Fn fn, std::string player
 
 data::Dataset Pipeline::run(data::Dataset input, Rng& rng) {
   reports_.clear();
+  obs::Span run_span("pipeline.run", "pipeline");
   for (const auto& stage : stages_) {
-    reports_.push_back(stage->apply(input, rng));
+    obs::Span span("stage:" + stage->name(), "pipeline");
+    const std::int64_t start_us = obs::now_us();
+    StageReport report = stage->apply(input, rng);
+    report.wall_time_us = static_cast<std::uint64_t>(obs::now_us() - start_us);
+    span.arg("player", report.player);
+    span.arg("tier", tier_name(report.tier));
+    span.arg("rows_in", static_cast<std::uint64_t>(report.rows_in));
+    span.arg("rows_out", static_cast<std::uint64_t>(report.rows_out));
+    span.arg("columns_out", static_cast<std::uint64_t>(report.columns_out));
+    span.arg("missing_rate_in", report.missing_rate_in);
+    span.arg("missing_rate_out", report.missing_rate_out);
+    span.arg("cost", report.cost);
+    obs::registry().counter("pipeline.stages_run").add();
+    obs::registry().histogram("pipeline.stage_wall_us").record(
+        static_cast<double>(report.wall_time_us));
+    reports_.push_back(std::move(report));
   }
+  run_span.arg("stages", static_cast<std::uint64_t>(stages_.size()));
+  run_span.arg("total_cost", total_cost());
   return input;
 }
 

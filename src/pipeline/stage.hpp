@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -29,6 +30,12 @@ struct StageReport {
   double missing_rate_in = 0.0;
   double missing_rate_out = 0.0;
   double cost = 0.0;  ///< abstract effort units declared by the stage
+  /// Measured wall time of Stage::apply, filled in by Pipeline::run (stages
+  /// that are applied directly, outside a Pipeline, leave it 0). Unlike
+  /// `cost` this is observed, not declared — the paper's per-stage
+  /// accounting needs both sides to compare what a stage claims against
+  /// what it actually spends.
+  std::uint64_t wall_time_us = 0;
 };
 
 /// One service in the composed pipeline (the paper models the pipeline as a

@@ -1,0 +1,330 @@
+// src/obs: histogram percentile math against known distributions, span
+// nesting/ordering in the exported Chrome trace JSON, and concurrent
+// recording into the registry (labelled tsan-critical — the tsan preset
+// exercises exactly these suites).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "pipeline/stage.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace iotml;
+
+// ---- Histogram ------------------------------------------------------------
+
+TEST(ObsHistogram, PercentilesOnKnownUniform) {
+  // Unit-width buckets 0..100; one sample in the middle of each bucket makes
+  // the interpolated percentiles exact up to one bucket width.
+  std::vector<double> bounds;
+  for (int i = 1; i <= 100; ++i) bounds.push_back(static_cast<double>(i));
+  obs::Histogram h(bounds);
+  for (int v = 0; v < 100; ++v) h.record(static_cast<double>(v) + 0.5);
+
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.min(), 0.5, 1e-12);
+  EXPECT_NEAR(h.max(), 99.5, 1e-12);
+  EXPECT_NEAR(h.sum(), 5000.0, 1e-9);
+  EXPECT_NEAR(h.mean(), 50.0, 1e-9);
+  EXPECT_NEAR(h.percentile(0.50), 50.0, 1.01);
+  EXPECT_NEAR(h.percentile(0.95), 95.0, 1.01);
+  EXPECT_NEAR(h.percentile(0.99), 99.0, 1.01);
+  EXPECT_NEAR(h.percentile(0.0), 0.5, 1.01);
+  EXPECT_NEAR(h.percentile(1.0), 99.5, 1e-12);
+}
+
+TEST(ObsHistogram, PointMassIsExactRegardlessOfBucketWidth) {
+  // All mass at 7 inside the huge (1, 1000] bucket: clamping percentiles to
+  // the observed [min, max] makes every quantile exactly 7.
+  obs::Histogram h({1.0, 1000.0});
+  for (int i = 0; i < 1000; ++i) h.record(7.0);
+  EXPECT_NEAR(h.percentile(0.50), 7.0, 1e-12);
+  EXPECT_NEAR(h.percentile(0.99), 7.0, 1e-12);
+}
+
+TEST(ObsHistogram, SkewedTwoPointDistribution) {
+  // 90 samples at ~1, 10 at ~100: p50 must sit in the low bucket, p99 in the
+  // high one.
+  obs::Histogram h(obs::Histogram::exponential_bounds(1.0, 2.0, 12));
+  for (int i = 0; i < 90; ++i) h.record(1.0);
+  for (int i = 0; i < 10; ++i) h.record(100.0);
+  EXPECT_LT(h.percentile(0.50), 2.0);
+  EXPECT_GT(h.percentile(0.95), 50.0);
+  EXPECT_NEAR(h.percentile(0.99), 100.0, 36.1);  // within the (64, 128] bucket
+}
+
+TEST(ObsHistogram, OverflowBucketCatchesEverything) {
+  obs::Histogram h({1.0, 2.0});
+  h.record(5.0);
+  h.record(9.0);
+  EXPECT_EQ(h.count(), 2u);
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[2], 2u);  // both in overflow
+  // Overflow interpolates between the observed min-in-bucket floor and max.
+  EXPECT_GT(h.percentile(0.99), 5.0);
+  EXPECT_LE(h.percentile(0.99), 9.0);
+  EXPECT_NEAR(h.percentile(1.0), 9.0, 1e-12);
+}
+
+TEST(ObsHistogram, EmptyReturnsZeros) {
+  obs::Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(ObsHistogram, ResetClearsEverything) {
+  obs::Histogram h({1.0, 2.0});
+  h.record(1.5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(ObsHistogram, RejectsBadArguments) {
+  EXPECT_THROW(obs::Histogram(std::vector<double>{}), InvalidArgument);
+  EXPECT_THROW(obs::Histogram({1.0, 1.0}), InvalidArgument);
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), InvalidArgument);
+  obs::Histogram h({1.0});
+  EXPECT_THROW(h.percentile(-0.1), InvalidArgument);
+  EXPECT_THROW(h.percentile(1.1), InvalidArgument);
+  EXPECT_THROW(obs::Histogram::exponential_bounds(0.0, 2.0, 4), InvalidArgument);
+  EXPECT_THROW(obs::Histogram::exponential_bounds(1.0, 1.0, 4), InvalidArgument);
+  EXPECT_THROW(obs::Histogram::exponential_bounds(1.0, 2.0, 0), InvalidArgument);
+}
+
+TEST(ObsHistogram, ExponentialBoundsDouble) {
+  const auto bounds = obs::Histogram::exponential_bounds(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+}
+
+// ---- Trace spans ----------------------------------------------------------
+
+bool balanced_json_braces(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(ObsTrace, SpanNestingAndOrderingInExportedJson) {
+  obs::TraceCollector collector;
+  collector.set_enabled(true);
+  {
+    obs::Span outer(collector, "outer", "test");
+    outer.arg("rows", std::uint64_t{42});
+    {
+      obs::Span inner(collector, "inner", "test");
+      inner.arg("score", 0.5);
+    }
+    obs::Span sibling(collector, "sibling", "test");
+  }
+
+  const auto events = collector.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  // Spans complete inside-out: inner and sibling close before outer.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "sibling");
+  EXPECT_EQ(events[2].name, "outer");
+  const obs::TraceEvent& outer_ev = events[2];
+  EXPECT_EQ(outer_ev.depth, 0u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(events[i].depth, 1u);
+    // Temporal containment: children start and end within the parent.
+    EXPECT_GE(events[i].ts_us, outer_ev.ts_us);
+    EXPECT_LE(events[i].ts_us + events[i].dur_us, outer_ev.ts_us + outer_ev.dur_us);
+  }
+  // Sibling ordering on the same thread.
+  EXPECT_GE(events[1].ts_us, events[0].ts_us + events[0].dur_us);
+
+  const std::string json = collector.chrome_json();
+  EXPECT_TRUE(balanced_json_braces(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\": 42"), std::string::npos);       // numeric arg unquoted
+  EXPECT_NE(json.find("\"score\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\": 1"), std::string::npos);
+}
+
+TEST(ObsTrace, DisabledCollectorRecordsNothing) {
+  obs::TraceCollector collector;  // disabled by default
+  {
+    obs::Span span(collector, "ghost", "test");
+    span.arg("k", 1.0);
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_EQ(collector.size(), 0u);
+}
+
+TEST(ObsTrace, StringArgsAreEscaped) {
+  obs::TraceCollector collector;
+  collector.set_enabled(true);
+  {
+    obs::Span span(collector, "quote\"name", "test");
+    span.arg("text", "line1\nline2\\end");
+  }
+  const std::string json = collector.chrome_json();
+  EXPECT_TRUE(balanced_json_braces(json)) << json;
+  EXPECT_NE(json.find("quote\\\"name"), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2\\\\end"), std::string::npos);
+}
+
+// ---- Registry -------------------------------------------------------------
+
+TEST(ObsRegistry, InstrumentsAreStableByName) {
+  obs::Registry reg;
+  obs::Counter& a = reg.counter("x");
+  obs::Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(reg.counter("x").value(), 3u);
+  obs::Histogram& h1 = reg.histogram("h", {1.0, 2.0});
+  obs::Histogram& h2 = reg.histogram("h", {9.0});  // bounds of the first call win
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h1.bounds().size(), 2u);
+  reg.gauge("g").set(2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 2.5);
+}
+
+TEST(ObsRegistry, JsonSnapshotContainsEveryInstrument) {
+  obs::Registry reg;
+  reg.counter("events_total").add(7);
+  reg.gauge("load").set(0.25);
+  reg.histogram("latency_us", {10.0, 100.0}).record(42.0);
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(balanced_json_braces(json)) << json;
+  EXPECT_NE(json.find("\"events_total\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"load\": 0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"+inf\""), std::string::npos);
+}
+
+TEST(ObsRegistry, ConcurrentCountersAndHistogramsLoseNothing) {
+  obs::Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 4000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      for (int i = 0; i < kOps; ++i) {
+        // Mix registry lookups with increments so tsan sees the map mutex
+        // interleaved with the lock-free instrument updates.
+        reg.counter("shared").add();
+        reg.counter("per_thread_" + std::to_string(t)).add();
+        reg.histogram("lat", {1.0, 8.0, 64.0}).record(static_cast<double>(i % 100));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(reg.counter("shared").value(), static_cast<std::uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(reg.histogram("lat").count(), static_cast<std::uint64_t>(kThreads) * kOps);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reg.counter("per_thread_" + std::to_string(t)).value(),
+              static_cast<std::uint64_t>(kOps));
+  }
+  EXPECT_DOUBLE_EQ(reg.histogram("lat").min(), 0.0);
+  EXPECT_DOUBLE_EQ(reg.histogram("lat").max(), 99.0);
+}
+
+TEST(ObsRegistry, ConcurrentSpansAgainstOneCollector) {
+  obs::TraceCollector collector;
+  collector.set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&collector] {
+      for (int i = 0; i < kSpans; ++i) {
+        obs::Span outer(collector, "outer", "test");
+        obs::Span inner(collector, "inner", "test");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(collector.size(), static_cast<std::size_t>(kThreads) * kSpans * 2);
+}
+
+// ---- Wiring: Pipeline::run measures and reports ---------------------------
+
+TEST(ObsWiring, PipelineRunFillsWallTimeAndGlobalInstruments) {
+  const std::uint64_t stages_before = obs::registry().counter("pipeline.stages_run").value();
+
+  data::Dataset ds;
+  data::Column& col = ds.add_numeric_column("x");
+  for (double v : {1.0, 2.0, 3.0, 4.0}) col.push_numeric(v);
+  Rng rng(5);
+  pipeline::Pipeline p;
+  p.add("busywork", [](data::Dataset& d, Rng&) {
+    double acc = 0.0;
+    for (int i = 0; i < 50000; ++i) acc += static_cast<double>(i) * 1e-9;
+    d.column(0).set_numeric(0, acc);
+    return 1.0;
+  });
+  p.add("noop", [](data::Dataset&, Rng&) { return 0.5; });
+  p.run(ds, rng);
+
+  ASSERT_EQ(p.reports().size(), 2u);
+  EXPECT_GT(p.reports()[0].wall_time_us, 0u);  // 50k flops do not finish in <1us
+  EXPECT_EQ(obs::registry().counter("pipeline.stages_run").value(), stages_before + 2);
+  EXPECT_GE(obs::registry().histogram("pipeline.stage_wall_us").count(), 2u);
+}
+
+TEST(ObsWiring, GlobalTraceDisabledByDefaultButCapturesWhenEnabled) {
+  // Without IOTML_TRACE the global collector must be off (the no-op path).
+  ASSERT_TRUE(obs::trace_path().empty()) << "test assumes IOTML_TRACE is unset";
+  EXPECT_FALSE(obs::trace().enabled());
+
+  obs::trace().set_enabled(true);
+  const std::size_t before = obs::trace().size();
+  {
+    data::Dataset ds;
+    data::Column& col = ds.add_numeric_column("x");
+    col.push_numeric(1.0);
+    col.push_numeric(2.0);
+    Rng rng(7);
+    pipeline::Pipeline p;
+    p.add("traced", [](data::Dataset&, Rng&) { return 0.0; });
+    p.run(ds, rng);
+  }
+  obs::trace().set_enabled(false);
+  const auto events = obs::trace().snapshot();
+  EXPECT_GT(events.size(), before);
+  bool saw_stage = false;
+  for (const auto& e : events) {
+    if (e.name == "stage:traced") saw_stage = true;
+  }
+  EXPECT_TRUE(saw_stage);
+  obs::trace().clear();
+}
+
+}  // namespace

@@ -23,6 +23,14 @@ R4  rng-discipline        rand()/srand(), std::random_device,
                           draws from a seedable iotml::Rng so experiments are
                           reproducible (DESIGN.md).
 R5  pragma-once           Every header in src/** starts with #pragma once.
+R6  timing-discipline     Raw clock reads (std::chrono::steady_clock /
+                          system_clock / high_resolution_clock, clock_gettime,
+                          gettimeofday) are forbidden outside src/obs/ — all
+                          timing flows through obs::now_us() so spans, stage
+                          wall times and bench reports share one clock and the
+                          no-op fast path stays the single place that decides
+                          whether time is read at all. Applies to src/, bench/,
+                          examples/ and tests/.
 
 Exit code 0 when clean; 1 with one line per violation otherwise.
 
@@ -248,6 +256,38 @@ def check_rng_discipline(src: Path) -> list[str]:
     return problems
 
 
+BANNED_CLOCKS = [
+    (re.compile(r"\bstd::chrono::steady_clock\b"), "std::chrono::steady_clock"),
+    (re.compile(r"\bstd::chrono::system_clock\b"), "std::chrono::system_clock"),
+    (re.compile(r"\bstd::chrono::high_resolution_clock\b"),
+     "std::chrono::high_resolution_clock"),
+    (re.compile(r"\bclock_gettime\s*\("), "clock_gettime()"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+]
+
+
+def check_timing_discipline(root: Path) -> list[str]:
+    """R6: raw clock reads only inside src/obs/."""
+    problems = []
+    files: list[Path] = []
+    for sub in ("src", "bench", "examples", "tests"):
+        d = root / sub
+        if d.is_dir():
+            files.extend(sorted(list(d.rglob("*.cpp")) + list(d.rglob("*.hpp"))))
+    for f in files:
+        if f.parent.name == "obs" and f.parent.parent.name == "src":
+            continue
+        code = strip_comments_and_strings(f.read_text())
+        for lineno, line in enumerate(code.splitlines(), start=1):
+            for pattern, what in BANNED_CLOCKS:
+                if pattern.search(line):
+                    problems.append(
+                        f"{f.relative_to(root)}:{lineno}: R6 {what} — time through "
+                        f"obs::now_us() (src/obs/clock.hpp) so all timing shares one clock"
+                    )
+    return problems
+
+
 def check_pragma_once(src: Path) -> list[str]:
     """R5: every header uses #pragma once."""
     problems = []
@@ -273,13 +313,15 @@ def main() -> int:
     problems += check_include_cycles(src)
     problems += check_rng_discipline(src)
     problems += check_pragma_once(src)
+    problems += check_timing_discipline(args.root)
 
     if problems:
         for p in problems:
             print(p)
         print(f"lint_invariants: {len(problems)} violation(s)", file=sys.stderr)
         return 1
-    print("lint_invariants: clean (R1 preconditions, R2 throws, R3 cycles, R4 rng, R5 pragma)")
+    print("lint_invariants: clean (R1 preconditions, R2 throws, R3 cycles, R4 rng, "
+          "R5 pragma, R6 timing)")
     return 0
 
 
