@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench_report.hpp"
 #include "combinatorics/counting.hpp"
 #include "core/faceted_learner.hpp"
 #include "data/split.hpp"
@@ -52,6 +53,7 @@ int main() {
   std::printf("E-SEARCH: partition-lattice MKL search — evaluations vs accuracy\n");
   std::printf("(faceted data: half the views informative, half high-variance noise)\n\n");
 
+  bench::BenchReport bench_report("lattice_search");
   Rng rng(7);
   std::vector<Row> rows;
 
@@ -97,5 +99,18 @@ int main() {
   std::printf("shape check: exhaustive evals follow Bell(n) (4->15, 6->203,\n"
               "8->4140, 10->115975[skipped]); chain and smushing stay <= n;\n"
               "accuracy of the cheap strategies tracks the exhaustive optimum.\n");
+
+  std::size_t total_evals = 0;
+  for (const Row& r : rows) {
+    const std::string key = r.strategy + ".n" + std::to_string(r.features);
+    bench_report.metric("accuracy." + key, r.accuracy);
+    bench_report.metric("evaluations." + key, static_cast<double>(r.evaluations));
+    total_evals += r.evaluations;
+  }
+  bench_report.metric("strategy_runs", static_cast<double>(rows.size()));
+  bench_report.metric("svm_evals_per_s",
+                      bench_report.throughput(static_cast<double>(total_evals)));
+  bench_report.note("strategies", "exhaustive | greedy | chain | smushing");
+  bench_report.write();
   return 0;
 }

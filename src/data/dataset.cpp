@@ -152,6 +152,33 @@ void Dataset::validate() const {
               "Dataset::validate: label length mismatch");
 }
 
+void Dataset::append_rows(const Dataset& other) {
+  if (columns_.empty() && labels_.empty()) {
+    *this = other;
+    return;
+  }
+  IOTML_CHECK(other.num_columns() == num_columns(),
+              "Dataset::append_rows: column count mismatch");
+  IOTML_CHECK(other.has_labels() == has_labels(),
+              "Dataset::append_rows: label presence mismatch");
+  for (std::size_t c = 0; c < num_columns(); ++c) {
+    const Column& src = other.columns_[c];
+    Column& dst = columns_[c];
+    IOTML_CHECK(src.name() == dst.name() && src.type() == dst.type(),
+                "Dataset::append_rows: column '" + dst.name() + "' schema mismatch");
+    for (std::size_t r = 0; r < src.size(); ++r) {
+      if (src.is_missing(r)) {
+        dst.push_missing();
+      } else if (src.type() == ColumnType::kNumeric) {
+        dst.push_numeric(src.numeric(r));
+      } else {
+        dst.push_category(src.category_label(r));
+      }
+    }
+  }
+  labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
+}
+
 Dataset Dataset::select_rows(const std::vector<std::size_t>& rows) const {
   Dataset out;
   for (const Column& c : columns_) {

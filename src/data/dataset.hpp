@@ -94,6 +94,13 @@ class Dataset {
   /// Throws InvalidArgument if column lengths or label length disagree.
   void validate() const;
 
+  /// Append every row of `other`, which must share this dataset's schema
+  /// (column names, types and order) and agree on label presence; throws
+  /// InvalidArgument on any mismatch. Appending to a default-constructed
+  /// dataset copies `other` wholesale. This is how the fleet simulator's
+  /// edge and core nodes accumulate records arriving from many sources.
+  void append_rows(const Dataset& other);
+
   /// Extract rows by index into a new dataset (labels follow when present).
   Dataset select_rows(const std::vector<std::size_t>& rows) const;
 

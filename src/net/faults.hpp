@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace iotml::net {
+
+/// What a scheduled fault does when its time comes.
+enum class FaultKind { kLinkDown, kLinkUp, kDeviceDown, kDeviceUp };
+
+std::string fault_kind_name(FaultKind kind);
+
+/// One scheduled fault. `target` is a link index for link faults and a node
+/// id for device churn.
+struct Fault {
+  double time_s = 0.0;
+  FaultKind kind = FaultKind::kLinkDown;
+  std::size_t target = 0;
+};
+
+/// Intensity of the injected faults, expressed per entity over the whole
+/// simulated window so the same params mean the same stress at any duration.
+struct FaultParams {
+  double link_outages = 0.0;          ///< expected outages per link
+  double link_outage_mean_s = 5.0;    ///< mean outage length (exponential)
+  double device_churns = 0.0;         ///< expected offline periods per device
+  double device_offtime_mean_s = 10.0;
+};
+
+/// Sample a reproducible fault plan over [0, duration_s): exponential
+/// inter-arrival times per link/device, exponential outage lengths, every
+/// down paired with its up. Sorted by (time, kind, target). Throws
+/// InvalidArgument unless duration_s > 0 and the rates and mean durations
+/// are non-negative (a zero rate simply injects nothing).
+std::vector<Fault> make_fault_plan(const Topology& topo, const FaultParams& params,
+                                   double duration_s, Rng& rng);
+
+}  // namespace iotml::net

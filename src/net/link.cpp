@@ -1,0 +1,59 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace iotml::net {
+
+Link::Link(std::string name, LinkParams params)
+    : name_(std::move(name)), params_(params) {
+  IOTML_CHECK(!name_.empty(), "Link: empty name");
+  IOTML_CHECK(params.bandwidth_bytes_per_s > 0.0, "Link: bandwidth must be positive");
+  IOTML_CHECK(params.latency_s >= 0.0, "Link: negative latency");
+  IOTML_CHECK(params.jitter_s >= 0.0, "Link: negative jitter");
+  IOTML_CHECK(params.retry_backoff_s >= 0.0, "Link: negative retry backoff");
+  IOTML_CHECK(params.drop_prob >= 0.0 && params.drop_prob <= 1.0,
+              "Link: drop_prob outside [0, 1]");
+  IOTML_CHECK(params.duplicate_prob >= 0.0 && params.duplicate_prob <= 1.0,
+              "Link: duplicate_prob outside [0, 1]");
+}
+
+Delivery Link::transmit(double now_s, std::size_t bytes, Rng& rng) {
+  Delivery delivery;
+  if (!up_) {
+    ++stats_.drops;
+    return delivery;
+  }
+  const double tx_s = static_cast<double>(bytes) / params_.bandwidth_bytes_per_s;
+  double start_s = std::max(now_s, busy_until_s_);
+  for (std::size_t attempt = 0; attempt <= params_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retransmits;
+      ++delivery.retransmits;
+    }
+    const double done_s = start_s + tx_s;
+    busy_until_s_ = done_s;
+    if (!rng.bernoulli(params_.drop_prob)) {
+      double arrival_s = done_s + params_.latency_s;
+      if (params_.jitter_s > 0.0) arrival_s += rng.uniform(0.0, params_.jitter_s);
+      delivery.delivered = true;
+      delivery.arrival_s = arrival_s;
+      ++stats_.messages;
+      stats_.bytes += bytes;
+      if (params_.duplicate_prob > 0.0 && rng.bernoulli(params_.duplicate_prob)) {
+        // A straggler copy one extra propagation delay behind the original —
+        // the receiver is expected to deduplicate by message id.
+        delivery.duplicated = true;
+        delivery.duplicate_arrival_s = arrival_s + params_.latency_s;
+        ++stats_.duplicates;
+      }
+      return delivery;
+    }
+    start_s = done_s + params_.retry_backoff_s;
+  }
+  ++stats_.drops;
+  return delivery;
+}
+
+}  // namespace iotml::net

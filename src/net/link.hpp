@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace iotml::net {
+
+/// Behavioural model of one lossy, bandwidth-limited link between tiers.
+/// All times are virtual-clock seconds — the fleet simulator never reads a
+/// wall clock (lint rule R6), so a link's timing is fully determined by its
+/// parameters, its traffic and the seeded Rng it is given.
+struct LinkParams {
+  double latency_s = 0.01;            ///< propagation delay per delivery
+  double jitter_s = 0.0;              ///< uniform [0, jitter_s) extra delay
+  double bandwidth_bytes_per_s = 1e6; ///< serialization rate (must be > 0)
+  double drop_prob = 0.0;             ///< per-attempt loss probability
+  double duplicate_prob = 0.0;        ///< per-delivery chance of a late copy
+  std::size_t max_retries = 0;        ///< retransmit attempts after a loss
+  double retry_backoff_s = 0.05;      ///< extra delay before each retransmit
+};
+
+/// Transport counters, aggregated per link for the FleetReport.
+struct LinkStats {
+  std::uint64_t messages = 0;     ///< delivered first copies
+  std::uint64_t bytes = 0;        ///< wire bytes of delivered messages
+  std::uint64_t drops = 0;        ///< messages lost (incl. link-down sends)
+  std::uint64_t duplicates = 0;   ///< extra copies generated
+  std::uint64_t retransmits = 0;  ///< retransmission attempts made
+};
+
+/// Outcome of one send, computed at transmit time (the discrete-event
+/// scheduler turns arrival times into delivery events).
+struct Delivery {
+  bool delivered = false;
+  bool duplicated = false;
+  double arrival_s = 0.0;
+  double duplicate_arrival_s = 0.0;
+  std::size_t retransmits = 0;
+};
+
+/// One directed link. The wire is serial: a transmission starts no earlier
+/// than the previous one finished, so bandwidth contention shows up as
+/// queueing delay without any explicit queue object.
+class Link {
+ public:
+  /// Throws InvalidArgument unless bandwidth > 0, latency/jitter/backoff are
+  /// non-negative and the probabilities lie in [0, 1].
+  Link(std::string name, LinkParams params);
+
+  const std::string& name() const noexcept { return name_; }
+  const LinkParams& params() const noexcept { return params_; }
+
+  bool up() const noexcept { return up_; }
+  void set_up(bool up) noexcept { up_ = up; }
+
+  const LinkStats& stats() const noexcept { return stats_; }
+
+  /// Time the wire frees up (for tests and queue-depth introspection).
+  double busy_until_s() const noexcept { return busy_until_s_; }
+
+  /// Plan the delivery of `bytes` handed to the link at `now_s`. Applies
+  /// serialization time, queueing behind earlier transmissions, latency,
+  /// jitter, loss with bounded retransmits, and duplication. Updates the
+  /// link stats; deterministic given the Rng state.
+  Delivery transmit(double now_s, std::size_t bytes, Rng& rng);
+
+ private:
+  std::string name_;
+  LinkParams params_;
+  bool up_ = true;
+  double busy_until_s_ = 0.0;
+  LinkStats stats_;
+};
+
+}  // namespace iotml::net

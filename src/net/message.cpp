@@ -1,0 +1,22 @@
+#include "net/message.hpp"
+
+namespace iotml::net {
+
+std::size_t wire_size_bytes(const data::Dataset& ds) {
+  std::size_t bytes = 8;  // row count + column count
+  for (std::size_t c = 0; c < ds.num_columns(); ++c) {
+    const data::Column& col = ds.column(c);
+    bytes += col.name().size() + 2;             // name + type tag
+    bytes += (col.size() + 7) / 8;              // presence bitmap
+    const std::size_t present = col.size() - col.missing_count();
+    bytes += present * (col.type() == data::ColumnType::kNumeric ? 8 : 2);
+  }
+  if (ds.has_labels()) bytes += ds.labels().size();  // small-int labels
+  return bytes;
+}
+
+std::size_t wire_size_bytes(const Message& m) {
+  return kMessageHeaderBytes + wire_size_bytes(m.payload) + 8 * m.origin_s.size();
+}
+
+}  // namespace iotml::net

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace iotml::net {
+
+/// Fixed per-message framing overhead (ids, addresses, timestamps).
+inline constexpr std::size_t kMessageHeaderBytes = 24;
+
+/// One dataset chunk in flight between tiers. Payloads are moved, never
+/// copied per hop; `origin_s` carries the virtual creation time of every
+/// device chunk folded into the payload, so the core can account a full
+/// end-to-end latency distribution even after edge-side batching.
+struct Message {
+  std::uint64_t id = 0;
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  double sent_s = 0.0;
+  std::vector<double> origin_s;
+  data::Dataset payload;
+};
+
+/// Serialization cost model for a dataset on the wire: a small per-column
+/// header (name + type tag), 8 bytes per numeric cell, 2 bytes per
+/// categorical cell (dictionary index), and a presence bitmap of one bit
+/// per cell. This is what a compact row-batch encoding costs, and it is
+/// what the link bandwidth model charges.
+std::size_t wire_size_bytes(const data::Dataset& ds);
+
+/// Full wire size of a message: header + payload + 8 bytes per origin stamp.
+std::size_t wire_size_bytes(const Message& m);
+
+}  // namespace iotml::net

@@ -1,0 +1,87 @@
+#include "net/topology.hpp"
+
+#include "util/error.hpp"
+
+namespace iotml::net {
+
+Topology Topology::fleet(std::size_t n_devices, std::size_t n_edges,
+                         const LinkParams& device_edge, const LinkParams& edge_core) {
+  IOTML_CHECK(n_devices >= 1, "Topology::fleet: need at least one device");
+  IOTML_CHECK(n_edges >= 1 && n_edges <= n_devices,
+              "Topology::fleet: need 1 <= edges <= devices");
+  Topology topo;
+  topo.n_devices_ = n_devices;
+  topo.n_edges_ = n_edges;
+
+  for (std::size_t i = 0; i < n_devices; ++i) {
+    topo.nodes_.push_back({i, "dev" + std::to_string(i), pipeline::Tier::kDevice, true});
+  }
+  for (std::size_t j = 0; j < n_edges; ++j) {
+    topo.nodes_.push_back(
+        {n_devices + j, "edge" + std::to_string(j), pipeline::Tier::kEdge, true});
+  }
+  topo.nodes_.push_back({topo.core(), "core", pipeline::Tier::kCore, true});
+
+  topo.uplink_of_.assign(topo.nodes_.size(), kNoLink);
+  topo.next_hop_.assign(topo.nodes_.size(), topo.core());
+  for (std::size_t i = 0; i < n_devices; ++i) {
+    const NodeId to = topo.edge(i % n_edges);
+    topo.uplink_of_[i] = topo.links_.size();
+    topo.next_hop_[i] = to;
+    topo.links_.emplace_back(topo.nodes_[i].name + "->" + topo.nodes_[to].name,
+                             device_edge);
+  }
+  for (std::size_t j = 0; j < n_edges; ++j) {
+    const NodeId from = topo.edge(j);
+    topo.uplink_of_[from] = topo.links_.size();
+    topo.next_hop_[from] = topo.core();
+    topo.links_.emplace_back(topo.nodes_[from].name + "->core", edge_core);
+  }
+  return topo;
+}
+
+NodeId Topology::device(std::size_t i) const {
+  IOTML_CHECK(i < n_devices_, "Topology::device: index out of range");
+  return i;
+}
+
+NodeId Topology::edge(std::size_t j) const {
+  IOTML_CHECK(j < n_edges_, "Topology::edge: index out of range");
+  return n_devices_ + j;
+}
+
+NodeInfo& Topology::node(NodeId id) {
+  IOTML_CHECK(id < nodes_.size(), "Topology::node: id out of range");
+  return nodes_[id];
+}
+
+const NodeInfo& Topology::node(NodeId id) const {
+  IOTML_CHECK(id < nodes_.size(), "Topology::node: id out of range");
+  return nodes_[id];
+}
+
+Link& Topology::link(std::size_t index) {
+  IOTML_CHECK(index < links_.size(), "Topology::link: index out of range");
+  return links_[index];
+}
+
+const Link& Topology::link(std::size_t index) const {
+  IOTML_CHECK(index < links_.size(), "Topology::link: index out of range");
+  return links_[index];
+}
+
+std::size_t Topology::uplink_index(NodeId from) const {
+  IOTML_CHECK(from < nodes_.size() && uplink_of_[from] != kNoLink,
+              "Topology::uplink: node has no uplink");
+  return uplink_of_[from];
+}
+
+Link& Topology::uplink(NodeId from) { return links_[uplink_index(from)]; }
+
+NodeId Topology::next_hop(NodeId from) const {
+  IOTML_CHECK(from < nodes_.size() && uplink_of_[from] != kNoLink,
+              "Topology::next_hop: node has no uplink");
+  return next_hop_[from];
+}
+
+}  // namespace iotml::net

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "pipeline/stage.hpp"
+
+namespace iotml::net {
+
+using NodeId = std::size_t;
+
+/// One node of the fleet topology. `up` is toggled by device-churn fault
+/// events; a device that is down at flush time loses that window's data.
+struct NodeInfo {
+  NodeId id = 0;
+  std::string name;
+  pipeline::Tier tier = pipeline::Tier::kDevice;
+  bool up = true;
+};
+
+/// The paper's Fig. 1 topology as a graph: N devices at the periphery, each
+/// uplinked to one of M edge nodes, every edge uplinked to the single core.
+/// Node ids are assigned contiguously — devices [0, N), edges [N, N+M),
+/// core N+M — so per-node simulator state can live in flat vectors.
+class Topology {
+ public:
+  /// Build the fleet star-of-stars. Device i uplinks to edge (i mod M).
+  /// Throws InvalidArgument unless 1 <= n_edges <= n_devices.
+  static Topology fleet(std::size_t n_devices, std::size_t n_edges,
+                        const LinkParams& device_edge, const LinkParams& edge_core);
+
+  std::size_t num_devices() const noexcept { return n_devices_; }
+  std::size_t num_edges() const noexcept { return n_edges_; }
+  std::size_t num_nodes() const noexcept { return nodes_.size(); }
+  std::size_t num_links() const noexcept { return links_.size(); }
+
+  /// Node id of the i-th device / j-th edge / the core. The index-based
+  /// accessors throw InvalidArgument when out of range.
+  NodeId device(std::size_t i) const;
+  NodeId edge(std::size_t j) const;
+  NodeId core() const noexcept { return n_devices_ + n_edges_; }
+
+  /// Throws InvalidArgument when `id` is out of range.
+  NodeInfo& node(NodeId id);
+  const NodeInfo& node(NodeId id) const;
+
+  /// Throws InvalidArgument when `index` is out of range.
+  Link& link(std::size_t index);
+  const Link& link(std::size_t index) const;
+
+  /// The uplink carrying a node's traffic toward the core. Throws
+  /// InvalidArgument for the core itself (it has no uplink).
+  Link& uplink(NodeId from);
+  std::size_t uplink_index(NodeId from) const;
+  NodeId next_hop(NodeId from) const;
+
+ private:
+  std::vector<NodeInfo> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::size_t> uplink_of_;  ///< per node; npos for the core
+  std::vector<NodeId> next_hop_;
+  std::size_t n_devices_ = 0;
+  std::size_t n_edges_ = 0;
+
+  static constexpr std::size_t kNoLink = static_cast<std::size_t>(-1);
+};
+
+}  // namespace iotml::net

@@ -14,6 +14,13 @@ std::string tier_name(Tier t) {
   return "?";
 }
 
+Tier tier_from_name(std::string_view name) {
+  if (name == "device") return Tier::kDevice;
+  if (name == "edge") return Tier::kEdge;
+  if (name == "core") return Tier::kCore;
+  throw InvalidArgument("tier_from_name: unknown tier '" + std::string(name) + "'");
+}
+
 LambdaStage::LambdaStage(std::string name, Fn fn, std::string player, Tier tier)
     : name_(std::move(name)), fn_(std::move(fn)), player_(std::move(player)), tier_(tier) {
   IOTML_CHECK(fn_ != nullptr, "LambdaStage: null function");
@@ -27,7 +34,9 @@ StageReport LambdaStage::apply(data::Dataset& ds, Rng& rng) {
   report.tier = tier_;
   report.rows_in = ds.rows();
   report.missing_rate_in = ds.missing_rate();
+  const std::int64_t start_us = obs::now_us();
   report.cost = fn_(ds, rng);
+  report.wall_time_us = static_cast<std::uint64_t>(obs::now_us() - start_us);
   report.rows_out = ds.rows();
   report.columns_out = ds.num_columns();
   report.missing_rate_out = ds.missing_rate();
@@ -53,7 +62,12 @@ data::Dataset Pipeline::run(data::Dataset input, Rng& rng) {
     obs::Span span("stage:" + stage->name(), "pipeline");
     const std::int64_t start_us = obs::now_us();
     StageReport report = stage->apply(input, rng);
-    report.wall_time_us = static_cast<std::uint64_t>(obs::now_us() - start_us);
+    // Concrete iotml stages self-measure their body; keep that tighter
+    // reading and only fall back to the around-the-call measurement for
+    // third-party stages that left the field 0.
+    if (report.wall_time_us == 0) {
+      report.wall_time_us = static_cast<std::uint64_t>(obs::now_us() - start_us);
+    }
     span.arg("player", report.player);
     span.arg("tier", tier_name(report.tier));
     span.arg("rows_in", static_cast<std::uint64_t>(report.rows_in));
@@ -70,6 +84,13 @@ data::Dataset Pipeline::run(data::Dataset input, Rng& rng) {
   run_span.arg("stages", static_cast<std::uint64_t>(stages_.size()));
   run_span.arg("total_cost", total_cost());
   return input;
+}
+
+std::vector<std::unique_ptr<Stage>> Pipeline::take_stages() {
+  reports_.clear();
+  std::vector<std::unique_ptr<Stage>> out = std::move(stages_);
+  stages_.clear();
+  return out;
 }
 
 double Pipeline::total_cost() const {

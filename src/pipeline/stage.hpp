@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "data/dataset.hpp"
@@ -16,6 +17,11 @@ namespace iotml::pipeline {
 enum class Tier { kDevice, kEdge, kCore };
 
 std::string tier_name(Tier t);
+
+/// Inverse of tier_name — parses "device"/"edge"/"core" (as emitted by
+/// tier_name and as written in sim topology configs). Throws InvalidArgument
+/// for any other spelling.
+Tier tier_from_name(std::string_view name);
 
 /// Accounting record emitted by each stage: what it did to the data and what
 /// it cost. The per-stage cost is what the stage's *player* minimizes in the
@@ -30,11 +36,12 @@ struct StageReport {
   double missing_rate_in = 0.0;
   double missing_rate_out = 0.0;
   double cost = 0.0;  ///< abstract effort units declared by the stage
-  /// Measured wall time of Stage::apply, filled in by Pipeline::run (stages
-  /// that are applied directly, outside a Pipeline, leave it 0). Unlike
-  /// `cost` this is observed, not declared — the paper's per-stage
-  /// accounting needs both sides to compare what a stage claims against
-  /// what it actually spends.
+  /// Measured wall time of Stage::apply. Every concrete iotml stage measures
+  /// its own body via obs::now_us, so the field is filled even when a stage
+  /// is applied directly, outside a Pipeline; Pipeline::run additionally
+  /// fills it for third-party stages that leave it 0. Unlike `cost` this is
+  /// observed, not declared — the paper's per-stage accounting needs both
+  /// sides to compare what a stage claims against what it actually spends.
   std::uint64_t wall_time_us = 0;
 };
 
@@ -94,6 +101,10 @@ class Pipeline {
   /// Total declared cost of the last run, optionally for one player only.
   double total_cost() const;
   double player_cost(const std::string& player) const;
+
+  /// Move the stages out (for re-hosting them elsewhere, e.g. tier placement
+  /// in the fleet simulator); the pipeline is left empty with no reports.
+  std::vector<std::unique_ptr<Stage>> take_stages();
 
  private:
   std::vector<std::unique_ptr<Stage>> stages_;

@@ -1,5 +1,6 @@
 #include "pipeline/stages.hpp"
 
+#include "obs/clock.hpp"
 #include "util/error.hpp"
 
 namespace iotml::pipeline {
@@ -15,7 +16,9 @@ StageReport run_stage(const Stage& stage, data::Dataset& ds, Body&& body) {
   report.tier = stage.tier();
   report.rows_in = ds.rows();
   report.missing_rate_in = ds.missing_rate();
+  const std::int64_t start_us = obs::now_us();
   report.cost = body();
+  report.wall_time_us = static_cast<std::uint64_t>(obs::now_us() - start_us);
   report.rows_out = ds.rows();
   report.columns_out = ds.num_columns();
   report.missing_rate_out = ds.missing_rate();

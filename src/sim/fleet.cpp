@@ -1,0 +1,454 @@
+#include "sim/fleet.hpp"
+
+#include <algorithm>
+#include <numbers>
+#include <numeric>
+#include <utility>
+
+#include "learners/decision_tree.hpp"
+#include "obs/obs.hpp"
+#include "pipeline/integration.hpp"
+#include "pipeline/preparation.hpp"
+#include "pipeline/reduction.hpp"
+#include "util/error.hpp"
+
+namespace iotml::sim {
+
+using pipeline::StageReport;
+using pipeline::Tier;
+
+pipeline::Pipeline default_fleet_pipeline(const FleetConfig& config) {
+  pipeline::Pipeline full;
+  // Device tier: clean the freshly acquired window before it costs uplink
+  // bytes — gross outliers are suppressed to missing so the edge can repair
+  // them alongside genuine sensor dropout.
+  full.add("clean(hampel)", [](data::Dataset& ds, Rng&) {
+    std::size_t suppressed = 0;
+    for (std::size_t f = 1; f < ds.num_columns(); ++f) {
+      suppressed += pipeline::suppress_outliers(
+          ds, f, pipeline::detect_outliers_hampel(ds.column(f), 4.0));
+    }
+    return 0.2 + 0.01 * static_cast<double>(suppressed);
+  }, "device", Tier::kDevice);
+
+  // Edge tier: preparation over the integrated multi-device record stream.
+  full.add("prepare(impute-linear)", [](data::Dataset& ds, Rng& rng) {
+    const pipeline::ImputeReport r =
+        pipeline::impute(ds, pipeline::ImputeStrategy::kLinear, rng);
+    return 1.0 + 0.002 * static_cast<double>(r.cells_imputed);
+  }, "edge-operator", Tier::kEdge);
+  full.add("prepare(normalize-zscore)", [](data::Dataset& ds, Rng&) {
+    // Keep the timestamp column raw; normalize sensor columns only.
+    std::vector<std::size_t> sensor_cols;
+    for (std::size_t c = 1; c < ds.num_columns(); ++c) sensor_cols.push_back(c);
+    if (sensor_cols.empty() || ds.rows() == 0) return 0.5;
+    data::Dataset sensors_only = ds.select_columns(sensor_cols);
+    pipeline::normalize(sensors_only, pipeline::NormalizeKind::kZScore);
+    for (std::size_t c = 1; c < ds.num_columns(); ++c) {
+      for (std::size_t r = 0; r < ds.rows(); ++r) {
+        if (!sensors_only.column(c - 1).is_missing(r)) {
+          ds.column(c).set_numeric(r, sensors_only.column(c - 1).numeric(r));
+        }
+      }
+    }
+    return 0.5;
+  }, "edge-operator", Tier::kEdge);
+
+  // Core tier: data reduction before the learner.
+  full.add("reduce(mi-top" + std::to_string(config.feature_keep) + ")",
+           [keep = config.feature_keep](data::Dataset& ds, Rng&) {
+    if (ds.has_labels() && ds.rows() > 0 && ds.num_columns() > keep) {
+      ds = ds.select_columns(pipeline::select_by_mutual_information(ds, keep));
+    }
+    return 1.0;
+  }, "core-operator", Tier::kCore);
+  return full;
+}
+
+FleetSim::FleetSim(FleetConfig config)
+    : FleetSim(config, default_fleet_pipeline(config)) {}
+
+FleetSim::FleetSim(FleetConfig config, pipeline::Pipeline full_pipeline)
+    : config_(config),
+      topo_(net::Topology::fleet(config.devices, config.edges,
+                                 config.device_edge_link, config.edge_core_link)),
+      tiers_(split_by_tier(std::move(full_pipeline))) {
+  IOTML_CHECK(config.duration_s > 0.0, "FleetSim: duration must be positive");
+  IOTML_CHECK(config.device_flush_s > 0.0 && config.edge_flush_s > 0.0,
+              "FleetSim: flush intervals must be positive");
+  IOTML_CHECK(config.sensor_period_s > 0.0, "FleetSim: sensor period must be positive");
+  IOTML_CHECK(config.sensor_dropout >= 0.0 && config.sensor_dropout <= 1.0,
+              "FleetSim: sensor dropout outside [0, 1]");
+  IOTML_CHECK(config.feature_keep >= 1, "FleetSim: feature_keep must be >= 1");
+
+  // Fixed derivation order: every stream of randomness is split off the
+  // master seed before the event loop starts, so event handlers can draw in
+  // any interleaving without perturbing each other's sequences.
+  Rng master(config.seed);
+  Rng fault_rng = master.split();
+  device_rngs_.reserve(config.devices);
+  for (std::size_t d = 0; d < config.devices; ++d) device_rngs_.push_back(master.split());
+  edge_rngs_.reserve(config.edges);
+  for (std::size_t e = 0; e < config.edges; ++e) edge_rngs_.push_back(master.split());
+  core_rng_ = master.split();
+  link_rngs_.reserve(topo_.num_links());
+  for (std::size_t l = 0; l < topo_.num_links(); ++l) link_rngs_.push_back(master.split());
+
+  // Temperature starts the window cold (phase -pi/2) and cycles fast enough
+  // that even a short run sees both comfortable and uncomfortable spells —
+  // the analytics labels must never collapse to a single class.
+  truths_.push_back(
+      pipeline::sine_signal(22.0, 6.0, 40.0, -std::numbers::pi / 2.0));
+  truths_.push_back(pipeline::composite_signal(
+      {pipeline::sine_signal(55.0, 10.0, 500.0), pipeline::trend_signal(0.0, -0.01)}));
+  truths_.push_back(pipeline::sine_signal(4.0, 3.0, 120.0));
+
+  report_.devices = config.devices;
+  report_.edges = config.edges;
+  report_.duration_s = config.duration_s;
+
+  edge_buffers_.resize(config.edges);
+  seen_.resize(topo_.num_nodes());
+
+  generate_device_data();
+
+  const std::vector<net::Fault> plan =
+      net::make_fault_plan(topo_, config.faults, config.duration_s, fault_rng);
+  schedule_initial_events();
+  for (const net::Fault& f : plan) {
+    EventKind kind = EventKind::kLinkDown;
+    switch (f.kind) {
+      case net::FaultKind::kLinkDown: kind = EventKind::kLinkDown; break;
+      case net::FaultKind::kLinkUp: kind = EventKind::kLinkUp; break;
+      case net::FaultKind::kDeviceDown: kind = EventKind::kDeviceDown; break;
+      case net::FaultKind::kDeviceUp: kind = EventKind::kDeviceUp; break;
+    }
+    sched_.push(f.time_s, kind, f.target);
+  }
+}
+
+void FleetSim::generate_device_data() {
+  static const char* kQuantity[3] = {"temperature", "humidity", "wind"};
+  static constexpr double kNoiseScale[3] = {1.0, 2.5, 1.5};
+  device_data_.resize(config_.devices);
+  device_cursor_.assign(config_.devices, 0);
+  for (std::size_t d = 0; d < config_.devices; ++d) {
+    Rng& rng = device_rngs_[d];
+    const std::int64_t start_us = obs::now_us();
+    std::vector<pipeline::SensorStream> streams;
+    std::size_t readings = 0;
+    for (std::size_t q = 0; q < 3; ++q) {
+      pipeline::SensorSpec spec;
+      spec.name = kQuantity[q];
+      spec.period_s = config_.sensor_period_s * rng.uniform(0.9, 1.1);
+      spec.clock_jitter_s = 0.02;
+      spec.noise_std = config_.sensor_noise * kNoiseScale[q];
+      spec.dropout_prob = config_.sensor_dropout;
+      streams.push_back(
+          pipeline::simulate_sensor(spec, truths_[q], config_.duration_s, rng));
+      readings += streams.back().readings.size();
+    }
+    pipeline::IntegrationResult integ = pipeline::integrate_streams(
+        streams, {.merge_tolerance_s = 0.45 * config_.sensor_period_s});
+    report_.rows_generated += integ.records.rows();
+
+    StageReport acq;
+    acq.stage_name = "acquisition";
+    acq.player = "device";
+    acq.tier = Tier::kDevice;
+    acq.rows_in = readings;
+    acq.rows_out = integ.records.rows();
+    acq.columns_out = integ.records.num_columns();
+    acq.missing_rate_out = integ.records.missing_rate();
+    acq.cost = 0.05 + 0.01 * static_cast<double>(readings);
+    acq.wall_time_us = static_cast<std::uint64_t>(obs::now_us() - start_us);
+    report_.stage_reports.push_back(std::move(acq));
+
+    device_data_[d] = std::move(integ.records);
+  }
+}
+
+void FleetSim::schedule_initial_events() {
+  for (std::size_t d = 0; d < config_.devices; ++d) {
+    // Stagger flush phases deterministically so a big fleet does not report
+    // in lockstep (real fleets desynchronize; ties would be FIFO anyway).
+    const double phase =
+        config_.device_flush_s * (static_cast<double>(d % 16) / 64.0);
+    for (double t = phase + config_.device_flush_s; t < config_.duration_s;
+         t += config_.device_flush_s) {
+      sched_.push(t, EventKind::kDeviceFlush, topo_.device(d));
+    }
+    // Final flush drains whatever the window schedule left behind.
+    sched_.push(config_.duration_s, EventKind::kDeviceFlush, topo_.device(d));
+  }
+  for (std::size_t e = 0; e < config_.edges; ++e) {
+    for (double t = config_.edge_flush_s; t < config_.duration_s;
+         t += config_.edge_flush_s) {
+      sched_.push(t, EventKind::kEdgeFlush, topo_.edge(e));
+    }
+  }
+}
+
+FleetReport FleetSim::run() {
+  IOTML_CHECK(!ran_, "FleetSim::run: already ran (FleetSim is one-shot)");
+  ran_ = true;
+  obs::Span run_span("sim.fleet_run", "sim");
+
+  while (!sched_.empty()) handle(sched_.pop());
+
+  // Drain: one last edge flush each, after every in-flight message has
+  // landed, so late arrivals are not silently stranded by the periodic
+  // schedule. Anything still buffered after this (an edge cut off by a
+  // down link) is reported as stranded, not dropped on the floor.
+  const double drain_s = std::max(sched_.now_s(), config_.duration_s);
+  for (std::size_t e = 0; e < config_.edges; ++e) handle_edge_flush(e, drain_s);
+  while (!sched_.empty()) handle(sched_.pop());
+
+  finalize();
+
+  report_.events = sched_.processed();
+  for (std::size_t l = 0; l < topo_.num_links(); ++l) {
+    report_.links.push_back({topo_.link(l).name(), topo_.link(l).stats()});
+  }
+  report_.latency = LatencySummary::from_samples(latencies_);
+  if (run_span.active()) {
+    run_span.arg("events", static_cast<std::uint64_t>(report_.events));
+    run_span.arg("rows_delivered", static_cast<std::uint64_t>(report_.rows_delivered));
+  }
+  return report_;
+}
+
+void FleetSim::handle(const Event& event) {
+  obs::Span span("sim.event:" + event_kind_name(event.kind), "sim");
+  if (span.active()) {
+    span.arg("t_s", event.time_s);
+    span.arg("target", static_cast<std::uint64_t>(event.target));
+  }
+  obs::registry().counter("sim.events").add();
+  switch (event.kind) {
+    case EventKind::kDeviceFlush:
+      handle_device_flush(event);
+      break;
+    case EventKind::kEdgeFlush:
+      handle_edge_flush(event.target - config_.devices, event.time_s);
+      break;
+    case EventKind::kArrival:
+      handle_arrival(event);
+      break;
+    case EventKind::kLinkDown:
+      topo_.link(event.target).set_up(false);
+      obs::registry().counter("sim.faults.link_down").add();
+      break;
+    case EventKind::kLinkUp:
+      topo_.link(event.target).set_up(true);
+      break;
+    case EventKind::kDeviceDown:
+      topo_.node(event.target).up = false;
+      obs::registry().counter("sim.faults.device_down").add();
+      break;
+    case EventKind::kDeviceUp:
+      topo_.node(event.target).up = true;
+      break;
+  }
+}
+
+void FleetSim::handle_device_flush(const Event& event) {
+  const net::NodeId d = event.target;
+  const data::Dataset& all = device_data_[d];
+  const bool final_flush = event.time_s >= config_.duration_s;
+  const std::size_t begin = device_cursor_[d];
+  std::size_t end = begin;
+  while (end < all.rows() &&
+         (final_flush || all.column(0).numeric(end) < event.time_s)) {
+    ++end;
+  }
+  device_cursor_[d] = end;
+  const std::size_t count = end - begin;
+  if (count == 0) return;
+  if (!topo_.node(d).up) {
+    // Churn: the device was offline when its report window closed. The
+    // window's rows are gone — devices in this model do not persist
+    // unsent windows across outages.
+    report_.rows_skipped += count;
+    return;
+  }
+  std::vector<std::size_t> idx(count);
+  std::iota(idx.begin(), idx.end(), begin);
+  data::Dataset chunk = all.select_rows(idx);
+  chunk = tiers_.device.run(std::move(chunk), device_rngs_[d]);
+  for (const StageReport& r : tiers_.device.reports()) {
+    report_.stage_reports.push_back(r);
+  }
+  Buffer out;
+  out.row_count = chunk.rows();
+  out.rows = std::move(chunk);
+  out.origin_s = {event.time_s};
+  send(d, std::move(out), event.time_s);
+}
+
+void FleetSim::handle_edge_flush(std::size_t edge_index, double now_s) {
+  Buffer& buf = edge_buffers_[edge_index];
+  if (buf.row_count == 0) return;
+  const net::NodeId e = topo_.edge(edge_index);
+  if (!topo_.node(e).up) return;  // hold the buffer until the edge recovers
+
+  // Integration: merge the per-device chunks into one time-ordered record
+  // stream (the §IV "ordered list of time-stamps" step, here across devices).
+  const std::int64_t start_us = obs::now_us();
+  std::vector<std::size_t> order(buf.row_count);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const data::Column& ts = buf.rows.column(0);
+  std::stable_sort(order.begin(), order.end(), [&ts](std::size_t a, std::size_t b) {
+    return ts.numeric(a) < ts.numeric(b);
+  });
+  data::Dataset merged = buf.rows.select_rows(order);
+
+  StageReport integ;
+  integ.stage_name = "integration";
+  integ.player = "edge-operator";
+  integ.tier = Tier::kEdge;
+  integ.rows_in = buf.row_count;
+  integ.rows_out = merged.rows();
+  integ.columns_out = merged.num_columns();
+  integ.missing_rate_in = merged.missing_rate();
+  integ.missing_rate_out = merged.missing_rate();
+  integ.cost = 0.2 + 0.001 * static_cast<double>(merged.rows());
+  integ.wall_time_us = static_cast<std::uint64_t>(obs::now_us() - start_us);
+  report_.stage_reports.push_back(std::move(integ));
+
+  merged = tiers_.edge.run(std::move(merged), edge_rngs_[edge_index]);
+  for (const StageReport& r : tiers_.edge.reports()) {
+    report_.stage_reports.push_back(r);
+  }
+
+  Buffer out;
+  out.row_count = merged.rows();
+  out.rows = std::move(merged);
+  out.origin_s = std::move(buf.origin_s);
+  buf = Buffer{};
+  send(e, std::move(out), now_s);
+}
+
+void FleetSim::send(net::NodeId from, Buffer&& chunk, double now_s) {
+  net::Link& link = topo_.uplink(from);
+  const std::size_t link_index = topo_.uplink_index(from);
+  const net::NodeId to = topo_.next_hop(from);
+  const std::size_t rows = chunk.row_count;
+
+  net::Message msg;
+  msg.src = from;
+  msg.dst = to;
+  msg.sent_s = now_s;
+  msg.origin_s = std::move(chunk.origin_s);
+  msg.payload = std::move(chunk.rows);
+  const std::size_t bytes = net::wire_size_bytes(msg);
+
+  const net::Delivery delivery = link.transmit(now_s, bytes, link_rngs_[link_index]);
+  ++report_.messages_sent;
+  obs::registry().counter("sim.net.messages").add();
+  obs::registry().counter("sim.net.bytes").add(bytes);
+  obs::registry().counter("net.link." + link.name() + ".bytes").add(bytes);
+  if (!delivery.delivered) {
+    ++report_.messages_dropped;
+    report_.rows_lost += rows;
+    obs::registry().counter("sim.net.dropped").add();
+    return;
+  }
+  const std::size_t index = messages_.size();
+  msg.id = index;
+  messages_.push_back(std::move(msg));
+  sched_.push(delivery.arrival_s, EventKind::kArrival, to, index);
+  if (delivery.duplicated) {
+    sched_.push(delivery.duplicate_arrival_s, EventKind::kArrival, to, index);
+  }
+}
+
+void FleetSim::handle_arrival(const Event& event) {
+  const net::NodeId node = event.target;
+  const net::Message& msg = messages_[event.message];
+  if (!seen_[node].insert(msg.id).second) {
+    ++report_.duplicates_discarded;
+    obs::registry().counter("sim.net.duplicates_discarded").add();
+    return;
+  }
+  if (node == topo_.core()) {
+    for (double origin : msg.origin_s) latencies_.push_back(event.time_s - origin);
+    report_.rows_delivered += msg.payload.rows();
+    core_buffer_.rows.append_rows(msg.payload);
+    core_buffer_.row_count += msg.payload.rows();
+  } else {
+    Buffer& buf = edge_buffers_[node - config_.devices];
+    buf.rows.append_rows(msg.payload);
+    buf.origin_s.insert(buf.origin_s.end(), msg.origin_s.begin(), msg.origin_s.end());
+    buf.row_count += msg.payload.rows();
+  }
+}
+
+void FleetSim::finalize() {
+  for (const Buffer& buf : edge_buffers_) report_.rows_stranded += buf.row_count;
+  if (core_buffer_.row_count == 0) return;
+
+  std::vector<std::size_t> order(core_buffer_.row_count);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const data::Column& ts = core_buffer_.rows.column(0);
+  std::stable_sort(order.begin(), order.end(), [&ts](std::size_t a, std::size_t b) {
+    return ts.numeric(a) < ts.numeric(b);
+  });
+  data::Dataset ds = core_buffer_.rows.select_rows(order);
+
+  // The analytics concept of the Fig. 1 example: "comfortable" iff the true
+  // temperature at that instant lies in [20, 28].
+  std::vector<int> labels;
+  labels.reserve(ds.rows());
+  for (std::size_t r = 0; r < ds.rows(); ++r) {
+    const double temp = truths_[0](ds.column(0).numeric(r));
+    labels.push_back(temp >= 20.0 && temp <= 28.0 ? 1 : 0);
+  }
+  ds.set_labels(std::move(labels));
+
+  ds = tiers_.core.run(std::move(ds), core_rng_);
+  for (const StageReport& r : tiers_.core.reports()) {
+    report_.stage_reports.push_back(r);
+  }
+
+  const std::int64_t start_us = obs::now_us();
+  // Train on sensor features only: the label is a function of time inside
+  // this window, so keeping the timestamp column would let the tree learn a
+  // clock shortcut instead of the sensed world.
+  std::vector<std::size_t> feature_cols;
+  for (std::size_t c = 0; c < ds.num_columns(); ++c) {
+    if (ds.column(c).name() != "timestamp") feature_cols.push_back(c);
+  }
+  const data::Dataset features =
+      feature_cols.empty() || feature_cols.size() == ds.num_columns()
+          ? ds
+          : ds.select_columns(feature_cols);
+  std::vector<std::size_t> train_idx;
+  std::vector<std::size_t> test_idx;
+  for (std::size_t i = 0; i < features.rows(); ++i) {
+    (i % 4 == 3 ? test_idx : train_idx).push_back(i);
+  }
+  StageReport analytics;
+  analytics.stage_name = "analytics(decision-tree)";
+  analytics.player = "core-operator";
+  analytics.tier = Tier::kCore;
+  analytics.rows_in = ds.rows();
+  analytics.rows_out = ds.rows();
+  analytics.columns_out = ds.num_columns();
+  analytics.missing_rate_in = ds.missing_rate();
+  analytics.missing_rate_out = ds.missing_rate();
+  if (!train_idx.empty() && !test_idx.empty()) {
+    const data::Dataset train = features.select_rows(train_idx);
+    const data::Dataset test = features.select_rows(test_idx);
+    learners::DecisionTree tree;
+    tree.fit(train);
+    report_.accuracy = tree.accuracy(test);
+    report_.train_rows = train.rows();
+    report_.test_rows = test.rows();
+    analytics.cost = static_cast<double>(tree.node_count());
+  }
+  analytics.wall_time_us = static_cast<std::uint64_t>(obs::now_us() - start_us);
+  report_.stage_reports.push_back(std::move(analytics));
+}
+
+}  // namespace iotml::sim

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "net/faults.hpp"
+#include "net/message.hpp"
+#include "net/topology.hpp"
+#include "pipeline/sensors.hpp"
+#include "sim/placement.hpp"
+#include "sim/report.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace iotml::sim {
+
+/// Everything a fleet run depends on. A (config, pipeline) pair fully
+/// determines the run — same seed, byte-identical event log and report.
+struct FleetConfig {
+  std::size_t devices = 100;
+  std::size_t edges = 4;
+  double duration_s = 60.0;
+  double device_flush_s = 5.0;  ///< device report interval
+  double edge_flush_s = 10.0;   ///< edge batch-and-forward interval
+  std::uint64_t seed = 42;
+
+  net::LinkParams device_edge_link{
+      .latency_s = 0.02, .jitter_s = 0.005, .bandwidth_bytes_per_s = 125000.0,
+      .drop_prob = 0.02, .duplicate_prob = 0.005, .max_retries = 1,
+      .retry_backoff_s = 0.05};
+  net::LinkParams edge_core_link{
+      .latency_s = 0.005, .jitter_s = 0.001, .bandwidth_bytes_per_s = 1.25e6,
+      .drop_prob = 0.002, .duplicate_prob = 0.0, .max_retries = 2,
+      .retry_backoff_s = 0.02};
+  net::FaultParams faults;
+
+  double sensor_period_s = 0.5;  ///< nominal sampling period per sensor
+  double sensor_dropout = 0.05;  ///< per-sample loss at the sensor itself
+  double sensor_noise = 0.4;     ///< base measurement noise (scaled per quantity)
+  std::size_t feature_keep = 3;  ///< core-side MI feature selection budget
+};
+
+/// The default Fig. 1 pipeline, tagged for placement: device-side outlier
+/// cleaning, edge-side imputation + normalization, core-side MI feature
+/// selection. The simulator synthesizes acquisition, integration and
+/// analytics reports around it, completing the paper's
+/// acquisition -> integration -> preparation -> reduction -> analytics chain.
+pipeline::Pipeline default_fleet_pipeline(const FleetConfig& config);
+
+/// Deterministic discrete-event simulator of the paper's Fig. 1: devices
+/// sample noisy desynchronized sensors and flush windows to their edge over
+/// lossy links; edges integrate, prepare and batch-forward to the core; the
+/// core reduces the merged records and learns the analytics concept. All
+/// time is virtual (the scheduler's clock); all randomness flows from the
+/// config seed through split Rngs, so a run is reproducible bit-for-bit.
+class FleetSim {
+ public:
+  /// Uses default_fleet_pipeline(config).
+  /// Throws InvalidArgument on nonsensical config (no devices, more edges
+  /// than devices, non-positive durations or intervals).
+  explicit FleetSim(FleetConfig config);
+
+  /// Host a custom pipeline instead; its stages are placed by tier.
+  FleetSim(FleetConfig config, pipeline::Pipeline full_pipeline);
+
+  /// Run the simulation to completion. One-shot: throws InvalidArgument on
+  /// a second call (build a fresh FleetSim to re-run).
+  FleetReport run();
+
+  /// One line per processed event (see Scheduler::log); byte-identical
+  /// across runs with the same config and pipeline.
+  const std::vector<std::string>& event_log() const noexcept { return sched_.log(); }
+
+  const net::Topology& topology() const noexcept { return topo_; }
+
+ private:
+  struct Buffer {
+    data::Dataset rows;
+    std::vector<double> origin_s;
+    std::size_t row_count = 0;
+  };
+
+  void generate_device_data();
+  void schedule_initial_events();
+  void handle(const Event& event);
+  void handle_device_flush(const Event& event);
+  void handle_edge_flush(std::size_t edge_index, double now_s);
+  void handle_arrival(const Event& event);
+  void send(net::NodeId from, Buffer&& chunk, double now_s);
+  void finalize();
+
+  FleetConfig config_;
+  net::Topology topo_;
+  TierPipelines tiers_;
+  Scheduler sched_;
+
+  std::vector<Rng> device_rngs_;
+  std::vector<Rng> edge_rngs_;
+  Rng core_rng_{0};
+  std::vector<Rng> link_rngs_;
+
+  std::vector<pipeline::Signal> truths_;      ///< per measured quantity
+  std::vector<data::Dataset> device_data_;    ///< pre-integrated full window
+  std::vector<std::size_t> device_cursor_;    ///< next unflushed row
+
+  std::vector<net::Message> messages_;
+  std::vector<Buffer> edge_buffers_;
+  Buffer core_buffer_;
+  std::vector<std::unordered_set<std::uint64_t>> seen_;  ///< dedup per node
+  std::vector<double> latencies_;
+
+  FleetReport report_;
+  bool ran_ = false;
+};
+
+}  // namespace iotml::sim

@@ -1,0 +1,17 @@
+#include "sim/placement.hpp"
+
+namespace iotml::sim {
+
+TierPipelines split_by_tier(pipeline::Pipeline&& full) {
+  TierPipelines tiers;
+  for (auto& stage : full.take_stages()) {
+    switch (stage->tier()) {
+      case pipeline::Tier::kDevice: tiers.device.add(std::move(stage)); break;
+      case pipeline::Tier::kEdge: tiers.edge.add(std::move(stage)); break;
+      case pipeline::Tier::kCore: tiers.core.add(std::move(stage)); break;
+    }
+  }
+  return tiers;
+}
+
+}  // namespace iotml::sim

@@ -1,0 +1,22 @@
+#pragma once
+
+#include "pipeline/stage.hpp"
+
+namespace iotml::sim {
+
+/// The per-tier sub-pipelines a full pipeline decomposes into.
+struct TierPipelines {
+  pipeline::Pipeline device;
+  pipeline::Pipeline edge;
+  pipeline::Pipeline core;
+};
+
+/// Partition a composed pipeline's stages onto the three tiers by each
+/// stage's own Tier tag, preserving the relative order within every tier.
+/// This is the placement step of Fig. 1: the same logical pipeline the
+/// in-process runner executes end to end is re-hosted as a device-side,
+/// an edge-side and a core-side sub-pipeline. The input pipeline is
+/// consumed (its stages are moved, not copied).
+TierPipelines split_by_tier(pipeline::Pipeline&& full);
+
+}  // namespace iotml::sim

@@ -1,0 +1,97 @@
+#include "sim/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace iotml::sim {
+
+LatencySummary LatencySummary::from_samples(std::vector<double> samples) {
+  LatencySummary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean_s = sum / static_cast<double>(samples.size());
+  auto nearest_rank = [&](double q) {
+    const auto rank = static_cast<std::size_t>(q * static_cast<double>(samples.size() - 1) + 0.5);
+    return samples[std::min(rank, samples.size() - 1)];
+  };
+  s.p50_s = nearest_rank(0.50);
+  s.p95_s = nearest_rank(0.95);
+  s.max_s = samples.back();
+  return s;
+}
+
+std::map<std::string, StageTotals> FleetReport::stage_totals() const {
+  std::map<std::string, StageTotals> totals;
+  for (const pipeline::StageReport& r : stage_reports) {
+    StageTotals& t = totals[r.stage_name];
+    if (t.runs == 0) {
+      t.player = r.player;
+      t.tier = r.tier;
+    }
+    ++t.runs;
+    t.rows_in += r.rows_in;
+    t.rows_out += r.rows_out;
+    t.cost += r.cost;
+  }
+  return totals;
+}
+
+std::string FleetReport::to_json() const {
+  using obs::json_escape;
+  using obs::json_number;
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"devices\": " << devices << ",\n";
+  out << "  \"edges\": " << edges << ",\n";
+  out << "  \"duration_s\": " << json_number(duration_s) << ",\n";
+  out << "  \"events\": " << events << ",\n";
+  out << "  \"rows\": {\"generated\": " << rows_generated
+      << ", \"delivered\": " << rows_delivered << ", \"lost\": " << rows_lost
+      << ", \"skipped\": " << rows_skipped << ", \"stranded\": " << rows_stranded
+      << "},\n";
+  out << "  \"messages\": {\"sent\": " << messages_sent
+      << ", \"dropped\": " << messages_dropped
+      << ", \"duplicates_discarded\": " << duplicates_discarded << "},\n";
+
+  out << "  \"stages\": {";
+  bool first = true;
+  for (const auto& [name, t] : stage_totals()) {
+    out << (first ? "" : ",") << "\n    \"" << json_escape(name) << "\": {"
+        << "\"player\": \"" << json_escape(t.player) << "\", \"tier\": \""
+        << pipeline::tier_name(t.tier) << "\", \"runs\": " << t.runs
+        << ", \"rows_in\": " << t.rows_in << ", \"rows_out\": " << t.rows_out
+        << ", \"cost\": " << json_number(t.cost) << "}";
+    first = false;
+  }
+  out << "\n  },\n";
+
+  out << "  \"links\": {";
+  first = true;
+  for (const LinkReport& l : links) {
+    out << (first ? "" : ",") << "\n    \"" << json_escape(l.name) << "\": {"
+        << "\"messages\": " << l.stats.messages << ", \"bytes\": " << l.stats.bytes
+        << ", \"drops\": " << l.stats.drops
+        << ", \"duplicates\": " << l.stats.duplicates
+        << ", \"retransmits\": " << l.stats.retransmits << "}";
+    first = false;
+  }
+  out << "\n  },\n";
+
+  out << "  \"latency\": {\"count\": " << latency.count
+      << ", \"mean_s\": " << json_number(latency.mean_s)
+      << ", \"p50_s\": " << json_number(latency.p50_s)
+      << ", \"p95_s\": " << json_number(latency.p95_s)
+      << ", \"max_s\": " << json_number(latency.max_s) << "},\n";
+  out << "  \"accuracy\": " << json_number(accuracy) << ",\n";
+  out << "  \"train_rows\": " << train_rows << ",\n";
+  out << "  \"test_rows\": " << test_rows << "\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace iotml::sim

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "pipeline/stage.hpp"
+
+namespace iotml::sim {
+
+/// Transport counters of one link, snapshot at the end of a run.
+struct LinkReport {
+  std::string name;
+  net::LinkStats stats;
+};
+
+/// Deterministic summary of the end-to-end (device flush -> core arrival)
+/// virtual-latency distribution.
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean_s = 0.0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double max_s = 0.0;
+
+  /// Nearest-rank percentiles over a sorted copy of `samples`.
+  static LatencySummary from_samples(std::vector<double> samples);
+};
+
+/// Per-stage aggregate over every StageReport a fleet run produced, keyed
+/// by stage name. Wall time is deliberately absent: it is measured real
+/// time, which belongs in the obs metrics, while the FleetReport must be a
+/// pure function of (config, seed) so determinism can be asserted.
+struct StageTotals {
+  std::string player;
+  pipeline::Tier tier = pipeline::Tier::kEdge;
+  std::size_t runs = 0;
+  std::size_t rows_in = 0;
+  std::size_t rows_out = 0;
+  double cost = 0.0;
+};
+
+/// What a whole fleet run did: the union of every node's per-stage ledgers
+/// (the same StageReport the in-process Pipeline emits) plus the transport
+/// ledger the distributed runtime adds on top.
+struct FleetReport {
+  std::size_t devices = 0;
+  std::size_t edges = 0;
+  double duration_s = 0.0;
+  std::uint64_t events = 0;
+
+  // Row conservation: generated = delivered + lost + skipped + stranded
+  // whenever no stage changes the row count (the default pipeline doesn't).
+  std::size_t rows_generated = 0;   ///< integrated device rows at acquisition
+  std::size_t rows_delivered = 0;   ///< rows that reached the core
+  std::size_t rows_lost = 0;        ///< rows in messages dropped by a link
+  std::size_t rows_skipped = 0;     ///< rows lost to device churn at flush
+  std::size_t rows_stranded = 0;    ///< rows left in an edge buffer at the end
+
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t duplicates_discarded = 0;  ///< deduplicated at the receiver
+
+  std::vector<pipeline::StageReport> stage_reports;  ///< every stage run, in order
+  std::vector<LinkReport> links;
+  LatencySummary latency;
+
+  double accuracy = 0.0;  ///< core analytics on the delivered records
+  std::size_t train_rows = 0;
+  std::size_t test_rows = 0;
+
+  /// Aggregate stage_reports by stage name (sums runs/rows/cost).
+  std::map<std::string, StageTotals> stage_totals() const;
+
+  /// Deterministic JSON rendering: stage totals, link stats, transport
+  /// counts, latency summary and accuracy. Excludes measured wall times
+  /// (see StageTotals) so two runs with the same seed render byte-identical.
+  std::string to_json() const;
+};
+
+}  // namespace iotml::sim

@@ -1,0 +1,49 @@
+#include "sim/scheduler.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace iotml::sim {
+
+std::string event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kDeviceFlush: return "device-flush";
+    case EventKind::kEdgeFlush: return "edge-flush";
+    case EventKind::kArrival: return "arrival";
+    case EventKind::kLinkDown: return "link-down";
+    case EventKind::kLinkUp: return "link-up";
+    case EventKind::kDeviceDown: return "device-down";
+    case EventKind::kDeviceUp: return "device-up";
+  }
+  return "?";
+}
+
+void Scheduler::push(double time_s, EventKind kind, std::size_t target,
+                     std::size_t message) {
+  IOTML_CHECK(time_s >= now_s_, "Scheduler::push: event scheduled into the past");
+  queue_.push({time_s, next_seq_++, kind, target, message});
+}
+
+Event Scheduler::pop() {
+  IOTML_CHECK(!queue_.empty(), "Scheduler::pop: queue is empty");
+  Event event = queue_.top();
+  queue_.pop();
+  now_s_ = event.time_s;
+  ++processed_;
+
+  char line[128];
+  if (event.message == kNoMessage) {
+    std::snprintf(line, sizeof(line), "t=%.6f #%llu %s target=%zu", event.time_s,
+                  static_cast<unsigned long long>(event.seq),
+                  event_kind_name(event.kind).c_str(), event.target);
+  } else {
+    std::snprintf(line, sizeof(line), "t=%.6f #%llu %s target=%zu msg=%zu",
+                  event.time_s, static_cast<unsigned long long>(event.seq),
+                  event_kind_name(event.kind).c_str(), event.target, event.message);
+  }
+  log_.emplace_back(line);
+  return event;
+}
+
+}  // namespace iotml::sim

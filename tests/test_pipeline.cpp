@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "data/metrics.hpp"
+#include "obs/clock.hpp"
 #include "pipeline/integration.hpp"
 #include "pipeline/preparation.hpp"
 #include "pipeline/reduction.hpp"
@@ -537,6 +538,44 @@ TEST(StageFramework, TierNames) {
   EXPECT_EQ(tier_name(Tier::kDevice), "device");
   EXPECT_EQ(tier_name(Tier::kEdge), "edge");
   EXPECT_EQ(tier_name(Tier::kCore), "core");
+}
+
+TEST(StageFramework, TierNameRoundTripsExhaustively) {
+  for (Tier t : {Tier::kDevice, Tier::kEdge, Tier::kCore}) {
+    EXPECT_EQ(tier_from_name(tier_name(t)), t);
+  }
+  EXPECT_THROW(tier_from_name("cloud"), InvalidArgument);
+  EXPECT_THROW(tier_from_name("Device"), InvalidArgument);  // case-sensitive
+  EXPECT_THROW(tier_from_name(""), InvalidArgument);
+  EXPECT_THROW(tier_from_name("edge "), InvalidArgument);
+}
+
+TEST(StageFramework, StagesMeasureWallTimeOutsidePipelineRun) {
+  // wall_time_us used to stay 0 unless Pipeline::run filled it; concrete
+  // stages now measure their own body, so a direct apply() reports time too.
+  Rng rng(29);
+  LambdaStage stage("busy", [](Dataset&, Rng&) {
+    const std::int64_t start = obs::now_us();
+    while (obs::now_us() - start < 1000) {  // spin ~1 ms of real time
+    }
+    return 0.0;
+  });
+  Dataset ds = column_with({1, 2, 3}, {false, false, false});
+  StageReport report = stage.apply(ds, rng);
+  EXPECT_GE(report.wall_time_us, 1000u);
+}
+
+TEST(StageFramework, TakeStagesEmptiesThePipeline) {
+  Pipeline p;
+  p.add("a", [](Dataset&, Rng&) { return 0.0; }, "op", Tier::kDevice);
+  p.add("b", [](Dataset&, Rng&) { return 0.0; }, "op", Tier::kCore);
+  auto stages = p.take_stages();
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_TRUE(p.reports().empty());
+  EXPECT_EQ(stages[0]->name(), "a");
+  EXPECT_EQ(stages[0]->tier(), Tier::kDevice);
+  EXPECT_EQ(stages[1]->tier(), Tier::kCore);
 }
 
 TEST(StageFramework, Validation) {

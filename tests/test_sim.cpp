@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/fleet.hpp"
+#include "sim/placement.hpp"
+#include "sim/scheduler.hpp"
+#include "util/error.hpp"
+
+namespace iotml::sim {
+namespace {
+
+using pipeline::Tier;
+
+// ---- Scheduler ---------------------------------------------------------------
+
+TEST(Scheduler, PopsInTimeOrderFifoOnTies) {
+  Scheduler s;
+  s.push(2.0, EventKind::kDeviceFlush, 1);
+  s.push(1.0, EventKind::kEdgeFlush, 2);
+  s.push(1.0, EventKind::kArrival, 3, 7);
+
+  Event e1 = s.pop();
+  EXPECT_EQ(e1.kind, EventKind::kEdgeFlush);  // earliest time wins
+  Event e2 = s.pop();
+  EXPECT_EQ(e2.kind, EventKind::kArrival);  // tie broken by push order
+  EXPECT_EQ(e2.message, 7u);
+  Event e3 = s.pop();
+  EXPECT_EQ(e3.kind, EventKind::kDeviceFlush);
+
+  EXPECT_DOUBLE_EQ(s.now_s(), 2.0);
+  EXPECT_EQ(s.processed(), 3u);
+  EXPECT_TRUE(s.empty());
+
+  ASSERT_EQ(s.log().size(), 3u);
+  EXPECT_EQ(s.log()[0], "t=1.000000 #1 edge-flush target=2");
+  EXPECT_EQ(s.log()[1], "t=1.000000 #2 arrival target=3 msg=7");
+  EXPECT_EQ(s.log()[2], "t=2.000000 #0 device-flush target=1");
+}
+
+TEST(Scheduler, RejectsPastEventsAndEmptyPop) {
+  Scheduler s;
+  s.push(1.0, EventKind::kDeviceFlush, 0);
+  s.pop();
+  EXPECT_THROW(s.push(0.5, EventKind::kDeviceFlush, 0), InvalidArgument);
+  s.push(1.0, EventKind::kDeviceFlush, 0);  // same instant is allowed
+  s.pop();
+  EXPECT_THROW(s.pop(), InvalidArgument);
+}
+
+TEST(Scheduler, EventKindNames) {
+  EXPECT_EQ(event_kind_name(EventKind::kDeviceFlush), "device-flush");
+  EXPECT_EQ(event_kind_name(EventKind::kArrival), "arrival");
+  EXPECT_EQ(event_kind_name(EventKind::kLinkUp), "link-up");
+}
+
+// ---- Tier placement ----------------------------------------------------------
+
+TEST(Placement, SplitByTierPreservesOrderWithinTier) {
+  auto noop = [](data::Dataset&, Rng&) { return 0.0; };
+  pipeline::Pipeline full;
+  full.add("d1", noop, "p", Tier::kDevice);
+  full.add("c1", noop, "p", Tier::kCore);
+  full.add("d2", noop, "p", Tier::kDevice);
+  full.add("e1", noop, "p", Tier::kEdge);
+
+  TierPipelines tiers = split_by_tier(std::move(full));
+  EXPECT_EQ(tiers.device.size(), 2u);
+  EXPECT_EQ(tiers.edge.size(), 1u);
+  EXPECT_EQ(tiers.core.size(), 1u);
+
+  data::Dataset ds;
+  ds.add_numeric_column("x").push_numeric(1.0);
+  Rng rng(1);
+  tiers.device.run(std::move(ds), rng);
+  ASSERT_EQ(tiers.device.reports().size(), 2u);
+  EXPECT_EQ(tiers.device.reports()[0].stage_name, "d1");
+  EXPECT_EQ(tiers.device.reports()[1].stage_name, "d2");
+}
+
+// ---- Fleet simulation --------------------------------------------------------
+
+FleetConfig small_config(std::uint64_t seed = 42) {
+  FleetConfig config;
+  config.devices = 20;
+  config.edges = 2;
+  config.duration_s = 20.0;
+  config.seed = seed;
+  config.faults.link_outages = 1.0;
+  config.faults.link_outage_mean_s = 2.0;
+  config.faults.device_churns = 0.5;
+  config.faults.device_offtime_mean_s = 4.0;
+  return config;
+}
+
+TEST(Fleet, DeterministicPerSeed) {
+  // Two complete runs in one process: same seed must give a byte-identical
+  // event log and report; a different seed must not.
+  FleetSim a(small_config());
+  const FleetReport ra = a.run();
+  FleetSim b(small_config());
+  const FleetReport rb = b.run();
+  EXPECT_EQ(a.event_log(), b.event_log());
+  EXPECT_EQ(ra.to_json(), rb.to_json());
+
+  FleetSim c(small_config(43));
+  const FleetReport rc = c.run();
+  EXPECT_NE(ra.to_json(), rc.to_json());
+}
+
+TEST(Fleet, RowConservation) {
+  FleetSim fleet(small_config());
+  const FleetReport r = fleet.run();
+  EXPECT_GT(r.rows_generated, 0u);
+  EXPECT_GT(r.rows_delivered, 0u);
+  EXPECT_EQ(r.rows_generated,
+            r.rows_delivered + r.rows_lost + r.rows_skipped + r.rows_stranded);
+  EXPECT_GT(r.events, 0u);
+  EXPECT_GT(r.messages_sent, 0u);
+}
+
+TEST(Fleet, StageTotalsReconcileWithRawReports) {
+  FleetSim fleet(small_config());
+  const FleetReport r = fleet.run();
+
+  std::size_t raw_runs = 0;
+  std::size_t raw_rows_in = 0;
+  double raw_cost = 0.0;
+  for (const pipeline::StageReport& report : r.stage_reports) {
+    ++raw_runs;
+    raw_rows_in += report.rows_in;
+    raw_cost += report.cost;
+  }
+  std::size_t total_runs = 0;
+  std::size_t total_rows_in = 0;
+  double total_cost = 0.0;
+  for (const auto& [name, t] : r.stage_totals()) {
+    total_runs += t.runs;
+    total_rows_in += t.rows_in;
+    total_cost += t.cost;
+  }
+  EXPECT_EQ(total_runs, raw_runs);
+  EXPECT_EQ(total_rows_in, raw_rows_in);
+  EXPECT_NEAR(total_cost, raw_cost, 1e-9);
+
+  // Every phase of the paper's chain must appear.
+  const auto totals = r.stage_totals();
+  EXPECT_EQ(totals.count("acquisition"), 1u);
+  EXPECT_EQ(totals.count("integration"), 1u);
+  EXPECT_EQ(totals.count("prepare(impute-linear)"), 1u);
+  EXPECT_EQ(totals.count("prepare(normalize-zscore)"), 1u);
+  EXPECT_EQ(totals.count("clean(hampel)"), 1u);
+  EXPECT_EQ(totals.count("analytics(decision-tree)"), 1u);
+}
+
+TEST(Fleet, LatencyAndAccuracyPopulated) {
+  FleetSim fleet(small_config());
+  const FleetReport r = fleet.run();
+  EXPECT_GT(r.latency.count, 0u);
+  EXPECT_GT(r.latency.mean_s, 0.0);
+  EXPECT_GE(r.latency.max_s, r.latency.p95_s);
+  EXPECT_GE(r.latency.p95_s, r.latency.p50_s);
+  EXPECT_GT(r.train_rows, 0u);
+  EXPECT_GT(r.test_rows, 0u);
+  EXPECT_GT(r.accuracy, 0.5);  // far above chance on the comfort concept
+}
+
+TEST(Fleet, DropRateStarvesDelivery) {
+  FleetConfig reliable = small_config(7);
+  reliable.faults = {};
+  reliable.device_edge_link.drop_prob = 0.0;
+  reliable.device_edge_link.max_retries = 0;
+  FleetConfig lossy = reliable;
+  lossy.device_edge_link.drop_prob = 0.3;
+
+  FleetSim a(reliable);
+  const FleetReport ra = a.run();
+  FleetSim b(lossy);
+  const FleetReport rb = b.run();
+  EXPECT_EQ(ra.rows_lost, 0u);
+  EXPECT_GT(rb.rows_lost, 0u);
+  EXPECT_LT(rb.rows_delivered, ra.rows_delivered);
+}
+
+TEST(Fleet, ChurnSkipsRows) {
+  FleetConfig config = small_config(9);
+  config.faults = {};
+  config.faults.device_churns = 3.0;  // heavy churn
+  config.faults.device_offtime_mean_s = 6.0;
+  FleetSim fleet(config);
+  const FleetReport r = fleet.run();
+  EXPECT_GT(r.rows_skipped, 0u);
+}
+
+TEST(Fleet, CustomPipelineIsPlacedByTier) {
+  FleetConfig config;
+  config.devices = 5;
+  config.edges = 1;
+  config.duration_s = 10.0;
+  config.faults = {};
+  pipeline::Pipeline custom;
+  custom.add("edge-tag", [](data::Dataset&, Rng&) { return 1.0; },
+             "edge-operator", Tier::kEdge);
+  FleetSim fleet(config, std::move(custom));
+  const FleetReport r = fleet.run();
+  const auto totals = r.stage_totals();
+  EXPECT_EQ(totals.count("edge-tag"), 1u);
+  EXPECT_EQ(totals.at("edge-tag").tier, Tier::kEdge);
+  // Synthesized phases still frame the custom stage.
+  EXPECT_EQ(totals.count("acquisition"), 1u);
+  EXPECT_EQ(totals.count("integration"), 1u);
+}
+
+TEST(Fleet, RunIsOneShot) {
+  FleetConfig config;
+  config.devices = 2;
+  config.edges = 1;
+  config.duration_s = 5.0;
+  config.faults = {};
+  FleetSim fleet(config);
+  fleet.run();
+  EXPECT_THROW(fleet.run(), InvalidArgument);
+}
+
+TEST(Fleet, Validation) {
+  FleetConfig bad = small_config();
+  bad.duration_s = 0.0;
+  EXPECT_THROW(FleetSim{bad}, InvalidArgument);
+
+  FleetConfig more_edges = small_config();
+  more_edges.edges = more_edges.devices + 1;
+  EXPECT_THROW(FleetSim{more_edges}, InvalidArgument);
+
+  FleetConfig bad_flush = small_config();
+  bad_flush.device_flush_s = 0.0;
+  EXPECT_THROW(FleetSim{bad_flush}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace iotml::sim
