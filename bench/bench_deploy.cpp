@@ -1,0 +1,140 @@
+// E-DEPLOY: deploy-and-score vs ship-every-row over the simulated fleet.
+// For each compilable model family (decision tree, logistic-head linear,
+// naive Bayes) the bench runs a 100-device fleet with the deploy phase on:
+// the core learns the analytics concept, compiles it, quantizes to int8,
+// broadcasts the artifact over the lossy downlinks, and devices score a
+// 30 s window locally, uplinking one bit per row. Reported per family:
+//
+//   * artifact bytes, float32 vs int8 (the quantizer's footprint story)
+//   * per-row inference cost (multiply-adds / comparisons / table lookups)
+//   * core-holdout accuracy delta from quantization (must stay small)
+//   * uplink bytes, raw-row counterfactual vs predictions (the paper's
+//     reason to move the model to the data — expect >= 5x reduction)
+//
+// IOTML_DEPLOY_SMOKE=1 shrinks the fleet to CI size while keeping every
+// metric key present, so the smoke job can validate BENCH_deploy.json.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "deploy/compiled_model.hpp"
+#include "sim/fleet.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace iotml;
+
+bool smoke_mode() {
+  const char* env = std::getenv("IOTML_DEPLOY_SMOKE");  // NOLINT(concurrency-mt-unsafe)
+  return env != nullptr && std::string(env) == "1";
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = smoke_mode();
+  constexpr std::uint64_t kSeed = 404;
+  std::printf("E-DEPLOY: compile, quantize and score on-device%s\n\n",
+              smoke ? " (smoke)" : "");
+
+  bench::BenchReport report("deploy");
+  report.note("mode", smoke ? "smoke" : "full");
+  report.note("precision", "int8");
+  report.seed(kSeed);
+
+  const std::vector<deploy::ModelKind> kinds{
+      deploy::ModelKind::kTree, deploy::ModelKind::kLinear,
+      deploy::ModelKind::kNaiveBayes};
+
+  std::vector<std::vector<std::string>> rows;
+  bool ok = true;
+  for (deploy::ModelKind kind : kinds) {
+    sim::FleetConfig config;
+    config.devices = smoke ? 20 : 100;
+    config.edges = smoke ? 2 : 4;
+    config.duration_s = smoke ? 20.0 : 60.0;
+    config.seed = kSeed;
+    config.deploy.enabled = true;
+    config.deploy.model = kind;
+    config.deploy.precision = deploy::Precision::kInt8;
+    config.deploy.score_window_s = smoke ? 10.0 : 30.0;
+
+    sim::FleetSim fleet(config);
+    const sim::FleetReport r = fleet.run();
+    const sim::DeploySummary& d = r.deploy;
+    const std::string key = d.model;
+
+    const double footprint_ratio =
+        d.artifact_bytes_deployed > 0
+            ? static_cast<double>(d.artifact_bytes_float32) /
+                  static_cast<double>(d.artifact_bytes_deployed)
+            : 0.0;
+    const double delta_points =
+        100.0 * (d.holdout_accuracy_deployed - d.holdout_accuracy_float);
+    const double uplink_reduction =
+        d.uplink_prediction_bytes > 0
+            ? static_cast<double>(d.uplink_raw_bytes) /
+                  static_cast<double>(d.uplink_prediction_bytes)
+            : 0.0;
+
+    report.metric("artifact_bytes.f32." + key, static_cast<double>(d.artifact_bytes_float32));
+    report.metric("artifact_bytes.int8." + key, static_cast<double>(d.artifact_bytes_deployed));
+    report.metric("footprint_ratio." + key, footprint_ratio);
+    report.metric("cost_multiply_adds." + key, static_cast<double>(d.cost_multiply_adds));
+    report.metric("cost_comparisons." + key, static_cast<double>(d.cost_comparisons));
+    report.metric("cost_table_lookups." + key, static_cast<double>(d.cost_table_lookups));
+    report.metric("holdout_acc_f32." + key, d.holdout_accuracy_float);
+    report.metric("holdout_acc_int8." + key, d.holdout_accuracy_deployed);
+    report.metric("holdout_delta_points." + key, delta_points);
+    report.metric("uplink_raw_bytes." + key, static_cast<double>(d.uplink_raw_bytes));
+    report.metric("uplink_pred_bytes." + key, static_cast<double>(d.uplink_prediction_bytes));
+    report.metric("uplink_reduction." + key, uplink_reduction);
+    report.metric("devices_deployed." + key, static_cast<double>(d.devices_deployed));
+    report.metric("rows_scored." + key, static_cast<double>(d.rows_scored));
+    report.metric("device_accuracy." + key, d.device_accuracy);
+
+    rows.push_back({key, std::to_string(d.artifact_bytes_float32),
+                    std::to_string(d.artifact_bytes_deployed),
+                    format_double(footprint_ratio, 2),
+                    std::to_string(d.cost_multiply_adds + d.cost_comparisons +
+                                   d.cost_table_lookups),
+                    format_double(d.holdout_accuracy_float, 3),
+                    format_double(d.holdout_accuracy_deployed, 3),
+                    format_double(uplink_reduction, 1),
+                    format_double(d.device_accuracy, 3)});
+
+    // The bench doubles as an acceptance gate for the two headline claims.
+    if (delta_points < -2.0) {
+      std::printf("FAIL: %s int8 holdout accuracy dropped %.2f points (> 2 allowed)\n",
+                  key.c_str(), -delta_points);
+      ok = false;
+    }
+    if (!smoke && uplink_reduction < 5.0) {
+      std::printf("FAIL: %s uplink reduction %.1fx (< 5x required)\n", key.c_str(),
+                  uplink_reduction);
+      ok = false;
+    }
+    if (d.devices_deployed == 0) {
+      std::printf("FAIL: %s artifact reached no device\n", key.c_str());
+      ok = false;
+    }
+  }
+
+  std::printf("%s\n",
+              render_table({"model", "bytes f32", "bytes int8", "shrink", "ops/row",
+                            "holdout f32", "holdout int8", "uplink shrink",
+                            "device acc"},
+                           rows)
+                  .c_str());
+  std::printf("shape check: int8 artifacts should be ~2-4x smaller with a holdout\n"
+              "delta within 2 points; shipping predictions instead of rows should\n"
+              "cut uplink bytes by well over 5x.\n");
+
+  report.metric("wall_time_s_total", report.elapsed_s());
+  report.write();
+  return ok ? 0 : 1;
+}

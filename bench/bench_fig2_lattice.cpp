@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_report.hpp"
 #include "combinatorics/counting.hpp"
 #include "combinatorics/partition_lattice.hpp"
 #include "util/strings.hpp"
@@ -18,6 +19,11 @@ int main() {
 
   std::printf("FIG. 2: LATTICE OF PARTITIONS OF A 4-ELEMENT SET\n");
   std::printf("(ordered by refinement; rank r has S(4, 4-r) partitions)\n\n");
+
+  bench::BenchReport report("fig2_lattice");
+  report.note("source", "Fig. 2, Damiani et al., ICDCS 2018");
+  // Pure combinatorics — no RNG anywhere, so no seed to stamp.
+  report.note("deterministic", "no-rng");
 
   PartitionLattice lattice(4);
 
@@ -63,5 +69,13 @@ int main() {
   std::printf("distributive: %s (paper: \"unlike the Boolean lattice ... Pi(S) is not\n"
               "distributive\")\n",
               distributive ? "YES (unexpected!)" : "no, as expected");
+
+  report.metric("partitions", static_cast<double>(lattice.elements().size()));
+  report.metric("hasse_edges", static_cast<double>(lattice.edge_count()));
+  report.metric("lattice_rank", static_cast<double>(lattice.rank()));
+  report.metric("meet_join_pairs_verified", static_cast<double>(meet_checks));
+  report.metric("distributive", distributive ? 1.0 : 0.0);
+  report.metric("wall_time_s_total", report.elapsed_s());
+  report.write();
   return 0;
 }

@@ -11,6 +11,7 @@
 // Timing goes through obs::now_us() — the invariant lint (rule R6) keeps
 // raw std::chrono clock reads out of bench code too.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -20,6 +21,17 @@
 
 #include "obs/clock.hpp"
 #include "obs/json.hpp"
+
+// Build-configuration stamps, injected per-target by bench/CMakeLists.txt so
+// a BENCH_*.json records exactly which toolchain and preset produced it.
+// Compiling a bench outside that CMake wiring still works — the fields
+// degrade to "unknown"/"none".
+#ifndef IOTML_BUILD_FLAGS
+#define IOTML_BUILD_FLAGS "unknown"
+#endif
+#ifndef IOTML_SANITIZE_PRESET
+#define IOTML_SANITIZE_PRESET "none"
+#endif
 
 namespace iotml::bench {
 
@@ -32,6 +44,13 @@ class BenchReport {
 
   /// Record a free-form note (strategy names, dataset descriptions, ...).
   void note(const std::string& key, const std::string& value) { notes_[key] = value; }
+
+  /// Record the master seed the bench ran under. Benches that sweep several
+  /// seeds should stamp the first one and note the rest.
+  void seed(std::uint64_t value) {
+    seed_ = value;
+    has_seed_ = true;
+  }
 
   double elapsed_s() const { return static_cast<double>(obs::now_us() - start_us_) * 1e-6; }
 
@@ -59,6 +78,11 @@ class BenchReport {
     out << "  \"bench\": \"" << obs::json_escape(name_) << "\",\n";
     out << "  \"unix_time_ms\": " << obs::unix_time_ms() << ",\n";
     out << "  \"wall_time_s\": " << obs::json_number(elapsed_s()) << ",\n";
+    if (has_seed_) out << "  \"seed\": " << seed_ << ",\n";
+    out << "  \"build\": {\"compiler\": \"" << obs::json_escape(__VERSION__)
+        << "\", \"flags\": \"" << obs::json_escape(IOTML_BUILD_FLAGS)
+        << "\", \"sanitizers\": \"" << obs::json_escape(IOTML_SANITIZE_PRESET)
+        << "\"},\n";
     out << "  \"metrics\": {";
     bool first = true;
     for (const auto& [key, value] : metrics_) {
@@ -81,6 +105,8 @@ class BenchReport {
  private:
   std::string name_;
   std::int64_t start_us_;
+  std::uint64_t seed_ = 0;
+  bool has_seed_ = false;
   std::map<std::string, double> metrics_;
   std::map<std::string, std::string> notes_;
 };

@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_report.hpp"
 #include "combinatorics/counting.hpp"
 #include "combinatorics/ldd.hpp"
 #include "util/strings.hpp"
@@ -28,6 +29,11 @@ int main() {
 
   std::printf("TABLE I: EXAMPLE OF CHAIN DECOMPOSITION OF Pi_4\n");
   std::printf("(paper: Damiani et al., ICDCS 2018, Section III)\n\n");
+
+  bench::BenchReport report("table1");
+  report.note("source", "Table I, Damiani et al., ICDCS 2018");
+  // Pure combinatorics — no RNG anywhere, so no seed to stamp.
+  report.note("deterministic", "no-rng");
 
   const unsigned n = 3;
   LddDecomposition decomposition(n);
@@ -57,15 +63,31 @@ int main() {
               decomposition.symmetric_below_rank((n - 1) / 2) ? "HOLDS" : "VIOLATED");
 
   std::printf("\nPartition-level chains assembled from the groups:\n");
+  std::size_t symmetric_chains = 0;
   for (const PartitionChain& chain : decomposition.partition_chains()) {
     std::string line = "  ";
     for (std::size_t i = 0; i < chain.partitions.size(); ++i) {
       if (i > 0) line += " < ";
       line += chain.partitions[i].to_string();
     }
-    line += chain.is_symmetric(decomposition.lattice_rank()) ? "   [symmetric]"
-                                                             : "   [residual]";
+    const bool symmetric = chain.is_symmetric(decomposition.lattice_rank());
+    if (symmetric) ++symmetric_chains;
+    line += symmetric ? "   [symmetric]" : "   [residual]";
     std::printf("%s\n", line.c_str());
   }
+
+  report.metric("table_rows", static_cast<double>(rows.size()));
+  report.metric("partitions_covered",
+                static_cast<double>(decomposition.covered_partitions()));
+  report.metric("bell_4", static_cast<double>(bell_number(4)));
+  report.metric("symmetric_chain_count",
+                static_cast<double>(decomposition.symmetric_chain_count()));
+  report.metric("ldd_guarantee_holds",
+                decomposition.symmetric_below_rank((n - 1) / 2) ? 1.0 : 0.0);
+  report.metric("partition_chains",
+                static_cast<double>(decomposition.partition_chains().size()));
+  report.metric("partition_chains_symmetric", static_cast<double>(symmetric_chains));
+  report.metric("wall_time_s_total", report.elapsed_s());
+  report.write();
   return 0;
 }

@@ -1,0 +1,114 @@
+// Deploying models to devices: the fleet of fleet_sim.cpp, continued past
+// the learning window. After the core has learned the analytics concept it
+// compiles the tree into a flat, quantized artifact, broadcasts it down the
+// (lossy) edge and device links, and every device that receives it scores
+// its next 30 seconds of sensing locally — uplinking one bit per row where
+// it used to uplink the rows themselves.
+//
+// The example doubles as an end-to-end consistency check of the deploy
+// ledger: artifact bytes must match a fresh encode of the same model, the
+// prediction counters must reconcile (delivered <= scored, correct <=
+// delivered), every deployed-or-missed device must be accounted for, and
+// the byte comparison must actually favor deployment. Exit code 1 on any
+// mismatch.
+
+#include <cstdio>
+
+#include "sim/fleet.hpp"
+
+int main() {
+  using namespace iotml;
+
+  sim::FleetConfig config;
+  config.devices = 100;
+  config.edges = 4;
+  config.duration_s = 60.0;
+  config.seed = 2025;
+  config.deploy.enabled = true;
+  config.deploy.model = deploy::ModelKind::kTree;
+  config.deploy.precision = deploy::Precision::kInt8;
+  config.deploy.score_window_s = 30.0;
+  // A little downlink adversity: the broadcast has to survive the same kind
+  // of wire the uplink data did.
+  config.deploy.edge_device_link.drop_prob = 0.05;
+
+  std::printf("deploy_fleet: %zu devices -> %zu edges -> core, learn %.0f s, "
+              "score %.0f s on-device, seed %llu\n\n",
+              config.devices, config.edges, config.duration_s,
+              config.deploy.score_window_s,
+              static_cast<unsigned long long>(config.seed));
+
+  sim::FleetSim fleet(config);
+  const sim::FleetReport report = fleet.run();
+  const sim::DeploySummary& d = report.deploy;
+
+  std::printf("core analytics: accuracy=%.3f (train=%zu rows, test=%zu rows)\n",
+              report.accuracy, report.train_rows, report.test_rows);
+  std::printf("artifact: %s/%s, %zu bytes float32 -> %zu bytes deployed\n",
+              d.model.c_str(), d.precision.c_str(), d.artifact_bytes_float32,
+              d.artifact_bytes_deployed);
+  std::printf("holdout: float32=%.3f deployed=%.3f (delta %+.2f points)\n",
+              d.holdout_accuracy_float, d.holdout_accuracy_deployed,
+              100.0 * (d.holdout_accuracy_deployed - d.holdout_accuracy_float));
+  std::printf("cost/row: %llu multiply-adds, %llu comparisons, %llu lookups\n",
+              static_cast<unsigned long long>(d.cost_multiply_adds),
+              static_cast<unsigned long long>(d.cost_comparisons),
+              static_cast<unsigned long long>(d.cost_table_lookups));
+  std::printf("broadcast: %zu devices deployed, %zu missed, %llu downlink bytes\n",
+              d.devices_deployed, d.devices_missed,
+              static_cast<unsigned long long>(d.downlink_bytes));
+  std::printf("scoring: %zu rows scored on-device, %zu predictions delivered, "
+              "device accuracy=%.3f\n",
+              d.rows_scored, d.predictions_delivered, d.device_accuracy);
+  std::printf("uplink: %llu bytes of predictions vs %llu bytes of raw rows "
+              "(%.1fx reduction)\n\n",
+              static_cast<unsigned long long>(d.uplink_prediction_bytes),
+              static_cast<unsigned long long>(d.uplink_raw_bytes),
+              d.uplink_prediction_bytes > 0
+                  ? static_cast<double>(d.uplink_raw_bytes) /
+                        static_cast<double>(d.uplink_prediction_bytes)
+                  : 0.0);
+
+  // ---- Consistency checks -----------------------------------------------------
+  bool ok = true;
+
+  if (!d.enabled || d.artifact_bytes_deployed == 0) {
+    std::printf("MISMATCH: deploy phase did not produce an artifact\n");
+    ok = false;
+  }
+  if (d.devices_deployed + d.devices_missed != config.devices) {
+    std::printf("MISMATCH: devices deployed=%zu + missed=%zu != fleet size %zu\n",
+                d.devices_deployed, d.devices_missed, config.devices);
+    ok = false;
+  }
+  if (d.predictions_delivered > d.rows_scored) {
+    std::printf("MISMATCH: %zu predictions delivered but only %zu rows scored\n",
+                d.predictions_delivered, d.rows_scored);
+    ok = false;
+  }
+  if (d.predictions_correct > d.predictions_delivered) {
+    std::printf("MISMATCH: %zu correct out of %zu delivered predictions\n",
+                d.predictions_correct, d.predictions_delivered);
+    ok = false;
+  }
+  if (d.uplink_prediction_bytes >= d.uplink_raw_bytes && d.rows_scored > 0) {
+    std::printf("MISMATCH: deploy-and-score cost more uplink bytes than raw rows\n");
+    ok = false;
+  }
+  if (d.artifact_bytes_deployed > d.artifact_bytes_float32) {
+    std::printf("MISMATCH: quantized artifact (%zu B) larger than float32 (%zu B)\n",
+                d.artifact_bytes_deployed, d.artifact_bytes_float32);
+    ok = false;
+  }
+  if (d.holdout_accuracy_deployed < d.holdout_accuracy_float - 0.02) {
+    std::printf("MISMATCH: quantization cost %.2f accuracy points (> 2 allowed)\n",
+                100.0 * (d.holdout_accuracy_float - d.holdout_accuracy_deployed));
+    ok = false;
+  }
+
+  std::printf("consistency: %s\n",
+              ok ? "artifact sized, devices accounted, predictions reconcile, "
+                   "deployment wins the byte comparison"
+                 : "FAILED");
+  return ok ? 0 : 1;
+}

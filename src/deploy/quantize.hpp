@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+
+#include "data/dataset.hpp"
+#include "deploy/compiled_model.hpp"
+
+namespace iotml::deploy {
+
+/// Lower every float32 tensor of `model` to symmetric fixed point at the
+/// target precision (per-tensor scale = max|v| / qmax, value = scale * q).
+/// The scalar bias stays float32. Throws InvalidArgument when `model` is not
+/// float32 or `target` is not a quantized precision.
+CompiledModel quantize(const CompiledModel& model, Precision target);
+
+/// Fraction of `holdout` rows the artifact classifies correctly, scored by
+/// DeviceRuntime exactly as a device would. Throws InvalidArgument for
+/// unlabeled holdouts, empty holdouts or regression artifacts.
+double holdout_accuracy(const CompiledModel& model, const data::Dataset& holdout);
+
+/// Footprint and accuracy effect of quantizing one artifact.
+struct QuantizationReport {
+  Precision precision = Precision::kInt8;
+  std::size_t float32_bytes = 0;   ///< encoded size before quantization
+  std::size_t quantized_bytes = 0; ///< encoded size after
+  double footprint_ratio = 1.0;    ///< float32_bytes / quantized_bytes
+  std::size_t holdout_rows = 0;
+  double holdout_accuracy_float = 0.0;
+  double holdout_accuracy_quantized = 0.0;
+  /// Percentage points lost (negative) or gained by quantization.
+  double accuracy_delta_points = 0.0;
+};
+
+/// Quantize `model` to `target` and measure both artifacts on `holdout`.
+/// When `quantized_out` is non-null the quantized artifact is returned
+/// through it (so callers deploy the exact model that was measured).
+/// Throws InvalidArgument under the same conditions as quantize() and
+/// holdout_accuracy().
+QuantizationReport quantize_with_report(const CompiledModel& model, Precision target,
+                                        const data::Dataset& holdout,
+                                        CompiledModel* quantized_out = nullptr);
+
+}  // namespace iotml::deploy

@@ -1,0 +1,175 @@
+#include "deploy/runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace iotml::deploy {
+
+DeviceRuntime::DeviceRuntime(CompiledModel model) : model_(std::move(model)) {
+  IOTML_CHECK(!model_.features.empty(), "DeviceRuntime: artifact binds no features");
+  model_.validate();
+}
+
+void DeviceRuntime::bind(const data::Dataset& ds) {
+  const std::size_t nf = model_.features.size();
+  std::vector<std::size_t> column_of(nf);
+  std::vector<std::vector<std::uint32_t>> cat_remap(nf);
+  for (std::size_t i = 0; i < nf; ++i) {
+    const FeatureSchema& fs = model_.features[i];
+    column_of[i] = ds.column_index(fs.name);  // throws when absent
+    const data::Column& col = ds.column(column_of[i]);
+    const bool local_categorical = col.type() == data::ColumnType::kCategorical;
+    IOTML_CHECK(local_categorical == fs.categorical,
+                "DeviceRuntime::bind: column kind mismatch for feature '" + fs.name + "'");
+    if (fs.categorical) {
+      cat_remap[i].assign(col.categories().size(), kUnseenCategory);
+      for (std::size_t local = 0; local < col.categories().size(); ++local) {
+        for (std::size_t train = 0; train < fs.categories.size(); ++train) {
+          if (col.categories()[local] == fs.categories[train]) {
+            cat_remap[i][local] = static_cast<std::uint32_t>(train);
+            break;
+          }
+        }
+      }
+    }
+  }
+  column_of_ = std::move(column_of);
+  cat_remap_ = std::move(cat_remap);
+
+  nb_mean_.assign(nf, {});
+  nb_log_norm_.assign(nf, {});
+  nb_inv_2var_.assign(nf, {});
+  class_score_.assign(model_.num_classes, 0.0);
+  if (model_.kind == ModelKind::kNaiveBayes) {
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (model_.features[f].categorical) continue;
+      const NaiveBayesFeature& feat = model_.nb.features[f];
+      const std::size_t classes = feat.class_present.size();
+      nb_mean_[f].resize(classes);
+      nb_log_norm_[f].resize(classes);
+      nb_inv_2var_[f].resize(classes);
+      for (std::size_t c = 0; c < classes; ++c) {
+        // Quantization can round tiny variances to zero; re-apply the
+        // trainer's degenerate-feature floor after dequantizing.
+        const double variance =
+            std::max(static_cast<double>(feat.variance.at(c)), 1e-9);
+        nb_mean_[f][c] = static_cast<double>(feat.mean.at(c));
+        nb_log_norm_[f][c] = -0.5 * std::log(2.0 * std::numbers::pi * variance);
+        nb_inv_2var_[f][c] = 1.0 / (2.0 * variance);
+      }
+    }
+  }
+  bound_ = true;
+}
+
+std::uint32_t DeviceRuntime::remap_category(std::size_t feature,
+                                            std::size_t local_index) const {
+  // Categories interned into the local dataset after bind() have no remap
+  // entry; treat them as unseen rather than reallocating on the hot path.
+  const std::vector<std::uint32_t>& remap = cat_remap_[feature];
+  return local_index < remap.size() ? remap[local_index] : kUnseenCategory;
+}
+
+int DeviceRuntime::predict_row(const data::Dataset& ds, std::size_t row) const {
+  IOTML_CHECK(bound_, "DeviceRuntime::predict_row: call bind() first");
+  switch (model_.kind) {
+    case ModelKind::kTree: return tree_predict(ds, row);
+    case ModelKind::kNaiveBayes: return nb_predict(ds, row);
+    case ModelKind::kLinear: break;
+  }
+  IOTML_CHECK(model_.linear.regression == 0,
+              "DeviceRuntime::predict_row: regression artifact (use score_row)");
+  return linear_score(ds, row) >= 0.0 ? 1 : 0;
+}
+
+double DeviceRuntime::score_row(const data::Dataset& ds, std::size_t row) const {
+  IOTML_CHECK(bound_, "DeviceRuntime::score_row: call bind() first");
+  IOTML_CHECK(model_.kind == ModelKind::kLinear,
+              "DeviceRuntime::score_row: only linear artifacts have a raw score");
+  return linear_score(ds, row);
+}
+
+int DeviceRuntime::tree_predict(const data::Dataset& ds, std::size_t row) const {
+  std::size_t node_id = 0;
+  // Pre-order flattening makes every child id greater than its parent's, so
+  // the walk takes at most nodes.size() steps; the guard turns a corrupt
+  // artifact into a catchable error instead of a hang.
+  for (std::size_t steps = 0; steps <= model_.tree.nodes.size(); ++steps) {
+    const TreeNode& node = model_.tree.nodes[node_id];
+    if (node.leaf()) return node.label;
+
+    const data::Column& col = ds.column(column_of_[node.feature]);
+    std::size_t slot;
+    if (col.is_missing(row)) {
+      slot = node.missing_slot;
+    } else if (node.numeric()) {
+      const double threshold =
+          static_cast<double>(model_.tree.thresholds.at(node_id));
+      slot = col.numeric(row) <= threshold ? 0 : 1;
+    } else {
+      const std::uint32_t train = remap_category(node.feature, col.category(row));
+      if (train == kUnseenCategory || train >= node.child_count) return node.label;
+      slot = train;
+    }
+    const std::uint16_t child =
+        model_.tree.child_index[node.child_base + slot];
+    if (child == kNoChild) return node.label;  // branch empty at training time
+    node_id = child;
+  }
+  IOTML_CHECK(false, "DeviceRuntime: tree walk did not reach a leaf");
+  return 0;
+}
+
+double DeviceRuntime::linear_score(const data::Dataset& ds, std::size_t row) const {
+  double z = static_cast<double>(model_.linear.bias);
+  for (std::size_t f = 0; f < model_.features.size(); ++f) {
+    const data::Column& col = ds.column(column_of_[f]);
+    double value;
+    if (col.is_missing(row)) {
+      value = static_cast<double>(model_.linear.impute.at(f));
+    } else if (model_.features[f].categorical) {
+      const std::uint32_t train = remap_category(f, col.category(row));
+      value = train == kUnseenCategory
+                  ? static_cast<double>(model_.linear.impute.at(f))
+                  : static_cast<double>(train);
+    } else {
+      value = col.numeric(row);
+    }
+    z += static_cast<double>(model_.linear.weights.at(f)) * value;
+  }
+  return z;
+}
+
+int DeviceRuntime::nb_predict(const data::Dataset& ds, std::size_t row) const {
+  for (std::size_t c = 0; c < class_score_.size(); ++c) {
+    class_score_[c] = static_cast<double>(model_.nb.log_prior.at(c));
+  }
+  for (std::size_t f = 0; f < model_.features.size(); ++f) {
+    const data::Column& col = ds.column(column_of_[f]);
+    if (col.is_missing(row)) continue;  // marginalize the feature out
+    const NaiveBayesFeature& feat = model_.nb.features[f];
+    if (model_.features[f].categorical) {
+      const std::uint32_t train = remap_category(f, col.category(row));
+      if (train == kUnseenCategory) continue;  // uniform across classes
+      const std::size_t cats = model_.features[f].categories.size();
+      for (std::size_t c = 0; c < class_score_.size(); ++c) {
+        class_score_[c] += static_cast<double>(feat.log_likelihood.at(c * cats + train));
+      }
+    } else {
+      const double v = col.numeric(row);
+      for (std::size_t c = 0; c < class_score_.size(); ++c) {
+        if (feat.class_present[c] == 0) continue;
+        const double d = v - nb_mean_[f][c];
+        class_score_[c] += nb_log_norm_[f][c] - d * d * nb_inv_2var_[f][c];
+      }
+    }
+  }
+  return static_cast<int>(
+      std::max_element(class_score_.begin(), class_score_.end()) -
+      class_score_.begin());
+}
+
+}  // namespace iotml::deploy

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "deploy/compiled_model.hpp"
+
+namespace iotml::deploy {
+
+/// Arena-style interpreter for a CompiledModel on the device tier.
+///
+/// bind() resolves the artifact's feature schema against a local dataset —
+/// columns matched by name, categorical dictionaries remapped to
+/// training-time indices — and sizes every scratch buffer. After bind,
+/// predict_row()/score_row() perform no heap allocation: tree walks follow
+/// the flat child-index pool, linear scores accumulate over the weight
+/// tensor, and naive Bayes scores into a pre-sized class buffer using
+/// Gaussian terms precomputed at bind time.
+///
+/// Semantics mirror the training-side learners: missing numeric NB cells are
+/// marginalized out, categories unseen at training time contribute nothing
+/// (NB) or fall back to the node's majority label (tree) or the impute value
+/// (linear), and linear classification thresholds the raw score at zero.
+class DeviceRuntime {
+ public:
+  /// Takes ownership of the artifact; validates it. Throws InvalidArgument
+  /// on a structurally invalid model.
+  explicit DeviceRuntime(CompiledModel model);
+
+  /// Resolve the artifact against `ds`'s schema and allocate all scratch.
+  /// Throws InvalidArgument when a schema column is absent from `ds` or has
+  /// the wrong kind. Rebinding against a new dataset is allowed.
+  void bind(const data::Dataset& ds);
+
+  bool bound() const noexcept { return bound_; }
+  const CompiledModel& model() const noexcept { return model_; }
+
+  /// Classify one row. Allocation-free. Throws InvalidArgument before
+  /// bind() or for regression artifacts (use score_row).
+  int predict_row(const data::Dataset& ds, std::size_t row) const;
+
+  /// Raw linear score (w.x + b) of one row — the regression output, or the
+  /// pre-sigmoid logit for classification heads. Allocation-free. Throws
+  /// InvalidArgument before bind() or for non-linear artifact kinds.
+  double score_row(const data::Dataset& ds, std::size_t row) const;
+
+ private:
+  static constexpr std::uint32_t kUnseenCategory = 0xFFFFFFFFU;
+
+  int tree_predict(const data::Dataset& ds, std::size_t row) const;
+  double linear_score(const data::Dataset& ds, std::size_t row) const;
+  int nb_predict(const data::Dataset& ds, std::size_t row) const;
+
+  /// Training-time category index of a local cell, or kUnseenCategory.
+  std::uint32_t remap_category(std::size_t feature, std::size_t local_index) const;
+
+  CompiledModel model_;
+  std::vector<std::size_t> column_of_;  ///< feature -> bound dataset column
+  /// Per categorical feature: local category index -> training index.
+  std::vector<std::vector<std::uint32_t>> cat_remap_;
+  /// Naive-Bayes Gaussian terms, precomputed at bind from the (possibly
+  /// quantized) tensors: score += log_norm - (v - mean)^2 * inv_2var.
+  std::vector<std::vector<double>> nb_mean_, nb_log_norm_, nb_inv_2var_;
+  mutable std::vector<double> class_score_;  ///< NB scratch, [num_classes]
+  bool bound_ = false;
+};
+
+}  // namespace iotml::deploy

@@ -24,6 +24,14 @@ class KernelRidge {
   /// In-sample training RMSE (fit quality diagnostic).
   double training_rmse() const noexcept { return training_rmse_; }
 
+  /// Export accessors for deployment compilation: with a linear kernel the
+  /// dual solution collapses to the primal weight vector w = X^T alpha, so
+  /// the whole model ships as one weight tensor (src/deploy/).
+  bool fitted() const noexcept { return fitted_; }
+  const Kernel& kernel_fn() const noexcept { return *kernel_; }
+  const std::vector<double>& dual_coefficients() const noexcept { return alpha_; }
+  const la::Matrix& train_inputs() const noexcept { return train_x_; }
+
  private:
   std::unique_ptr<Kernel> kernel_;
   double lambda_;

@@ -288,6 +288,30 @@ int DecisionTree::predict_row(const data::Dataset& ds, std::size_t row) const {
   return node->label;
 }
 
+std::size_t DecisionTree::flatten(const Node& node,
+                                  std::vector<ExportedTreeNode>& out) const {
+  const std::size_t id = out.size();
+  out.emplace_back();
+  out[id].leaf = node.leaf;
+  out[id].label = node.label;
+  out[id].feature = node.feature;
+  out[id].numeric = node.numeric;
+  out[id].threshold = node.threshold;
+  out[id].missing_slot = node.missing_child;
+  out[id].children.assign(node.children.size(), ExportedTreeNode::kNoNode);
+  for (std::size_t c = 0; c < node.children.size(); ++c) {
+    if (node.children[c]) out[id].children[c] = flatten(*node.children[c], out);
+  }
+  return id;
+}
+
+std::vector<ExportedTreeNode> DecisionTree::export_nodes() const {
+  IOTML_CHECK(root_ != nullptr, "DecisionTree::export_nodes: call fit() first");
+  std::vector<ExportedTreeNode> out;
+  flatten(*root_, out);
+  return out;
+}
+
 std::size_t DecisionTree::node_count() const {
   return root_ ? root_->count_nodes() : 0;
 }

@@ -21,6 +21,22 @@ struct DecisionTreeParams {
   MissingSplitPolicy missing = MissingSplitPolicy::kMajorityBranch;
 };
 
+/// Pointer-free view of one trained tree node, for compilation into a
+/// deployable artifact (src/deploy/). `children` holds indices into the
+/// exported vector; kNoNode marks branches that were empty at training time
+/// (prediction falls back to the node's own majority `label`).
+struct ExportedTreeNode {
+  static constexpr std::size_t kNoNode = static_cast<std::size_t>(-1);
+
+  bool leaf = true;
+  int label = 0;
+  std::size_t feature = 0;
+  bool numeric = false;
+  double threshold = 0.0;
+  std::vector<std::size_t> children;
+  std::size_t missing_slot = 0;  ///< index into `children` for missing cells
+};
+
 /// Entropy-split decision tree over mixed numeric/categorical features.
 /// Numeric features split on thresholds, categorical features split multiway
 /// per category.
@@ -39,6 +55,20 @@ class DecisionTree final : public Classifier {
   std::size_t node_count() const;
   std::size_t depth() const;
 
+  /// Flatten the trained tree into pointer-free pre-order nodes (element 0
+  /// is the root) for deployment compilation. Throws InvalidArgument before
+  /// fit().
+  std::vector<ExportedTreeNode> export_nodes() const;
+
+  /// Majority class of the training set (prediction fallback).
+  int default_class() const noexcept { return default_class_; }
+
+  /// Training-time category dictionaries, one per feature (empty for
+  /// numeric features) — categorical split children are indexed by them.
+  const std::vector<std::vector<std::string>>& train_category_labels() const noexcept {
+    return train_categories_;
+  }
+
  private:
   struct Node;
   DecisionTreeParams params_;
@@ -51,6 +81,7 @@ class DecisionTree final : public Classifier {
 
   std::unique_ptr<Node> build(const data::Dataset& ds,
                               const std::vector<std::size_t>& rows, std::size_t depth);
+  std::size_t flatten(const Node& node, std::vector<ExportedTreeNode>& out) const;
 };
 
 }  // namespace iotml::learners

@@ -30,6 +30,13 @@ class LogisticRegression final : public Classifier {
   const std::vector<double>& weights() const noexcept { return w_; }
   double bias() const noexcept { return b_; }
 
+  /// Training-time column means/stddevs — the standardization (and missing-
+  /// cell imputation) the weights were learned under. Deployment compilation
+  /// folds these into the artifact so devices score raw rows directly.
+  const std::vector<double>& feature_means() const noexcept { return feature_mean_; }
+  const std::vector<double>& feature_scales() const noexcept { return feature_scale_; }
+  bool fitted() const noexcept { return fitted_; }
+
  private:
   LogisticParams params_;
   std::vector<double> w_;

@@ -23,13 +23,30 @@ class NaiveBayes final : public Classifier {
   /// confidence.
   std::vector<double> log_posterior(const data::Dataset& ds, std::size_t row) const;
 
- private:
   struct Gaussian {
     double mean = 0.0;
     double variance = 1.0;
     std::size_t count = 0;
   };
 
+  /// Export accessors for deployment compilation (src/deploy/): the fitted
+  /// tables exactly as prediction uses them. All throw-free; callers gate on
+  /// fitted().
+  bool fitted() const noexcept { return fitted_; }
+  std::size_t class_count() const noexcept { return num_classes_; }
+  const std::vector<double>& log_priors() const noexcept { return log_prior_; }
+  const std::vector<std::vector<std::vector<double>>>& categorical_tables() const noexcept {
+    return categorical_;
+  }
+  const std::vector<std::vector<Gaussian>>& gaussians() const noexcept { return gaussian_; }
+  const std::vector<std::vector<std::string>>& train_category_labels() const noexcept {
+    return train_categories_;
+  }
+  const std::vector<data::ColumnType>& column_kinds() const noexcept {
+    return column_types_;
+  }
+
+ private:
   double alpha_;
   std::size_t num_classes_ = 0;
   std::vector<double> log_prior_;

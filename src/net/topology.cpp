@@ -84,4 +84,32 @@ NodeId Topology::next_hop(NodeId from) const {
   return next_hop_[from];
 }
 
+void Topology::add_downlinks(const LinkParams& edge_device, const LinkParams& core_edge) {
+  IOTML_CHECK(!has_downlinks_, "Topology::add_downlinks: already materialized");
+  downlink_of_.assign(nodes_.size(), kNoLink);
+  for (std::size_t i = 0; i < n_devices_; ++i) {
+    const NodeId from = edge(i % n_edges_);
+    downlink_of_[i] = links_.size();
+    links_.emplace_back(nodes_[from].name + "->" + nodes_[i].name, edge_device);
+  }
+  for (std::size_t j = 0; j < n_edges_; ++j) {
+    const NodeId to = edge(j);
+    downlink_of_[to] = links_.size();
+    links_.emplace_back("core->" + nodes_[to].name, core_edge);
+  }
+  has_downlinks_ = true;
+}
+
+std::size_t Topology::downlink_index(NodeId to) const {
+  IOTML_CHECK(has_downlinks_, "Topology::downlink: call add_downlinks() first");
+  IOTML_CHECK(to < nodes_.size() && downlink_of_[to] != kNoLink,
+              "Topology::downlink: node has no downlink");
+  return downlink_of_[to];
+}
+
+Link& Topology::downlink(NodeId to) {
+  IOTML_CHECK(has_downlinks_, "Topology::downlink: call add_downlinks() first");
+  return links_[downlink_index(to)];
+}
+
 }  // namespace iotml::net

@@ -56,13 +56,29 @@ class Topology {
   std::size_t uplink_index(NodeId from) const;
   NodeId next_hop(NodeId from) const;
 
+  /// Materialize the broadcast direction: one edge->device link per device
+  /// and one core->edge link per edge. Downlinks are appended *after* every
+  /// uplink, so existing link indices (and any per-index RNG assignment)
+  /// are untouched. Built on demand because pre-deployment fleets only ever
+  /// send toward the core. Throws InvalidArgument on a second call.
+  void add_downlinks(const LinkParams& edge_device, const LinkParams& core_edge);
+  bool has_downlinks() const noexcept { return has_downlinks_; }
+
+  /// The downlink carrying broadcast traffic *to* a device or edge node.
+  /// Throws InvalidArgument before add_downlinks() or for the core (nothing
+  /// is broadcast to the core).
+  Link& downlink(NodeId to);
+  std::size_t downlink_index(NodeId to) const;
+
  private:
   std::vector<NodeInfo> nodes_;
   std::vector<Link> links_;
   std::vector<std::size_t> uplink_of_;  ///< per node; npos for the core
+  std::vector<std::size_t> downlink_of_;  ///< per node; npos until materialized
   std::vector<NodeId> next_hop_;
   std::size_t n_devices_ = 0;
   std::size_t n_edges_ = 0;
+  bool has_downlinks_ = false;
 
   static constexpr std::size_t kNoLink = static_cast<std::size_t>(-1);
 };

@@ -1,11 +1,16 @@
 #include "sim/fleet.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <numbers>
 #include <numeric>
 #include <utility>
 
+#include "deploy/compile.hpp"
+#include "deploy/quantize.hpp"
 #include "learners/decision_tree.hpp"
+#include "learners/logistic.hpp"
+#include "learners/naive_bayes.hpp"
 #include "obs/obs.hpp"
 #include "pipeline/integration.hpp"
 #include "pipeline/preparation.hpp"
@@ -17,11 +22,12 @@ namespace iotml::sim {
 using pipeline::StageReport;
 using pipeline::Tier;
 
-pipeline::Pipeline default_fleet_pipeline(const FleetConfig& config) {
-  pipeline::Pipeline full;
-  // Device tier: clean the freshly acquired window before it costs uplink
-  // bytes — gross outliers are suppressed to missing so the edge can repair
-  // them alongside genuine sensor dropout.
+namespace {
+
+// Device tier: clean the freshly acquired window before it costs uplink
+// bytes — gross outliers are suppressed to missing so the edge can repair
+// them alongside genuine sensor dropout.
+void add_clean_stage(pipeline::Pipeline& full) {
   full.add("clean(hampel)", [](data::Dataset& ds, Rng&) {
     std::size_t suppressed = 0;
     for (std::size_t f = 1; f < ds.num_columns(); ++f) {
@@ -30,13 +36,18 @@ pipeline::Pipeline default_fleet_pipeline(const FleetConfig& config) {
     }
     return 0.2 + 0.01 * static_cast<double>(suppressed);
   }, "device", Tier::kDevice);
+}
 
-  // Edge tier: preparation over the integrated multi-device record stream.
+// Edge tier: preparation over the integrated multi-device record stream.
+void add_impute_stage(pipeline::Pipeline& full) {
   full.add("prepare(impute-linear)", [](data::Dataset& ds, Rng& rng) {
     const pipeline::ImputeReport r =
         pipeline::impute(ds, pipeline::ImputeStrategy::kLinear, rng);
     return 1.0 + 0.002 * static_cast<double>(r.cells_imputed);
   }, "edge-operator", Tier::kEdge);
+}
+
+void add_zscore_stage(pipeline::Pipeline& full) {
   full.add("prepare(normalize-zscore)", [](data::Dataset& ds, Rng&) {
     // Keep the timestamp column raw; normalize sensor columns only.
     std::vector<std::size_t> sensor_cols;
@@ -53,20 +64,41 @@ pipeline::Pipeline default_fleet_pipeline(const FleetConfig& config) {
     }
     return 0.5;
   }, "edge-operator", Tier::kEdge);
+}
 
-  // Core tier: data reduction before the learner.
-  full.add("reduce(mi-top" + std::to_string(config.feature_keep) + ")",
-           [keep = config.feature_keep](data::Dataset& ds, Rng&) {
+// Core tier: data reduction before the learner.
+void add_reduce_stage(pipeline::Pipeline& full, std::size_t keep) {
+  full.add("reduce(mi-top" + std::to_string(keep) + ")",
+           [keep](data::Dataset& ds, Rng&) {
     if (ds.has_labels() && ds.rows() > 0 && ds.num_columns() > keep) {
       ds = ds.select_columns(pipeline::select_by_mutual_information(ds, keep));
     }
     return 1.0;
   }, "core-operator", Tier::kCore);
+}
+
+}  // namespace
+
+pipeline::Pipeline default_fleet_pipeline(const FleetConfig& config) {
+  pipeline::Pipeline full;
+  add_clean_stage(full);
+  add_impute_stage(full);
+  add_zscore_stage(full);
+  add_reduce_stage(full, config.feature_keep);
+  return full;
+}
+
+pipeline::Pipeline default_deploy_pipeline(const FleetConfig& config) {
+  pipeline::Pipeline full;
+  add_clean_stage(full);
+  add_impute_stage(full);
+  add_reduce_stage(full, config.feature_keep);
   return full;
 }
 
 FleetSim::FleetSim(FleetConfig config)
-    : FleetSim(config, default_fleet_pipeline(config)) {}
+    : FleetSim(config, config.deploy.enabled ? default_deploy_pipeline(config)
+                                             : default_fleet_pipeline(config)) {}
 
 FleetSim::FleetSim(FleetConfig config, pipeline::Pipeline full_pipeline)
     : config_(config),
@@ -80,6 +112,13 @@ FleetSim::FleetSim(FleetConfig config, pipeline::Pipeline full_pipeline)
   IOTML_CHECK(config.sensor_dropout >= 0.0 && config.sensor_dropout <= 1.0,
               "FleetSim: sensor dropout outside [0, 1]");
   IOTML_CHECK(config.feature_keep >= 1, "FleetSim: feature_keep must be >= 1");
+  if (config.deploy.enabled) {
+    IOTML_CHECK(config.deploy.score_window_s > 0.0,
+                "FleetSim: deploy score window must be positive");
+    // Downlinks append after every uplink, so in the split loop below the
+    // uplinks draw exactly the Rng streams a non-deploy run would assign.
+    topo_.add_downlinks(config.deploy.edge_device_link, config.deploy.core_edge_link);
+  }
 
   // Fixed derivation order: every stream of randomness is split off the
   // master seed before the event loop starts, so event handlers can draw in
@@ -109,6 +148,8 @@ FleetSim::FleetSim(FleetConfig config, pipeline::Pipeline full_pipeline)
 
   edge_buffers_.resize(config.edges);
   seen_.resize(topo_.num_nodes());
+  artifact_seen_.assign(topo_.num_nodes(), 0);
+  pred_seen_.resize(topo_.num_nodes());
 
   generate_device_data();
 
@@ -132,6 +173,11 @@ void FleetSim::generate_device_data() {
   static constexpr double kNoiseScale[3] = {1.0, 2.5, 1.5};
   device_data_.resize(config_.devices);
   device_cursor_.assign(config_.devices, 0);
+  // Deploy runs keep sensing past the learning window: those extra rows are
+  // never flushed upstream — they are the data the deployed artifact scores.
+  const double horizon_s =
+      config_.duration_s +
+      (config_.deploy.enabled ? config_.deploy.score_window_s : 0.0);
   for (std::size_t d = 0; d < config_.devices; ++d) {
     Rng& rng = device_rngs_[d];
     const std::int64_t start_us = obs::now_us();
@@ -145,7 +191,7 @@ void FleetSim::generate_device_data() {
       spec.noise_std = config_.sensor_noise * kNoiseScale[q];
       spec.dropout_prob = config_.sensor_dropout;
       streams.push_back(
-          pipeline::simulate_sensor(spec, truths_[q], config_.duration_s, rng));
+          pipeline::simulate_sensor(spec, truths_[q], horizon_s, rng));
       readings += streams.back().readings.size();
     }
     pipeline::IntegrationResult integ = pipeline::integrate_streams(
@@ -205,6 +251,7 @@ FleetReport FleetSim::run() {
   while (!sched_.empty()) handle(sched_.pop());
 
   finalize();
+  if (config_.deploy.enabled) run_deploy_phase();
 
   report_.events = sched_.processed();
   for (std::size_t l = 0; l < topo_.num_links(); ++l) {
@@ -249,6 +296,15 @@ void FleetSim::handle(const Event& event) {
     case EventKind::kDeviceUp:
       topo_.node(event.target).up = true;
       break;
+    case EventKind::kDeployBroadcast:
+      handle_deploy_broadcast(event);
+      break;
+    case EventKind::kArtifactArrival:
+      handle_artifact_arrival(event);
+      break;
+    case EventKind::kPredictionArrival:
+      handle_prediction_arrival(event);
+      break;
   }
 }
 
@@ -256,12 +312,15 @@ void FleetSim::handle_device_flush(const Event& event) {
   const net::NodeId d = event.target;
   const data::Dataset& all = device_data_[d];
   const bool final_flush = event.time_s >= config_.duration_s;
+  // The final flush drains everything — except in deploy mode, where rows
+  // sensed after the learning window stay on the device for local scoring.
+  const double cutoff =
+      !final_flush ? event.time_s
+      : config_.deploy.enabled ? config_.duration_s
+                               : std::numeric_limits<double>::infinity();
   const std::size_t begin = device_cursor_[d];
   std::size_t end = begin;
-  while (end < all.rows() &&
-         (final_flush || all.column(0).numeric(end) < event.time_s)) {
-    ++end;
-  }
+  while (end < all.rows() && all.column(0).numeric(end) < cutoff) ++end;
   device_cursor_[d] = end;
   const std::size_t count = end - begin;
   if (count == 0) return;
@@ -396,13 +455,10 @@ void FleetSim::finalize() {
   });
   data::Dataset ds = core_buffer_.rows.select_rows(order);
 
-  // The analytics concept of the Fig. 1 example: "comfortable" iff the true
-  // temperature at that instant lies in [20, 28].
   std::vector<int> labels;
   labels.reserve(ds.rows());
   for (std::size_t r = 0; r < ds.rows(); ++r) {
-    const double temp = truths_[0](ds.column(0).numeric(r));
-    labels.push_back(temp >= 20.0 && temp <= 28.0 ? 1 : 0);
+    labels.push_back(truth_label(ds.column(0).numeric(r)));
   }
   ds.set_labels(std::move(labels));
 
@@ -446,9 +502,204 @@ void FleetSim::finalize() {
     report_.train_rows = train.rows();
     report_.test_rows = test.rows();
     analytics.cost = static_cast<double>(tree.node_count());
+    if (config_.deploy.enabled) {
+      deploy_train_ = train;
+      deploy_test_ = test;
+    }
   }
   analytics.wall_time_us = static_cast<std::uint64_t>(obs::now_us() - start_us);
   report_.stage_reports.push_back(std::move(analytics));
+}
+
+int FleetSim::truth_label(double time_s) const {
+  // The analytics concept of the Fig. 1 example: "comfortable" iff the true
+  // temperature at that instant lies in [20, 28].
+  const double temp = truths_[0](time_s);
+  return temp >= 20.0 && temp <= 28.0 ? 1 : 0;
+}
+
+void FleetSim::prepare_deploy() {
+  obs::Span span("sim.deploy_prepare", "deploy");
+  DeploySummary& d = report_.deploy;
+  d.enabled = true;
+  d.model = deploy::model_kind_name(config_.deploy.model);
+  d.precision = deploy::precision_name(config_.deploy.precision);
+  // Nothing reached the core, or the window saw a single class: no model
+  // worth shipping. The summary stays enabled with every device missed.
+  if (deploy_train_.rows() == 0 || deploy_test_.rows() == 0) return;
+
+  deploy::CompiledModel f32;
+  switch (config_.deploy.model) {
+    case deploy::ModelKind::kTree: {
+      learners::DecisionTree tree;
+      tree.fit(deploy_train_);
+      f32 = deploy::compile(tree, deploy_train_);
+      break;
+    }
+    case deploy::ModelKind::kLinear: {
+      learners::LogisticRegression lr;
+      lr.fit(deploy_train_);
+      f32 = deploy::compile(lr, deploy_train_);
+      break;
+    }
+    case deploy::ModelKind::kNaiveBayes: {
+      learners::NaiveBayes nb;
+      nb.fit(deploy_train_);
+      f32 = deploy::compile(nb, deploy_train_);
+      break;
+    }
+  }
+  d.artifact_bytes_float32 = f32.size_bytes();
+  if (config_.deploy.precision == deploy::Precision::kFloat32) {
+    d.holdout_accuracy_float = deploy::holdout_accuracy(f32, deploy_test_);
+    d.holdout_accuracy_deployed = d.holdout_accuracy_float;
+    deployed_model_ = std::move(f32);
+  } else {
+    const deploy::QuantizationReport q = deploy::quantize_with_report(
+        f32, config_.deploy.precision, deploy_test_, &deployed_model_);
+    d.holdout_accuracy_float = q.holdout_accuracy_float;
+    d.holdout_accuracy_deployed = q.holdout_accuracy_quantized;
+  }
+  d.artifact_bytes_deployed = deployed_model_.size_bytes();
+  const deploy::InferenceCost cost = deployed_model_.cost_per_row();
+  d.cost_multiply_adds = cost.multiply_adds;
+  d.cost_comparisons = cost.comparisons;
+  d.cost_table_lookups = cost.table_lookups;
+  // The broadcast ships the real encoded bytes, framed like any message.
+  artifact_wire_bytes_ = net::kMessageHeaderBytes + d.artifact_bytes_deployed;
+  device_runtime_.emplace(deployed_model_);
+  deploy_ready_ = true;
+}
+
+void FleetSim::run_deploy_phase() {
+  prepare_deploy();
+  if (deploy_ready_) {
+    sched_.push(std::max(sched_.now_s(), config_.duration_s),
+                EventKind::kDeployBroadcast, topo_.core());
+    while (!sched_.empty()) handle(sched_.pop());
+  }
+  DeploySummary& d = report_.deploy;
+  d.devices_missed = config_.devices - d.devices_deployed;
+  d.device_accuracy =
+      d.predictions_delivered == 0
+          ? 0.0
+          : static_cast<double>(d.predictions_correct) /
+                static_cast<double>(d.predictions_delivered);
+}
+
+void FleetSim::handle_deploy_broadcast(const Event& event) {
+  obs::registry().counter("deploy.broadcasts").add();
+  for (std::size_t j = 0; j < config_.edges; ++j) {
+    send_artifact(topo_.edge(j), event.time_s);
+  }
+}
+
+void FleetSim::send_artifact(net::NodeId to, double now_s) {
+  net::Link& link = topo_.downlink(to);
+  const std::size_t link_index = topo_.downlink_index(to);
+  // The sender's radio spends the bytes whether or not the wire delivers.
+  report_.deploy.downlink_bytes += artifact_wire_bytes_;
+  obs::registry().counter("deploy.artifact_sends").add();
+  obs::registry().counter("deploy.downlink_bytes").add(artifact_wire_bytes_);
+  const net::Delivery delivery =
+      link.transmit(now_s, artifact_wire_bytes_, link_rngs_[link_index]);
+  if (!delivery.delivered) return;
+  sched_.push(delivery.arrival_s, EventKind::kArtifactArrival, to);
+  if (delivery.duplicated) {
+    sched_.push(delivery.duplicate_arrival_s, EventKind::kArtifactArrival, to);
+  }
+}
+
+void FleetSim::handle_artifact_arrival(const Event& event) {
+  const net::NodeId node = event.target;
+  if (artifact_seen_[node] != 0) {
+    obs::registry().counter("deploy.duplicates_discarded").add();
+    return;
+  }
+  artifact_seen_[node] = 1;
+  if (node >= config_.devices) {
+    // An edge: relay the artifact to every attached device (a down edge
+    // strands the broadcast; its devices end up in devices_missed).
+    if (!topo_.node(node).up) return;
+    const std::size_t j = node - config_.devices;
+    for (std::size_t i = 0; i < config_.devices; ++i) {
+      if (i % config_.edges == j) send_artifact(topo_.device(i), event.time_s);
+    }
+    return;
+  }
+  if (!topo_.node(node).up) return;  // churn: device offline at arrival
+  score_on_device(node, event.time_s);
+}
+
+void FleetSim::score_on_device(net::NodeId device, double now_s) {
+  DeploySummary& d = report_.deploy;
+  ++d.devices_deployed;
+  obs::registry().counter("deploy.devices_deployed").add();
+
+  const data::Dataset& all = device_data_[device];
+  const std::size_t begin = device_cursor_[device];
+  const std::size_t count = all.rows() - begin;
+  if (count == 0) return;
+
+  device_runtime_->bind(all);
+  PredBatch batch;
+  batch.device = device;
+  batch.rows = count;
+  for (std::size_t r = begin; r < all.rows(); ++r) {
+    const int pred = device_runtime_->predict_row(all, r);
+    if (pred == truth_label(all.column(0).numeric(r))) ++batch.correct;
+  }
+  d.rows_scored += count;
+  obs::registry().counter("deploy.rows_scored").add(count);
+
+  // Counterfactual: what uplinking these raw rows (the pre-deployment
+  // regime) would have cost. The payload crosses both hops; edge batching
+  // would amortize the second header, which this deliberately ignores —
+  // the payload bytes dominate.
+  std::vector<std::size_t> idx(count);
+  std::iota(idx.begin(), idx.end(), begin);
+  net::Message raw;
+  raw.payload = all.select_rows(idx);
+  raw.origin_s = {now_s};
+  d.uplink_raw_bytes += 2 * net::wire_size_bytes(raw);
+
+  // One bit per prediction on the wire, plus a u32 row count. Ground truth
+  // never travels: the core evaluates against labels it already knows.
+  batch.wire_bytes = net::kMessageHeaderBytes + 4 + (count + 7) / 8;
+  pred_batches_.push_back(batch);
+  send_predictions(device, pred_batches_.size() - 1, now_s);
+}
+
+void FleetSim::send_predictions(net::NodeId from, std::size_t batch, double now_s) {
+  net::Link& link = topo_.uplink(from);
+  const std::size_t link_index = topo_.uplink_index(from);
+  const std::size_t bytes = pred_batches_[batch].wire_bytes;
+  report_.deploy.uplink_prediction_bytes += bytes;
+  obs::registry().counter("deploy.prediction_bytes").add(bytes);
+  const net::Delivery delivery = link.transmit(now_s, bytes, link_rngs_[link_index]);
+  if (!delivery.delivered) return;
+  const net::NodeId to = topo_.next_hop(from);
+  sched_.push(delivery.arrival_s, EventKind::kPredictionArrival, to, batch);
+  if (delivery.duplicated) {
+    sched_.push(delivery.duplicate_arrival_s, EventKind::kPredictionArrival, to, batch);
+  }
+}
+
+void FleetSim::handle_prediction_arrival(const Event& event) {
+  const net::NodeId node = event.target;
+  if (!pred_seen_[node].insert(event.message).second) {
+    obs::registry().counter("deploy.duplicates_discarded").add();
+    return;
+  }
+  if (node == topo_.core()) {
+    const PredBatch& batch = pred_batches_[event.message];
+    report_.deploy.predictions_delivered += batch.rows;
+    report_.deploy.predictions_correct += batch.correct;
+    obs::registry().counter("deploy.predictions_delivered").add(batch.rows);
+    return;
+  }
+  if (!topo_.node(node).up) return;  // stranded at a down edge
+  send_predictions(node, event.message, event.time_s);
 }
 
 }  // namespace iotml::sim

@@ -2,10 +2,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <unordered_set>
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "deploy/compiled_model.hpp"
+#include "deploy/runtime.hpp"
 #include "net/faults.hpp"
 #include "net/message.hpp"
 #include "net/topology.hpp"
@@ -16,6 +19,29 @@
 #include "util/rng.hpp"
 
 namespace iotml::sim {
+
+/// The optional deploy phase: after the learning window closes, the core
+/// compiles its analytics model into a deploy::CompiledModel, quantizes it
+/// to `precision`, and broadcasts the artifact down the tree over the
+/// (lossy) downlinks. Devices that receive it score `score_window_s` of
+/// subsequently sensed rows locally and uplink only predictions — the
+/// paper's move from "ship every row to the core" to "ship the model to
+/// the data".
+struct DeployConfig {
+  bool enabled = false;
+  double score_window_s = 30.0;  ///< sensed seconds scored on-device
+  deploy::ModelKind model = deploy::ModelKind::kTree;
+  deploy::Precision precision = deploy::Precision::kInt8;
+
+  net::LinkParams edge_device_link{
+      .latency_s = 0.02, .jitter_s = 0.005, .bandwidth_bytes_per_s = 125000.0,
+      .drop_prob = 0.02, .duplicate_prob = 0.005, .max_retries = 1,
+      .retry_backoff_s = 0.05};
+  net::LinkParams core_edge_link{
+      .latency_s = 0.005, .jitter_s = 0.001, .bandwidth_bytes_per_s = 1.25e6,
+      .drop_prob = 0.002, .duplicate_prob = 0.0, .max_retries = 2,
+      .retry_backoff_s = 0.02};
+};
 
 /// Everything a fleet run depends on. A (config, pipeline) pair fully
 /// determines the run — same seed, byte-identical event log and report.
@@ -41,6 +67,8 @@ struct FleetConfig {
   double sensor_dropout = 0.05;  ///< per-sample loss at the sensor itself
   double sensor_noise = 0.4;     ///< base measurement noise (scaled per quantity)
   std::size_t feature_keep = 3;  ///< core-side MI feature selection budget
+
+  DeployConfig deploy;
 };
 
 /// The default Fig. 1 pipeline, tagged for placement: device-side outlier
@@ -49,6 +77,13 @@ struct FleetConfig {
 /// analytics reports around it, completing the paper's
 /// acquisition -> integration -> preparation -> reduction -> analytics chain.
 pipeline::Pipeline default_fleet_pipeline(const FleetConfig& config);
+
+/// The deploy-mode variant of the default pipeline: identical placement but
+/// without the edge z-score stage. Per-batch normalization cannot be
+/// replayed on a device scoring rows one at a time, so deploy runs train in
+/// raw sensor units and fold any standardization into the compiled artifact
+/// instead (see deploy::compile).
+pipeline::Pipeline default_deploy_pipeline(const FleetConfig& config);
 
 /// Deterministic discrete-event simulator of the paper's Fig. 1: devices
 /// sample noisy desynchronized sensors and flush windows to their edge over
@@ -91,6 +126,18 @@ class FleetSim {
   void handle_arrival(const Event& event);
   void send(net::NodeId from, Buffer&& chunk, double now_s);
   void finalize();
+  int truth_label(double time_s) const;
+
+  // Deploy phase (config_.deploy.enabled): compile at the core, broadcast
+  // down, score on-device, uplink predictions.
+  void prepare_deploy();
+  void run_deploy_phase();
+  void handle_deploy_broadcast(const Event& event);
+  void handle_artifact_arrival(const Event& event);
+  void handle_prediction_arrival(const Event& event);
+  void send_artifact(net::NodeId to, double now_s);
+  void send_predictions(net::NodeId from, std::size_t batch, double now_s);
+  void score_on_device(net::NodeId device, double now_s);
 
   FleetConfig config_;
   net::Topology topo_;
@@ -111,6 +158,25 @@ class FleetSim {
   Buffer core_buffer_;
   std::vector<std::unordered_set<std::uint64_t>> seen_;  ///< dedup per node
   std::vector<double> latencies_;
+
+  /// One on-device prediction batch in flight (device -> edge -> core).
+  /// Ground truth is resolved at scoring time — the simulator knows it —
+  /// so the wire carries one bit per prediction, never labels.
+  struct PredBatch {
+    net::NodeId device = 0;
+    std::size_t rows = 0;
+    std::size_t correct = 0;
+    std::size_t wire_bytes = 0;
+  };
+
+  data::Dataset deploy_train_, deploy_test_;  ///< core split, kept for compile
+  deploy::CompiledModel deployed_model_;
+  std::optional<deploy::DeviceRuntime> device_runtime_;
+  bool deploy_ready_ = false;
+  std::size_t artifact_wire_bytes_ = 0;
+  std::vector<PredBatch> pred_batches_;
+  std::vector<std::uint8_t> artifact_seen_;  ///< dedup duplicate broadcasts
+  std::vector<std::unordered_set<std::uint64_t>> pred_seen_;
 
   FleetReport report_;
   bool ran_ = false;

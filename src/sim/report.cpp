@@ -89,7 +89,33 @@ std::string FleetReport::to_json() const {
       << ", \"max_s\": " << json_number(latency.max_s) << "},\n";
   out << "  \"accuracy\": " << json_number(accuracy) << ",\n";
   out << "  \"train_rows\": " << train_rows << ",\n";
-  out << "  \"test_rows\": " << test_rows << "\n";
+  out << "  \"test_rows\": " << test_rows;
+  if (deploy.enabled) {
+    out << ",\n  \"deploy\": {\n";
+    out << "    \"model\": \"" << json_escape(deploy.model) << "\",\n";
+    out << "    \"precision\": \"" << json_escape(deploy.precision) << "\",\n";
+    out << "    \"artifact_bytes\": {\"float32\": " << deploy.artifact_bytes_float32
+        << ", \"deployed\": " << deploy.artifact_bytes_deployed << "},\n";
+    out << "    \"devices\": {\"deployed\": " << deploy.devices_deployed
+        << ", \"missed\": " << deploy.devices_missed << "},\n";
+    out << "    \"rows_scored\": " << deploy.rows_scored << ",\n";
+    out << "    \"predictions\": {\"delivered\": " << deploy.predictions_delivered
+        << ", \"correct\": " << deploy.predictions_correct << "},\n";
+    out << "    \"bytes\": {\"downlink\": " << deploy.downlink_bytes
+        << ", \"uplink_predictions\": " << deploy.uplink_prediction_bytes
+        << ", \"uplink_raw_counterfactual\": " << deploy.uplink_raw_bytes << "},\n";
+    out << "    \"holdout_accuracy\": {\"float32\": "
+        << json_number(deploy.holdout_accuracy_float)
+        << ", \"deployed\": " << json_number(deploy.holdout_accuracy_deployed)
+        << "},\n";
+    out << "    \"device_accuracy\": " << json_number(deploy.device_accuracy) << ",\n";
+    out << "    \"cost_per_row\": {\"multiply_adds\": " << deploy.cost_multiply_adds
+        << ", \"comparisons\": " << deploy.cost_comparisons
+        << ", \"table_lookups\": " << deploy.cost_table_lookups << "}\n";
+    out << "  }\n";
+  } else {
+    out << "\n";
+  }
   out << "}\n";
   return out.str();
 }

@@ -43,6 +43,41 @@ struct StageTotals {
   double cost = 0.0;
 };
 
+/// Ledger of the optional deploy phase: the core compiles the analytics
+/// model, broadcasts the artifact down the tree, devices score their
+/// held-back window locally and uplink only predictions. `uplink_raw_bytes`
+/// is the counterfactual — what shipping those same rows up the tree (the
+/// pre-deployment regime) would have cost — so the report itself carries
+/// the raw-row-uplink vs deploy-and-score comparison.
+struct DeploySummary {
+  bool enabled = false;
+  std::string model;      ///< compiled artifact kind name
+  std::string precision;  ///< deployed storage precision name
+
+  std::size_t artifact_bytes_float32 = 0;  ///< encoded size before quantization
+  std::size_t artifact_bytes_deployed = 0; ///< encoded size on the wire
+
+  std::size_t devices_deployed = 0;  ///< devices holding a bound artifact
+  std::size_t devices_missed = 0;    ///< broadcast never reached them
+  std::size_t rows_scored = 0;       ///< rows classified on-device
+
+  std::size_t predictions_delivered = 0;  ///< predictions that reached the core
+  std::size_t predictions_correct = 0;    ///< ... matching the ground truth
+
+  std::uint64_t downlink_bytes = 0;           ///< artifact broadcast traffic
+  std::uint64_t uplink_prediction_bytes = 0;  ///< prediction batch traffic
+  std::uint64_t uplink_raw_bytes = 0;         ///< counterfactual raw-row uplink
+
+  double holdout_accuracy_float = 0.0;     ///< core holdout, float32 artifact
+  double holdout_accuracy_deployed = 0.0;  ///< core holdout, deployed artifact
+  double device_accuracy = 0.0;            ///< correct / delivered predictions
+
+  // Per-row inference cost of the deployed artifact (deploy::InferenceCost).
+  std::uint64_t cost_multiply_adds = 0;
+  std::uint64_t cost_comparisons = 0;
+  std::uint64_t cost_table_lookups = 0;
+};
+
 /// What a whole fleet run did: the union of every node's per-stage ledgers
 /// (the same StageReport the in-process Pipeline emits) plus the transport
 /// ledger the distributed runtime adds on top.
@@ -71,6 +106,8 @@ struct FleetReport {
   double accuracy = 0.0;  ///< core analytics on the delivered records
   std::size_t train_rows = 0;
   std::size_t test_rows = 0;
+
+  DeploySummary deploy;  ///< all-zero unless the run had a deploy phase
 
   /// Aggregate stage_reports by stage name (sums runs/rows/cost).
   std::map<std::string, StageTotals> stage_totals() const;

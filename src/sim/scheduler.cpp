@@ -15,6 +15,9 @@ std::string event_kind_name(EventKind kind) {
     case EventKind::kLinkUp: return "link-up";
     case EventKind::kDeviceDown: return "device-down";
     case EventKind::kDeviceUp: return "device-up";
+    case EventKind::kDeployBroadcast: return "deploy-broadcast";
+    case EventKind::kArtifactArrival: return "artifact-arrival";
+    case EventKind::kPredictionArrival: return "prediction-arrival";
   }
   return "?";
 }

@@ -16,7 +16,10 @@ enum class EventKind {
   kLinkDown,     ///< fault injection: link goes down (target = link index)
   kLinkUp,       ///< fault injection: link recovers (target = link index)
   kDeviceDown,   ///< churn: device goes offline (target = node id)
-  kDeviceUp      ///< churn: device comes back (target = node id)
+  kDeviceUp,     ///< churn: device comes back (target = node id)
+  kDeployBroadcast,    ///< the core pushes the compiled artifact fleet-wide
+  kArtifactArrival,    ///< a compiled artifact reaches an edge or device
+  kPredictionArrival   ///< an on-device prediction batch reaches a node
 };
 
 std::string event_kind_name(EventKind kind);

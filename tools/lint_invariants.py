@@ -31,6 +31,16 @@ R6  timing-discipline     Raw clock reads (std::chrono::steady_clock /
                           no-op fast path stays the single place that decides
                           whether time is read at all. Applies to src/, bench/,
                           examples/ and tests/.
+R7  serialization-casts   reinterpret_cast is forbidden in src/, bench/,
+                          examples/ and tests/ except inside src/deploy/codec.*
+                          on lines carrying a `// codec-sanctioned` comment,
+                          and bare narrowing static_casts (to
+                          [u]int8_t/[u]int16_t) are forbidden in src/deploy/
+                          outside codec.* — artifact bytes go through the
+                          checked ByteWriter/ByteReader/narrow_* helpers so
+                          the wire format stays endian-stable and a value that
+                          does not fit throws instead of silently wrapping
+                          (golden bytes are pinned in tests/golden/).
 
 Exit code 0 when clean; 1 with one line per violation otherwise.
 
@@ -288,6 +298,43 @@ def check_timing_discipline(root: Path) -> list[str]:
     return problems
 
 
+REINTERPRET_CAST = re.compile(r"\breinterpret_cast\b")
+NARROWING_CAST = re.compile(r"\bstatic_cast<\s*(?:std::)?u?int(?:8|16)_t\s*>")
+CODEC_SANCTION = re.compile(r"//\s*codec-sanctioned")
+
+
+def check_serialization_casts(root: Path) -> list[str]:
+    """R7: byte-level casts only through src/deploy/codec.*."""
+    problems = []
+    files: list[Path] = []
+    for sub in ("src", "bench", "examples", "tests"):
+        d = root / sub
+        if d.is_dir():
+            files.extend(sorted(list(d.rglob("*.cpp")) + list(d.rglob("*.hpp"))))
+    for f in files:
+        rel = f.relative_to(root)
+        in_codec = f.parent.name == "deploy" and f.stem == "codec"
+        in_deploy = "deploy" in f.parts and f.suffix in (".cpp", ".hpp")
+        raw_lines = f.read_text().splitlines()
+        code = strip_comments_and_strings(f.read_text())
+        for lineno, line in enumerate(code.splitlines(), start=1):
+            if REINTERPRET_CAST.search(line):
+                raw = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+                if in_codec and CODEC_SANCTION.search(raw):
+                    continue
+                problems.append(
+                    f"{rel}:{lineno}: R7 reinterpret_cast — byte views belong in "
+                    f"src/deploy/codec.* (mark with `// codec-sanctioned`)"
+                )
+            if in_deploy and not in_codec and NARROWING_CAST.search(line):
+                problems.append(
+                    f"{rel}:{lineno}: R7 bare narrowing static_cast in serialization "
+                    f"code — use deploy::narrow_u8/u16/u32/i8/i16 or enum_u8 "
+                    f"(src/deploy/codec.hpp) so overflow throws instead of wrapping"
+                )
+    return problems
+
+
 def check_pragma_once(src: Path) -> list[str]:
     """R5: every header uses #pragma once."""
     problems = []
@@ -314,6 +361,7 @@ def main() -> int:
     problems += check_rng_discipline(src)
     problems += check_pragma_once(src)
     problems += check_timing_discipline(args.root)
+    problems += check_serialization_casts(args.root)
 
     if problems:
         for p in problems:
@@ -321,7 +369,7 @@ def main() -> int:
         print(f"lint_invariants: {len(problems)} violation(s)", file=sys.stderr)
         return 1
     print("lint_invariants: clean (R1 preconditions, R2 throws, R3 cycles, R4 rng, "
-          "R5 pragma, R6 timing)")
+          "R5 pragma, R6 timing, R7 serialization casts)")
     return 0
 
 
