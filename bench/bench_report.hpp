@@ -52,6 +52,13 @@ class BenchReport {
     has_seed_ = true;
   }
 
+  /// Deterministic artifact mode: zero out the measured-time fields
+  /// (unix_time_ms, wall_time_s) so two runs with the same seed write
+  /// byte-identical JSON. Benches whose artifact doubles as a determinism
+  /// witness (bench_chaos) enable this and keep wall-clock numbers off
+  /// their metric set too.
+  void deterministic() { deterministic_ = true; }
+
   double elapsed_s() const { return static_cast<double>(obs::now_us() - start_us_) * 1e-6; }
 
   /// items per elapsed second so far — call right before write().
@@ -76,8 +83,9 @@ class BenchReport {
     }
     out << "{\n";
     out << "  \"bench\": \"" << obs::json_escape(name_) << "\",\n";
-    out << "  \"unix_time_ms\": " << obs::unix_time_ms() << ",\n";
-    out << "  \"wall_time_s\": " << obs::json_number(elapsed_s()) << ",\n";
+    out << "  \"unix_time_ms\": " << (deterministic_ ? 0 : obs::unix_time_ms()) << ",\n";
+    out << "  \"wall_time_s\": " << obs::json_number(deterministic_ ? 0.0 : elapsed_s())
+        << ",\n";
     if (has_seed_) out << "  \"seed\": " << seed_ << ",\n";
     out << "  \"build\": {\"compiler\": \"" << obs::json_escape(__VERSION__)
         << "\", \"flags\": \"" << obs::json_escape(IOTML_BUILD_FLAGS)
@@ -107,6 +115,7 @@ class BenchReport {
   std::int64_t start_us_;
   std::uint64_t seed_ = 0;
   bool has_seed_ = false;
+  bool deterministic_ = false;
   std::map<std::string, double> metrics_;
   std::map<std::string, std::string> notes_;
 };

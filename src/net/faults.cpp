@@ -13,6 +13,10 @@ std::string fault_kind_name(FaultKind kind) {
     case FaultKind::kLinkUp: return "link-up";
     case FaultKind::kDeviceDown: return "device-down";
     case FaultKind::kDeviceUp: return "device-up";
+    case FaultKind::kEdgeCrash: return "edge-crash";
+    case FaultKind::kEdgeRestart: return "edge-restart";
+    case FaultKind::kCoreCrash: return "core-crash";
+    case FaultKind::kCoreRestart: return "core-restart";
   }
   return "?";
 }
@@ -41,9 +45,11 @@ void sample_outages(std::vector<Fault>& plan, double expected_outages,
 std::vector<Fault> make_fault_plan(const Topology& topo, const FaultParams& params,
                                    double duration_s, Rng& rng) {
   IOTML_CHECK(duration_s > 0.0, "make_fault_plan: duration must be positive");
-  IOTML_CHECK(params.link_outages >= 0.0 && params.device_churns >= 0.0,
+  IOTML_CHECK(params.link_outages >= 0.0 && params.device_churns >= 0.0 &&
+                  params.edge_crashes >= 0.0 && params.core_crashes >= 0.0,
               "make_fault_plan: negative fault rate");
-  IOTML_CHECK(params.link_outage_mean_s >= 0.0 && params.device_offtime_mean_s >= 0.0,
+  IOTML_CHECK(params.link_outage_mean_s >= 0.0 && params.device_offtime_mean_s >= 0.0 &&
+                  params.edge_downtime_mean_s >= 0.0 && params.core_downtime_mean_s >= 0.0,
               "make_fault_plan: negative outage duration");
   std::vector<Fault> plan;
   for (std::size_t l = 0; l < topo.num_links(); ++l) {
@@ -54,6 +60,12 @@ std::vector<Fault> make_fault_plan(const Topology& topo, const FaultParams& para
     sample_outages(plan, params.device_churns, params.device_offtime_mean_s, duration_s,
                    FaultKind::kDeviceDown, FaultKind::kDeviceUp, topo.device(d), rng);
   }
+  for (std::size_t e = 0; e < topo.num_edges(); ++e) {
+    sample_outages(plan, params.edge_crashes, params.edge_downtime_mean_s, duration_s,
+                   FaultKind::kEdgeCrash, FaultKind::kEdgeRestart, e, rng);
+  }
+  sample_outages(plan, params.core_crashes, params.core_downtime_mean_s, duration_s,
+                 FaultKind::kCoreCrash, FaultKind::kCoreRestart, 0, rng);
   std::stable_sort(plan.begin(), plan.end(), [](const Fault& a, const Fault& b) {
     return std::tie(a.time_s, a.kind, a.target) < std::tie(b.time_s, b.kind, b.target);
   });

@@ -13,10 +13,46 @@ Link::Link(std::string name, LinkParams params)
   IOTML_CHECK(params.latency_s >= 0.0, "Link: negative latency");
   IOTML_CHECK(params.jitter_s >= 0.0, "Link: negative jitter");
   IOTML_CHECK(params.retry_backoff_s >= 0.0, "Link: negative retry backoff");
+  IOTML_CHECK(params.retry_backoff_cap_s >= 0.0, "Link: negative retry backoff cap");
   IOTML_CHECK(params.drop_prob >= 0.0 && params.drop_prob <= 1.0,
               "Link: drop_prob outside [0, 1]");
+  IOTML_CHECK(params.corrupt_prob >= 0.0 && params.corrupt_prob <= 1.0,
+              "Link: corrupt_prob outside [0, 1]");
   IOTML_CHECK(params.duplicate_prob >= 0.0 && params.duplicate_prob <= 1.0,
               "Link: duplicate_prob outside [0, 1]");
+}
+
+void Link::set_drop_prob(double p) {
+  IOTML_CHECK(p >= 0.0 && p <= 1.0, "Link::set_drop_prob: outside [0, 1]");
+  params_.drop_prob = p;
+}
+
+void Link::set_corrupt_prob(double p) {
+  IOTML_CHECK(p >= 0.0 && p <= 1.0, "Link::set_corrupt_prob: outside [0, 1]");
+  params_.corrupt_prob = p;
+}
+
+void Link::record_delivery(std::size_t bytes) noexcept {
+  ++stats_.messages;
+  stats_.bytes += bytes;
+}
+
+Attempt Link::try_transmit(double now_s, std::size_t bytes, Rng& rng) {
+  Attempt attempt;
+  const double tx_s = static_cast<double>(bytes) / params_.bandwidth_bytes_per_s;
+  const double start_s = std::max(now_s, busy_until_s_);
+  attempt.done_s = start_s + tx_s;
+  busy_until_s_ = attempt.done_s;
+  if (rng.bernoulli(params_.drop_prob)) return attempt;
+  attempt.delivered = true;
+  double arrival_s = attempt.done_s + params_.latency_s;
+  if (params_.jitter_s > 0.0) arrival_s += rng.uniform(0.0, params_.jitter_s);
+  attempt.arrival_s = arrival_s;
+  if (params_.corrupt_prob > 0.0 && rng.bernoulli(params_.corrupt_prob)) {
+    attempt.corrupted = true;
+    ++stats_.corrupted;
+  }
+  return attempt;
 }
 
 Delivery Link::transmit(double now_s, std::size_t bytes, Rng& rng) {
@@ -25,32 +61,37 @@ Delivery Link::transmit(double now_s, std::size_t bytes, Rng& rng) {
     ++stats_.drops;
     return delivery;
   }
-  const double tx_s = static_cast<double>(bytes) / params_.bandwidth_bytes_per_s;
-  double start_s = std::max(now_s, busy_until_s_);
+  double start_s = now_s;
   for (std::size_t attempt = 0; attempt <= params_.max_retries; ++attempt) {
     if (attempt > 0) {
       ++stats_.retransmits;
       ++delivery.retransmits;
     }
-    const double done_s = start_s + tx_s;
-    busy_until_s_ = done_s;
-    if (!rng.bernoulli(params_.drop_prob)) {
-      double arrival_s = done_s + params_.latency_s;
-      if (params_.jitter_s > 0.0) arrival_s += rng.uniform(0.0, params_.jitter_s);
+    const Attempt wire = try_transmit(start_s, bytes, rng);
+    if (wire.delivered) {
       delivery.delivered = true;
-      delivery.arrival_s = arrival_s;
+      delivery.corrupted = wire.corrupted;
+      delivery.arrival_s = wire.arrival_s;
       ++stats_.messages;
       stats_.bytes += bytes;
       if (params_.duplicate_prob > 0.0 && rng.bernoulli(params_.duplicate_prob)) {
         // A straggler copy one extra propagation delay behind the original —
         // the receiver is expected to deduplicate by message id.
         delivery.duplicated = true;
-        delivery.duplicate_arrival_s = arrival_s + params_.latency_s;
+        delivery.duplicate_arrival_s = wire.arrival_s + params_.latency_s;
         ++stats_.duplicates;
       }
       return delivery;
     }
-    start_s = done_s + params_.retry_backoff_s;
+    // Capped exponential backoff: retry k waits base * 2^k, never more than
+    // the cap (clamped to at least the base so a small cap cannot shrink the
+    // first wait) — a lossy wire must not be hammered at a fixed cadence.
+    const double cap_s = std::max(params_.retry_backoff_cap_s, params_.retry_backoff_s);
+    const double backoff_s = std::min(
+        params_.retry_backoff_s *
+            static_cast<double>(std::uint64_t{1} << std::min<std::size_t>(attempt, 32)),
+        cap_s);
+    start_s = wire.done_s + backoff_s;
   }
   ++stats_.drops;
   return delivery;

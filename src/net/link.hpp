@@ -17,9 +17,11 @@ struct LinkParams {
   double jitter_s = 0.0;              ///< uniform [0, jitter_s) extra delay
   double bandwidth_bytes_per_s = 1e6; ///< serialization rate (must be > 0)
   double drop_prob = 0.0;             ///< per-attempt loss probability
+  double corrupt_prob = 0.0;          ///< per-delivery payload corruption prob
   double duplicate_prob = 0.0;        ///< per-delivery chance of a late copy
   std::size_t max_retries = 0;        ///< retransmit attempts after a loss
-  double retry_backoff_s = 0.05;      ///< extra delay before each retransmit
+  double retry_backoff_s = 0.05;      ///< base delay before a retransmit
+  double retry_backoff_cap_s = 2.0;   ///< backoff ceiling (exponential growth)
 };
 
 /// Transport counters, aggregated per link for the FleetReport.
@@ -27,6 +29,7 @@ struct LinkStats {
   std::uint64_t messages = 0;     ///< delivered first copies
   std::uint64_t bytes = 0;        ///< wire bytes of delivered messages
   std::uint64_t drops = 0;        ///< messages lost (incl. link-down sends)
+  std::uint64_t corrupted = 0;    ///< frames delivered with a flipped payload
   std::uint64_t duplicates = 0;   ///< extra copies generated
   std::uint64_t retransmits = 0;  ///< retransmission attempts made
 };
@@ -35,10 +38,21 @@ struct LinkStats {
 /// scheduler turns arrival times into delivery events).
 struct Delivery {
   bool delivered = false;
+  bool corrupted = false;   ///< frame arrived but fails its payload checksum
   bool duplicated = false;
   double arrival_s = 0.0;
   double duplicate_arrival_s = 0.0;
   std::size_t retransmits = 0;
+};
+
+/// One wire attempt: the primitive the ack/retry Channel composes. The
+/// frame occupies the wire for its serialization time whether or not it
+/// survives; a delivered frame may still arrive corrupted.
+struct Attempt {
+  bool delivered = false;
+  bool corrupted = false;
+  double done_s = 0.0;     ///< when the wire frees up after this attempt
+  double arrival_s = 0.0;  ///< meaningful only when delivered
 };
 
 /// One directed link. The wire is serial: a transmission starts no earlier
@@ -56,6 +70,11 @@ class Link {
   bool up() const noexcept { return up_; }
   void set_up(bool up) noexcept { up_ = up; }
 
+  /// Chaos-harness overrides (loss bursts, corruption storms). Throws
+  /// InvalidArgument unless the probability lies in [0, 1].
+  void set_drop_prob(double p);
+  void set_corrupt_prob(double p);
+
   const LinkStats& stats() const noexcept { return stats_; }
 
   /// Time the wire frees up (for tests and queue-depth introspection).
@@ -63,9 +82,27 @@ class Link {
 
   /// Plan the delivery of `bytes` handed to the link at `now_s`. Applies
   /// serialization time, queueing behind earlier transmissions, latency,
-  /// jitter, loss with bounded retransmits, and duplication. Updates the
-  /// link stats; deterministic given the Rng state.
+  /// jitter, loss with bounded retransmits under capped exponential backoff
+  /// (retry k waits min(retry_backoff_s * 2^k, retry_backoff_cap_s)),
+  /// corruption, and duplication. A corrupted frame still consumes the
+  /// delivery — a fire-and-forget sender has no way to know the receiver
+  /// rejected it. Updates the link stats; deterministic given the Rng state.
   Delivery transmit(double now_s, std::size_t bytes, Rng& rng);
+
+  /// One wire attempt with no retry policy: serialize (queueing behind the
+  /// busy wire), draw loss and corruption, land one latency (+jitter) later.
+  /// Stats for messages/bytes/drops are NOT updated — the caller owns the
+  /// retry policy and the final accounting (see net::Channel); only the
+  /// corrupted counter is bumped here because corruption is per-frame.
+  Attempt try_transmit(double now_s, std::size_t bytes, Rng& rng);
+
+  /// Accounting hooks for composed transports (net::Channel): record the
+  /// final fate of a send so per-link stats stay truthful regardless of
+  /// which retry policy drove the wire.
+  void record_delivery(std::size_t bytes) noexcept;
+  void record_drop() noexcept { ++stats_.drops; }
+  void record_retransmit() noexcept { ++stats_.retransmits; }
+  void record_duplicate() noexcept { ++stats_.duplicates; }
 
  private:
   std::string name_;

@@ -1,6 +1,44 @@
 #include "net/message.hpp"
 
+#include <bit>
+
 namespace iotml::net {
+
+namespace {
+
+inline void fnv1a(std::uint64_t& h, std::uint64_t v) {
+  // Bytewise FNV-1a, matching the artifact codec's trailer discipline.
+  for (int shift = 0; shift < 64; shift += 8) {
+    h ^= (v >> shift) & 0xffU;
+    h *= 1099511628211ULL;
+  }
+}
+
+}  // namespace
+
+std::uint64_t payload_checksum(const data::Dataset& ds) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  fnv1a(h, ds.rows());
+  fnv1a(h, ds.num_columns());
+  for (std::size_t c = 0; c < ds.num_columns(); ++c) {
+    const data::Column& col = ds.column(c);
+    for (char ch : col.name()) fnv1a(h, static_cast<unsigned char>(ch));
+    fnv1a(h, col.type() == data::ColumnType::kNumeric ? 1U : 2U);
+    for (std::size_t r = 0; r < col.size(); ++r) {
+      if (col.is_missing(r)) {
+        fnv1a(h, 0x4d495353U);  // "MISS"
+      } else if (col.type() == data::ColumnType::kNumeric) {
+        fnv1a(h, std::bit_cast<std::uint64_t>(col.numeric(r)));
+      } else {
+        fnv1a(h, col.category(r));
+      }
+    }
+  }
+  if (ds.has_labels()) {
+    for (int label : ds.labels()) fnv1a(h, static_cast<std::uint64_t>(label));
+  }
+  return h;
+}
 
 std::size_t wire_size_bytes(const data::Dataset& ds) {
   std::size_t bytes = 8;  // row count + column count

@@ -20,9 +20,16 @@ struct Message {
   std::size_t src = 0;
   std::size_t dst = 0;
   double sent_s = 0.0;
+  std::uint64_t checksum = 0;  ///< payload_checksum() stamped at send time
   std::vector<double> origin_s;
   data::Dataset payload;
 };
+
+/// FNV-1a over the payload's shape, column names, presence bitmap, labels
+/// and cell bits. Senders stamp Message::checksum with this; receivers
+/// recompute and reject any frame whose stored and recomputed sums differ —
+/// a corrupted payload is detected, never silently scored.
+std::uint64_t payload_checksum(const data::Dataset& ds);
 
 /// Serialization cost model for a dataset on the wire: a small per-column
 /// header (name + type tag), 8 bytes per numeric cell, 2 bytes per

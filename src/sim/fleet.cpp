@@ -112,6 +112,8 @@ FleetSim::FleetSim(FleetConfig config, pipeline::Pipeline full_pipeline)
   IOTML_CHECK(config.sensor_dropout >= 0.0 && config.sensor_dropout <= 1.0,
               "FleetSim: sensor dropout outside [0, 1]");
   IOTML_CHECK(config.feature_keep >= 1, "FleetSim: feature_keep must be >= 1");
+  IOTML_CHECK(config.checkpoint_interval_s >= 0.0,
+              "FleetSim: negative checkpoint interval");
   if (config.deploy.enabled) {
     IOTML_CHECK(config.deploy.score_window_s > 0.0,
                 "FleetSim: deploy score window must be positive");
@@ -132,6 +134,25 @@ FleetSim::FleetSim(FleetConfig config, pipeline::Pipeline full_pipeline)
   core_rng_ = master.split();
   link_rngs_.reserve(topo_.num_links());
   for (std::size_t l = 0; l < topo_.num_links(); ++l) link_rngs_.push_back(master.split());
+  // The chaos stream splits off *after* every legacy stream, so a run with
+  // chaos disabled draws exactly the sequences the pre-chaos runtime drew.
+  chaos_rng_ = master.split();
+
+  // One transport per link. The topology is final here (downlinks included),
+  // so the Link references the channels capture stay stable.
+  channels_.reserve(topo_.num_links());
+  core_link_.assign(topo_.num_links(), 0);
+  base_drop_prob_.reserve(topo_.num_links());
+  base_corrupt_prob_.reserve(topo_.num_links());
+  for (std::size_t l = 0; l < topo_.num_links(); ++l) {
+    channels_.emplace_back(topo_.link(l), config.channel);
+    base_drop_prob_.push_back(topo_.link(l).params().drop_prob);
+    base_corrupt_prob_.push_back(topo_.link(l).params().corrupt_prob);
+  }
+  for (std::size_t j = 0; j < config.edges; ++j) {
+    core_link_[topo_.uplink_index(topo_.edge(j))] = 1;
+    if (topo_.has_downlinks()) core_link_[topo_.downlink_index(topo_.edge(j))] = 1;
+  }
 
   // Temperature starts the window cold (phase -pi/2) and cycles fast enough
   // that even a short run sees both comfortable and uncomfortable spells —
@@ -147,6 +168,9 @@ FleetSim::FleetSim(FleetConfig config, pipeline::Pipeline full_pipeline)
   report_.duration_s = config.duration_s;
 
   edge_buffers_.resize(config.edges);
+  edge_checkpoints_.resize(config.edges);
+  device_sf_.resize(config.devices);
+  device_scored_.assign(config.devices, 0);
   seen_.resize(topo_.num_nodes());
   artifact_seen_.assign(topo_.num_nodes(), 0);
   pred_seen_.resize(topo_.num_nodes());
@@ -163,8 +187,36 @@ FleetSim::FleetSim(FleetConfig config, pipeline::Pipeline full_pipeline)
       case net::FaultKind::kLinkUp: kind = EventKind::kLinkUp; break;
       case net::FaultKind::kDeviceDown: kind = EventKind::kDeviceDown; break;
       case net::FaultKind::kDeviceUp: kind = EventKind::kDeviceUp; break;
+      case net::FaultKind::kEdgeCrash: kind = EventKind::kEdgeCrash; break;
+      case net::FaultKind::kEdgeRestart: kind = EventKind::kEdgeRestart; break;
+      case net::FaultKind::kCoreCrash: kind = EventKind::kCoreCrash; break;
+      case net::FaultKind::kCoreRestart: kind = EventKind::kCoreRestart; break;
     }
     sched_.push(f.time_s, kind, f.target);
+  }
+
+  const std::vector<ChaosEvent> chaos =
+      make_chaos_plan(topo_, config.chaos, config.duration_s, chaos_rng_);
+  for (const ChaosEvent& c : chaos) {
+    EventKind kind = EventKind::kPartitionStart;
+    switch (c.kind) {
+      case ChaosKind::kPartitionStart: kind = EventKind::kPartitionStart; break;
+      case ChaosKind::kPartitionEnd: kind = EventKind::kPartitionEnd; break;
+      case ChaosKind::kLossBurstStart: kind = EventKind::kLossBurstStart; break;
+      case ChaosKind::kLossBurstEnd: kind = EventKind::kLossBurstEnd; break;
+      case ChaosKind::kCorruptionStart: kind = EventKind::kCorruptionStart; break;
+      case ChaosKind::kCorruptionEnd: kind = EventKind::kCorruptionEnd; break;
+    }
+    sched_.push(c.time_s, kind, c.target);
+  }
+
+  if (config.checkpoint_interval_s > 0.0) {
+    for (std::size_t e = 0; e < config.edges; ++e) {
+      for (double t = config.checkpoint_interval_s; t < config.duration_s;
+           t += config.checkpoint_interval_s) {
+        sched_.push(t, EventKind::kCheckpoint, e);
+      }
+    }
   }
 }
 
@@ -257,7 +309,21 @@ FleetReport FleetSim::run() {
   for (std::size_t l = 0; l < topo_.num_links(); ++l) {
     report_.links.push_back({topo_.link(l).name(), topo_.link(l).stats()});
   }
+  for (const net::Channel& ch : channels_) {
+    const net::ChannelStats& s = ch.stats();
+    report_.channels.sends += s.sends;
+    report_.channels.delivered += s.delivered;
+    report_.channels.acks += s.acks;
+    report_.channels.timeouts += s.timeouts;
+    report_.channels.retransmits += s.retransmits;
+    report_.channels.backoff_waits += s.backoff_waits;
+    report_.channels.backoff_wait_s += s.backoff_wait_s;
+    report_.channels.dead_letters += s.dead_letters;
+    report_.channels.corrupt_rejected += s.corrupt_rejected;
+  }
   report_.latency = LatencySummary::from_samples(latencies_);
+  IOTML_INTERNAL_CHECK(report_.rows_conserved(),
+                       "FleetSim: row-conservation ledger out of balance");
   if (run_span.active()) {
     run_span.arg("events", static_cast<std::uint64_t>(report_.events));
     run_span.arg("rows_delivered", static_cast<std::uint64_t>(report_.rows_delivered));
@@ -287,7 +353,11 @@ void FleetSim::handle(const Event& event) {
       obs::registry().counter("sim.faults.link_down").add();
       break;
     case EventKind::kLinkUp:
-      topo_.link(event.target).set_up(true);
+      // A partition owns the edge<->core links while active; an overlapping
+      // link-outage recovery must not punch through it.
+      if (!(partitioned_ && core_link_[event.target] != 0)) {
+        topo_.link(event.target).set_up(true);
+      }
       break;
     case EventKind::kDeviceDown:
       topo_.node(event.target).up = false;
@@ -295,6 +365,11 @@ void FleetSim::handle(const Event& event) {
       break;
     case EventKind::kDeviceUp:
       topo_.node(event.target).up = true;
+      // Reconnect: drain the store-and-forward buffer right away instead of
+      // waiting out the periodic flush schedule.
+      if (config_.device_buffer_rows > 0 && !device_sf_[event.target].empty()) {
+        sched_.push(event.time_s, EventKind::kDeviceFlush, event.target);
+      }
       break;
     case EventKind::kDeployBroadcast:
       handle_deploy_broadcast(event);
@@ -304,6 +379,48 @@ void FleetSim::handle(const Event& event) {
       break;
     case EventKind::kPredictionArrival:
       handle_prediction_arrival(event);
+      break;
+    case EventKind::kEdgeCrash:
+      handle_edge_crash(event.target);
+      break;
+    case EventKind::kEdgeRestart:
+      handle_edge_restart(event.target);
+      break;
+    case EventKind::kCoreCrash:
+      if (topo_.node(topo_.core()).up) {
+        topo_.node(topo_.core()).up = false;
+        ++report_.faults.core_crashes;
+        obs::registry().counter("sim.faults.core_crash").add();
+      }
+      break;
+    case EventKind::kCoreRestart:
+      // The core's stored data is durable (a datacenter write-ahead log);
+      // a crash only makes it unreachable, so restart is just liveness.
+      topo_.node(topo_.core()).up = true;
+      break;
+    case EventKind::kPartitionStart:
+      set_partition(true);
+      break;
+    case EventKind::kPartitionEnd:
+      set_partition(false);
+      break;
+    case EventKind::kLossBurstStart:
+      set_loss_burst(true);
+      break;
+    case EventKind::kLossBurstEnd:
+      set_loss_burst(false);
+      break;
+    case EventKind::kCorruptionStart:
+      set_corruption_storm(true);
+      break;
+    case EventKind::kCorruptionEnd:
+      set_corruption_storm(false);
+      break;
+    case EventKind::kCheckpoint:
+      handle_checkpoint(event.target);
+      break;
+    case EventKind::kCorruptArrival:
+      handle_corrupt_arrival(event);
       break;
   }
 }
@@ -323,26 +440,57 @@ void FleetSim::handle_device_flush(const Event& event) {
   while (end < all.rows() && all.column(0).numeric(end) < cutoff) ++end;
   device_cursor_[d] = end;
   const std::size_t count = end - begin;
-  if (count == 0) return;
-  if (!topo_.node(d).up) {
-    // Churn: the device was offline when its report window closed. The
-    // window's rows are gone — devices in this model do not persist
-    // unsent windows across outages.
+  const bool sf = config_.device_buffer_rows > 0;
+  if (count == 0 && (!sf || device_sf_[d].empty())) return;
+  if (!topo_.node(d).up && !sf) {
+    // Churn, legacy accounting: the device was offline when its report
+    // window closed and has no store-and-forward buffer — the window's
+    // rows are gone.
     report_.rows_skipped += count;
     return;
   }
-  std::vector<std::size_t> idx(count);
-  std::iota(idx.begin(), idx.end(), begin);
-  data::Dataset chunk = all.select_rows(idx);
-  chunk = tiers_.device.run(std::move(chunk), device_rngs_[d]);
-  for (const StageReport& r : tiers_.device.reports()) {
-    report_.stage_reports.push_back(r);
-  }
+
   Buffer out;
-  out.row_count = chunk.rows();
-  out.rows = std::move(chunk);
-  out.origin_s = {event.time_s};
-  send(d, std::move(out), event.time_s);
+  if (count > 0) {
+    std::vector<std::size_t> idx(count);
+    std::iota(idx.begin(), idx.end(), begin);
+    data::Dataset chunk = all.select_rows(idx);
+    // Local compute is unaffected by connectivity: the device cleans its
+    // window even when offline, then persists the result.
+    chunk = tiers_.device.run(std::move(chunk), device_rngs_[d]);
+    for (const StageReport& r : tiers_.device.reports()) {
+      report_.stage_reports.push_back(r);
+    }
+    out.row_count = chunk.rows();
+    out.rows = std::move(chunk);
+    out.origin_s = {event.time_s};
+  }
+  if (!topo_.node(d).up) {
+    if (out.row_count > 0) store_and_forward(d, std::move(out));
+    return;
+  }
+
+  // Online: drain the store-and-forward backlog (oldest first) together
+  // with the fresh window as one uplink message.
+  Buffer merged;
+  if (sf) {
+    while (!device_sf_[d].empty()) {
+      Buffer& pending = device_sf_[d].front();
+      merged.rows.append_rows(pending.rows);
+      merged.origin_s.insert(merged.origin_s.end(), pending.origin_s.begin(),
+                             pending.origin_s.end());
+      merged.row_count += pending.row_count;
+      device_sf_[d].pop_front();
+    }
+  }
+  if (out.row_count > 0) {
+    merged.rows.append_rows(out.rows);
+    merged.origin_s.insert(merged.origin_s.end(), out.origin_s.begin(),
+                           out.origin_s.end());
+    merged.row_count += out.row_count;
+  }
+  if (merged.row_count == 0) return;
+  send(d, std::move(merged), event.time_s);
 }
 
 void FleetSim::handle_edge_flush(std::size_t edge_index, double now_s) {
@@ -350,6 +498,15 @@ void FleetSim::handle_edge_flush(std::size_t edge_index, double now_s) {
   if (buf.row_count == 0) return;
   const net::NodeId e = topo_.edge(edge_index);
   if (!topo_.node(e).up) return;  // hold the buffer until the edge recovers
+  if (config_.channel.mode == net::ChannelMode::kAckRetry &&
+      (!topo_.node(topo_.core()).up || !topo_.uplink(e).up())) {
+    // Degraded mode: a stop-and-wait edge knows its uplink (or the core) is
+    // unreachable and holds the batch for the next flush instead of burning
+    // retransmits into a dead wire. Fire-and-forget edges cannot know and
+    // transmit anyway (the frame dies at the dead receiver).
+    obs::registry().counter("sim.recovery.edge_holds").add();
+    return;
+  }
 
   // Integration: merge the per-device chunks into one time-ordered record
   // stream (the §IV "ordered list of time-stamps" step, here across devices).
@@ -385,14 +542,20 @@ void FleetSim::handle_edge_flush(std::size_t edge_index, double now_s) {
   out.rows = std::move(merged);
   out.origin_s = std::move(buf.origin_s);
   buf = Buffer{};
+  // The flush ships these rows upstream, so the checkpoint covering them is
+  // retired with the buffer — a later restore must never resurrect rows
+  // that already left the edge.
+  edge_checkpoints_[edge_index] = Buffer{};
   send(e, std::move(out), now_s);
 }
 
 void FleetSim::send(net::NodeId from, Buffer&& chunk, double now_s) {
-  net::Link& link = topo_.uplink(from);
   const std::size_t link_index = topo_.uplink_index(from);
+  net::Link& link = topo_.link(link_index);
   const net::NodeId to = topo_.next_hop(from);
   const std::size_t rows = chunk.row_count;
+  const bool from_device = from < config_.devices;
+  const bool ack = config_.channel.mode == net::ChannelMode::kAckRetry;
 
   net::Message msg;
   msg.src = from;
@@ -400,25 +563,82 @@ void FleetSim::send(net::NodeId from, Buffer&& chunk, double now_s) {
   msg.sent_s = now_s;
   msg.origin_s = std::move(chunk.origin_s);
   msg.payload = std::move(chunk.rows);
+  msg.checksum = net::payload_checksum(msg.payload);
   const std::size_t bytes = net::wire_size_bytes(msg);
 
-  const net::Delivery delivery = link.transmit(now_s, bytes, link_rngs_[link_index]);
+  // Put the rows back where they can survive after a failed reliable send:
+  // a device store-and-forwards (or loses the window without a buffer), an
+  // edge re-appends to its batch buffer for the next flush.
+  auto keep_rows = [&](bool dead_letter) {
+    if (from_device) {
+      if (config_.device_buffer_rows > 0) {
+        Buffer back;
+        back.row_count = rows;
+        back.rows = std::move(msg.payload);
+        back.origin_s = std::move(msg.origin_s);
+        store_and_forward(from, std::move(back));
+      } else if (dead_letter) {
+        report_.faults.rows_buffer_evicted += rows;
+      } else {
+        report_.rows_lost += rows;
+      }
+    } else {
+      Buffer& buf = edge_buffers_[from - config_.devices];
+      buf.rows.append_rows(msg.payload);
+      buf.origin_s.insert(buf.origin_s.end(), msg.origin_s.begin(), msg.origin_s.end());
+      buf.row_count += rows;
+    }
+  };
+
+  // A stop-and-wait sender cannot complete a handshake with a crashed
+  // receiver: fail fast and keep the rows rather than burning the full
+  // retry schedule into a dead node. Fire-and-forget cannot know — it
+  // transmits and the frame dies at the receiver (see handle_arrival).
+  if (ack && !topo_.node(to).up) {
+    keep_rows(false);
+    return;
+  }
+
+  const net::ChannelOutcome out =
+      channels_[link_index].send(now_s, bytes, link_rngs_[link_index]);
   ++report_.messages_sent;
   obs::registry().counter("sim.net.messages").add();
   obs::registry().counter("sim.net.bytes").add(bytes);
   obs::registry().counter("net.link." + link.name() + ".bytes").add(bytes);
-  if (!delivery.delivered) {
+  if (!out.accepted) {
+    // Backpressure: the bounded send queue refused the message.
     ++report_.messages_dropped;
-    report_.rows_lost += rows;
     obs::registry().counter("sim.net.dropped").add();
+    keep_rows(true);
+    return;
+  }
+  if (!out.delivered && !out.corrupted) {
+    ++report_.messages_dropped;
+    obs::registry().counter("sim.net.dropped").add();
+    if (ack) {
+      keep_rows(false);
+    } else {
+      report_.rows_lost += rows;
+    }
     return;
   }
   const std::size_t index = messages_.size();
   msg.id = index;
+  if (out.corrupted) {
+    // Fire-and-forget only: the frame lands, but the wire flipped bits, so
+    // the stamped checksum no longer matches what the receiver recomputes.
+    msg.checksum ^= 1;
+    messages_.push_back(std::move(msg));
+    sched_.push(out.arrival_s, EventKind::kCorruptArrival, to, index);
+    if (out.duplicated) {
+      sched_.push(out.duplicate_arrival_s, EventKind::kCorruptArrival, to, index);
+    }
+    return;
+  }
   messages_.push_back(std::move(msg));
-  sched_.push(delivery.arrival_s, EventKind::kArrival, to, index);
-  if (delivery.duplicated) {
-    sched_.push(delivery.duplicate_arrival_s, EventKind::kArrival, to, index);
+  sched_.push(out.arrival_s, EventKind::kArrival, to, index);
+  if (out.duplicated) {
+    sched_.push(out.duplicate_arrival_s, EventKind::kArrival, to, index);
   }
 }
 
@@ -428,6 +648,17 @@ void FleetSim::handle_arrival(const Event& event) {
   if (!seen_[node].insert(msg.id).second) {
     ++report_.duplicates_discarded;
     obs::registry().counter("sim.net.duplicates_discarded").add();
+    return;
+  }
+  // Receivers verify every frame: an intact arrival must re-hash to its
+  // stamped checksum (corrupt frames come in as kCorruptArrival instead).
+  IOTML_INTERNAL_CHECK(net::payload_checksum(msg.payload) == msg.checksum,
+                       "FleetSim: intact arrival failed checksum verification");
+  if (!topo_.node(node).up) {
+    // The receiver crashed while the frame was in flight: nobody is
+    // listening, and the rows die with the dead node.
+    report_.faults.rows_lost_to_crash += msg.payload.rows();
+    obs::registry().counter("sim.faults.rows_lost_to_crash").add(msg.payload.rows());
     return;
   }
   if (node == topo_.core()) {
@@ -443,8 +674,157 @@ void FleetSim::handle_arrival(const Event& event) {
   }
 }
 
+void FleetSim::handle_corrupt_arrival(const Event& event) {
+  const net::NodeId node = event.target;
+  const net::Message& msg = messages_[event.message];
+  if (!seen_[node].insert(msg.id).second) {
+    ++report_.duplicates_discarded;
+    obs::registry().counter("sim.net.duplicates_discarded").add();
+    return;
+  }
+  // The receiver recomputes the checksum over what the wire delivered and
+  // rejects the frame on mismatch: corrupt rows are counted, never scored.
+  IOTML_INTERNAL_CHECK(net::payload_checksum(msg.payload) != msg.checksum,
+                       "FleetSim: corrupt arrival passed checksum verification");
+  report_.faults.rows_corrupt_rejected += msg.payload.rows();
+  obs::registry().counter("sim.net.rows_corrupt_rejected").add(msg.payload.rows());
+}
+
+void FleetSim::handle_checkpoint(std::size_t edge_index) {
+  if (!topo_.node(topo_.edge(edge_index)).up) return;  // crashed edges can't persist
+  const Buffer& buf = edge_buffers_[edge_index];
+  Buffer snap;
+  snap.rows = buf.rows;
+  snap.origin_s = buf.origin_s;
+  snap.row_count = buf.row_count;
+  edge_checkpoints_[edge_index] = std::move(snap);
+  ++report_.faults.checkpoints_written;
+  obs::registry().counter("sim.recovery.checkpoints_written").add();
+}
+
+void FleetSim::handle_edge_crash(std::size_t edge_index) {
+  net::NodeInfo& n = topo_.node(topo_.edge(edge_index));
+  if (!n.up) return;  // already down (overlapping crash windows)
+  n.up = false;
+  ++report_.faults.edge_crashes;
+  obs::registry().counter("sim.faults.edge_crash").add();
+  // Volatile state dies with the process: everything integrated since the
+  // last checkpoint is gone. The checkpoint itself is durable storage.
+  Buffer& buf = edge_buffers_[edge_index];
+  const std::size_t persisted =
+      std::min(edge_checkpoints_[edge_index].row_count, buf.row_count);
+  report_.faults.rows_lost_to_crash += buf.row_count - persisted;
+  obs::registry().counter("sim.faults.rows_lost_to_crash").add(buf.row_count - persisted);
+  buf = Buffer{};
+}
+
+void FleetSim::handle_edge_restart(std::size_t edge_index) {
+  net::NodeInfo& n = topo_.node(topo_.edge(edge_index));
+  if (n.up) return;  // already restarted (overlapping crash windows)
+  n.up = true;
+  const Buffer& ckpt = edge_checkpoints_[edge_index];
+  if (ckpt.row_count == 0) return;
+  Buffer& buf = edge_buffers_[edge_index];
+  IOTML_INTERNAL_CHECK(buf.row_count == 0,
+                       "FleetSim: restart over a live edge buffer");
+  buf.rows = ckpt.rows;
+  buf.origin_s = ckpt.origin_s;
+  buf.row_count = ckpt.row_count;
+  ++report_.faults.checkpoints_restored;
+  report_.faults.rows_recovered += ckpt.row_count;
+  obs::registry().counter("sim.recovery.checkpoints_restored").add();
+  obs::registry().counter("sim.recovery.rows_recovered").add(ckpt.row_count);
+}
+
+void FleetSim::set_partition(bool on) {
+  if (partitioned_ == on) return;
+  partitioned_ = on;
+  if (on) {
+    ++report_.faults.partitions;
+    obs::registry().counter("sim.chaos.partitions").add();
+  }
+  // Sever (or restore) every edge<->core link, both directions. An ending
+  // partition restores the links wholesale; an independent link outage
+  // still active at that instant is subsumed (its up event was suppressed).
+  for (std::size_t l = 0; l < topo_.num_links(); ++l) {
+    if (core_link_[l] != 0) topo_.link(l).set_up(!on);
+  }
+}
+
+void FleetSim::set_loss_burst(bool on) {
+  if (on) {
+    ++report_.faults.loss_bursts;
+    obs::registry().counter("sim.chaos.loss_bursts").add();
+  }
+  // The burst hits the device radio tier: every link that is not an
+  // edge<->core trunk (device uplinks, and edge->device downlinks if the
+  // broadcast direction exists).
+  for (std::size_t l = 0; l < topo_.num_links(); ++l) {
+    if (core_link_[l] == 0) {
+      topo_.link(l).set_drop_prob(on ? config_.chaos.burst_drop_prob
+                                     : base_drop_prob_[l]);
+    }
+  }
+}
+
+void FleetSim::set_corruption_storm(bool on) {
+  if (on) {
+    ++report_.faults.corruption_storms;
+    obs::registry().counter("sim.chaos.corruption_storms").add();
+  }
+  for (std::size_t l = 0; l < topo_.num_links(); ++l) {
+    if (core_link_[l] == 0) {
+      topo_.link(l).set_corrupt_prob(on ? config_.chaos.storm_corrupt_prob
+                                        : base_corrupt_prob_[l]);
+    }
+  }
+}
+
+void FleetSim::store_and_forward(net::NodeId device, Buffer&& chunk) {
+  std::deque<Buffer>& q = device_sf_[device];
+  q.push_back(std::move(chunk));
+  const std::size_t cap = config_.device_buffer_rows;
+  std::size_t total = stored_rows(device);
+  // Bounded buffer, oldest-first eviction: whole chunks while more than one
+  // remains, then rows off the front of the survivor if it alone overflows.
+  while (total > cap && q.size() > 1) {
+    report_.faults.rows_buffer_evicted += q.front().row_count;
+    obs::registry().counter("sim.recovery.rows_evicted").add(q.front().row_count);
+    total -= q.front().row_count;
+    q.pop_front();
+  }
+  if (total > cap) {
+    Buffer& b = q.front();
+    const std::size_t drop = total - cap;
+    std::vector<std::size_t> keep(b.row_count - drop);
+    std::iota(keep.begin(), keep.end(), drop);
+    b.rows = b.rows.select_rows(keep);
+    b.row_count -= drop;
+    report_.faults.rows_buffer_evicted += drop;
+    obs::registry().counter("sim.recovery.rows_evicted").add(drop);
+  }
+}
+
+std::size_t FleetSim::stored_rows(net::NodeId device) const {
+  std::size_t total = 0;
+  for (const Buffer& b : device_sf_[device]) total += b.row_count;
+  return total;
+}
+
 void FleetSim::finalize() {
   for (const Buffer& buf : edge_buffers_) report_.rows_stranded += buf.row_count;
+  // Undrained store-and-forward backlog is the device-side mirror of an
+  // edge's stranded buffer.
+  for (std::size_t dvc = 0; dvc < config_.devices; ++dvc) {
+    report_.rows_stranded += stored_rows(dvc);
+  }
+  // Deploy runs keep post-window rows on-device for local scoring; they are
+  // accounted as retained, not lost.
+  if (config_.deploy.enabled) {
+    for (std::size_t dvc = 0; dvc < config_.devices; ++dvc) {
+      report_.faults.rows_retained += device_data_[dvc].rows() - device_cursor_[dvc];
+    }
+  }
   if (core_buffer_.row_count == 0) return;
 
   std::vector<std::size_t> order(core_buffer_.row_count);
@@ -518,6 +898,31 @@ int FleetSim::truth_label(double time_s) const {
   return temp >= 20.0 && temp <= 28.0 ? 1 : 0;
 }
 
+namespace {
+
+deploy::CompiledModel compile_for(deploy::ModelKind kind, const data::Dataset& train) {
+  switch (kind) {
+    case deploy::ModelKind::kTree: {
+      learners::DecisionTree tree;
+      tree.fit(train);
+      return deploy::compile(tree, train);
+    }
+    case deploy::ModelKind::kLinear: {
+      learners::LogisticRegression lr;
+      lr.fit(train);
+      return deploy::compile(lr, train);
+    }
+    case deploy::ModelKind::kNaiveBayes: {
+      learners::NaiveBayes nb;
+      nb.fit(train);
+      return deploy::compile(nb, train);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
 void FleetSim::prepare_deploy() {
   obs::Span span("sim.deploy_prepare", "deploy");
   DeploySummary& d = report_.deploy;
@@ -528,27 +933,7 @@ void FleetSim::prepare_deploy() {
   // worth shipping. The summary stays enabled with every device missed.
   if (deploy_train_.rows() == 0 || deploy_test_.rows() == 0) return;
 
-  deploy::CompiledModel f32;
-  switch (config_.deploy.model) {
-    case deploy::ModelKind::kTree: {
-      learners::DecisionTree tree;
-      tree.fit(deploy_train_);
-      f32 = deploy::compile(tree, deploy_train_);
-      break;
-    }
-    case deploy::ModelKind::kLinear: {
-      learners::LogisticRegression lr;
-      lr.fit(deploy_train_);
-      f32 = deploy::compile(lr, deploy_train_);
-      break;
-    }
-    case deploy::ModelKind::kNaiveBayes: {
-      learners::NaiveBayes nb;
-      nb.fit(deploy_train_);
-      f32 = deploy::compile(nb, deploy_train_);
-      break;
-    }
-  }
+  deploy::CompiledModel f32 = compile_for(config_.deploy.model, deploy_train_);
   d.artifact_bytes_float32 = f32.size_bytes();
   if (config_.deploy.precision == deploy::Precision::kFloat32) {
     d.holdout_accuracy_float = deploy::holdout_accuracy(f32, deploy_test_);
@@ -569,25 +954,75 @@ void FleetSim::prepare_deploy() {
   artifact_wire_bytes_ = net::kMessageHeaderBytes + d.artifact_bytes_deployed;
   device_runtime_.emplace(deployed_model_);
   deploy_ready_ = true;
+
+  if (config_.deploy.stale_fallback) {
+    // The prior epoch's artifact: what the previous deployment round would
+    // have compiled, here approximated as the model learned from the first
+    // half of the training window. Devices the fresh broadcast never
+    // reaches keep scoring with this instead of going dark.
+    const std::size_t half = deploy_train_.rows() / 2;
+    if (half >= 2) {
+      std::vector<std::size_t> idx(half);
+      std::iota(idx.begin(), idx.end(), std::size_t{0});
+      deploy::CompiledModel prior =
+          compile_for(config_.deploy.model, deploy_train_.select_rows(idx));
+      if (config_.deploy.precision == deploy::Precision::kFloat32) {
+        stale_model_ = std::move(prior);
+      } else {
+        deploy::quantize_with_report(prior, config_.deploy.precision, deploy_test_,
+                                     &stale_model_);
+      }
+      stale_runtime_.emplace(stale_model_);
+      stale_ready_ = true;
+    }
+  }
 }
 
 void FleetSim::run_deploy_phase() {
   prepare_deploy();
   if (deploy_ready_) {
-    sched_.push(std::max(sched_.now_s(), config_.duration_s),
-                EventKind::kDeployBroadcast, topo_.core());
+    const double t0 = std::max(sched_.now_s(), config_.duration_s);
+    sched_.push(t0, EventKind::kDeployBroadcast, topo_.core());
+    if (config_.chaos.crash_during_broadcast && config_.edges > 0) {
+      // The chaos harness's timed scenario: edge 0 dies the instant the
+      // broadcast leaves the core and returns after the configured
+      // downtime. Its devices miss the fresh artifact and must fall back
+      // to the prior epoch's (DeployConfig::stale_fallback).
+      sched_.push(t0, EventKind::kEdgeCrash, 0);
+      sched_.push(t0 + config_.chaos.broadcast_crash_downtime_s,
+                  EventKind::kEdgeRestart, 0);
+    }
+    while (!sched_.empty()) handle(sched_.pop());
+  }
+  if (stale_ready_) {
+    // Degraded mode: every online device the fresh broadcast never reached
+    // serves the prior epoch's artifact; staleness is ledgered.
+    const double t1 = std::max(sched_.now_s(), config_.duration_s);
+    for (std::size_t i = 0; i < config_.devices; ++i) {
+      const net::NodeId dev = topo_.device(i);
+      if (device_scored_[i] == 0 && topo_.node(dev).up) {
+        score_on_device(dev, t1, /*stale=*/true);
+      }
+    }
     while (!sched_.empty()) handle(sched_.pop());
   }
   DeploySummary& d = report_.deploy;
-  d.devices_missed = config_.devices - d.devices_deployed;
+  d.devices_missed = config_.devices - d.devices_deployed - d.devices_stale;
   d.device_accuracy =
       d.predictions_delivered == 0
           ? 0.0
           : static_cast<double>(d.predictions_correct) /
                 static_cast<double>(d.predictions_delivered);
+  report_.faults.stale_model_devices = d.devices_stale;
 }
 
 void FleetSim::handle_deploy_broadcast(const Event& event) {
+  if (!topo_.node(topo_.core()).up) {
+    // The core is down at broadcast time: no fresh artifact leaves it, and
+    // the whole fleet serves the prior epoch's model (stale fallback).
+    obs::registry().counter("deploy.broadcasts_skipped").add();
+    return;
+  }
   obs::registry().counter("deploy.broadcasts").add();
   for (std::size_t j = 0; j < config_.edges; ++j) {
     send_artifact(topo_.edge(j), event.time_s);
@@ -595,18 +1030,23 @@ void FleetSim::handle_deploy_broadcast(const Event& event) {
 }
 
 void FleetSim::send_artifact(net::NodeId to, double now_s) {
-  net::Link& link = topo_.downlink(to);
   const std::size_t link_index = topo_.downlink_index(to);
   // The sender's radio spends the bytes whether or not the wire delivers.
   report_.deploy.downlink_bytes += artifact_wire_bytes_;
   obs::registry().counter("deploy.artifact_sends").add();
   obs::registry().counter("deploy.downlink_bytes").add(artifact_wire_bytes_);
-  const net::Delivery delivery =
-      link.transmit(now_s, artifact_wire_bytes_, link_rngs_[link_index]);
-  if (!delivery.delivered) return;
-  sched_.push(delivery.arrival_s, EventKind::kArtifactArrival, to);
-  if (delivery.duplicated) {
-    sched_.push(delivery.duplicate_arrival_s, EventKind::kArtifactArrival, to);
+  const net::ChannelOutcome out =
+      channels_[link_index].send(now_s, artifact_wire_bytes_, link_rngs_[link_index]);
+  if (out.corrupted) {
+    // The artifact frame fails its checksum at the receiver, which keeps
+    // its prior model rather than binding corrupt parameters.
+    obs::registry().counter("deploy.artifact_corrupt_rejected").add();
+    return;
+  }
+  if (!out.accepted || !out.delivered) return;
+  sched_.push(out.arrival_s, EventKind::kArtifactArrival, to);
+  if (out.duplicated) {
+    sched_.push(out.duplicate_arrival_s, EventKind::kArtifactArrival, to);
   }
 }
 
@@ -628,29 +1068,41 @@ void FleetSim::handle_artifact_arrival(const Event& event) {
     return;
   }
   if (!topo_.node(node).up) return;  // churn: device offline at arrival
-  score_on_device(node, event.time_s);
+  score_on_device(node, event.time_s, /*stale=*/false);
 }
 
-void FleetSim::score_on_device(net::NodeId device, double now_s) {
+void FleetSim::score_on_device(net::NodeId device, double now_s, bool stale) {
   DeploySummary& d = report_.deploy;
-  ++d.devices_deployed;
-  obs::registry().counter("deploy.devices_deployed").add();
+  deploy::DeviceRuntime& runtime = stale ? *stale_runtime_ : *device_runtime_;
+  if (stale) {
+    ++d.devices_stale;
+    obs::registry().counter("sim.recovery.stale_model_serves").add();
+  } else {
+    ++d.devices_deployed;
+    device_scored_[device] = 1;
+    obs::registry().counter("deploy.devices_deployed").add();
+  }
 
   const data::Dataset& all = device_data_[device];
   const std::size_t begin = device_cursor_[device];
   const std::size_t count = all.rows() - begin;
   if (count == 0) return;
 
-  device_runtime_->bind(all);
+  runtime.bind(all);
   PredBatch batch;
   batch.device = device;
   batch.rows = count;
   for (std::size_t r = begin; r < all.rows(); ++r) {
-    const int pred = device_runtime_->predict_row(all, r);
+    const int pred = runtime.predict_row(all, r);
     if (pred == truth_label(all.column(0).numeric(r))) ++batch.correct;
   }
-  d.rows_scored += count;
-  obs::registry().counter("deploy.rows_scored").add(count);
+  if (stale) {
+    d.rows_scored_stale += count;
+    obs::registry().counter("sim.recovery.rows_scored_stale").add(count);
+  } else {
+    d.rows_scored += count;
+    obs::registry().counter("deploy.rows_scored").add(count);
+  }
 
   // Counterfactual: what uplinking these raw rows (the pre-deployment
   // regime) would have cost. The payload crosses both hops; edge batching
@@ -671,17 +1123,23 @@ void FleetSim::score_on_device(net::NodeId device, double now_s) {
 }
 
 void FleetSim::send_predictions(net::NodeId from, std::size_t batch, double now_s) {
-  net::Link& link = topo_.uplink(from);
   const std::size_t link_index = topo_.uplink_index(from);
   const std::size_t bytes = pred_batches_[batch].wire_bytes;
   report_.deploy.uplink_prediction_bytes += bytes;
   obs::registry().counter("deploy.prediction_bytes").add(bytes);
-  const net::Delivery delivery = link.transmit(now_s, bytes, link_rngs_[link_index]);
-  if (!delivery.delivered) return;
+  const net::ChannelOutcome out =
+      channels_[link_index].send(now_s, bytes, link_rngs_[link_index]);
+  if (out.corrupted) {
+    // A corrupt prediction batch is rejected at the receiver; predictions
+    // are best-effort telemetry and are not retried in fire-and-forget mode.
+    obs::registry().counter("deploy.prediction_corrupt_rejected").add();
+    return;
+  }
+  if (!out.accepted || !out.delivered) return;
   const net::NodeId to = topo_.next_hop(from);
-  sched_.push(delivery.arrival_s, EventKind::kPredictionArrival, to, batch);
-  if (delivery.duplicated) {
-    sched_.push(delivery.duplicate_arrival_s, EventKind::kPredictionArrival, to, batch);
+  sched_.push(out.arrival_s, EventKind::kPredictionArrival, to, batch);
+  if (out.duplicated) {
+    sched_.push(out.duplicate_arrival_s, EventKind::kPredictionArrival, to, batch);
   }
 }
 

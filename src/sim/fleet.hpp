@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <unordered_set>
 #include <vector>
@@ -9,10 +10,12 @@
 #include "data/dataset.hpp"
 #include "deploy/compiled_model.hpp"
 #include "deploy/runtime.hpp"
+#include "net/channel.hpp"
 #include "net/faults.hpp"
 #include "net/message.hpp"
 #include "net/topology.hpp"
 #include "pipeline/sensors.hpp"
+#include "sim/chaos.hpp"
 #include "sim/placement.hpp"
 #include "sim/report.hpp"
 #include "sim/scheduler.hpp"
@@ -32,6 +35,14 @@ struct DeployConfig {
   double score_window_s = 30.0;  ///< sensed seconds scored on-device
   deploy::ModelKind model = deploy::ModelKind::kTree;
   deploy::Precision precision = deploy::Precision::kInt8;
+
+  /// Degraded mode: devices the fresh broadcast never reaches (crash during
+  /// broadcast, corrupt or timed-out artifact frames) keep scoring with the
+  /// prior epoch's artifact instead of going dark. The stale artifact is
+  /// compiled from the first half of the training window — the model the
+  /// previous deployment round would have shipped. Staleness is ledgered
+  /// (DeploySummary::devices_stale, FaultLedger::stale_model_devices).
+  bool stale_fallback = false;
 
   net::LinkParams edge_device_link{
       .latency_s = 0.02, .jitter_s = 0.005, .bandwidth_bytes_per_s = 125000.0,
@@ -62,6 +73,26 @@ struct FleetConfig {
       .drop_prob = 0.002, .duplicate_prob = 0.0, .max_retries = 2,
       .retry_backoff_s = 0.02};
   net::FaultParams faults;
+
+  /// Transport policy applied to every link. The default (fire-and-forget)
+  /// reproduces the legacy runtime byte-for-byte; kAckRetry turns each link
+  /// into a stop-and-wait reliable channel (see net::Channel).
+  net::ChannelParams channel;
+
+  /// Compound failure scenarios layered on the fault plan (all off by default).
+  ChaosParams chaos;
+
+  /// Edge checkpointing period; 0 disables. A crashed edge restarts with the
+  /// buffer its last checkpoint persisted; rows integrated since are lost to
+  /// the crash (FaultLedger::rows_lost_to_crash).
+  double checkpoint_interval_s = 0.0;
+
+  /// Device store-and-forward capacity in rows; 0 disables. A device that is
+  /// offline at flush time — or whose ack-mode send fails — buffers the
+  /// window locally and drains it on reconnect instead of dropping it
+  /// (legacy rows_skipped). Overflow evicts oldest-first into
+  /// FaultLedger::rows_buffer_evicted.
+  std::size_t device_buffer_rows = 0;
 
   double sensor_period_s = 0.5;  ///< nominal sampling period per sensor
   double sensor_dropout = 0.05;  ///< per-sample loss at the sensor itself
@@ -124,9 +155,20 @@ class FleetSim {
   void handle_device_flush(const Event& event);
   void handle_edge_flush(std::size_t edge_index, double now_s);
   void handle_arrival(const Event& event);
+  void handle_corrupt_arrival(const Event& event);
   void send(net::NodeId from, Buffer&& chunk, double now_s);
   void finalize();
   int truth_label(double time_s) const;
+
+  // Fault-tolerance machinery (see DESIGN.md §11).
+  void handle_checkpoint(std::size_t edge_index);
+  void handle_edge_crash(std::size_t edge_index);
+  void handle_edge_restart(std::size_t edge_index);
+  void set_partition(bool on);
+  void set_loss_burst(bool on);
+  void set_corruption_storm(bool on);
+  void store_and_forward(net::NodeId device, Buffer&& chunk);
+  std::size_t stored_rows(net::NodeId device) const;
 
   // Deploy phase (config_.deploy.enabled): compile at the core, broadcast
   // down, score on-device, uplink predictions.
@@ -137,7 +179,7 @@ class FleetSim {
   void handle_prediction_arrival(const Event& event);
   void send_artifact(net::NodeId to, double now_s);
   void send_predictions(net::NodeId from, std::size_t batch, double now_s);
-  void score_on_device(net::NodeId device, double now_s);
+  void score_on_device(net::NodeId device, double now_s, bool stale);
 
   FleetConfig config_;
   net::Topology topo_;
@@ -148,6 +190,11 @@ class FleetSim {
   std::vector<Rng> edge_rngs_;
   Rng core_rng_{0};
   std::vector<Rng> link_rngs_;
+  Rng chaos_rng_{0};  ///< split last, so legacy streams stay byte-identical
+
+  /// One transport per link, same index space; every simulator send goes
+  /// through these (lint rule R8 bans direct Link transmits outside net/).
+  std::vector<net::Channel> channels_;
 
   std::vector<pipeline::Signal> truths_;      ///< per measured quantity
   std::vector<data::Dataset> device_data_;    ///< pre-integrated full window
@@ -158,6 +205,15 @@ class FleetSim {
   Buffer core_buffer_;
   std::vector<std::unordered_set<std::uint64_t>> seen_;  ///< dedup per node
   std::vector<double> latencies_;
+
+  std::vector<Buffer> edge_checkpoints_;  ///< last persisted buffer per edge
+  std::vector<std::deque<Buffer>> device_sf_;  ///< store-and-forward chunks
+  bool partitioned_ = false;
+  std::vector<std::uint8_t> core_link_;  ///< link index -> is edge<->core
+  /// Pre-chaos drop/corrupt probabilities of every link, captured at start
+  /// so burst/storm ends restore exactly the configured baseline.
+  std::vector<double> base_drop_prob_;
+  std::vector<double> base_corrupt_prob_;
 
   /// One on-device prediction batch in flight (device -> edge -> core).
   /// Ground truth is resolved at scoring time — the simulator knows it —
@@ -177,6 +233,11 @@ class FleetSim {
   std::vector<PredBatch> pred_batches_;
   std::vector<std::uint8_t> artifact_seen_;  ///< dedup duplicate broadcasts
   std::vector<std::unordered_set<std::uint64_t>> pred_seen_;
+
+  deploy::CompiledModel stale_model_;  ///< prior epoch's artifact (fallback)
+  std::optional<deploy::DeviceRuntime> stale_runtime_;
+  bool stale_ready_ = false;
+  std::vector<std::uint8_t> device_scored_;  ///< device index -> fresh artifact scored
 
   FleetReport report_;
   bool ran_ = false;

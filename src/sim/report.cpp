@@ -25,6 +25,12 @@ LatencySummary LatencySummary::from_samples(std::vector<double> samples) {
   return s;
 }
 
+std::size_t FleetReport::rows_accounted() const noexcept {
+  return rows_delivered + rows_lost + rows_skipped + rows_stranded +
+         faults.rows_corrupt_rejected + faults.rows_buffer_evicted +
+         faults.rows_lost_to_crash + faults.rows_retained;
+}
+
 std::map<std::string, StageTotals> FleetReport::stage_totals() const {
   std::map<std::string, StageTotals> totals;
   for (const pipeline::StageReport& r : stage_reports) {
@@ -58,6 +64,32 @@ std::string FleetReport::to_json() const {
       << ", \"dropped\": " << messages_dropped
       << ", \"duplicates_discarded\": " << duplicates_discarded << "},\n";
 
+  out << "  \"faults\": {\"rows_corrupt_rejected\": " << faults.rows_corrupt_rejected
+      << ", \"rows_buffer_evicted\": " << faults.rows_buffer_evicted
+      << ", \"rows_lost_to_crash\": " << faults.rows_lost_to_crash
+      << ", \"rows_retained\": " << faults.rows_retained
+      << ", \"rows_recovered\": " << faults.rows_recovered
+      << ", \"edge_crashes\": " << faults.edge_crashes
+      << ", \"core_crashes\": " << faults.core_crashes
+      << ", \"partitions\": " << faults.partitions
+      << ", \"loss_bursts\": " << faults.loss_bursts
+      << ", \"corruption_storms\": " << faults.corruption_storms
+      << ", \"checkpoints_written\": " << faults.checkpoints_written
+      << ", \"checkpoints_restored\": " << faults.checkpoints_restored
+      << ", \"stale_model_devices\": " << faults.stale_model_devices
+      << ", \"rows_accounted\": " << rows_accounted()
+      << ", \"conserved\": " << (rows_conserved() ? "true" : "false") << "},\n";
+
+  out << "  \"channels\": {\"sends\": " << channels.sends
+      << ", \"delivered\": " << channels.delivered
+      << ", \"acks\": " << channels.acks
+      << ", \"timeouts\": " << channels.timeouts
+      << ", \"retransmits\": " << channels.retransmits
+      << ", \"backoff_waits\": " << channels.backoff_waits
+      << ", \"backoff_wait_s\": " << json_number(channels.backoff_wait_s)
+      << ", \"dead_letters\": " << channels.dead_letters
+      << ", \"corrupt_rejected\": " << channels.corrupt_rejected << "},\n";
+
   out << "  \"stages\": {";
   bool first = true;
   for (const auto& [name, t] : stage_totals()) {
@@ -76,6 +108,7 @@ std::string FleetReport::to_json() const {
     out << (first ? "" : ",") << "\n    \"" << json_escape(l.name) << "\": {"
         << "\"messages\": " << l.stats.messages << ", \"bytes\": " << l.stats.bytes
         << ", \"drops\": " << l.stats.drops
+        << ", \"corrupted\": " << l.stats.corrupted
         << ", \"duplicates\": " << l.stats.duplicates
         << ", \"retransmits\": " << l.stats.retransmits << "}";
     first = false;
@@ -97,8 +130,10 @@ std::string FleetReport::to_json() const {
     out << "    \"artifact_bytes\": {\"float32\": " << deploy.artifact_bytes_float32
         << ", \"deployed\": " << deploy.artifact_bytes_deployed << "},\n";
     out << "    \"devices\": {\"deployed\": " << deploy.devices_deployed
+        << ", \"stale\": " << deploy.devices_stale
         << ", \"missed\": " << deploy.devices_missed << "},\n";
     out << "    \"rows_scored\": " << deploy.rows_scored << ",\n";
+    out << "    \"rows_scored_stale\": " << deploy.rows_scored_stale << ",\n";
     out << "    \"predictions\": {\"delivered\": " << deploy.predictions_delivered
         << ", \"correct\": " << deploy.predictions_correct << "},\n";
     out << "    \"bytes\": {\"downlink\": " << deploy.downlink_bytes

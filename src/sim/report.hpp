@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "net/channel.hpp"
 #include "net/link.hpp"
 #include "pipeline/stage.hpp"
 
@@ -76,6 +77,34 @@ struct DeploySummary {
   std::uint64_t cost_multiply_adds = 0;
   std::uint64_t cost_comparisons = 0;
   std::uint64_t cost_table_lookups = 0;
+
+  // Degraded mode: devices the fresh broadcast never reached that scored
+  // with the prior epoch's artifact instead (DeployConfig::stale_fallback).
+  std::size_t devices_stale = 0;
+  std::size_t rows_scored_stale = 0;
+};
+
+/// Fault-and-recovery ledger: every row a fault touched is accounted in
+/// exactly one bucket, so rows_generated always equals the sum of the
+/// delivery buckets (FleetReport::rows_conserved). Event counts record how
+/// much chaos actually fired; recovery counts are informational (recovered
+/// rows re-enter the delivered/lost/stranded buckets downstream).
+struct FaultLedger {
+  std::size_t rows_corrupt_rejected = 0;  ///< checksum-mismatch frames discarded
+  std::size_t rows_buffer_evicted = 0;    ///< pushed out of a bounded buffer
+  std::size_t rows_lost_to_crash = 0;     ///< wiped volatile state / dead receiver
+  std::size_t rows_retained = 0;          ///< kept on-device for deploy scoring
+  std::size_t rows_recovered = 0;         ///< restored from an edge checkpoint
+
+  std::uint64_t edge_crashes = 0;
+  std::uint64_t core_crashes = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t loss_bursts = 0;
+  std::uint64_t corruption_storms = 0;
+
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t checkpoints_restored = 0;
+  std::size_t stale_model_devices = 0;    ///< mirror of deploy.devices_stale
 };
 
 /// What a whole fleet run did: the union of every node's per-stage ledgers
@@ -87,17 +116,21 @@ struct FleetReport {
   double duration_s = 0.0;
   std::uint64_t events = 0;
 
-  // Row conservation: generated = delivered + lost + skipped + stranded
-  // whenever no stage changes the row count (the default pipeline doesn't).
+  // Row conservation: every generated row lands in exactly one bucket here
+  // or in the fault ledger, whenever no stage changes the row count (the
+  // default pipeline doesn't). See rows_accounted()/rows_conserved().
   std::size_t rows_generated = 0;   ///< integrated device rows at acquisition
   std::size_t rows_delivered = 0;   ///< rows that reached the core
-  std::size_t rows_lost = 0;        ///< rows in messages dropped by a link
+  std::size_t rows_lost = 0;        ///< retransmits exhausted / dropped by a link
   std::size_t rows_skipped = 0;     ///< rows lost to device churn at flush
-  std::size_t rows_stranded = 0;    ///< rows left in an edge buffer at the end
+  std::size_t rows_stranded = 0;    ///< left in an edge or device buffer at the end
 
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_dropped = 0;
   std::uint64_t duplicates_discarded = 0;  ///< deduplicated at the receiver
+
+  FaultLedger faults;          ///< all-zero on a fault-free run
+  net::ChannelStats channels;  ///< every channel's counters, summed
 
   std::vector<pipeline::StageReport> stage_reports;  ///< every stage run, in order
   std::vector<LinkReport> links;
@@ -108,6 +141,15 @@ struct FleetReport {
   std::size_t test_rows = 0;
 
   DeploySummary deploy;  ///< all-zero unless the run had a deploy phase
+
+  /// Sum of every row bucket: delivered + lost + skipped + stranded plus the
+  /// fault-ledger buckets (corrupt-rejected, buffer-evicted, lost-to-crash,
+  /// retained-for-scoring). Excludes rows_recovered, which is informational.
+  std::size_t rows_accounted() const noexcept;
+
+  /// The conservation invariant the simulator asserts at the end of every
+  /// run: rows_generated == rows_accounted().
+  bool rows_conserved() const noexcept { return rows_accounted() == rows_generated; }
 
   /// Aggregate stage_reports by stage name (sums runs/rows/cost).
   std::map<std::string, StageTotals> stage_totals() const;

@@ -18,6 +18,18 @@ std::string event_kind_name(EventKind kind) {
     case EventKind::kDeployBroadcast: return "deploy-broadcast";
     case EventKind::kArtifactArrival: return "artifact-arrival";
     case EventKind::kPredictionArrival: return "prediction-arrival";
+    case EventKind::kEdgeCrash: return "edge-crash";
+    case EventKind::kEdgeRestart: return "edge-restart";
+    case EventKind::kCoreCrash: return "core-crash";
+    case EventKind::kCoreRestart: return "core-restart";
+    case EventKind::kPartitionStart: return "partition-start";
+    case EventKind::kPartitionEnd: return "partition-end";
+    case EventKind::kLossBurstStart: return "loss-burst-start";
+    case EventKind::kLossBurstEnd: return "loss-burst-end";
+    case EventKind::kCorruptionStart: return "corruption-start";
+    case EventKind::kCorruptionEnd: return "corruption-end";
+    case EventKind::kCheckpoint: return "checkpoint";
+    case EventKind::kCorruptArrival: return "corrupt-arrival";
   }
   return "?";
 }

@@ -19,7 +19,19 @@ enum class EventKind {
   kDeviceUp,     ///< churn: device comes back (target = node id)
   kDeployBroadcast,    ///< the core pushes the compiled artifact fleet-wide
   kArtifactArrival,    ///< a compiled artifact reaches an edge or device
-  kPredictionArrival   ///< an on-device prediction batch reaches a node
+  kPredictionArrival,  ///< an on-device prediction batch reaches a node
+  kEdgeCrash,          ///< edge loses volatile state (target = edge index)
+  kEdgeRestart,        ///< edge restores its last checkpoint (target = edge index)
+  kCoreCrash,          ///< core unreachable (its stored data stays durable)
+  kCoreRestart,
+  kPartitionStart,     ///< chaos: every edge<->core link severed
+  kPartitionEnd,
+  kLossBurstStart,     ///< chaos: device uplinks jump to burst drop prob
+  kLossBurstEnd,
+  kCorruptionStart,    ///< chaos: device uplinks corrupt payloads
+  kCorruptionEnd,
+  kCheckpoint,         ///< an edge persists its buffer (target = edge index)
+  kCorruptArrival      ///< a frame lands but fails its payload checksum
 };
 
 std::string event_kind_name(EventKind kind);

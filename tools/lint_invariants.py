@@ -41,6 +41,13 @@ R7  serialization-casts   reinterpret_cast is forbidden in src/, bench/,
                           the wire format stays endian-stable and a value that
                           does not fit throws instead of silently wrapping
                           (golden bytes are pinned in tests/golden/).
+R8  transport-discipline  Direct Link transmit calls (`.transmit(` /
+                          `->transmit(`) are forbidden outside src/net/ in
+                          src/, bench/ and examples/ — every simulator send
+                          goes through net::Channel so transport policy
+                          (ack/retry, backpressure, checksum accounting) is
+                          applied in exactly one place. tests/ are exempt:
+                          they exercise the Link primitive directly.
 
 Exit code 0 when clean; 1 with one line per violation otherwise.
 
@@ -335,6 +342,31 @@ def check_serialization_casts(root: Path) -> list[str]:
     return problems
 
 
+DIRECT_TRANSMIT = re.compile(r"(?:\.|->)\s*transmit\s*\(")
+
+
+def check_transport_discipline(root: Path) -> list[str]:
+    """R8: Link::transmit calls only inside src/net/ (tests exempt)."""
+    problems = []
+    files: list[Path] = []
+    for sub in ("src", "bench", "examples"):
+        d = root / sub
+        if d.is_dir():
+            files.extend(sorted(list(d.rglob("*.cpp")) + list(d.rglob("*.hpp"))))
+    for f in files:
+        if f.parent.name == "net" and f.parent.parent.name == "src":
+            continue
+        code = strip_comments_and_strings(f.read_text())
+        for lineno, line in enumerate(code.splitlines(), start=1):
+            if DIRECT_TRANSMIT.search(line):
+                problems.append(
+                    f"{f.relative_to(root)}:{lineno}: R8 direct Link transmit — send "
+                    f"through net::Channel (src/net/channel.hpp) so transport policy "
+                    f"and accounting stay in one place"
+                )
+    return problems
+
+
 def check_pragma_once(src: Path) -> list[str]:
     """R5: every header uses #pragma once."""
     problems = []
@@ -362,6 +394,7 @@ def main() -> int:
     problems += check_pragma_once(src)
     problems += check_timing_discipline(args.root)
     problems += check_serialization_casts(args.root)
+    problems += check_transport_discipline(args.root)
 
     if problems:
         for p in problems:
@@ -369,7 +402,7 @@ def main() -> int:
         print(f"lint_invariants: {len(problems)} violation(s)", file=sys.stderr)
         return 1
     print("lint_invariants: clean (R1 preconditions, R2 throws, R3 cycles, R4 rng, "
-          "R5 pragma, R6 timing, R7 serialization casts)")
+          "R5 pragma, R6 timing, R7 serialization casts, R8 transport)")
     return 0
 
 
