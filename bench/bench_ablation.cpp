@@ -25,11 +25,11 @@ struct Variant {
 int main() {
   std::printf("E-ABLATION: partition-MKL design choices (chain search held fixed)\n\n");
 
-  Rng rng(101);
+  Rng rng(101);  // rng-stream: data
   // Two signal facets, one heavy noise facet — the regime where choices matter.
   data::FacetedData fd = data::make_faceted_gaussian(
       320, {{2, 3.0, 1.0, true}, {3, 1.8, 1.0, true}, {4, 0.0, 4.0, false}}, rng);
-  Rng split_rng(7);
+  Rng split_rng(7);  // rng-stream: splitter
   auto split = data::train_test_split(fd.samples.size(), 0.35, split_rng);
   data::Samples train = data::select_rows(fd.samples, split.train);
   data::Samples test = data::select_rows(fd.samples, split.test);

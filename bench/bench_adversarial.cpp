@@ -21,9 +21,9 @@ int main() {
     // Concentric-circles concept with an RBF SVM: the clean decision surface
     // hugs the inner class, so small L-inf shifts cross it. Adversarial
     // training pushes the surface outward at a tiny clean-accuracy cost.
-    Rng rng(13);
+    Rng rng(13);  // rng-stream: clean-data
     data::Samples all = data::make_circles(420, 1.0, 2.2, 0.18, rng);
-    Rng split_rng(3);
+    Rng split_rng(3);  // rng-stream: splitter
     auto split = data::train_test_split(all.size(), 0.3, split_rng);
     data::Samples train = data::select_rows(all, split.train);
     data::Samples test = data::select_rows(all, split.test);
@@ -53,7 +53,7 @@ int main() {
 
   std::printf("E-ADV part 2: toy GAN converging to N(3.0, 1.5^2)\n\n");
   {
-    Rng rng(29);
+    Rng rng(29);  // rng-stream: attack-data
     GanParams params;
     params.iterations = 1500;
     params.init_mu = -4.0;

@@ -23,7 +23,7 @@ int main() {
 
   std::printf("FIG. 1: ANALYTICS COMPUTATION IN THE IOT SETTING (simulated)\n\n");
   bench::BenchReport bench_report("fig1_pipeline");
-  Rng rng(2024);
+  Rng rng(2024);  // rng-stream: data
 
   // ---- Device tier: a 12-sensor field over 3 physical quantities ---------
   std::vector<FieldQuantity> field;

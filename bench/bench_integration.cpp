@@ -40,7 +40,7 @@ int main() {
 
   std::vector<std::vector<std::string>> rows;
   for (const Scenario& scenario : scenarios) {
-    Rng rng(23);
+    Rng rng(23);  // rng-stream: data
     // Four sensors on one smooth signal, desynchronized periods.
     const Signal truth = sine_signal(10.0, 4.0, 50.0);
     std::vector<SensorStream> streams;
@@ -56,7 +56,7 @@ int main() {
 
     for (ImputeStrategy strategy : strategies) {
       data::Dataset repaired = integ.records;
-      Rng prep(5);
+      Rng prep(5);  // rng-stream: prep
       impute(repaired, strategy, prep);
 
       // RMSE of *imputed* cells against the ground-truth signal.

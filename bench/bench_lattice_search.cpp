@@ -54,7 +54,7 @@ int main() {
   std::printf("(faceted data: half the views informative, half high-variance noise)\n\n");
 
   bench::BenchReport bench_report("lattice_search");
-  Rng rng(7);
+  Rng rng(7);  // rng-stream: data
   std::vector<Row> rows;
 
   for (std::size_t views = 2; views <= 6; ++views) {
@@ -69,7 +69,7 @@ int main() {
       }
     }
     data::FacetedData fd = data::make_faceted_gaussian(220, specs, rng);
-    Rng split_rng(99);
+    Rng split_rng(99);  // rng-stream: splitter
     auto split = data::train_test_split(fd.samples.size(), 0.35, split_rng);
     data::Samples train = data::select_rows(fd.samples, split.train);
     data::Samples test = data::select_rows(fd.samples, split.test);

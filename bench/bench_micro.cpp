@@ -50,7 +50,7 @@ BENCHMARK(BM_BooleanChainDecomposition)->Arg(8)->Arg(12)->Arg(16);
 
 void BM_BlockGram(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  Rng rng(1);
+  Rng rng(1);  // rng-stream: gram-data
   data::Samples s = data::make_blobs(n, 6, 2.0, 1.0, rng);
   for (auto _ : state) {
     core::BlockGramCache cache(s.x);
@@ -61,7 +61,7 @@ BENCHMARK(BM_BlockGram)->Arg(100)->Arg(200)->Arg(400);
 
 void BM_SvmTrain(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  Rng rng(2);
+  Rng rng(2);  // rng-stream: svm-data
   data::Samples s = data::make_blobs(n, 4, 3.0, 1.0, rng);
   core::BlockGramCache cache(s.x);
   const la::Matrix gram = cache.gram_for({0, 1, 2, 3});
@@ -73,7 +73,7 @@ BENCHMARK(BM_SvmTrain)->Arg(80)->Arg(160)->Arg(320);
 
 void BM_IndiscernibilityRelation(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  Rng rng(3);
+  Rng rng(3);  // rng-stream: indisc-data
   data::Dataset fleet = data::make_phone_fleet(n, 0.1, rng);
   for (auto _ : state) {
     rough::IndiscernibilityRelation rel(fleet, {0, 1, 2});
@@ -84,7 +84,7 @@ BENCHMARK(BM_IndiscernibilityRelation)->Arg(500)->Arg(2000);
 
 void BM_ZeroSumSolve(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  Rng rng(4);
+  Rng rng(4);  // rng-stream: game-data
   la::Matrix payoff(n, n);
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t j = 0; j < n; ++j) payoff(i, j) = rng.normal();

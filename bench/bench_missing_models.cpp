@@ -30,7 +30,7 @@ int main() {
   std::vector<std::string> labels;
 
   for (double missing : {0.0, 0.15, 0.3, 0.45, 0.6}) {
-    Rng rng(17);
+    Rng rng(17);  // rng-stream: data
     data::Dataset train = data::make_phone_fleet(900, 0.02, rng);
     data::Dataset test = data::make_phone_fleet(400, 0.02, rng);
     for (auto* ds : {&train, &test}) {
@@ -45,7 +45,7 @@ int main() {
     {
       data::Dataset repaired_train = train;
       data::Dataset repaired_test = test;
-      Rng prep(1);
+      Rng prep(1);  // rng-stream: prep
       pipeline::impute(repaired_train, pipeline::ImputeStrategy::kMean, prep);
       pipeline::impute(repaired_test, pipeline::ImputeStrategy::kMean, prep);
       learners::DecisionTree tree;

@@ -18,7 +18,7 @@ namespace {
 using namespace iotml;
 
 double evaluate_gram(const la::Matrix& full_gram, const std::vector<int>& y) {
-  Rng cv(3);
+  Rng cv(3);  // rng-stream: cv-folds
   return kernels::cv_accuracy_precomputed(full_gram, y, 5, cv);
 }
 
@@ -29,7 +29,7 @@ int main() {
   std::printf("(one informative view + k noise views of stddev sigma)\n\n");
 
   bench::BenchReport bench_report("mkl");
-  Rng rng(11);
+  Rng rng(11);  // rng-stream: data
   std::vector<std::vector<std::string>> rows;
   std::size_t configs = 0;
 

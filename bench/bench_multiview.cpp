@@ -26,7 +26,7 @@ int main() {
     double co_acc = 0.0, v0_acc = 0.0, concat_acc = 0.0, cca_corr = 0.0;
     const int trials = 3;
     for (int trial = 0; trial < trials; ++trial) {
-      Rng rng(100 + trial);
+      Rng rng(100 + trial);  // rng-stream: trial-data
       data::FacetedData fd = data::make_faceted_gaussian(
           700, {{3, 2.5, 1.0, true}, {3, 2.5, 1.0, true}}, rng);
 

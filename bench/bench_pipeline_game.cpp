@@ -31,7 +31,7 @@ int main() {
   // for axis-aligned trees and easy for NB/logistic — but the latter are the
   // outlier-sensitive models, so the analyst's best model depends on how well
   // the preprocessor cleaned the data. That dependency is the game.
-  Rng rng(31);
+  Rng rng(31);  // rng-stream: data
   data::Samples raw = data::make_faceted_gaussian(1050, {{6, 3.5, 1.0, true}}, rng).samples;
   auto corrupt = [&](data::Dataset& ds) {
     for (std::size_t f = 0; f < ds.num_columns(); ++f) {

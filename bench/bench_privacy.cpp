@@ -19,7 +19,7 @@ int main() {
   std::printf("E-PRIV: privacy budget vs analytics quality\n");
   std::printf("(randomized response on the phone fleet's categorical record)\n\n");
 
-  Rng rng(61);
+  Rng rng(61);  // rng-stream: data
   data::Dataset train = data::make_phone_fleet(1200, 0.0, rng);
   data::Dataset test = data::make_phone_fleet(500, 0.0, rng);
 
@@ -29,7 +29,7 @@ int main() {
     // pass through the device-tier perturbation.
     data::Dataset noisy_train = train;
     data::Dataset noisy_test = test;
-    Rng privacy_rng(3);
+    Rng privacy_rng(3);  // rng-stream: privacy-noise
     pipeline::PrivacyReport report =
         pipeline::privatize(noisy_train,
                             {.epsilon = eps, .sensitivity = {}, .randomize_categories = true},

@@ -37,6 +37,7 @@ namespace iotml::bench {
 
 class BenchReport {
  public:
+  // det-sanctioned: start_us_ only feeds elapsed_s(), which write() zeroes in deterministic mode
   explicit BenchReport(std::string name) : name_(std::move(name)), start_us_(obs::now_us()) {}
 
   /// Record a quality/size metric (accuracy, rows, missing rate, ...).

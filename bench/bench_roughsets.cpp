@@ -50,7 +50,7 @@ int main() {
   std::printf("dynamic vs static K (fleet of 600 phones, label noise sweep):\n");
   std::vector<std::vector<std::string>> rows;
   for (double noise : {0.0, 0.1, 0.2}) {
-    Rng rng(42);
+    Rng rng(42);  // rng-stream: table-data
     data::Dataset train = data::make_phone_fleet(600, noise, rng);
     data::Dataset test = data::make_phone_fleet(300, noise, rng);
 
@@ -102,7 +102,7 @@ int main() {
 
   // ---- Reducts ------------------------------------------------------------------
   {
-    Rng rng(5);
+    Rng rng(5);  // rng-stream: discretize-data
     data::Dataset fleet = data::make_phone_fleet(500, 0.0, rng);
     auto reducts = find_reducts(fleet);
     std::printf("reducts of the noiseless fleet (battery, os, signal): %zu found\n",

@@ -45,7 +45,7 @@ int main() {
   report.seed(88);
   report.note("policies", "frozen, always-on, adaptive(DDM)");
 
-  Rng rng(88);
+  Rng rng(88);  // rng-stream: stream-data
   const std::size_t epoch = 3000;
 
   IncrementalNaiveBayes frozen(3);

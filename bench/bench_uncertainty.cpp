@@ -20,7 +20,7 @@ int main() {
 
   std::printf("E-UNC: uncertainty propagation — predicted vs Monte Carlo\n\n");
 
-  Rng rng(41);
+  Rng rng(41);  // rng-stream: data
   const int n_mc = 200000;
 
   struct Case {
@@ -77,7 +77,7 @@ int main() {
   UncertaintyMap map(100, 4, 0.25);  // acquisition noise variance
   std::printf("  after acquisition            : %.4f\n", map.mean_variance());
   // Imputation: 20%% of cells repaired with tripled variance.
-  Rng holes(7);
+  Rng holes(7);  // rng-stream: holes
   for (std::size_t r = 0; r < map.rows(); ++r) {
     for (std::size_t c = 0; c < map.cols(); ++c) {
       if (holes.bernoulli(0.2)) map.set_variance(r, c, 0.75);

@@ -6,6 +6,13 @@
 #                    `throw std::` outside src/util/error.*, no include
 #                    cycles, no unseeded RNG outside src/util/rng.*).
 #   lint.clang_tidy  run-clang-tidy over src/ with the repo .clang-tidy.
+#   lint.detlint     tools/detlint — flow-aware determinism analyzer (DET0-4:
+#                    unordered iteration reaching emission, rng-stream
+#                    discipline, clock taint into reports, unordered float
+#                    reduction).
+#   lint.detlint_fixtures
+#                    tests/detlint — golden-diff fixture corpus exercising
+#                    every detlint rule and false-positive guard.
 #
 # Tools that are not installed degrade to a CTest SKIP (exit 77), never a
 # hard configure failure, so minimal containers keep building.
@@ -20,8 +27,26 @@ if(Python3_FOUND)
     COMMAND Python3::Interpreter "${CMAKE_SOURCE_DIR}/tools/lint_invariants.py"
             --root "${CMAKE_SOURCE_DIR}")
   set_tests_properties(lint.invariants PROPERTIES LABELS "lint")
+  add_test(NAME lint.invariants_selftest
+    COMMAND Python3::Interpreter "${CMAKE_SOURCE_DIR}/tools/lint_invariants.py"
+            --self-test)
+  set_tests_properties(lint.invariants_selftest PROPERTIES LABELS "lint")
 else()
   message(STATUS "iotml: python3 not found; lint.invariants test not registered")
+endif()
+
+# detlint is built from this repo's own sources, so it is always available —
+# no SKIP path needed.
+add_test(NAME lint.detlint
+  COMMAND detlint --root "${CMAKE_SOURCE_DIR}")
+set_tests_properties(lint.detlint PROPERTIES LABELS "lint")
+
+if(Python3_FOUND)
+  add_test(NAME lint.detlint_fixtures
+    COMMAND Python3::Interpreter "${CMAKE_SOURCE_DIR}/tests/detlint/run_fixtures.py"
+            --detlint $<TARGET_FILE:detlint>
+            --cases "${CMAKE_SOURCE_DIR}/tests/detlint/cases")
+  set_tests_properties(lint.detlint_fixtures PROPERTIES LABELS "lint")
 endif()
 
 find_program(IOTML_CLANG_TIDY NAMES clang-tidy clang-tidy-19 clang-tidy-18

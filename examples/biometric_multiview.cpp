@@ -16,7 +16,7 @@
 int main() {
   using namespace iotml;
 
-  Rng rng(2718);
+  Rng rng(2718);  // rng-stream: data
   // face (strong), fingerprint (strong), EEG (weak and noisy), iris (medium)
   data::FacetedData fd = data::make_faceted_gaussian(
       600, {{4, 3.0, 1.0, true},   // face
@@ -26,7 +26,7 @@ int main() {
       rng);
   const char* names[] = {"face", "fingerprint", "EEG", "iris"};
 
-  Rng split_rng(3);
+  Rng split_rng(3);  // rng-stream: splitter
   auto split = data::train_test_split(fd.samples.size(), 0.33, split_rng);
   data::Samples train = data::select_rows(fd.samples, split.train);
   data::Samples test = data::select_rows(fd.samples, split.test);

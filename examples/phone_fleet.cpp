@@ -34,7 +34,7 @@ int main() {
               approx.accuracy_granules(), approx.accuracy_elements());
 
   // ---- Dynamic K selection on a real-sized fleet -------------------------------
-  Rng rng(9);
+  Rng rng(9);  // rng-stream: data
   data::Dataset fleet = data::make_phone_fleet(800, 0.05, rng);
   data::Dataset holdout = data::make_phone_fleet(400, 0.05, rng);
 

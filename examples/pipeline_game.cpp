@@ -15,7 +15,7 @@ int main() {
   // ---- Empirical bimatrix game over the real pipeline --------------------------
   // Oblique-boundary numeric data with missing cells and gross outliers, so
   // the analyst's best model depends on the preprocessor's diligence.
-  Rng rng(55);
+  Rng rng(55);  // rng-stream: data
   data::Samples raw =
       data::make_faceted_gaussian(900, {{6, 3.5, 1.0, true}}, rng).samples;
   data::Dataset all = data::samples_to_dataset(raw);

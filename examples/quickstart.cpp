@@ -16,7 +16,7 @@ int main() {
   using namespace iotml;
 
   // 1. Data: 3 views — a strong sensor, a weak sensor, and a noisy one.
-  Rng rng(1);
+  Rng rng(1);  // rng-stream: data
   data::FacetedData fd = data::make_faceted_gaussian(
       400,
       {{2, 3.0, 1.0, true},    // strong facet
@@ -24,7 +24,7 @@ int main() {
        {5, 0.0, 5.0, false}},  // high-variance noise facet
       rng);
 
-  Rng split_rng(2);
+  Rng split_rng(2);  // rng-stream: splitter
   auto split = data::train_test_split(fd.samples.size(), 0.3, split_rng);
   data::Samples train = data::select_rows(fd.samples, split.train);
   data::Samples test = data::select_rows(fd.samples, split.test);

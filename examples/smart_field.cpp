@@ -14,7 +14,7 @@ int main() {
   using namespace iotml;
   using namespace iotml::pipeline;
 
-  Rng rng(77);
+  Rng rng(77);  // rng-stream: data
 
   // ---- Periphery: 6 devices measuring soil moisture and temperature -----------
   std::vector<FieldQuantity> field{

@@ -13,7 +13,7 @@ int main() {
   using namespace iotml;
   using namespace iotml::learners;
 
-  Rng rng(314);
+  Rng rng(314);  // rng-stream: data
   AdaptiveStreamClassifier device_model(2);
 
   // Concept: machine "overheating" when vibration-corrected temperature is

@@ -205,6 +205,7 @@ std::size_t LddDecomposition::symmetric_chain_count() const {
 }
 
 bool LddDecomposition::symmetric_below_rank(unsigned max_rank) const {
+  // det-sanctioned: membership probe only; every loop below walks chains_, not this set
   std::unordered_set<SetPartition, SetPartitionHash> on_symmetric;
   for (const PartitionChain& c : chains_) {
     if (!c.is_symmetric(lattice_rank())) continue;

@@ -45,6 +45,7 @@ class PartitionLattice {
  private:
   std::size_t n_;
   std::vector<SetPartition> elements_;
+  // det-sanctioned: partition -> id lookup only, never iterated; enumeration walks elements_
   std::unordered_map<SetPartition, std::size_t, SetPartitionHash> index_;
   std::vector<std::vector<std::size_t>> levels_;
   std::vector<std::vector<std::size_t>> up_;

@@ -72,6 +72,8 @@ void FacetedLearner::fit(const data::Samples& train) {
   }
 
   // 4. Final model on the chosen partition.
+  IOTML_CHECK(search_.has_value(),
+              "FacetedLearner::fit: unknown search strategy produced no result");
   auto kernel =
       partition_kernel(evaluator.cache(), search_->best, search_->best_weights);
   model_ = std::make_unique<kernels::KernelSvmClassifier>(std::move(kernel),

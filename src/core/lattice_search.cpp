@@ -24,7 +24,7 @@ double PartitionEvaluator::score(const comb::SetPartition& partition) {
   nodes_expanded.add();
   const la::Matrix combined =
       partition_gram(cache_, partition, train_.y, options_.weights);
-  Rng cv_rng(options_.cv_seed);  // identical folds for every candidate
+  Rng cv_rng(options_.cv_seed);  // rng-stream: cv-folds (identical folds for every candidate)
   return kernels::cv_accuracy_precomputed(combined, train_.y, options_.cv_folds,
                                           cv_rng, options_.svm);
 }

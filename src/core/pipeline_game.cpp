@@ -82,7 +82,7 @@ PipelineGameResult build_pipeline_game(const data::Dataset& corrupted_train,
     // Preprocess once per preprocessor strategy (deterministic per profile:
     // a fixed-seed child generator so hot-deck draws don't leak across
     // profiles).
-    Rng prep_rng(1000 + i);
+    Rng prep_rng(1000 + i);  // rng-stream: prep
     data::Dataset train = corrupted_train;
     data::Dataset test = corrupted_test;
     const double residual_train = preprocess(train, config.preprocessor[i], prep_rng);

@@ -69,7 +69,7 @@ SvmModel train_svm(const la::Matrix& gram, const std::vector<int>& y01,
     return f;
   };
 
-  Rng rng(params.seed);
+  Rng rng(params.seed);  // rng-stream: smo-shuffle
   std::size_t passes = 0;
   std::size_t iterations = 0;
 

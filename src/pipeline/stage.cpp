@@ -36,6 +36,7 @@ StageReport LambdaStage::apply(data::Dataset& ds, Rng& rng) {
   report.missing_rate_in = ds.missing_rate();
   const std::int64_t start_us = obs::now_us();
   report.cost = fn_(ds, rng);
+  // det-sanctioned: wall_time_us feeds obs spans only; deterministic artifacts never serialize it
   report.wall_time_us = static_cast<std::uint64_t>(obs::now_us() - start_us);
   report.rows_out = ds.rows();
   report.columns_out = ds.num_columns();
@@ -66,6 +67,7 @@ data::Dataset Pipeline::run(data::Dataset input, Rng& rng) {
     // reading and only fall back to the around-the-call measurement for
     // third-party stages that left the field 0.
     if (report.wall_time_us == 0) {
+      // det-sanctioned: wall_time_us feeds obs spans only; deterministic artifacts omit it
       report.wall_time_us = static_cast<std::uint64_t>(obs::now_us() - start_us);
     }
     span.arg("player", report.player);

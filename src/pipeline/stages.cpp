@@ -18,6 +18,7 @@ StageReport run_stage(const Stage& stage, data::Dataset& ds, Body&& body) {
   report.missing_rate_in = ds.missing_rate();
   const std::int64_t start_us = obs::now_us();
   report.cost = body();
+  // det-sanctioned: wall_time_us feeds obs spans only; deterministic artifacts never serialize it
   report.wall_time_us = static_cast<std::uint64_t>(obs::now_us() - start_us);
   report.rows_out = ds.rows();
   report.columns_out = ds.num_columns();

@@ -125,18 +125,21 @@ FleetSim::FleetSim(FleetConfig config, pipeline::Pipeline full_pipeline)
   // Fixed derivation order: every stream of randomness is split off the
   // master seed before the event loop starts, so event handlers can draw in
   // any interleaving without perturbing each other's sequences.
-  Rng master(config.seed);
-  Rng fault_rng = master.split();
+  Rng master(config.seed);         // rng-stream: master
+  Rng fault_rng = master.split();  // rng-stream: fault
   device_rngs_.reserve(config.devices);
+  // rng-stream: device (one split per device, in device-id order)
   for (std::size_t d = 0; d < config.devices; ++d) device_rngs_.push_back(master.split());
   edge_rngs_.reserve(config.edges);
+  // rng-stream: edge (one split per edge, in edge-id order)
   for (std::size_t e = 0; e < config.edges; ++e) edge_rngs_.push_back(master.split());
-  core_rng_ = master.split();
+  core_rng_ = master.split();  // rng-stream: core
   link_rngs_.reserve(topo_.num_links());
+  // rng-stream: link (one split per link, in link-id order)
   for (std::size_t l = 0; l < topo_.num_links(); ++l) link_rngs_.push_back(master.split());
   // The chaos stream splits off *after* every legacy stream, so a run with
   // chaos disabled draws exactly the sequences the pre-chaos runtime drew.
-  chaos_rng_ = master.split();
+  chaos_rng_ = master.split();  // rng-stream: chaos
 
   // One transport per link. The topology is final here (downlinks included),
   // so the Link references the channels capture stay stable.
@@ -259,6 +262,7 @@ void FleetSim::generate_device_data() {
     acq.columns_out = integ.records.num_columns();
     acq.missing_rate_out = integ.records.missing_rate();
     acq.cost = 0.05 + 0.01 * static_cast<double>(readings);
+    // det-sanctioned: wall_time_us is observability-only; to_json and the event log omit it
     acq.wall_time_us = static_cast<std::uint64_t>(obs::now_us() - start_us);
     report_.stage_reports.push_back(std::move(acq));
 
@@ -529,6 +533,7 @@ void FleetSim::handle_edge_flush(std::size_t edge_index, double now_s) {
   integ.missing_rate_in = merged.missing_rate();
   integ.missing_rate_out = merged.missing_rate();
   integ.cost = 0.2 + 0.001 * static_cast<double>(merged.rows());
+  // det-sanctioned: wall_time_us is observability-only; to_json and the event log omit it
   integ.wall_time_us = static_cast<std::uint64_t>(obs::now_us() - start_us);
   report_.stage_reports.push_back(std::move(integ));
 
@@ -887,6 +892,7 @@ void FleetSim::finalize() {
       deploy_test_ = test;
     }
   }
+  // det-sanctioned: wall_time_us is observability-only; to_json and the event log omit it
   analytics.wall_time_us = static_cast<std::uint64_t>(obs::now_us() - start_us);
   report_.stage_reports.push_back(std::move(analytics));
 }
@@ -1073,7 +1079,10 @@ void FleetSim::handle_artifact_arrival(const Event& event) {
 
 void FleetSim::score_on_device(net::NodeId device, double now_s, bool stale) {
   DeploySummary& d = report_.deploy;
-  deploy::DeviceRuntime& runtime = stale ? *stale_runtime_ : *device_runtime_;
+  std::optional<deploy::DeviceRuntime>& slot = stale ? stale_runtime_ : device_runtime_;
+  IOTML_CHECK(slot.has_value(),
+              "FleetSim::score_on_device: runtime not compiled before scoring");
+  deploy::DeviceRuntime& runtime = *slot;
   if (stale) {
     ++d.devices_stale;
     obs::registry().counter("sim.recovery.stale_model_serves").add();

@@ -188,8 +188,10 @@ class FleetSim {
 
   std::vector<Rng> device_rngs_;
   std::vector<Rng> edge_rngs_;
+  // det-sanctioned: placeholder seed; reseeded from master.split() (rng-stream: core)
   Rng core_rng_{0};
   std::vector<Rng> link_rngs_;
+  // det-sanctioned: placeholder; reseeded via master.split() last (rng-stream: chaos)
   Rng chaos_rng_{0};  ///< split last, so legacy streams stay byte-identical
 
   /// One transport per link, same index space; every simulator send goes
@@ -203,7 +205,8 @@ class FleetSim {
   std::vector<net::Message> messages_;
   std::vector<Buffer> edge_buffers_;
   Buffer core_buffer_;
-  std::vector<std::unordered_set<std::uint64_t>> seen_;  ///< dedup per node
+  // det-sanctioned: membership-only dedup set per node, never iterated
+  std::vector<std::unordered_set<std::uint64_t>> seen_;
   std::vector<double> latencies_;
 
   std::vector<Buffer> edge_checkpoints_;  ///< last persisted buffer per edge
@@ -232,6 +235,7 @@ class FleetSim {
   std::size_t artifact_wire_bytes_ = 0;
   std::vector<PredBatch> pred_batches_;
   std::vector<std::uint8_t> artifact_seen_;  ///< dedup duplicate broadcasts
+  // det-sanctioned: membership-only dedup set per edge, never iterated
   std::vector<std::unordered_set<std::uint64_t>> pred_seen_;
 
   deploy::CompiledModel stale_model_;  ///< prior epoch's artifact (fallback)

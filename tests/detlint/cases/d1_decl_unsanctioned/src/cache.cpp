@@ -1,0 +1,6 @@
+#include <string>
+#include <unordered_map>
+
+std::unordered_map<std::string, int> lookup_cache;
+
+int cached(const std::string& key) { return lookup_cache.count(key) ? lookup_cache[key] : 0; }

@@ -1,0 +1,11 @@
+#include <unordered_set>
+
+int count_evens() {
+  // det-sanctioned: local scratch, order-insensitive integer count
+  std::unordered_set<int> s{2, 4, 6};
+  int n = 0;
+  for (int v : s) {
+    if (v % 2 == 0) n = n + 1;
+  }
+  return n;
+}

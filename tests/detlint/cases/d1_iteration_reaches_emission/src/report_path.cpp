@@ -1,0 +1,15 @@
+#include <string>
+#include <unordered_map>
+
+// det-sanctioned: fixture decl — the iteration below is the finding under test
+std::unordered_map<std::string, int> counters;
+
+std::string json_escape(const std::string& s) { return s; }
+
+std::string to_json() {
+  std::string out = "{";
+  for (const auto& kv : counters) {
+    out += json_escape(kv.first);
+  }
+  return out + "}";
+}

@@ -1,0 +1,11 @@
+struct Rng {
+  explicit Rng(unsigned seed);
+};
+
+int main() {
+  Rng first(1);   // rng-stream: data
+  Rng second(2);  // rng-stream: data
+  (void)first;
+  (void)second;
+  return 0;
+}

@@ -1,0 +1,12 @@
+struct Rng {
+  explicit Rng(unsigned seed);
+  Rng split();
+};
+
+int main() {
+  Rng master(3);  // rng-stream: master
+  // rng-stream: worker (own-line form)
+  Rng worker = master.split();
+  (void)worker;
+  return 0;
+}

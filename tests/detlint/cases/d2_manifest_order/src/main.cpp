@@ -1,0 +1,9 @@
+struct Rng {
+  explicit Rng(unsigned seed);
+};
+
+int main() {
+  Rng noise(7);  // rng-stream: beta
+  (void)noise;
+  return 0;
+}

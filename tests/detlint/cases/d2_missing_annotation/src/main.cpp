@@ -1,0 +1,11 @@
+struct Rng {
+  explicit Rng(unsigned seed);
+  Rng split();
+};
+
+int main() {
+  Rng data(42);
+  Rng forked = data.split();
+  (void)forked;
+  return 0;
+}

@@ -1,0 +1,13 @@
+#include <cstdint>
+
+namespace obs {
+std::int64_t now_us();
+}
+
+struct FleetReport {
+  std::uint64_t wall_us = 0;
+};
+
+void finish(FleetReport& report) {
+  report.wall_us = static_cast<std::uint64_t>(obs::now_us());
+}

@@ -1,0 +1,13 @@
+#include <cstdint>
+
+namespace obs {
+std::int64_t now_us();
+}
+
+struct FleetReport {
+  std::uint64_t wall_us = 0;
+};
+
+void finish(FleetReport& report, bool deterministic_mode) {
+  report.wall_us = deterministic_mode ? 0 : static_cast<std::uint64_t>(obs::now_us());
+}

@@ -1,0 +1,11 @@
+#include <unordered_set>
+
+double jitter_sum() {
+  // det-sanctioned: membership use; this fixture targets the accumulation rule
+  std::unordered_set<int> samples{1, 2, 3};
+  double total = 0.0;
+  for (int v : samples) {
+    total += static_cast<double>(v);
+  }
+  return total;
+}

@@ -1,0 +1,6 @@
+#include <unordered_set>
+
+// det-sanctioned
+std::unordered_set<int> ids;
+
+bool known(int id) { return ids.count(id) != 0; }

@@ -1,0 +1,3 @@
+#pragma once
+#include "b.hpp"
+inline int from_a() { return 1; }

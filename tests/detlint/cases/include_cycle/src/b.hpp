@@ -1,0 +1,3 @@
+#pragma once
+#include "a.hpp"
+inline int from_b() { return 2; }

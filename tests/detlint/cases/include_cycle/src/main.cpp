@@ -1,0 +1,10 @@
+#include "a.hpp"
+
+struct Rng {
+  explicit Rng(unsigned seed);
+};
+
+int main() {
+  Rng data(9);  // rng-stream: data
+  return from_a() + from_b();
+}

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Golden-diff driver for the detlint fixture corpus.
+
+Each directory under --cases is a miniature repo root (src/, optionally
+bench/, examples/ and tools/detlint/rng_streams.txt) paired with an
+expected.txt holding the exact detlint stdout for that root. The driver runs
+`detlint --root <case>` on every case and diffs stdout against the golden,
+byte-for-byte — detlint sorts and dedupes its diagnostics precisely so these
+goldens stay stable.
+
+Usage:
+  run_fixtures.py --detlint PATH --cases DIR [--update]
+
+--update rewrites every expected.txt from the current detlint output
+(review the diff before committing, same contract as --update-rng-manifest).
+"""
+
+import argparse
+import difflib
+import pathlib
+import subprocess
+import sys
+
+
+def run_case(detlint: str, case: pathlib.Path, update: bool) -> bool:
+    golden = case / "expected.txt"
+    proc = subprocess.run(
+        [detlint, "--root", str(case)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    if proc.returncode not in (0, 1):
+        print(f"FAIL {case.name}: detlint exited {proc.returncode}")
+        sys.stdout.write(proc.stderr)
+        return False
+    if update:
+        golden.write_text(proc.stdout)
+        print(f"UPDATE {case.name}: {len(proc.stdout.splitlines())} line(s)")
+        return True
+    want = golden.read_text() if golden.exists() else ""
+    expect_findings = bool(want.strip())
+    if proc.stdout != want:
+        print(f"FAIL {case.name}: output differs from expected.txt")
+        sys.stdout.writelines(
+            difflib.unified_diff(
+                want.splitlines(keepends=True),
+                proc.stdout.splitlines(keepends=True),
+                fromfile=f"{case.name}/expected.txt",
+                tofile=f"{case.name}/detlint-output",
+            )
+        )
+        return False
+    if expect_findings != (proc.returncode == 1):
+        print(
+            f"FAIL {case.name}: exit code {proc.returncode} inconsistent with "
+            f"{'non-empty' if expect_findings else 'empty'} golden"
+        )
+        return False
+    print(f"PASS {case.name}")
+    return True
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--detlint", required=True, help="path to the detlint binary")
+    ap.add_argument("--cases", required=True, help="fixture corpus directory")
+    ap.add_argument("--update", action="store_true", help="rewrite goldens")
+    args = ap.parse_args()
+
+    cases = sorted(p for p in pathlib.Path(args.cases).iterdir() if p.is_dir())
+    if not cases:
+        print(f"no fixture cases found under {args.cases}")
+        return 1
+    failures = sum(0 if run_case(args.detlint, c, args.update) else 1 for c in cases)
+    print(f"{len(cases) - failures}/{len(cases)} fixture case(s) passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

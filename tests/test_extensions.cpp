@@ -174,7 +174,9 @@ TEST(Privacy, AccuracyDegradesGracefullyWithBudget) {
   data::Dataset test = data::make_phone_fleet(400, 0.0, rng);
   double previous = 1.1;
   double at_large_eps = 0.0, at_small_eps = 0.0;
-  for (double eps : {8.0, 1.0, 0.2}) {
+  const double budgets[] = {8.0, 1.0, 0.2};
+  for (std::size_t bi = 0; bi < 3; ++bi) {
+    const double eps = budgets[bi];
     data::Dataset noisy_train = train;
     Rng privacy_rng(3);
     pipeline::privatize(noisy_train,
@@ -183,8 +185,8 @@ TEST(Privacy, AccuracyDegradesGracefullyWithBudget) {
     learners::DecisionTree tree;
     tree.fit(noisy_train);
     const double acc = tree.accuracy(test);
-    if (eps == 8.0) at_large_eps = acc;
-    if (eps == 0.2) at_small_eps = acc;
+    if (bi == 0) at_large_eps = acc;
+    if (bi == 2) at_small_eps = acc;
     EXPECT_LE(acc, previous + 0.05);  // roughly monotone in budget
     previous = acc;
   }

@@ -212,7 +212,9 @@ TEST(Extensive, PerfectInfoSequentialGame) {
   bool found = false;
   for (const auto& e : eq) {
     const auto payoff = std::make_pair(normal.a(e.row, e.col), normal.b(e.row, e.col));
-    if (payoff.first == 2.0 && payoff.second == 2.0) found = true;
+    if (std::abs(payoff.first - 2.0) < 1e-12 && std::abs(payoff.second - 2.0) < 1e-12) {
+      found = true;
+    }
   }
   EXPECT_TRUE(found);
 }

@@ -221,7 +221,7 @@ TEST(Imputation, HotDeckUsesExistingValues) {
   impute(ds, ImputeStrategy::kHotDeck, rng);
   for (std::size_t r = 2; r < 4; ++r) {
     const double v = ds.column(0).numeric(r);
-    EXPECT_TRUE(v == 5.0 || v == 8.0);
+    EXPECT_TRUE(std::abs(v - 5.0) < 1e-12 || std::abs(v - 8.0) < 1e-12);
   }
 }
 

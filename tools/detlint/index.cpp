@@ -1,0 +1,313 @@
+#include "index.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+
+namespace detlint {
+
+namespace {
+
+const std::set<std::string> kUnorderedNames = {"unordered_map", "unordered_set",
+                                               "unordered_multimap", "unordered_multiset"};
+const std::set<std::string> kFloatNames = {"float", "double"};
+const std::set<std::string> kPostQualifiers = {"const", "noexcept", "override",
+                                               "final", "mutable", "constexpr"};
+
+bool is_punct(const Token& t, const char* s) { return t.kind == Tok::kPunct && t.text == s; }
+bool is_ident(const Token& t, const char* s) { return t.kind == Tok::kIdent && t.text == s; }
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+/// Index of the token after the group opened at `open` (handles '(', '{',
+/// '[' and '<'; '>>' closes two angle levels). Returns tokens.size() when
+/// unbalanced; for '<' also bails at ';' (relational operator, not a
+/// template argument list).
+std::size_t skip_group(const std::vector<Token>& toks, std::size_t open) {
+  const std::string& o = toks[open].text;
+  const bool angle = o == "<";
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (toks[i].kind != Tok::kPunct) continue;
+    if (t == o || (angle && t == "<")) {
+      ++depth;
+    } else if (!angle && ((o == "(" && t == ")") || (o == "{" && t == "}") ||
+                          (o == "[" && t == "]"))) {
+      if (--depth == 0) return i + 1;
+    } else if (angle && t == ">") {
+      if (--depth == 0) return i + 1;
+    } else if (angle && t == ">>") {
+      depth -= 2;
+      if (depth <= 0) return i + 1;
+    } else if (angle && (t == ";" || t == "{")) {
+      return i;  // was a comparison after all
+    }
+  }
+  return toks.size();
+}
+
+/// After a type name (and its template argument list), step over the
+/// ref/pointer/const decorations and any template closers to land on the
+/// declared identifier, if the shape is a declaration.
+std::size_t skip_decoration(const std::vector<Token>& toks, std::size_t i) {
+  while (i < toks.size()) {
+    const Token& t = toks[i];
+    if (is_punct(t, ">") || is_punct(t, ">>") || is_punct(t, "&") || is_punct(t, "*") ||
+        is_ident(t, "const")) {
+      ++i;
+      continue;
+    }
+    break;
+  }
+  return i;
+}
+
+bool decl_terminator(const Token& t) {
+  return is_punct(t, ";") || is_punct(t, "=") || is_punct(t, ",") || is_punct(t, ")") ||
+         is_punct(t, "{") || is_punct(t, "(") || is_punct(t, ":");
+}
+
+}  // namespace
+
+const std::set<std::string>& report_type_names() {
+  static const std::set<std::string> names = {"BenchReport", "FleetReport", "StageReport",
+                                              "FaultLedger", "DeploySummary", "LinkReport",
+                                              "LatencySummary"};
+  return names;
+}
+
+FileIndex index_file(LexedFile lx) {
+  FileIndex out;
+  out.lx = std::move(lx);
+  const std::vector<Token>& toks = out.lx.tokens;
+
+  // Annotations, straight off the comment stream.
+  for (const Comment& c : out.lx.comments) {
+    const std::string body = trim(c.text);
+    if (body.rfind("rng-stream:", 0) == 0) {
+      std::string rest = trim(body.substr(11));
+      const std::size_t sp = rest.find_first_of(" \t");
+      out.rng_streams.push_back(RngAnnotation{c.line, sp == std::string::npos
+                                                          ? rest
+                                                          : rest.substr(0, sp)});
+    } else if (body.rfind("det-sanctioned", 0) == 0) {
+      std::string reason;
+      bool malformed = true;
+      const std::size_t colon = body.find(':');
+      if (colon != std::string::npos) {
+        reason = trim(body.substr(colon + 1));
+        malformed = reason.empty();
+      }
+      out.sanctions.push_back(Sanction{c.line, reason, malformed});
+    }
+  }
+
+  // Declarations: coarse type tags for unordered containers, floats and
+  // report types. A nested `vector<unordered_set<...>>` tags the outer
+  // variable — order still leaks through element iteration.
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent) continue;
+    const std::string& name = toks[i].text;
+    TypeTag tag = TypeTag::kNone;
+    if (kUnorderedNames.count(name) != 0) {
+      tag = TypeTag::kUnordered;
+    } else if (kFloatNames.count(name) != 0) {
+      tag = TypeTag::kFloat;
+    } else if (report_type_names().count(name) != 0) {
+      if (i > 0 && (is_ident(toks[i - 1], "class") || is_ident(toks[i - 1], "struct"))) continue;
+      tag = TypeTag::kReport;
+    }
+    if (tag == TypeTag::kNone) continue;
+    std::size_t j = i + 1;
+    if (j < toks.size() && is_punct(toks[j], "<")) j = skip_group(toks, j);
+    j = skip_decoration(toks, j);
+    if (j + 1 >= toks.size() || toks[j].kind != Tok::kIdent) continue;
+    if (decl_terminator(toks[j + 1])) {
+      VarDecl decl{tag, tag == TypeTag::kReport ? name : "", toks[j].line};
+      if (is_punct(toks[j + 1], "(")) {
+        // `T name(...)` — a function returning T (or a paren-init variable;
+        // either way, iterating its result iterates a T).
+        out.returns[toks[j].text] = decl;
+      } else {
+        out.vars[toks[j].text] = decl;
+        if (tag == TypeTag::kUnordered) out.unordered_decl_lines.push_back(toks[j].line);
+      }
+    }
+  }
+
+  // Functions. One linear scan; recorded bodies are skipped whole so nested
+  // constructs (lambdas, local classes) attribute to the enclosing function.
+  struct ClassScope {
+    std::string name;
+    int depth = 0;
+  };
+  std::vector<ClassScope> classes;
+  int depth = 0;
+  std::size_t i = 0;
+  while (i < toks.size()) {
+    const Token& t = toks[i];
+    if (is_punct(t, "{")) {
+      ++depth;
+      ++i;
+      continue;
+    }
+    if (is_punct(t, "}")) {
+      --depth;
+      while (!classes.empty() && classes.back().depth > depth) classes.pop_back();
+      ++i;
+      continue;
+    }
+    if ((is_ident(t, "class") || is_ident(t, "struct")) && i + 1 < toks.size() &&
+        toks[i + 1].kind == Tok::kIdent) {
+      const bool enum_class = i > 0 && is_ident(toks[i - 1], "enum");
+      const bool template_param =
+          i > 0 && (is_punct(toks[i - 1], "<") || is_punct(toks[i - 1], ","));
+      if (!enum_class && !template_param) {
+        // Scan past the base clause for the class body '{' (or ';' fwd decl).
+        std::size_t j = i + 2;
+        while (j < toks.size() && !is_punct(toks[j], "{") && !is_punct(toks[j], ";")) {
+          if (is_punct(toks[j], "<") || is_punct(toks[j], "(")) {
+            j = skip_group(toks, j);
+            continue;
+          }
+          ++j;
+        }
+        if (j < toks.size() && is_punct(toks[j], "{")) {
+          classes.push_back(ClassScope{toks[i + 1].text, depth + 1});
+        }
+      }
+      ++i;
+      continue;
+    }
+
+    // Candidate function head: identifier immediately followed by '('.
+    if (t.kind == Tok::kIdent && !is_control_keyword(t.text) && i + 1 < toks.size() &&
+        is_punct(toks[i + 1], "(") &&
+        !(i > 0 && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->")))) {
+      const std::size_t after_params = skip_group(toks, i + 1);
+      std::size_t j = after_params;
+      bool saw_colon = false;
+      std::size_t body = 0;
+      for (int steps = 0; j < toks.size() && steps < 200; ++steps) {
+        const Token& p = toks[j];
+        if (is_punct(p, ";") || is_punct(p, "=")) break;  // declaration / = default
+        if (is_punct(p, "(")) {
+          j = skip_group(toks, j);
+          continue;
+        }
+        if (is_punct(p, "{")) {
+          // In a ctor-init list, `member{...}` braces belong to an
+          // initializer when they follow the member's identifier.
+          if (saw_colon && j > 0 && toks[j - 1].kind == Tok::kIdent &&
+              kPostQualifiers.count(toks[j - 1].text) == 0) {
+            j = skip_group(toks, j);
+            continue;
+          }
+          body = j;
+          break;
+        }
+        if (is_punct(p, ":")) saw_colon = true;
+        ++j;
+      }
+      if (body != 0) {
+        Function fn;
+        fn.name = t.text;
+        fn.line = t.line;
+        fn.head = i;
+        fn.body_begin = body;
+        fn.body_end = skip_group(toks, body) - 1;
+        if (i >= 2 && is_punct(toks[i - 1], "::") && toks[i - 2].kind == Tok::kIdent) {
+          fn.klass = toks[i - 2].text;
+        } else if (!classes.empty()) {
+          fn.klass = classes.back().name;
+        }
+        for (std::size_t k = fn.body_begin + 1; k < fn.body_end && k + 1 < toks.size(); ++k) {
+          if (toks[k].kind == Tok::kIdent && !is_control_keyword(toks[k].text) &&
+              is_punct(toks[k + 1], "(")) {
+            fn.calls.push_back(CallSite{toks[k].text, toks[k].line});
+          }
+        }
+        out.functions.push_back(std::move(fn));
+        i = out.functions.back().body_end + 1;  // bodies are opaque to head scan
+        continue;
+      }
+    }
+    ++i;
+  }
+  return out;
+}
+
+void RepoIndex::build(const std::vector<std::pair<std::string, std::string>>& sources) {
+  files_.reserve(sources.size());
+  for (const auto& [path, content] : sources) {
+    by_path_[path] = static_cast<int>(files_.size());
+    files_.push_back(index_file(lex_file(path, content)));
+  }
+  for (int id = 0; id < static_cast<int>(files_.size()); ++id) {
+    for (std::size_t f = 0; f < files_[id].functions.size(); ++f) {
+      by_name_[files_[id].functions[f].name].push_back({id, static_cast<int>(f)});
+    }
+  }
+  // Cycle-tolerant BFS include closures.
+  closures_.resize(files_.size());
+  for (int id = 0; id < static_cast<int>(files_.size()); ++id) {
+    std::set<int> seen{id};
+    std::deque<int> queue{id};
+    while (!queue.empty()) {
+      const int cur = queue.front();
+      queue.pop_front();
+      closures_[id].push_back(cur);
+      for (const std::string& inc : files_[cur].lx.includes) {
+        const int dep = resolve_include(cur, inc);
+        if (dep >= 0 && seen.insert(dep).second) queue.push_back(dep);
+      }
+    }
+  }
+}
+
+int RepoIndex::resolve_include(int from, const std::string& inc) const {
+  const std::string& path = files_[from].lx.path;
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "" : path.substr(0, slash + 1);
+  for (const std::string& candidate : {dir + inc, "src/" + inc, inc}) {
+    const auto it = by_path_.find(candidate);
+    if (it != by_path_.end()) return it->second;
+  }
+  return -1;
+}
+
+VarDecl RepoIndex::lookup_var(int file_id, const std::string& name) const {
+  for (int id : closures_[file_id]) {
+    const auto it = files_[id].vars.find(name);
+    if (it != files_[id].vars.end()) return it->second;
+  }
+  return VarDecl{};
+}
+
+VarDecl RepoIndex::lookup_return(int file_id, const std::string& name) const {
+  for (int id : closures_[file_id]) {
+    const auto it = files_[id].returns.find(name);
+    if (it != files_[id].returns.end()) return it->second;
+  }
+  return VarDecl{};
+}
+
+const std::vector<std::pair<int, int>>& RepoIndex::functions_named(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? empty_ : it->second;
+}
+
+const Sanction* RepoIndex::sanction_for(int file_id, int line) const {
+  for (const Sanction& s : files_[file_id].sanctions) {
+    if (!s.malformed && (s.line == line || s.line == line - 1)) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace detlint

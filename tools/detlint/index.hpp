@@ -1,0 +1,111 @@
+#pragma once
+
+// detlint index — per-file symbol/function extraction and the repo-wide
+// quoted-include graph + translation-unit closures the rules run over.
+//
+// The index is deliberately heuristic (no preprocessor, no template
+// instantiation): it tracks exactly the coarse facts the determinism rules
+// need — which names are unordered containers / floats / report types, where
+// functions begin and end, what each function calls, and which annotation
+// comments anchor to which line. Anything it cannot classify it leaves
+// untagged, and the rules treat untagged as "not proven nondeterministic".
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace detlint {
+
+struct CallSite {
+  std::string name;
+  int line = 0;
+};
+
+struct Function {
+  std::string name;   ///< unqualified name
+  std::string klass;  ///< qualifying or enclosing class name ("" if free)
+  int line = 0;
+  std::size_t head = 0;        ///< token index of the name
+  std::size_t body_begin = 0;  ///< token index of the opening '{'
+  std::size_t body_end = 0;    ///< token index of the matching '}'
+  std::vector<CallSite> calls;
+};
+
+/// `// rng-stream: <name> [free-form note]` annotation.
+struct RngAnnotation {
+  int line = 0;
+  std::string name;
+};
+
+/// `// det-sanctioned: <reason>` annotation. A sanction with an empty reason
+/// is recorded with malformed=true — it suppresses nothing and draws DET0.
+struct Sanction {
+  int line = 0;
+  std::string reason;
+  bool malformed = false;
+};
+
+/// Coarse type tags the rules dispatch on.
+enum class TypeTag { kNone, kUnordered, kFloat, kReport };
+
+struct VarDecl {
+  TypeTag tag = TypeTag::kNone;
+  std::string type_name;  ///< the concrete report type for kReport
+  int line = 0;
+};
+
+struct FileIndex {
+  LexedFile lx;
+  std::vector<Function> functions;
+  std::vector<RngAnnotation> rng_streams;
+  std::vector<Sanction> sanctions;
+  std::map<std::string, VarDecl> vars;       ///< declared names -> coarse tag
+  std::map<std::string, VarDecl> returns;    ///< function name -> return tag
+  std::vector<int> unordered_decl_lines;     ///< every unordered decl site
+};
+
+class RepoIndex {
+ public:
+  /// Index the given (path, content) pairs; paths are root-relative.
+  void build(const std::vector<std::pair<std::string, std::string>>& sources);
+
+  const std::vector<FileIndex>& files() const { return files_; }
+
+  /// Transitive quoted-include closure of file `id` (cycle-tolerant),
+  /// including the file itself.
+  const std::vector<int>& closure(int id) const { return closures_[id]; }
+
+  /// Look `name` up across the closure of `file_id`. Tagged declarations win
+  /// over untagged ones so a TU-wide search never loses the one decl that
+  /// matters.
+  VarDecl lookup_var(int file_id, const std::string& name) const;
+  VarDecl lookup_return(int file_id, const std::string& name) const;
+
+  /// All indexed functions named `name` as (file id, function index) pairs.
+  const std::vector<std::pair<int, int>>& functions_named(const std::string& name) const;
+
+  /// Sanction anchored at `line` or the line above (own-line comment form).
+  const Sanction* sanction_for(int file_id, int line) const;
+
+ private:
+  int resolve_include(int from, const std::string& inc) const;
+
+  std::vector<FileIndex> files_;
+  std::map<std::string, int> by_path_;
+  std::vector<std::vector<int>> closures_;
+  std::map<std::string, std::vector<std::pair<int, int>>> by_name_;
+  std::vector<std::pair<int, int>> empty_;
+};
+
+/// Extract functions, declarations, calls and annotations from one lexed
+/// file. Exposed for the indexer and for unit-style fixtures.
+FileIndex index_file(LexedFile lx);
+
+/// Report types whose instances must stay a pure function of (config, seed).
+const std::set<std::string>& report_type_names();
+
+}  // namespace detlint

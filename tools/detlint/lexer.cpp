@@ -1,0 +1,200 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+#include <set>
+
+namespace detlint {
+
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+// Multi-character operators the rules care about. Longest-match first; any
+// other punctuation is emitted one character at a time.
+const char* const kMultiOps[] = {"::", "->", "+=", "-=", "*=", "/=", "==", "!=",
+                                 "<=", ">=", "&&", "||", "<<", ">>", "++", "--"};
+
+void push_comment_lines(LexedFile& out, int line, const std::string& body) {
+  // Split a (possibly multi-line) comment body into per-line Comment records.
+  std::size_t start = 0;
+  int l = line;
+  while (start <= body.size()) {
+    const std::size_t nl = body.find('\n', start);
+    const std::size_t end = nl == std::string::npos ? body.size() : nl;
+    out.comments.push_back(Comment{l, body.substr(start, end - start)});
+    if (nl == std::string::npos) break;
+    start = nl + 1;
+    ++l;
+  }
+}
+
+}  // namespace
+
+bool is_control_keyword(const std::string& ident) {
+  static const std::set<std::string> kw = {"if", "for", "while", "switch", "catch", "return",
+                                           "sizeof", "throw", "new", "delete", "alignof",
+                                           "decltype", "static_assert", "noexcept"};
+  return kw.count(ident) != 0;
+}
+
+LexedFile lex_file(const std::string& path, const std::string& content) {
+  LexedFile out;
+  out.path = path;
+  const std::size_t n = content.size();
+  std::size_t i = 0;
+  int line = 1;
+
+  auto advance_over = [&](std::size_t to) {
+    for (; i < to && i < n; ++i) {
+      if (content[i] == '\n') ++line;
+    }
+  };
+
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: record quoted includes, swallow the rest of the
+    // (continuation-extended) line. Directives never reach the token stream.
+    if (c == '#') {
+      const int start_line = line;
+      std::size_t j = i + 1;
+      while (j < n && (content[j] == ' ' || content[j] == '\t')) ++j;
+      std::size_t k = j;
+      while (k < n && ident_char(content[k])) ++k;
+      const std::string directive = content.substr(j, k - j);
+      // Find the directive end, honoring backslash continuations.
+      std::size_t end = i;
+      while (end < n) {
+        if (content[end] == '\n' && (end == 0 || content[end - 1] != '\\')) break;
+        ++end;
+      }
+      if (directive == "include") {
+        std::size_t q = k;
+        while (q < end && content[q] != '"' && content[q] != '<') ++q;
+        if (q < end && content[q] == '"') {
+          const std::size_t close = content.find('"', q + 1);
+          if (close != std::string::npos && close < end) {
+            out.includes.push_back(content.substr(q + 1, close - q - 1));
+            out.include_lines.push_back(start_line);
+          }
+        }
+      }
+      advance_over(end);
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      std::size_t end = content.find('\n', i);
+      if (end == std::string::npos) end = n;
+      out.comments.push_back(Comment{line, content.substr(i + 2, end - i - 2)});
+      i = end;
+      continue;
+    }
+
+    // Block comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      std::size_t end = content.find("*/", i + 2);
+      const std::size_t body_end = end == std::string::npos ? n : end;
+      push_comment_lines(out, line, content.substr(i + 2, body_end - i - 2));
+      advance_over(end == std::string::npos ? n : end + 2);
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim" (with optional prefixes).
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+      std::size_t d = i + 2;
+      while (d < n && content[d] != '(' && content[d] != '\n') ++d;
+      if (d < n && content[d] == '(') {
+        const std::string delim = ")" + content.substr(i + 2, d - i - 2) + "\"";
+        std::size_t end = content.find(delim, d + 1);
+        const std::size_t body_end = end == std::string::npos ? n : end;
+        const std::size_t close = end == std::string::npos ? n : end + delim.size();
+        out.tokens.push_back(Token{Tok::kString, content.substr(d + 1, body_end - d - 1), line});
+        advance_over(close);
+        continue;
+      }
+    }
+
+    // Ordinary string / char literal (handles \" and \\ escapes).
+    if (c == '"' || c == '\'') {
+      const int start_line = line;
+      std::size_t j = i + 1;
+      while (j < n) {
+        if (content[j] == '\\') {
+          j += 2;
+          continue;
+        }
+        if (content[j] == c) break;
+        if (content[j] == '\n') break;  // unterminated: close at EOL
+        ++j;
+      }
+      const std::size_t close = j < n ? j + 1 : n;
+      out.tokens.push_back(Token{c == '"' ? Tok::kString : Tok::kChar,
+                                 content.substr(i + 1, (j < n ? j : n) - i - 1), start_line});
+      advance_over(close);
+      continue;
+    }
+
+    // Identifier / keyword (also catches string-literal prefixes like u8"...":
+    // the prefix lexes as an identifier, the literal as a string — harmless).
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(content[j])) ++j;
+      out.tokens.push_back(Token{Tok::kIdent, content.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+
+    // Number: digits plus the usual literal alphabet (hex, exponents, digit
+    // separators, suffixes). Sign characters only after an exponent marker.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(content[i + 1])))) {
+      std::size_t j = i;
+      while (j < n) {
+        const char d = content[j];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++j;
+          continue;
+        }
+        if ((d == '+' || d == '-') && j > i) {
+          const char prev = content[j - 1];
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            ++j;
+            continue;
+          }
+        }
+        break;
+      }
+      out.tokens.push_back(Token{Tok::kNumber, content.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+
+    // Punctuation: longest known multi-char operator wins.
+    std::string op(1, c);
+    for (const char* multi : kMultiOps) {
+      const std::size_t len = std::char_traits<char>::length(multi);
+      if (content.compare(i, len, multi) == 0) {
+        op = multi;
+        break;
+      }
+    }
+    out.tokens.push_back(Token{Tok::kPunct, op, line});
+    i += op.size();
+  }
+  return out;
+}
+
+}  // namespace detlint

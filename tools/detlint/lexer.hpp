@@ -1,0 +1,55 @@
+#pragma once
+
+// detlint — a real C++ lexer (comments, strings, raw strings, char literals,
+// preprocessor lines all handled correctly, unlike the regex rules in
+// tools/lint_invariants.py). Produces a token stream plus a separate comment
+// stream: the rules read code structure from the tokens and annotations
+// (`// det-sanctioned: ...`, `// rng-stream: ...`) from the comments, so an
+// annotation inside a string literal can never sanction anything.
+
+#include <string>
+#include <vector>
+
+namespace detlint {
+
+enum class Tok {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals (integer/float, any base/suffix)
+  kString,  // "..." and R"delim(...)delim" (text excludes the quotes)
+  kChar,    // '...'
+  kPunct,   // operators and punctuation, multi-char ops kept together
+};
+
+struct Token {
+  Tok kind = Tok::kPunct;
+  std::string text;
+  int line = 0;
+};
+
+/// One // or /* */ comment; text is the body without the comment markers,
+/// with a multi-line /* */ body contributing one Comment per line so
+/// line-anchored annotations stay line-accurate.
+struct Comment {
+  int line = 0;
+  std::string text;
+};
+
+/// A lexed translation-unit fragment (one source file).
+struct LexedFile {
+  std::string path;                   ///< as given to lex_file (repo-relative)
+  std::vector<Token> tokens;          ///< code tokens, comments stripped
+  std::vector<Comment> comments;      ///< comment bodies, line-anchored
+  std::vector<std::string> includes;  ///< quoted-include operands, in order
+  std::vector<int> include_lines;     ///< matching 1-based line numbers
+};
+
+/// Lex `content`. Never throws on malformed input: an unterminated literal or
+/// comment is closed at end-of-file (detlint must tolerate any source the
+/// compiler itself would reject, since it runs pre-build).
+LexedFile lex_file(const std::string& path, const std::string& content);
+
+/// True for C++ keywords that can precede `(` without being a call or a
+/// function definition head (if/for/while/switch/catch/return/sizeof/...).
+bool is_control_keyword(const std::string& ident);
+
+}  // namespace detlint

@@ -1,0 +1,189 @@
+// detlint — flow-aware determinism & invariant analyzer for the fleet runtime.
+//
+// Usage:
+//   detlint [--root DIR] [--json] [--explain]
+//           [--rng-manifest FILE] [--update-rng-manifest]
+//
+// Scans DIR/src, DIR/bench and DIR/examples (root-relative, sorted order) and
+// prints `file:line: DET<n> <message>` diagnostics. Exit codes: 0 clean,
+// 1 findings, 2 usage or I/O error.
+
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "index.hpp"
+#include "lexer.hpp"
+#include "rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool is_source_file(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Manifest line format: `<context> <name> <name> ...` — context keys never
+/// contain spaces. '#' lines and blank lines are ignored.
+bool load_manifest(const fs::path& path, std::map<std::string, std::vector<std::string>>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string context;
+    ss >> context;
+    std::vector<std::string> names;
+    std::string name;
+    while (ss >> name) names.push_back(name);
+    if (!context.empty()) (*out)[context] = std::move(names);
+  }
+  return true;
+}
+
+int write_manifest(const fs::path& path,
+                   const std::map<std::string, std::vector<std::string>>& streams) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "detlint: cannot write manifest " << path << "\n";
+    return 2;
+  }
+  out << "# detlint rng-stream manifest — pins the append-only order of named Rng\n"
+         "# streams per run-path. Regenerate (after review!) with:\n"
+         "#   detlint --update-rng-manifest\n";
+  for (const auto& [ctx, names] : streams) {
+    out << ctx;
+    for (const std::string& n : names) out << ' ' << n;
+    out << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  fs::path manifest_path;
+  bool as_json = false;
+  bool update_manifest = false;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--explain") {
+      std::cout << detlint::rule_explanations();
+      return 0;
+    } else if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--update-rng-manifest") {
+      update_manifest = true;
+    } else if (arg == "--root" && a + 1 < argc) {
+      root = argv[++a];
+    } else if (arg == "--rng-manifest" && a + 1 < argc) {
+      manifest_path = argv[++a];
+    } else {
+      std::cerr << "detlint: unknown argument '" << arg << "'\n"
+                << "usage: detlint [--root DIR] [--json] [--explain]\n"
+                << "               [--rng-manifest FILE] [--update-rng-manifest]\n";
+      return 2;
+    }
+  }
+  if (!fs::is_directory(root)) {
+    std::cerr << "detlint: root '" << root.string() << "' is not a directory\n";
+    return 2;
+  }
+  if (manifest_path.empty()) {
+    const fs::path standard = root / "tools" / "detlint" / "rng_streams.txt";
+    if (update_manifest || fs::exists(standard)) manifest_path = standard;
+  }
+
+  // Collect sources in sorted root-relative order so runs are byte-stable.
+  std::vector<std::string> paths;
+  for (const char* top : {"src", "bench", "examples"}) {
+    const fs::path dir = root / top;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (entry.is_regular_file() && is_source_file(entry.path())) {
+        paths.push_back(fs::relative(entry.path(), root).generic_string());
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<std::pair<std::string, std::string>> sources;
+  sources.reserve(paths.size());
+  for (const std::string& p : paths) sources.emplace_back(p, slurp(root / p));
+
+  detlint::RepoIndex idx;
+  idx.build(sources);
+
+  if (update_manifest) {
+    return write_manifest(manifest_path, detlint::collect_rng_streams(idx));
+  }
+
+  detlint::RuleOptions opt;
+  if (!manifest_path.empty() && fs::exists(manifest_path)) {
+    opt.have_manifest = load_manifest(manifest_path, &opt.rng_manifest);
+  }
+
+  const std::vector<detlint::Diagnostic> diags = detlint::run_rules(idx, opt);
+
+  if (as_json) {
+    std::cout << "{\n  \"tool\": \"detlint\",\n  \"findings\": [";
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+      const detlint::Diagnostic& d = diags[i];
+      std::cout << (i == 0 ? "\n" : ",\n")
+                << "    {\"file\": \"" << json_escape(d.file) << "\", \"line\": " << d.line
+                << ", \"rule\": \"DET" << d.rule << "\", \"message\": \""
+                << json_escape(d.message) << "\"}";
+    }
+    std::cout << (diags.empty() ? "" : "\n  ") << "],\n  \"count\": " << diags.size()
+              << "\n}\n";
+  } else {
+    for (const detlint::Diagnostic& d : diags) {
+      std::cout << d.file << ":" << d.line << ": DET" << d.rule << " " << d.message << "\n";
+    }
+    if (!diags.empty()) {
+      std::cerr << "detlint: " << diags.size() << " finding" << (diags.size() == 1 ? "" : "s")
+                << " (run with --explain for rule documentation)\n";
+    }
+  }
+  return diags.empty() ? 0 : 1;
+}

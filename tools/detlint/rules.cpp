@@ -1,0 +1,661 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <set>
+
+namespace detlint {
+
+namespace {
+
+bool is_punct(const Token& t, const char* s) { return t.kind == Tok::kPunct && t.text == s; }
+bool is_ident(const Token& t, const char* s) { return t.kind == Tok::kIdent && t.text == s; }
+
+bool starts_with(const std::string& s, const char* prefix) { return s.rfind(prefix, 0) == 0; }
+bool in_src(const std::string& path) { return starts_with(path, "src/"); }
+bool is_rng_impl(const std::string& path) {
+  return path == "src/util/rng.hpp" || path == "src/util/rng.cpp";
+}
+
+std::size_t skip_group_fwd(const std::vector<Token>& toks, std::size_t open);
+
+/// Token index just past the balanced group opened at `open` ('(', '{', '[').
+std::size_t skip_group_fwd(const std::vector<Token>& toks, std::size_t open) {
+  const std::string& o = toks[open].text;
+  const std::string close = o == "(" ? ")" : o == "{" ? "}" : "]";
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kPunct) continue;
+    if (toks[i].text == o) ++depth;
+    if (toks[i].text == close && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+/// One parsed `lhs = rhs;` / `lhs += rhs;` inside a function body.
+struct Assignment {
+  std::vector<std::string> chain;  ///< lhs as a.b.c (through . and ->)
+  int line = 0;                    ///< line of the assignment operator
+  std::size_t rhs_begin = 0;
+  std::size_t rhs_end = 0;  ///< exclusive, the terminating ';'
+  bool compound = false;    ///< '+=' rather than '='
+};
+
+std::vector<Assignment> find_assignments(const std::vector<Token>& toks, std::size_t begin,
+                                         std::size_t end) {
+  std::vector<Assignment> out;
+  std::size_t i = begin;
+  while (i < end) {
+    if (toks[i].kind != Tok::kIdent) {
+      ++i;
+      continue;
+    }
+    std::vector<std::string> chain{toks[i].text};
+    std::size_t j = i + 1;
+    while (j + 1 < end && (is_punct(toks[j], ".") || is_punct(toks[j], "->")) &&
+           toks[j + 1].kind == Tok::kIdent) {
+      chain.push_back(toks[j + 1].text);
+      j += 2;
+    }
+    if (j < end && (is_punct(toks[j], "=") || is_punct(toks[j], "+="))) {
+      Assignment a;
+      a.chain = std::move(chain);
+      a.line = toks[j].line;
+      a.compound = toks[j].text == "+=";
+      a.rhs_begin = j + 1;
+      int depth = 0;
+      std::size_t k = j + 1;
+      for (; k < end; ++k) {
+        const Token& t = toks[k];
+        if (is_punct(t, "(") || is_punct(t, "{") || is_punct(t, "[")) ++depth;
+        if (is_punct(t, ")") || is_punct(t, "}") || is_punct(t, "]")) --depth;
+        if (depth <= 0 && (is_punct(t, ";") || is_punct(t, ","))) break;
+        if (depth < 0) break;
+      }
+      a.rhs_end = k;
+      out.push_back(std::move(a));
+      i = k;
+      continue;
+    }
+    i = j;
+  }
+  return out;
+}
+
+/// Ctor-initializer entries `member(expr)` / `member{expr}` of a function
+/// whose head looks like a constructor.
+struct CtorInit {
+  std::string member;
+  int line = 0;
+  std::size_t expr_begin = 0;
+  std::size_t expr_end = 0;
+};
+
+std::vector<CtorInit> find_ctor_inits(const std::vector<Token>& toks, const Function& fn) {
+  std::vector<CtorInit> out;
+  if (fn.head + 1 >= toks.size() || !is_punct(toks[fn.head + 1], "(")) return out;
+  std::size_t i = skip_group_fwd(toks, fn.head + 1);
+  bool in_list = false;
+  while (i < fn.body_begin && i < toks.size()) {
+    if (is_punct(toks[i], ":")) in_list = true;
+    if (in_list && toks[i].kind == Tok::kIdent && i + 1 < toks.size() &&
+        (is_punct(toks[i + 1], "(") || is_punct(toks[i + 1], "{"))) {
+      const std::size_t close = skip_group_fwd(toks, i + 1);
+      out.push_back(CtorInit{toks[i].text, toks[i].line, i + 2, close - 1});
+      i = close;
+      continue;
+    }
+    ++i;
+  }
+  return out;
+}
+
+/// Expression classifier for D3: does [begin, end) mention the clock?
+bool expr_tainted(const std::vector<Token>& toks, std::size_t begin, std::size_t end,
+                  const std::set<std::string>& clock_fns, const std::set<std::string>& vars,
+                  const std::set<std::string>& members) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (toks[i].kind != Tok::kIdent) continue;
+    const std::string& name = toks[i].text;
+    if (i + 1 < end && is_punct(toks[i + 1], "(") && clock_fns.count(name) != 0) return true;
+    if (vars.count(name) != 0 || members.count(name) != 0) return true;
+  }
+  return false;
+}
+
+bool expr_deterministic_guarded(const std::vector<Token>& toks, std::size_t begin,
+                                std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (toks[i].kind == Tok::kIdent &&
+        toks[i].text.find("deterministic") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The symbol a range-for's range expression iterates: callee name for
+/// `f(...)`, base for `x[i]`, otherwise the last identifier.
+struct RangeBase {
+  std::string name;
+  bool is_call = false;
+};
+
+RangeBase range_base(const std::vector<Token>& toks, std::size_t begin, std::size_t end) {
+  RangeBase out;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (is_punct(toks[i], "(") && i > begin && toks[i - 1].kind == Tok::kIdent) {
+      return RangeBase{toks[i - 1].text, true};
+    }
+    if (is_punct(toks[i], "[") && i > begin && toks[i - 1].kind == Tok::kIdent) {
+      return RangeBase{toks[i - 1].text, false};
+    }
+  }
+  for (std::size_t i = end; i > begin; --i) {
+    if (toks[i - 1].kind == Tok::kIdent) return RangeBase{toks[i - 1].text, false};
+  }
+  return out;
+}
+
+struct Engine {
+  const RepoIndex& idx;
+  const RuleOptions& opt;
+  std::vector<Diagnostic> diags;
+
+  // D1 reachability: function key -> name of the emission sink it reaches.
+  std::map<const Function*, std::string> reaches_emission;
+  // D3 fixpoint state.
+  std::set<std::string> clock_fns{"now_us", "unix_time_ms"};
+  std::map<int, std::set<std::string>> tainted_members;  // file id -> names
+
+  explicit Engine(const RepoIndex& repo, const RuleOptions& options)
+      : idx(repo), opt(options) {}
+
+  void emit(int file_id, int line, int rule, std::string message) {
+    if (idx.sanction_for(file_id, line) != nullptr) return;
+    diags.push_back(Diagnostic{idx.files()[file_id].lx.path, line, rule, std::move(message)});
+  }
+
+  const Function* enclosing(int file_id, std::size_t token_idx) const {
+    for (const Function& fn : idx.files()[file_id].functions) {
+      if (token_idx > fn.body_begin && token_idx < fn.body_end) return &fn;
+    }
+    return nullptr;
+  }
+
+  std::set<std::string> tu_members(int file_id) const {
+    std::set<std::string> out;
+    for (int id : idx.closure(file_id)) {
+      const auto it = tainted_members.find(id);
+      if (it != tainted_members.end()) out.insert(it->second.begin(), it->second.end());
+    }
+    return out;
+  }
+
+  // ---- emission reachability (D1) -------------------------------------
+
+  bool is_sink(int file_id, const Function& fn) const {
+    if (fn.name == "to_json" || fn.name == "write_json") return true;
+    for (const CallSite& c : fn.calls) {
+      if (c.name == "json_escape" || c.name == "json_number") return true;
+    }
+    const std::vector<Token>& toks = idx.files()[file_id].lx.tokens;
+    for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+      if (is_ident(toks[i], "log_")) return true;  // scheduler event log
+    }
+    for (const Assignment& a :
+         find_assignments(toks, fn.body_begin + 1, fn.body_end)) {
+      if (a.chain.size() >= 2 &&
+          idx.lookup_var(file_id, a.chain.front()).tag == TypeTag::kReport) {
+        return true;
+      }
+      if (a.chain.size() == 1 && report_type_names().count(fn.klass) != 0) return true;
+    }
+    return false;
+  }
+
+  void compute_reachability() {
+    // name -> caller functions, for reverse BFS from the sinks.
+    std::map<std::string, std::vector<const Function*>> callers;
+    std::deque<const Function*> queue;
+    for (int id = 0; id < static_cast<int>(idx.files().size()); ++id) {
+      for (const Function& fn : idx.files()[id].functions) {
+        std::set<std::string> seen;
+        for (const CallSite& c : fn.calls) {
+          if (seen.insert(c.name).second) callers[c.name].push_back(&fn);
+        }
+        if (is_sink(id, fn)) {
+          reaches_emission[&fn] = fn.name;
+          queue.push_back(&fn);
+        }
+      }
+    }
+    while (!queue.empty()) {
+      const Function* fn = queue.front();
+      queue.pop_front();
+      const auto it = callers.find(fn->name);
+      if (it == callers.end()) continue;
+      for (const Function* caller : it->second) {
+        if (reaches_emission.emplace(caller, reaches_emission[fn]).second) {
+          queue.push_back(caller);
+        }
+      }
+    }
+  }
+
+  // ---- D1 + D4 ---------------------------------------------------------
+
+  void check_unordered(int file_id) {
+    const FileIndex& file = idx.files()[file_id];
+    const std::vector<Token>& toks = file.lx.tokens;
+
+    // Declaration discipline: an unordered container declared under src/
+    // must carry a det-sanctioned reason why its order cannot leak.
+    if (in_src(file.lx.path)) {
+      for (int line : file.unordered_decl_lines) {
+        emit(file_id, line, 1,
+             "unordered container declaration — iteration order is hash/pointer-dependent; "
+             "use an ordered container or annotate `// det-sanctioned: <why order cannot "
+             "leak>`");
+      }
+    }
+
+    for (const Function& fn : file.functions) {
+      const auto reach = reaches_emission.find(&fn);
+      for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+        // Iterator-style: x.begin() / x.cbegin() on an unordered symbol.
+        if ((is_ident(toks[i], "begin") || is_ident(toks[i], "cbegin")) && i >= 2 &&
+            (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->")) &&
+            toks[i - 2].kind == Tok::kIdent && reach != reaches_emission.end() &&
+            idx.lookup_var(file_id, toks[i - 2].text).tag == TypeTag::kUnordered) {
+          emit(file_id, toks[i].line, 1,
+               "iteration over unordered container '" + toks[i - 2].text + "' in '" +
+                   fn.name + "' reaches report/event-log emission (via '" + reach->second +
+                   "') — iterate a sorted copy or a stable index instead");
+        }
+        if (!is_ident(toks[i], "for") || i + 1 >= fn.body_end || !is_punct(toks[i + 1], "(")) {
+          continue;
+        }
+        const std::size_t close = skip_group_fwd(toks, i + 1) - 1;
+        std::size_t colon = 0;
+        int depth = 0;
+        for (std::size_t j = i + 1; j < close; ++j) {
+          if (is_punct(toks[j], "(") || is_punct(toks[j], "{") || is_punct(toks[j], "[")) {
+            ++depth;
+          }
+          if (is_punct(toks[j], ")") || is_punct(toks[j], "}") || is_punct(toks[j], "]")) {
+            --depth;
+          }
+          if (depth == 1 && is_punct(toks[j], ":")) {
+            colon = j;
+            break;
+          }
+        }
+        if (colon == 0) continue;
+        const RangeBase base = range_base(toks, colon + 1, close);
+        if (base.name.empty()) continue;
+        const VarDecl decl = base.is_call ? idx.lookup_return(file_id, base.name)
+                                          : idx.lookup_var(file_id, base.name);
+        if (decl.tag != TypeTag::kUnordered) continue;
+
+        if (reach != reaches_emission.end()) {
+          emit(file_id, toks[i].line, 1,
+               "iteration over unordered container '" + base.name + "' in '" + fn.name +
+                   "' reaches report/event-log emission (via '" + reach->second +
+                   "') — iterate a sorted copy or a stable index instead");
+        }
+
+        // D4: float accumulation inside this loop body.
+        std::size_t body_begin = close + 1;
+        std::size_t body_end = body_begin;
+        if (body_begin < fn.body_end && is_punct(toks[body_begin], "{")) {
+          body_end = skip_group_fwd(toks, body_begin);
+        } else {
+          while (body_end < fn.body_end && !is_punct(toks[body_end], ";")) ++body_end;
+        }
+        for (std::size_t j = body_begin; j < body_end; ++j) {
+          if (toks[j].kind == Tok::kIdent && j + 1 < body_end && is_punct(toks[j + 1], "+=") &&
+              idx.lookup_var(file_id, toks[j].text).tag == TypeTag::kFloat) {
+            emit(file_id, toks[j].line, 4,
+                 "float accumulation '" + toks[j].text + " +=' inside iteration over "
+                 "unordered container '" + base.name +
+                 "' — reduction order is nondeterministic; accumulate over a sorted order");
+          }
+        }
+      }
+    }
+  }
+
+  // ---- D2 --------------------------------------------------------------
+
+  struct RngSite {
+    int line = 0;
+    std::size_t token = 0;
+  };
+
+  static std::string context_name(const Function* fn) {
+    if (fn == nullptr) return "<decls>";
+    return fn->klass.empty() ? fn->name : fn->klass + "::" + fn->name;
+  }
+
+  std::vector<RngSite> rng_sites(int file_id) const {
+    const std::vector<Token>& toks = idx.files()[file_id].lx.tokens;
+    std::vector<RngSite> sites;
+    std::set<int> lines;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      bool site = false;
+      std::size_t at = i;
+      if (is_ident(toks[i], "Rng") && i + 1 < toks.size() && toks[i + 1].kind == Tok::kIdent) {
+        const bool qualified_use =
+            i > 0 && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"));
+        const bool type_intro = i > 0 && (is_ident(toks[i - 1], "class") ||
+                                          is_ident(toks[i - 1], "struct") ||
+                                          is_ident(toks[i - 1], "explicit"));
+        if (!qualified_use && !type_intro && i + 2 < toks.size()) {
+          const Token& after = toks[i + 2];
+          if (is_punct(after, "{") || is_punct(after, ";") || is_punct(after, "=")) {
+            site = true;
+            at = i + 1;
+          } else if (is_punct(after, "(") && i + 3 < toks.size() && !is_punct(toks[i + 3], ")")) {
+            site = true;  // paren construction with arguments (not a fn decl)
+            at = i + 1;
+          }
+        }
+      }
+      if (!site && is_ident(toks[i], "split") && i > 0 &&
+          (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->")) && i + 2 < toks.size() &&
+          is_punct(toks[i + 1], "(") && is_punct(toks[i + 2], ")")) {
+        site = true;
+        at = i;
+      }
+      if (site && lines.insert(toks[at].line).second) {
+        sites.push_back(RngSite{toks[at].line, at});
+      }
+    }
+    return sites;
+  }
+
+  const RngAnnotation* annotation_for(int file_id, int line,
+                                      const std::set<int>& site_lines) const {
+    // Same-line annotation wins; the line above counts only as the own-line
+    // comment form — a previous site's trailing annotation is not reusable.
+    const RngAnnotation* above = nullptr;
+    for (const RngAnnotation& a : idx.files()[file_id].rng_streams) {
+      if (a.line == line) return &a;
+      if (a.line == line - 1 && site_lines.count(line - 1) == 0) above = &a;
+    }
+    return above;
+  }
+
+  void check_rng(int file_id, std::map<std::string, std::vector<std::string>>* streams,
+                 std::map<std::string, std::vector<int>>* stream_lines) {
+    const FileIndex& file = idx.files()[file_id];
+    if (is_rng_impl(file.lx.path)) return;
+    std::map<std::string, std::set<std::string>> seen_names;
+    const std::vector<RngSite> sites = rng_sites(file_id);
+    std::set<int> site_lines;
+    for (const RngSite& site : sites) site_lines.insert(site.line);
+    for (const RngSite& site : sites) {
+      const std::string ctx = file.lx.path + "::" + context_name(enclosing(file_id, site.token));
+      const RngAnnotation* ann = annotation_for(file_id, site.line, site_lines);
+      if (ann == nullptr || ann->name.empty()) {
+        emit(file_id, site.line, 2,
+             "Rng construction/fork without an ordered `// rng-stream: <name>` annotation — "
+             "every stream must be named so append-only stream order is checkable");
+        continue;
+      }
+      if (!seen_names[ctx].insert(ann->name).second) {
+        emit(file_id, site.line, 2,
+             "duplicate rng-stream name '" + ann->name + "' in '" + ctx +
+                 "' — stream names must be unique per run-path");
+        continue;
+      }
+      (*streams)[ctx].push_back(ann->name);
+      (*stream_lines)[ctx].push_back(site.line);
+    }
+  }
+
+  void check_rng_manifest(const std::map<std::string, std::vector<std::string>>& streams,
+                          const std::map<std::string, std::vector<int>>& stream_lines) {
+    if (!opt.have_manifest) return;
+    for (const auto& [ctx, pinned] : opt.rng_manifest) {
+      const std::string path = ctx.substr(0, ctx.find("::"));
+      int file_id = -1;
+      for (int id = 0; id < static_cast<int>(idx.files().size()); ++id) {
+        if (idx.files()[id].lx.path == path) file_id = id;
+      }
+      if (file_id < 0) continue;  // file gone: manifest refresh, not a lint error
+      const auto cur_it = streams.find(ctx);
+      const std::vector<std::string> empty_names;
+      const std::vector<std::string>& cur =
+          cur_it == streams.end() ? empty_names : cur_it->second;
+      const auto lines_it = stream_lines.find(ctx);
+      for (std::size_t i = 0; i < pinned.size(); ++i) {
+        if (i >= cur.size()) {
+          emit(file_id, 1, 2,
+               "rng-stream '" + pinned[i] + "' pinned in the manifest for '" + ctx +
+                   "' is gone — removing or reordering streams breaks seed compatibility");
+          break;
+        }
+        if (cur[i] != pinned[i]) {
+          emit(file_id, lines_it->second[i], 2,
+               "rng-stream order changed in '" + ctx + "': manifest pins '" + pinned[i] +
+                   "' at position " + std::to_string(i + 1) + ", found '" + cur[i] +
+                   "' — new streams must be appended after existing ones "
+                   "(detlint --update-rng-manifest after review)");
+          break;
+        }
+      }
+    }
+  }
+
+  // ---- D3 --------------------------------------------------------------
+
+  void taint_fixpoint() {
+    for (int round = 0; round < 5; ++round) {
+      bool changed = false;
+      for (int id = 0; id < static_cast<int>(idx.files().size()); ++id) {
+        const FileIndex& file = idx.files()[id];
+        const std::vector<Token>& toks = file.lx.tokens;
+        const std::set<std::string> members = tu_members(id);
+        for (const Function& fn : file.functions) {
+          std::set<std::string> vars;
+          for (const Assignment& a : find_assignments(toks, fn.body_begin + 1, fn.body_end)) {
+            if (!expr_tainted(toks, a.rhs_begin, a.rhs_end, clock_fns, vars, members)) continue;
+            if (a.chain.size() != 1) continue;
+            const std::string& name = a.chain.front();
+            if (!name.empty() && name.back() == '_') {
+              changed |= tainted_members[id].insert(name).second;
+            } else {
+              vars.insert(name);
+            }
+          }
+          for (const CtorInit& init : find_ctor_inits(toks, fn)) {
+            if (fn.name == fn.klass &&
+                expr_tainted(toks, init.expr_begin, init.expr_end, clock_fns, vars, members)) {
+              changed |= tainted_members[id].insert(init.member).second;
+            }
+          }
+          // A function whose return expression is clock-tainted becomes a
+          // clock source itself (elapsed_s, throughput, ...).
+          for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+            if (!is_ident(toks[i], "return")) continue;
+            std::size_t end = i;
+            while (end < fn.body_end && !is_punct(toks[end], ";")) ++end;
+            if (expr_tainted(toks, i + 1, end, clock_fns, vars, members)) {
+              changed |= clock_fns.insert(fn.name).second;
+            }
+          }
+        }
+      }
+      if (!changed) break;
+    }
+  }
+
+  void check_clock(int file_id) {
+    const FileIndex& file = idx.files()[file_id];
+    const std::vector<Token>& toks = file.lx.tokens;
+    const std::set<std::string> members = tu_members(file_id);
+
+    bool tu_deterministic = false;
+    for (const Function& fn : file.functions) {
+      for (const CallSite& c : fn.calls) {
+        if (c.name == "deterministic") tu_deterministic = true;
+      }
+    }
+
+    for (const Function& fn : file.functions) {
+      std::set<std::string> vars;
+      for (const Assignment& a : find_assignments(toks, fn.body_begin + 1, fn.body_end)) {
+        const bool tainted =
+            expr_tainted(toks, a.rhs_begin, a.rhs_end, clock_fns, vars, members);
+        if (!tainted) continue;
+        if (a.chain.size() == 1) {
+          const std::string& name = a.chain.front();
+          if (name.empty() || name.back() != '_') {
+            vars.insert(name);
+          } else if (report_type_names().count(fn.klass) != 0 &&
+                     !expr_deterministic_guarded(toks, a.rhs_begin, a.rhs_end)) {
+            emit(file_id, a.line, 3,
+                 "clock-derived value assigned to " + fn.klass + "::" + name +
+                     " without a deterministic-mode exclusion — gate on the deterministic "
+                     "flag or det-sanction with the exclusion that keeps artifacts "
+                     "byte-stable");
+          }
+          continue;
+        }
+        const VarDecl base = idx.lookup_var(file_id, a.chain.front());
+        if (base.tag == TypeTag::kReport &&
+            !expr_deterministic_guarded(toks, a.rhs_begin, a.rhs_end)) {
+          emit(file_id, a.line, 3,
+               "clock-derived value assigned to report field '" + a.chain.front() + "." +
+                   a.chain.back() + "' (" + base.type_name +
+                   ") without a deterministic-mode exclusion — measured time belongs in obs "
+                   "metrics, not in deterministic artifacts");
+        }
+      }
+      for (const CtorInit& init : find_ctor_inits(toks, fn)) {
+        if (fn.name == fn.klass && report_type_names().count(fn.klass) != 0 &&
+            expr_tainted(toks, init.expr_begin, init.expr_end, clock_fns, {}, members) &&
+            !expr_deterministic_guarded(toks, init.expr_begin, init.expr_end)) {
+          emit(file_id, init.line, 3,
+               "clock-derived value initializes " + fn.klass + "::" + init.member +
+                   " — det-sanction with the deterministic-mode exclusion that zeroes it");
+        }
+      }
+      // Deterministic-artifact TUs must not feed measured time into metrics.
+      if (!tu_deterministic) continue;
+      for (std::size_t i = fn.body_begin + 1; i + 1 < fn.body_end; ++i) {
+        if (!is_ident(toks[i], "metric") || !is_punct(toks[i + 1], "(")) continue;
+        if (i < 2 || (!is_punct(toks[i - 1], ".") && !is_punct(toks[i - 1], "->"))) continue;
+        if (idx.lookup_var(file_id, toks[i - 2].text).tag != TypeTag::kReport) continue;
+        const std::size_t close = skip_group_fwd(toks, i + 1);
+        if (expr_tainted(toks, i + 2, close - 1, clock_fns, {}, members) &&
+            !expr_deterministic_guarded(toks, i + 2, close - 1)) {
+          emit(file_id, toks[i].line, 3,
+               "clock-derived value recorded as a metric of a deterministic-mode report in '" +
+                   fn.name + "' — deterministic artifacts must exclude measured time");
+        }
+      }
+    }
+  }
+
+  // ---- DET0 ------------------------------------------------------------
+
+  void check_annotations(int file_id) {
+    for (const Sanction& s : idx.files()[file_id].sanctions) {
+      if (s.malformed) {
+        diags.push_back(Diagnostic{idx.files()[file_id].lx.path, s.line, 0,
+                                   "det-sanctioned annotation without a reason — write "
+                                   "`// det-sanctioned: <why this cannot break determinism>`"});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Diagnostic> run_rules(const RepoIndex& idx, const RuleOptions& opt) {
+  Engine engine(idx, opt);
+  engine.compute_reachability();
+  engine.taint_fixpoint();
+  std::map<std::string, std::vector<std::string>> streams;
+  std::map<std::string, std::vector<int>> stream_lines;
+  for (int id = 0; id < static_cast<int>(idx.files().size()); ++id) {
+    engine.check_annotations(id);
+    engine.check_unordered(id);
+    engine.check_rng(id, &streams, &stream_lines);
+    engine.check_clock(id);
+  }
+  engine.check_rng_manifest(streams, stream_lines);
+
+  std::sort(engine.diags.begin(), engine.diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  engine.diags.erase(std::unique(engine.diags.begin(), engine.diags.end(),
+                                 [](const Diagnostic& a, const Diagnostic& b) {
+                                   return a.file == b.file && a.line == b.line &&
+                                          a.rule == b.rule && a.message == b.message;
+                                 }),
+                     engine.diags.end());
+  return engine.diags;
+}
+
+std::map<std::string, std::vector<std::string>> collect_rng_streams(const RepoIndex& idx) {
+  RuleOptions opt;
+  Engine engine(idx, opt);
+  std::map<std::string, std::vector<std::string>> streams;
+  std::map<std::string, std::vector<int>> stream_lines;
+  for (int id = 0; id < static_cast<int>(idx.files().size()); ++id) {
+    engine.check_rng(id, &streams, &stream_lines);
+  }
+  return streams;
+}
+
+std::string rule_explanations() {
+  return
+      "detlint rules (suppress any finding with `// det-sanctioned: <reason>` on the same\n"
+      "line or the line above; the reason is mandatory):\n"
+      "\n"
+      "DET0  malformed annotation\n"
+      "      A det-sanctioned comment without `: <reason>` suppresses nothing and is\n"
+      "      itself a finding — suppressions must record why determinism is safe.\n"
+      "\n"
+      "DET1  unordered-container order leaking toward emission\n"
+      "      Iterating std::unordered_map/unordered_set visits elements in hash/pointer\n"
+      "      order, which varies across libstdc++ versions, ASLR and insertion history.\n"
+      "      detlint flags (a) any such iteration inside a function that can reach\n"
+      "      report/ledger/event-log/JSON emission through the call graph, and (b) any\n"
+      "      unordered-container declaration under src/ that does not carry a\n"
+      "      det-sanctioned reason why its order cannot leak (e.g. membership-only use).\n"
+      "      Fix: iterate a sorted copy or a stable index; sanction only when provably\n"
+      "      order-insensitive.\n"
+      "\n"
+      "DET2  Rng stream discipline\n"
+      "      Every iotml::Rng construction or .split() fork must carry an ordered\n"
+      "      `// rng-stream: <name>` annotation (same line or the line above). Stream\n"
+      "      names must be unique per run-path, and the manifest\n"
+      "      (tools/detlint/rng_streams.txt) pins the existing order: new streams may\n"
+      "      only be appended after existing ones, so old seeds keep drawing identical\n"
+      "      sequences. Regenerate after review with --update-rng-manifest.\n"
+      "\n"
+      "DET3  clock taint into report fields\n"
+      "      obs::now_us()/unix_time_ms() values (directly, via tainted locals/members,\n"
+      "      or via clock-returning helpers like elapsed_s) must not be assigned into\n"
+      "      BenchReport/FleetReport/StageReport/... fields unless the expression is\n"
+      "      excluded from deterministic mode (mentions the deterministic flag) or the\n"
+      "      line det-sanctions the exclusion that keeps artifacts byte-stable. In TUs\n"
+      "      that call .deterministic(), measured time must not enter metric() either.\n"
+      "\n"
+      "DET4  unordered float reduction\n"
+      "      float/double `+=` accumulation inside a loop over an unordered container\n"
+      "      makes the reduction order — and therefore the rounded sum — run-dependent.\n"
+      "      Accumulate over a sorted order (or an integer domain) instead.\n";
+}
+
+}  // namespace detlint

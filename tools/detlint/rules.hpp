@@ -1,0 +1,47 @@
+#pragma once
+
+// detlint rules — flow-aware determinism checks over the repo index.
+//
+//   DET0  malformed annotation (det-sanctioned without a reason)
+//   DET1  unordered-container order leaking toward report/JSON emission
+//   DET2  Rng stream discipline (annotation, uniqueness, append-only order)
+//   DET3  clock taint reaching report fields outside deterministic-mode
+//   DET4  float reduction inside unordered iteration
+//
+// A `// det-sanctioned: <reason>` comment on the finding's line (or the line
+// above) suppresses it; the reason is mandatory.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "index.hpp"
+
+namespace detlint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  int rule = 0;  // 0..4
+  std::string message;
+};
+
+struct RuleOptions {
+  /// rng-stream manifest: context key ("file::Class::function" or
+  /// "file::<decls>") -> pinned ordered stream names. Empty map = no
+  /// manifest loaded, append-only ordering not checked.
+  std::map<std::string, std::vector<std::string>> rng_manifest;
+  bool have_manifest = false;
+};
+
+/// Run every rule; returns diagnostics sorted by (file, line, rule, message)
+/// and deduplicated, so output is byte-stable for golden comparison.
+std::vector<Diagnostic> run_rules(const RepoIndex& idx, const RuleOptions& opt);
+
+/// Current ordered rng-stream names per context, for --update-rng-manifest.
+std::map<std::string, std::vector<std::string>> collect_rng_streams(const RepoIndex& idx);
+
+/// Human-oriented documentation of every rule (--explain).
+std::string rule_explanations();
+
+}  // namespace detlint

@@ -48,10 +48,21 @@ R8  transport-discipline  Direct Link transmit calls (`.transmit(` /
                           (ack/retry, backpressure, checksum accounting) is
                           applied in exactly one place. tests/ are exempt:
                           they exercise the Link primitive directly.
+R9  float-equality        Bare `==` / `!=` against a floating-point literal is
+                          forbidden in tests/ and bench/ — exact comparison is
+                          representation-fragile (a value recomputed through a
+                          different codepath or optimization level rounds
+                          differently). Compare with EXPECT_NEAR / an explicit
+                          std::abs tolerance, or restructure the check over
+                          integers (e.g. loop indices instead of the float
+                          values they select).
 
 Exit code 0 when clean; 1 with one line per violation otherwise.
 
-Usage: lint_invariants.py [--root REPO_ROOT]
+Usage: lint_invariants.py [--root REPO_ROOT] [--self-test]
+
+--self-test runs the built-in per-rule unit corpus (each rule exercised with
+one violating and one clean snippet in a temp tree) and exits 0/1.
 """
 
 from __future__ import annotations
@@ -367,6 +378,32 @@ def check_transport_discipline(root: Path) -> list[str]:
     return problems
 
 
+FLOAT_LITERAL = r"(?:\d+\.\d*|\.\d+)(?:[eE][-+]?\d+)?f?"
+FLOAT_EQ = re.compile(
+    rf"(?:[=!]=\s*[-+]?{FLOAT_LITERAL})|(?:{FLOAT_LITERAL}\s*[=!]=)"
+)
+
+
+def check_float_equality(root: Path) -> list[str]:
+    """R9: no bare float-literal == / != in tests/ and bench/."""
+    problems = []
+    files: list[Path] = []
+    for sub in ("tests", "bench"):
+        d = root / sub
+        if d.is_dir():
+            files.extend(sorted(list(d.rglob("*.cpp")) + list(d.rglob("*.hpp"))))
+    for f in files:
+        code = strip_comments_and_strings(f.read_text())
+        for lineno, line in enumerate(code.splitlines(), start=1):
+            if FLOAT_EQ.search(line):
+                problems.append(
+                    f"{f.relative_to(root)}:{lineno}: R9 bare float-literal equality — "
+                    f"exact ==/!= on floating literals is representation-fragile; use "
+                    f"EXPECT_NEAR / a std::abs tolerance, or compare on integers"
+                )
+    return problems
+
+
 def check_pragma_once(src: Path) -> list[str]:
     """R5: every header uses #pragma once."""
     problems = []
@@ -376,11 +413,100 @@ def check_pragma_once(src: Path) -> list[str]:
     return problems
 
 
+def self_test() -> int:
+    """Per-rule unit corpus: one violating and one clean snippet per rule."""
+    import tempfile
+
+    failures: list[str] = []
+
+    def case(name: str, should_flag: bool, files: dict[str, str],
+             check, *, scope: str = "root") -> None:
+        with tempfile.TemporaryDirectory() as td:
+            root = Path(td)
+            for rel, content in files.items():
+                p = root / rel
+                p.parent.mkdir(parents=True, exist_ok=True)
+                p.write_text(content)
+            problems = check(root / "src" if scope == "src" else root)
+            if bool(problems) != should_flag:
+                want = "a violation" if should_flag else "clean"
+                failures.append(f"{name}: expected {want}, got {problems!r}")
+
+    case("R1-flag", True,
+         {"src/m/a.hpp": "#pragma once\n/// Throws InvalidArgument if n == 0.\nvoid f(int n);\n",
+          "src/m/a.cpp": "void f(int n) { (void)n; }\n"},
+         check_preconditions, scope="src")
+    case("R1-clean", False,
+         {"src/m/a.hpp": "#pragma once\n/// Throws InvalidArgument if n == 0.\nvoid f(int n);\n",
+          "src/m/a.cpp": "void f(int n) { IOTML_CHECK(n != 0, \"n\"); }\n"},
+         check_preconditions, scope="src")
+    case("R2-flag", True, {"src/a.cpp": "void f() { throw std::runtime_error(\"x\"); }\n"},
+         check_naked_std_throws, scope="src")
+    case("R2-clean", False,
+         {"src/util/error.cpp": "void f() { throw std::runtime_error(\"x\"); }\n"},
+         check_naked_std_throws, scope="src")
+    case("R3-flag", True,
+         {"src/a.hpp": "#pragma once\n#include \"b.hpp\"\n",
+          "src/b.hpp": "#pragma once\n#include \"a.hpp\"\n"},
+         check_include_cycles, scope="src")
+    case("R3-clean", False,
+         {"src/a.hpp": "#pragma once\n#include \"b.hpp\"\n",
+          "src/b.hpp": "#pragma once\n"},
+         check_include_cycles, scope="src")
+    case("R4-flag", True, {"src/a.cpp": "#include <random>\nstd::random_device rd;\n"},
+         check_rng_discipline, scope="src")
+    case("R4-clean", False, {"src/util/rng.cpp": "std::random_device rd;\n"},
+         check_rng_discipline, scope="src")
+    case("R5-flag", True, {"src/a.hpp": "struct A {};\n"}, check_pragma_once, scope="src")
+    case("R5-clean", False, {"src/a.hpp": "#pragma once\nstruct A {};\n"},
+         check_pragma_once, scope="src")
+    case("R6-flag", True,
+         {"src/a.cpp": "auto t = std::chrono::steady_clock::now();\n"},
+         check_timing_discipline)
+    case("R6-clean", False,
+         {"src/obs/clock.cpp": "auto t = std::chrono::steady_clock::now();\n"},
+         check_timing_discipline)
+    case("R7-flag", True,
+         {"src/a.cpp": "auto* p = reinterpret_cast<char*>(q);\n"},
+         check_serialization_casts)
+    case("R7-clean", False,
+         {"src/deploy/codec.cpp":
+          "auto* p = reinterpret_cast<char*>(q);  // codec-sanctioned\n"},
+         check_serialization_casts)
+    case("R8-flag", True, {"src/sim/a.cpp": "link.transmit(msg);\n"},
+         check_transport_discipline)
+    case("R8-clean", False, {"src/net/channel.cpp": "link_.transmit(msg);\n"},
+         check_transport_discipline)
+    case("R9-flag", True, {"tests/t.cpp": "EXPECT_TRUE(v == 5.0);\n"},
+         check_float_equality)
+    case("R9-flag-mirrored", True, {"bench/b.cpp": "if (0.2 == eps) {}\n"},
+         check_float_equality)
+    case("R9-clean-near", False,
+         {"tests/t.cpp": "EXPECT_NEAR(v, 5.0, 1e-9);\nif (x <= 5.0) {}\n"},
+         check_float_equality)
+    case("R9-clean-int", False, {"tests/t.cpp": "EXPECT_TRUE(n == 5);\n"},
+         check_float_equality)
+    case("R9-clean-src-out-of-scope", False, {"src/a.cpp": "bool b = v == 5.0;\n"},
+         check_float_equality)
+
+    if failures:
+        for f in failures:
+            print(f"self-test FAIL {f}")
+        print(f"lint_invariants --self-test: {len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print("lint_invariants --self-test: all per-rule cases passed")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", type=Path, default=Path(__file__).resolve().parent.parent,
                         help="repository root (containing src/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in per-rule unit corpus and exit")
     args = parser.parse_args()
+    if args.self_test:
+        return self_test()
     src = args.root / "src"
     if not src.is_dir():
         print(f"lint_invariants: no src/ under {args.root}", file=sys.stderr)
@@ -395,6 +521,7 @@ def main() -> int:
     problems += check_timing_discipline(args.root)
     problems += check_serialization_casts(args.root)
     problems += check_transport_discipline(args.root)
+    problems += check_float_equality(args.root)
 
     if problems:
         for p in problems:
@@ -402,7 +529,8 @@ def main() -> int:
         print(f"lint_invariants: {len(problems)} violation(s)", file=sys.stderr)
         return 1
     print("lint_invariants: clean (R1 preconditions, R2 throws, R3 cycles, R4 rng, "
-          "R5 pragma, R6 timing, R7 serialization casts, R8 transport)")
+          "R5 pragma, R6 timing, R7 serialization casts, R8 transport, "
+          "R9 float equality)")
     return 0
 
 
