@@ -9,8 +9,11 @@
 // windows) while keeping every metric key present, so the smoke job can
 // validate the BENCH_fleet.json shape cheaply.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -110,6 +113,83 @@ int main() {
                                     "rows lost", "delivery ratio", "accuracy"},
                                    drop_rows)
                           .c_str());
+
+  // ---- Observatory overhead -------------------------------------------------
+  // Same fleet, observatory off vs on, at the largest sweep size. The
+  // observatory is pure observation (ring buffers, a bounded journey log, no
+  // RNG draws), so its events/sec cost must stay within 5% — the acceptance
+  // bar for leaving it on in production runs. IOTML_OBSERVATORY=<dir> makes
+  // the enabled run also write its artifacts there for tools/fleetscope.
+  {
+    sim::FleetConfig config;
+    config.devices = smoke ? 10 : 1000;
+    config.edges = std::max<std::size_t>(1, config.devices / 25);
+    config.duration_s = smoke ? 20.0 : 15.0;
+    config.seed = 7;
+
+    // Machine noise (CI neighbors, cold caches) swamps a single off/on pair
+    // at this scale — warm-up alone can swing wall time by 20%. Alternate
+    // off/on twice and score each mode by its best wall time; the timed
+    // enabled runs record in-memory only, artifact files are written after
+    // the clock stops so the comparison is observation cost, not filesystem
+    // cost.
+    double off_best_s = std::numeric_limits<double>::infinity();
+    double on_best_s = std::numeric_limits<double>::infinity();
+    std::uint64_t events = 0;
+    std::unique_ptr<sim::FleetSim> on_fleet;
+    for (int round = 0; round < 2; ++round) {
+      for (const bool enabled : {false, true}) {
+        config.observatory.enabled = enabled;
+        const std::int64_t start_us = obs::now_us();
+        auto fleet = std::make_unique<sim::FleetSim>(config);
+        const sim::FleetReport r = fleet->run();
+        const double wall_s = static_cast<double>(obs::now_us() - start_us) * 1e-6;
+        events = r.events;
+        if (enabled) {
+          on_best_s = std::min(on_best_s, wall_s);
+          on_fleet = std::move(fleet);
+        } else {
+          off_best_s = std::min(off_best_s, wall_s);
+        }
+      }
+    }
+    const double off_events_per_s =
+        off_best_s > 0.0 ? static_cast<double>(events) / off_best_s : 0.0;
+    const double on_events_per_s =
+        on_best_s > 0.0 ? static_cast<double>(events) / on_best_s : 0.0;
+
+    const char* artifact_dir = std::getenv("IOTML_OBSERVATORY");  // NOLINT(concurrency-mt-unsafe)
+    if (artifact_dir != nullptr && *artifact_dir != '\0') {
+      config.observatory.artifact_dir = artifact_dir;
+      if (!on_fleet->observatory()->write_artifacts(artifact_dir,
+                                                    on_fleet->event_log())) {
+        std::fprintf(stderr, "bench_fleet: could not write observatory artifacts to %s\n",
+                     artifact_dir);
+      }
+    }
+
+    const double overhead_pct =
+        off_events_per_s > 0.0
+            ? 100.0 * (off_events_per_s - on_events_per_s) / off_events_per_s
+            : 0.0;
+    report.metric("observatory.events_per_s.off", off_events_per_s);
+    report.metric("observatory.events_per_s.on", on_events_per_s);
+    report.metric("observatory.overhead_pct", overhead_pct);
+    std::printf("%s\n",
+                render_table({"observatory", "events", "best s", "events/s", "overhead %"},
+                             {{"off", std::to_string(events), format_double(off_best_s, 2),
+                               format_double(off_events_per_s, 0), "-"},
+                              {"on", std::to_string(events), format_double(on_best_s, 2),
+                               format_double(on_events_per_s, 0),
+                               format_double(overhead_pct, 2)}})
+                    .c_str());
+    if (config.observatory.artifact_dir.empty()) {
+      std::printf("set IOTML_OBSERVATORY=<dir> to keep the artifacts for fleetscope\n\n");
+    } else {
+      std::printf("observatory artifacts written under %s\n\n",
+                  config.observatory.artifact_dir.c_str());
+    }
+  }
 
   std::printf("shape check: rows/s should grow sublinearly with fleet size (the\n"
               "core analytics batch dominates); accuracy should degrade as the\n"

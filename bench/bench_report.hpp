@@ -15,12 +15,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include <fstream>
 
 #include "obs/clock.hpp"
 #include "obs/json.hpp"
+#include "obs/obs.hpp"
 
 // Build-configuration stamps, injected per-target by bench/CMakeLists.txt so
 // a BENCH_*.json records exactly which toolchain and preset produced it.
@@ -92,6 +94,25 @@ class BenchReport {
         << "\", \"flags\": \"" << obs::json_escape(IOTML_BUILD_FLAGS)
         << "\", \"sanitizers\": \"" << obs::json_escape(IOTML_SANITIZE_PRESET)
         << "\"},\n";
+    // Snapshot of the process-global instrument registry: what the runtime
+    // actually counted while this bench ran (channel retries, fault events,
+    // kernel builds, ...). Deterministic mode drops wall-clock instruments —
+    // names containing "wall" or ending in "_us" — so the artifact stays a
+    // byte-stable function of (config, seed); everything else is event
+    // counts, which replay exactly.
+    std::ostringstream reg;
+    if (deterministic_) {
+      obs::registry().write_json(reg, [](const std::string& name) {
+        return name.find("wall") == std::string::npos &&
+               (name.size() < 3 || name.compare(name.size() - 3, 3, "_us") != 0);
+      });
+    } else {
+      obs::registry().write_json(reg);
+    }
+    std::string reg_json = reg.str();
+    while (!reg_json.empty() && reg_json.back() == '\n') reg_json.pop_back();
+    out << "  \"registry\": " << reg_json << ",\n";
+
     out << "  \"metrics\": {";
     bool first = true;
     for (const auto& [key, value] : metrics_) {

@@ -8,8 +8,28 @@
 
 namespace iotml::net {
 
-/// Fixed per-message framing overhead (ids, addresses, timestamps).
+/// Fixed per-message framing overhead (ids, addresses, timestamps). The
+/// trace context (8-byte trace id + 2-byte hop index, see TraceContext)
+/// rides inside this allowance — real telemetry headers pack alongside the
+/// addressing fields, so tracing adds no marginal wire cost and enabling it
+/// changes no simulated number.
 inline constexpr std::size_t kMessageHeaderBytes = 24;
+
+/// Causal trace tag carried on every message. `id` names this frame in the
+/// journey log; `hop` counts wire hops from the stream's originator (0 for
+/// device->edge uplink or core->edge downlink, 1 for the second hop).
+/// Retransmits of a frame keep its context — a retry is the same causal
+/// step, just a later attempt.
+struct TraceContext {
+  std::uint64_t id = 0;
+  std::uint16_t hop = 0;
+};
+
+/// On-the-wire byte cost of a TraceContext (id + hop), accounted inside
+/// kMessageHeaderBytes.
+inline constexpr std::size_t kTraceContextBytes = 10;
+static_assert(kTraceContextBytes < kMessageHeaderBytes,
+              "trace context must fit inside the fixed header allowance");
 
 /// One dataset chunk in flight between tiers. Payloads are moved, never
 /// copied per hop; `origin_s` carries the virtual creation time of every
@@ -21,6 +41,7 @@ struct Message {
   std::size_t dst = 0;
   double sent_s = 0.0;
   std::uint64_t checksum = 0;  ///< payload_checksum() stamped at send time
+  TraceContext trace;          ///< causal tag, preserved across retries
   std::vector<double> origin_s;
   data::Dataset payload;
 };

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace iotml::obs {
+
+/// What a journey record describes.
+enum class HopKind : std::uint8_t {
+  kOrigin,  ///< a flush window was born at a device (rows entered the fleet)
+  kSend,    ///< a message left a node (outcome says how the transfer ended)
+  kArrive,  ///< a message reached a node (outcome says what the receiver did)
+};
+
+/// Which traffic class the record belongs to.
+enum class HopStream : std::uint8_t {
+  kRows,         ///< sensor rows, device -> edge -> core
+  kArtifact,     ///< compiled model broadcast, core -> edge -> device
+  kPredictions,  ///< on-device scores, device -> edge -> core
+};
+
+const char* hop_kind_name(HopKind kind) noexcept;
+const char* hop_stream_name(HopStream stream) noexcept;
+
+/// One per-hop trace record. `trace` identifies the message (or, for
+/// kOrigin, the flush window); `parents` lists the origin-window trace ids
+/// folded into the payload, which is what lets a reader reconstruct a row's
+/// device -> edge -> core journey after edge-side batching merges windows.
+/// All times are virtual-clock seconds, so the log is byte-deterministic
+/// per seed.
+struct HopRecord {
+  std::uint64_t trace = 0;
+  std::uint32_t hop = 0;  ///< 0 = first wire hop from the originator, 1 = second, ...
+  HopKind kind = HopKind::kSend;
+  HopStream stream = HopStream::kRows;
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  double t0_s = 0.0;  ///< sent / created time
+  double t1_s = 0.0;  ///< arrival / event time (0 when the frame never landed)
+  std::size_t rows = 0;
+  std::size_t bytes = 0;
+  std::uint32_t attempts = 0;  ///< 1 + retransmits for kSend
+  const char* outcome = "";    ///< static string: delivered, dropped, dead_letter, ...
+  std::vector<std::uint64_t> parents;
+};
+
+/// Bounded append-only log of hop records. Appends past `capacity` are
+/// counted in dropped() rather than stored, so a runaway sim cannot OOM the
+/// observatory. Thread-safe; write_jsonl emits one fixed-key-order JSON
+/// object per line in append order.
+class JourneyLog {
+ public:
+  explicit JourneyLog(std::size_t capacity);
+
+  void record(HopRecord r);
+
+  std::size_t size() const;
+  std::uint64_t dropped() const;
+  std::vector<HopRecord> snapshot() const;
+
+  void write_jsonl(std::ostream& out) const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<HopRecord> records_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace iotml::obs

@@ -134,8 +134,21 @@ void Histogram::reset() noexcept {
   max_.store(-kInf, std::memory_order_relaxed);
 }
 
+void Registry::check_kind(const std::string& name, const char* kind) const {
+  const bool as_counter = counters_.count(name) != 0;
+  const bool as_gauge = gauges_.count(name) != 0;
+  const bool as_histogram = histograms_.count(name) != 0;
+  IOTML_CHECK(!as_counter || kind == std::string("counter"),
+              "Registry: metric '" + name + "' already registered as a counter");
+  IOTML_CHECK(!as_gauge || kind == std::string("gauge"),
+              "Registry: metric '" + name + "' already registered as a gauge");
+  IOTML_CHECK(!as_histogram || kind == std::string("histogram"),
+              "Registry: metric '" + name + "' already registered as a histogram");
+}
+
 Counter& Registry::counter(const std::string& name) {
   const std::lock_guard<std::mutex> lock(mu_);
+  check_kind(name, "counter");
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
@@ -143,15 +156,30 @@ Counter& Registry::counter(const std::string& name) {
 
 Gauge& Registry::gauge(const std::string& name) {
   const std::lock_guard<std::mutex> lock(mu_);
+  check_kind(name, "gauge");
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
+Histogram& Registry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  check_kind(name, "histogram");
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(Histogram::default_time_bounds_us());
+  return *slot;
+}
+
 Histogram& Registry::histogram(const std::string& name, std::vector<double> upper_bounds) {
   const std::lock_guard<std::mutex> lock(mu_);
+  check_kind(name, "histogram");
   auto& slot = histograms_[name];
-  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  if (!slot) {
+    slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  } else {
+    IOTML_CHECK(slot->bounds() == upper_bounds,
+                "Registry: histogram '" + name + "' already registered with different bounds");
+  }
   return *slot;
 }
 
@@ -162,16 +190,23 @@ std::string Registry::to_json() const {
 }
 
 void Registry::write_json(std::ostream& out) const {
+  write_json(out, [](const std::string&) { return true; });
+}
+
+void Registry::write_json(std::ostream& out,
+                          const std::function<bool(const std::string&)>& keep) const {
   const std::lock_guard<std::mutex> lock(mu_);
   out << "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, counter] : counters_) {
+    if (!keep(name)) continue;
     out << (first ? "" : ",") << "\n    \"" << json_escape(name) << "\": " << counter->value();
     first = false;
   }
   out << "\n  },\n  \"gauges\": {";
   first = true;
   for (const auto& [name, gauge] : gauges_) {
+    if (!keep(name)) continue;
     out << (first ? "" : ",") << "\n    \"" << json_escape(name)
         << "\": " << json_number(gauge->value());
     first = false;
@@ -179,6 +214,7 @@ void Registry::write_json(std::ostream& out) const {
   out << "\n  },\n  \"histograms\": {";
   first = true;
   for (const auto& [name, hist] : histograms_) {
+    if (!keep(name)) continue;
     out << (first ? "" : ",") << "\n    \"" << json_escape(name) << "\": {"
         << "\"count\": " << hist->count() << ", \"sum\": " << json_number(hist->sum())
         << ", \"mean\": " << json_number(hist->mean())
@@ -209,6 +245,13 @@ void Registry::reset() {
   for (const auto& [name, counter] : counters_) counter->reset();
   for (const auto& [name, gauge] : gauges_) gauge->reset();
   for (const auto& [name, hist] : histograms_) hist->reset();
+}
+
+void Registry::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
 }
 
 }  // namespace iotml::obs

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -85,26 +86,48 @@ class Histogram {
 /// lifetime — references returned by counter()/gauge()/histogram() never
 /// dangle, so hot paths can cache them. Creation takes a mutex; recording on
 /// the returned instruments is lock-free.
+///
+/// A name identifies exactly one instrument of exactly one kind: asking for
+/// a counter under a name already registered as a gauge or histogram (or
+/// vice versa) is an IOTML_CHECK failure, never a silent alias.
 class Registry {
  public:
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
 
-  /// The first call for a name fixes its bucket bounds; later calls with the
-  /// same name return the existing histogram and ignore `upper_bounds`.
-  Histogram& histogram(const std::string& name,
-                       std::vector<double> upper_bounds = Histogram::default_time_bounds_us());
+  /// Get-or-create with the default microsecond bounds. Looking up an
+  /// existing histogram never checks bounds — use this form on read paths.
+  Histogram& histogram(const std::string& name);
+
+  /// The first call for a name fixes its bucket bounds; a later call whose
+  /// explicit `upper_bounds` differ from the registered ones is an
+  /// IOTML_CHECK failure (two call sites disagreeing about a histogram's
+  /// shape is aliasing, not sharing).
+  Histogram& histogram(const std::string& name, std::vector<double> upper_bounds);
 
   /// Snapshot of every instrument as JSON (names sorted, machine-readable;
   /// the IOTML_METRICS sink writes exactly this).
   std::string to_json() const;
   void write_json(std::ostream& out) const;
 
+  /// As write_json, but only instruments whose name `keep` accepts. The
+  /// bench reports embed a registry snapshot in their JSON artifacts and use
+  /// this to drop wall-clock instruments in deterministic mode.
+  void write_json(std::ostream& out,
+                  const std::function<bool(const std::string&)>& keep) const;
+
   /// Zero every instrument. Registration (and outstanding references)
   /// survive — intended for tests and phase-by-phase bench readings.
   void reset();
 
+  /// Drop every instrument and registration. Outstanding references dangle,
+  /// so this is for test fixtures that want a pristine registry between
+  /// cases — never call it while other code holds cached instruments.
+  void clear();
+
  private:
+  void check_kind(const std::string& name, const char* kind) const;
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;

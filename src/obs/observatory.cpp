@@ -1,0 +1,48 @@
+#include "obs/observatory.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+namespace iotml::obs {
+
+Observatory::Observatory(std::size_t entities, ObservatoryOptions options)
+    : options_(options),
+      series_(options.series_capacity),
+      journeys_(options.journey_capacity),
+      flight_(entities, options.flight_ring) {}
+
+bool Observatory::write_artifacts(const std::string& dir,
+                                  const std::vector<std::string>& event_log) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+
+  const std::filesystem::path root(dir);
+  {
+    std::ofstream out(root / "timeseries.json");
+    if (!out) return false;
+    series_.write_json(out);
+    if (!out) return false;
+  }
+  {
+    std::ofstream out(root / "journeys.jsonl");
+    if (!out) return false;
+    journeys_.write_jsonl(out);
+    if (!out) return false;
+  }
+  {
+    std::ofstream out(root / "flightrec.json");
+    if (!out) return false;
+    flight_.write_json(out);
+    if (!out) return false;
+  }
+  {
+    std::ofstream out(root / "events.log");
+    if (!out) return false;
+    for (const std::string& line : event_log) out << line << "\n";
+    if (!out) return false;
+  }
+  return true;
+}
+
+}  // namespace iotml::obs

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/journey.hpp"
+#include "obs/timeseries.hpp"
+
+namespace iotml::obs {
+
+/// Sizing knobs for a fleet observatory. Defaults keep memory bounded at
+/// fleet scale: every buffer is a ring or a capped log, never an unbounded
+/// vector.
+struct ObservatoryOptions {
+  std::size_t series_capacity = 512;       ///< samples retained per (metric, entity, tier)
+  std::size_t flight_ring = 32;            ///< events retained per entity
+  std::size_t journey_capacity = 1 << 20;  ///< hop records retained per run
+};
+
+/// The fleet observatory: virtual-clock time-series, a causal journey log,
+/// and per-entity flight recorders, composed behind one handle plus a
+/// deterministic trace-id counter. Everything samples the sim's virtual
+/// clock, draws nothing from any RNG and perturbs no scheduling, so a run
+/// with the observatory on emits byte-identical event logs and reports to a
+/// run with it off — it observes, it never participates.
+class Observatory {
+ public:
+  explicit Observatory(std::size_t entities, ObservatoryOptions options = {});
+
+  TimeSeriesStore& series() noexcept { return series_; }
+  const TimeSeriesStore& series() const noexcept { return series_; }
+
+  JourneyLog& journeys() noexcept { return journeys_; }
+  const JourneyLog& journeys() const noexcept { return journeys_; }
+
+  FlightRecorder& flight() noexcept { return flight_; }
+  const FlightRecorder& flight() const noexcept { return flight_; }
+
+  const ObservatoryOptions& options() const noexcept { return options_; }
+
+  /// Writes timeseries.json, journeys.jsonl, flightrec.json and events.log
+  /// under `dir` (created if missing). Returns false if any file could not
+  /// be written.
+  bool write_artifacts(const std::string& dir,
+                       const std::vector<std::string>& event_log) const;
+
+ private:
+  ObservatoryOptions options_;
+  TimeSeriesStore series_;
+  JourneyLog journeys_;
+  FlightRecorder flight_;
+};
+
+}  // namespace iotml::obs

@@ -1,0 +1,173 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace iotml::obs {
+
+LogHistogram::LogHistogram() : LogHistogram(default_latency_bounds_s()) {}
+
+LogHistogram::LogHistogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1, 0) {
+  IOTML_CHECK(!bounds_.empty(), "LogHistogram: need at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    IOTML_CHECK(bounds_[i - 1] < bounds_[i], "LogHistogram: bounds must be strictly increasing");
+  }
+}
+
+std::vector<double> LogHistogram::default_latency_bounds_s() {
+  std::vector<double> bounds;
+  bounds.reserve(20);
+  double edge = 1e-3;  // 1ms doubling: 0.001 .. 2^19ms ~ 9min
+  for (std::size_t i = 0; i < 20; ++i) {
+    bounds.push_back(edge);
+    edge *= 2.0;
+  }
+  return bounds;
+}
+
+void LogHistogram::record(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double LogHistogram::mean() const noexcept {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double LogHistogram::quantile(double q) const {
+  IOTML_CHECK(q >= 0.0 && q <= 1.0, "LogHistogram::quantile: q outside [0, 1]");
+  if (count_ == 0) return 0.0;
+
+  const double lo_all = min_;
+  const double hi_all = max_;
+  const double target = q * static_cast<double>(count_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const double next = cum + static_cast<double>(buckets_[i]);
+    if (next >= target) {
+      const double lower = i == 0 ? lo_all : std::max(lo_all, bounds_[i - 1]);
+      const double upper = i < bounds_.size() ? std::min(hi_all, bounds_[i]) : hi_all;
+      const double frac =
+          std::clamp((target - cum) / static_cast<double>(buckets_[i]), 0.0, 1.0);
+      return std::clamp(lower + (upper - lower) * frac, lo_all, hi_all);
+    }
+    cum = next;
+  }
+  return hi_all;
+}
+
+void LogHistogram::reset() noexcept {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+Sampler::Sampler(std::size_t capacity) : capacity_(capacity) {
+  IOTML_CHECK(capacity_ >= 1, "Sampler: capacity must be at least 1");
+  ring_.reserve(std::min<std::size_t>(capacity_, 64));
+}
+
+void Sampler::record(double t_s, double value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(Sample{t_s, value});
+  } else {
+    ring_[next_] = Sample{t_s, value};
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+std::uint64_t Sampler::total() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::vector<Sample> Sampler::samples() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // next_ is the oldest slot once the ring has wrapped.
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % ring_.size()]);
+    }
+  }
+  return out;
+}
+
+TimeSeriesStore::TimeSeriesStore(std::size_t capacity_per_series)
+    : capacity_(capacity_per_series) {
+  IOTML_CHECK(capacity_ >= 1, "TimeSeriesStore: capacity must be at least 1");
+}
+
+Sampler& TimeSeriesStore::series(const std::string& metric, const std::string& entity,
+                                 const std::string& tier) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = series_[SeriesKey{metric, entity, tier}];
+  if (!slot) slot = std::make_unique<Sampler>(capacity_);
+  return *slot;
+}
+
+std::size_t TimeSeriesStore::series_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+std::uint64_t TimeSeriesStore::samples_total() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [key, sampler] : series_) total += sampler->total();
+  return total;
+}
+
+void TimeSeriesStore::write_json(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  out << "{\n  \"capacity\": " << capacity_ << ",\n  \"series\": [";
+  bool first = true;
+  for (const auto& [key, sampler] : series_) {
+    out << (first ? "" : ",") << "\n    {\"metric\": \"" << json_escape(key.metric)
+        << "\", \"entity\": \"" << json_escape(key.entity) << "\", \"tier\": \""
+        << json_escape(key.tier) << "\", \"total\": " << sampler->total()
+        << ", \"samples\": [";
+    const std::vector<Sample> samples = sampler->samples();
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << "[" << json_number(samples[i].t_s) << ", " << json_number(samples[i].value) << "]";
+    }
+    out << "]}";
+    first = false;
+  }
+  out << "\n  ]\n}\n";
+}
+
+std::string TimeSeriesStore::to_json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+void TimeSeriesStore::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  series_.clear();
+}
+
+}  // namespace iotml::obs

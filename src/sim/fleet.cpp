@@ -178,6 +178,14 @@ FleetSim::FleetSim(FleetConfig config, pipeline::Pipeline full_pipeline)
   artifact_seen_.assign(topo_.num_nodes(), 0);
   pred_seen_.resize(topo_.num_nodes());
 
+  if (config_.observatory.enabled) {
+    obs::ObservatoryOptions opts;
+    opts.series_capacity = config_.observatory.series_capacity;
+    opts.flight_ring = config_.observatory.flight_ring;
+    opts.journey_capacity = config_.observatory.journey_capacity;
+    obsy_.emplace(topo_.num_nodes(), opts);
+  }
+
   generate_device_data();
 
   const std::vector<net::Fault> plan =
@@ -325,12 +333,19 @@ FleetReport FleetSim::run() {
     report_.channels.dead_letters += s.dead_letters;
     report_.channels.corrupt_rejected += s.corrupt_rejected;
   }
-  report_.latency = LatencySummary::from_samples(latencies_);
+  report_.latency = LatencySummary::from_histogram(lat_end_to_end_);
+  report_.latency_tiers["device-edge"] = LatencyBreakdown::from_histogram(lat_device_edge_);
+  report_.latency_tiers["edge-core"] = LatencyBreakdown::from_histogram(lat_edge_core_);
+  report_.latency_tiers["end-to-end"] = LatencyBreakdown::from_histogram(lat_end_to_end_);
   IOTML_INTERNAL_CHECK(report_.rows_conserved(),
                        "FleetSim: row-conservation ledger out of balance");
   if (run_span.active()) {
     run_span.arg("events", static_cast<std::uint64_t>(report_.events));
     run_span.arg("rows_delivered", static_cast<std::uint64_t>(report_.rows_delivered));
+  }
+  if (obsy_ && !config_.observatory.artifact_dir.empty()) {
+    // Best-effort: an unwritable artifact dir must not fail a finished run.
+    obsy_->write_artifacts(config_.observatory.artifact_dir, sched_.log());
   }
   return report_;
 }
@@ -395,6 +410,7 @@ void FleetSim::handle(const Event& event) {
         topo_.node(topo_.core()).up = false;
         ++report_.faults.core_crashes;
         obs::registry().counter("sim.faults.core_crash").add();
+        flight_dump(topo_.core(), "core-crash", event.time_s);
       }
       break;
     case EventKind::kCoreRestart:
@@ -468,6 +484,25 @@ void FleetSim::handle_device_flush(const Event& event) {
     out.row_count = chunk.rows();
     out.rows = std::move(chunk);
     out.origin_s = {event.time_s};
+    // The window's birth certificate: every downstream frame carrying these
+    // rows lists this id in its parents, which is what lets fleetscope
+    // reconstruct the device -> edge -> core journey after batching.
+    out.parents = {next_trace_++};
+    if (obsy_) {
+      obs::HopRecord origin;
+      origin.trace = out.parents.front();
+      origin.kind = obs::HopKind::kOrigin;
+      origin.src = d;
+      origin.dst = d;
+      origin.t0_s = event.time_s;
+      origin.t1_s = event.time_s;
+      origin.rows = out.row_count;
+      obsy_->journeys().record(std::move(origin));
+      obsy_->flight().note(d, event.time_s, "flush", out.row_count);
+      obsy_->series()
+          .series("flush.rows", "fleet", "device")
+          .record(event.time_s, static_cast<double>(out.row_count));
+    }
   }
   if (!topo_.node(d).up) {
     if (out.row_count > 0) store_and_forward(d, std::move(out));
@@ -483,14 +518,20 @@ void FleetSim::handle_device_flush(const Event& event) {
       merged.rows.append_rows(pending.rows);
       merged.origin_s.insert(merged.origin_s.end(), pending.origin_s.begin(),
                              pending.origin_s.end());
+      merged.parents.insert(merged.parents.end(), pending.parents.begin(),
+                            pending.parents.end());
       merged.row_count += pending.row_count;
       device_sf_[d].pop_front();
+    }
+    if (obsy_ && merged.row_count > 0) {
+      obsy_->flight().note(d, event.time_s, "sf-drain", merged.row_count);
     }
   }
   if (out.row_count > 0) {
     merged.rows.append_rows(out.rows);
     merged.origin_s.insert(merged.origin_s.end(), out.origin_s.begin(),
                            out.origin_s.end());
+    merged.parents.insert(merged.parents.end(), out.parents.begin(), out.parents.end());
     merged.row_count += out.row_count;
   }
   if (merged.row_count == 0) return;
@@ -501,6 +542,11 @@ void FleetSim::handle_edge_flush(std::size_t edge_index, double now_s) {
   Buffer& buf = edge_buffers_[edge_index];
   if (buf.row_count == 0) return;
   const net::NodeId e = topo_.edge(edge_index);
+  if (obsy_) {
+    obsy_->series()
+        .series("buffer.rows", topo_.node(e).name, "edge")
+        .record(now_s, static_cast<double>(buf.row_count));
+  }
   if (!topo_.node(e).up) return;  // hold the buffer until the edge recovers
   if (config_.channel.mode == net::ChannelMode::kAckRetry &&
       (!topo_.node(topo_.core()).up || !topo_.uplink(e).up())) {
@@ -546,6 +592,8 @@ void FleetSim::handle_edge_flush(std::size_t edge_index, double now_s) {
   out.row_count = merged.rows();
   out.rows = std::move(merged);
   out.origin_s = std::move(buf.origin_s);
+  out.parents = std::move(buf.parents);
+  if (obsy_) obsy_->flight().note(e, now_s, "edge-flush", out.row_count);
   buf = Buffer{};
   // The flush ships these rows upstream, so the checkpoint covering them is
   // retired with the buffer — a later restore must never resurrect rows
@@ -562,14 +610,39 @@ void FleetSim::send(net::NodeId from, Buffer&& chunk, double now_s) {
   const bool from_device = from < config_.devices;
   const bool ack = config_.channel.mode == net::ChannelMode::kAckRetry;
 
+  std::vector<std::uint64_t> parents = std::move(chunk.parents);
+
   net::Message msg;
   msg.src = from;
   msg.dst = to;
   msg.sent_s = now_s;
+  msg.trace.id = next_trace_++;
+  msg.trace.hop = from_device ? 0 : 1;
   msg.origin_s = std::move(chunk.origin_s);
   msg.payload = std::move(chunk.rows);
   msg.checksum = net::payload_checksum(msg.payload);
   const std::size_t bytes = net::wire_size_bytes(msg);
+
+  // One journey record per send, whatever its fate. Copies `parents` —
+  // keep_rows may still need to hand them back to a buffer.
+  auto record_send = [&](const char* outcome, double t1_s, std::uint32_t attempts) {
+    if (!obsy_) return;
+    obs::HopRecord r;
+    r.trace = msg.trace.id;
+    r.hop = msg.trace.hop;
+    r.kind = obs::HopKind::kSend;
+    r.src = from;
+    r.dst = to;
+    r.t0_s = now_s;
+    r.t1_s = t1_s;
+    r.rows = rows;
+    r.bytes = bytes;
+    r.attempts = attempts;
+    r.outcome = outcome;
+    r.parents = parents;
+    obsy_->journeys().record(std::move(r));
+    obsy_->flight().note(from, now_s, outcome, rows, bytes);
+  };
 
   // Put the rows back where they can survive after a failed reliable send:
   // a device store-and-forwards (or loses the window without a buffer), an
@@ -581,6 +654,7 @@ void FleetSim::send(net::NodeId from, Buffer&& chunk, double now_s) {
         back.row_count = rows;
         back.rows = std::move(msg.payload);
         back.origin_s = std::move(msg.origin_s);
+        back.parents = std::move(parents);
         store_and_forward(from, std::move(back));
       } else if (dead_letter) {
         report_.faults.rows_buffer_evicted += rows;
@@ -591,6 +665,7 @@ void FleetSim::send(net::NodeId from, Buffer&& chunk, double now_s) {
       Buffer& buf = edge_buffers_[from - config_.devices];
       buf.rows.append_rows(msg.payload);
       buf.origin_s.insert(buf.origin_s.end(), msg.origin_s.begin(), msg.origin_s.end());
+      buf.parents.insert(buf.parents.end(), parents.begin(), parents.end());
       buf.row_count += rows;
     }
   };
@@ -600,6 +675,7 @@ void FleetSim::send(net::NodeId from, Buffer&& chunk, double now_s) {
   // retry schedule into a dead node. Fire-and-forget cannot know — it
   // transmits and the frame dies at the receiver (see handle_arrival).
   if (ack && !topo_.node(to).up) {
+    record_send("receiver_down", 0.0, 0);
     keep_rows(false);
     return;
   }
@@ -614,12 +690,15 @@ void FleetSim::send(net::NodeId from, Buffer&& chunk, double now_s) {
     // Backpressure: the bounded send queue refused the message.
     ++report_.messages_dropped;
     obs::registry().counter("sim.net.dropped").add();
+    record_send("dead_letter", 0.0, out.attempts);
+    flight_dump(from, "dead-letter", now_s);
     keep_rows(true);
     return;
   }
   if (!out.delivered && !out.corrupted) {
     ++report_.messages_dropped;
     obs::registry().counter("sim.net.dropped").add();
+    record_send(ack ? "timeout" : "dropped", 0.0, out.attempts);
     if (ack) {
       keep_rows(false);
     } else {
@@ -632,15 +711,19 @@ void FleetSim::send(net::NodeId from, Buffer&& chunk, double now_s) {
   if (out.corrupted) {
     // Fire-and-forget only: the frame lands, but the wire flipped bits, so
     // the stamped checksum no longer matches what the receiver recomputes.
+    record_send("corrupt", out.arrival_s, out.attempts);
     msg.checksum ^= 1;
     messages_.push_back(std::move(msg));
+    msg_parents_.push_back(std::move(parents));
     sched_.push(out.arrival_s, EventKind::kCorruptArrival, to, index);
     if (out.duplicated) {
       sched_.push(out.duplicate_arrival_s, EventKind::kCorruptArrival, to, index);
     }
     return;
   }
+  record_send("delivered", out.arrival_s, out.attempts);
   messages_.push_back(std::move(msg));
+  msg_parents_.push_back(std::move(parents));
   sched_.push(out.arrival_s, EventKind::kArrival, to, index);
   if (out.duplicated) {
     sched_.push(out.duplicate_arrival_s, EventKind::kArrival, to, index);
@@ -653,6 +736,8 @@ void FleetSim::handle_arrival(const Event& event) {
   if (!seen_[node].insert(msg.id).second) {
     ++report_.duplicates_discarded;
     obs::registry().counter("sim.net.duplicates_discarded").add();
+    journey_arrive(msg.trace.id, obs::HopStream::kRows, msg.trace.hop, node,
+                   event.time_s, msg.payload.rows(), "duplicate");
     return;
   }
   // Receivers verify every frame: an intact arrival must re-hash to its
@@ -664,17 +749,45 @@ void FleetSim::handle_arrival(const Event& event) {
     // listening, and the rows die with the dead node.
     report_.faults.rows_lost_to_crash += msg.payload.rows();
     obs::registry().counter("sim.faults.rows_lost_to_crash").add(msg.payload.rows());
+    journey_arrive(msg.trace.id, obs::HopStream::kRows, msg.trace.hop, node,
+                   event.time_s, msg.payload.rows(), "dead_receiver");
     return;
   }
+  const double hop_latency_s = event.time_s - msg.sent_s;
+  journey_arrive(msg.trace.id, obs::HopStream::kRows, msg.trace.hop, node,
+                 event.time_s, msg.payload.rows(), "accepted");
   if (node == topo_.core()) {
-    for (double origin : msg.origin_s) latencies_.push_back(event.time_s - origin);
+    lat_edge_core_.record(hop_latency_s);
+    for (double origin : msg.origin_s) lat_end_to_end_.record(event.time_s - origin);
+    if (obsy_) {
+      obsy_->flight().note(node, event.time_s, "rx-rows", msg.payload.rows(), msg.trace.id);
+      obsy_->series()
+          .series("uplink.latency_s", "core", "core")
+          .record(event.time_s, hop_latency_s);
+      obsy_->series()
+          .series("uplink.rows", "core", "core")
+          .record(event.time_s, static_cast<double>(msg.payload.rows()));
+    }
     report_.rows_delivered += msg.payload.rows();
     core_buffer_.rows.append_rows(msg.payload);
     core_buffer_.row_count += msg.payload.rows();
   } else {
+    lat_device_edge_.record(hop_latency_s);
+    if (obsy_) {
+      const std::string& entity = topo_.node(node).name;
+      obsy_->flight().note(node, event.time_s, "rx-rows", msg.payload.rows(), msg.trace.id);
+      obsy_->series()
+          .series("uplink.latency_s", entity, "edge")
+          .record(event.time_s, hop_latency_s);
+      obsy_->series()
+          .series("uplink.rows", entity, "edge")
+          .record(event.time_s, static_cast<double>(msg.payload.rows()));
+    }
     Buffer& buf = edge_buffers_[node - config_.devices];
     buf.rows.append_rows(msg.payload);
     buf.origin_s.insert(buf.origin_s.end(), msg.origin_s.begin(), msg.origin_s.end());
+    buf.parents.insert(buf.parents.end(), msg_parents_[msg.id].begin(),
+                       msg_parents_[msg.id].end());
     buf.row_count += msg.payload.rows();
   }
 }
@@ -685,6 +798,8 @@ void FleetSim::handle_corrupt_arrival(const Event& event) {
   if (!seen_[node].insert(msg.id).second) {
     ++report_.duplicates_discarded;
     obs::registry().counter("sim.net.duplicates_discarded").add();
+    journey_arrive(msg.trace.id, obs::HopStream::kRows, msg.trace.hop, node,
+                   event.time_s, msg.payload.rows(), "duplicate");
     return;
   }
   // The receiver recomputes the checksum over what the wire delivered and
@@ -693,6 +808,11 @@ void FleetSim::handle_corrupt_arrival(const Event& event) {
                        "FleetSim: corrupt arrival passed checksum verification");
   report_.faults.rows_corrupt_rejected += msg.payload.rows();
   obs::registry().counter("sim.net.rows_corrupt_rejected").add(msg.payload.rows());
+  journey_arrive(msg.trace.id, obs::HopStream::kRows, msg.trace.hop, node,
+                 event.time_s, msg.payload.rows(), "corrupt_rejected");
+  if (obsy_) {
+    obsy_->flight().note(node, event.time_s, "rx-corrupt", msg.payload.rows(), msg.trace.id);
+  }
 }
 
 void FleetSim::handle_checkpoint(std::size_t edge_index) {
@@ -702,9 +822,14 @@ void FleetSim::handle_checkpoint(std::size_t edge_index) {
   snap.rows = buf.rows;
   snap.origin_s = buf.origin_s;
   snap.row_count = buf.row_count;
+  snap.parents = buf.parents;
   edge_checkpoints_[edge_index] = std::move(snap);
   ++report_.faults.checkpoints_written;
   obs::registry().counter("sim.recovery.checkpoints_written").add();
+  if (obsy_) {
+    obsy_->flight().note(topo_.edge(edge_index), sched_.now_s(), "checkpoint",
+                         buf.row_count);
+  }
 }
 
 void FleetSim::handle_edge_crash(std::size_t edge_index) {
@@ -713,6 +838,9 @@ void FleetSim::handle_edge_crash(std::size_t edge_index) {
   n.up = false;
   ++report_.faults.edge_crashes;
   obs::registry().counter("sim.faults.edge_crash").add();
+  // The black box survives the crash: dump the edge's recent events into
+  // the fault ledger before its volatile state is wiped.
+  flight_dump(topo_.edge(edge_index), "edge-crash", sched_.now_s());
   // Volatile state dies with the process: everything integrated since the
   // last checkpoint is gone. The checkpoint itself is durable storage.
   Buffer& buf = edge_buffers_[edge_index];
@@ -735,6 +863,7 @@ void FleetSim::handle_edge_restart(std::size_t edge_index) {
   buf.rows = ckpt.rows;
   buf.origin_s = ckpt.origin_s;
   buf.row_count = ckpt.row_count;
+  buf.parents = ckpt.parents;
   ++report_.faults.checkpoints_restored;
   report_.faults.rows_recovered += ckpt.row_count;
   obs::registry().counter("sim.recovery.checkpoints_restored").add();
@@ -747,6 +876,9 @@ void FleetSim::set_partition(bool on) {
   if (on) {
     ++report_.faults.partitions;
     obs::registry().counter("sim.chaos.partitions").add();
+    // The core just lost its edges: its recent traffic is the context an
+    // operator wants first.
+    flight_dump(topo_.core(), "partition", sched_.now_s());
   }
   // Sever (or restore) every edge<->core link, both directions. An ending
   // partition restores the links wholesale; an independent link outage
@@ -814,6 +946,39 @@ std::size_t FleetSim::stored_rows(net::NodeId device) const {
   std::size_t total = 0;
   for (const Buffer& b : device_sf_[device]) total += b.row_count;
   return total;
+}
+
+void FleetSim::journey_arrive(std::uint64_t trace, obs::HopStream stream,
+                              std::uint32_t hop, net::NodeId node, double t_s,
+                              std::size_t rows, const char* outcome) {
+  if (!obsy_) return;
+  obs::HopRecord r;
+  r.trace = trace;
+  r.hop = hop;
+  r.kind = obs::HopKind::kArrive;
+  r.stream = stream;
+  r.src = node;
+  r.dst = node;
+  r.t0_s = t_s;
+  r.t1_s = t_s;
+  r.rows = rows;
+  r.outcome = outcome;
+  obsy_->journeys().record(std::move(r));
+}
+
+void FleetSim::flight_dump(net::NodeId entity, const char* trigger, double t_s) {
+  if (!obsy_) return;
+  FaultLedger& faults = report_.faults;
+  if (faults.flight_dumps.size() >= kMaxFlightDumps) {
+    ++faults.flight_dumps_truncated;
+    return;
+  }
+  FlightDump dump;
+  dump.entity = topo_.node(entity).name;
+  dump.trigger = trigger;
+  dump.t_s = t_s;
+  dump.events = obsy_->flight().dump_lines(entity);
+  faults.flight_dumps.push_back(std::move(dump));
 }
 
 void FleetSim::finalize() {
@@ -1030,6 +1195,23 @@ void FleetSim::handle_deploy_broadcast(const Event& event) {
     return;
   }
   obs::registry().counter("deploy.broadcasts").add();
+  // The broadcast's root trace id: every downlink frame of this epoch lists
+  // it as parent, so fleetscope can reconstruct the artifact's journey.
+  broadcast_trace_ = next_trace_++;
+  if (obsy_) {
+    obs::HopRecord origin;
+    origin.trace = broadcast_trace_;
+    origin.kind = obs::HopKind::kOrigin;
+    origin.stream = obs::HopStream::kArtifact;
+    origin.src = topo_.core();
+    origin.dst = topo_.core();
+    origin.t0_s = event.time_s;
+    origin.t1_s = event.time_s;
+    origin.bytes = artifact_wire_bytes_;
+    obsy_->journeys().record(std::move(origin));
+    obsy_->flight().note(topo_.core(), event.time_s, "broadcast", config_.edges,
+                         artifact_wire_bytes_);
+  }
   for (std::size_t j = 0; j < config_.edges; ++j) {
     send_artifact(topo_.edge(j), event.time_s);
   }
@@ -1043,13 +1225,36 @@ void FleetSim::send_artifact(net::NodeId to, double now_s) {
   obs::registry().counter("deploy.downlink_bytes").add(artifact_wire_bytes_);
   const net::ChannelOutcome out =
       channels_[link_index].send(now_s, artifact_wire_bytes_, link_rngs_[link_index]);
+  const std::uint64_t frame_trace = next_trace_++;
+  auto record_artifact_send = [&](const char* outcome, double t1_s) {
+    if (!obsy_) return;
+    obs::HopRecord r;
+    r.trace = frame_trace;
+    r.hop = to >= config_.devices ? 0 : 1;  // core->edge, then edge->device
+    r.kind = obs::HopKind::kSend;
+    r.stream = obs::HopStream::kArtifact;
+    r.src = to >= config_.devices ? topo_.core() : topo_.next_hop(to);
+    r.dst = to;
+    r.t0_s = now_s;
+    r.t1_s = t1_s;
+    r.bytes = artifact_wire_bytes_;
+    r.attempts = out.attempts;
+    r.outcome = outcome;
+    r.parents = {broadcast_trace_};
+    obsy_->journeys().record(std::move(r));
+  };
   if (out.corrupted) {
     // The artifact frame fails its checksum at the receiver, which keeps
     // its prior model rather than binding corrupt parameters.
     obs::registry().counter("deploy.artifact_corrupt_rejected").add();
+    record_artifact_send("corrupt", out.arrival_s);
     return;
   }
-  if (!out.accepted || !out.delivered) return;
+  if (!out.accepted || !out.delivered) {
+    record_artifact_send(out.accepted ? "dropped" : "dead_letter", 0.0);
+    return;
+  }
+  record_artifact_send("delivered", out.arrival_s);
   sched_.push(out.arrival_s, EventKind::kArtifactArrival, to);
   if (out.duplicated) {
     sched_.push(out.duplicate_arrival_s, EventKind::kArtifactArrival, to);
@@ -1058,11 +1263,19 @@ void FleetSim::send_artifact(net::NodeId to, double now_s) {
 
 void FleetSim::handle_artifact_arrival(const Event& event) {
   const net::NodeId node = event.target;
+  const std::uint32_t hop = node >= config_.devices ? 0 : 1;
   if (artifact_seen_[node] != 0) {
     obs::registry().counter("deploy.duplicates_discarded").add();
+    journey_arrive(broadcast_trace_, obs::HopStream::kArtifact, hop, node,
+                   event.time_s, 0, "duplicate");
     return;
   }
   artifact_seen_[node] = 1;
+  if (obsy_ && topo_.node(node).up) {
+    obsy_->flight().note(node, event.time_s, "rx-artifact", artifact_wire_bytes_);
+  }
+  journey_arrive(broadcast_trace_, obs::HopStream::kArtifact, hop, node, event.time_s,
+                 0, topo_.node(node).up ? "accepted" : "dead_receiver");
   if (node >= config_.devices) {
     // An edge: relay the artifact to every attached device (a down edge
     // strands the broadcast; its devices end up in devices_missed).
@@ -1128,24 +1341,63 @@ void FleetSim::score_on_device(net::NodeId device, double now_s, bool stale) {
   // never travels: the core evaluates against labels it already knows.
   batch.wire_bytes = net::kMessageHeaderBytes + 4 + (count + 7) / 8;
   pred_batches_.push_back(batch);
+  pred_traces_.push_back(next_trace_++);
+  if (obsy_) {
+    obs::HopRecord origin;
+    origin.trace = pred_traces_.back();
+    origin.kind = obs::HopKind::kOrigin;
+    origin.stream = obs::HopStream::kPredictions;
+    origin.src = device;
+    origin.dst = device;
+    origin.t0_s = now_s;
+    origin.t1_s = now_s;
+    origin.rows = count;
+    origin.bytes = batch.wire_bytes;
+    obsy_->journeys().record(std::move(origin));
+    obsy_->flight().note(device, now_s, stale ? "score-stale" : "score", count);
+  }
   send_predictions(device, pred_batches_.size() - 1, now_s);
 }
 
 void FleetSim::send_predictions(net::NodeId from, std::size_t batch, double now_s) {
   const std::size_t link_index = topo_.uplink_index(from);
   const std::size_t bytes = pred_batches_[batch].wire_bytes;
+  const net::NodeId to = topo_.next_hop(from);
   report_.deploy.uplink_prediction_bytes += bytes;
   obs::registry().counter("deploy.prediction_bytes").add(bytes);
   const net::ChannelOutcome out =
       channels_[link_index].send(now_s, bytes, link_rngs_[link_index]);
+  const std::uint64_t frame_trace = next_trace_++;
+  auto record_pred_send = [&](const char* outcome, double t1_s) {
+    if (!obsy_) return;
+    obs::HopRecord r;
+    r.trace = frame_trace;
+    r.hop = from < config_.devices ? 0 : 1;
+    r.kind = obs::HopKind::kSend;
+    r.stream = obs::HopStream::kPredictions;
+    r.src = from;
+    r.dst = to;
+    r.t0_s = now_s;
+    r.t1_s = t1_s;
+    r.rows = pred_batches_[batch].rows;
+    r.bytes = bytes;
+    r.attempts = out.attempts;
+    r.outcome = outcome;
+    r.parents = {pred_traces_[batch]};
+    obsy_->journeys().record(std::move(r));
+  };
   if (out.corrupted) {
     // A corrupt prediction batch is rejected at the receiver; predictions
     // are best-effort telemetry and are not retried in fire-and-forget mode.
     obs::registry().counter("deploy.prediction_corrupt_rejected").add();
+    record_pred_send("corrupt", out.arrival_s);
     return;
   }
-  if (!out.accepted || !out.delivered) return;
-  const net::NodeId to = topo_.next_hop(from);
+  if (!out.accepted || !out.delivered) {
+    record_pred_send(out.accepted ? "dropped" : "dead_letter", 0.0);
+    return;
+  }
+  record_pred_send("delivered", out.arrival_s);
   sched_.push(out.arrival_s, EventKind::kPredictionArrival, to, batch);
   if (out.duplicated) {
     sched_.push(out.duplicate_arrival_s, EventKind::kPredictionArrival, to, batch);
@@ -1154,8 +1406,11 @@ void FleetSim::send_predictions(net::NodeId from, std::size_t batch, double now_
 
 void FleetSim::handle_prediction_arrival(const Event& event) {
   const net::NodeId node = event.target;
+  const std::uint32_t hop = node == topo_.core() ? 1 : 0;
   if (!pred_seen_[node].insert(event.message).second) {
     obs::registry().counter("deploy.duplicates_discarded").add();
+    journey_arrive(pred_traces_[event.message], obs::HopStream::kPredictions, hop,
+                   node, event.time_s, pred_batches_[event.message].rows, "duplicate");
     return;
   }
   if (node == topo_.core()) {
@@ -1163,8 +1418,16 @@ void FleetSim::handle_prediction_arrival(const Event& event) {
     report_.deploy.predictions_delivered += batch.rows;
     report_.deploy.predictions_correct += batch.correct;
     obs::registry().counter("deploy.predictions_delivered").add(batch.rows);
+    journey_arrive(pred_traces_[event.message], obs::HopStream::kPredictions, hop,
+                   node, event.time_s, batch.rows, "accepted");
+    if (obsy_) {
+      obsy_->flight().note(node, event.time_s, "rx-predictions", batch.rows);
+    }
     return;
   }
+  journey_arrive(pred_traces_[event.message], obs::HopStream::kPredictions, hop, node,
+                 event.time_s, pred_batches_[event.message].rows,
+                 topo_.node(node).up ? "accepted" : "dead_receiver");
   if (!topo_.node(node).up) return;  // stranded at a down edge
   send_predictions(node, event.message, event.time_s);
 }

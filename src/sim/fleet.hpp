@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "deploy/compiled_model.hpp"
 #include "deploy/runtime.hpp"
 #include "net/channel.hpp"
+#include "obs/observatory.hpp"
 #include "net/faults.hpp"
 #include "net/message.hpp"
 #include "net/topology.hpp"
@@ -52,6 +54,23 @@ struct DeployConfig {
       .latency_s = 0.005, .jitter_s = 0.001, .bandwidth_bytes_per_s = 1.25e6,
       .drop_prob = 0.002, .duplicate_prob = 0.0, .max_retries = 2,
       .retry_backoff_s = 0.02};
+};
+
+/// The fleet observatory (DESIGN.md §13): virtual-clock time-series, causal
+/// journey tracing and per-entity flight recorders. Off by default. When on
+/// it is purely observational — it draws no randomness, schedules nothing
+/// and changes no wire byte, so a run emits byte-identical event logs and
+/// rows/latency numbers with the observatory on or off.
+struct ObservatoryConfig {
+  bool enabled = false;
+  std::size_t series_capacity = 512;       ///< samples kept per (metric, entity, tier)
+  std::size_t flight_ring = 32;            ///< events kept per entity
+  std::size_t journey_capacity = 1 << 20;  ///< hop records kept per run
+
+  /// When non-empty, run() writes timeseries.json, journeys.jsonl,
+  /// flightrec.json and events.log under this directory (created if
+  /// missing) — the artifacts tools/fleetscope reads.
+  std::string artifact_dir;
 };
 
 /// Everything a fleet run depends on. A (config, pipeline) pair fully
@@ -100,6 +119,7 @@ struct FleetConfig {
   std::size_t feature_keep = 3;  ///< core-side MI feature selection budget
 
   DeployConfig deploy;
+  ObservatoryConfig observatory;
 };
 
 /// The default Fig. 1 pipeline, tagged for placement: device-side outlier
@@ -142,11 +162,21 @@ class FleetSim {
 
   const net::Topology& topology() const noexcept { return topo_; }
 
+  /// The run's observatory, or nullptr when config.observatory.enabled is
+  /// false. Valid for the simulator's lifetime.
+  const obs::Observatory* observatory() const noexcept {
+    return obsy_ ? &*obsy_ : nullptr;
+  }
+
  private:
   struct Buffer {
     data::Dataset rows;
     std::vector<double> origin_s;
     std::size_t row_count = 0;
+    /// Origin-window trace ids folded into `rows`, in fold order — the
+    /// causal provenance the journey log needs to survive edge batching,
+    /// store-and-forward and checkpoint restore.
+    std::vector<std::uint64_t> parents;
   };
 
   void generate_device_data();
@@ -181,6 +211,12 @@ class FleetSim {
   void send_predictions(net::NodeId from, std::size_t batch, double now_s);
   void score_on_device(net::NodeId device, double now_s, bool stale);
 
+  // Observatory wiring (all no-ops when obsy_ is empty; see DESIGN.md §13).
+  void journey_arrive(std::uint64_t trace, obs::HopStream stream, std::uint32_t hop,
+                      net::NodeId node, double t_s, std::size_t rows,
+                      const char* outcome);
+  void flight_dump(net::NodeId entity, const char* trigger, double t_s);
+
   FleetConfig config_;
   net::Topology topo_;
   TierPipelines tiers_;
@@ -203,11 +239,26 @@ class FleetSim {
   std::vector<std::size_t> device_cursor_;    ///< next unflushed row
 
   std::vector<net::Message> messages_;
+  /// Per-message parent origin-window ids, parallel to messages_. Kept off
+  /// the wire struct: receivers inherit provenance locally, the frame only
+  /// carries the 10-byte TraceContext.
+  std::vector<std::vector<std::uint64_t>> msg_parents_;
   std::vector<Buffer> edge_buffers_;
   Buffer core_buffer_;
   // det-sanctioned: membership-only dedup set per node, never iterated
   std::vector<std::unordered_set<std::uint64_t>> seen_;
-  std::vector<double> latencies_;
+
+  /// Per-tier virtual-latency distributions at fixed memory — the
+  /// observatory's replacement for an unbounded per-sample vector.
+  obs::LogHistogram lat_device_edge_;
+  obs::LogHistogram lat_edge_core_;
+  obs::LogHistogram lat_end_to_end_;
+
+  /// Monotone trace-id source for origin windows, wire frames and deploy
+  /// broadcasts. Plain counter, never an RNG draw: ids are deterministic
+  /// and cost nothing when the observatory is off.
+  std::uint64_t next_trace_ = 1;
+  std::optional<obs::Observatory> obsy_;
 
   std::vector<Buffer> edge_checkpoints_;  ///< last persisted buffer per edge
   std::vector<std::deque<Buffer>> device_sf_;  ///< store-and-forward chunks
@@ -234,6 +285,8 @@ class FleetSim {
   bool deploy_ready_ = false;
   std::size_t artifact_wire_bytes_ = 0;
   std::vector<PredBatch> pred_batches_;
+  std::vector<std::uint64_t> pred_traces_;  ///< batch trace ids, parallel
+  std::uint64_t broadcast_trace_ = 0;       ///< deploy broadcast trace id
   std::vector<std::uint8_t> artifact_seen_;  ///< dedup duplicate broadcasts
   // det-sanctioned: membership-only dedup set per edge, never iterated
   std::vector<std::unordered_set<std::uint64_t>> pred_seen_;

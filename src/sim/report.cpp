@@ -25,6 +25,24 @@ LatencySummary LatencySummary::from_samples(std::vector<double> samples) {
   return s;
 }
 
+LatencySummary LatencySummary::from_histogram(const obs::LogHistogram& hist) {
+  LatencySummary s;
+  s.count = hist.count();
+  s.mean_s = hist.mean();
+  s.p50_s = hist.quantile(0.50);
+  s.p95_s = hist.quantile(0.95);
+  s.max_s = hist.max();
+  return s;
+}
+
+LatencyBreakdown LatencyBreakdown::from_histogram(const obs::LogHistogram& hist) {
+  LatencyBreakdown b;
+  b.summary = LatencySummary::from_histogram(hist);
+  b.bounds_s = hist.bounds();
+  b.counts = hist.buckets();
+  return b;
+}
+
 std::size_t FleetReport::rows_accounted() const noexcept {
   return rows_delivered + rows_lost + rows_skipped + rows_stranded +
          faults.rows_corrupt_rejected + faults.rows_buffer_evicted +
@@ -78,7 +96,20 @@ std::string FleetReport::to_json() const {
       << ", \"checkpoints_restored\": " << faults.checkpoints_restored
       << ", \"stale_model_devices\": " << faults.stale_model_devices
       << ", \"rows_accounted\": " << rows_accounted()
-      << ", \"conserved\": " << (rows_conserved() ? "true" : "false") << "},\n";
+      << ", \"conserved\": " << (rows_conserved() ? "true" : "false")
+      << ", \"flight_dumps_truncated\": " << faults.flight_dumps_truncated
+      << ", \"flight_dumps\": [";
+  for (std::size_t i = 0; i < faults.flight_dumps.size(); ++i) {
+    const FlightDump& fd = faults.flight_dumps[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"entity\": \"" << json_escape(fd.entity)
+        << "\", \"trigger\": \"" << json_escape(fd.trigger)
+        << "\", \"t_s\": " << json_number(fd.t_s) << ", \"events\": [";
+    for (std::size_t j = 0; j < fd.events.size(); ++j) {
+      out << (j == 0 ? "" : ", ") << "\"" << json_escape(fd.events[j]) << "\"";
+    }
+    out << "]}";
+  }
+  out << "]},\n";
 
   out << "  \"channels\": {\"sends\": " << channels.sends
       << ", \"delivered\": " << channels.delivered
@@ -120,6 +151,30 @@ std::string FleetReport::to_json() const {
       << ", \"p50_s\": " << json_number(latency.p50_s)
       << ", \"p95_s\": " << json_number(latency.p95_s)
       << ", \"max_s\": " << json_number(latency.max_s) << "},\n";
+
+  out << "  \"latency_tiers\": {";
+  first = true;
+  for (const auto& [tier, b] : latency_tiers) {
+    out << (first ? "" : ",") << "\n    \"" << json_escape(tier) << "\": {"
+        << "\"count\": " << b.summary.count
+        << ", \"mean_s\": " << json_number(b.summary.mean_s)
+        << ", \"p50_s\": " << json_number(b.summary.p50_s)
+        << ", \"p95_s\": " << json_number(b.summary.p95_s)
+        << ", \"max_s\": " << json_number(b.summary.max_s) << ", \"buckets\": [";
+    for (std::size_t i = 0; i < b.counts.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << "{\"le\": ";
+      if (i < b.bounds_s.size()) {
+        out << json_number(b.bounds_s[i]);
+      } else {
+        out << "\"+inf\"";
+      }
+      out << ", \"count\": " << b.counts[i] << "}";
+    }
+    out << "]}";
+    first = false;
+  }
+  out << "\n  },\n";
   out << "  \"accuracy\": " << json_number(accuracy) << ",\n";
   out << "  \"train_rows\": " << train_rows << ",\n";
   out << "  \"test_rows\": " << test_rows;

@@ -8,6 +8,7 @@
 
 #include "net/channel.hpp"
 #include "net/link.hpp"
+#include "obs/timeseries.hpp"
 #include "pipeline/stage.hpp"
 
 namespace iotml::sim {
@@ -29,6 +30,22 @@ struct LatencySummary {
 
   /// Nearest-rank percentiles over a sorted copy of `samples`.
   static LatencySummary from_samples(std::vector<double> samples);
+
+  /// Interpolated percentiles from a fixed-bucket histogram — the O(buckets)
+  /// replacement for keeping every sample (see obs::LogHistogram).
+  static LatencySummary from_histogram(const obs::LogHistogram& hist);
+};
+
+/// Per-tier latency distribution: the summary plus the log-scale bucket
+/// table it came from, so the report carries the whole shape at fixed size.
+/// `counts` has one more entry than `bounds_s`; the last is the overflow
+/// bucket.
+struct LatencyBreakdown {
+  LatencySummary summary;
+  std::vector<double> bounds_s;
+  std::vector<std::uint64_t> counts;
+
+  static LatencyBreakdown from_histogram(const obs::LogHistogram& hist);
 };
 
 /// Per-stage aggregate over every StageReport a fleet run produced, keyed
@@ -84,6 +101,22 @@ struct DeploySummary {
   std::size_t rows_scored_stale = 0;
 };
 
+/// One flight-recorder dump, captured at the instant a fault fired: the
+/// affected entity's last ring of events, rendered as
+/// "t=<sec> <kind> a=<n> b=<n>" lines (oldest -> newest). Only present when
+/// the run had the observatory enabled.
+struct FlightDump {
+  std::string entity;   ///< topology node name ("edge-1", "core", ...)
+  std::string trigger;  ///< "edge-crash", "core-crash", "partition", "dead-letter"
+  double t_s = 0.0;     ///< virtual time the fault fired
+  std::vector<std::string> events;
+};
+
+/// Cap on retained FlightDumps per run; later triggers only bump
+/// FaultLedger::flight_dumps_truncated so a crash storm cannot balloon the
+/// report.
+inline constexpr std::size_t kMaxFlightDumps = 8;
+
 /// Fault-and-recovery ledger: every row a fault touched is accounted in
 /// exactly one bucket, so rows_generated always equals the sum of the
 /// delivery buckets (FleetReport::rows_conserved). Event counts record how
@@ -105,6 +138,11 @@ struct FaultLedger {
   std::uint64_t checkpoints_written = 0;
   std::uint64_t checkpoints_restored = 0;
   std::size_t stale_model_devices = 0;    ///< mirror of deploy.devices_stale
+
+  /// Flight-recorder context for the first kMaxFlightDumps fault triggers
+  /// (empty unless the observatory was enabled).
+  std::vector<FlightDump> flight_dumps;
+  std::uint64_t flight_dumps_truncated = 0;
 };
 
 /// What a whole fleet run did: the union of every node's per-stage ledgers
@@ -134,7 +172,12 @@ struct FleetReport {
 
   std::vector<pipeline::StageReport> stage_reports;  ///< every stage run, in order
   std::vector<LinkReport> links;
-  LatencySummary latency;
+  LatencySummary latency;  ///< end-to-end, mirror of latency_tiers["end-to-end"]
+
+  /// Per-tier latency distributions keyed "device-edge", "edge-core",
+  /// "end-to-end" — per-hop virtual wire latency and the full
+  /// flush-to-core journey, each a fixed-size bucket table.
+  std::map<std::string, LatencyBreakdown> latency_tiers;
 
   double accuracy = 0.0;  ///< core analytics on the delivered records
   std::size_t train_rows = 0;

@@ -1,0 +1,25 @@
+// The observatory samples on the sim's *virtual* clock: timestamps flow in
+// from the scheduler as plain doubles, never from a wall-clock read, so
+// recording them into a time-series or a report field must NOT trip D3.
+// The last line is the control: a real obs::now_us() read into a report
+// field, which must still be flagged.
+#include <cstdint>
+
+namespace obs {
+std::int64_t now_us();
+}
+
+struct Sampler {
+  void record(double t_s, double value);
+};
+
+struct FleetReport {
+  double duration_s = 0.0;
+  std::uint64_t wall_us = 0;
+};
+
+void observe(FleetReport& report, Sampler& series, double now_s, double rows) {
+  series.record(now_s, rows);   // virtual time: clean
+  report.duration_s = now_s;    // virtual time into a report field: clean
+  report.wall_us = static_cast<std::uint64_t>(obs::now_us());  // control: D3
+}

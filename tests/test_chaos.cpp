@@ -298,6 +298,39 @@ TEST(FleetChaos, CompoundScenarioConservesRows) {
   EXPECT_GT(r.faults.edge_crashes + r.faults.partitions + r.faults.corruption_storms, 0u);
 }
 
+TEST(FleetChaos, ObservatoryFlightDumpsAreDeterministicAndBounded) {
+  // Under compound chaos the fault triggers (crash, partition, dead-letter)
+  // dump flight rings into the report. The dumps must replay byte-exactly
+  // per seed, stay capped, and leave the event log byte-identical to an
+  // observatory-off run.
+  FleetConfig config = chaos_config();
+  enable_fault_tolerance(config);
+  config.observatory.enabled = true;
+  FleetSim a(config);
+  const FleetReport ra = a.run();
+  FleetSim b(config);
+  const FleetReport rb = b.run();
+  EXPECT_EQ(a.event_log(), b.event_log());
+  EXPECT_EQ(ra.to_json(), rb.to_json());
+
+  ASSERT_FALSE(ra.faults.flight_dumps.empty());
+  EXPECT_LE(ra.faults.flight_dumps.size(), kMaxFlightDumps);
+  for (const FlightDump& dump : ra.faults.flight_dumps) {
+    EXPECT_FALSE(dump.entity.empty());
+    EXPECT_TRUE(dump.trigger == "edge-crash" || dump.trigger == "core-crash" ||
+                dump.trigger == "partition" || dump.trigger == "dead-letter")
+        << dump.trigger;
+  }
+  EXPECT_NE(ra.to_json().find("\"flight_dumps\""), std::string::npos);
+
+  FleetConfig off = chaos_config();
+  enable_fault_tolerance(off);
+  FleetSim c(off);
+  const FleetReport rc = c.run();
+  EXPECT_EQ(a.event_log(), c.event_log());
+  EXPECT_TRUE(rc.faults.flight_dumps.empty());  // no observatory, no dumps
+}
+
 TEST(FleetChaos, AckModeBeatsFireAndForgetUnderFaults) {
   FleetConfig ff = chaos_config(7);
   FleetConfig ack = ff;

@@ -5,11 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/journey.hpp"
 #include "obs/obs.hpp"
+#include "obs/timeseries.hpp"
 #include "pipeline/stage.hpp"
 #include "util/error.hpp"
 
@@ -205,11 +210,46 @@ TEST(ObsRegistry, InstrumentsAreStableByName) {
   a.add(3);
   EXPECT_EQ(reg.counter("x").value(), 3u);
   obs::Histogram& h1 = reg.histogram("h", {1.0, 2.0});
-  obs::Histogram& h2 = reg.histogram("h", {9.0});  // bounds of the first call win
+  obs::Histogram& h2 = reg.histogram("h", {1.0, 2.0});  // same bounds: same slot
   EXPECT_EQ(&h1, &h2);
   EXPECT_EQ(h1.bounds().size(), 2u);
+  // Re-registering under different bounds used to silently alias onto the
+  // first call's buckets; it is now a hard error.
+  EXPECT_THROW(reg.histogram("h", {9.0}), InvalidArgument);
   reg.gauge("g").set(2.5);
   EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 2.5);
+}
+
+TEST(ObsRegistry, CrossKindNameCollisionThrows) {
+  obs::Registry reg;
+  reg.counter("shared_name");
+  EXPECT_THROW(reg.gauge("shared_name"), InvalidArgument);
+  EXPECT_THROW(reg.histogram("shared_name", {1.0}), InvalidArgument);
+  EXPECT_THROW(reg.histogram("shared_name"), InvalidArgument);
+  reg.gauge("g_name");
+  EXPECT_THROW(reg.counter("g_name"), InvalidArgument);
+  reg.histogram("h_name", {1.0});
+  EXPECT_THROW(reg.counter("h_name"), InvalidArgument);
+  EXPECT_THROW(reg.gauge("h_name"), InvalidArgument);
+  // The original instruments are untouched by failed registrations.
+  reg.counter("shared_name").add(2);
+  EXPECT_EQ(reg.counter("shared_name").value(), 2u);
+}
+
+TEST(ObsRegistry, ClearDropsEveryRegistration) {
+  obs::Registry reg;
+  reg.counter("c").add(5);
+  reg.gauge("g").set(1.0);
+  reg.histogram("h", {1.0, 2.0}).record(1.5);
+  reg.clear();
+  // After clear() the names are free again — even for a different kind or
+  // different bounds.
+  reg.gauge("c").set(3.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("c").value(), 3.0);
+  obs::Histogram& h = reg.histogram("h", {9.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bounds().size(), 1u);
+  EXPECT_EQ(reg.counter("g").value(), 0u);
 }
 
 TEST(ObsRegistry, JsonSnapshotContainsEveryInstrument) {
@@ -272,6 +312,230 @@ TEST(ObsRegistry, ConcurrentSpansAgainstOneCollector) {
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(collector.size(), static_cast<std::size_t>(kThreads) * kSpans * 2);
+}
+
+// ---- Virtual-time series --------------------------------------------------
+
+TEST(ObsTimeSeries, LogHistogramQuantilesMatchHistogramSemantics) {
+  obs::LogHistogram h({1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 90; ++i) h.record(1.5);
+  for (int i = 0; i < 10; ++i) h.record(6.0);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.mean(), (90 * 1.5 + 10 * 6.0) / 100.0, 1e-12);
+  EXPECT_LT(h.quantile(0.5), 2.0);
+  EXPECT_GT(h.quantile(0.95), 4.0);
+  EXPECT_NEAR(h.quantile(1.0), 6.0, 1e-12);
+  EXPECT_NEAR(h.quantile(0.0), 1.5, 0.51);
+  // Point mass clamps to the observed value exactly, like obs::Histogram.
+  obs::LogHistogram point({1.0, 1000.0});
+  for (int i = 0; i < 50; ++i) point.record(7.0);
+  EXPECT_NEAR(point.quantile(0.5), 7.0, 1e-12);
+  EXPECT_NEAR(point.quantile(0.99), 7.0, 1e-12);
+}
+
+TEST(ObsTimeSeries, LogHistogramRejectsBadArguments) {
+  EXPECT_THROW(obs::LogHistogram(std::vector<double>{}), InvalidArgument);
+  EXPECT_THROW(obs::LogHistogram({2.0, 1.0}), InvalidArgument);
+  EXPECT_THROW(obs::LogHistogram({1.0, 1.0}), InvalidArgument);
+  obs::LogHistogram h({1.0});
+  EXPECT_THROW(h.quantile(-0.1), InvalidArgument);
+  EXPECT_THROW(h.quantile(1.1), InvalidArgument);
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty
+}
+
+TEST(ObsTimeSeries, DefaultLatencyBoundsDoubleFromOneMs) {
+  obs::LogHistogram h;
+  const auto& bounds = h.bounds();
+  ASSERT_GE(bounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(bounds[0], 0.001);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(bounds[i], bounds[i - 1] * 2.0);
+  }
+  EXPECT_EQ(h.buckets().size(), bounds.size() + 1);  // + overflow
+}
+
+TEST(ObsTimeSeries, SamplerRingOverwritesOldestAndKeepsTotal) {
+  obs::Sampler s(3);
+  for (int i = 0; i < 5; ++i) s.record(static_cast<double>(i), i * 10.0);
+  EXPECT_EQ(s.total(), 5u);
+  const auto samples = s.samples();
+  ASSERT_EQ(samples.size(), 3u);  // oldest two shed
+  EXPECT_DOUBLE_EQ(samples[0].t_s, 2.0);
+  EXPECT_DOUBLE_EQ(samples[1].t_s, 3.0);
+  EXPECT_DOUBLE_EQ(samples[2].t_s, 4.0);
+  EXPECT_DOUBLE_EQ(samples[2].value, 40.0);
+}
+
+TEST(ObsTimeSeries, StoreReturnsStableSeriesAndSortedJson) {
+  obs::TimeSeriesStore store(4);
+  obs::Sampler& a = store.series("zz.metric", "dev1", "device");
+  obs::Sampler& b = store.series("zz.metric", "dev1", "device");
+  EXPECT_EQ(&a, &b);
+  store.series("aa.metric", "core", "core").record(1.0, 2.0);
+  a.record(0.5, 7.0);
+  EXPECT_EQ(store.series_count(), 2u);
+  EXPECT_EQ(store.samples_total(), 2u);
+  const std::string json = store.to_json();
+  EXPECT_TRUE(balanced_json_braces(json)) << json;
+  // Sorted by (metric, entity, tier): aa.metric renders before zz.metric.
+  const auto aa = json.find("aa.metric");
+  const auto zz = json.find("zz.metric");
+  ASSERT_NE(aa, std::string::npos);
+  ASSERT_NE(zz, std::string::npos);
+  EXPECT_LT(aa, zz);
+  EXPECT_NE(json.find("\"capacity\": 4"), std::string::npos);
+  EXPECT_NE(json.find("[0.5, 7]"), std::string::npos);
+}
+
+TEST(ObsTimeSeries, ConcurrentSamplingLosesNothing) {
+  obs::TimeSeriesStore store(64);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < kOps; ++i) {
+        // Mix get-or-create lookups on a shared key and a per-thread key so
+        // tsan sees map growth interleaved with ring writes.
+        store.series("shared", "fleet", "device").record(i * 1e-3, 1.0);
+        store.series("per_thread", "t" + std::to_string(t), "device")
+            .record(i * 1e-3, 2.0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(store.series_count(), 1u + kThreads);
+  EXPECT_EQ(store.samples_total(),
+            static_cast<std::uint64_t>(kThreads) * kOps * 2);
+  const auto shared = store.series("shared", "fleet", "device").samples();
+  EXPECT_EQ(shared.size(), 64u);  // ring stayed bounded
+}
+
+// ---- Journey log ----------------------------------------------------------
+
+obs::HopRecord make_hop(std::uint64_t trace, const char* outcome) {
+  obs::HopRecord r;
+  r.trace = trace;
+  r.hop = 0;
+  r.kind = obs::HopKind::kSend;
+  r.stream = obs::HopStream::kRows;
+  r.src = 1;
+  r.dst = 2;
+  r.t0_s = 0.25;
+  r.t1_s = 0.5;
+  r.rows = 8;
+  r.bytes = 96;
+  r.attempts = 2;
+  r.outcome = outcome;
+  r.parents = {trace + 100};
+  return r;
+}
+
+TEST(ObsJourney, BoundedAppendCountsDrops) {
+  obs::JourneyLog log(2);
+  log.record(make_hop(1, "delivered"));
+  log.record(make_hop(2, "dropped"));
+  log.record(make_hop(3, "delivered"));  // past capacity
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.dropped(), 1u);
+  const auto snap = log.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].trace, 1u);
+  EXPECT_EQ(snap[1].trace, 2u);
+}
+
+TEST(ObsJourney, JsonlHasMetaLineAndFixedKeyOrder) {
+  obs::JourneyLog log(16);
+  log.record(make_hop(7, "delivered"));
+  std::ostringstream out;
+  log.write_jsonl(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("{\"meta\": {\"records\": 1, \"dropped\": 0}}"),
+            std::string::npos);
+  EXPECT_NE(text.find("\"trace\": 7"), std::string::npos);
+  EXPECT_NE(text.find("\"kind\": \"send\""), std::string::npos);
+  EXPECT_NE(text.find("\"stream\": \"rows\""), std::string::npos);
+  EXPECT_NE(text.find("\"attempts\": 2"), std::string::npos);
+  EXPECT_NE(text.find("\"outcome\": \"delivered\""), std::string::npos);
+  EXPECT_NE(text.find("\"parents\": [107]"), std::string::npos);
+  // One meta line + one record line, each valid on its own.
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(balanced_json_braces(line)) << line;
+    ++n;
+  }
+  EXPECT_EQ(n, 2u);
+}
+
+TEST(ObsJourney, ConcurrentRecordingKeepsEveryRecordUpToCapacity) {
+  obs::JourneyLog log(1 << 14);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kOps; ++i) {
+        log.record(make_hop(static_cast<std::uint64_t>(t) * kOps + i, "delivered"));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(log.size(), static_cast<std::size_t>(kThreads) * kOps);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+// ---- Flight recorder ------------------------------------------------------
+
+TEST(ObsFlight, RingKeepsNewestEventsPerEntity) {
+  obs::FlightRecorder rec(3, 2);
+  rec.note(0, 0.1, "flush", 10, 0);
+  rec.note(0, 0.2, "send", 10, 96);
+  rec.note(0, 0.3, "rx-rows", 10, 0);  // evicts the flush
+  rec.note(2, 0.25, "checkpoint", 5, 0);
+  EXPECT_EQ(rec.noted(), 4u);
+  const auto d0 = rec.dump(0);
+  ASSERT_EQ(d0.size(), 2u);
+  EXPECT_STREQ(d0[0].kind, "send");
+  EXPECT_STREQ(d0[1].kind, "rx-rows");
+  EXPECT_TRUE(rec.dump(1).empty());
+  const auto lines = rec.dump_lines(2);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "t=0.25 checkpoint a=5 b=0");
+  std::ostringstream out;
+  rec.write_json(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(balanced_json_braces(json)) << json;
+  EXPECT_NE(json.find("\"ring_capacity\": 2"), std::string::npos);
+  // Entity 1 noted nothing and is omitted.
+  EXPECT_EQ(json.find("\"entity\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"entity\": 2"), std::string::npos);
+}
+
+TEST(ObsFlight, ConcurrentNotesAcrossEntities) {
+  obs::FlightRecorder rec(4, 8);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, t] {
+      for (int i = 0; i < kOps; ++i) {
+        rec.note(static_cast<std::size_t>(t), i * 1e-3, "tick",
+                 static_cast<std::uint64_t>(i), 0);
+        rec.note(0, i * 1e-3, "shared", 0, 0);  // all threads hit ring 0 too
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(rec.noted(), static_cast<std::uint64_t>(kThreads) * kOps * 2);
+  for (std::size_t e = 0; e < 4; ++e) {
+    EXPECT_EQ(rec.dump(e).size(), 8u);  // every ring full, still bounded
+  }
 }
 
 // ---- Wiring: Pipeline::run measures and reports ---------------------------

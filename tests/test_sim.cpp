@@ -109,6 +109,80 @@ TEST(Fleet, DeterministicPerSeed) {
   EXPECT_NE(ra.to_json(), rc.to_json());
 }
 
+TEST(Fleet, ObservatoryDoesNotPerturbTheRun) {
+  // The observatory must be purely observational: same seed, observatory on
+  // vs off, byte-identical event log and report (this config fires no fault
+  // trigger, so no flight dumps enter the report either way).
+  FleetSim off(small_config());
+  const FleetReport r_off = off.run();
+  FleetConfig on_config = small_config();
+  on_config.observatory.enabled = true;
+  FleetSim on(on_config);
+  const FleetReport r_on = on.run();
+  EXPECT_EQ(off.event_log(), on.event_log());
+  EXPECT_EQ(r_off.to_json(), r_on.to_json());
+  EXPECT_EQ(off.observatory(), nullptr);
+  ASSERT_NE(on.observatory(), nullptr);
+}
+
+TEST(Fleet, ObservatoryRecordsJourneysSeriesAndFlight) {
+  FleetConfig config = small_config();
+  config.observatory.enabled = true;
+  FleetSim fleet(config);
+  const FleetReport r = fleet.run();
+  const obs::Observatory* obsy = fleet.observatory();
+  ASSERT_NE(obsy, nullptr);
+
+  const auto records = obsy->journeys().snapshot();
+  ASSERT_FALSE(records.empty());
+  EXPECT_EQ(obsy->journeys().dropped(), 0u);
+  std::size_t origins = 0;
+  std::size_t origin_rows = 0;
+  std::size_t accepted_at_core = 0;
+  for (const obs::HopRecord& rec : records) {
+    if (rec.kind == obs::HopKind::kOrigin) {
+      ++origins;
+      origin_rows += rec.rows;
+      EXPECT_TRUE(rec.parents.empty());
+    }
+    if (rec.kind == obs::HopKind::kArrive && rec.hop == 1 &&
+        std::string(rec.outcome) == "accepted") {
+      ++accepted_at_core;
+    }
+    if (rec.kind == obs::HopKind::kSend) EXPECT_GE(rec.attempts, 0u);
+  }
+  EXPECT_GT(origins, 0u);
+  // Every flushed window gets an origin record; flushed rows can exceed the
+  // delivered count (losses) but never the generated count.
+  EXPECT_LE(origin_rows, r.rows_generated);
+  EXPECT_GE(origin_rows, r.rows_delivered);
+  EXPECT_GT(accepted_at_core, 0u);
+
+  EXPECT_GT(obsy->flight().noted(), 0u);
+  EXPECT_GT(obsy->series().series_count(), 0u);
+  EXPECT_GT(obsy->series().samples_total(), 0u);
+}
+
+TEST(Fleet, LatencyTiersMirrorSummaryAndStayBounded) {
+  // Per-tier breakdowns are always on (fixed-memory histograms, not the
+  // observatory) and "end-to-end" must mirror the flat latency summary.
+  FleetSim fleet(small_config());
+  const FleetReport r = fleet.run();
+  ASSERT_EQ(r.latency_tiers.count("device-edge"), 1u);
+  ASSERT_EQ(r.latency_tiers.count("edge-core"), 1u);
+  ASSERT_EQ(r.latency_tiers.count("end-to-end"), 1u);
+  const LatencyBreakdown& e2e = r.latency_tiers.at("end-to-end");
+  EXPECT_EQ(e2e.summary.count, r.latency.count);
+  EXPECT_DOUBLE_EQ(e2e.summary.mean_s, r.latency.mean_s);
+  EXPECT_DOUBLE_EQ(e2e.summary.p95_s, r.latency.p95_s);
+  for (const auto& [tier, breakdown] : r.latency_tiers) {
+    EXPECT_EQ(breakdown.counts.size(), breakdown.bounds_s.size() + 1) << tier;
+    std::uint64_t bucket_sum = 0;
+    for (const std::uint64_t c : breakdown.counts) bucket_sum += c;
+    EXPECT_EQ(bucket_sum, breakdown.summary.count) << tier;
+  }
+}
+
 TEST(Fleet, RowConservation) {
   FleetSim fleet(small_config());
   const FleetReport r = fleet.run();

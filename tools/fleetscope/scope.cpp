@@ -1,0 +1,623 @@
+#include "scope.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <set>
+#include <sstream>
+
+namespace iotml::fleetscope {
+
+// ---- Minimal JSON ----------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string& error) : text_(text), error_(error) {}
+
+  bool parse(Json& out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after value");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& what) {
+    std::ostringstream msg;
+    msg << what << " at offset " << pos_;
+    error_ = msg.str();
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool value(Json& out) {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out.kind = Json::Kind::kString;
+      return string(out.str);
+    }
+    if (c == 't' || c == 'f') return boolean(out);
+    if (c == 'n') return null(out);
+    return number(out);
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) return fail("bad literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool boolean(Json& out) {
+    out.kind = Json::Kind::kBool;
+    out.boolean = text_[pos_] == 't';
+    return literal(out.boolean ? "true" : "false");
+  }
+
+  bool null(Json& out) {
+    out.kind = Json::Kind::kNull;
+    return literal("null");
+  }
+
+  bool number(Json& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return fail("expected a number");
+    const std::string token = text_.substr(start, pos_ - start);
+    try {
+      out.number = std::stod(token);
+    } catch (...) {
+      return fail("unparseable number '" + token + "'");
+    }
+    out.kind = Json::Kind::kNumber;
+    out.integer = 0;
+    if (integral && token[0] != '-') {
+      try {
+        out.integer = std::stoull(token);
+      } catch (...) {
+        out.integer = static_cast<std::uint64_t>(out.number);
+      }
+    } else {
+      out.integer = static_cast<std::uint64_t>(out.number < 0 ? 0 : out.number);
+    }
+    return true;
+  }
+
+  bool string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'u': {
+          // The artifacts only escape control characters; decode BMP scalars
+          // to UTF-8 and reject surrogate fiddling as malformed.
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape digit");
+          }
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool array(Json& out) {
+    out.kind = Json::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      Json elem;
+      skip_ws();
+      if (!value(elem)) return false;
+      out.arr.push_back(std::move(elem));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool object(Json& out) {
+    out.kind = Json::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') return fail("expected object key");
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      Json val;
+      if (!value(val)) return false;
+      out.obj.emplace_back(std::move(key), std::move(val));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::string& error_;
+  std::size_t pos_ = 0;
+};
+
+std::string read_all(std::istream& in) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+const Json* Json::find(const std::string& key) const {
+  for (const auto& [k, v] : obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double Json::num_or(const std::string& key, double fallback) const {
+  const Json* v = find(key);
+  return v != nullptr && v->kind == Kind::kNumber ? v->number : fallback;
+}
+
+std::uint64_t Json::u64_or(const std::string& key, std::uint64_t fallback) const {
+  const Json* v = find(key);
+  return v != nullptr && v->kind == Kind::kNumber ? v->integer : fallback;
+}
+
+std::string Json::str_or(const std::string& key, const std::string& fallback) const {
+  const Json* v = find(key);
+  return v != nullptr && v->kind == Kind::kString ? v->str : fallback;
+}
+
+bool parse_json(const std::string& text, Json& out, std::string& error) {
+  out = Json{};
+  Parser p(text, error);
+  return p.parse(out);
+}
+
+// ---- Artifact parsers ------------------------------------------------------
+
+bool parse_journeys(std::istream& in, JourneyFile& out, std::string& error) {
+  out = JourneyFile{};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    Json row;
+    if (!parse_json(line, row, error)) {
+      error = "journeys.jsonl line " + std::to_string(line_no) + ": " + error;
+      return false;
+    }
+    if (const Json* meta = row.find("meta"); meta != nullptr) {
+      out.meta_present = true;
+      out.meta_records = meta->u64_or("records", 0);
+      out.meta_dropped = meta->u64_or("dropped", 0);
+      continue;
+    }
+    ScopeRecord rec;
+    rec.trace = row.u64_or("trace", 0);
+    rec.hop = static_cast<std::uint32_t>(row.u64_or("hop", 0));
+    rec.kind = row.str_or("kind", "");
+    rec.stream = row.str_or("stream", "");
+    rec.src = static_cast<std::size_t>(row.u64_or("src", 0));
+    rec.dst = static_cast<std::size_t>(row.u64_or("dst", 0));
+    rec.t0_s = row.num_or("t0", 0.0);
+    rec.t1_s = row.num_or("t1", 0.0);
+    rec.rows = static_cast<std::size_t>(row.u64_or("rows", 0));
+    rec.bytes = static_cast<std::size_t>(row.u64_or("bytes", 0));
+    rec.attempts = static_cast<std::uint32_t>(row.u64_or("attempts", 0));
+    rec.outcome = row.str_or("outcome", "");
+    if (const Json* parents = row.find("parents");
+        parents != nullptr && parents->kind == Json::Kind::kArray) {
+      for (const Json& p : parents->arr) rec.parents.push_back(p.integer);
+    }
+    out.records.push_back(std::move(rec));
+  }
+  return true;
+}
+
+bool parse_timeseries(std::istream& in, SeriesFile& out, std::string& error) {
+  out = SeriesFile{};
+  Json root;
+  if (!parse_json(read_all(in), root, error)) {
+    error = "timeseries.json: " + error;
+    return false;
+  }
+  out.capacity = static_cast<std::size_t>(root.u64_or("capacity", 0));
+  const Json* series = root.find("series");
+  if (series == nullptr || series->kind != Json::Kind::kArray) {
+    error = "timeseries.json: missing \"series\" array";
+    return false;
+  }
+  for (const Json& row : series->arr) {
+    SeriesEntry entry;
+    entry.metric = row.str_or("metric", "");
+    entry.entity = row.str_or("entity", "");
+    entry.tier = row.str_or("tier", "");
+    entry.total = row.u64_or("total", 0);
+    if (const Json* samples = row.find("samples");
+        samples != nullptr && samples->kind == Json::Kind::kArray) {
+      for (const Json& pair : samples->arr) {
+        if (pair.kind != Json::Kind::kArray || pair.arr.size() != 2) {
+          error = "timeseries.json: sample is not a [t, value] pair";
+          return false;
+        }
+        entry.samples.emplace_back(pair.arr[0].number, pair.arr[1].number);
+      }
+    }
+    out.series.push_back(std::move(entry));
+  }
+  return true;
+}
+
+bool parse_flightrec(std::istream& in, FlightFile& out, std::string& error) {
+  out = FlightFile{};
+  Json root;
+  if (!parse_json(read_all(in), root, error)) {
+    error = "flightrec.json: " + error;
+    return false;
+  }
+  out.ring_capacity = static_cast<std::size_t>(root.u64_or("ring_capacity", 0));
+  const Json* entities = root.find("entities");
+  if (entities == nullptr || entities->kind != Json::Kind::kArray) {
+    error = "flightrec.json: missing \"entities\" array";
+    return false;
+  }
+  for (const Json& row : entities->arr) {
+    FlightEntity entity;
+    entity.entity = static_cast<std::size_t>(row.u64_or("entity", 0));
+    entity.total = row.u64_or("total", 0);
+    if (const Json* events = row.find("events");
+        events != nullptr && events->kind == Json::Kind::kArray) {
+      for (const Json& ev : events->arr) {
+        std::ostringstream line;
+        char t_buf[64];
+        std::snprintf(t_buf, sizeof t_buf, "%.17g", ev.num_or("t", 0.0));
+        line << "t=" << t_buf << " " << ev.str_or("kind", "?") << " a="
+             << ev.u64_or("a", 0) << " b=" << ev.u64_or("b", 0);
+        entity.lines.push_back(line.str());
+      }
+    }
+    out.entities.push_back(std::move(entity));
+  }
+  return true;
+}
+
+// ---- Journey reconstruction ------------------------------------------------
+
+double Journey::end_to_end_s() const noexcept {
+  if (!complete()) return 0.0;
+  return core_arrival->t1_s - origin_rec->t0_s;
+}
+
+double Completeness::origin_fraction() const noexcept {
+  return origins_delivered == 0
+             ? 1.0
+             : static_cast<double>(origins_complete) /
+                   static_cast<double>(origins_delivered);
+}
+
+double Completeness::row_fraction() const noexcept {
+  return rows_delivered == 0 ? 1.0
+                             : static_cast<double>(rows_complete) /
+                                   static_cast<double>(rows_delivered);
+}
+
+Reconstruction::Reconstruction(const JourneyFile& file) {
+  std::map<std::uint64_t, const ScopeRecord*> origins;
+  // Per origin id, the row-stream sends carrying it, split by wire hop.
+  std::map<std::uint64_t, std::vector<const ScopeRecord*>> hop0_sends;
+  std::map<std::uint64_t, std::vector<const ScopeRecord*>> hop1_sends;
+  std::map<std::uint64_t, std::size_t> failed_frames;
+  // Frame trace -> its accepted arrival record.
+  std::map<std::uint64_t, const ScopeRecord*> accepted;
+
+  for (const ScopeRecord& rec : file.records) {
+    outcome_counts_[rec.stream][rec.kind + "/" + rec.outcome] += 1;
+    if (rec.stream != "rows") continue;
+    if (rec.kind == "origin") {
+      origins.emplace(rec.trace, &rec);
+      ++completeness_.origins_total;
+    } else if (rec.kind == "send") {
+      auto& by_hop = rec.hop == 0 ? hop0_sends : hop1_sends;
+      for (const std::uint64_t parent : rec.parents) {
+        if (rec.outcome == "delivered") {
+          by_hop[parent].push_back(&rec);
+        } else {
+          failed_frames[parent] += 1;
+        }
+      }
+    } else if (rec.kind == "arrive" && rec.outcome == "accepted") {
+      accepted.emplace(rec.trace, &rec);
+    }
+  }
+
+  // An origin window was delivered iff a delivered hop-1 frame naming it as a
+  // parent was accepted at the core. std::map iteration keeps the journey
+  // list in origin-trace order, so output is deterministic.
+  for (const auto& [origin, sends] : hop1_sends) {
+    Journey j;
+    j.origin = origin;
+    for (const ScopeRecord* send : sends) {
+      const auto it = accepted.find(send->trace);
+      if (it != accepted.end()) {
+        j.hop1 = send;
+        j.core_arrival = it->second;
+        break;
+      }
+    }
+    if (j.hop1 == nullptr) continue;  // never accepted at the core
+    const auto origin_it = origins.find(origin);
+    if (origin_it != origins.end()) j.origin_rec = origin_it->second;
+    const auto h0 = hop0_sends.find(origin);
+    if (h0 != hop0_sends.end()) {
+      for (const ScopeRecord* send : h0->second) {
+        if (accepted.count(send->trace) != 0) {
+          j.hop0 = send;
+          break;
+        }
+      }
+    }
+    const auto failed = failed_frames.find(origin);
+    j.failed_frames = failed == failed_frames.end() ? 0 : failed->second;
+
+    ++completeness_.origins_delivered;
+    const std::uint64_t weight =
+        j.origin_rec != nullptr ? static_cast<std::uint64_t>(j.origin_rec->rows) : 1;
+    completeness_.rows_delivered += weight;
+    if (j.complete()) {
+      ++completeness_.origins_complete;
+      completeness_.rows_complete += weight;
+    }
+    journeys_.push_back(j);
+  }
+}
+
+// ---- Rendering -------------------------------------------------------------
+
+namespace {
+
+std::string format_seconds(double s) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3fs", s);
+  return buf;
+}
+
+void render_leg(std::ostream& out, const char* label, const ScopeRecord* send) {
+  out << "  " << label << " ";
+  if (send == nullptr) {
+    out << "(missing: chain breaks here)\n";
+    return;
+  }
+  out << "node" << send->src << " -> node" << send->dst << "  sent t="
+      << format_seconds(send->t0_s) << "  arrived t=" << format_seconds(send->t1_s)
+      << "  (+" << format_seconds(send->t1_s - send->t0_s) << ", attempts="
+      << send->attempts << ", " << send->rows << " rows, " << send->bytes
+      << " bytes)\n";
+}
+
+}  // namespace
+
+std::string render_journeys(const Reconstruction& recon, std::size_t limit) {
+  std::ostringstream out;
+  const auto& journeys = recon.journeys();
+  out << "journeys (" << journeys.size() << " delivered origin windows, showing "
+      << std::min(limit, journeys.size()) << ")\n";
+  std::size_t shown = 0;
+  for (const Journey& j : journeys) {
+    if (shown++ >= limit) break;
+    out << "journey origin#" << j.origin;
+    if (j.origin_rec != nullptr) {
+      out << "  (device node" << j.origin_rec->src << ", flushed t="
+          << format_seconds(j.origin_rec->t0_s) << ", " << j.origin_rec->rows
+          << " rows)";
+    } else {
+      out << "  (origin record missing)";
+    }
+    out << "\n";
+    render_leg(out, "hop0", j.hop0);
+    render_leg(out, "hop1", j.hop1);
+    if (j.complete()) {
+      out << "  end-to-end " << format_seconds(j.end_to_end_s());
+      if (j.failed_frames > 0) out << "  (" << j.failed_frames << " failed frames)";
+      out << "\n";
+    } else {
+      out << "  incomplete journey";
+      if (j.failed_frames > 0) out << "  (" << j.failed_frames << " failed frames)";
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string render_heatmap(const SeriesFile& series, std::size_t columns) {
+  static const char kRamp[] = " .:-=+*#%@";
+  constexpr std::size_t kRampMax = sizeof(kRamp) - 2;  // index of densest glyph
+  std::ostringstream out;
+
+  // Group entries by metric; each metric gets its own table.
+  std::map<std::string, std::vector<const SeriesEntry*>> by_metric;
+  for (const SeriesEntry& entry : series.series) {
+    by_metric[entry.metric].push_back(&entry);
+  }
+  for (const auto& [metric, entries] : by_metric) {
+    double t_min = 0.0;
+    double t_max = 0.0;
+    double v_max = 0.0;
+    bool any = false;
+    for (const SeriesEntry* entry : entries) {
+      for (const auto& [t, v] : entry->samples) {
+        if (!any) {
+          t_min = t_max = t;
+          any = true;
+        }
+        t_min = std::min(t_min, t);
+        t_max = std::max(t_max, t);
+        v_max = std::max(v_max, std::fabs(v));
+      }
+    }
+    out << "metric " << metric << "  (t=" << format_seconds(t_min) << " .. "
+        << format_seconds(t_max) << ", max=" << v_max << ")\n";
+    const double span = t_max > t_min ? t_max - t_min : 1.0;
+    for (const SeriesEntry* entry : entries) {
+      std::vector<double> sums(columns, 0.0);
+      std::vector<std::uint64_t> counts(columns, 0);
+      for (const auto& [t, v] : entry->samples) {
+        auto col = static_cast<std::size_t>((t - t_min) / span *
+                                            static_cast<double>(columns));
+        col = std::min(col, columns - 1);
+        sums[col] += std::fabs(v);
+        counts[col] += 1;
+      }
+      std::string heat(columns, ' ');
+      for (std::size_t c = 0; c < columns; ++c) {
+        if (counts[c] == 0) continue;
+        const double mean = sums[c] / static_cast<double>(counts[c]);
+        const double frac = v_max > 0.0 ? mean / v_max : 0.0;
+        const auto idx = static_cast<std::size_t>(frac * static_cast<double>(kRampMax));
+        heat[c] = kRamp[1 + std::min(idx, kRampMax - 1)];
+      }
+      char label[96];
+      std::snprintf(label, sizeof label, "  %-12s %-7s |%s|  total=%llu",
+                    entry->entity.c_str(), entry->tier.c_str(), heat.c_str(),
+                    static_cast<unsigned long long>(entry->total));
+      out << label << "\n";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string render_health(const JourneyFile& file, const Reconstruction& recon,
+                          const FlightFile& flight) {
+  std::ostringstream out;
+  out << "health\n";
+  out << "  journey log: " << file.records.size() << " records";
+  if (file.meta_present) out << " (writer claims " << file.meta_records << ")";
+  out << ", " << file.meta_dropped << " dropped\n";
+  for (const auto& [stream, kinds] : recon.outcome_counts()) {
+    out << "  stream " << stream << ":";
+    for (const auto& [key, count] : kinds) out << "  " << key << "=" << count;
+    out << "\n";
+  }
+  const Completeness& c = recon.completeness();
+  char pct[128];
+  std::snprintf(pct, sizeof pct,
+                "  completeness: %zu/%zu delivered origins reconstruct (%.2f%%), "
+                "%llu/%llu rows (%.2f%%)",
+                c.origins_complete, c.origins_delivered, 100.0 * c.origin_fraction(),
+                static_cast<unsigned long long>(c.rows_complete),
+                static_cast<unsigned long long>(c.rows_delivered),
+                100.0 * c.row_fraction());
+  out << pct << "\n";
+  std::uint64_t flight_total = 0;
+  for (const FlightEntity& e : flight.entities) flight_total += e.total;
+  out << "  flight recorder: " << flight.entities.size() << " active entities, "
+      << flight_total << " events noted (ring=" << flight.ring_capacity << ")\n";
+  return out.str();
+}
+
+std::string render_flight(const FlightFile& flight, std::size_t limit) {
+  std::ostringstream out;
+  out << "flight rings (showing " << std::min(limit, flight.entities.size()) << " of "
+      << flight.entities.size() << " active entities)\n";
+  std::size_t shown = 0;
+  for (const FlightEntity& e : flight.entities) {
+    if (shown++ >= limit) break;
+    out << "  entity " << e.entity << " (" << e.total << " events total):\n";
+    for (const std::string& line : e.lines) out << "    " << line << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace iotml::fleetscope
