@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/error.hpp"
+#include "util/fnv.hpp"
 
 namespace iotml::deploy {
 
@@ -117,12 +118,7 @@ std::int16_t narrow_i16(long long v, const char* what) {
 }
 
 std::uint32_t fnv1a(const std::uint8_t* data, std::size_t size) {
-  std::uint32_t hash = 0x811C9DC5U;
-  for (std::size_t i = 0; i < size; ++i) {
-    hash ^= data[i];
-    hash *= 0x01000193U;
-  }
-  return hash;
+  return fnv1a32(data, size);
 }
 
 }  // namespace iotml::deploy

@@ -89,8 +89,9 @@ std::uint32_t narrow_u32(std::size_t v, const char* what);
 std::int8_t narrow_i8(long long v, const char* what);
 std::int16_t narrow_i16(long long v, const char* what);
 
-/// FNV-1a over a byte range — the artifact trailer checksum. Not
-/// cryptographic; catches truncation and bit rot on the simulated wire.
+/// FNV-1a over a byte range — the artifact trailer checksum. Delegates to
+/// the shared iotml::fnv1a32 (src/util/fnv.hpp), the one implementation the
+/// net payload checksum and the ota patch codec also use.
 std::uint32_t fnv1a(const std::uint8_t* data, std::size_t size);
 
 }  // namespace iotml::deploy

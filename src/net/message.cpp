@@ -2,22 +2,18 @@
 
 #include <bit>
 
+#include "util/fnv.hpp"
+
 namespace iotml::net {
 
 namespace {
 
-inline void fnv1a(std::uint64_t& h, std::uint64_t v) {
-  // Bytewise FNV-1a, matching the artifact codec's trailer discipline.
-  for (int shift = 0; shift < 64; shift += 8) {
-    h ^= (v >> shift) & 0xffU;
-    h *= 1099511628211ULL;
-  }
-}
+inline void fnv1a(std::uint64_t& h, std::uint64_t v) { h = fnv1a64_word(h, v); }
 
 }  // namespace
 
 std::uint64_t payload_checksum(const data::Dataset& ds) {
-  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  std::uint64_t h = kFnv64Basis;
   fnv1a(h, ds.rows());
   fnv1a(h, ds.num_columns());
   for (std::size_t c = 0; c < ds.num_columns(); ++c) {

@@ -25,6 +25,8 @@ const char* hop_stream_name(HopStream stream) noexcept {
       return "artifact";
     case HopStream::kPredictions:
       return "predictions";
+    case HopStream::kPatch:
+      return "patch";
   }
   return "?";
 }

@@ -20,6 +20,7 @@ enum class HopStream : std::uint8_t {
   kRows,         ///< sensor rows, device -> edge -> core
   kArtifact,     ///< compiled model broadcast, core -> edge -> device
   kPredictions,  ///< on-device scores, device -> edge -> core
+  kPatch,        ///< OTA delta-update chunks, core -> edge -> device
 };
 
 const char* hop_kind_name(HopKind kind) noexcept;

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/fnv.hpp"
+
+namespace iotml::ota {
+
+/// Binary delta between two CompiledModel artifacts (or any two byte
+/// images). A patch is a list of copy/data ops that rebuild the target from
+/// the base, plus enough integrity metadata to make applying it safe on a
+/// device that cannot afford a torn image: the base and target image
+/// checksums pin the version chain link (base -> target), and the stable
+/// little-endian wire format ("IOTP", via the deploy ByteWriter/ByteReader)
+/// carries an FNV-1a trailer like every other artifact in the repo.
+///
+/// A *full image* is the degenerate patch against the empty base — one data
+/// op covering the whole target. Initial provisioning and the bounded
+/// fall-back after repeated resume failures both ship exactly that, so the
+/// transfer/resume machinery (see transfer.hpp) has one code path.
+
+/// FNV-1a32 of a byte image; the version chain's identity for an artifact.
+/// The empty image hashes to the FNV offset basis (see kEmptyImageChecksum).
+std::uint32_t image_checksum(const std::vector<std::uint8_t>& image);
+
+/// Checksum of the empty (absent) base image: what a never-provisioned
+/// device reports, and what a full-image patch lists as its base.
+inline constexpr std::uint32_t kEmptyImageChecksum = kFnv32Basis;
+
+enum class OpKind : std::uint8_t {
+  kCopy = 1,  ///< copy `length` bytes from base at `base_offset`
+  kData = 2   ///< append `data` literally
+};
+
+struct PatchOp {
+  OpKind kind = OpKind::kData;
+  std::uint32_t base_offset = 0;  ///< kCopy only
+  std::uint32_t length = 0;       ///< target bytes this op produces
+  std::vector<std::uint8_t> data; ///< kData only (data.size() == length)
+};
+
+/// Tuning of the greedy byte-level differ. The defaults favour small
+/// artifacts (hundreds of bytes to a few KB): every base position is
+/// indexed, matches extend greedily and anything shorter than a copy op's
+/// own encoding stays literal.
+struct DiffParams {
+  std::size_t seed_bytes = 4;   ///< match seed width (>= 1)
+  std::size_t min_match = 12;   ///< shortest run worth a copy op (>= seed)
+};
+
+struct Patch {
+  std::uint16_t version = 1;          ///< wire format version
+  std::uint32_t base_checksum = kEmptyImageChecksum;
+  std::uint32_t target_checksum = kEmptyImageChecksum;
+  std::uint32_t target_size = 0;
+  std::vector<PatchOp> ops;
+
+  /// True when this patch rebuilds the target without a base image.
+  bool full_image() const noexcept { return base_checksum == kEmptyImageChecksum; }
+
+  /// Target bytes produced by data ops (the irreducible literal payload).
+  std::size_t literal_bytes() const noexcept;
+
+  /// Stable little-endian encoding: "IOTP", version, checksums, size, ops,
+  /// FNV-1a trailer. Byte-identical across architectures (golden-pinned).
+  std::vector<std::uint8_t> encode() const;
+
+  /// Parse an encoded patch. Throws InvalidArgument on bad magic, an
+  /// unsupported version, a checksum mismatch or any truncation.
+  static Patch decode(const std::vector<std::uint8_t>& bytes);
+
+  /// Encoded size in bytes (== encode().size()).
+  std::size_t size_bytes() const;
+
+  /// Rebuild the target from `base`. Throws InvalidArgument when the base
+  /// does not hash to base_checksum, an op reads out of range, or the
+  /// rebuilt image does not hash to target_checksum — a patch can never
+  /// silently produce a wrong image.
+  std::vector<std::uint8_t> apply(const std::vector<std::uint8_t>& base) const;
+};
+
+/// Greedy byte-level diff: seed-indexed longest-match search over `base`,
+/// literal bytes where no match clears params.min_match. diff(empty, target)
+/// yields the full-image patch. Throws InvalidArgument when params are
+/// nonsensical (zero seed, min_match < seed_bytes) or either image exceeds
+/// the u32 wire range.
+Patch diff(const std::vector<std::uint8_t>& base,
+           const std::vector<std::uint8_t>& target, DiffParams params = {});
+
+}  // namespace iotml::ota

@@ -1,0 +1,55 @@
+#include "ota/rollout.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace iotml::ota {
+
+std::vector<std::uint32_t> pick_canaries(std::size_t device_count,
+                                         const OtaConfig& cfg, Rng& rng) {
+  IOTML_CHECK(device_count > 0, "pick_canaries: empty fleet");
+  IOTML_CHECK(cfg.canary_fraction >= 0.0 && cfg.canary_fraction <= 1.0,
+              "pick_canaries: canary_fraction out of [0, 1]");
+  std::size_t want = static_cast<std::size_t>(
+      std::llround(cfg.canary_fraction * static_cast<double>(device_count)));
+  want = std::max(want, cfg.min_canary_devices);
+  want = std::min(want, device_count);
+  std::vector<std::size_t> picked = rng.sample_without_replacement(device_count, want);
+  std::sort(picked.begin(), picked.end());
+  std::vector<std::uint32_t> out;
+  out.reserve(picked.size());
+  for (std::size_t i : picked) out.push_back(static_cast<std::uint32_t>(i));
+  return out;
+}
+
+CanaryVerdict judge(std::uint32_t version_id, int epoch,
+                    const std::vector<CanaryProbe>& probes,
+                    const OtaConfig& cfg) {
+  CanaryVerdict v;
+  v.version_id = version_id;
+  v.epoch = epoch;
+  v.devices_reporting = probes.size();
+  std::size_t correct_old = 0;
+  std::size_t correct_new = 0;
+  for (const CanaryProbe& p : probes) {
+    v.pooled_rows += p.rows;
+    correct_old += p.correct_old;
+    correct_new += p.correct_new;
+  }
+  if (v.pooled_rows == 0) {
+    // No canary evidence (cohort unreachable, or no scored rows yet):
+    // refuse to promote rather than gamble the fleet.
+    v.promoted = false;
+    return v;
+  }
+  v.accuracy_old =
+      static_cast<double>(correct_old) / static_cast<double>(v.pooled_rows);
+  v.accuracy_new =
+      static_cast<double>(correct_new) / static_cast<double>(v.pooled_rows);
+  v.promoted = v.accuracy_new >= v.accuracy_old - cfg.regression_tolerance;
+  return v;
+}
+
+}  // namespace iotml::ota

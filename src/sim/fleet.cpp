@@ -1,11 +1,13 @@
 #include "sim/fleet.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <limits>
 #include <numbers>
 #include <numeric>
 #include <utility>
 
+#include "deploy/codec.hpp"
 #include "deploy/compile.hpp"
 #include "deploy/quantize.hpp"
 #include "learners/decision_tree.hpp"
@@ -117,8 +119,20 @@ FleetSim::FleetSim(FleetConfig config, pipeline::Pipeline full_pipeline)
   if (config.deploy.enabled) {
     IOTML_CHECK(config.deploy.score_window_s > 0.0,
                 "FleetSim: deploy score window must be positive");
+  }
+  if (config.ota.enabled) {
+    IOTML_CHECK(config.ota.epochs >= 1, "FleetSim: ota.epochs must be >= 1");
+    IOTML_CHECK(config.ota.chunk_bytes >= 1, "FleetSim: ota.chunk_bytes must be >= 1");
+    IOTML_CHECK(config.ota.canary_fraction >= 0.0 && config.ota.canary_fraction <= 1.0,
+                "FleetSim: ota.canary_fraction outside [0, 1]");
+    IOTML_CHECK(config.ota.resume_timeout_s > 0.0 && config.ota.verdict_delay_s > 0.0,
+                "FleetSim: ota timeouts must be positive");
+    IOTML_CHECK(config.ota.epoch_jitter_s >= 0.0, "FleetSim: negative ota epoch jitter");
+  }
+  if (config.deploy.enabled || config.ota.enabled) {
     // Downlinks append after every uplink, so in the split loop below the
     // uplinks draw exactly the Rng streams a non-deploy run would assign.
+    // OTA-only runs reuse the deploy link parameters for the return path.
     topo_.add_downlinks(config.deploy.edge_device_link, config.deploy.core_edge_link);
   }
 
@@ -140,6 +154,11 @@ FleetSim::FleetSim(FleetConfig config, pipeline::Pipeline full_pipeline)
   // The chaos stream splits off *after* every legacy stream, so a run with
   // chaos disabled draws exactly the sequences the pre-chaos runtime drew.
   chaos_rng_ = master.split();  // rng-stream: chaos
+  // The OTA streams split off after every earlier stream (appended to the
+  // manifest in this order), so prior-seed event logs stay byte-identical
+  // when OTA is off.
+  canary_rng_ = master.split();  // rng-stream: canary
+  epoch_rng_ = master.split();  // rng-stream: epoch
 
   // One transport per link. The topology is final here (downlinks included),
   // so the Link references the channels capture stay stable.
@@ -177,6 +196,11 @@ FleetSim::FleetSim(FleetConfig config, pipeline::Pipeline full_pipeline)
   seen_.resize(topo_.num_nodes());
   artifact_seen_.assign(topo_.num_nodes(), 0);
   pred_seen_.resize(topo_.num_nodes());
+  if (config.ota.enabled) {
+    ota_stores_.resize(config.devices);
+    ota_active_transfer_.assign(config.devices, kNoMessage);
+    ota_report_seen_.resize(topo_.num_nodes());
+  }
 
   if (config_.observatory.enabled) {
     obs::ObservatoryOptions opts;
@@ -229,6 +253,8 @@ FleetSim::FleetSim(FleetConfig config, pipeline::Pipeline full_pipeline)
       }
     }
   }
+
+  if (config.ota.enabled) schedule_ota_epochs();
 }
 
 void FleetSim::generate_device_data() {
@@ -316,6 +342,7 @@ FleetReport FleetSim::run() {
 
   finalize();
   if (config_.deploy.enabled) run_deploy_phase();
+  if (config_.ota.enabled) finalize_ota();
 
   report_.events = sched_.processed();
   for (std::size_t l = 0; l < topo_.num_links(); ++l) {
@@ -346,6 +373,10 @@ FleetReport FleetSim::run() {
   if (obsy_ && !config_.observatory.artifact_dir.empty()) {
     // Best-effort: an unwritable artifact dir must not fail a finished run.
     obsy_->write_artifacts(config_.observatory.artifact_dir, sched_.log());
+    if (config_.ota.enabled) {
+      std::ofstream ota_out(config_.observatory.artifact_dir + "/ota.json");
+      if (ota_out) ota_out << ota_to_json(report_.deploy.ota);
+    }
   }
   return report_;
 }
@@ -441,6 +472,24 @@ void FleetSim::handle(const Event& event) {
       break;
     case EventKind::kCorruptArrival:
       handle_corrupt_arrival(event);
+      break;
+    case EventKind::kOtaEpoch:
+      handle_ota_epoch(event);
+      break;
+    case EventKind::kOtaChunkArrival:
+      handle_ota_chunk_arrival(event);
+      break;
+    case EventKind::kOtaResume:
+      handle_ota_resume(event);
+      break;
+    case EventKind::kOtaReportArrival:
+      handle_ota_report_arrival(event);
+      break;
+    case EventKind::kOtaVerdict:
+      handle_ota_verdict(event);
+      break;
+    case EventKind::kOtaControlArrival:
+      handle_ota_control_arrival(event);
       break;
   }
 }
@@ -1430,6 +1479,713 @@ void FleetSim::handle_prediction_arrival(const Event& event) {
                  topo_.node(node).up ? "accepted" : "dead_receiver");
   if (!topo_.node(node).up) return;  // stranded at a down edge
   send_predictions(node, event.message, event.time_s);
+}
+
+// ---- OTA delta updates (DESIGN.md §14) ------------------------------------
+
+void FleetSim::schedule_ota_epochs() {
+  // Epochs fire *inside* the learning window, evenly spaced at
+  // duration * (e+1)/(epochs+1), plus a seeded jitter that desynchronizes
+  // retrains from the flush schedule — so chaos windows genuinely overlap
+  // patch transfers.
+  for (int e = 0; e < config_.ota.epochs; ++e) {
+    const double base = config_.duration_s * static_cast<double>(e + 1) /
+                        static_cast<double>(config_.ota.epochs + 1);
+    const double jitter = config_.ota.epoch_jitter_s > 0.0
+                              ? epoch_rng_.uniform(0.0, config_.ota.epoch_jitter_s)
+                              : 0.0;
+    sched_.push(base + jitter, EventKind::kOtaEpoch, topo_.core(),
+                static_cast<std::size_t>(e));
+  }
+}
+
+void FleetSim::handle_ota_epoch(const Event& event) {
+  OtaSummary& ota = report_.deploy.ota;
+  const int epoch = static_cast<int>(event.message);
+
+  // Newest version wins. In-flight transfers for older rollouts stop (their
+  // chunks count as stale on arrival), and a rollout still waiting on its
+  // verdict is superseded outright — its canaries simply join this epoch's
+  // base population, one version behind.
+  for (std::size_t d = 0; d < config_.devices; ++d) {
+    const std::size_t t = ota_active_transfer_[d];
+    if (t != kNoMessage) ota_transfers_[t].done = true;
+  }
+  for (OtaRollout& prior : ota_rollouts_) {
+    if (!prior.verdict_issued) {
+      prior.verdict_issued = true;
+      ota.epochs_log[prior.entry].outcome = "superseded";
+    }
+  }
+
+  ota.epochs_log.push_back({});
+  OtaEpochEntry& entry = ota.epochs_log.back();
+  entry.epoch = epoch;
+  entry.t_s = event.time_s;
+
+  if (!topo_.node(topo_.core()).up) {
+    entry.outcome = "core-down";
+    return;
+  }
+  if (core_buffer_.row_count < config_.ota.min_train_rows) {
+    entry.outcome = "no-data";
+    return;
+  }
+
+  // Retrain on everything the core has integrated so far, time-ordered and
+  // labeled the same way finalize() does. The timestamp column is dropped
+  // (same clock-shortcut reason); the full sensor schema is kept — no
+  // per-epoch MI reduction — so the artifact schema stays stable across
+  // epochs and consecutive images stay delta-friendly.
+  std::vector<std::size_t> order(core_buffer_.row_count);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  {
+    const data::Column& ts = core_buffer_.rows.column(0);
+    std::stable_sort(order.begin(), order.end(), [&ts](std::size_t a, std::size_t b) {
+      return ts.numeric(a) < ts.numeric(b);
+    });
+  }
+  data::Dataset ds = core_buffer_.rows.select_rows(order);
+  std::vector<int> labels;
+  labels.reserve(ds.rows());
+  for (std::size_t r = 0; r < ds.rows(); ++r) {
+    labels.push_back(truth_label(ds.column(0).numeric(r)));
+  }
+  ds.set_labels(std::move(labels));
+  std::vector<std::size_t> feature_cols;
+  for (std::size_t c = 0; c < ds.num_columns(); ++c) {
+    if (ds.column(c).name() != "timestamp") feature_cols.push_back(c);
+  }
+  const data::Dataset train =
+      feature_cols.empty() || feature_cols.size() == ds.num_columns()
+          ? ds
+          : ds.select_columns(feature_cols);
+  entry.train_rows = train.rows();
+
+  deploy::CompiledModel model = compile_for(config_.deploy.model, train);
+  if (config_.deploy.precision != deploy::Precision::kFloat32) {
+    model = deploy::quantize(model, config_.deploy.precision);
+  }
+  std::vector<std::uint8_t> image = model.encode();
+  const std::uint32_t target = ota::image_checksum(image);
+  entry.image_bytes = image.size();
+
+  // Counterfactual ledger: the naive pipeline re-ships the full image to
+  // every device every epoch — no-change epochs included, it has no way to
+  // know — over the same two unicast hops (core->edge, edge->device) the
+  // real transport uses, chunked and framed identically.
+  std::vector<std::uint8_t> full_bytes = ota::diff({}, image).encode();
+  const std::uint64_t full_chunks =
+      (full_bytes.size() + config_.ota.chunk_bytes - 1) / config_.ota.chunk_bytes;
+  const std::uint64_t full_per_hop =
+      full_bytes.size() +
+      full_chunks * (ota::kChunkFramingBytes + net::kMessageHeaderBytes);
+  entry.full_broadcast_bytes =
+      full_per_hop * 2 * static_cast<std::uint64_t>(config_.devices);
+  ota.full_broadcast_bytes += entry.full_broadcast_bytes;
+
+  if (target == ota_chain_.head_checksum()) {
+    // The retrain reproduced the promoted head byte-for-byte: nothing to
+    // ship. (Devices behind the head stay behind until the next real
+    // version; the histogram reveals them.)
+    entry.outcome = "no-change";
+    return;
+  }
+
+  OtaRollout ro;
+  ro.epoch = epoch;
+  ro.version_id = ota_next_version_++;
+  ro.base_checksum = ota_chain_.head_checksum();
+  ro.target_checksum = target;
+  ro.provisioning = ota_chain_.empty();
+  ro.full = ota::ChunkedPatch(std::move(full_bytes), config_.ota.chunk_bytes,
+                              ro.version_id);
+  if (!ro.provisioning) {
+    // Ship whichever payload is cheaper on the wire. A retrain that merely
+    // extends the data diffs to a fraction of the image, but one that
+    // restructures the tree can produce a delta as large as the image
+    // itself — then the full patch wins and the ledger records the
+    // oversized delta that was not shipped (patch_bytes vs image_bytes).
+    const ota::Patch delta = ota::diff(ota_head_image_, image);
+    entry.patch_bytes = delta.size_bytes();
+    std::vector<std::uint8_t> delta_bytes = delta.encode();
+    if (delta_bytes.size() < ro.full.patch_bytes().size()) {
+      ro.delta = ota::ChunkedPatch(std::move(delta_bytes),
+                                   config_.ota.chunk_bytes, ro.version_id);
+      ro.has_delta = true;
+    }
+  }
+  ro.image = std::move(image);
+  ro.entry = ota.epochs_log.size() - 1;
+  entry.version_id = ro.version_id;
+
+  ro.trace = next_trace_++;
+  if (obsy_) {
+    obs::HopRecord origin;
+    origin.trace = ro.trace;
+    origin.kind = obs::HopKind::kOrigin;
+    origin.stream = obs::HopStream::kPatch;
+    origin.src = topo_.core();
+    origin.dst = topo_.core();
+    origin.t0_s = event.time_s;
+    origin.t1_s = event.time_s;
+    origin.bytes = ro.full.patch_bytes().size();
+    obsy_->journeys().record(std::move(origin));
+    obsy_->flight().note(topo_.core(), event.time_s, "ota-build", ro.version_id,
+                         ro.image.size());
+  }
+
+  const std::size_t r = ota_rollouts_.size();
+  ota_rollouts_.push_back(std::move(ro));
+  OtaRollout& rollout = ota_rollouts_[r];
+
+  if (rollout.provisioning) {
+    // First version: there is no running model to canary against, so it
+    // promotes by construction and the whole fleet gets the full image.
+    entry.outcome = "provision";
+    rollout.verdict_issued = true;
+    rollout.promoted = true;
+    ota_chain_.append(rollout.version_id, rollout.target_checksum,
+                      deploy::narrow_u32(rollout.image.size(), "ota image bytes"),
+                      deploy::narrow_u32(rollout.full.patch_bytes().size(),
+                                         "ota patch bytes"));
+    ota_head_image_ = rollout.image;
+    for (std::size_t d = 0; d < config_.devices; ++d) {
+      start_ota_transfer(d, r, event.time_s);
+    }
+    return;
+  }
+
+  rollout.cohort = ota::pick_canaries(config_.devices, config_.ota, canary_rng_);
+  entry.canary_devices = rollout.cohort.size();
+  for (std::uint32_t d : rollout.cohort) {
+    start_ota_transfer(d, r, event.time_s);
+  }
+  sched_.push(event.time_s + config_.ota.verdict_delay_s, EventKind::kOtaVerdict,
+              topo_.core(), r);
+}
+
+void FleetSim::start_ota_transfer(std::size_t device_index,
+                                  std::size_t rollout_index, double now_s) {
+  const OtaRollout& ro = ota_rollouts_[rollout_index];
+  OtaSummary& ota = report_.deploy.ota;
+  if (ota_stores_[device_index].current_checksum() == ro.target_checksum) return;
+
+  OtaTransfer t;
+  t.rollout = rollout_index;
+  t.device = static_cast<std::uint32_t>(device_index);
+  t.canary = !ro.verdict_issued;
+  // The delta only moves a device sitting exactly on the rollout's base; a
+  // behind or unprovisioned device needs the full image from the start.
+  const std::uint32_t have = ota_stores_[device_index].current_checksum();
+  t.full = !ro.has_delta || have != ro.base_checksum;
+  if (ro.has_delta && t.full) {
+    ++ota.full_fallbacks;
+    ++ota.epochs_log[ro.entry].full_fallbacks;
+  }
+
+  const std::size_t idx = ota_transfers_.size();
+  ota_transfers_.push_back(std::move(t));
+  ota_active_transfer_[device_index] = idx;
+  const ota::ChunkedPatch& chunked =
+      ota_transfers_[idx].full ? ro.full : ro.delta;
+  std::vector<std::size_t> all(chunked.num_chunks());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  send_ota_chunks(idx, all, now_s);
+  sched_.push(now_s + config_.ota.resume_timeout_s, EventKind::kOtaResume,
+              topo_.device(device_index), idx);
+}
+
+void FleetSim::send_ota_chunks(std::size_t transfer_index,
+                               const std::vector<std::size_t>& chunks,
+                               double now_s) {
+  const OtaTransfer& t = ota_transfers_[transfer_index];
+  const net::NodeId edge = topo_.edge(t.device % config_.edges);
+  for (std::size_t c : chunks) {
+    const std::size_t record = ota_chunk_msgs_.size();
+    ota_chunk_msgs_.push_back(
+        {transfer_index, static_cast<std::uint32_t>(c), t.full});
+    send_ota_chunk_hop(edge, record, now_s);
+  }
+}
+
+void FleetSim::send_ota_chunk_hop(net::NodeId to, std::size_t record,
+                                  double now_s) {
+  const OtaChunkMsg& msg = ota_chunk_msgs_[record];
+  const OtaTransfer& t = ota_transfers_[msg.transfer];
+  const OtaRollout& ro = ota_rollouts_[t.rollout];
+  const ota::ChunkedPatch& chunked = msg.full ? ro.full : ro.delta;
+  const ota::ChunkFrame frame = chunked.frame(msg.chunk);
+  const std::size_t bytes = net::kMessageHeaderBytes + frame.wire_bytes();
+
+  OtaSummary& ota = report_.deploy.ota;
+  ++ota.chunks_sent;
+  // The radio spends the bytes whether or not the wire delivers; both the
+  // run total and the per-epoch ledger count every hop transmission.
+  ota.delta_downlink_bytes += bytes;
+  ota.epochs_log[ro.entry].delta_downlink_bytes += bytes;
+  obs::registry().counter("ota.chunk_sends").add();
+  obs::registry().counter("ota.downlink_bytes").add(bytes);
+
+  const std::size_t link_index = topo_.downlink_index(to);
+  const net::ChannelOutcome out =
+      channels_[link_index].send(now_s, bytes, link_rngs_[link_index]);
+  const std::uint64_t frame_trace = next_trace_++;
+  auto record_send = [&](const char* outcome, double t1_s) {
+    if (!obsy_) return;
+    obs::HopRecord r;
+    r.trace = frame_trace;
+    r.hop = to >= config_.devices ? 0 : 1;  // core->edge, then edge->device
+    r.kind = obs::HopKind::kSend;
+    r.stream = obs::HopStream::kPatch;
+    r.src = to >= config_.devices ? topo_.core() : topo_.next_hop(to);
+    r.dst = to;
+    r.t0_s = now_s;
+    r.t1_s = t1_s;
+    r.bytes = bytes;
+    r.attempts = out.attempts;
+    r.outcome = outcome;
+    r.parents = {ro.trace};
+    obsy_->journeys().record(std::move(r));
+  };
+  if (out.corrupted) {
+    // The chunk fails its FNV check at the receiver and is discarded; the
+    // resume round re-requests it.
+    ++ota.chunks_corrupt_rejected;
+    obs::registry().counter("ota.chunk_corrupt_rejected").add();
+    record_send("corrupt", out.arrival_s);
+    return;
+  }
+  if (!out.accepted || !out.delivered) {
+    record_send(out.accepted ? "dropped" : "dead_letter", 0.0);
+    return;
+  }
+  record_send("delivered", out.arrival_s);
+  sched_.push(out.arrival_s, EventKind::kOtaChunkArrival, to, record);
+  if (out.duplicated) {
+    sched_.push(out.duplicate_arrival_s, EventKind::kOtaChunkArrival, to, record);
+  }
+}
+
+void FleetSim::handle_ota_chunk_arrival(const Event& event) {
+  const net::NodeId node = event.target;
+  const OtaChunkMsg& msg = ota_chunk_msgs_[event.message];
+  OtaTransfer& t = ota_transfers_[msg.transfer];
+  const OtaRollout& ro = ota_rollouts_[t.rollout];
+  OtaSummary& ota = report_.deploy.ota;
+  const std::uint32_t hop = node >= config_.devices ? 0 : 1;
+
+  if (!topo_.node(node).up) {
+    journey_arrive(ro.trace, obs::HopStream::kPatch, hop, node, event.time_s, 0,
+                   "dead_receiver");
+    return;
+  }
+  if (t.done || ota_active_transfer_[t.device] != msg.transfer ||
+      msg.full != t.full) {
+    // Superseded transfer, or a leftover delta chunk after the fall back to
+    // the full image — either way the frame no longer indexes anything the
+    // device wants.
+    ++ota.chunks_stale;
+    journey_arrive(ro.trace, obs::HopStream::kPatch, hop, node, event.time_s, 0,
+                   "stale");
+    return;
+  }
+  if (node >= config_.devices) {
+    // Edge relay: one more downlink hop to the target device.
+    journey_arrive(ro.trace, obs::HopStream::kPatch, hop, node, event.time_s, 0,
+                   "accepted");
+    send_ota_chunk_hop(topo_.device(t.device), event.message, event.time_s);
+    return;
+  }
+
+  const ota::ChunkedPatch& chunked = msg.full ? ro.full : ro.delta;
+  switch (t.applier.accept(chunked.frame(msg.chunk))) {
+    case ota::PatchApplier::Accept::kAccepted:
+      ++ota.chunks_delivered;
+      journey_arrive(ro.trace, obs::HopStream::kPatch, hop, node, event.time_s,
+                     0, "accepted");
+      if (t.applier.complete()) ota_commit_device(msg.transfer, event.time_s);
+      break;
+    case ota::PatchApplier::Accept::kDuplicate:
+      ++ota.chunk_duplicates;
+      journey_arrive(ro.trace, obs::HopStream::kPatch, hop, node, event.time_s,
+                     0, "duplicate");
+      break;
+    case ota::PatchApplier::Accept::kChecksumMismatch:
+    case ota::PatchApplier::Accept::kShapeMismatch:
+      ++ota.chunks_corrupt_rejected;
+      journey_arrive(ro.trace, obs::HopStream::kPatch, hop, node, event.time_s,
+                     0, "rejected");
+      break;
+  }
+}
+
+void FleetSim::ota_commit_device(std::size_t transfer_index, double now_s) {
+  OtaTransfer& t = ota_transfers_[transfer_index];
+  const OtaRollout& ro = ota_rollouts_[t.rollout];
+  OtaSummary& ota = report_.deploy.ota;
+  ota::DeviceImageStore& store = ota_stores_[t.device];
+  t.done = true;
+
+  const ota::Patch patch = ota::Patch::decode(t.applier.assemble());
+  std::vector<std::uint8_t> image =
+      patch.full_image() ? patch.apply({}) : patch.apply(store.current_image());
+
+  // The canary A/B probe runs before the commit: the same recent rows,
+  // scored by the running model and by the candidate, so the pooled verdict
+  // compares the two on identical data. A device with no baseline (first
+  // provision) has nothing to compare against.
+  if (t.canary && !ro.verdict_issued && store.provisioned()) {
+    const ota::CanaryProbe probe =
+        ota_probe(t.device, store.current_image(), image, now_s);
+    if (probe.rows > 0) {
+      const std::size_t record = ota_report_msgs_.size();
+      ota_report_msgs_.push_back({t.rollout, probe});
+      send_ota_report_hop(topo_.device(t.device), record, now_s);
+    }
+  }
+
+  // Commit is the only place the running image changes, and it requires the
+  // full checksum to verify — a crash anywhere before this line leaves the
+  // device on its previous consistent version.
+  store.commit(ro.version_id, std::move(image), patch.target_checksum);
+  ++ota.epochs_log[ro.entry].devices_updated;
+  ota.last_commit_t_s = std::max(ota.last_commit_t_s, now_s);
+  obs::registry().counter("ota.commits").add();
+  if (obsy_) {
+    obsy_->flight().note(topo_.device(t.device), now_s, "ota-commit",
+                         ro.version_id, t.full ? 1 : 0);
+  }
+}
+
+ota::CanaryProbe FleetSim::ota_probe(std::size_t device_index,
+                                     const std::vector<std::uint8_t>& old_image,
+                                     const std::vector<std::uint8_t>& new_image,
+                                     double now_s) const {
+  ota::CanaryProbe probe;
+  probe.device = static_cast<std::uint32_t>(device_index);
+  const data::Dataset& all = device_data_[device_index];
+  std::size_t upto = 0;
+  while (upto < all.rows() && all.column(0).numeric(upto) < now_s) ++upto;
+  const std::size_t count = std::min(config_.ota.probe_rows, upto);
+  if (count == 0) return probe;
+
+  deploy::DeviceRuntime old_rt(deploy::CompiledModel::decode(old_image));
+  deploy::DeviceRuntime new_rt(deploy::CompiledModel::decode(new_image));
+  old_rt.bind(all);
+  new_rt.bind(all);
+  probe.rows = count;
+  for (std::size_t r = upto - count; r < upto; ++r) {
+    const int label = truth_label(all.column(0).numeric(r));
+    if (old_rt.predict_row(all, r) == label) ++probe.correct_old;
+    if (new_rt.predict_row(all, r) == label) ++probe.correct_new;
+  }
+  return probe;
+}
+
+void FleetSim::send_ota_report_hop(net::NodeId from, std::size_t record,
+                                   double now_s) {
+  const OtaReportMsg& msg = ota_report_msgs_[record];
+  const OtaRollout& ro = ota_rollouts_[msg.rollout];
+  // Version id + device + rows + two correct counts, each u32, framed.
+  const std::size_t bytes = net::kMessageHeaderBytes + 20;
+  OtaSummary& ota = report_.deploy.ota;
+  ota.probe_uplink_bytes += bytes;
+  obs::registry().counter("ota.probe_uplink_bytes").add(bytes);
+
+  const std::size_t link_index = topo_.uplink_index(from);
+  const net::NodeId to = topo_.next_hop(from);
+  const net::ChannelOutcome out =
+      channels_[link_index].send(now_s, bytes, link_rngs_[link_index]);
+  const std::uint64_t frame_trace = next_trace_++;
+  if (obsy_) {
+    obs::HopRecord r;
+    r.trace = frame_trace;
+    r.hop = from < config_.devices ? 0 : 1;  // device->edge, then edge->core
+    r.kind = obs::HopKind::kSend;
+    r.stream = obs::HopStream::kPatch;
+    r.src = from;
+    r.dst = to;
+    r.t0_s = now_s;
+    r.t1_s = out.delivered ? out.arrival_s : 0.0;
+    r.bytes = bytes;
+    r.attempts = out.attempts;
+    // A lost probe is tolerated, not retried: the verdict pools whatever
+    // reports made it.
+    r.outcome = out.corrupted                        ? "corrupt"
+                : (!out.accepted || !out.delivered) ? "dropped"
+                                                     : "delivered";
+    r.parents = {ro.trace};
+    obsy_->journeys().record(std::move(r));
+  }
+  if (out.corrupted || !out.accepted || !out.delivered) return;
+  sched_.push(out.arrival_s, EventKind::kOtaReportArrival, to, record);
+  if (out.duplicated) {
+    sched_.push(out.duplicate_arrival_s, EventKind::kOtaReportArrival, to, record);
+  }
+}
+
+void FleetSim::handle_ota_report_arrival(const Event& event) {
+  const net::NodeId node = event.target;
+  // Membership-only dedup (duplicate delivery of the same report record).
+  if (!ota_report_seen_[node].insert(event.message).second) return;
+  if (!topo_.node(node).up) return;
+  if (node != topo_.core()) {
+    // Edge relay toward the core.
+    send_ota_report_hop(node, event.message, event.time_s);
+    return;
+  }
+  const OtaReportMsg& msg = ota_report_msgs_[event.message];
+  OtaRollout& ro = ota_rollouts_[msg.rollout];
+  if (ro.verdict_issued) return;  // late probe, verdict already out
+  ro.probes.push_back(msg.probe);
+}
+
+void FleetSim::handle_ota_resume(const Event& event) {
+  const std::size_t idx = event.message;
+  OtaTransfer& t = ota_transfers_[idx];
+  if (t.done || t.stuck || ota_active_transfer_[t.device] != idx) return;
+  const OtaRollout& ro = ota_rollouts_[t.rollout];
+  if (ro.verdict_issued && !ro.promoted) {
+    // The candidate was rolled back (or never promoted) while this canary
+    // transfer was still moving: stop spending radio on it.
+    t.done = true;
+    return;
+  }
+  OtaSummary& ota = report_.deploy.ota;
+  OtaEpochEntry& entry = ota.epochs_log[ro.entry];
+  const ota::ChunkedPatch& chunked = t.full ? ro.full : ro.delta;
+  std::vector<std::size_t> want;
+  if (t.applier.started()) {
+    want = t.applier.missing();
+  } else {
+    want.resize(chunked.num_chunks());
+    std::iota(want.begin(), want.end(), std::size_t{0});
+  }
+  if (want.empty()) return;  // complete; the commit path already ran
+
+  if (t.resume_rounds < config_.ota.max_resume_rounds) {
+    ++t.resume_rounds;
+    ++ota.resume_rounds;
+    obs::registry().counter("ota.resume_rounds").add();
+    send_ota_chunks(idx, want, event.time_s);
+  } else if (!t.full) {
+    // Delta rounds exhausted: fall back to the full image. The applier
+    // resets (staged delta chunks are discarded); the running image is
+    // untouched by construction.
+    t.full = true;
+    t.full_rounds = 1;
+    t.resume_rounds = 0;
+    t.applier.reset();
+    ++ota.full_fallbacks;
+    ++entry.full_fallbacks;
+    obs::registry().counter("ota.full_fallbacks").add();
+    std::vector<std::size_t> all(ro.full.num_chunks());
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    send_ota_chunks(idx, all, event.time_s);
+  } else if (t.full_rounds < config_.ota.max_full_rounds) {
+    ++t.full_rounds;
+    t.resume_rounds = 0;
+    t.applier.reset();
+    std::vector<std::size_t> all(ro.full.num_chunks());
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    send_ota_chunks(idx, all, event.time_s);
+  } else {
+    // Every round exhausted: the device stays on its current verified
+    // version for this epoch and is ledgered as stuck.
+    t.stuck = true;
+    t.done = true;
+    ++entry.devices_stuck;
+    obs::registry().counter("ota.devices_stuck").add();
+    if (obsy_) {
+      obsy_->flight().note(topo_.device(t.device), event.time_s, "ota-stuck",
+                           ro.version_id);
+    }
+    return;
+  }
+  sched_.push(event.time_s + config_.ota.resume_timeout_s, EventKind::kOtaResume,
+              topo_.device(t.device), idx);
+}
+
+void FleetSim::handle_ota_verdict(const Event& event) {
+  const std::size_t r = event.message;
+  OtaRollout& ro = ota_rollouts_[r];
+  if (ro.verdict_issued) return;  // superseded by a later epoch
+  ro.verdict_issued = true;
+  OtaSummary& ota = report_.deploy.ota;
+  OtaEpochEntry& entry = ota.epochs_log[ro.entry];
+
+  auto cancel_cohort = [&]() {
+    for (std::uint32_t d : ro.cohort) {
+      const std::size_t active = ota_active_transfer_[d];
+      if (active != kNoMessage && ota_transfers_[active].rollout == r) {
+        ota_transfers_[active].done = true;
+      }
+    }
+  };
+
+  if (!topo_.node(topo_.core()).up) {
+    // Nobody home to pool the probes: conservative skip, the candidate is
+    // abandoned and canaries that committed it roll back locally next time
+    // the core ships a version (they are off-head in the histogram).
+    entry.outcome = "verdict-skipped";
+    cancel_cohort();
+    return;
+  }
+
+  const ota::CanaryVerdict verdict =
+      ota::judge(ro.version_id, ro.epoch, ro.probes, config_.ota);
+  entry.devices_reporting = verdict.devices_reporting;
+  entry.pooled_rows = verdict.pooled_rows;
+  entry.accuracy_old = verdict.accuracy_old;
+  entry.accuracy_new = verdict.accuracy_new;
+
+  if (verdict.promoted) {
+    entry.outcome = "promote";
+    ++ota.promotions;
+    ro.promoted = true;
+    ota_chain_.append(ro.version_id, ro.target_checksum,
+                      deploy::narrow_u32(ro.image.size(), "ota image bytes"),
+                      deploy::narrow_u32(ro.has_delta
+                                             ? ro.delta.patch_bytes().size()
+                                             : ro.full.patch_bytes().size(),
+                                         "ota patch bytes"));
+    ota_head_image_ = ro.image;
+    obs::registry().counter("ota.promotions").add();
+    if (obsy_) {
+      obsy_->flight().note(topo_.core(), event.time_s, "ota-promote",
+                           ro.version_id, verdict.pooled_rows);
+    }
+    // Ship to the rest of the fleet; canaries mid-transfer keep going.
+    for (std::size_t d = 0; d < config_.devices; ++d) {
+      const std::size_t active = ota_active_transfer_[d];
+      if (active != kNoMessage && !ota_transfers_[active].done &&
+          ota_transfers_[active].rollout == r) {
+        continue;
+      }
+      start_ota_transfer(d, r, event.time_s);
+    }
+    return;
+  }
+
+  entry.outcome = "rollback";
+  ++ota.rollbacks;
+  obs::registry().counter("ota.rollbacks").add();
+  if (obsy_) {
+    obsy_->flight().note(topo_.core(), event.time_s, "ota-rollback",
+                         ro.version_id, verdict.pooled_rows);
+  }
+  cancel_cohort();
+  // Canaries that already committed the bad version get a rollback command;
+  // the revert itself is local and free (the previous image is retained).
+  for (std::uint32_t d : ro.cohort) {
+    if (ota_stores_[d].current_checksum() == ro.target_checksum) {
+      const std::size_t record = ota_control_msgs_.size();
+      ota_control_msgs_.push_back({r, d});
+      send_ota_control_hop(topo_.edge(d % config_.edges), record, event.time_s);
+    }
+  }
+}
+
+void FleetSim::send_ota_control_hop(net::NodeId to, std::size_t record,
+                                    double now_s) {
+  const OtaControlMsg& msg = ota_control_msgs_[record];
+  const OtaRollout& ro = ota_rollouts_[msg.rollout];
+  // Version id + command, framed — rollback ships no image bytes at all.
+  const std::size_t bytes = net::kMessageHeaderBytes + 8;
+  OtaSummary& ota = report_.deploy.ota;
+  ota.delta_downlink_bytes += bytes;
+  ota.epochs_log[ro.entry].delta_downlink_bytes += bytes;
+
+  const std::size_t link_index = topo_.downlink_index(to);
+  const net::ChannelOutcome out =
+      channels_[link_index].send(now_s, bytes, link_rngs_[link_index]);
+  const std::uint64_t frame_trace = next_trace_++;
+  if (obsy_) {
+    obs::HopRecord rec;
+    rec.trace = frame_trace;
+    rec.hop = to >= config_.devices ? 0 : 1;
+    rec.kind = obs::HopKind::kSend;
+    rec.stream = obs::HopStream::kPatch;
+    rec.src = to >= config_.devices ? topo_.core() : topo_.next_hop(to);
+    rec.dst = to;
+    rec.t0_s = now_s;
+    rec.t1_s = out.delivered ? out.arrival_s : 0.0;
+    rec.bytes = bytes;
+    rec.attempts = out.attempts;
+    // A lost rollback command is visible, not fatal: the device stays on
+    // the rolled-back version and the end-of-run histogram exposes it.
+    rec.outcome = out.corrupted                        ? "corrupt"
+                  : (!out.accepted || !out.delivered) ? "dropped"
+                                                       : "delivered";
+    rec.parents = {ro.trace};
+    obsy_->journeys().record(std::move(rec));
+  }
+  if (out.corrupted || !out.accepted || !out.delivered) return;
+  sched_.push(out.arrival_s, EventKind::kOtaControlArrival, to, record);
+  if (out.duplicated) {
+    sched_.push(out.duplicate_arrival_s, EventKind::kOtaControlArrival, to,
+                record);
+  }
+}
+
+void FleetSim::handle_ota_control_arrival(const Event& event) {
+  const net::NodeId node = event.target;
+  if (!topo_.node(node).up) return;
+  const OtaControlMsg& msg = ota_control_msgs_[event.message];
+  if (node >= config_.devices) {
+    send_ota_control_hop(topo_.device(msg.device), event.message, event.time_s);
+    return;
+  }
+  // Idempotent by construction: only a device still running the rolled-back
+  // version reverts, so duplicate or late commands are no-ops.
+  const OtaRollout& ro = ota_rollouts_[msg.rollout];
+  ota::DeviceImageStore& store = ota_stores_[msg.device];
+  if (store.current_id() != ro.version_id || !store.has_previous()) return;
+  store.rollback();
+  ++report_.deploy.ota.epochs_log[ro.entry].devices_rolled_back;
+  obs::registry().counter("ota.device_rollbacks").add();
+  if (obsy_) {
+    obsy_->flight().note(node, event.time_s, "ota-revert", ro.version_id,
+                         store.current_id());
+  }
+}
+
+void FleetSim::finalize_ota() {
+  OtaSummary& ota = report_.deploy.ota;
+  ota.enabled = true;
+  ota.epochs = config_.ota.epochs;
+  ota.versions_published = ota_chain_.size();
+  const std::uint32_t head = ota_chain_.head_id();
+  for (std::size_t d = 0; d < config_.devices; ++d) {
+    const ota::DeviceImageStore& store = ota_stores_[d];
+    ++ota.version_histogram[store.current_id()];
+    const std::size_t active = ota_active_transfer_[d];
+    if (active != kNoMessage && ota_transfers_[active].stuck) {
+      ++ota.devices_stuck;
+    }
+    if (!store.provisioned()) {
+      ++ota.devices_unprovisioned;
+      continue;
+    }
+    // The no-torn-patches invariant: every provisioned device's running
+    // image re-hashes to the checksum its committed version was built with.
+    bool verified = false;
+    for (const OtaRollout& ro : ota_rollouts_) {
+      if (ro.version_id == store.current_id()) {
+        verified = ota::image_checksum(store.current_image()) == ro.target_checksum;
+        break;
+      }
+    }
+    if (!verified) ota.all_devices_verified = false;
+    if (store.current_id() == head) {
+      ++ota.devices_on_head;
+    } else {
+      ++ota.devices_behind;
+    }
+  }
+  IOTML_INTERNAL_CHECK(ota.all_devices_verified,
+                       "FleetSim: a device ended the run on an unverified image");
 }
 
 }  // namespace iotml::sim

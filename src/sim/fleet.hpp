@@ -16,6 +16,9 @@
 #include "net/faults.hpp"
 #include "net/message.hpp"
 #include "net/topology.hpp"
+#include "ota/rollout.hpp"
+#include "ota/transfer.hpp"
+#include "ota/version.hpp"
 #include "pipeline/sensors.hpp"
 #include "sim/chaos.hpp"
 #include "sim/placement.hpp"
@@ -120,6 +123,14 @@ struct FleetConfig {
 
   DeployConfig deploy;
   ObservatoryConfig observatory;
+
+  /// The OTA delta-update loop (DESIGN.md §14): epochal retrains during the
+  /// learning window, chunked binary patches down the tree, seeded canary
+  /// cohorts and automatic rollback. Uses DeployConfig's model/precision and
+  /// downlink params. Off by default; when off, no OTA event is ever
+  /// scheduled and no OTA stream is drawn from, so legacy event logs stay
+  /// byte-identical.
+  ota::OtaConfig ota;
 };
 
 /// The default Fig. 1 pipeline, tagged for placement: device-side outlier
@@ -211,6 +222,33 @@ class FleetSim {
   void send_predictions(net::NodeId from, std::size_t batch, double now_s);
   void score_on_device(net::NodeId device, double now_s, bool stale);
 
+  // OTA delta-update loop (config_.ota.enabled; see DESIGN.md §14). The
+  // core retrains per epoch as rows arrive, diffs the new artifact against
+  // the promoted head, ships chunked patches to a seeded canary cohort,
+  // promotes on the pooled A/B probe and rolls back on regression.
+  void schedule_ota_epochs();
+  void handle_ota_epoch(const Event& event);
+  void handle_ota_chunk_arrival(const Event& event);
+  void handle_ota_resume(const Event& event);
+  void handle_ota_report_arrival(const Event& event);
+  void handle_ota_verdict(const Event& event);
+  void handle_ota_control_arrival(const Event& event);
+  void start_ota_transfer(std::size_t device_index, std::size_t rollout_index,
+                          double now_s);
+  void send_ota_chunk_hop(net::NodeId to, std::size_t record, double now_s);
+  void send_ota_chunks(std::size_t transfer_index,
+                       const std::vector<std::size_t>& chunks, double now_s);
+  void send_ota_report_hop(net::NodeId from, std::size_t record, double now_s);
+  void send_ota_control_hop(net::NodeId to, std::size_t record, double now_s);
+  void ota_commit_device(std::size_t transfer_index, double now_s);
+  /// The canary A/B probe: the device's most recent sensed rows (before
+  /// now_s) scored by both the running and the candidate artifact.
+  ota::CanaryProbe ota_probe(std::size_t device_index,
+                             const std::vector<std::uint8_t>& old_image,
+                             const std::vector<std::uint8_t>& new_image,
+                             double now_s) const;
+  void finalize_ota();
+
   // Observatory wiring (all no-ops when obsy_ is empty; see DESIGN.md §13).
   void journey_arrive(std::uint64_t trace, obs::HopStream stream, std::uint32_t hop,
                       net::NodeId node, double t_s, std::size_t rows,
@@ -295,6 +333,78 @@ class FleetSim {
   std::optional<deploy::DeviceRuntime> stale_runtime_;
   bool stale_ready_ = false;
   std::vector<std::uint8_t> device_scored_;  ///< device index -> fresh artifact scored
+
+  // ---- OTA delta-update state (empty unless config_.ota.enabled) --------
+
+  /// One epoch's candidate rollout: the target image, its delta patch
+  /// against the promoted head, the full-image patch (the resume fallback
+  /// and the provisioning payload) and the canary bookkeeping.
+  struct OtaRollout {
+    int epoch = 0;
+    std::uint32_t version_id = 0;
+    std::uint32_t base_checksum = ota::kEmptyImageChecksum;  ///< delta base
+    std::uint32_t target_checksum = ota::kEmptyImageChecksum;
+    std::vector<std::uint8_t> image;  ///< encoded target artifact
+    ota::ChunkedPatch delta;          ///< empty when provisioning
+    ota::ChunkedPatch full;
+    bool has_delta = false;
+    bool provisioning = false;
+    std::vector<std::uint32_t> cohort;  ///< canary device indices, ascending
+    std::vector<ota::CanaryProbe> probes;
+    bool verdict_issued = false;
+    bool promoted = false;
+    std::size_t entry = 0;     ///< index into the epochs_log ledger
+    std::uint64_t trace = 0;   ///< journey root (stream kPatch)
+  };
+
+  /// One device's in-progress patch transfer. The applier stages verified
+  /// chunks; the device image only changes at commit (never torn).
+  struct OtaTransfer {
+    std::size_t rollout = 0;
+    std::uint32_t device = 0;  ///< device index
+    bool full = false;         ///< shipping the full image, not the delta
+    bool canary = false;
+    int resume_rounds = 0;
+    int full_rounds = 0;  ///< completed full-image rounds
+    bool done = false;
+    bool stuck = false;
+    ota::PatchApplier applier;
+  };
+
+  struct OtaChunkMsg {
+    std::size_t transfer = 0;
+    std::uint32_t chunk = 0;
+    /// Which patch the chunk belongs to, snapshot at send time — the
+    /// transfer may fall back to the full image while frames are in flight,
+    /// and a stale delta chunk must not index into the full patch.
+    bool full = false;
+  };
+  struct OtaReportMsg {
+    std::size_t rollout = 0;
+    ota::CanaryProbe probe;
+  };
+  struct OtaControlMsg {
+    std::size_t rollout = 0;
+    std::uint32_t device = 0;  ///< device index to roll back
+  };
+
+  std::vector<OtaRollout> ota_rollouts_;
+  std::vector<OtaTransfer> ota_transfers_;
+  std::vector<std::size_t> ota_active_transfer_;  ///< device index -> transfer
+  std::vector<OtaChunkMsg> ota_chunk_msgs_;
+  std::vector<OtaReportMsg> ota_report_msgs_;
+  std::vector<OtaControlMsg> ota_control_msgs_;
+  // det-sanctioned: membership-only dedup set per node, never iterated
+  std::vector<std::unordered_set<std::uint64_t>> ota_report_seen_;
+
+  std::vector<ota::DeviceImageStore> ota_stores_;  ///< per device
+  ota::VersionChain ota_chain_;                    ///< promoted versions only
+  std::vector<std::uint8_t> ota_head_image_;       ///< promoted head's bytes
+  std::uint32_t ota_next_version_ = 1;
+  // det-sanctioned: placeholder; reseeded via master.split() (rng-stream: canary)
+  Rng canary_rng_{0};  ///< canary cohort sampling; split after chaos
+  // det-sanctioned: placeholder; reseeded via master.split() (rng-stream: epoch)
+  Rng epoch_rng_{0};   ///< epoch retrain jitter; split last of all
 
   FleetReport report_;
   bool ran_ = false;

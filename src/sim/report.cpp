@@ -43,6 +43,80 @@ LatencyBreakdown LatencyBreakdown::from_histogram(const obs::LogHistogram& hist)
   return b;
 }
 
+namespace {
+
+// Renders the OTA ledger object with `ind` as the indentation of its
+// members — shared by the standalone ota.json artifact (ind = "  ") and the
+// nested block inside FleetReport::to_json (ind = "    ").
+void write_ota(std::ostream& out, const OtaSummary& ota, const std::string& ind) {
+  using obs::json_escape;
+  using obs::json_number;
+  out << "{\n";
+  out << ind << "\"enabled\": " << (ota.enabled ? "true" : "false") << ",\n";
+  out << ind << "\"epochs\": " << ota.epochs << ",\n";
+  out << ind << "\"versions_published\": " << ota.versions_published << ",\n";
+  out << ind << "\"bytes\": {\"delta_downlink\": " << ota.delta_downlink_bytes
+      << ", \"full_broadcast_counterfactual\": " << ota.full_broadcast_bytes
+      << ", \"probe_uplink\": " << ota.probe_uplink_bytes << "},\n";
+  out << ind << "\"chunks\": {\"sent\": " << ota.chunks_sent
+      << ", \"delivered\": " << ota.chunks_delivered
+      << ", \"corrupt_rejected\": " << ota.chunks_corrupt_rejected
+      << ", \"duplicates\": " << ota.chunk_duplicates
+      << ", \"stale\": " << ota.chunks_stale << "},\n";
+  out << ind << "\"resume_rounds\": " << ota.resume_rounds << ",\n";
+  out << ind << "\"full_fallbacks\": " << ota.full_fallbacks << ",\n";
+  out << ind << "\"promotions\": " << ota.promotions << ",\n";
+  out << ind << "\"rollbacks\": " << ota.rollbacks << ",\n";
+  out << ind << "\"last_commit_t_s\": " << json_number(ota.last_commit_t_s)
+      << ",\n";
+  out << ind << "\"devices\": {\"on_head\": " << ota.devices_on_head
+      << ", \"behind\": " << ota.devices_behind
+      << ", \"unprovisioned\": " << ota.devices_unprovisioned
+      << ", \"stuck\": " << ota.devices_stuck << "},\n";
+  out << ind << "\"all_devices_verified\": "
+      << (ota.all_devices_verified ? "true" : "false") << ",\n";
+  out << ind << "\"version_histogram\": {";
+  bool first = true;
+  for (const auto& [id, count] : ota.version_histogram) {
+    out << (first ? "" : ", ") << "\"" << id << "\": " << count;
+    first = false;
+  }
+  out << "},\n";
+  out << ind << "\"epochs_log\": [";
+  for (std::size_t i = 0; i < ota.epochs_log.size(); ++i) {
+    const OtaEpochEntry& e = ota.epochs_log[i];
+    out << (i == 0 ? "" : ",") << "\n" << ind << "  {\"epoch\": " << e.epoch
+        << ", \"t_s\": " << json_number(e.t_s)
+        << ", \"version_id\": " << e.version_id
+        << ", \"outcome\": \"" << json_escape(e.outcome) << "\""
+        << ", \"train_rows\": " << e.train_rows
+        << ", \"image_bytes\": " << e.image_bytes
+        << ", \"patch_bytes\": " << e.patch_bytes
+        << ", \"delta_downlink_bytes\": " << e.delta_downlink_bytes
+        << ", \"full_broadcast_bytes\": " << e.full_broadcast_bytes
+        << ", \"canary_devices\": " << e.canary_devices
+        << ", \"devices_reporting\": " << e.devices_reporting
+        << ", \"pooled_rows\": " << e.pooled_rows
+        << ", \"accuracy_old\": " << json_number(e.accuracy_old)
+        << ", \"accuracy_new\": " << json_number(e.accuracy_new)
+        << ", \"devices_updated\": " << e.devices_updated
+        << ", \"devices_rolled_back\": " << e.devices_rolled_back
+        << ", \"full_fallbacks\": " << e.full_fallbacks
+        << ", \"devices_stuck\": " << e.devices_stuck << "}";
+  }
+  if (!ota.epochs_log.empty()) out << "\n" << ind;
+  out << "]\n";
+}
+
+}  // namespace
+
+std::string ota_to_json(const OtaSummary& ota) {
+  std::ostringstream out;
+  write_ota(out, ota, "  ");
+  out << "}\n";
+  return out.str();
+}
+
 std::size_t FleetReport::rows_accounted() const noexcept {
   return rows_delivered + rows_lost + rows_skipped + rows_stranded +
          faults.rows_corrupt_rejected + faults.rows_buffer_evicted +
@@ -178,7 +252,9 @@ std::string FleetReport::to_json() const {
   out << "  \"accuracy\": " << json_number(accuracy) << ",\n";
   out << "  \"train_rows\": " << train_rows << ",\n";
   out << "  \"test_rows\": " << test_rows;
-  if (deploy.enabled) {
+  // An OTA-only run still renders the deploy block (its ledger lives
+  // there); legacy runs without either remain byte-identical.
+  if (deploy.enabled || deploy.ota.enabled) {
     out << ",\n  \"deploy\": {\n";
     out << "    \"model\": \"" << json_escape(deploy.model) << "\",\n";
     out << "    \"precision\": \"" << json_escape(deploy.precision) << "\",\n";
@@ -201,7 +277,14 @@ std::string FleetReport::to_json() const {
     out << "    \"device_accuracy\": " << json_number(deploy.device_accuracy) << ",\n";
     out << "    \"cost_per_row\": {\"multiply_adds\": " << deploy.cost_multiply_adds
         << ", \"comparisons\": " << deploy.cost_comparisons
-        << ", \"table_lookups\": " << deploy.cost_table_lookups << "}\n";
+        << ", \"table_lookups\": " << deploy.cost_table_lookups << "}";
+    if (deploy.ota.enabled) {
+      out << ",\n    \"ota\": ";
+      write_ota(out, deploy.ota, "      ");
+      out << "    }\n";
+    } else {
+      out << "\n";
+    }
     out << "  }\n";
   } else {
     out << "\n";

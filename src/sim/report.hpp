@@ -61,6 +61,86 @@ struct StageTotals {
   double cost = 0.0;
 };
 
+/// One epoch of the OTA delta-update loop (DESIGN.md §14): what the core
+/// built, how it rolled out, what the canary cohort measured and what the
+/// epoch cost on the downlinks vs the full-broadcast counterfactual.
+struct OtaEpochEntry {
+  int epoch = 0;
+  double t_s = 0.0;         ///< virtual time the retrain fired
+  std::uint32_t version_id = 0;  ///< 0 when no version was built
+  /// "provision", "promote", "rollback", "no-change", "no-data",
+  /// "core-down", "verdict-skipped" (core unreachable at verdict time) or
+  /// "superseded" (a newer epoch fired before this one's verdict).
+  std::string outcome;
+  std::size_t train_rows = 0;
+  std::size_t image_bytes = 0;  ///< encoded target artifact
+  std::size_t patch_bytes = 0;  ///< encoded delta patch (0 when none built)
+
+  std::uint64_t delta_downlink_bytes = 0;  ///< radio bytes actually spent
+  std::uint64_t full_broadcast_bytes = 0;  ///< counterfactual: full image to all
+
+  std::size_t canary_devices = 0;
+  std::size_t devices_reporting = 0;  ///< probes that reached the core
+  std::size_t pooled_rows = 0;
+  double accuracy_old = 0.0;  ///< pooled canary probe, running model
+  double accuracy_new = 0.0;  ///< pooled canary probe, candidate model
+
+  std::size_t devices_updated = 0;      ///< committed this version
+  std::size_t devices_rolled_back = 0;
+  std::size_t full_fallbacks = 0;  ///< devices that needed a full image
+  std::size_t devices_stuck = 0;   ///< transfers exhausted every round
+};
+
+/// Ledger of the OTA delta-update subsystem: version chain, chunk transport
+/// counters, canary verdict timeline and the delta-vs-full-broadcast byte
+/// comparison. All-zero unless FleetConfig::ota.enabled.
+struct OtaSummary {
+  bool enabled = false;
+  int epochs = 0;
+
+  std::size_t versions_published = 0;  ///< promoted chain links at the end
+
+  std::uint64_t delta_downlink_bytes = 0;  ///< total radio bytes, all epochs
+  std::uint64_t full_broadcast_bytes = 0;  ///< total counterfactual
+  std::uint64_t probe_uplink_bytes = 0;    ///< canary A/B probe reports
+
+  std::uint64_t chunks_sent = 0;
+  std::uint64_t chunks_delivered = 0;
+  std::uint64_t chunks_corrupt_rejected = 0;
+  std::uint64_t chunk_duplicates = 0;
+  std::uint64_t chunks_stale = 0;  ///< for a superseded transfer, ignored
+
+  std::uint64_t resume_rounds = 0;
+  std::uint64_t full_fallbacks = 0;
+
+  std::size_t promotions = 0;
+  std::size_t rollbacks = 0;
+
+  /// Virtual time of the last successful device commit — when every device
+  /// ends the run on the head version this is the time-to-full-fleet-
+  /// convergence for the final promoted image.
+  double last_commit_t_s = 0.0;
+
+  // End-of-run fleet state, also rendered as version_histogram.
+  std::size_t devices_on_head = 0;
+  std::size_t devices_behind = 0;  ///< on an older (or retired) version
+  std::size_t devices_unprovisioned = 0;
+  std::size_t devices_stuck = 0;
+
+  /// The no-torn-patches invariant, re-verified at the end of the run:
+  /// every provisioned device's image re-hashes to its committed version's
+  /// checksum. Asserted by FleetSim; carried here so reports show it.
+  bool all_devices_verified = true;
+
+  std::vector<OtaEpochEntry> epochs_log;  ///< one entry per epoch, in order
+  std::map<std::uint32_t, std::size_t> version_histogram;  ///< id -> devices (0 = none)
+};
+
+/// Standalone JSON rendering of the OTA ledger — the ota.json artifact the
+/// fleetscope `versions` view reads. Deterministic per seed (virtual times
+/// and counters only, no wall clock).
+std::string ota_to_json(const OtaSummary& ota);
+
 /// Ledger of the optional deploy phase: the core compiles the analytics
 /// model, broadcasts the artifact down the tree, devices score their
 /// held-back window locally and uplink only predictions. `uplink_raw_bytes`
@@ -99,6 +179,9 @@ struct DeploySummary {
   // with the prior epoch's artifact instead (DeployConfig::stale_fallback).
   std::size_t devices_stale = 0;
   std::size_t rows_scored_stale = 0;
+
+  /// The OTA delta-update ledger (all-zero unless FleetConfig::ota.enabled).
+  OtaSummary ota;
 };
 
 /// One flight-recorder dump, captured at the instant a fault fired: the

@@ -30,6 +30,12 @@ std::string event_kind_name(EventKind kind) {
     case EventKind::kCorruptionEnd: return "corruption-end";
     case EventKind::kCheckpoint: return "checkpoint";
     case EventKind::kCorruptArrival: return "corrupt-arrival";
+    case EventKind::kOtaEpoch: return "ota-epoch";
+    case EventKind::kOtaChunkArrival: return "ota-chunk-arrival";
+    case EventKind::kOtaResume: return "ota-resume";
+    case EventKind::kOtaReportArrival: return "ota-report-arrival";
+    case EventKind::kOtaVerdict: return "ota-verdict";
+    case EventKind::kOtaControlArrival: return "ota-control-arrival";
   }
   return "?";
 }

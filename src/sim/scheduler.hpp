@@ -31,7 +31,15 @@ enum class EventKind {
   kCorruptionStart,    ///< chaos: device uplinks corrupt payloads
   kCorruptionEnd,
   kCheckpoint,         ///< an edge persists its buffer (target = edge index)
-  kCorruptArrival      ///< a frame lands but fails its payload checksum
+  kCorruptArrival,     ///< a frame lands but fails its payload checksum
+  // OTA delta-update loop (DESIGN.md §14) — scheduled only when
+  // FleetConfig::ota.enabled, so legacy event logs are untouched.
+  kOtaEpoch,           ///< the core retrains and starts a rollout (target = core)
+  kOtaChunkArrival,    ///< a patch chunk frame reaches an edge or device
+  kOtaResume,          ///< per-transfer resume timer (target = device index)
+  kOtaReportArrival,   ///< a canary A/B probe report reaches an edge or the core
+  kOtaVerdict,         ///< the core judges a canary cohort (target = core)
+  kOtaControlArrival   ///< a rollback command reaches an edge or device
 };
 
 std::string event_kind_name(EventKind kind);

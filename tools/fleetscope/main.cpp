@@ -31,6 +31,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: fleetscope <artifact-dir> [--journeys N] [--flight N] "
                "[--columns N]\n"
+               "       fleetscope versions <artifact-dir>\n"
                "       fleetscope --self-check\n");
   return 2;
 }
@@ -72,6 +73,25 @@ bool load_artifacts(const std::string& dir, fleetscope::JourneyFile& journeys,
     }
   }
   return true;
+}
+
+// The `versions` view: render the OTA version-chain histogram and the
+// canary promote/rollback timeline from <dir>/ota.json.
+int scope_versions(const std::string& dir) {
+  std::ifstream in(dir + "/ota.json");
+  if (!in) {
+    std::fprintf(stderr, "fleetscope: cannot open %s/ota.json (was the run "
+                 "configured with ota.enabled?)\n", dir.c_str());
+    return 1;
+  }
+  fleetscope::OtaFile ota;
+  std::string error;
+  if (!fleetscope::parse_ota(in, ota, error)) {
+    std::fprintf(stderr, "fleetscope: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s", fleetscope::render_versions(ota).c_str());
+  return 0;
 }
 
 int scope_dir(const std::string& dir, std::size_t journey_limit,
@@ -117,6 +137,13 @@ int self_check() {
   config.channel.max_attempts = 6;
   config.checkpoint_interval_s = 2.0;
   config.device_buffer_rows = 4096;
+  // The epochal OTA loop rides along so the `versions` view is exercised
+  // against a ledger produced under the same chaos. Tight flush cadence so
+  // the core has rows before the first epoch fires.
+  config.device_flush_s = 2.0;
+  config.edge_flush_s = 3.0;
+  config.ota.enabled = true;
+  config.ota.epochs = 3;
   config.observatory.enabled = true;
   const std::string dir = "fleetscope_selfcheck.artifacts";
   config.observatory.artifact_dir = dir;
@@ -160,7 +187,33 @@ int self_check() {
   ok &= check(c.row_fraction() >= 0.99,
               "at least 99% of delivered rows reconstruct a full journey");
 
+  // The versions view parses the same ota.json the offline mode reads and
+  // must agree with the in-process ledger.
+  fleetscope::OtaFile ota;
+  {
+    std::ifstream in(dir + "/ota.json");
+    std::string error;
+    ok &= check(static_cast<bool>(in), "ota.json written");
+    ok &= check(static_cast<bool>(in) && fleetscope::parse_ota(in, ota, error),
+                "ota.json parses through the offline reader");
+  }
+  const sim::OtaSummary& ledger = report.deploy.ota;
+  ok &= check(ota.enabled, "ota ledger marked enabled");
+  ok &= check(ota.epochs_log.size() == static_cast<std::size_t>(ledger.epochs),
+              "versions view sees one entry per epoch");
+  std::uint64_t histogram_devices = 0;
+  for (const auto& [id, count] : ota.version_histogram) histogram_devices += count;
+  ok &= check(histogram_devices == config.devices,
+              "version histogram accounts for every device");
+  ok &= check(ota.all_devices_verified,
+              "every device ends on a checksum-verified version");
+  ok &= check(ota.delta_downlink_bytes == ledger.delta_downlink_bytes &&
+                  ota.promotions == ledger.promotions &&
+                  ota.rollbacks == ledger.rollbacks,
+              "versions view agrees with the in-process ledger");
+
   std::printf("%s", fleetscope::render_health(journeys, recon, flight).c_str());
+  std::printf("%s", fleetscope::render_versions(ota).c_str());
   std::printf("self-check %s\n", ok ? "PASSED" : "FAILED");
   return ok ? 0 : 1;
 }
@@ -173,6 +226,7 @@ int main(int argc, char** argv) {
   std::size_t flight_limit = 4;
   std::size_t columns = 40;
   bool run_self_check = false;
+  bool versions_view = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -183,6 +237,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--self-check") {
       run_self_check = true;
+    } else if (arg == "versions" && !versions_view && dir.empty()) {
+      versions_view = true;
     } else if (arg == "--journeys") {
       if (!next_size(journey_limit)) return usage();
     } else if (arg == "--flight") {
@@ -200,5 +256,6 @@ int main(int argc, char** argv) {
 
   if (run_self_check) return self_check();
   if (dir.empty()) return usage();
+  if (versions_view) return scope_versions(dir);
   return scope_dir(dir, journey_limit, flight_limit, columns);
 }

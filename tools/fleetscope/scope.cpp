@@ -373,6 +373,73 @@ bool parse_flightrec(std::istream& in, FlightFile& out, std::string& error) {
   return true;
 }
 
+bool parse_ota(std::istream& in, OtaFile& out, std::string& error) {
+  out = OtaFile{};
+  Json root;
+  if (!parse_json(read_all(in), root, error)) {
+    error = "ota.json: " + error;
+    return false;
+  }
+  const Json* enabled = root.find("enabled");
+  out.enabled = enabled != nullptr && enabled->boolean;
+  out.epochs = root.u64_or("epochs", 0);
+  out.versions_published = root.u64_or("versions_published", 0);
+  if (const Json* bytes = root.find("bytes"); bytes != nullptr) {
+    out.delta_downlink_bytes = bytes->u64_or("delta_downlink", 0);
+    out.full_broadcast_bytes = bytes->u64_or("full_broadcast_counterfactual", 0);
+    out.probe_uplink_bytes = bytes->u64_or("probe_uplink", 0);
+  }
+  out.promotions = root.u64_or("promotions", 0);
+  out.rollbacks = root.u64_or("rollbacks", 0);
+  out.last_commit_t_s = root.num_or("last_commit_t_s", 0.0);
+  if (const Json* devices = root.find("devices"); devices != nullptr) {
+    out.devices_on_head = devices->u64_or("on_head", 0);
+    out.devices_behind = devices->u64_or("behind", 0);
+    out.devices_unprovisioned = devices->u64_or("unprovisioned", 0);
+    out.devices_stuck = devices->u64_or("stuck", 0);
+  }
+  const Json* verified = root.find("all_devices_verified");
+  out.all_devices_verified = verified != nullptr && verified->boolean;
+  if (const Json* histogram = root.find("version_histogram");
+      histogram != nullptr && histogram->kind == Json::Kind::kObject) {
+    for (const auto& [id, count] : histogram->obj) {
+      std::uint32_t version = 0;
+      try {
+        version = static_cast<std::uint32_t>(std::stoul(id));
+      } catch (...) {
+        error = "ota.json: non-numeric version_histogram key '" + id + "'";
+        return false;
+      }
+      out.version_histogram.emplace_back(version, count.integer);
+    }
+  }
+  if (const Json* log = root.find("epochs_log");
+      log != nullptr && log->kind == Json::Kind::kArray) {
+    for (const Json& row : log->arr) {
+      OtaEpoch e;
+      e.epoch = row.u64_or("epoch", 0);
+      e.t_s = row.num_or("t_s", 0.0);
+      e.version_id = static_cast<std::uint32_t>(row.u64_or("version_id", 0));
+      e.outcome = row.str_or("outcome", "");
+      e.train_rows = row.u64_or("train_rows", 0);
+      e.image_bytes = row.u64_or("image_bytes", 0);
+      e.patch_bytes = row.u64_or("patch_bytes", 0);
+      e.delta_downlink_bytes = row.u64_or("delta_downlink_bytes", 0);
+      e.full_broadcast_bytes = row.u64_or("full_broadcast_bytes", 0);
+      e.canary_devices = row.u64_or("canary_devices", 0);
+      e.devices_reporting = row.u64_or("devices_reporting", 0);
+      e.accuracy_old = row.num_or("accuracy_old", 0.0);
+      e.accuracy_new = row.num_or("accuracy_new", 0.0);
+      e.devices_updated = row.u64_or("devices_updated", 0);
+      e.devices_rolled_back = row.u64_or("devices_rolled_back", 0);
+      e.full_fallbacks = row.u64_or("full_fallbacks", 0);
+      e.devices_stuck = row.u64_or("devices_stuck", 0);
+      out.epochs_log.push_back(std::move(e));
+    }
+  }
+  return true;
+}
+
 // ---- Journey reconstruction ------------------------------------------------
 
 double Journey::end_to_end_s() const noexcept {
@@ -617,6 +684,92 @@ std::string render_flight(const FlightFile& flight, std::size_t limit) {
     out << "  entity " << e.entity << " (" << e.total << " events total):\n";
     for (const std::string& line : e.lines) out << "    " << line << "\n";
   }
+  return out.str();
+}
+
+std::string render_versions(const OtaFile& ota) {
+  std::ostringstream out;
+  if (!ota.enabled) {
+    out << "ota versions: OTA was not enabled for this run\n";
+    return out.str();
+  }
+  char head[160];
+  const double saved =
+      ota.full_broadcast_bytes > 0
+          ? 100.0 * (1.0 - static_cast<double>(ota.delta_downlink_bytes) /
+                               static_cast<double>(ota.full_broadcast_bytes))
+          : 0.0;
+  std::snprintf(head, sizeof head,
+                "ota versions (%llu epochs, %llu promoted, %llu rolled back; "
+                "downlink %llu B vs %llu B counterfactual, %.1f%% saved)",
+                static_cast<unsigned long long>(ota.epochs),
+                static_cast<unsigned long long>(ota.promotions),
+                static_cast<unsigned long long>(ota.rollbacks),
+                static_cast<unsigned long long>(ota.delta_downlink_bytes),
+                static_cast<unsigned long long>(ota.full_broadcast_bytes), saved);
+  out << head << "\n";
+
+  out << "timeline\n";
+  for (const OtaEpoch& e : ota.epochs_log) {
+    char line[192];
+    std::snprintf(line, sizeof line, "  epoch %llu  t=%-8s v%-3u %-11s",
+                  static_cast<unsigned long long>(e.epoch),
+                  format_seconds(e.t_s).c_str(), e.version_id,
+                  e.outcome.c_str());
+    out << line;
+    if (e.canary_devices > 0) {
+      char canary[128];
+      std::snprintf(canary, sizeof canary,
+                    " canary %llu/%llu reporting, acc %.3f -> %.3f,",
+                    static_cast<unsigned long long>(e.devices_reporting),
+                    static_cast<unsigned long long>(e.canary_devices),
+                    e.accuracy_old, e.accuracy_new);
+      out << canary;
+    }
+    out << " " << e.devices_updated << " updated";
+    if (e.devices_rolled_back > 0) out << ", " << e.devices_rolled_back << " rolled back";
+    if (e.full_fallbacks > 0) out << ", " << e.full_fallbacks << " full fallbacks";
+    if (e.devices_stuck > 0) out << ", " << e.devices_stuck << " STUCK";
+    out << "\n";
+  }
+
+  out << "fleet versions\n";
+  std::uint64_t max_count = 1;
+  std::uint64_t total = 0;
+  std::uint32_t head_id = 0;
+  for (const auto& [id, count] : ota.version_histogram) {
+    max_count = std::max(max_count, count);
+    total += count;
+    head_id = std::max(head_id, id);
+  }
+  constexpr std::size_t kBarWidth = 24;
+  for (const auto& [id, count] : ota.version_histogram) {
+    const auto width = static_cast<std::size_t>(
+        static_cast<double>(count) / static_cast<double>(max_count) *
+        static_cast<double>(kBarWidth));
+    char label[32];
+    if (id == 0) {
+      std::snprintf(label, sizeof label, "  none");
+    } else {
+      std::snprintf(label, sizeof label, "  v%-4u", id);
+    }
+    out << label << " " << std::string(std::max<std::size_t>(width, 1), '#')
+        << std::string(kBarWidth - std::max<std::size_t>(width, 1), ' ') << " "
+        << count << " devices" << (id != 0 && id == head_id ? "  (head)" : "")
+        << "\n";
+  }
+  char tail[192];
+  std::snprintf(tail, sizeof tail,
+                "  %llu devices: on-head %llu, behind %llu, unprovisioned %llu, "
+                "stuck %llu; last commit t=%s; verified %s",
+                static_cast<unsigned long long>(total),
+                static_cast<unsigned long long>(ota.devices_on_head),
+                static_cast<unsigned long long>(ota.devices_behind),
+                static_cast<unsigned long long>(ota.devices_unprovisioned),
+                static_cast<unsigned long long>(ota.devices_stuck),
+                format_seconds(ota.last_commit_t_s).c_str(),
+                ota.all_devices_verified ? "yes" : "NO");
+  out << tail << "\n";
   return out.str();
 }
 

@@ -102,6 +102,51 @@ struct FlightFile {
 
 bool parse_flightrec(std::istream& in, FlightFile& out, std::string& error);
 
+/// One per-epoch entry of ota.json's "epochs_log" (mirrors sim::OtaEpochEntry).
+struct OtaEpoch {
+  std::uint64_t epoch = 0;
+  double t_s = 0.0;
+  std::uint32_t version_id = 0;
+  std::string outcome;  ///< provision|promote|rollback|no-change|...
+  std::uint64_t train_rows = 0;
+  std::uint64_t image_bytes = 0;
+  std::uint64_t patch_bytes = 0;
+  std::uint64_t delta_downlink_bytes = 0;
+  std::uint64_t full_broadcast_bytes = 0;
+  std::uint64_t canary_devices = 0;
+  std::uint64_t devices_reporting = 0;
+  double accuracy_old = 0.0;
+  double accuracy_new = 0.0;
+  std::uint64_t devices_updated = 0;
+  std::uint64_t devices_rolled_back = 0;
+  std::uint64_t full_fallbacks = 0;
+  std::uint64_t devices_stuck = 0;
+};
+
+/// The OTA deploy ledger written as ota.json by a FleetSim run with
+/// ota.enabled (the `versions` view's input).
+struct OtaFile {
+  bool enabled = false;
+  std::uint64_t epochs = 0;
+  std::uint64_t versions_published = 0;
+  std::uint64_t delta_downlink_bytes = 0;
+  std::uint64_t full_broadcast_bytes = 0;
+  std::uint64_t probe_uplink_bytes = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t rollbacks = 0;
+  double last_commit_t_s = 0.0;
+  std::uint64_t devices_on_head = 0;
+  std::uint64_t devices_behind = 0;
+  std::uint64_t devices_unprovisioned = 0;
+  std::uint64_t devices_stuck = 0;
+  bool all_devices_verified = false;
+  /// version id -> device count at end of run, ascending ids (0 = none).
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> version_histogram;
+  std::vector<OtaEpoch> epochs_log;
+};
+
+bool parse_ota(std::istream& in, OtaFile& out, std::string& error);
+
 // ---- Journey reconstruction ------------------------------------------------
 
 /// One origin window's reconstructed path through the tree. `hop0`/`hop1`
@@ -177,5 +222,9 @@ std::string render_health(const JourneyFile& file, const Reconstruction& recon,
 
 /// Flight rings, newest `limit` entities with events.
 std::string render_flight(const FlightFile& flight, std::size_t limit);
+
+/// The `versions` view: per-epoch canary promote/rollback timeline plus the
+/// end-of-run version-chain histogram, from the OTA deploy ledger.
+std::string render_versions(const OtaFile& ota);
 
 }  // namespace iotml::fleetscope
