@@ -41,6 +41,11 @@ class Column {
   void set_category(std::size_t row, const std::string& label);
   const std::vector<std::string>& categories() const noexcept { return categories_; }
 
+  /// Intern a label into the category dictionary (idempotent), returning
+  /// its index. Public so wire codecs can pre-seed the dictionary in a
+  /// pinned order and category codes replay exactly across encode/decode.
+  std::size_t intern(const std::string& label);
+
   /// Append a missing cell.
   void push_missing();
 
@@ -53,8 +58,6 @@ class Column {
   std::vector<double> values_;
   std::vector<bool> missing_;
   std::vector<std::string> categories_;
-
-  std::size_t intern(const std::string& label);
 };
 
 /// A column-typed dataset with optional integer class labels.

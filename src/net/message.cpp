@@ -1,6 +1,7 @@
 #include "net/message.hpp"
 
 #include <bit>
+#include <cmath>
 
 #include "util/fnv.hpp"
 
@@ -42,7 +43,15 @@ std::size_t wire_size_bytes(const data::Dataset& ds) {
     const data::Column& col = ds.column(c);
     bytes += col.name().size() + 2;             // name + type tag
     bytes += (col.size() + 7) / 8;              // presence bitmap
-    const std::size_t present = col.size() - col.missing_count();
+    std::size_t present = col.size() - col.missing_count();
+    if (col.type() == data::ColumnType::kNumeric) {
+      // A NaN reading carries no information the presence bitmap does not:
+      // every codec (the abstract model here, the real tdf frames) ships it
+      // as an absent cell, so the model must not charge it 8 value bytes.
+      for (std::size_t r = 0; r < col.size(); ++r) {
+        if (!col.is_missing(r) && std::isnan(col.numeric(r))) --present;
+      }
+    }
     bytes += present * (col.type() == data::ColumnType::kNumeric ? 8 : 2);
   }
   if (ds.has_labels()) bytes += ds.labels().size();  // small-int labels
@@ -50,6 +59,10 @@ std::size_t wire_size_bytes(const data::Dataset& ds) {
 }
 
 std::size_t wire_size_bytes(const Message& m) {
+  if (!m.tdf_frame.empty()) {
+    // Telemetry messages: the frame is the payload, origins ride inside it.
+    return kMessageHeaderBytes + m.tdf_frame.size();
+  }
   return kMessageHeaderBytes + wire_size_bytes(m.payload) + 8 * m.origin_s.size();
 }
 

@@ -44,6 +44,14 @@ struct Message {
   TraceContext trace;          ///< causal tag, preserved across retries
   std::vector<double> origin_s;
   data::Dataset payload;
+
+  /// When non-empty, this message's rows crossed the wire as an encoded
+  /// TDF telemetry frame (src/tdf/) instead of the abstract payload model:
+  /// the link is charged header + frame bytes (origins ride inside the
+  /// frame), and the receiver decodes the frame back to rows. `payload`
+  /// then holds the device-encoded rows the decode must reproduce
+  /// byte-for-byte — simulator-side ground truth, not wire bytes.
+  std::vector<std::uint8_t> tdf_frame;
 };
 
 /// FNV-1a over the payload's shape, column names, presence bitmap, labels
@@ -55,11 +63,16 @@ std::uint64_t payload_checksum(const data::Dataset& ds);
 /// Serialization cost model for a dataset on the wire: a small per-column
 /// header (name + type tag), 8 bytes per numeric cell, 2 bytes per
 /// categorical cell (dictionary index), and a presence bitmap of one bit
-/// per cell. This is what a compact row-batch encoding costs, and it is
-/// what the link bandwidth model charges.
+/// per cell. NaN-valued numeric cells are charged as missing (bitmap bit
+/// only) — the real telemetry codec normalizes NaN readings to missing on
+/// the wire, and the counterfactual ledger must compare like with like.
+/// This is what a compact row-batch encoding costs, and it is what the
+/// link bandwidth model charges.
 std::size_t wire_size_bytes(const data::Dataset& ds);
 
-/// Full wire size of a message: header + payload + 8 bytes per origin stamp.
+/// Full wire size of a message: header + payload + 8 bytes per origin
+/// stamp — or header + encoded frame when the message carries a TDF frame
+/// (whose origins ride inside it).
 std::size_t wire_size_bytes(const Message& m);
 
 }  // namespace iotml::net

@@ -129,6 +129,12 @@ FleetSim::FleetSim(FleetConfig config, pipeline::Pipeline full_pipeline)
                 "FleetSim: ota timeouts must be positive");
     IOTML_CHECK(config.ota.epoch_jitter_s >= 0.0, "FleetSim: negative ota epoch jitter");
   }
+  if (config.telemetry.enabled) {
+    IOTML_CHECK(config.telemetry.scale_bits <= 52,
+                "FleetSim: telemetry.scale_bits must be <= 52");
+    IOTML_CHECK(config.telemetry.device_log_bytes >= 1,
+                "FleetSim: telemetry.device_log_bytes must be >= 1");
+  }
   if (config.deploy.enabled || config.ota.enabled) {
     // Downlinks append after every uplink, so in the split loop below the
     // uplinks draw exactly the Rng streams a non-deploy run would assign.
@@ -200,6 +206,15 @@ FleetSim::FleetSim(FleetConfig config, pipeline::Pipeline full_pipeline)
     ota_stores_.resize(config.devices);
     ota_active_transfer_.assign(config.devices, kNoMessage);
     ota_report_seen_.resize(topo_.num_nodes());
+  }
+  if (config.telemetry.enabled) {
+    tdf_session_open_.assign(config.devices, 0);
+    tdf_seq_.assign(config.devices, 0);
+    device_logs_.reserve(config.devices);
+    for (std::size_t d = 0; d < config.devices; ++d) {
+      device_logs_.emplace_back(config.telemetry.device_log_bytes);
+    }
+    report_.telemetry.enabled = true;
   }
 
   if (config_.observatory.enabled) {
@@ -554,7 +569,14 @@ void FleetSim::handle_device_flush(const Event& event) {
     }
   }
   if (!topo_.node(d).up) {
-    if (out.row_count > 0) store_and_forward(d, std::move(out));
+    // Reaching here offline implies sf: the bufferless case returned above.
+    if (out.row_count > 0) {
+      if (telemetry_on()) {
+        telemetry_store(d, std::move(out));
+      } else {
+        store_and_forward(d, std::move(out));
+      }
+    }
     return;
   }
 
@@ -575,6 +597,9 @@ void FleetSim::handle_device_flush(const Event& event) {
     if (obsy_ && merged.row_count > 0) {
       obsy_->flight().note(d, event.time_s, "sf-drain", merged.row_count);
     }
+    // A full drain empties the ring log with it: the backlog leaves as one
+    // merged frame, re-encoded by send().
+    if (telemetry_on()) device_logs_[d].clear();
   }
   if (out.row_count > 0) {
     merged.rows.append_rows(out.rows);
@@ -669,6 +694,24 @@ void FleetSim::send(net::NodeId from, Buffer&& chunk, double now_s) {
   msg.trace.hop = from_device ? 0 : 1;
   msg.origin_s = std::move(chunk.origin_s);
   msg.payload = std::move(chunk.rows);
+  bool tdf_open = false;
+  std::size_t tdf_legacy_bytes = 0;
+  if (telemetry_on() && from_device) {
+    // The device-side codec: quantize to the wire resolution (idempotent —
+    // rows resent from store-and-forward are already quantized), price the
+    // counterfactual legacy model over the same rows, then encode the real
+    // frame. The checksum is stamped over the quantized rows, which is what
+    // the edge's decode must reproduce byte-for-byte.
+    tdf::quantize(msg.payload, config_.telemetry.scale_bits);
+    for (double& o : msg.origin_s) {
+      o = tdf::quantize_value(o, config_.telemetry.scale_bits);
+    }
+    tdf_legacy_bytes = net::kMessageHeaderBytes +
+                       net::wire_size_bytes(msg.payload) +
+                       8 * msg.origin_s.size();
+    tdf_open = tdf_session_open_[from] == 0;
+    msg.tdf_frame = telemetry_encode(from, msg.payload, msg.origin_s);
+  }
   msg.checksum = net::payload_checksum(msg.payload);
   const std::size_t bytes = net::wire_size_bytes(msg);
 
@@ -704,7 +747,11 @@ void FleetSim::send(net::NodeId from, Buffer&& chunk, double now_s) {
         back.rows = std::move(msg.payload);
         back.origin_s = std::move(msg.origin_s);
         back.parents = std::move(parents);
-        store_and_forward(from, std::move(back));
+        if (telemetry_on()) {
+          telemetry_store(from, std::move(back));
+        } else {
+          store_and_forward(from, std::move(back));
+        }
       } else if (dead_letter) {
         report_.faults.rows_buffer_evicted += rows;
       } else {
@@ -729,8 +776,24 @@ void FleetSim::send(net::NodeId from, Buffer&& chunk, double now_s) {
     return;
   }
 
+  const bool tdf_msg = !msg.tdf_frame.empty();
+  // Ack-mode channels repair corrupt frames internally (reject + retransmit
+  // before the outcome surfaces); snapshot the stats so those repairs land
+  // in the telemetry ledger.
+  std::uint64_t tdf_pre_rejects = 0;
+  std::uint64_t tdf_pre_retrans = 0;
+  if (tdf_msg && ack) {
+    tdf_pre_rejects = channels_[link_index].stats().corrupt_rejected;
+    tdf_pre_retrans = channels_[link_index].stats().retransmits;
+  }
   const net::ChannelOutcome out =
       channels_[link_index].send(now_s, bytes, link_rngs_[link_index]);
+  if (tdf_msg && ack) {
+    report_.telemetry.frames_rejected +=
+        channels_[link_index].stats().corrupt_rejected - tdf_pre_rejects;
+    report_.telemetry.frames_retransmitted +=
+        channels_[link_index].stats().retransmits - tdf_pre_retrans;
+  }
   ++report_.messages_sent;
   obs::registry().counter("sim.net.messages").add();
   obs::registry().counter("sim.net.bytes").add(bytes);
@@ -743,6 +806,22 @@ void FleetSim::send(net::NodeId from, Buffer&& chunk, double now_s) {
     flight_dump(from, "dead-letter", now_s);
     keep_rows(true);
     return;
+  }
+  if (tdf_msg) {
+    // The channel accepted the frame: the wire is charged whatever its fate,
+    // and the counterfactual ledger charges the legacy model the same rows.
+    auto& t = report_.telemetry;
+    ++t.frames_sent;
+    t.rows_encoded += rows;
+    t.encoded_wire_bytes += bytes;
+    t.legacy_wire_bytes += tdf_legacy_bytes;
+    if (tdf_open) {
+      // Session negotiation: the schema rides inline (2-byte length prefix +
+      // blob) until one frame is known delivered intact.
+      ++t.schema_negotiations;
+      t.schema_bytes += 2 + tdf_schema_->encoded().size();
+      if (out.delivered) tdf_session_open_[from] = 1;
+    }
   }
   if (!out.delivered && !out.corrupted) {
     ++report_.messages_dropped;
@@ -761,6 +840,11 @@ void FleetSim::send(net::NodeId from, Buffer&& chunk, double now_s) {
     // Fire-and-forget only: the frame lands, but the wire flipped bits, so
     // the stamped checksum no longer matches what the receiver recomputes.
     record_send("corrupt", out.arrival_s, out.attempts);
+    if (tdf_msg) {
+      // Wire damage hits the frame bytes themselves; the FNV-1a32 trailer
+      // no longer matches and the edge rejects without decoding a cell.
+      msg.tdf_frame[msg.tdf_frame.size() / 2] ^= 0x10;
+    }
     msg.checksum ^= 1;
     messages_.push_back(std::move(msg));
     msg_parents_.push_back(std::move(parents));
@@ -833,8 +917,24 @@ void FleetSim::handle_arrival(const Event& event) {
           .record(event.time_s, static_cast<double>(msg.payload.rows()));
     }
     Buffer& buf = edge_buffers_[node - config_.devices];
-    buf.rows.append_rows(msg.payload);
-    buf.origin_s.insert(buf.origin_s.end(), msg.origin_s.begin(), msg.origin_s.end());
+    if (!msg.tdf_frame.empty()) {
+      // The decode is load-bearing: the edge reconstructs the rows from the
+      // wire bytes and feeds *those* into its sub-pipeline. The
+      // reconstruction must hash to the checksum the device stamped over
+      // what it encoded — decode errors can never slip downstream.
+      tdf::Frame f = tdf::decode_frame(msg.tdf_frame, tdf_registry_);
+      IOTML_INTERNAL_CHECK(
+          net::payload_checksum(f.rows) == msg.checksum,
+          "FleetSim: TDF decode does not reproduce the device's rows");
+      ++report_.telemetry.frames_delivered;
+      report_.telemetry.rows_decoded += f.rows.rows();
+      buf.rows.append_rows(f.rows);
+      buf.origin_s.insert(buf.origin_s.end(), f.origin_s.begin(),
+                          f.origin_s.end());
+    } else {
+      buf.rows.append_rows(msg.payload);
+      buf.origin_s.insert(buf.origin_s.end(), msg.origin_s.begin(), msg.origin_s.end());
+    }
     buf.parents.insert(buf.parents.end(), msg_parents_[msg.id].begin(),
                        msg_parents_[msg.id].end());
     buf.row_count += msg.payload.rows();
@@ -855,6 +955,13 @@ void FleetSim::handle_corrupt_arrival(const Event& event) {
   // rejects the frame on mismatch: corrupt rows are counted, never scored.
   IOTML_INTERNAL_CHECK(net::payload_checksum(msg.payload) != msg.checksum,
                        "FleetSim: corrupt arrival passed checksum verification");
+  if (!msg.tdf_frame.empty()) {
+    // The damage lives in the frame bytes: the trailer checksum must catch
+    // it before a decode is even attempted.
+    IOTML_INTERNAL_CHECK(!tdf::frame_intact(msg.tdf_frame),
+                         "FleetSim: corrupt TDF frame passed its trailer check");
+    ++report_.telemetry.frames_rejected;
+  }
   report_.faults.rows_corrupt_rejected += msg.payload.rows();
   obs::registry().counter("sim.net.rows_corrupt_rejected").add(msg.payload.rows());
   journey_arrive(msg.trace.id, obs::HopStream::kRows, msg.trace.hop, node,
@@ -997,6 +1104,61 @@ std::size_t FleetSim::stored_rows(net::NodeId device) const {
   return total;
 }
 
+std::vector<std::uint8_t> FleetSim::telemetry_encode(
+    net::NodeId device, const data::Dataset& ds,
+    const std::vector<double>& origin_s) {
+  if (!tdf_schema_) {
+    tdf_schema_ = tdf::Schema::infer(ds, config_.telemetry.scale_bits);
+    // The edge learns the schema from the session-open frame it decodes;
+    // registering the same bytes here as well keeps decode independent of
+    // arrival order under latency jitter (registration is idempotent, and
+    // the ledger still charges every inline negotiation).
+    tdf_registry_.add(*tdf_schema_);
+    report_.telemetry.schema_id = tdf_schema_->id();
+    report_.telemetry.schema_fields = tdf_schema_->size();
+  }
+  const bool include_schema = tdf_session_open_[device] == 0;
+  return tdf::encode_frame(*tdf_schema_, ds, origin_s,
+                           util::narrow_u32(device, "telemetry device id"),
+                           tdf_seq_[device]++, include_schema);
+}
+
+void FleetSim::telemetry_store(net::NodeId device, Buffer&& chunk) {
+  // Quantize on entry so the sizing encode sees exactly what a later send
+  // re-encodes (quantization is idempotent).
+  tdf::quantize(chunk.rows, config_.telemetry.scale_bits);
+  for (double& o : chunk.origin_s) {
+    o = tdf::quantize_value(o, config_.telemetry.scale_bits);
+  }
+  const std::vector<std::uint8_t> frame =
+      telemetry_encode(device, chunk.rows, chunk.origin_s);
+  const std::size_t rows = chunk.row_count;
+  std::deque<Buffer>& q = device_sf_[device];
+  tdf::DeviceLog& log = device_logs_[device];
+  q.push_back(std::move(chunk));
+  auto& t = report_.telemetry;
+  auto drop_front = [&](std::size_t rows_evicted) {
+    IOTML_INTERNAL_CHECK(
+        !q.empty() && q.front().row_count == rows_evicted,
+        "FleetSim: telemetry ring log out of step with store-and-forward");
+    ++t.log_frames_evicted;
+    t.log_rows_evicted += rows_evicted;
+    report_.faults.rows_buffer_evicted += rows_evicted;
+    obs::registry().counter("sim.recovery.rows_evicted").add(rows_evicted);
+    q.pop_front();
+  };
+  // Byte bound: the ring evicts whole oldest frames until the new one fits.
+  for (const tdf::DeviceLog::Entry& e : log.append(frame.size(), rows)) {
+    drop_front(e.rows);
+  }
+  // The legacy row cap still applies, at whole-frame granularity — the log
+  // pops in lockstep so bytes and rows stay two views of the same backlog.
+  const std::size_t cap = config_.device_buffer_rows;
+  while (stored_rows(device) > cap && q.size() > 1) {
+    drop_front(log.pop_oldest().rows);
+  }
+}
+
 void FleetSim::journey_arrive(std::uint64_t trace, obs::HopStream stream,
                               std::uint32_t hop, net::NodeId node, double t_s,
                               std::size_t rows, const char* outcome) {
@@ -1031,6 +1193,12 @@ void FleetSim::flight_dump(net::NodeId entity, const char* trigger, double t_s) 
 }
 
 void FleetSim::finalize() {
+  if (telemetry_on()) {
+    for (const tdf::DeviceLog& log : device_logs_) {
+      report_.telemetry.log_highwater_bytes = std::max<std::uint64_t>(
+          report_.telemetry.log_highwater_bytes, log.highwater_bytes());
+    }
+  }
   for (const Buffer& buf : edge_buffers_) report_.rows_stranded += buf.row_count;
   // Undrained store-and-forward backlog is the device-side mirror of an
   // edge's stranded buffer.

@@ -24,6 +24,9 @@
 #include "sim/placement.hpp"
 #include "sim/report.hpp"
 #include "sim/scheduler.hpp"
+#include "tdf/codec.hpp"
+#include "tdf/device_log.hpp"
+#include "tdf/schema.hpp"
 #include "util/rng.hpp"
 
 namespace iotml::sim {
@@ -76,6 +79,30 @@ struct ObservatoryConfig {
   std::string artifact_dir;
 };
 
+/// The telemetry wire subsystem (DESIGN.md §15): devices encode each uplink
+/// window as a tagged TDF frame (src/tdf/) instead of the abstract
+/// wire_size_bytes payload model. Readings are quantized to multiples of
+/// 2^-scale_bits on-device, the frame crosses the (lossy) link as real
+/// bytes, and the edge decodes it back to rows before its sub-pipeline —
+/// the decode is load-bearing, checked byte-for-byte against the device's
+/// encoding. Off by default: when off no frame is built, no codec byte is
+/// charged and legacy runs stay byte-identical.
+struct TelemetryConfig {
+  bool enabled = false;
+
+  /// Fixed-point resolution: readings are rounded to multiples of
+  /// 2^-scale_bits before encoding. The default (1/256 ≈ 0.004) sits far
+  /// below the configured sensor noise (0.4), so quantization is lossless
+  /// relative to measurement error while the scaled-varint delta streams
+  /// engage. Must be ≤ 52 (checked by FleetSim).
+  std::uint8_t scale_bits = 8;
+
+  /// Capacity of the on-device ring log that holds encoded frames while the
+  /// device is offline (meshes with store-and-forward; active only when
+  /// device_buffer_rows > 0). Overflow evicts whole frames oldest-first.
+  std::size_t device_log_bytes = 16384;
+};
+
 /// Everything a fleet run depends on. A (config, pipeline) pair fully
 /// determines the run — same seed, byte-identical event log and report.
 struct FleetConfig {
@@ -123,6 +150,7 @@ struct FleetConfig {
 
   DeployConfig deploy;
   ObservatoryConfig observatory;
+  TelemetryConfig telemetry;
 
   /// The OTA delta-update loop (DESIGN.md §14): epochal retrains during the
   /// learning window, chunked binary patches down the tree, seeded canary
@@ -210,6 +238,20 @@ class FleetSim {
   void set_corruption_storm(bool on);
   void store_and_forward(net::NodeId device, Buffer&& chunk);
   std::size_t stored_rows(net::NodeId device) const;
+
+  // Telemetry wire path (config_.telemetry.enabled; see DESIGN.md §15).
+  bool telemetry_on() const noexcept { return config_.telemetry.enabled; }
+  /// Encode `ds` (already quantized) as `device`'s next TDF frame. The
+  /// schema rides inline until one frame is known delivered — the session
+  /// negotiation — and is registered edge-side on first use.
+  std::vector<std::uint8_t> telemetry_encode(net::NodeId device,
+                                             const data::Dataset& ds,
+                                             const std::vector<double>& origin_s);
+  /// Buffer an offline/failed chunk through the device's ring log:
+  /// store-and-forward keeps the rows, the log accounts the encoded bytes,
+  /// and overflow evicts whole frames oldest-first (byte bound first, then
+  /// the legacy row cap) keeping both structures in lockstep.
+  void telemetry_store(net::NodeId device, Buffer&& chunk);
 
   // Deploy phase (config_.deploy.enabled): compile at the core, broadcast
   // down, score on-device, uplink predictions.
@@ -300,6 +342,13 @@ class FleetSim {
 
   std::vector<Buffer> edge_checkpoints_;  ///< last persisted buffer per edge
   std::vector<std::deque<Buffer>> device_sf_;  ///< store-and-forward chunks
+
+  // ---- Telemetry wire state (empty unless config_.telemetry.enabled) ----
+  tdf::SchemaRegistry tdf_registry_;       ///< edge-side schemas, keyed by id
+  std::optional<tdf::Schema> tdf_schema_;  ///< the fleet's uplink schema
+  std::vector<std::uint8_t> tdf_session_open_;  ///< device: schema delivered
+  std::vector<std::uint32_t> tdf_seq_;          ///< per-device frame sequence
+  std::vector<tdf::DeviceLog> device_logs_;     ///< per-device encoded ring
   bool partitioned_ = false;
   std::vector<std::uint8_t> core_link_;  ///< link index -> is edge<->core
   /// Pre-chaos drop/corrupt probabilities of every link, captured at start

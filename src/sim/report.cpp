@@ -252,6 +252,34 @@ std::string FleetReport::to_json() const {
   out << "  \"accuracy\": " << json_number(accuracy) << ",\n";
   out << "  \"train_rows\": " << train_rows << ",\n";
   out << "  \"test_rows\": " << test_rows;
+  // Telemetry and deploy blocks render only when their subsystem ran, so
+  // legacy report JSON stays byte-identical.
+  if (telemetry.enabled) {
+    out << ",\n  \"telemetry\": {\n";
+    out << "    \"enabled\": true,\n";
+    out << "    \"schema\": {\"id\": " << telemetry.schema_id
+        << ", \"fields\": " << telemetry.schema_fields
+        << ", \"negotiations\": " << telemetry.schema_negotiations
+        << ", \"bytes\": " << telemetry.schema_bytes << "},\n";
+    out << "    \"frames\": {\"sent\": " << telemetry.frames_sent
+        << ", \"delivered\": " << telemetry.frames_delivered
+        << ", \"rejected\": " << telemetry.frames_rejected
+        << ", \"retransmitted\": " << telemetry.frames_retransmitted << "},\n";
+    out << "    \"rows\": {\"encoded\": " << telemetry.rows_encoded
+        << ", \"decoded\": " << telemetry.rows_decoded << "},\n";
+    out << "    \"bytes\": {\"encoded\": " << telemetry.encoded_wire_bytes
+        << ", \"legacy_counterfactual\": " << telemetry.legacy_wire_bytes
+        << ", \"per_row\": " << json_number(telemetry.bytes_per_row())
+        << ", \"legacy_per_row\": "
+        << json_number(telemetry.legacy_bytes_per_row()) << "},\n";
+    out << "    \"device_log\": {\"frames_evicted\": "
+        << telemetry.log_frames_evicted
+        << ", \"rows_evicted\": " << telemetry.log_rows_evicted
+        << ", \"highwater_bytes\": " << telemetry.log_highwater_bytes << "},\n";
+    out << "    \"decode_identity_ok\": "
+        << (telemetry.decode_identity_ok ? "true" : "false") << "\n";
+    out << "  }";
+  }
   // An OTA-only run still renders the deploy block (its ledger lives
   // there); legacy runs without either remain byte-identical.
   if (deploy.enabled || deploy.ota.enabled) {

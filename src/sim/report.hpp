@@ -184,6 +184,56 @@ struct DeploySummary {
   OtaSummary ota;
 };
 
+/// Ledger of the telemetry wire subsystem (src/tdf/): what the device
+/// uplinks actually cost as encoded TDF frames versus the abstract legacy
+/// wire_size_bytes model for the same rows, how the frames fared on the
+/// wire, and how full the on-device ring logs ran. All-zero unless
+/// FleetConfig::telemetry.enabled.
+struct TelemetrySummary {
+  bool enabled = false;
+
+  std::uint32_t schema_id = 0;      ///< the fleet's negotiated uplink schema
+  std::size_t schema_fields = 0;
+  std::uint64_t schema_negotiations = 0;  ///< session-open frames (schema inline)
+  std::uint64_t schema_bytes = 0;         ///< negotiation blob bytes on the wire
+
+  std::uint64_t frames_sent = 0;          ///< device frames a channel accepted
+  std::uint64_t frames_delivered = 0;     ///< decoded intact at an edge
+  std::uint64_t frames_rejected = 0;      ///< trailer-checksum rejects (wire damage)
+  std::uint64_t frames_retransmitted = 0; ///< extra payload attempts (ack mode)
+
+  std::uint64_t rows_encoded = 0;  ///< rows packed into accepted frames
+  std::uint64_t rows_decoded = 0;  ///< rows recovered by edge decodes
+
+  std::uint64_t encoded_wire_bytes = 0;  ///< header + frame, per accepted send
+  std::uint64_t legacy_wire_bytes = 0;   ///< counterfactual: the abstract model
+
+  std::uint64_t log_frames_evicted = 0;   ///< ring overflow, whole frames
+  std::uint64_t log_rows_evicted = 0;
+  std::uint64_t log_highwater_bytes = 0;  ///< max ring occupancy, any device
+
+  /// Every edge decode re-hashed to the checksum stamped over the
+  /// device-encoded rows. Asserted by FleetSim (IOTML_INTERNAL_CHECK);
+  /// carried here so reports show it.
+  bool decode_identity_ok = true;
+
+  /// Mean encoded uplink bytes per row (0 when nothing was sent).
+  double bytes_per_row() const noexcept {
+    return rows_encoded == 0
+               ? 0.0
+               : static_cast<double>(encoded_wire_bytes) /
+                     static_cast<double>(rows_encoded);
+  }
+
+  /// Mean counterfactual bytes per row under the legacy model.
+  double legacy_bytes_per_row() const noexcept {
+    return rows_encoded == 0
+               ? 0.0
+               : static_cast<double>(legacy_wire_bytes) /
+                     static_cast<double>(rows_encoded);
+  }
+};
+
 /// One flight-recorder dump, captured at the instant a fault fired: the
 /// affected entity's last ring of events, rendered as
 /// "t=<sec> <kind> a=<n> b=<n>" lines (oldest -> newest). Only present when
@@ -267,6 +317,8 @@ struct FleetReport {
   std::size_t test_rows = 0;
 
   DeploySummary deploy;  ///< all-zero unless the run had a deploy phase
+
+  TelemetrySummary telemetry;  ///< all-zero unless telemetry was enabled
 
   /// Sum of every row bucket: delivered + lost + skipped + stranded plus the
   /// fault-ledger buckets (corrupt-rejected, buffer-evicted, lost-to-crash,

@@ -1,0 +1,46 @@
+#include "tdf/device_log.hpp"
+
+#include "util/error.hpp"
+
+namespace iotml::tdf {
+
+DeviceLog::DeviceLog(std::size_t capacity_bytes) : capacity_(capacity_bytes) {
+  IOTML_CHECK(capacity_bytes > 0, "DeviceLog: capacity must be positive");
+}
+
+std::vector<DeviceLog::Entry> DeviceLog::append(std::size_t bytes, std::size_t rows) {
+  entries_.push_back({bytes, rows});
+  bytes_ += bytes;
+  rows_ += rows;
+  std::vector<Entry> evicted;
+  while (bytes_ > capacity_ && entries_.size() > 1) {
+    Entry& oldest = entries_.front();
+    bytes_ -= oldest.bytes;
+    rows_ -= oldest.rows;
+    ++frames_evicted_;
+    rows_evicted_ += oldest.rows;
+    evicted.push_back(oldest);
+    entries_.pop_front();
+  }
+  // Post-eviction: the highwater reports what the ring actually retained,
+  // not the transient overshoot the eviction pass immediately reclaimed.
+  if (bytes_ > highwater_) highwater_ = bytes_;
+  return evicted;
+}
+
+DeviceLog::Entry DeviceLog::pop_oldest() {
+  IOTML_CHECK(!entries_.empty(), "DeviceLog: pop from an empty log");
+  const Entry e = entries_.front();
+  entries_.pop_front();
+  bytes_ -= e.bytes;
+  rows_ -= e.rows;
+  return e;
+}
+
+void DeviceLog::clear() {
+  entries_.clear();
+  bytes_ = 0;
+  rows_ = 0;
+}
+
+}  // namespace iotml::tdf

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace iotml::tdf {
+
+/// A bounded on-device ring log of encoded telemetry frames — the
+/// data_logger layer of the TDF stack. A device appends every frame it
+/// cannot ship immediately (offline at flush, failed reliable send) and
+/// drains the backlog oldest-first on reconnect, so the log is what makes
+/// store-and-forward a *byte* budget instead of an abstract row count.
+///
+/// Capacity is in encoded bytes. When an append overflows, whole frames are
+/// evicted oldest-first until the new frame fits — a frame is the atom of
+/// the log (a real flash ring cannot ship half a frame), so the newest
+/// entry always survives intact even when it alone exceeds the capacity.
+class DeviceLog {
+ public:
+  struct Entry {
+    std::size_t bytes = 0;
+    std::size_t rows = 0;
+  };
+
+  /// Throws InvalidArgument when capacity_bytes is zero.
+  explicit DeviceLog(std::size_t capacity_bytes);
+
+  /// Append one encoded frame; returns the entries evicted to make room,
+  /// oldest first (empty when it fit).
+  std::vector<Entry> append(std::size_t bytes, std::size_t rows);
+
+  /// Remove and return the oldest entry. Throws InvalidArgument when empty.
+  Entry pop_oldest();
+
+  /// Drop every entry (a full drain into one uplink message).
+  void clear();
+
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t frames() const noexcept { return entries_.size(); }
+  std::size_t bytes() const noexcept { return bytes_; }
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t capacity_bytes() const noexcept { return capacity_; }
+
+  /// Largest total occupancy the log ever reached, in bytes — the sizing
+  /// signal the telemetry ledger reports fleet-wide.
+  std::size_t highwater_bytes() const noexcept { return highwater_; }
+
+  std::uint64_t frames_evicted() const noexcept { return frames_evicted_; }
+  std::uint64_t rows_evicted() const noexcept { return rows_evicted_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t bytes_ = 0;
+  std::size_t rows_ = 0;
+  std::size_t highwater_ = 0;
+  std::uint64_t frames_evicted_ = 0;
+  std::uint64_t rows_evicted_ = 0;
+  std::deque<Entry> entries_;
+};
+
+}  // namespace iotml::tdf

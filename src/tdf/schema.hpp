@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "util/bytes.hpp"
+
+namespace iotml::tdf {
+
+/// One tagged column of the telemetry schema: what a field is called, how
+/// its cells are typed and — for numeric fields — the binary fixed-point
+/// resolution the device quantizes to before encoding (cells are kept to
+/// multiples of 2^-scale_bits, which is what lets the frame codec pack
+/// readings as small varint deltas instead of 8-byte doubles).
+struct FieldSpec {
+  std::string name;
+  data::ColumnType type = data::ColumnType::kNumeric;
+  std::uint8_t scale_bits = 0;
+};
+
+/// A telemetry schema: the ordered field list one device session reports
+/// against. Negotiated once per session (the first frame of a session
+/// carries the encoded schema inline; every later frame references it by
+/// id), so rows never pay for per-row self-description — the move from
+/// "each message describes its columns" to tagged data format.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<FieldSpec> fields);
+
+  /// Derive a schema from a dataset's column layout, quantizing every
+  /// numeric field at `scale_bits`.
+  static Schema infer(const data::Dataset& ds, std::uint8_t scale_bits);
+
+  const std::vector<FieldSpec>& fields() const noexcept { return fields_; }
+  std::size_t size() const noexcept { return fields_.size(); }
+
+  /// FNV-1a32 of the encoded blob — the stable id frames reference.
+  std::uint32_t id() const noexcept { return id_; }
+
+  /// The negotiation blob: field count, then per field name/type/scale.
+  const std::vector<std::uint8_t>& encoded() const noexcept { return blob_; }
+
+  /// Inverse of encoded(); throws InvalidArgument on malformed blobs.
+  static Schema decode(util::ByteReader& reader, std::size_t blob_size);
+
+ private:
+  std::vector<FieldSpec> fields_;
+  std::vector<std::uint8_t> blob_;
+  std::uint32_t id_ = 0;
+};
+
+/// Edge-side registry of negotiated schemas, keyed by id. A decoder looks
+/// the frame's schema id up here; frames carrying an inline schema register
+/// it first (idempotently), which is how a session opens.
+class SchemaRegistry {
+ public:
+  /// Returns true when the schema was new (first negotiation).
+  bool add(const Schema& schema);
+
+  /// nullptr when the id was never negotiated.
+  const Schema* find(std::uint32_t id) const;
+
+  std::size_t size() const noexcept { return schemas_.size(); }
+
+ private:
+  std::map<std::uint32_t, Schema> schemas_;
+};
+
+}  // namespace iotml::tdf

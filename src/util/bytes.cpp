@@ -1,4 +1,4 @@
-#include "deploy/codec.hpp"
+#include "util/bytes.hpp"
 
 #include <bit>
 #include <limits>
@@ -6,7 +6,7 @@
 #include "util/error.hpp"
 #include "util/fnv.hpp"
 
-namespace iotml::deploy {
+namespace iotml::util {
 
 void ByteWriter::u16(std::uint16_t v) {
   bytes_.push_back(static_cast<std::uint8_t>(v & 0xFFU));
@@ -33,6 +33,20 @@ void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
 void ByteWriter::str(const std::string& s) {
   u32(narrow_u32(s.size(), "string length"));
   for (char c : s) bytes_.push_back(static_cast<std::uint8_t>(c));
+}
+
+void ByteWriter::varint_u64(std::uint64_t v) {
+  while (v >= 0x80U) {
+    bytes_.push_back(static_cast<std::uint8_t>((v & 0x7FU) | 0x80U));
+    v >>= 7;
+  }
+  bytes_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::varint_i64(std::int64_t v) {
+  // ZigZag: arithmetic shift keeps the mapping branch-free and total.
+  varint_u64((static_cast<std::uint64_t>(v) << 1) ^
+             static_cast<std::uint64_t>(v >> 63));
 }
 
 void ByteReader::need(std::size_t n) const {
@@ -88,6 +102,24 @@ std::string ByteReader::str() {
   return s;
 }
 
+std::uint64_t ByteReader::varint_u64() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 70; shift += 7) {
+    const std::uint8_t byte = u8();
+    IOTML_CHECK(shift < 64, "ByteReader: varint wider than 64 bits");
+    IOTML_CHECK(shift != 63 || (byte & 0x7EU) == 0,
+                "ByteReader: varint overflows 64 bits");
+    v |= static_cast<std::uint64_t>(byte & 0x7FU) << shift;
+    if ((byte & 0x80U) == 0) return v;
+  }
+  throw InvalidArgument("ByteReader: unterminated varint");
+}
+
+std::int64_t ByteReader::varint_i64() {
+  const std::uint64_t z = varint_u64();
+  return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
 std::uint8_t narrow_u8(std::size_t v, const char* what) {
   IOTML_CHECK(v <= 0xFFU, std::string("narrow_u8: ") + what + " out of range");
   return static_cast<std::uint8_t>(v);
@@ -118,7 +150,7 @@ std::int16_t narrow_i16(long long v, const char* what) {
 }
 
 std::uint32_t fnv1a(const std::uint8_t* data, std::size_t size) {
-  return fnv1a32(data, size);
+  return iotml::fnv1a32(data, size);
 }
 
-}  // namespace iotml::deploy
+}  // namespace iotml::util

@@ -32,13 +32,15 @@ R6  timing-discipline     Raw clock reads (std::chrono::steady_clock /
                           whether time is read at all. Applies to src/, bench/,
                           examples/ and tests/.
 R7  serialization-casts   reinterpret_cast is forbidden in src/, bench/,
-                          examples/ and tests/ except inside src/deploy/codec.*
-                          on lines carrying a `// codec-sanctioned` comment,
-                          and bare narrowing static_casts (to
-                          [u]int8_t/[u]int16_t) are forbidden in src/deploy/
-                          outside codec.* — artifact bytes go through the
+                          examples/ and tests/ except inside the shared codec
+                          core src/util/bytes.* (or the legacy shim
+                          src/deploy/codec.*) on lines carrying a
+                          `// codec-sanctioned` comment, and bare narrowing
+                          static_casts (to [u]int8_t/[u]int16_t) are forbidden
+                          in the serialization trees src/deploy/ and src/tdf/
+                          outside the codec core — wire bytes go through the
                           checked ByteWriter/ByteReader/narrow_* helpers so
-                          the wire format stays endian-stable and a value that
+                          the formats stay endian-stable and a value that
                           does not fit throws instead of silently wrapping
                           (golden bytes are pinned in tests/golden/).
 R8  transport-discipline  Direct Link transmit calls (`.transmit(` /
@@ -322,7 +324,7 @@ CODEC_SANCTION = re.compile(r"//\s*codec-sanctioned")
 
 
 def check_serialization_casts(root: Path) -> list[str]:
-    """R7: byte-level casts only through src/deploy/codec.*."""
+    """R7: byte-level casts only through the codec core src/util/bytes.*."""
     problems = []
     files: list[Path] = []
     for sub in ("src", "bench", "examples", "tests"):
@@ -331,8 +333,12 @@ def check_serialization_casts(root: Path) -> list[str]:
             files.extend(sorted(list(d.rglob("*.cpp")) + list(d.rglob("*.hpp"))))
     for f in files:
         rel = f.relative_to(root)
-        in_codec = f.parent.name == "deploy" and f.stem == "codec"
-        in_deploy = "deploy" in f.parts and f.suffix in (".cpp", ".hpp")
+        in_codec = (f.parent.name == "util" and f.stem == "bytes") or (
+            f.parent.name == "deploy" and f.stem == "codec"
+        )
+        in_serialization = (
+            "deploy" in f.parts or "tdf" in f.parts
+        ) and f.suffix in (".cpp", ".hpp")
         raw_lines = f.read_text().splitlines()
         code = strip_comments_and_strings(f.read_text())
         for lineno, line in enumerate(code.splitlines(), start=1):
@@ -342,13 +348,13 @@ def check_serialization_casts(root: Path) -> list[str]:
                     continue
                 problems.append(
                     f"{rel}:{lineno}: R7 reinterpret_cast — byte views belong in "
-                    f"src/deploy/codec.* (mark with `// codec-sanctioned`)"
+                    f"src/util/bytes.* (mark with `// codec-sanctioned`)"
                 )
-            if in_deploy and not in_codec and NARROWING_CAST.search(line):
+            if in_serialization and not in_codec and NARROWING_CAST.search(line):
                 problems.append(
                     f"{rel}:{lineno}: R7 bare narrowing static_cast in serialization "
-                    f"code — use deploy::narrow_u8/u16/u32/i8/i16 or enum_u8 "
-                    f"(src/deploy/codec.hpp) so overflow throws instead of wrapping"
+                    f"code — use util::narrow_u8/u16/u32/i8/i16 or enum_u8 "
+                    f"(src/util/bytes.hpp) so overflow throws instead of wrapping"
                 )
     return problems
 
@@ -469,7 +475,14 @@ def self_test() -> int:
     case("R7-flag", True,
          {"src/a.cpp": "auto* p = reinterpret_cast<char*>(q);\n"},
          check_serialization_casts)
+    case("R7-flag-narrow-tdf", True,
+         {"src/tdf/codec.cpp": "auto b = static_cast<std::uint8_t>(n);\n"},
+         check_serialization_casts)
     case("R7-clean", False,
+         {"src/util/bytes.cpp":
+          "auto* p = reinterpret_cast<char*>(q);  // codec-sanctioned\n"},
+         check_serialization_casts)
+    case("R7-clean-legacy-shim", False,
          {"src/deploy/codec.cpp":
           "auto* p = reinterpret_cast<char*>(q);  // codec-sanctioned\n"},
          check_serialization_casts)
