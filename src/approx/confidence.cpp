@@ -1,0 +1,126 @@
+#include "approx/confidence.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace iotml::approx {
+
+Interval mean_interval(const std::vector<double>& sample,
+                       std::size_t population, double z) {
+  IOTML_CHECK(population == 0 || sample.size() <= population,
+              "mean_interval: sample larger than population");
+  Interval ci;
+  ci.n = sample.size();
+  ci.population = population;
+  if (sample.empty()) return ci;
+
+  double sum = 0.0;
+  for (double v : sample) sum += v;
+  const auto n = static_cast<double>(sample.size());
+  ci.estimate = sum / n;
+  if (sample.size() <= 1) return ci;
+
+  double ss = 0.0;
+  for (double v : sample) {
+    const double d = v - ci.estimate;
+    ss += d * d;
+  }
+  const double var = ss / (n - 1.0);
+  double fpc = 1.0;
+  if (population > 1) {
+    const auto big_n = static_cast<double>(population);
+    fpc = std::sqrt(std::max(0.0, (big_n - n) / (big_n - 1.0)));
+  }
+  ci.half_width = z * std::sqrt(var / n) * fpc;
+  return ci;
+}
+
+Interval stratified_mean_interval(const std::vector<StratumSample>& strata,
+                                  double z) {
+  Interval ci;
+  double weight_total = 0.0;
+  double pooled_ss = 0.0;       // sum over strata of (n_h - 1) * s_h^2
+  double pooled_df = 0.0;       // sum over strata of (n_h - 1)
+  struct Part {
+    double population;
+    double n;
+    double mean;
+    double var;   ///< s_h^2, or a negative sentinel when n_h < 2
+  };
+  std::vector<Part> parts;
+  parts.reserve(strata.size());
+  for (const StratumSample& s : strata) {
+    IOTML_CHECK(s.population == 0 || s.values.size() <= s.population,
+                "stratified_mean_interval: sample larger than stratum");
+    if (s.values.empty()) continue;
+    const auto n_h = static_cast<double>(s.values.size());
+    const auto big_n = static_cast<double>(
+        s.population > 0 ? s.population : s.values.size());
+    double sum = 0.0;
+    for (double v : s.values) sum += v;
+    const double mean = sum / n_h;
+    double var = -1.0;
+    if (s.values.size() >= 2) {
+      double ss = 0.0;
+      for (double v : s.values) {
+        const double d = v - mean;
+        ss += d * d;
+      }
+      var = ss / (n_h - 1.0);
+      pooled_ss += ss;
+      pooled_df += n_h - 1.0;
+    }
+    parts.push_back({big_n, n_h, mean, var});
+    ci.n += s.values.size();
+    ci.population += s.population > 0 ? s.population : s.values.size();
+    weight_total += big_n;
+  }
+  if (parts.empty() || weight_total <= 0.0) return ci;
+
+  for (const Part& p : parts) {
+    ci.estimate += (p.population / weight_total) * p.mean;
+  }
+
+  // Singleton strata borrow the pooled within-stratum variance. If every
+  // stratum is a singleton there is no within-stratum signal at all; fall
+  // back to the variance of the singleton values around their pooled mean.
+  // That folds the between-stratum spread into the width — conservative
+  // (wider than the true stratified variance), never degenerate.
+  double pooled_var = 0.0;
+  if (pooled_df > 0.0) {
+    pooled_var = pooled_ss / pooled_df;
+  } else if (ci.n >= 2) {
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (const StratumSample& s : strata) {
+      for (double v : s.values) {
+        sum += v;
+        ++count;
+      }
+    }
+    const double mean = sum / static_cast<double>(count);
+    double ss = 0.0;
+    for (const StratumSample& s : strata) {
+      for (double v : s.values) {
+        const double d = v - mean;
+        ss += d * d;
+      }
+    }
+    pooled_var = ss / (static_cast<double>(count) - 1.0);
+  }
+  double variance = 0.0;
+  for (const Part& p : parts) {
+    const double w = p.population / weight_total;
+    const double s2 = p.var >= 0.0 ? p.var : pooled_var;
+    const double fpc =
+        p.population > 0.0
+            ? std::max(0.0, (p.population - p.n) / p.population)
+            : 0.0;
+    variance += w * w * fpc * s2 / p.n;
+  }
+  ci.half_width = z * std::sqrt(std::max(0.0, variance));
+  return ci;
+}
+
+}  // namespace iotml::approx

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace iotml::approx {
+
+/// z-score for a two-sided 95% normal confidence interval.
+inline constexpr double kZ95 = 1.959963984540054;
+
+/// A normal-approximation confidence interval around a sampled estimate.
+/// `population` records the window size the sample was drawn from (0 when
+/// unknown); when n == population the interval collapses to a point.
+struct Interval {
+  double estimate = 0.0;
+  double half_width = 0.0;
+  std::size_t n = 0;           ///< sample size behind the estimate
+  std::size_t population = 0;  ///< rows in the window the sample represents
+
+  double lo() const noexcept { return estimate - half_width; }
+  double hi() const noexcept { return estimate + half_width; }
+  bool covers(double exact) const noexcept {
+    // Slack absorbs float summation-order rounding, not statistics: a
+    // census interval (n == population) is a zero-width point whose
+    // estimate may differ from an exact mean computed in a different
+    // accumulation order by a few ulps.
+    const double slack = 1e-12 * (1.0 + std::abs(exact));
+    return exact >= lo() - slack && exact <= hi() + slack;
+  }
+};
+
+/// CI on the mean of `sample` taken without replacement from a window of
+/// `population` rows: half-width = z * s/sqrt(n) * fpc, with the finite-
+/// population correction fpc = sqrt((N - n) / (N - 1)). With n <= 1 the
+/// interval is degenerate (half_width 0, a point estimate at best).
+/// Throws InvalidArgument when population > 0 and sample.size() > population.
+Interval mean_interval(const std::vector<double>& sample,
+                       std::size_t population, double z = kZ95);
+
+/// One stratum's contribution to a stratified window estimate: how many
+/// rows the stratum holds in the full window and the values actually
+/// sampled from it.
+struct StratumSample {
+  std::size_t population = 0;   ///< rows of this stratum in the full window
+  std::vector<double> values;   ///< values sampled from the stratum
+};
+
+/// CI on the population mean from a stratified sample with per-stratum
+/// weighting: estimate = sum_h (N_h / N) * mean(sample_h). The per-stratum
+/// sampler rounds its draw up (ceil(rate * N_h), floor 1), so small strata
+/// carry higher sampling fractions than large ones — a pooled unweighted
+/// mean is biased whenever value correlates with stratum size, which is
+/// exactly the load-storm shape (compressed flushes are small, late, and
+/// drifted). Weighting by N_h restores unbiasedness.
+///
+/// Variance is the standard stratified form sum_h W_h^2 (1 - f_h) s_h^2 / n_h
+/// with per-stratum fpc; strata too small to estimate s_h^2 (n_h < 2) borrow
+/// the pooled within-stratum variance, and when every stratum is a
+/// singleton the variance of the singleton values around their pooled mean
+/// stands in (conservative — it folds the between-stratum spread into the
+/// width). Strata with no sampled values are excluded from both the
+/// estimate and the weight total. A census (every
+/// stratum fully sampled) collapses to a zero-width point at the exact mean.
+/// Throws InvalidArgument when any stratum samples more values than its
+/// population.
+Interval stratified_mean_interval(const std::vector<StratumSample>& strata,
+                                  double z = kZ95);
+
+}  // namespace iotml::approx

@@ -1,0 +1,64 @@
+#include "approx/sample.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace iotml::approx {
+
+ReservoirSampler::ReservoirSampler(std::size_t capacity) : capacity_(capacity) {
+  IOTML_CHECK(capacity >= 1, "ReservoirSampler: capacity must be >= 1");
+  sample_.reserve(capacity);
+}
+
+void ReservoirSampler::offer(double value, Rng& rng) {
+  ++seen_;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(value);
+    return;
+  }
+  const std::size_t slot = rng.index(static_cast<std::size_t>(seen_));
+  if (slot < capacity_) sample_[slot] = value;
+}
+
+std::vector<std::size_t> stratified_indices(const std::vector<Stratum>& strata,
+                                            double rate, Rng& rng) {
+  IOTML_CHECK(rate > 0.0 && rate <= 1.0,
+              "stratified_indices: rate must lie in (0, 1]");
+  std::vector<std::size_t> picked;
+  for (const Stratum& s : strata) {
+    if (s.count == 0) continue;
+    const auto want = static_cast<std::size_t>(
+        std::ceil(rate * static_cast<double>(s.count)));
+    const std::size_t k = std::min(std::max<std::size_t>(want, 1), s.count);
+    Rng stratum_rng = rng.split();  // rng-stream: stratum
+    std::vector<std::size_t> local =
+        stratum_rng.sample_without_replacement(s.count, k);
+    for (std::size_t offset : local) picked.push_back(s.begin + offset);
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+std::vector<std::size_t> stratified_indices(
+    const std::vector<std::vector<std::size_t>>& strata, double rate,
+    Rng& rng) {
+  IOTML_CHECK(rate > 0.0 && rate <= 1.0,
+              "stratified_indices: rate must lie in (0, 1]");
+  std::vector<std::size_t> picked;
+  for (const std::vector<std::size_t>& rows : strata) {
+    if (rows.empty()) continue;
+    const auto want = static_cast<std::size_t>(
+        std::ceil(rate * static_cast<double>(rows.size())));
+    const std::size_t k = std::min(std::max<std::size_t>(want, 1), rows.size());
+    Rng stratum_rng = rng.split();  // rng-stream: stratum-live
+    std::vector<std::size_t> local =
+        stratum_rng.sample_without_replacement(rows.size(), k);
+    for (std::size_t offset : local) picked.push_back(rows[offset]);
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+}  // namespace iotml::approx

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace iotml::approx {
+
+/// Classic algorithm-R reservoir over a stream of doubles: after `offer`ing
+/// n values the reservoir holds a uniform sample of min(n, capacity) of
+/// them, using exactly one Rng draw per offer once the reservoir is full.
+/// Deterministic per (seed, offer order) — the fleet feeds it from a
+/// manifest-pinned stream, so two runs sample byte-identical reservoirs.
+class ReservoirSampler {
+ public:
+  /// Throws InvalidArgument unless capacity >= 1.
+  explicit ReservoirSampler(std::size_t capacity);
+
+  /// Consider one stream value. Draws from `rng` only when the reservoir is
+  /// already full (the accept/replace decision).
+  void offer(double value, Rng& rng);
+
+  /// Values currently held, in slot order (not sorted).
+  const std::vector<double>& sample() const noexcept { return sample_; }
+
+  /// Stream length so far.
+  std::uint64_t seen() const noexcept { return seen_; }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t seen_ = 0;
+  std::vector<double> sample_;
+};
+
+/// One stratum of an edge flush window: a contiguous run of buffered rows
+/// that arrived from the same origin (`key` is the sending node id). The
+/// edge buffer records these runs as messages land, so stratified sampling
+/// can keep every device represented instead of letting one chatty device
+/// crowd the sample.
+struct Stratum {
+  std::uint32_t key = 0;    ///< origin node id of the run
+  std::size_t begin = 0;    ///< first row index in the buffer
+  std::size_t count = 0;    ///< rows in the run
+};
+
+/// Proportional stratified row selection over a flush window: from each
+/// stratum keep ceil(rate * count) rows (at least one per non-empty
+/// stratum), sampled without replacement. Returns the selected buffer row
+/// indices in ascending order, so downstream integration sees rows in their
+/// original arrival order. One child Rng is split per stratum, keeping the
+/// per-stratum draw sequences independent of other strata's sizes.
+/// Throws InvalidArgument unless rate lies in (0, 1].
+std::vector<std::size_t> stratified_indices(const std::vector<Stratum>& strata,
+                                            double rate, Rng& rng);
+
+/// Stratified selection over explicit per-stratum row lists instead of
+/// contiguous runs: from each non-empty list keep ceil(rate * size) entries
+/// (at least one), sampled without replacement, returned merged and
+/// ascending. The fleet uses this to sample only live (non-missing) rows —
+/// with contiguous runs a one-row stratum whose row happens to be missing
+/// contributes nothing, and since storm-compressed strata are both small
+/// and value-drifted, those silent dropouts bias the window estimate.
+/// Same split-per-stratum draw discipline as the contiguous overload.
+/// Throws InvalidArgument unless rate lies in (0, 1].
+std::vector<std::size_t> stratified_indices(
+    const std::vector<std::vector<std::size_t>>& strata, double rate, Rng& rng);
+
+}  // namespace iotml::approx

@@ -1,0 +1,159 @@
+#include "approx/sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace iotml::approx {
+namespace {
+
+// splitmix64 finalizer: cheap, well-mixed 64-bit hash used for both the
+// count-min row functions and the quantile rank. Not cryptographic — the
+// determinism contract only needs seed-keyed uniformity.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+}  // namespace
+
+CountMinSketch::CountMinSketch(std::size_t width, std::size_t depth,
+                               std::uint64_t seed)
+    : width_(width), depth_(depth), seed_(seed) {
+  IOTML_CHECK(width >= 1, "CountMinSketch: width must be >= 1");
+  IOTML_CHECK(depth >= 1, "CountMinSketch: depth must be >= 1");
+  counters_.assign(width_ * depth_, 0);
+}
+
+std::size_t CountMinSketch::row_index(std::size_t row, std::uint64_t key) const {
+  const std::uint64_t h = mix64(key ^ mix64(seed_ + row));
+  return static_cast<std::size_t>(h % width_);
+}
+
+void CountMinSketch::add(std::uint64_t key, std::uint64_t count) {
+  for (std::size_t row = 0; row < depth_; ++row) {
+    counters_[row * width_ + row_index(row, key)] += count;
+  }
+  total_ += count;
+}
+
+std::uint64_t CountMinSketch::estimate(std::uint64_t key) const {
+  std::uint64_t best = counters_[row_index(0, key)];
+  for (std::size_t row = 1; row < depth_; ++row) {
+    best = std::min(best, counters_[row * width_ + row_index(row, key)]);
+  }
+  return best;
+}
+
+void CountMinSketch::merge(const CountMinSketch& other) {
+  IOTML_CHECK(other.width_ == width_ && other.depth_ == depth_ &&
+                  other.seed_ == seed_,
+              "CountMinSketch::merge: incompatible sketch shape or seed");
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  total_ += other.total_;
+}
+
+double CountMinSketch::epsilon() const noexcept {
+  return std::exp(1.0) / static_cast<double>(width_);
+}
+
+std::vector<std::uint8_t> CountMinSketch::encode() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(32 + counters_.size() * 8);
+  put_u64(out, static_cast<std::uint64_t>(width_));
+  put_u64(out, static_cast<std::uint64_t>(depth_));
+  put_u64(out, seed_);
+  put_u64(out, total_);
+  for (std::uint64_t c : counters_) put_u64(out, c);
+  return out;
+}
+
+QuantileSketch::QuantileSketch(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), seed_(seed) {
+  IOTML_CHECK(capacity >= 1, "QuantileSketch: capacity must be >= 1");
+  entries_.reserve(capacity + 1);
+}
+
+void QuantileSketch::add(std::uint64_t key, double value) {
+  Entry e;
+  e.rank = mix64(seed_ ^ key);
+  std::memcpy(&e.value_bits, &value, sizeof(e.value_bits));
+  e.key = key;
+  const auto less = [](const Entry& a, const Entry& b) {
+    if (a.rank != b.rank) return a.rank < b.rank;
+    if (a.value_bits != b.value_bits) return a.value_bits < b.value_bits;
+    return a.key < b.key;
+  };
+  entries_.insert(std::upper_bound(entries_.begin(), entries_.end(), e, less), e);
+  ++count_;
+  truncate();
+}
+
+void QuantileSketch::truncate() {
+  if (entries_.size() > capacity_) entries_.resize(capacity_);
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  IOTML_CHECK(other.capacity_ == capacity_ && other.seed_ == seed_,
+              "QuantileSketch::merge: incompatible sketch shape or seed");
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  const auto less = [](const Entry& a, const Entry& b) {
+    if (a.rank != b.rank) return a.rank < b.rank;
+    if (a.value_bits != b.value_bits) return a.value_bits < b.value_bits;
+    return a.key < b.key;
+  };
+  std::merge(entries_.begin(), entries_.end(), other.entries_.begin(),
+             other.entries_.end(), std::back_inserter(merged), less);
+  entries_ = std::move(merged);
+  count_ += other.count_;
+  truncate();
+}
+
+double QuantileSketch::quantile(double q) const {
+  IOTML_CHECK(!entries_.empty(), "QuantileSketch::quantile: empty sketch");
+  std::vector<double> values = sample_values();
+  std::sort(values.begin(), values.end());
+  const double clamped = std::min(1.0, std::max(0.0, q));
+  const auto idx = static_cast<std::size_t>(
+      clamped * static_cast<double>(values.size() - 1) + 0.5);
+  return values[idx];
+}
+
+std::vector<double> QuantileSketch::sample_values() const {
+  std::vector<double> values;
+  values.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    double v = 0.0;
+    std::memcpy(&v, &e.value_bits, sizeof(v));
+    values.push_back(v);
+  }
+  return values;
+}
+
+std::vector<std::uint8_t> QuantileSketch::encode() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(32 + entries_.size() * 24);
+  put_u64(out, static_cast<std::uint64_t>(capacity_));
+  put_u64(out, seed_);
+  put_u64(out, count_);
+  put_u64(out, static_cast<std::uint64_t>(entries_.size()));
+  for (const Entry& e : entries_) {
+    put_u64(out, e.rank);
+    put_u64(out, e.value_bits);
+    put_u64(out, e.key);
+  }
+  return out;
+}
+
+}  // namespace iotml::approx

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace iotml::approx {
+
+/// Count-min sketch over 64-bit keys: `depth` rows of `width` counters,
+/// each row hashed with an independent seed-derived function. Estimates
+/// overcount by at most epsilon() * total() with high probability and
+/// never undercount. Merging two sketches built with the same shape and
+/// seed is exact counter-wise addition, so merges commute and associate
+/// and the encoded bytes are independent of merge order.
+class CountMinSketch {
+ public:
+  /// Throws InvalidArgument unless width >= 1 and depth >= 1.
+  CountMinSketch(std::size_t width, std::size_t depth, std::uint64_t seed);
+
+  void add(std::uint64_t key, std::uint64_t count = 1);
+
+  /// Upper-biased point estimate: min over rows of the hashed counter.
+  std::uint64_t estimate(std::uint64_t key) const;
+
+  /// Counter-wise addition. Throws InvalidArgument unless `other` has the
+  /// same width, depth, and seed.
+  void merge(const CountMinSketch& other);
+
+  /// Total weight added (sum of `count` arguments across add() calls).
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Additive error bound as a fraction of total(): e / width.
+  double epsilon() const noexcept;
+
+  std::size_t width() const noexcept { return width_; }
+  std::size_t depth() const noexcept { return depth_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Canonical little-endian byte image (shape, seed, total, counters).
+  /// Byte-stable across merge orders for a fixed multiset of adds.
+  std::vector<std::uint8_t> encode() const;
+
+ private:
+  std::size_t row_index(std::size_t row, std::uint64_t key) const;
+
+  std::size_t width_;
+  std::size_t depth_;
+  std::uint64_t seed_;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> counters_;  // depth_ rows of width_ each
+};
+
+/// Mergeable quantile sketch via coordinated bottom-k hash sampling: every
+/// (key, value) pair gets a rank from a seed-keyed hash of the key, and the
+/// sketch keeps the k pairs with the smallest ranks. Because the rank
+/// depends only on (seed, key), two sketches over disjoint streams agree on
+/// which survivors to keep, so merges are exactly "union then truncate to
+/// k" — commutative, associative, and byte-stable regardless of merge
+/// order. The retained values are a uniform sample of the stream, so they
+/// double as the input to normal-approximation confidence intervals.
+class QuantileSketch {
+ public:
+  /// Throws InvalidArgument unless capacity >= 1.
+  QuantileSketch(std::size_t capacity, std::uint64_t seed);
+
+  /// `key` must be unique per stream element (the fleet uses
+  /// node-id << 32 | per-node sequence); duplicate keys collapse to one
+  /// retained entry and would bias the sample.
+  void add(std::uint64_t key, double value);
+
+  /// Union-then-truncate. Throws InvalidArgument unless `other` has the
+  /// same capacity and seed.
+  void merge(const QuantileSketch& other);
+
+  /// Empirical quantile of the retained sample, q in [0, 1] (clamped).
+  /// Throws InvalidArgument when the sketch is empty.
+  double quantile(double q) const;
+
+  /// Stream length (number of adds across all merged inputs).
+  std::uint64_t count() const noexcept { return count_; }
+
+  /// Number of retained entries (min(count, capacity) barring rank ties).
+  std::size_t retained() const noexcept { return entries_.size(); }
+
+  /// Retained values in canonical entry order — a uniform sample of the
+  /// stream suitable for mean/CI estimation.
+  std::vector<double> sample_values() const;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Canonical little-endian byte image (shape, seed, count, entries in
+  /// (rank, value-bits, key) order). Byte-stable across merge orders.
+  std::vector<std::uint8_t> encode() const;
+
+ private:
+  struct Entry {
+    std::uint64_t rank;
+    std::uint64_t value_bits;  // IEEE-754 image; total-orders ties exactly
+    std::uint64_t key;
+  };
+
+  void truncate();
+
+  std::size_t capacity_;
+  std::uint64_t seed_;
+  std::uint64_t count_ = 0;
+  std::vector<Entry> entries_;  // sorted by (rank, value_bits, key)
+};
+
+}  // namespace iotml::approx

@@ -57,6 +57,7 @@ ChannelOutcome Channel::send(double now_s, std::size_t bytes, Rng& rng) {
     ChannelOutcome acked = send_ack_retry(now_s, bytes, rng);
     acked.accepted = true;
     completion_s_.push_back(link_->busy_until_s());
+    in_flight_highwater_ = std::max(in_flight_highwater_, completion_s_.size());
     return acked;
   }
 
@@ -65,6 +66,7 @@ ChannelOutcome Channel::send(double now_s, std::size_t bytes, Rng& rng) {
   // the receiver — detected and rejected, never silently scored.
   const Delivery d = link_->transmit(now_s, bytes, rng);
   completion_s_.push_back(link_->busy_until_s());
+  in_flight_highwater_ = std::max(in_flight_highwater_, completion_s_.size());
   outcome.attempts = 1 + d.retransmits;
   outcome.delivered = d.delivered && !d.corrupted;
   outcome.corrupted = d.delivered && d.corrupted;

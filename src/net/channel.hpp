@@ -79,6 +79,16 @@ class Channel {
   /// Sends still occupying the channel (wire time not yet elapsed) at `now_s`.
   std::size_t in_flight(double now_s) const;
 
+  /// Deepest the in-flight queue has ever been, measured right after each
+  /// accepted send. A backpressure watermark: high-water near
+  /// `queue_capacity` means the channel has been skirting dead-letter
+  /// territory even if nothing was refused yet.
+  std::size_t in_flight_highwater() const noexcept { return in_flight_highwater_; }
+
+  /// Lifetime dead-letter count (sends refused by the bounded queue) —
+  /// convenience mirror of stats().dead_letters for ladder controllers.
+  std::uint64_t dead_letters() const noexcept { return stats_.dead_letters; }
+
   /// Move `bytes` across the link at `now_s`. Deterministic given the Rng
   /// state; updates channel stats, the link's stats and net.channel.*
   /// counters.
@@ -91,6 +101,7 @@ class Channel {
   ChannelParams params_;
   ChannelStats stats_;
   std::vector<double> completion_s_;  ///< in-flight send completion times
+  std::size_t in_flight_highwater_ = 0;
 };
 
 }  // namespace iotml::net

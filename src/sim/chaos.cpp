@@ -15,6 +15,8 @@ std::string chaos_kind_name(ChaosKind kind) {
     case ChaosKind::kLossBurstEnd: return "loss-burst-end";
     case ChaosKind::kCorruptionStart: return "corruption-start";
     case ChaosKind::kCorruptionEnd: return "corruption-end";
+    case ChaosKind::kLoadStormStart: return "load-storm-start";
+    case ChaosKind::kLoadStormEnd: return "load-storm-end";
   }
   return "?";
 }
@@ -59,6 +61,12 @@ std::vector<ChaosEvent> make_chaos_plan(const net::Topology& topo,
               "make_chaos_plan: storm_corrupt_prob outside [0, 1]");
   IOTML_CHECK(params.broadcast_crash_downtime_s >= 0.0,
               "make_chaos_plan: negative broadcast crash downtime");
+  IOTML_CHECK(params.load_storms >= 0.0,
+              "make_chaos_plan: negative scenario rate");
+  IOTML_CHECK(params.load_storm_mean_s >= 0.0,
+              "make_chaos_plan: negative scenario duration");
+  IOTML_CHECK(params.load_storms <= 0.0 || params.load_storm_factor > 1.0,
+              "make_chaos_plan: load_storm_factor must exceed 1");
   std::vector<ChaosEvent> plan;
   sample_windows(plan, params.partitions, params.partition_mean_s, duration_s,
                  ChaosKind::kPartitionStart, ChaosKind::kPartitionEnd, rng);
@@ -66,6 +74,10 @@ std::vector<ChaosEvent> make_chaos_plan(const net::Topology& topo,
                  ChaosKind::kLossBurstStart, ChaosKind::kLossBurstEnd, rng);
   sample_windows(plan, params.corruption_storms, params.storm_mean_s, duration_s,
                  ChaosKind::kCorruptionStart, ChaosKind::kCorruptionEnd, rng);
+  // Load storms sample strictly after every legacy scenario so plans with
+  // load_storms == 0 replay the historical draw sequence byte-for-byte.
+  sample_windows(plan, params.load_storms, params.load_storm_mean_s, duration_s,
+                 ChaosKind::kLoadStormStart, ChaosKind::kLoadStormEnd, rng);
   std::stable_sort(plan.begin(), plan.end(), [](const ChaosEvent& a, const ChaosEvent& b) {
     return std::tie(a.time_s, a.kind, a.target) < std::tie(b.time_s, b.kind, b.target);
   });

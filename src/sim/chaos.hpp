@@ -19,7 +19,9 @@ enum class ChaosKind {
   kLossBurstStart,    ///< device->edge uplinks jump to burst_drop_prob
   kLossBurstEnd,
   kCorruptionStart,   ///< device->edge uplinks corrupt at storm_corrupt_prob
-  kCorruptionEnd
+  kCorruptionEnd,
+  kLoadStormStart,    ///< devices flush load_storm_factor times faster
+  kLoadStormEnd
 };
 
 std::string chaos_kind_name(ChaosKind kind);
@@ -48,10 +50,13 @@ struct ChaosParams {
   double storm_corrupt_prob = 0.1;    ///< device->edge corrupt prob during a storm
   bool crash_during_broadcast = false; ///< crash edge 0 at deploy-broadcast time
   double broadcast_crash_downtime_s = 5.0;
+  double load_storms = 0.0;           ///< expected fleet-wide flush storms
+  double load_storm_mean_s = 4.0;
+  double load_storm_factor = 4.0;     ///< flush-schedule compression (> 1)
 
   bool any() const noexcept {
     return partitions > 0.0 || loss_bursts > 0.0 || corruption_storms > 0.0 ||
-           crash_during_broadcast;
+           load_storms > 0.0 || crash_during_broadcast;
   }
 };
 

@@ -7,6 +7,7 @@
 #include <numeric>
 #include <utility>
 
+#include "approx/confidence.hpp"
 #include "deploy/codec.hpp"
 #include "deploy/compile.hpp"
 #include "deploy/quantize.hpp"
@@ -135,6 +136,23 @@ FleetSim::FleetSim(FleetConfig config, pipeline::Pipeline full_pipeline)
     IOTML_CHECK(config.telemetry.device_log_bytes >= 1,
                 "FleetSim: telemetry.device_log_bytes must be >= 1");
   }
+  if (config.degrade.enabled) {
+    IOTML_CHECK(config.degrade.pin_level >= -1 && config.degrade.pin_level <= 3,
+                "FleetSim: degrade.pin_level outside [-1, 3]");
+    IOTML_CHECK(config.degrade.sample_rate > 0.0 && config.degrade.sample_rate <= 1.0,
+                "FleetSim: degrade.sample_rate outside (0, 1]");
+    IOTML_CHECK(config.degrade.sketch_capacity >= 1 &&
+                    config.degrade.countmin_width >= 1 &&
+                    config.degrade.countmin_depth >= 1,
+                "FleetSim: degrade sketch shapes must be >= 1");
+    IOTML_CHECK(config.degrade.dead_letter_rate_ref > 0.0,
+                "FleetSim: degrade.dead_letter_rate_ref must be positive");
+    IOTML_CHECK(config.degrade.checkpoint_lag_rows >= 1,
+                "FleetSim: degrade.checkpoint_lag_rows must be >= 1");
+    IOTML_CHECK(config.degrade.sketch_cost_base >= 0.0 &&
+                    config.degrade.sketch_cost_per_row >= 0.0,
+                "FleetSim: negative degrade sketch cost");
+  }
   if (config.deploy.enabled || config.ota.enabled) {
     // Downlinks append after every uplink, so in the split loop below the
     // uplinks draw exactly the Rng streams a non-deploy run would assign.
@@ -165,6 +183,9 @@ FleetSim::FleetSim(FleetConfig config, pipeline::Pipeline full_pipeline)
   // when OTA is off.
   canary_rng_ = master.split();  // rng-stream: canary
   epoch_rng_ = master.split();  // rng-stream: epoch
+  // The degradation-sampling stream splits off after every earlier stream,
+  // so L0-only and degrade-off runs replay historical draw sequences.
+  degrade_rng_ = master.split();  // rng-stream: degrade
 
   // One transport per link. The topology is final here (downlinks included),
   // so the Link references the channels capture stay stable.
@@ -206,6 +227,20 @@ FleetSim::FleetSim(FleetConfig config, pipeline::Pipeline full_pipeline)
     ota_stores_.resize(config.devices);
     ota_active_transfer_.assign(config.devices, kNoMessage);
     ota_report_seen_.resize(topo_.num_nodes());
+  }
+  if (config.degrade.enabled) {
+    degrade_ctrl_.reserve(config.edges);
+    for (std::size_t e = 0; e < config.edges; ++e) {
+      degrade_ctrl_.emplace_back(config.degrade.thresholds, config.degrade.pin_level);
+    }
+    degrade_signal_t_.assign(config.edges, 0.0);
+    degrade_dead_letters_.assign(config.edges, 0);
+    degrade_dead_letters_seen_.assign(config.edges, 0);
+    degrade_queue_hint_.assign(config.edges, 0.0);
+    degrade_sf_highwater_.assign(config.edges, 0);
+    report_.degradation.enabled = true;
+    report_.degradation.pin_level = config.degrade.pin_level;
+    report_.degradation.duration_s = config.duration_s;
   }
   if (config.telemetry.enabled) {
     tdf_session_open_.assign(config.devices, 0);
@@ -256,6 +291,8 @@ FleetSim::FleetSim(FleetConfig config, pipeline::Pipeline full_pipeline)
       case ChaosKind::kLossBurstEnd: kind = EventKind::kLossBurstEnd; break;
       case ChaosKind::kCorruptionStart: kind = EventKind::kCorruptionStart; break;
       case ChaosKind::kCorruptionEnd: kind = EventKind::kCorruptionEnd; break;
+      case ChaosKind::kLoadStormStart: kind = EventKind::kLoadStormStart; break;
+      case ChaosKind::kLoadStormEnd: kind = EventKind::kLoadStormEnd; break;
     }
     sched_.push(c.time_s, kind, c.target);
   }
@@ -355,7 +392,10 @@ FleetReport FleetSim::run() {
   for (std::size_t e = 0; e < config_.edges; ++e) handle_edge_flush(e, drain_s);
   while (!sched_.empty()) handle(sched_.pop());
 
+  if (degrade_on()) degrade_settle(std::max(sched_.now_s(), drain_s));
+
   finalize();
+  if (degrade_on()) finalize_degradation();
   if (config_.deploy.enabled) run_deploy_phase();
   if (config_.ota.enabled) finalize_ota();
 
@@ -391,6 +431,10 @@ FleetReport FleetSim::run() {
     if (config_.ota.enabled) {
       std::ofstream ota_out(config_.observatory.artifact_dir + "/ota.json");
       if (ota_out) ota_out << ota_to_json(report_.deploy.ota);
+    }
+    if (degrade_on()) {
+      std::ofstream deg_out(config_.observatory.artifact_dir + "/degradation.json");
+      if (deg_out) deg_out << degradation_to_json(report_.degradation);
     }
   }
   return report_;
@@ -505,6 +549,18 @@ void FleetSim::handle(const Event& event) {
       break;
     case EventKind::kOtaControlArrival:
       handle_ota_control_arrival(event);
+      break;
+    case EventKind::kLoadStormStart:
+      set_load_storm(true, event.time_s);
+      break;
+    case EventKind::kLoadStormEnd:
+      set_load_storm(false, event.time_s);
+      break;
+    case EventKind::kStormFlush:
+      handle_storm_flush(event);
+      break;
+    case EventKind::kSummaryArrival:
+      handle_summary_arrival(event);
       break;
   }
 }
@@ -622,6 +678,24 @@ void FleetSim::handle_edge_flush(std::size_t edge_index, double now_s) {
         .record(now_s, static_cast<double>(buf.row_count));
   }
   if (!topo_.node(e).up) return;  // hold the buffer until the edge recovers
+
+  // Ladder decision (DESIGN.md §16): the controller steps on the edge's own
+  // backpressure *before* the hold guard, so pressure accumulated during a
+  // partition (checkpoint lag, store-and-forward occupancy) still escalates
+  // the level instead of being invisible until the wire heals.
+  int degrade_level = 0;
+  if (degrade_on()) {
+    degrade_level =
+        degrade_update(edge_index, now_s, degrade_signals(edge_index, now_s));
+    if (degrade_level >= 2) {
+      // L2/L3 answer the window locally and shed every row; only a
+      // fixed-size summary goes upstream, so a dead uplink cannot make the
+      // edge hoard rows.
+      degrade_summary_flush(edge_index, now_s, degrade_level);
+      return;
+    }
+  }
+
   if (config_.channel.mode == net::ChannelMode::kAckRetry &&
       (!topo_.node(topo_.core()).up || !topo_.uplink(e).up())) {
     // Degraded mode: a stop-and-wait edge knows its uplink (or the core) is
@@ -630,6 +704,16 @@ void FleetSim::handle_edge_flush(std::size_t edge_index, double now_s) {
     // transmit anyway (the frame dies at the dead receiver).
     obs::registry().counter("sim.recovery.edge_holds").add();
     return;
+  }
+
+  if (degrade_level == 1) {
+    // L1: a seeded stratified sample of the window rides the normal
+    // integrate -> pipeline -> uplink path below; the rest is shed with a
+    // ledgered confidence interval standing in for them.
+    degrade_sample_window(edge_index, now_s);
+  } else if (degrade_on()) {
+    report_.degradation.rows_exact += buf.row_count;
+    ++report_.degradation.windows_exact;
   }
 
   // Integration: merge the per-device chunks into one time-ordered record
@@ -674,6 +758,414 @@ void FleetSim::handle_edge_flush(std::size_t edge_index, double now_s) {
   // that already left the edge.
   edge_checkpoints_[edge_index] = Buffer{};
   send(e, std::move(out), now_s);
+}
+
+// ---- Graceful-degradation ladder (DESIGN.md §16) --------------------------
+
+approx::DegradeSignals FleetSim::degrade_signals(std::size_t edge_index,
+                                                 double now_s) {
+  approx::DegradeSignals s;
+  const net::NodeId e = topo_.edge(edge_index);
+
+  // Channel congestion: the uplink's depth right now, or the deepest
+  // fraction any of the edge's channels hit since the last update.
+  const auto cap = static_cast<double>(config_.channel.queue_capacity);
+  const std::size_t uplink = topo_.uplink_index(e);
+  const double now_frac =
+      static_cast<double>(channels_[uplink].in_flight(now_s)) / cap;
+  s.queue_fraction = std::max(now_frac, degrade_queue_hint_[edge_index]);
+  degrade_queue_hint_[edge_index] = 0.0;
+
+  // Dead-letter growth since the last update, against the reference rate.
+  const double elapsed = now_s - degrade_signal_t_[edge_index];
+  const std::uint64_t letters = degrade_dead_letters_[edge_index];
+  const std::uint64_t fresh = letters - degrade_dead_letters_seen_[edge_index];
+  if (fresh > 0) {
+    s.dead_letter_rate = (static_cast<double>(fresh) / std::max(elapsed, 1e-9)) /
+                         config_.degrade.dead_letter_rate_ref;
+  }
+  degrade_dead_letters_seen_[edge_index] = letters;
+
+  // Store-and-forward occupancy across the edge's devices (device i
+  // belongs to edge i % edges; see Topology::fleet).
+  if (config_.device_buffer_rows > 0) {
+    std::uint64_t total = 0;
+    std::size_t fleet = 0;
+    for (std::size_t i = edge_index; i < config_.devices; i += config_.edges) {
+      total += stored_rows(topo_.device(i));
+      ++fleet;
+    }
+    degrade_sf_highwater_[edge_index] =
+        std::max<std::uint64_t>(degrade_sf_highwater_[edge_index], total);
+    if (fleet > 0) {
+      s.sf_occupancy = static_cast<double>(total) /
+                       (static_cast<double>(config_.device_buffer_rows) *
+                        static_cast<double>(fleet));
+    }
+  }
+
+  // Checkpoint lag: rows buffered beyond what the last checkpoint covers.
+  if (config_.checkpoint_interval_s > 0.0) {
+    const std::size_t buffered = edge_buffers_[edge_index].row_count;
+    const std::size_t persisted = edge_checkpoints_[edge_index].row_count;
+    const std::size_t lag = buffered > persisted ? buffered - persisted : 0;
+    s.checkpoint_lag = static_cast<double>(lag) /
+                       static_cast<double>(config_.degrade.checkpoint_lag_rows);
+  }
+  degrade_signal_t_[edge_index] = now_s;
+  return s;
+}
+
+int FleetSim::degrade_update(std::size_t edge_index, double now_s,
+                             const approx::DegradeSignals& signals) {
+  approx::DegradationController& ctrl = degrade_ctrl_[edge_index];
+  const approx::DegradeLevel before = ctrl.level();
+  const approx::DegradeLevel after = ctrl.update(now_s, signals);
+  if (after != before) {
+    auto& d = report_.degradation;
+    if (static_cast<int>(after) > static_cast<int>(before)) {
+      ++d.transitions_up;
+    } else {
+      ++d.transitions_down;
+    }
+    obs::registry().counter("sim.degrade.transitions").add();
+    const net::NodeId e = topo_.edge(edge_index);
+    if (obsy_) {
+      obsy_->flight().note(e, now_s, "degrade-level",
+                           static_cast<std::size_t>(before),
+                           static_cast<std::size_t>(after));
+      obsy_->series()
+          .series("degrade.level", topo_.node(e).name, "edge")
+          .record(now_s, static_cast<double>(static_cast<int>(after)));
+    }
+  }
+  return static_cast<int>(after);
+}
+
+namespace {
+
+/// Mean of a column over [0, rows), skipping missing cells; the number of
+/// contributing cells comes back through `n`.
+double column_mean(const data::Column& col, std::size_t rows, std::size_t& n) {
+  double sum = 0.0;
+  n = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (col.is_missing(r)) continue;
+    sum += col.numeric(r);
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace
+
+void FleetSim::degrade_sample_window(std::size_t edge_index, double now_s) {
+  Buffer& buf = edge_buffers_[edge_index];
+  const std::size_t population = buf.row_count;
+  auto& d = report_.degradation;
+
+  // Strata must tile the buffer exactly; anything else (defensive — e.g. a
+  // window restored from a pre-ladder checkpoint) collapses to one stratum.
+  std::size_t tiled = 0;
+  for (const approx::Stratum& s : buf.strata) tiled += s.count;
+  std::vector<approx::Stratum> strata = buf.strata;
+  if (strata.empty() || tiled != population) {
+    strata.assign(1, approx::Stratum{static_cast<std::uint32_t>(edge_index), 0,
+                                     population});
+  }
+
+  // Sample live rows only, stratum by stratum. Missing cells carry no
+  // analytic value (downstream would impute them), and with contiguous-run
+  // sampling a tiny stratum whose only draw lands on a missing cell drops
+  // out of the estimate entirely — storm-compressed strata are small, late,
+  // and drifted, so those dropouts are a systematic bias, not noise.
+  const data::Column& col = buf.rows.column(1);
+  std::vector<std::vector<std::size_t>> live(strata.size());
+  for (std::size_t i = 0; i < strata.size(); ++i) {
+    const approx::Stratum& s = strata[i];
+    for (std::size_t r = s.begin; r < s.begin + s.count; ++r) {
+      if (!col.is_missing(r)) live[i].push_back(r);
+    }
+  }
+
+  const std::int64_t start_us = obs::now_us();
+  const std::vector<std::size_t> keep =
+      approx::stratified_indices(live, config_.degrade.sample_rate,
+                                 degrade_rng_);
+
+  // The bounded-error contract: the realized error of the sampled window
+  // mean (first measured quantity) against the exact full-window answer,
+  // which the simulator can still compute out of band. The per-stratum
+  // sampler rounds draws up, so small strata carry higher sampling
+  // fractions; the self-weighted stratified estimator keeps that from
+  // biasing the window mean (a pooled mean over `keep` would drift high).
+  std::size_t exact_n = 0;
+  const double exact = column_mean(col, population, exact_n);
+  std::vector<approx::StratumSample> samples(strata.size());
+  for (std::size_t i = 0; i < strata.size(); ++i) {
+    samples[i].population = live[i].size();
+  }
+  std::size_t cursor = 0;
+  for (std::size_t r : keep) {
+    while (cursor + 1 < strata.size() &&
+           r >= strata[cursor].begin + strata[cursor].count) {
+      ++cursor;
+    }
+    samples[cursor].values.push_back(col.numeric(r));
+  }
+  const approx::Interval ci = approx::stratified_mean_interval(samples);
+  const bool covered = exact_n == 0 || ci.covers(exact);
+
+  ++d.windows_sampled;
+  d.rows_approx += population;
+  d.rows_sampled_out += population - keep.size();
+  ++d.ci_windows;
+  if (covered) ++d.ci_covered;
+  d.ci_half_width_sum += ci.half_width;
+  const double err = std::abs(ci.estimate - exact);
+  d.abs_error_sum += err;
+  d.max_abs_error = std::max(d.max_abs_error, err);
+  if (d.windows.size() < kMaxWindowEstimates) {
+    d.windows.push_back({edge_index, now_s, 1, population, keep.size(),
+                         ci.estimate, ci.half_width, exact, covered});
+  } else {
+    ++d.windows_truncated;
+  }
+
+  StageReport st;
+  st.stage_name = "degrade(sample)";
+  st.player = "edge-operator";
+  st.tier = Tier::kEdge;
+  st.rows_in = population;
+  st.rows_out = keep.size();
+  st.columns_out = buf.rows.num_columns();
+  st.missing_rate_in = buf.rows.missing_rate();
+  st.cost = 0.05 + 0.0002 * static_cast<double>(population);
+  // det-sanctioned: wall_time_us is observability-only; to_json and the event log omit it
+  st.wall_time_us = static_cast<std::uint64_t>(obs::now_us() - start_us);
+
+  Buffer kept;
+  kept.rows = buf.rows.select_rows(keep);
+  kept.row_count = keep.size();
+  kept.origin_s = std::move(buf.origin_s);
+  kept.parents = std::move(buf.parents);
+  buf = std::move(kept);  // the sampled window is one run now; strata reset
+  st.missing_rate_out = buf.rows.missing_rate();
+  report_.stage_reports.push_back(std::move(st));
+
+  const net::NodeId e = topo_.edge(edge_index);
+  if (obsy_) {
+    obsy_->flight().note(e, now_s, "degrade-sample", population, keep.size());
+    obsy_->series()
+        .series("degrade.sampled_rows", topo_.node(e).name, "edge")
+        .record(now_s, static_cast<double>(keep.size()));
+  }
+}
+
+void FleetSim::degrade_summary_flush(std::size_t edge_index, double now_s,
+                                     int level) {
+  Buffer& buf = edge_buffers_[edge_index];
+  const std::size_t population = buf.row_count;
+  const net::NodeId e = topo_.edge(edge_index);
+  auto& d = report_.degradation;
+  const std::int64_t start_us = obs::now_us();
+
+  // Count + level + window stamp ride in every summary.
+  std::size_t wire_bytes = net::kMessageHeaderBytes + 24;
+
+  StageReport st;
+  st.player = "edge-operator";
+  st.tier = Tier::kEdge;
+  st.rows_in = population;
+  st.rows_out = 0;
+  st.columns_out = 0;
+  st.missing_rate_in = buf.rows.missing_rate();
+
+  if (level == 2) {
+    // L2 sketch-only reduce: the window collapses to a count-min tally of
+    // rows per sender plus a bottom-k quantile sample of the first measured
+    // quantity. Both are mergeable and byte-stable, so the core could fold
+    // summaries from many edges in any order; the retained sample doubles
+    // as the CI input.
+    approx::CountMinSketch tally(config_.degrade.countmin_width,
+                                 config_.degrade.countmin_depth, config_.seed);
+    std::size_t tiled = 0;
+    for (const approx::Stratum& s : buf.strata) tiled += s.count;
+    if (!buf.strata.empty() && tiled == population) {
+      for (const approx::Stratum& s : buf.strata) tally.add(s.key, s.count);
+    } else {
+      tally.add(e, population);
+    }
+    approx::QuantileSketch quant(config_.degrade.sketch_capacity, config_.seed);
+    const data::Column& col = buf.rows.column(1);
+    const std::uint64_t key_base = static_cast<std::uint64_t>(e) << 32;
+    for (std::size_t r = 0; r < population; ++r) {
+      if (col.is_missing(r)) continue;
+      quant.add(key_base | static_cast<std::uint64_t>(r), col.numeric(r));
+    }
+
+    std::size_t exact_n = 0;
+    const double exact = column_mean(col, population, exact_n);
+    const approx::Interval ci =
+        approx::mean_interval(quant.sample_values(), exact_n);
+    const bool covered = exact_n == 0 || ci.covers(exact);
+    ++d.ci_windows;
+    if (covered) ++d.ci_covered;
+    d.ci_half_width_sum += ci.half_width;
+    const double err = std::abs(ci.estimate - exact);
+    d.abs_error_sum += err;
+    d.max_abs_error = std::max(d.max_abs_error, err);
+    if (d.windows.size() < kMaxWindowEstimates) {
+      d.windows.push_back({edge_index, now_s, 2, population, quant.retained(),
+                           ci.estimate, ci.half_width, exact, covered});
+    } else {
+      ++d.windows_truncated;
+    }
+
+    wire_bytes += tally.encode().size() + quant.encode().size();
+    ++d.windows_sketch;
+    st.stage_name = "degrade(sketch-reduce)";
+    st.cost = config_.degrade.sketch_cost_base +
+              config_.degrade.sketch_cost_per_row * static_cast<double>(population);
+  } else {
+    // L3 summary-only: the edge reports a bare row count and sheds the
+    // window; fresh deploy artifacts also stop relaying through it (see
+    // handle_artifact_arrival).
+    ++d.windows_summary;
+    st.stage_name = "degrade(summary-only)";
+    st.cost = 0.01;
+  }
+  d.rows_approx += population;
+  d.rows_sampled_out += population;
+  st.missing_rate_out = 0.0;
+  // det-sanctioned: wall_time_us is observability-only; to_json and the event log omit it
+  st.wall_time_us = static_cast<std::uint64_t>(obs::now_us() - start_us);
+  report_.stage_reports.push_back(std::move(st));
+
+  if (obsy_) {
+    obsy_->flight().note(e, now_s, "degrade-shed", population,
+                         static_cast<std::size_t>(level));
+    obsy_->series()
+        .series("degrade.shed_rows", topo_.node(e).name, "edge")
+        .record(now_s, static_cast<double>(population));
+  }
+
+  // Summary uplink: fixed-size, fire-and-forget semantics even on ack
+  // channels — a lost summary only costs observability, never rows, so the
+  // edge never burns a retry schedule on it when the wire is known dead.
+  const std::size_t index = degrade_summaries_.size();
+  degrade_summaries_.push_back({edge_index, level, wire_bytes,
+                                static_cast<std::uint64_t>(population), false});
+  ++d.summaries_sent;
+  d.summary_bytes += wire_bytes;
+  const bool ack = config_.channel.mode == net::ChannelMode::kAckRetry;
+  if (!(ack && (!topo_.node(topo_.core()).up || !topo_.uplink(e).up()))) {
+    const std::size_t link_index = topo_.uplink_index(e);
+    const net::ChannelOutcome out =
+        channels_[link_index].send(now_s, wire_bytes, link_rngs_[link_index]);
+    if (out.accepted && out.delivered && !out.corrupted) {
+      sched_.push(out.arrival_s, EventKind::kSummaryArrival, topo_.core(), index);
+      if (out.duplicated) {
+        sched_.push(out.duplicate_arrival_s, EventKind::kSummaryArrival,
+                    topo_.core(), index);
+      }
+    }
+  }
+
+  // The window is answered: its rows leave the ledger as sampled-out, and
+  // the checkpoint that covered them retires with the buffer.
+  buf = Buffer{};
+  edge_checkpoints_[edge_index] = Buffer{};
+}
+
+void FleetSim::handle_summary_arrival(const Event& event) {
+  DegradeSummary& s = degrade_summaries_[event.message];
+  if (s.delivered) return;  // duplicated frame
+  if (!topo_.node(topo_.core()).up) return;  // nobody listening; summary dies
+  s.delivered = true;
+  ++report_.degradation.summaries_delivered;
+  if (obsy_) {
+    obsy_->flight().note(topo_.core(), event.time_s, "rx-summary",
+                         static_cast<std::size_t>(s.rows_represented),
+                         static_cast<std::size_t>(s.level));
+  }
+}
+
+void FleetSim::set_load_storm(bool on, double now_s) {
+  if (load_storm_ == on) return;  // overlapping storm windows
+  load_storm_ = on;
+  if (!on) return;
+  ++report_.faults.load_storms;
+  ++storm_epoch_;
+  obs::registry().counter("sim.chaos.load_storms").add();
+  // Compress every device's flush schedule: one storm-paced extra flush
+  // chain per device. The chain carries the storm epoch, so flushes queued
+  // by an already-ended storm die instead of reviving under a newer one.
+  const double step = config_.device_flush_s / config_.chaos.load_storm_factor;
+  for (std::size_t i = 0; i < config_.devices; ++i) {
+    sched_.push(now_s + step, EventKind::kStormFlush, topo_.device(i),
+                storm_epoch_);
+  }
+}
+
+void FleetSim::handle_storm_flush(const Event& event) {
+  if (!load_storm_ || event.message != storm_epoch_) return;  // storm over
+  handle_device_flush(event);
+  const double next =
+      event.time_s + config_.device_flush_s / config_.chaos.load_storm_factor;
+  if (next < config_.duration_s) {
+    sched_.push(next, EventKind::kStormFlush, event.target, storm_epoch_);
+  }
+}
+
+void FleetSim::degrade_settle(double now_s) {
+  // Calm updates past the drain: each de-escalation rung needs a calm mark
+  // plus a full dwell, so 2 updates per rung and 3 rungs = 6; run 8 for
+  // margin. Controller-side only — no events, no draws, no wire bytes — so
+  // L0-pinned and never-escalated runs are unaffected.
+  for (int k = 1; k <= 8; ++k) {
+    const double t =
+        now_s + static_cast<double>(k) * config_.degrade.thresholds.dwell_s;
+    for (std::size_t e = 0; e < config_.edges; ++e) {
+      degrade_update(e, t, approx::DegradeSignals{});
+    }
+  }
+}
+
+void FleetSim::finalize_degradation() {
+  auto& d = report_.degradation;
+  for (std::size_t e = 0; e < config_.edges; ++e) {
+    const approx::DegradationController& ctrl = degrade_ctrl_[e];
+    EdgeDegradeTimeline timeline;
+    timeline.edge = e;
+    timeline.final_level = static_cast<int>(ctrl.level());
+    for (std::size_t l = 0; l < 4; ++l) {
+      timeline.time_at_level_s[l] = ctrl.time_at_level()[l];
+    }
+    for (const approx::LevelTransition& tr : ctrl.transitions()) {
+      timeline.transitions.push_back(
+          {e, tr.t_s, static_cast<int>(tr.from), static_cast<int>(tr.to)});
+    }
+    d.edges.push_back(std::move(timeline));
+  }
+
+  // Per-edge backpressure gauges — the raw signals behind the ladder,
+  // visible even in pinned runs.
+  for (std::size_t e = 0; e < config_.edges; ++e) {
+    BackpressureGauge g;
+    g.edge = e;
+    const net::Channel& up = channels_[topo_.uplink_index(topo_.edge(e))];
+    g.uplink_in_flight_highwater = up.in_flight_highwater();
+    g.uplink_dead_letters = up.dead_letters();
+    for (std::size_t i = e; i < config_.devices; i += config_.edges) {
+      const net::Channel& ch = channels_[topo_.uplink_index(topo_.device(i))];
+      g.device_in_flight_highwater =
+          std::max(g.device_in_flight_highwater, ch.in_flight_highwater());
+      g.device_dead_letters += ch.dead_letters();
+    }
+    g.sf_rows_highwater = static_cast<std::size_t>(degrade_sf_highwater_[e]);
+    report_.faults.edge_gauges.push_back(g);
+  }
 }
 
 void FleetSim::send(net::NodeId from, Buffer&& chunk, double now_s) {
@@ -762,6 +1254,10 @@ void FleetSim::send(net::NodeId from, Buffer&& chunk, double now_s) {
       buf.rows.append_rows(msg.payload);
       buf.origin_s.insert(buf.origin_s.end(), msg.origin_s.begin(), msg.origin_s.end());
       buf.parents.insert(buf.parents.end(), parents.begin(), parents.end());
+      if (degrade_on()) {
+        buf.strata.push_back(
+            {static_cast<std::uint32_t>(from), buf.row_count, rows});
+      }
       buf.row_count += rows;
     }
   };
@@ -788,6 +1284,15 @@ void FleetSim::send(net::NodeId from, Buffer&& chunk, double now_s) {
   }
   const net::ChannelOutcome out =
       channels_[link_index].send(now_s, bytes, link_rngs_[link_index]);
+  if (degrade_on()) {
+    // Fold the post-send queue depth into the owning edge's congestion
+    // hint; its controller reads (and resets) the max at its next update.
+    const std::size_t ei = (from_device ? to : from) - config_.devices;
+    const double frac =
+        static_cast<double>(channels_[link_index].in_flight(now_s)) /
+        static_cast<double>(config_.channel.queue_capacity);
+    degrade_queue_hint_[ei] = std::max(degrade_queue_hint_[ei], frac);
+  }
   if (tdf_msg && ack) {
     report_.telemetry.frames_rejected +=
         channels_[link_index].stats().corrupt_rejected - tdf_pre_rejects;
@@ -804,6 +1309,9 @@ void FleetSim::send(net::NodeId from, Buffer&& chunk, double now_s) {
     obs::registry().counter("sim.net.dropped").add();
     record_send("dead_letter", 0.0, out.attempts);
     flight_dump(from, "dead-letter", now_s);
+    if (degrade_on()) {
+      ++degrade_dead_letters_[(from_device ? to : from) - config_.devices];
+    }
     keep_rows(true);
     return;
   }
@@ -937,6 +1445,10 @@ void FleetSim::handle_arrival(const Event& event) {
     }
     buf.parents.insert(buf.parents.end(), msg_parents_[msg.id].begin(),
                        msg_parents_[msg.id].end());
+    if (degrade_on()) {
+      buf.strata.push_back({static_cast<std::uint32_t>(msg.src), buf.row_count,
+                            msg.payload.rows()});
+    }
     buf.row_count += msg.payload.rows();
   }
 }
@@ -979,6 +1491,7 @@ void FleetSim::handle_checkpoint(std::size_t edge_index) {
   snap.origin_s = buf.origin_s;
   snap.row_count = buf.row_count;
   snap.parents = buf.parents;
+  snap.strata = buf.strata;
   edge_checkpoints_[edge_index] = std::move(snap);
   ++report_.faults.checkpoints_written;
   obs::registry().counter("sim.recovery.checkpoints_written").add();
@@ -1020,6 +1533,7 @@ void FleetSim::handle_edge_restart(std::size_t edge_index) {
   buf.origin_s = ckpt.origin_s;
   buf.row_count = ckpt.row_count;
   buf.parents = ckpt.parents;
+  buf.strata = ckpt.strata;
   ++report_.faults.checkpoints_restored;
   report_.faults.rows_recovered += ckpt.row_count;
   obs::registry().counter("sim.recovery.checkpoints_restored").add();
@@ -1498,6 +2012,14 @@ void FleetSim::handle_artifact_arrival(const Event& event) {
     // strands the broadcast; its devices end up in devices_missed).
     if (!topo_.node(node).up) return;
     const std::size_t j = node - config_.devices;
+    if (degrade_on() &&
+        degrade_ctrl_[j].level() == approx::DegradeLevel::kSummary) {
+      // L3 summary-only: the edge sheds artifact relays along with rows; its
+      // devices keep serving the stale fallback (or land in devices_missed).
+      ++report_.degradation.artifact_relays_skipped;
+      obs::registry().counter("sim.degrade.artifact_relays_skipped").add();
+      return;
+    }
     for (std::size_t i = 0; i < config_.devices; ++i) {
       if (i % config_.edges == j) send_artifact(topo_.device(i), event.time_s);
     }

@@ -8,6 +8,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "approx/degradation.hpp"
+#include "approx/sample.hpp"
+#include "approx/sketch.hpp"
 #include "data/dataset.hpp"
 #include "deploy/compiled_model.hpp"
 #include "deploy/runtime.hpp"
@@ -103,6 +106,54 @@ struct TelemetryConfig {
   std::size_t device_log_bytes = 16384;
 };
 
+/// The graceful-degradation contract (DESIGN.md §16): each edge watches its
+/// own backpressure — uplink/device channel in-flight depth, dead-letter
+/// growth, store-and-forward occupancy, checkpoint lag — and moves along a
+/// 4-level ladder with hysteresis:
+///
+///   L0 exact    — today's pipeline, every row shipped (the default)
+///   L1 sampled  — seeded per-device stratified sample of the flush window
+///                 rides the normal pipeline; the rest is shed, the answer
+///                 carries a 95% confidence interval
+///   L2 sketch   — the window collapses to mergeable sketches (count-min +
+///                 bottom-k quantile); only a fixed-size summary uplinks
+///   L3 summary  — row counts only; deploy artifact relays pause so devices
+///                 fall back to the stale model
+///
+/// Off by default. When off, no controller exists, no degrade stream is
+/// drawn from, and runs are byte-identical to pre-ladder builds. When on
+/// with pin_level = 0 the ladder never leaves L0, which must also reproduce
+/// the legacy event log and report byte-for-byte (tested against goldens).
+struct DegradeConfig {
+  bool enabled = false;
+
+  /// Pin the ladder to one level (0..3) for benchmarking; -1 lets the
+  /// controller move freely.
+  int pin_level = -1;
+
+  /// Hysteresis bands and de-escalation dwell (see approx::DegradeThresholds).
+  approx::DegradeThresholds thresholds;
+
+  /// L1 per-stratum sampling rate in (0, 1].
+  double sample_rate = 0.25;
+
+  /// L2 sketch shapes.
+  std::size_t sketch_capacity = 256;  ///< bottom-k quantile sample size
+  std::size_t countmin_width = 64;
+  std::size_t countmin_depth = 4;
+
+  /// Signal normalization: dead letters per second that count as pressure
+  /// 1.0, and un-checkpointed buffered rows that count as lag 1.0.
+  double dead_letter_rate_ref = 1.0;
+  std::size_t checkpoint_lag_rows = 4096;
+
+  /// Virtual cost model of the L2 sketch reduce (edge tier), mirroring the
+  /// integration stage's base + per-row shape. The degradation bench gates
+  /// on the realized ratio against the exact pipeline.
+  double sketch_cost_base = 0.02;
+  double sketch_cost_per_row = 0.0005;
+};
+
 /// Everything a fleet run depends on. A (config, pipeline) pair fully
 /// determines the run — same seed, byte-identical event log and report.
 struct FleetConfig {
@@ -159,6 +210,11 @@ struct FleetConfig {
   /// scheduled and no OTA stream is drawn from, so legacy event logs stay
   /// byte-identical.
   ota::OtaConfig ota;
+
+  /// The graceful-degradation ladder (DESIGN.md §16). Off by default; when
+  /// off no controller runs and no degrade RNG stream is drawn from, so
+  /// legacy event logs and reports stay byte-identical.
+  DegradeConfig degrade;
 };
 
 /// The default Fig. 1 pipeline, tagged for placement: device-side outlier
@@ -216,6 +272,10 @@ class FleetSim {
     /// causal provenance the journey log needs to survive edge batching,
     /// store-and-forward and checkpoint restore.
     std::vector<std::uint64_t> parents;
+    /// Contiguous per-sender row runs (maintained only when degradation is
+    /// enabled) — the strata L1 sampling draws from, so every device keeps
+    /// representation in the sampled window.
+    std::vector<approx::Stratum> strata;
   };
 
   void generate_device_data();
@@ -290,6 +350,28 @@ class FleetSim {
                              const std::vector<std::uint8_t>& new_image,
                              double now_s) const;
   void finalize_ota();
+
+  // Graceful-degradation ladder (config_.degrade.enabled; DESIGN.md §16).
+  bool degrade_on() const noexcept { return config_.degrade.enabled; }
+  /// Measure this edge's backpressure signals on the virtual clock.
+  approx::DegradeSignals degrade_signals(std::size_t edge_index, double now_s);
+  /// Step the edge's controller, ledger any transition and return the level.
+  int degrade_update(std::size_t edge_index, double now_s,
+                     const approx::DegradeSignals& signals);
+  /// L1: replace the edge buffer with a seeded stratified sample; records
+  /// the window's confidence interval against the exact (counterfactual)
+  /// window mean and ledgers the shed rows.
+  void degrade_sample_window(std::size_t edge_index, double now_s);
+  /// L2/L3: answer the window with sketches (or a bare count), shed every
+  /// row and uplink a fixed-size summary instead of the batch.
+  void degrade_summary_flush(std::size_t edge_index, double now_s, int level);
+  void handle_summary_arrival(const Event& event);
+  void set_load_storm(bool on, double now_s);
+  void handle_storm_flush(const Event& event);
+  /// Post-drain calm updates so every un-pinned edge walks back to L0 and
+  /// the per-level time books close.
+  void degrade_settle(double now_s);
+  void finalize_degradation();
 
   // Observatory wiring (all no-ops when obsy_ is empty; see DESIGN.md §13).
   void journey_arrive(std::uint64_t trace, obs::HopStream stream, std::uint32_t hop,
@@ -453,7 +535,32 @@ class FleetSim {
   // det-sanctioned: placeholder; reseeded via master.split() (rng-stream: canary)
   Rng canary_rng_{0};  ///< canary cohort sampling; split after chaos
   // det-sanctioned: placeholder; reseeded via master.split() (rng-stream: epoch)
-  Rng epoch_rng_{0};   ///< epoch retrain jitter; split last of all
+  Rng epoch_rng_{0};   ///< epoch retrain jitter; split after canary
+
+  // ---- Degradation ladder state (empty unless config_.degrade.enabled) --
+
+  /// One L2/L3 summary uplink in flight (edge -> core).
+  struct DegradeSummary {
+    std::size_t edge = 0;  ///< edge index
+    int level = 0;
+    std::size_t wire_bytes = 0;
+    std::uint64_t rows_represented = 0;
+    bool delivered = false;
+  };
+
+  // det-sanctioned: placeholder; reseeded via master.split() (rng-stream: degrade)
+  Rng degrade_rng_{0};  ///< L1 stratified sampling; split last of all
+  std::vector<approx::DegradationController> degrade_ctrl_;  ///< per edge
+  std::vector<double> degrade_signal_t_;        ///< last controller update
+  std::vector<std::uint64_t> degrade_dead_letters_;       ///< per-edge total
+  std::vector<std::uint64_t> degrade_dead_letters_seen_;  ///< at last update
+  /// Deepest in-flight/queue-capacity fraction observed on any of the
+  /// edge's channels since its last controller update (reset on read).
+  std::vector<double> degrade_queue_hint_;
+  std::vector<std::uint64_t> degrade_sf_highwater_;  ///< rows, per edge
+  std::vector<DegradeSummary> degrade_summaries_;
+  bool load_storm_ = false;
+  std::uint64_t storm_epoch_ = 0;  ///< invalidates stale kStormFlush chains
 
   FleetReport report_;
   bool ran_ = false;

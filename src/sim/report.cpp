@@ -108,6 +108,71 @@ void write_ota(std::ostream& out, const OtaSummary& ota, const std::string& ind)
   out << "]\n";
 }
 
+// Renders the degradation ledger object with `ind` as the indentation of
+// its members — shared by the standalone degradation.json artifact
+// (ind = "  ") and the nested block inside FleetReport::to_json.
+void write_degradation(std::ostream& out, const DegradationLedger& d,
+                       const std::string& ind) {
+  using obs::json_number;
+  out << "{\n";
+  out << ind << "\"enabled\": " << (d.enabled ? "true" : "false") << ",\n";
+  out << ind << "\"pin_level\": " << d.pin_level << ",\n";
+  out << ind << "\"duration_s\": " << json_number(d.duration_s) << ",\n";
+  out << ind << "\"rows\": {\"exact\": " << d.rows_exact
+      << ", \"approx\": " << d.rows_approx
+      << ", \"sampled_out\": " << d.rows_sampled_out << "},\n";
+  out << ind << "\"windows\": {\"exact\": " << d.windows_exact
+      << ", \"sampled\": " << d.windows_sampled
+      << ", \"sketch\": " << d.windows_sketch
+      << ", \"summary\": " << d.windows_summary << "},\n";
+  out << ind << "\"transitions\": {\"up\": " << d.transitions_up
+      << ", \"down\": " << d.transitions_down << "},\n";
+  out << ind << "\"summaries\": {\"sent\": " << d.summaries_sent
+      << ", \"delivered\": " << d.summaries_delivered
+      << ", \"bytes\": " << d.summary_bytes
+      << ", \"artifact_relays_skipped\": " << d.artifact_relays_skipped
+      << "},\n";
+  out << ind << "\"ci\": {\"windows\": " << d.ci_windows
+      << ", \"covered\": " << d.ci_covered
+      << ", \"coverage\": " << json_number(d.coverage())
+      << ", \"mean_half_width\": " << json_number(d.mean_half_width())
+      << ", \"mean_abs_error\": " << json_number(d.mean_abs_error())
+      << ", \"max_abs_error\": " << json_number(d.max_abs_error) << "},\n";
+  out << ind << "\"edges\": [";
+  for (std::size_t i = 0; i < d.edges.size(); ++i) {
+    const EdgeDegradeTimeline& e = d.edges[i];
+    out << (i == 0 ? "" : ",") << "\n" << ind << "  {\"edge\": " << e.edge
+        << ", \"final_level\": " << e.final_level << ", \"time_at_level_s\": ["
+        << json_number(e.time_at_level_s[0]) << ", "
+        << json_number(e.time_at_level_s[1]) << ", "
+        << json_number(e.time_at_level_s[2]) << ", "
+        << json_number(e.time_at_level_s[3]) << "], \"transitions\": [";
+    for (std::size_t j = 0; j < e.transitions.size(); ++j) {
+      const DegradeTransitionEntry& t = e.transitions[j];
+      out << (j == 0 ? "" : ", ") << "{\"t_s\": " << json_number(t.t_s)
+          << ", \"from\": " << t.from << ", \"to\": " << t.to << "}";
+    }
+    out << "]}";
+  }
+  if (!d.edges.empty()) out << "\n" << ind;
+  out << "],\n";
+  out << ind << "\"windows_truncated\": " << d.windows_truncated << ",\n";
+  out << ind << "\"window_estimates\": [";
+  for (std::size_t i = 0; i < d.windows.size(); ++i) {
+    const WindowEstimate& w = d.windows[i];
+    out << (i == 0 ? "" : ",") << "\n" << ind << "  {\"edge\": " << w.edge
+        << ", \"t_s\": " << json_number(w.t_s) << ", \"level\": " << w.level
+        << ", \"rows_window\": " << w.rows_window
+        << ", \"rows_used\": " << w.rows_used
+        << ", \"estimate\": " << json_number(w.estimate)
+        << ", \"half_width\": " << json_number(w.half_width)
+        << ", \"exact\": " << json_number(w.exact)
+        << ", \"covered\": " << (w.covered ? "true" : "false") << "}";
+  }
+  if (!d.windows.empty()) out << "\n" << ind;
+  out << "]\n";
+}
+
 }  // namespace
 
 std::string ota_to_json(const OtaSummary& ota) {
@@ -117,10 +182,18 @@ std::string ota_to_json(const OtaSummary& ota) {
   return out.str();
 }
 
+std::string degradation_to_json(const DegradationLedger& degradation) {
+  std::ostringstream out;
+  write_degradation(out, degradation, "  ");
+  out << "}\n";
+  return out.str();
+}
+
 std::size_t FleetReport::rows_accounted() const noexcept {
   return rows_delivered + rows_lost + rows_skipped + rows_stranded +
          faults.rows_corrupt_rejected + faults.rows_buffer_evicted +
-         faults.rows_lost_to_crash + faults.rows_retained;
+         faults.rows_lost_to_crash + faults.rows_retained +
+         degradation.rows_sampled_out;
 }
 
 std::map<std::string, StageTotals> FleetReport::stage_totals() const {
@@ -165,8 +238,13 @@ std::string FleetReport::to_json() const {
       << ", \"core_crashes\": " << faults.core_crashes
       << ", \"partitions\": " << faults.partitions
       << ", \"loss_bursts\": " << faults.loss_bursts
-      << ", \"corruption_storms\": " << faults.corruption_storms
-      << ", \"checkpoints_written\": " << faults.checkpoints_written
+      << ", \"corruption_storms\": " << faults.corruption_storms;
+  // Load storms joined the chaos harness after the legacy goldens froze:
+  // render the counter only when one actually fired.
+  if (faults.load_storms > 0) {
+    out << ", \"load_storms\": " << faults.load_storms;
+  }
+  out << ", \"checkpoints_written\": " << faults.checkpoints_written
       << ", \"checkpoints_restored\": " << faults.checkpoints_restored
       << ", \"stale_model_devices\": " << faults.stale_model_devices
       << ", \"rows_accounted\": " << rows_accounted()
@@ -183,7 +261,23 @@ std::string FleetReport::to_json() const {
     }
     out << "]}";
   }
-  out << "]},\n";
+  out << "]";
+  // Backpressure gauges ride with the degradation contract; legacy runs
+  // keep the historical faults object byte-for-byte.
+  if (degradation.enabled && !faults.edge_gauges.empty()) {
+    out << ", \"edge_gauges\": [";
+    for (std::size_t i = 0; i < faults.edge_gauges.size(); ++i) {
+      const BackpressureGauge& g = faults.edge_gauges[i];
+      out << (i == 0 ? "" : ",") << "\n    {\"edge\": " << g.edge
+          << ", \"uplink_in_flight_highwater\": " << g.uplink_in_flight_highwater
+          << ", \"device_in_flight_highwater\": " << g.device_in_flight_highwater
+          << ", \"uplink_dead_letters\": " << g.uplink_dead_letters
+          << ", \"device_dead_letters\": " << g.device_dead_letters
+          << ", \"sf_rows_highwater\": " << g.sf_rows_highwater << "}";
+    }
+    out << "]";
+  }
+  out << "},\n";
 
   out << "  \"channels\": {\"sends\": " << channels.sends
       << ", \"delivered\": " << channels.delivered
@@ -313,11 +407,14 @@ std::string FleetReport::to_json() const {
     } else {
       out << "\n";
     }
-    out << "  }\n";
-  } else {
-    out << "\n";
+    out << "  }";
   }
-  out << "}\n";
+  if (degradation.enabled) {
+    out << ",\n  \"degradation\": ";
+    write_degradation(out, degradation, "    ");
+    out << "  }";
+  }
+  out << "\n}\n";
   return out.str();
 }
 

@@ -234,6 +234,126 @@ struct TelemetrySummary {
   }
 };
 
+/// End-of-run backpressure watermarks for one edge: how deep its uplink and
+/// device-side channel queues ever ran, how many sends were dead-lettered,
+/// and the store-and-forward high water across its devices. These are the
+/// trigger signals of the degradation ladder (DESIGN.md §16), surfaced as
+/// diagnostics in FleetReport::faults.
+struct BackpressureGauge {
+  std::size_t edge = 0;
+  std::size_t uplink_in_flight_highwater = 0;  ///< edge->core channel queue
+  std::size_t device_in_flight_highwater = 0;  ///< max over device->edge channels
+  std::uint64_t uplink_dead_letters = 0;
+  std::uint64_t device_dead_letters = 0;       ///< summed over its devices
+  std::size_t sf_rows_highwater = 0;           ///< store-and-forward occupancy
+};
+
+/// One ledgered ladder move of one edge (approx::LevelTransition plus the
+/// edge index, flattened for the report).
+struct DegradeTransitionEntry {
+  std::size_t edge = 0;
+  double t_s = 0.0;
+  int from = 0;
+  int to = 0;
+};
+
+/// Per-edge ladder timeline: where the edge ended, how long it spent at
+/// each rung and every transition in order.
+struct EdgeDegradeTimeline {
+  std::size_t edge = 0;
+  int final_level = 0;
+  double time_at_level_s[4] = {0.0, 0.0, 0.0, 0.0};
+  std::vector<DegradeTransitionEntry> transitions;
+};
+
+/// One approximately-answered flush window: the sampled mean of the first
+/// sensor column with its 95% CI against the exact (counterfactual) mean
+/// over the full window. `covered` is the realized CI-coverage bit the
+/// bench gates on.
+struct WindowEstimate {
+  std::size_t edge = 0;
+  double t_s = 0.0;
+  int level = 0;               ///< ladder level that answered the window
+  std::size_t rows_window = 0; ///< rows the window held
+  std::size_t rows_used = 0;   ///< rows behind the estimate
+  double estimate = 0.0;
+  double half_width = 0.0;     ///< 95% CI half-width
+  double exact = 0.0;          ///< full-window mean (computed out of band)
+  bool covered = false;
+};
+
+/// Cap on WindowEstimate entries carried verbatim in the report; aggregate
+/// counters (coverage, error sums) always cover every window.
+inline constexpr std::size_t kMaxWindowEstimates = 64;
+
+/// Ledger of the graceful-degradation contract (DESIGN.md §16): per-edge
+/// ladder timelines, rows answered exactly vs approximately, realized error
+/// against the exact counterfactual and CI coverage. All-zero unless
+/// FleetConfig::degrade.enabled.
+struct DegradationLedger {
+  bool enabled = false;
+  int pin_level = -1;  ///< >= 0 when the ladder was pinned for the run
+
+  // Row disposition. rows_sampled_out joins the conservation ledger: rows a
+  // sampled or sketch-only window answered approximately and did not
+  // forward upstream.
+  std::size_t rows_exact = 0;
+  std::size_t rows_approx = 0;
+  std::size_t rows_sampled_out = 0;
+
+  std::uint64_t windows_exact = 0;
+  std::uint64_t windows_sampled = 0;
+  std::uint64_t windows_sketch = 0;
+  std::uint64_t windows_summary = 0;
+
+  std::uint64_t transitions_up = 0;
+  std::uint64_t transitions_down = 0;
+
+  std::uint64_t summaries_sent = 0;       ///< L2/L3 summary uplinks attempted
+  std::uint64_t summaries_delivered = 0;  ///< ... that reached the core
+  std::uint64_t summary_bytes = 0;        ///< encoded summary payload bytes
+
+  /// L3 edges skip relaying fresh deploy artifacts; their devices serve the
+  /// stale fallback instead (extends DeployConfig::stale_fallback).
+  std::uint64_t artifact_relays_skipped = 0;
+
+  double duration_s = 0.0;  ///< run length, for timeline rendering
+
+  // Realized-error bookkeeping over every CI-carrying window.
+  std::uint64_t ci_windows = 0;
+  std::uint64_t ci_covered = 0;
+  double ci_half_width_sum = 0.0;
+  double abs_error_sum = 0.0;
+  double max_abs_error = 0.0;
+
+  std::vector<EdgeDegradeTimeline> edges;
+  std::vector<WindowEstimate> windows;  ///< first kMaxWindowEstimates only
+  std::uint64_t windows_truncated = 0;
+
+  /// Fraction of CI-carrying windows whose interval covered the exact
+  /// answer (1.0 when none were sampled — nothing to miss).
+  double coverage() const noexcept {
+    return ci_windows == 0
+               ? 1.0
+               : static_cast<double>(ci_covered) / static_cast<double>(ci_windows);
+  }
+
+  double mean_half_width() const noexcept {
+    return ci_windows == 0 ? 0.0
+                           : ci_half_width_sum / static_cast<double>(ci_windows);
+  }
+
+  double mean_abs_error() const noexcept {
+    return ci_windows == 0 ? 0.0
+                           : abs_error_sum / static_cast<double>(ci_windows);
+  }
+};
+
+/// Standalone JSON rendering of the degradation ledger — the
+/// degradation.json artifact the fleetscope `degradation` view reads.
+/// Deterministic per seed (virtual times and counters only).
+std::string degradation_to_json(const DegradationLedger& degradation);
+
 /// One flight-recorder dump, captured at the instant a fault fired: the
 /// affected entity's last ring of events, rendered as
 /// "t=<sec> <kind> a=<n> b=<n>" lines (oldest -> newest). Only present when
@@ -267,6 +387,7 @@ struct FaultLedger {
   std::uint64_t partitions = 0;
   std::uint64_t loss_bursts = 0;
   std::uint64_t corruption_storms = 0;
+  std::uint64_t load_storms = 0;  ///< rendered only when nonzero (legacy bytes)
 
   std::uint64_t checkpoints_written = 0;
   std::uint64_t checkpoints_restored = 0;
@@ -276,6 +397,11 @@ struct FaultLedger {
   /// (empty unless the observatory was enabled).
   std::vector<FlightDump> flight_dumps;
   std::uint64_t flight_dumps_truncated = 0;
+
+  /// Per-edge backpressure watermarks (the ladder's trigger signals),
+  /// snapshot at end of run. Rendered only when the run had degradation
+  /// enabled so legacy report JSON stays byte-identical.
+  std::vector<BackpressureGauge> edge_gauges;
 };
 
 /// What a whole fleet run did: the union of every node's per-stage ledgers
@@ -320,9 +446,12 @@ struct FleetReport {
 
   TelemetrySummary telemetry;  ///< all-zero unless telemetry was enabled
 
+  DegradationLedger degradation;  ///< all-zero unless degradation was enabled
+
   /// Sum of every row bucket: delivered + lost + skipped + stranded plus the
   /// fault-ledger buckets (corrupt-rejected, buffer-evicted, lost-to-crash,
-  /// retained-for-scoring). Excludes rows_recovered, which is informational.
+  /// retained-for-scoring) and the degradation ledger's rows_sampled_out.
+  /// Excludes rows_recovered, which is informational.
   std::size_t rows_accounted() const noexcept;
 
   /// The conservation invariant the simulator asserts at the end of every

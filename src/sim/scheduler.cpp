@@ -36,6 +36,10 @@ std::string event_kind_name(EventKind kind) {
     case EventKind::kOtaReportArrival: return "ota-report-arrival";
     case EventKind::kOtaVerdict: return "ota-verdict";
     case EventKind::kOtaControlArrival: return "ota-control-arrival";
+    case EventKind::kLoadStormStart: return "load-storm-start";
+    case EventKind::kLoadStormEnd: return "load-storm-end";
+    case EventKind::kStormFlush: return "storm-flush";
+    case EventKind::kSummaryArrival: return "summary-arrival";
   }
   return "?";
 }

@@ -39,7 +39,14 @@ enum class EventKind {
   kOtaResume,          ///< per-transfer resume timer (target = device index)
   kOtaReportArrival,   ///< a canary A/B probe report reaches an edge or the core
   kOtaVerdict,         ///< the core judges a canary cohort (target = core)
-  kOtaControlArrival   ///< a rollback command reaches an edge or device
+  kOtaControlArrival,  ///< a rollback command reaches an edge or device
+  // Graceful-degradation ladder (DESIGN.md §16) — scheduled only when
+  // chaos load storms or FleetConfig::degrade are enabled, so legacy
+  // event logs are untouched.
+  kLoadStormStart,     ///< chaos: device flush schedules compress
+  kLoadStormEnd,
+  kStormFlush,         ///< an extra storm-compressed device flush (target = device)
+  kSummaryArrival      ///< an approximate window summary reaches the core
 };
 
 std::string event_kind_name(EventKind kind);

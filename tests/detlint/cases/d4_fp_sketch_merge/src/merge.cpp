@@ -1,0 +1,25 @@
+// Mergeable-sketch folds accumulate floats in loops, but over *sorted*
+// std::vector shards — the reduction order is fixed by the container, so
+// D4 must stay quiet. This is the shape src/approx uses when the core folds
+// quantile-sketch summaries from many edges: shards arrive in edge order,
+// values inside a shard are rank-sorted at build time.
+#include <vector>
+
+double fold_sketch_shards(const std::vector<std::vector<double>>& shards) {
+  double total = 0.0;
+  for (const std::vector<double>& shard : shards) {
+    for (double v : shard) {
+      total += v;  // ordered container: deterministic reduction
+    }
+  }
+  return total;
+}
+
+double weighted_tally(const std::vector<double>& counts) {
+  double sum = 0.0;
+  std::size_t i = 0;
+  for (double c : counts) {
+    sum += c * static_cast<double>(++i);
+  }
+  return sum;
+}

@@ -1,0 +1,473 @@
+// The approximate-analytics toolkit behind the graceful-degradation ladder
+// (DESIGN.md §16): seeded reservoir + stratified sampling, mergeable
+// count-min and quantile sketches, normal-approximation confidence
+// intervals, and the hysteresis controller that moves edges between levels.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "approx/confidence.hpp"
+#include "approx/degradation.hpp"
+#include "approx/sample.hpp"
+#include "approx/sketch.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace iotml::approx {
+namespace {
+
+// ---- Reservoir sampling ----------------------------------------------------
+
+TEST(Reservoir, RejectsZeroCapacity) {
+  EXPECT_THROW(ReservoirSampler(0), InvalidArgument);
+}
+
+TEST(Reservoir, HoldsWholeStreamUnderCapacity) {
+  ReservoirSampler res(8);
+  Rng rng(1);  // rng-stream: test
+  for (int i = 0; i < 5; ++i) res.offer(static_cast<double>(i), rng);
+  EXPECT_EQ(res.seen(), 5u);
+  ASSERT_EQ(res.sample().size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(res.sample()[i], static_cast<double>(i));
+}
+
+TEST(Reservoir, DeterministicPerSeedAndBounded) {
+  auto run = [](std::uint64_t seed) {
+    ReservoirSampler res(16);
+    Rng rng(seed);  // rng-stream: test
+    for (int i = 0; i < 1000; ++i) res.offer(static_cast<double>(i), rng);
+    return res.sample();
+  };
+  const std::vector<double> a = run(42);
+  const std::vector<double> b = run(42);
+  const std::vector<double> c = run(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.size(), 16u);
+}
+
+// Every slot must be reachable: over many offers the reservoir cannot
+// degenerate into only keeping the earliest values.
+TEST(Reservoir, LateValuesDisplaceEarlyOnes) {
+  ReservoirSampler res(4);
+  Rng rng(7);  // rng-stream: test
+  for (int i = 0; i < 4000; ++i) res.offer(static_cast<double>(i), rng);
+  double newest = 0.0;
+  for (double v : res.sample()) newest = std::max(newest, v);
+  EXPECT_GT(newest, 1000.0);
+}
+
+// ---- Stratified selection --------------------------------------------------
+
+TEST(Stratified, RejectsBadRate) {
+  Rng rng(1);  // rng-stream: test
+  const std::vector<Stratum> strata{{1, 0, 10}};
+  EXPECT_THROW(stratified_indices(strata, 0.0, rng), InvalidArgument);
+  EXPECT_THROW(stratified_indices(strata, 1.5, rng), InvalidArgument);
+}
+
+TEST(Stratified, EveryStratumKeepsAtLeastOneRow) {
+  Rng rng(3);  // rng-stream: test
+  // A chatty device (200 rows) next to quiet ones (2 rows each): at 10%
+  // the quiet strata still surface in the sample.
+  const std::vector<Stratum> strata{{1, 0, 200}, {2, 200, 2}, {3, 202, 2}};
+  const std::vector<std::size_t> keep = stratified_indices(strata, 0.1, rng);
+  EXPECT_TRUE(std::is_sorted(keep.begin(), keep.end()));
+  bool quiet_a = false;
+  bool quiet_b = false;
+  for (std::size_t r : keep) {
+    if (r >= 200 && r < 202) quiet_a = true;
+    if (r >= 202) quiet_b = true;
+  }
+  EXPECT_TRUE(quiet_a);
+  EXPECT_TRUE(quiet_b);
+  EXPECT_EQ(keep.size(), 20u + 1u + 1u);  // ceil(0.1 * 200) + 1 + 1
+}
+
+TEST(Stratified, FullRateKeepsEverything) {
+  Rng rng(9);  // rng-stream: test
+  const std::vector<Stratum> strata{{1, 0, 5}, {2, 5, 7}};
+  const std::vector<std::size_t> keep = stratified_indices(strata, 1.0, rng);
+  std::vector<std::size_t> all(12);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  EXPECT_EQ(keep, all);
+}
+
+TEST(Stratified, DeterministicPerSeed) {
+  const std::vector<Stratum> strata{{1, 0, 40}, {2, 40, 60}};
+  Rng a(11);  // rng-stream: test
+  Rng b(11);  // rng-stream: test
+  EXPECT_EQ(stratified_indices(strata, 0.3, a), stratified_indices(strata, 0.3, b));
+}
+
+// ---- Count-min sketch ------------------------------------------------------
+
+TEST(CountMin, RejectsDegenerateShape) {
+  EXPECT_THROW(CountMinSketch(0, 4, 1), InvalidArgument);
+  EXPECT_THROW(CountMinSketch(64, 0, 1), InvalidArgument);
+}
+
+TEST(CountMin, NeverUndercounts) {
+  CountMinSketch cm(32, 4, 99);
+  for (std::uint64_t k = 0; k < 200; ++k) cm.add(k, k % 5 + 1);
+  for (std::uint64_t k = 0; k < 200; ++k) EXPECT_GE(cm.estimate(k), k % 5 + 1);
+  EXPECT_EQ(cm.total(), 200u * 3u);  // sum of (k % 5 + 1) over 200 keys
+}
+
+TEST(CountMin, ErrorBoundHolds) {
+  CountMinSketch cm(64, 4, 7);
+  for (std::uint64_t k = 0; k < 500; ++k) cm.add(k);
+  const double slack = cm.epsilon() * static_cast<double>(cm.total());
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    EXPECT_LE(static_cast<double>(cm.estimate(k)), 1.0 + slack);
+  }
+}
+
+TEST(CountMin, MergeIsOrderInsensitiveAndByteStable) {
+  // Three disjoint shards merged in every order must produce identical
+  // encoded bytes — the property that lets edges fold summaries associatively.
+  auto shard = [](std::uint64_t lo, std::uint64_t hi) {
+    CountMinSketch cm(32, 4, 123);
+    for (std::uint64_t k = lo; k < hi; ++k) cm.add(k, 2);
+    return cm;
+  };
+  std::vector<std::size_t> order{0, 1, 2};
+  std::vector<std::vector<std::uint8_t>> images;
+  do {
+    const CountMinSketch shards[3] = {shard(0, 50), shard(50, 90), shard(90, 140)};
+    CountMinSketch merged(32, 4, 123);
+    for (std::size_t i : order) merged.merge(shards[i]);
+    images.push_back(merged.encode());
+  } while (std::next_permutation(order.begin(), order.end()));
+  ASSERT_EQ(images.size(), 6u);
+  for (std::size_t i = 1; i < images.size(); ++i) EXPECT_EQ(images[i], images[0]);
+
+  // And the merged shards agree exactly with a single-sketch build.
+  CountMinSketch whole(32, 4, 123);
+  for (std::uint64_t k = 0; k < 140; ++k) whole.add(k, 2);
+  EXPECT_EQ(images[0], whole.encode());
+}
+
+TEST(CountMin, MergeRejectsMismatchedShapeOrSeed) {
+  CountMinSketch a(32, 4, 1);
+  CountMinSketch b(16, 4, 1);
+  CountMinSketch c(32, 4, 2);
+  EXPECT_THROW(a.merge(b), InvalidArgument);
+  EXPECT_THROW(a.merge(c), InvalidArgument);
+}
+
+// ---- Quantile sketch -------------------------------------------------------
+
+TEST(Quantile, SmallStreamIsExact) {
+  QuantileSketch qs(64, 5);
+  for (int i = 1; i <= 9; ++i) {
+    qs.add(static_cast<std::uint64_t>(i), static_cast<double>(i));
+  }
+  EXPECT_EQ(qs.count(), 9u);
+  EXPECT_EQ(qs.retained(), 9u);
+  EXPECT_DOUBLE_EQ(qs.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(qs.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(qs.quantile(1.0), 9.0);
+}
+
+TEST(Quantile, EmptySketchThrowsOnQuantile) {
+  QuantileSketch qs(8, 1);
+  EXPECT_THROW(qs.quantile(0.5), InvalidArgument);
+}
+
+TEST(Quantile, MergeIsOrderInsensitiveAndByteStable) {
+  auto shard = [](std::uint64_t lo, std::uint64_t hi) {
+    QuantileSketch qs(16, 77);
+    for (std::uint64_t k = lo; k < hi; ++k) {
+      qs.add(k, std::sin(static_cast<double>(k)));
+    }
+    return qs;
+  };
+  std::vector<std::size_t> order{0, 1, 2};
+  std::vector<std::vector<std::uint8_t>> images;
+  do {
+    const QuantileSketch shards[3] = {shard(0, 40), shard(40, 100), shard(100, 130)};
+    QuantileSketch merged(16, 77);
+    for (std::size_t i : order) merged.merge(shards[i]);
+    images.push_back(merged.encode());
+  } while (std::next_permutation(order.begin(), order.end()));
+  ASSERT_EQ(images.size(), 6u);
+  for (std::size_t i = 1; i < images.size(); ++i) EXPECT_EQ(images[i], images[0]);
+
+  QuantileSketch whole(16, 77);
+  for (std::uint64_t k = 0; k < 130; ++k) {
+    whole.add(k, std::sin(static_cast<double>(k)));
+  }
+  EXPECT_EQ(images[0], whole.encode());
+  EXPECT_EQ(whole.count(), 130u);
+  EXPECT_EQ(whole.retained(), 16u);
+}
+
+TEST(Quantile, MergeRejectsMismatchedCapacityOrSeed) {
+  QuantileSketch a(16, 1);
+  QuantileSketch b(8, 1);
+  QuantileSketch c(16, 2);
+  EXPECT_THROW(a.merge(b), InvalidArgument);
+  EXPECT_THROW(a.merge(c), InvalidArgument);
+}
+
+// The bottom-k sample tracks the stream distribution closely enough for
+// quantile work: the sketch median of a linear ramp lands near the middle.
+TEST(Quantile, MedianOfRampIsNearCenter) {
+  QuantileSketch qs(128, 3);
+  for (std::uint64_t k = 0; k < 10000; ++k) {
+    qs.add(k, static_cast<double>(k));
+  }
+  EXPECT_NEAR(qs.quantile(0.5), 5000.0, 1500.0);
+}
+
+// ---- Confidence intervals --------------------------------------------------
+
+TEST(Confidence, RejectsSampleLargerThanPopulation) {
+  EXPECT_THROW(mean_interval({1.0, 2.0, 3.0}, 2), InvalidArgument);
+}
+
+TEST(Confidence, EmptyAndSingletonDegenerate) {
+  const Interval none = mean_interval({}, 100);
+  EXPECT_EQ(none.n, 0u);
+  EXPECT_DOUBLE_EQ(none.half_width, 0.0);
+  const Interval one = mean_interval({4.5}, 100);
+  EXPECT_DOUBLE_EQ(one.estimate, 4.5);
+  EXPECT_DOUBLE_EQ(one.half_width, 0.0);
+}
+
+TEST(Confidence, MatchesHandComputedInterval) {
+  // sample {1,2,3,4,5}: mean 3, s^2 = 2.5, se = sqrt(0.5); N = 1000 fpc ~ 1.
+  const std::vector<double> sample{1.0, 2.0, 3.0, 4.0, 5.0};
+  const Interval ci = mean_interval(sample, 1000);
+  EXPECT_DOUBLE_EQ(ci.estimate, 3.0);
+  const double se = std::sqrt(2.5 / 5.0);
+  const double fpc = std::sqrt((1000.0 - 5.0) / 999.0);
+  EXPECT_NEAR(ci.half_width, kZ95 * se * fpc, 1e-12);
+  EXPECT_TRUE(ci.covers(3.0));
+  EXPECT_TRUE(ci.covers(ci.lo()));
+  EXPECT_FALSE(ci.covers(ci.hi() + 1e-9));
+}
+
+TEST(Confidence, CensusHasZeroWidth) {
+  // Sampling the whole population leaves no sampling error: the finite
+  // population correction collapses the interval to a point.
+  const std::vector<double> sample{2.0, 4.0, 6.0, 8.0};
+  const Interval ci = mean_interval(sample, 4);
+  EXPECT_DOUBLE_EQ(ci.estimate, 5.0);
+  EXPECT_NEAR(ci.half_width, 0.0, 1e-12);
+}
+
+TEST(Stratified, IndexListOverloadSamplesOnlyListedRows) {
+  // The live-row overload must draw only from the listed indices, keep at
+  // least one per non-empty list, and return a merged ascending result.
+  const std::vector<std::vector<std::size_t>> strata{
+      {3, 7, 11, 15}, {}, {20}, {31, 30}};
+  Rng rng(99);
+  const std::vector<std::size_t> keep = stratified_indices(strata, 0.3, rng);
+  EXPECT_TRUE(std::is_sorted(keep.begin(), keep.end()));
+  std::vector<std::size_t> allowed{3, 7, 11, 15, 20, 30, 31};
+  for (std::size_t r : keep) {
+    EXPECT_TRUE(std::find(allowed.begin(), allowed.end(), r) != allowed.end());
+  }
+  // ceil(0.3 * 4) = 2 from the first list, 1 from each non-empty singleton.
+  EXPECT_EQ(keep.size(), 4u);
+  EXPECT_TRUE(std::find(keep.begin(), keep.end(), 20u) != keep.end());
+}
+
+TEST(Confidence, StratifiedWeightsBeatPooledMeanUnderUnequalFractions) {
+  // Two strata with very different sampling fractions: the big low-valued
+  // stratum is sampled at 25%, the small high-valued one fully. A pooled
+  // mean over all sampled values overweights the small stratum; the
+  // self-weighted estimator recovers the true population mean.
+  std::vector<StratumSample> strata(2);
+  strata[0].population = 8;
+  strata[0].values = {1.0, 1.0};       // stratum mean 1, weight 8/10
+  strata[1].population = 2;
+  strata[1].values = {11.0, 11.0};     // stratum mean 11, weight 2/10
+  const Interval ci = stratified_mean_interval(strata);
+  EXPECT_DOUBLE_EQ(ci.estimate, 0.8 * 1.0 + 0.2 * 11.0);  // 3.0, not pooled 6.0
+  EXPECT_EQ(ci.n, 4u);
+  EXPECT_EQ(ci.population, 10u);
+}
+
+TEST(Confidence, StratifiedSingletonsBorrowPooledVariance) {
+  // One stratum rich enough to estimate variance (pop 100, values 1..4,
+  // s^2 = 5/3) plus a singleton (pop 50): the singleton's term uses the
+  // pooled within-stratum variance with its own weight and fpc. Estimate
+  // and width match the hand-computed stratified formula.
+  std::vector<StratumSample> strata(2);
+  strata[0].population = 100;
+  strata[0].values = {1.0, 2.0, 3.0, 4.0};
+  strata[1].population = 50;
+  strata[1].values = {10.0};
+  const Interval ci = stratified_mean_interval(strata);
+  EXPECT_DOUBLE_EQ(ci.estimate, (100.0 / 150.0) * 2.5 + (50.0 / 150.0) * 10.0);
+  const double s2 = 5.0 / 3.0;  // pooled: only the rich stratum has df
+  const double var = (100.0 / 150.0) * (100.0 / 150.0) * 0.96 * s2 / 4.0 +
+                     (50.0 / 150.0) * (50.0 / 150.0) * 0.98 * s2 / 1.0;
+  EXPECT_NEAR(ci.half_width, kZ95 * std::sqrt(var), 1e-12);
+}
+
+TEST(Confidence, StratifiedAllSingletonsFallBackToSampleSpread) {
+  // Every stratum a singleton (the storm-compressed window shape): no
+  // within-stratum variance exists, so the width falls back to the spread
+  // of the singleton values — conservative, never a zero-width point.
+  std::vector<StratumSample> strata;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0}) strata.push_back({3, {v}});
+  const Interval ci = stratified_mean_interval(strata);
+  EXPECT_DOUBLE_EQ(ci.estimate, 3.5);
+  EXPECT_GT(ci.half_width, 0.0);
+  EXPECT_TRUE(ci.covers(3.5));
+}
+
+TEST(Confidence, StratifiedCensusCollapsesToPoint) {
+  std::vector<StratumSample> strata(2);
+  strata[0].population = 3;
+  strata[0].values = {1.0, 2.0, 3.0};
+  strata[1].population = 2;
+  strata[1].values = {4.0, 6.0};
+  const Interval ci = stratified_mean_interval(strata);
+  EXPECT_DOUBLE_EQ(ci.estimate, 3.2);  // (3*2 + 2*5) / 5
+  EXPECT_NEAR(ci.half_width, 0.0, 1e-12);
+  EXPECT_TRUE(ci.covers(3.2));
+}
+
+TEST(Confidence, StratifiedRejectsSampleLargerThanStratum) {
+  std::vector<StratumSample> strata(1);
+  strata[0].population = 1;
+  strata[0].values = {1.0, 2.0};
+  EXPECT_THROW(stratified_mean_interval(strata), InvalidArgument);
+}
+
+TEST(Confidence, StratifiedEmptyStrataAreExcluded) {
+  std::vector<StratumSample> strata(3);
+  strata[0].population = 5;  // no sampled values: excluded from the weights
+  strata[1].population = 4;
+  strata[1].values = {2.0, 2.0};
+  strata[2].population = 0;
+  const Interval ci = stratified_mean_interval(strata);
+  EXPECT_DOUBLE_EQ(ci.estimate, 2.0);
+  EXPECT_EQ(ci.population, 4u);
+  EXPECT_EQ(ci.n, 2u);
+}
+
+// ---- Degradation controller ------------------------------------------------
+
+DegradeThresholds tight_bands() {
+  DegradeThresholds t;
+  t.up = {1.0, 2.0, 3.0};
+  t.down = {0.5, 1.5, 2.5};
+  t.dwell_s = 2.0;
+  return t;
+}
+
+DegradeSignals pressure(double p) {
+  DegradeSignals s;
+  s.queue_fraction = p;
+  return s;
+}
+
+TEST(Degradation, RejectsDisorderedThresholds) {
+  DegradeThresholds bad = tight_bands();
+  bad.down[1] = bad.up[1];  // down must stay strictly under up
+  EXPECT_THROW(DegradationController{bad}, InvalidArgument);
+  DegradeThresholds flat = tight_bands();
+  flat.up = {1.0, 1.0, 3.0};  // up must be strictly increasing
+  EXPECT_THROW(DegradationController{flat}, InvalidArgument);
+  EXPECT_THROW(DegradationController(tight_bands(), 4), InvalidArgument);
+}
+
+TEST(Degradation, PressureIsTheMaxSignal) {
+  DegradeSignals s;
+  s.queue_fraction = 0.2;
+  s.dead_letter_rate = 0.9;
+  s.sf_occupancy = 0.4;
+  s.checkpoint_lag = 0.1;
+  EXPECT_DOUBLE_EQ(s.pressure(), 0.9);
+}
+
+TEST(Degradation, EscalationJumpsToHighestCrossedBand) {
+  DegradationController ctrl(tight_bands());
+  EXPECT_EQ(ctrl.update(0.0, pressure(0.0)), DegradeLevel::kExact);
+  // A single spike past up[2] jumps straight to L3, not one rung at a time.
+  EXPECT_EQ(ctrl.update(1.0, pressure(5.0)), DegradeLevel::kSummary);
+  ASSERT_EQ(ctrl.transitions().size(), 1u);
+  EXPECT_EQ(ctrl.transitions()[0].from, DegradeLevel::kExact);
+  EXPECT_EQ(ctrl.transitions()[0].to, DegradeLevel::kSummary);
+}
+
+TEST(Degradation, DeEscalationNeedsContinuousDwellPerRung) {
+  DegradationController ctrl(tight_bands());
+  ctrl.update(0.0, pressure(2.5));  // -> L2
+  ASSERT_EQ(ctrl.level(), DegradeLevel::kSketch);
+  // Calm at t=1 starts the dwell; t=2 is only 1s of calm — still L2.
+  EXPECT_EQ(ctrl.update(1.0, pressure(0.1)), DegradeLevel::kSketch);
+  EXPECT_EQ(ctrl.update(2.0, pressure(0.1)), DegradeLevel::kSketch);
+  // t=3 completes the 2s dwell: down ONE level, and the next rung needs a
+  // fresh dwell of its own.
+  EXPECT_EQ(ctrl.update(3.0, pressure(0.1)), DegradeLevel::kSampled);
+  EXPECT_EQ(ctrl.update(4.0, pressure(0.1)), DegradeLevel::kSampled);
+  EXPECT_EQ(ctrl.update(6.0, pressure(0.1)), DegradeLevel::kExact);
+}
+
+TEST(Degradation, HysteresisBandBlocksFlapping) {
+  // Pressure oscillating inside (down[0], up[0]) — above the de-escalation
+  // band, below the escalation band — must not move the level in either
+  // direction, however long it runs.
+  DegradationController ctrl(tight_bands());
+  ctrl.update(0.0, pressure(1.2));  // -> L1
+  ASSERT_EQ(ctrl.level(), DegradeLevel::kSampled);
+  for (int i = 1; i <= 50; ++i) {
+    const double wobble = (i % 2 == 0) ? 0.6 : 0.95;
+    EXPECT_EQ(ctrl.update(static_cast<double>(i), pressure(wobble)),
+              DegradeLevel::kSampled);
+  }
+  EXPECT_EQ(ctrl.transitions().size(), 1u);
+}
+
+TEST(Degradation, InterruptedCalmRestartsTheDwell) {
+  DegradationController ctrl(tight_bands());
+  ctrl.update(0.0, pressure(1.2));  // -> L1
+  ctrl.update(1.0, pressure(0.1));  // calm starts
+  ctrl.update(2.5, pressure(0.8));  // pressure pops back inside the band
+  // Calm again: the dwell restarts from t=3, so t=4 is not enough...
+  ctrl.update(3.0, pressure(0.1));
+  EXPECT_EQ(ctrl.update(4.0, pressure(0.1)), DegradeLevel::kSampled);
+  // ...but t=5 is.
+  EXPECT_EQ(ctrl.update(5.0, pressure(0.1)), DegradeLevel::kExact);
+}
+
+TEST(Degradation, PinnedControllerNeverMoves) {
+  DegradationController ctrl(tight_bands(), 2);
+  EXPECT_TRUE(ctrl.pinned());
+  EXPECT_EQ(ctrl.level(), DegradeLevel::kSketch);
+  EXPECT_EQ(ctrl.update(0.0, pressure(10.0)), DegradeLevel::kSketch);
+  EXPECT_EQ(ctrl.update(10.0, pressure(0.0)), DegradeLevel::kSketch);
+  EXPECT_TRUE(ctrl.transitions().empty());
+}
+
+TEST(Degradation, TimeAtLevelBooksClose) {
+  DegradationController ctrl(tight_bands());
+  ctrl.update(0.0, pressure(0.0));
+  ctrl.update(4.0, pressure(2.5));   // 4s at L0, then L2
+  ctrl.update(10.0, pressure(2.6));  // 6s at L2
+  const auto& t = ctrl.time_at_level();
+  EXPECT_NEAR(t[0], 4.0, 1e-12);
+  EXPECT_NEAR(t[2], 6.0, 1e-12);
+  EXPECT_NEAR(t[0] + t[1] + t[2] + t[3], 10.0, 1e-12);
+}
+
+TEST(Degradation, RejectsTimeGoingBackwards) {
+  DegradationController ctrl(tight_bands());
+  ctrl.update(5.0, pressure(0.0));
+  EXPECT_THROW(ctrl.update(4.0, pressure(0.0)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace iotml::approx

@@ -32,6 +32,7 @@ int usage() {
                "usage: fleetscope <artifact-dir> [--journeys N] [--flight N] "
                "[--columns N]\n"
                "       fleetscope versions <artifact-dir>\n"
+               "       fleetscope degradation <artifact-dir>\n"
                "       fleetscope --self-check\n");
   return 2;
 }
@@ -91,6 +92,25 @@ int scope_versions(const std::string& dir) {
     return 1;
   }
   std::printf("%s", fleetscope::render_versions(ota).c_str());
+  return 0;
+}
+
+// The `degradation` view: render the per-edge ladder timeline and the
+// bounded-error ledger from <dir>/degradation.json.
+int scope_degradation(const std::string& dir) {
+  std::ifstream in(dir + "/degradation.json");
+  if (!in) {
+    std::fprintf(stderr, "fleetscope: cannot open %s/degradation.json (was "
+                 "the run configured with degrade.enabled?)\n", dir.c_str());
+    return 1;
+  }
+  fleetscope::DegradeFile degrade;
+  std::string error;
+  if (!fleetscope::parse_degradation(in, degrade, error)) {
+    std::fprintf(stderr, "fleetscope: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s", fleetscope::render_degradation(degrade).c_str());
   return 0;
 }
 
@@ -214,6 +234,78 @@ int self_check() {
 
   std::printf("%s", fleetscope::render_health(journeys, recon, flight).c_str());
   std::printf("%s", fleetscope::render_versions(ota).c_str());
+
+  // A second small fleet exercises the degradation ladder (DESIGN.md §16):
+  // a load storm over a shallow ack queue with bands tight enough that the
+  // ladder must move, then the offline degradation.json reader is checked
+  // against the in-process ledger field by field.
+  {
+    sim::FleetConfig dcfg;
+    dcfg.devices = 20;
+    dcfg.edges = 2;
+    dcfg.duration_s = 30.0;
+    dcfg.seed = 7;
+    dcfg.channel.mode = net::ChannelMode::kAckRetry;
+    dcfg.channel.queue_capacity = 2;
+    dcfg.checkpoint_interval_s = 2.0;
+    dcfg.device_buffer_rows = 4096;
+    dcfg.chaos.partitions = 1.0;
+    dcfg.chaos.partition_mean_s = 4.0;
+    dcfg.chaos.loss_bursts = 1.0;
+    dcfg.chaos.burst_mean_s = 3.0;
+    dcfg.chaos.load_storms = 3.0;
+    dcfg.chaos.load_storm_mean_s = 6.0;
+    dcfg.chaos.load_storm_factor = 6.0;
+    dcfg.degrade.enabled = true;
+    dcfg.degrade.dead_letter_rate_ref = 0.25;
+    dcfg.degrade.thresholds.up = {0.2, 0.6, 1.2};
+    dcfg.degrade.thresholds.down = {0.1, 0.4, 0.9};
+    dcfg.degrade.thresholds.dwell_s = 3.0;
+    dcfg.observatory.enabled = true;
+    const std::string ddir = "fleetscope_selfcheck.degrade.artifacts";
+    dcfg.observatory.artifact_dir = ddir;
+    sim::FleetSim dfleet(dcfg);
+    const sim::FleetReport dreport = dfleet.run();
+    const sim::DegradationLedger& dledger = dreport.degradation;
+
+    fleetscope::DegradeFile degrade;
+    {
+      std::ifstream in(ddir + "/degradation.json");
+      std::string error;
+      ok &= check(static_cast<bool>(in), "degradation.json written");
+      ok &= check(static_cast<bool>(in) &&
+                      fleetscope::parse_degradation(in, degrade, error),
+                  "degradation.json parses through the offline reader");
+    }
+    ok &= check(dreport.rows_conserved(),
+                "degraded run's conservation ledger closes");
+    ok &= check(dledger.transitions_up > 0, "the ladder actually moved");
+    ok &= check(degrade.enabled, "degradation ledger marked enabled");
+    std::uint64_t moves = 0;
+    for (const fleetscope::DegradeEdge& e : degrade.edges) {
+      moves += e.transitions.size();
+    }
+    ok &= check(degrade.edges.size() == dledger.edges.size() &&
+                    moves == dledger.transitions_up + dledger.transitions_down,
+                "degradation view sees every ladder move");
+    ok &= check(degrade.rows_exact == dledger.rows_exact &&
+                    degrade.rows_approx == dledger.rows_approx &&
+                    degrade.rows_sampled_out == dledger.rows_sampled_out &&
+                    degrade.transitions_up == dledger.transitions_up &&
+                    degrade.transitions_down == dledger.transitions_down &&
+                    degrade.summaries_sent == dledger.summaries_sent &&
+                    degrade.ci_windows == dledger.ci_windows &&
+                    degrade.ci_covered == dledger.ci_covered &&
+                    degrade.windows.size() == dledger.windows.size(),
+                "degradation view agrees with the in-process ledger");
+    bool settled = true;
+    for (const fleetscope::DegradeEdge& e : degrade.edges) {
+      settled = settled && e.final_level == 0;
+    }
+    ok &= check(settled, "every edge settled back to L0");
+    std::printf("%s", fleetscope::render_degradation(degrade).c_str());
+  }
+
   std::printf("self-check %s\n", ok ? "PASSED" : "FAILED");
   return ok ? 0 : 1;
 }
@@ -227,6 +319,7 @@ int main(int argc, char** argv) {
   std::size_t columns = 40;
   bool run_self_check = false;
   bool versions_view = false;
+  bool degradation_view = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -237,8 +330,12 @@ int main(int argc, char** argv) {
     };
     if (arg == "--self-check") {
       run_self_check = true;
-    } else if (arg == "versions" && !versions_view && dir.empty()) {
+    } else if (arg == "versions" && !versions_view && !degradation_view &&
+               dir.empty()) {
       versions_view = true;
+    } else if (arg == "degradation" && !versions_view && !degradation_view &&
+               dir.empty()) {
+      degradation_view = true;
     } else if (arg == "--journeys") {
       if (!next_size(journey_limit)) return usage();
     } else if (arg == "--flight") {
@@ -257,5 +354,6 @@ int main(int argc, char** argv) {
   if (run_self_check) return self_check();
   if (dir.empty()) return usage();
   if (versions_view) return scope_versions(dir);
+  if (degradation_view) return scope_degradation(dir);
   return scope_dir(dir, journey_limit, flight_limit, columns);
 }

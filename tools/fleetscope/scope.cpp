@@ -440,6 +440,92 @@ bool parse_ota(std::istream& in, OtaFile& out, std::string& error) {
   return true;
 }
 
+bool parse_degradation(std::istream& in, DegradeFile& out, std::string& error) {
+  out = DegradeFile{};
+  Json root;
+  if (!parse_json(read_all(in), root, error)) {
+    error = "degradation.json: " + error;
+    return false;
+  }
+  const Json* enabled = root.find("enabled");
+  out.enabled = enabled != nullptr && enabled->boolean;
+  out.pin_level = static_cast<int>(root.num_or("pin_level", -1.0));
+  out.duration_s = root.num_or("duration_s", 0.0);
+  if (const Json* rows = root.find("rows"); rows != nullptr) {
+    out.rows_exact = rows->u64_or("exact", 0);
+    out.rows_approx = rows->u64_or("approx", 0);
+    out.rows_sampled_out = rows->u64_or("sampled_out", 0);
+  }
+  if (const Json* windows = root.find("windows"); windows != nullptr) {
+    out.windows_exact = windows->u64_or("exact", 0);
+    out.windows_sampled = windows->u64_or("sampled", 0);
+    out.windows_sketch = windows->u64_or("sketch", 0);
+    out.windows_summary = windows->u64_or("summary", 0);
+  }
+  if (const Json* transitions = root.find("transitions"); transitions != nullptr) {
+    out.transitions_up = transitions->u64_or("up", 0);
+    out.transitions_down = transitions->u64_or("down", 0);
+  }
+  if (const Json* summaries = root.find("summaries"); summaries != nullptr) {
+    out.summaries_sent = summaries->u64_or("sent", 0);
+    out.summaries_delivered = summaries->u64_or("delivered", 0);
+    out.summary_bytes = summaries->u64_or("bytes", 0);
+    out.artifact_relays_skipped = summaries->u64_or("artifact_relays_skipped", 0);
+  }
+  if (const Json* ci = root.find("ci"); ci != nullptr) {
+    out.ci_windows = ci->u64_or("windows", 0);
+    out.ci_covered = ci->u64_or("covered", 0);
+    out.coverage = ci->num_or("coverage", 0.0);
+    out.mean_half_width = ci->num_or("mean_half_width", 0.0);
+    out.mean_abs_error = ci->num_or("mean_abs_error", 0.0);
+    out.max_abs_error = ci->num_or("max_abs_error", 0.0);
+  }
+  out.windows_truncated = root.u64_or("windows_truncated", 0);
+  if (const Json* edges = root.find("edges");
+      edges != nullptr && edges->kind == Json::Kind::kArray) {
+    for (const Json& row : edges->arr) {
+      DegradeEdge e;
+      e.edge = static_cast<std::size_t>(row.u64_or("edge", 0));
+      e.final_level = static_cast<int>(row.num_or("final_level", 0.0));
+      if (const Json* times = row.find("time_at_level_s");
+          times != nullptr && times->kind == Json::Kind::kArray) {
+        for (std::size_t i = 0; i < times->arr.size() && i < 4; ++i) {
+          e.time_at_level_s[i] = times->arr[i].number;
+        }
+      }
+      if (const Json* moves = row.find("transitions");
+          moves != nullptr && moves->kind == Json::Kind::kArray) {
+        for (const Json& move : moves->arr) {
+          DegradeTransition t;
+          t.t_s = move.num_or("t_s", 0.0);
+          t.from = static_cast<int>(move.num_or("from", 0.0));
+          t.to = static_cast<int>(move.num_or("to", 0.0));
+          e.transitions.push_back(t);
+        }
+      }
+      out.edges.push_back(std::move(e));
+    }
+  }
+  if (const Json* estimates = root.find("window_estimates");
+      estimates != nullptr && estimates->kind == Json::Kind::kArray) {
+    for (const Json& row : estimates->arr) {
+      DegradeWindow w;
+      w.edge = static_cast<std::size_t>(row.u64_or("edge", 0));
+      w.t_s = row.num_or("t_s", 0.0);
+      w.level = static_cast<int>(row.num_or("level", 0.0));
+      w.rows_window = row.u64_or("rows_window", 0);
+      w.rows_used = row.u64_or("rows_used", 0);
+      w.estimate = row.num_or("estimate", 0.0);
+      w.half_width = row.num_or("half_width", 0.0);
+      w.exact = row.num_or("exact", 0.0);
+      const Json* covered = row.find("covered");
+      w.covered = covered != nullptr && covered->boolean;
+      out.windows.push_back(w);
+    }
+  }
+  return true;
+}
+
 // ---- Journey reconstruction ------------------------------------------------
 
 double Journey::end_to_end_s() const noexcept {
@@ -770,6 +856,119 @@ std::string render_versions(const OtaFile& ota) {
                 format_seconds(ota.last_commit_t_s).c_str(),
                 ota.all_devices_verified ? "yes" : "NO");
   out << tail << "\n";
+  return out.str();
+}
+
+std::string render_degradation(const DegradeFile& d) {
+  std::ostringstream out;
+  if (!d.enabled) {
+    out << "degradation: the ladder was not enabled for this run\n";
+    return out.str();
+  }
+  char head[224];
+  std::snprintf(
+      head, sizeof head,
+      "degradation ladder (%s; windows exact %llu / sampled %llu / sketch "
+      "%llu / summary %llu; %llu up, %llu down)",
+      d.pin_level >= 0
+          ? ("pinned L" + std::to_string(d.pin_level)).c_str()
+          : "free-running",
+      static_cast<unsigned long long>(d.windows_exact),
+      static_cast<unsigned long long>(d.windows_sampled),
+      static_cast<unsigned long long>(d.windows_sketch),
+      static_cast<unsigned long long>(d.windows_summary),
+      static_cast<unsigned long long>(d.transitions_up),
+      static_cast<unsigned long long>(d.transitions_down));
+  out << head << "\n";
+
+  // Per-edge ladder strips: one character per time bucket, deeper rungs
+  // darker (L0 '.', L1 '-', L2 '=', L3 '#'). The horizon covers the settle
+  // tail, so a healthy edge always ends in '.'.
+  double horizon = d.duration_s;
+  for (const DegradeEdge& e : d.edges) {
+    for (const DegradeTransition& t : e.transitions) {
+      horizon = std::max(horizon, t.t_s);
+    }
+  }
+  constexpr std::size_t kStripWidth = 48;
+  constexpr char kLevelChar[4] = {'.', '-', '=', '#'};
+  out << "ladder timeline (0.." << format_seconds(horizon) << ")\n";
+  for (const DegradeEdge& e : d.edges) {
+    std::string strip(kStripWidth, kLevelChar[0]);
+    // Walk the step function transition by transition; the level before the
+    // first move is that move's `from` rung.
+    int level = e.transitions.empty() ? e.final_level : e.transitions.front().from;
+    std::size_t bucket = 0;
+    for (const DegradeTransition& t : e.transitions) {
+      const auto until = horizon > 0.0
+          ? std::min(kStripWidth, static_cast<std::size_t>(
+                t.t_s / horizon * static_cast<double>(kStripWidth)))
+          : kStripWidth;
+      for (; bucket < until; ++bucket) {
+        strip[bucket] = kLevelChar[std::clamp(level, 0, 3)];
+      }
+      level = t.to;
+    }
+    for (; bucket < kStripWidth; ++bucket) {
+      strip[bucket] = kLevelChar[std::clamp(level, 0, 3)];
+    }
+    char line[224];
+    std::snprintf(line, sizeof line,
+                  "  edge %-3zu %s final L%d  t@[%s %s %s %s] %zu moves",
+                  e.edge, strip.c_str(), e.final_level,
+                  format_seconds(e.time_at_level_s[0]).c_str(),
+                  format_seconds(e.time_at_level_s[1]).c_str(),
+                  format_seconds(e.time_at_level_s[2]).c_str(),
+                  format_seconds(e.time_at_level_s[3]).c_str(),
+                  e.transitions.size());
+    out << line << "\n";
+  }
+
+  char rows[224];
+  std::snprintf(rows, sizeof rows,
+                "rows: exact %llu, approx %llu (%llu sampled out); summaries "
+                "%llu sent / %llu delivered, %llu B, %llu relays skipped",
+                static_cast<unsigned long long>(d.rows_exact),
+                static_cast<unsigned long long>(d.rows_approx),
+                static_cast<unsigned long long>(d.rows_sampled_out),
+                static_cast<unsigned long long>(d.summaries_sent),
+                static_cast<unsigned long long>(d.summaries_delivered),
+                static_cast<unsigned long long>(d.summary_bytes),
+                static_cast<unsigned long long>(d.artifact_relays_skipped));
+  out << rows << "\n";
+  if (d.ci_windows > 0) {
+    char ci[224];
+    std::snprintf(ci, sizeof ci,
+                  "error bound: 95%% CI covered %llu/%llu windows (%.1f%%), "
+                  "mean half-width %.4f, mean |err| %.4f, max |err| %.4f",
+                  static_cast<unsigned long long>(d.ci_covered),
+                  static_cast<unsigned long long>(d.ci_windows),
+                  100.0 * d.coverage, d.mean_half_width, d.mean_abs_error,
+                  d.max_abs_error);
+    out << ci << "\n";
+  }
+  if (!d.windows.empty()) {
+    out << "window estimates";
+    if (d.windows_truncated > 0) {
+      out << " (first " << d.windows.size() << "; "
+          << d.windows_truncated << " more truncated)";
+    }
+    out << "\n";
+    constexpr std::size_t kWindowLimit = 8;
+    for (std::size_t i = 0; i < d.windows.size() && i < kWindowLimit; ++i) {
+      const DegradeWindow& w = d.windows[i];
+      char line[224];
+      std::snprintf(line, sizeof line,
+                    "  t=%-8s edge %-3zu L%d %llu/%llu rows  est %.4f +/- "
+                    "%.4f  exact %.4f  %s",
+                    format_seconds(w.t_s).c_str(), w.edge, w.level,
+                    static_cast<unsigned long long>(w.rows_used),
+                    static_cast<unsigned long long>(w.rows_window),
+                    w.estimate, w.half_width, w.exact,
+                    w.covered ? "covered" : "MISSED");
+      out << line << "\n";
+    }
+  }
   return out.str();
 }
 

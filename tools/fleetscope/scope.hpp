@@ -147,6 +147,67 @@ struct OtaFile {
 
 bool parse_ota(std::istream& in, OtaFile& out, std::string& error);
 
+/// One ladder move from degradation.json's per-edge timelines (mirrors
+/// sim::DegradeTransitionEntry).
+struct DegradeTransition {
+  double t_s = 0.0;
+  int from = 0;
+  int to = 0;
+};
+
+/// One edge's ladder timeline (mirrors sim::EdgeDegradeTimeline).
+struct DegradeEdge {
+  std::size_t edge = 0;
+  int final_level = 0;
+  double time_at_level_s[4] = {0.0, 0.0, 0.0, 0.0};
+  std::vector<DegradeTransition> transitions;
+};
+
+/// One ledgered approximate window answer (mirrors sim::WindowEstimate).
+struct DegradeWindow {
+  std::size_t edge = 0;
+  double t_s = 0.0;
+  int level = 0;
+  std::uint64_t rows_window = 0;
+  std::uint64_t rows_used = 0;
+  double estimate = 0.0;
+  double half_width = 0.0;
+  double exact = 0.0;
+  bool covered = false;
+};
+
+/// The graceful-degradation ledger written as degradation.json by a FleetSim
+/// run with degrade.enabled (the `degradation` view's input; DESIGN.md §16).
+struct DegradeFile {
+  bool enabled = false;
+  int pin_level = -1;
+  double duration_s = 0.0;
+  std::uint64_t rows_exact = 0;
+  std::uint64_t rows_approx = 0;
+  std::uint64_t rows_sampled_out = 0;
+  std::uint64_t windows_exact = 0;
+  std::uint64_t windows_sampled = 0;
+  std::uint64_t windows_sketch = 0;
+  std::uint64_t windows_summary = 0;
+  std::uint64_t transitions_up = 0;
+  std::uint64_t transitions_down = 0;
+  std::uint64_t summaries_sent = 0;
+  std::uint64_t summaries_delivered = 0;
+  std::uint64_t summary_bytes = 0;
+  std::uint64_t artifact_relays_skipped = 0;
+  std::uint64_t ci_windows = 0;
+  std::uint64_t ci_covered = 0;
+  double coverage = 0.0;
+  double mean_half_width = 0.0;
+  double mean_abs_error = 0.0;
+  double max_abs_error = 0.0;
+  std::uint64_t windows_truncated = 0;
+  std::vector<DegradeEdge> edges;
+  std::vector<DegradeWindow> windows;
+};
+
+bool parse_degradation(std::istream& in, DegradeFile& out, std::string& error);
+
 // ---- Journey reconstruction ------------------------------------------------
 
 /// One origin window's reconstructed path through the tree. `hop0`/`hop1`
@@ -226,5 +287,10 @@ std::string render_flight(const FlightFile& flight, std::size_t limit);
 /// The `versions` view: per-epoch canary promote/rollback timeline plus the
 /// end-of-run version-chain histogram, from the OTA deploy ledger.
 std::string render_versions(const OtaFile& ota);
+
+/// The `degradation` view: per-edge ladder timeline strips (one character
+/// per time bucket, deeper rungs darker), the exact-vs-approximate window
+/// split, CI coverage, and the first ledgered window estimates.
+std::string render_degradation(const DegradeFile& degrade);
 
 }  // namespace iotml::fleetscope
